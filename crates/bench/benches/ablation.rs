@@ -1,0 +1,105 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * synchronous vs buffered composition (the Fig. 1 network model),
+//! * alphabetised vs full-alphabet synchronisation,
+//! * state-variable finitisation bound (`MAXV`),
+//! * counterexample reconstruction (pass vs fail checks).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fdrlite::Checker;
+use translator::{NodeSpec, SystemBuilder, TranslateConfig, Translator};
+
+fn sync_vs_buffered(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/composition");
+    group.sample_size(10);
+    let build = |buffered: Option<usize>| {
+        let mut b = SystemBuilder::new().database(ota::messages::database());
+        if let Some(cap) = buffered {
+            b = b.buffered(cap);
+        }
+        let out = b
+            .node(NodeSpec::gateway(
+                "VMG",
+                capl::parse(ota::sources::VMG_CAPL).unwrap(),
+            ))
+            .node(NodeSpec::ecu(
+                "ECU",
+                capl::parse(ota::sources::ECU_CAPL).unwrap(),
+            ))
+            .build()
+            .unwrap();
+        let loaded = cspm::Script::parse(&out.script).unwrap().load().unwrap();
+        let system = loaded.process("SYSTEM").unwrap().clone();
+        let defs = loaded.definitions().clone();
+        (system, defs)
+    };
+
+    group.bench_function("synchronous", |b| {
+        let (system, defs) = build(None);
+        b.iter(|| csp::Lts::build(system.clone(), &defs, 2_000_000).unwrap().state_count())
+    });
+    group.bench_function("buffered_2", |b| {
+        let (system, defs) = build(Some(2));
+        b.iter(|| csp::Lts::build(system.clone(), &defs, 2_000_000).unwrap().state_count())
+    });
+    group.finish();
+}
+
+fn finitisation_bound(c: &mut Criterion) {
+    // The translator's MAXV bound: larger domains → more parameter
+    // instantiations → more definitions and states.
+    let src = "
+        variables { message reqSw a; message rptSw b; int n = 0; }
+        on message reqSw { n = n + 1; output(b); }
+    ";
+    let program = capl::parse(src).unwrap();
+    let mut group = c.benchmark_group("ablation/maxv_bound");
+    group.sample_size(10);
+    for bound in [3i64, 15, 63] {
+        group.bench_with_input(BenchmarkId::from_parameter(bound), &bound, |b, &bound| {
+            b.iter(|| {
+                let mut cfg = TranslateConfig::ecu("ECU");
+                cfg.int_bound = bound;
+                let out = Translator::new(cfg).translate(&program).unwrap();
+                let loaded = cspm::Script::parse(&out.script).unwrap().load().unwrap();
+                let entry = loaded.process("ECU_INIT").unwrap().clone();
+                csp::Lts::build(entry, loaded.definitions(), 1_000_000)
+                    .unwrap()
+                    .state_count()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn pass_vs_fail_checks(c: &mut Criterion) {
+    // Counterexample extraction cost: a failing check stops early but pays
+    // for trace reconstruction; a passing check explores everything.
+    let src = "
+        datatype MsgT = reqSw | rptSw
+        channel send, rec : MsgT
+        SP02 = rec.reqSw -> send.rptSw -> SP02
+        GOOD = rec.reqSw -> send.rptSw -> GOOD
+        BAD  = rec.reqSw -> send.rptSw -> send.rptSw -> BAD
+    ";
+    let loaded = cspm::Script::parse(src).unwrap().load().unwrap();
+    let spec = loaded.process("SP02").unwrap().clone();
+    let good = loaded.process("GOOD").unwrap().clone();
+    let bad = loaded.process("BAD").unwrap().clone();
+    let defs = loaded.definitions().clone();
+    let checker = Checker::new();
+
+    c.bench_function("ablation/check_pass", |b| {
+        b.iter(|| checker.trace_refinement(&spec, &good, &defs).unwrap())
+    });
+    c.bench_function("ablation/check_fail_with_counterexample", |b| {
+        b.iter(|| {
+            let v = checker.trace_refinement(&spec, &bad, &defs).unwrap();
+            assert!(!v.is_pass());
+            v
+        })
+    });
+}
+
+criterion_group!(benches, sync_vs_buffered, finitisation_bound, pass_vs_fail_checks);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Fig. 1 — the workflow/toolchain. Benchmarks each stage of the pipeline
+//! (CAPL parse, model extraction, CSPm elaboration) and the end-to-end run,
+//! over growing application sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use translator::{Pipeline, TranslateConfig};
+
+fn stage_benchmarks(c: &mut Criterion) {
+    let capl_src = ota::sources::ECU_CAPL;
+    let dbc_src = ota::messages::NETWORK_DBC;
+
+    c.bench_function("fig1/parse_capl", |b| {
+        b.iter(|| capl::parse(black_box(capl_src)).unwrap())
+    });
+    c.bench_function("fig1/parse_dbc", |b| {
+        b.iter(|| candb::parse(black_box(dbc_src)).unwrap())
+    });
+    c.bench_function("fig1/translate", |b| {
+        let program = capl::parse(capl_src).unwrap();
+        let db = candb::parse(dbc_src).unwrap();
+        b.iter(|| {
+            translator::Translator::new(TranslateConfig::ecu("ECU"))
+                .with_database(db.clone())
+                .translate(black_box(&program))
+                .unwrap()
+        })
+    });
+    c.bench_function("fig1/elaborate_cspm", |b| {
+        let program = capl::parse(capl_src).unwrap();
+        let out = translator::Translator::new(TranslateConfig::ecu("ECU"))
+            .translate(&program)
+            .unwrap();
+        b.iter(|| {
+            cspm::Script::parse(black_box(&out.script))
+                .unwrap()
+                .load()
+                .unwrap()
+        })
+    });
+    c.bench_function("fig1/end_to_end", |b| {
+        let pipeline = Pipeline::new(TranslateConfig::ecu("ECU"));
+        b.iter(|| pipeline.run(black_box(capl_src), Some(dbc_src)).unwrap())
+    });
+}
+
+fn scaling_with_program_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1/pipeline_vs_handlers");
+    group.sample_size(10);
+    for n in [1usize, 4, 16, 64] {
+        let src = bench::synthetic_capl(n);
+        let dbc = bench::synthetic_dbc(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let pipeline = Pipeline::new(TranslateConfig::ecu("ECU"));
+            b.iter(|| pipeline.run(black_box(&src), Some(&dbc)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, stage_benchmarks, scaling_with_program_size);
+criterion_main!(benches);

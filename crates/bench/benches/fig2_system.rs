@@ -1,0 +1,81 @@
+//! Fig. 2 — the case-study scope `SYSTEM = VMG ∥ ECU`. Benchmarks the
+//! composed-model construction, its state-space exploration, and the
+//! system-level checks, for both the synchronous and the buffered (network
+//! model) composition.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fdrlite::Checker;
+use ota::system::OtaSystem;
+use std::hint::black_box;
+use translator::{NodeSpec, SystemBuilder};
+
+fn compose_and_explore(c: &mut Criterion) {
+    c.bench_function("fig2/compose_system_model", |b| {
+        b.iter(|| OtaSystem::build().unwrap())
+    });
+
+    let study = OtaSystem::build().unwrap();
+    c.bench_function("fig2/explore_system_lts", |b| {
+        b.iter(|| {
+            csp::Lts::build(
+                black_box(study.system().clone()),
+                study.definitions(),
+                100_000,
+            )
+            .unwrap()
+        })
+    });
+    c.bench_function("fig2/divergence_free", |b| {
+        let checker = Checker::new();
+        b.iter(|| {
+            checker
+                .divergence_free(black_box(study.system()), study.definitions())
+                .unwrap()
+        })
+    });
+    c.bench_function("fig2/deterministic", |b| {
+        let checker = Checker::new();
+        b.iter(|| {
+            checker
+                .deterministic(black_box(study.system()), study.definitions())
+                .unwrap()
+        })
+    });
+}
+
+fn buffered_network_model(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2/buffered_capacity");
+    group.sample_size(10);
+    for capacity in [1usize, 2, 3] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(capacity),
+            &capacity,
+            |b, &capacity| {
+                b.iter(|| {
+                    let out = SystemBuilder::new()
+                        .database(ota::messages::database())
+                        .buffered(capacity)
+                        .node(NodeSpec::gateway(
+                            "VMG",
+                            capl::parse(ota::sources::VMG_CAPL).unwrap(),
+                        ))
+                        .node(NodeSpec::ecu(
+                            "ECU",
+                            capl::parse(ota::sources::ECU_CAPL).unwrap(),
+                        ))
+                        .build()
+                        .unwrap();
+                    let loaded = cspm::Script::parse(&out.script).unwrap().load().unwrap();
+                    let system = loaded.process("SYSTEM").unwrap().clone();
+                    csp::Lts::build(system, loaded.definitions(), 2_000_000)
+                        .unwrap()
+                        .state_count()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, compose_and_explore, buffered_network_model);
+criterion_main!(benches);

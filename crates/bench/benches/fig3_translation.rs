@@ -1,0 +1,74 @@
+//! Fig. 3 — the auto-generated ECU CSPm script. Benchmarks regeneration of
+//! the exact figure artefact and the template-rendering machinery behind
+//! it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use translator::{TranslateConfig, Translator};
+
+const FIG3_ECU_CAPL: &str = "
+variables
+{
+  message reqSw msgReq;
+  message rptSw msgRpt;
+}
+
+on message reqSw
+{
+  output(msgRpt);
+}
+";
+
+fn fig3(c: &mut Criterion) {
+    let program = capl::parse(FIG3_ECU_CAPL).unwrap();
+
+    c.bench_function("fig3/generate_script", |b| {
+        b.iter(|| {
+            Translator::new(TranslateConfig::ecu("ECU"))
+                .translate(black_box(&program))
+                .unwrap()
+        })
+    });
+
+    c.bench_function("fig3/generate_and_verify_golden", |b| {
+        let golden = Translator::new(TranslateConfig::ecu("ECU"))
+            .translate(&program)
+            .unwrap()
+            .script;
+        b.iter(|| {
+            let out = Translator::new(TranslateConfig::ecu("ECU"))
+                .translate(black_box(&program))
+                .unwrap();
+            assert_eq!(out.script, golden);
+            out
+        })
+    });
+
+    c.bench_function("fig3/roundtrip_through_cspm", |b| {
+        let out = Translator::new(TranslateConfig::ecu("ECU"))
+            .translate(&program)
+            .unwrap();
+        b.iter(|| {
+            cspm::Script::parse(black_box(&out.script))
+                .unwrap()
+                .load()
+                .unwrap()
+        })
+    });
+
+    c.bench_function("fig3/template_render", |b| {
+        let t = sttpl::Template::parse(
+            "$msgs:{m | ON_$m$ = rec.$m$ -> SKIP}; separator=\"\\n\"$",
+        )
+        .unwrap();
+        let mut ctx = sttpl::Value::map();
+        ctx.set(
+            "msgs",
+            sttpl::Value::from_iter(["reqSw", "rptSw", "reqApp", "rptUpd"]),
+        );
+        b.iter(|| t.render(black_box(&ctx)).unwrap())
+    });
+}
+
+criterion_group!(benches, fig3);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Table I — the CSPm basic operators. Benchmarks the per-operator cost of
+//! parsing + elaboration and of state-space exploration, one entry per
+//! table row.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+const HEADER: &str = "channel a, b, c\nchannel d : {0..7}\nchannel e : {0..7}\n";
+
+/// (table row, CSPm definition of `P` exercising it)
+const ROWS: &[(&str, &str)] = &[
+    ("prefix", "P = a -> b -> c -> STOP"),
+    ("input", "P = d?x -> e!x -> STOP"),
+    ("output", "P = d!3 -> e!4 -> STOP"),
+    ("sequential", "P = (a -> SKIP) ; (b -> SKIP) ; c -> STOP"),
+    ("external_choice", "P = a -> STOP [] b -> STOP [] c -> STOP"),
+    ("internal_choice", "P = a -> STOP |~| b -> STOP |~| c -> STOP"),
+    (
+        "alphabetised_parallel",
+        "P = (a -> b -> STOP) [| {| a |} |] (a -> c -> STOP)",
+    ),
+    ("interleaving", "P = (a -> STOP) ||| (b -> STOP) ||| (c -> STOP)"),
+];
+
+fn per_operator(c: &mut Criterion) {
+    for (name, def) in ROWS {
+        let src = format!("{HEADER}{def}");
+
+        c.bench_function(&format!("table1/elaborate/{name}"), |b| {
+            b.iter(|| {
+                cspm::Script::parse(black_box(&src))
+                    .unwrap()
+                    .load()
+                    .unwrap()
+            })
+        });
+
+        let loaded = cspm::Script::parse(&src).unwrap().load().unwrap();
+        let p = loaded.process("P").unwrap().clone();
+        let defs = loaded.definitions().clone();
+        c.bench_function(&format!("table1/explore/{name}"), |b| {
+            b.iter(|| csp::Lts::build(black_box(p.clone()), &defs, 100_000).unwrap())
+        });
+    }
+}
+
+fn trace_law_checks(c: &mut Criterion) {
+    // The cost of verifying the union law for external choice, the shape
+    // used throughout the Table I reproduction tests.
+    c.bench_function("table1/trace_union_law", |b| {
+        let mut ab = csp::Alphabet::new();
+        let x = ab.intern("x");
+        let y = ab.intern("y");
+        let p1 = csp::Process::prefix(x, csp::Process::Stop);
+        let p2 = csp::Process::prefix(y, csp::Process::Stop);
+        let both = csp::Process::external_choice(p1.clone(), p2.clone());
+        let defs = csp::Definitions::new();
+        b.iter(|| {
+            let t1 = csp::laws::bounded_traces(&p1, &defs, 8, 10_000).unwrap();
+            let t2 = csp::laws::bounded_traces(&p2, &defs, 8, 10_000).unwrap();
+            let tb = csp::laws::bounded_traces(&both, &defs, 8, 10_000).unwrap();
+            assert_eq!(tb.len(), t1.union(&t2).count());
+        })
+    });
+}
+
+criterion_group!(benches, per_operator, trace_law_checks);
+criterion_main!(benches);

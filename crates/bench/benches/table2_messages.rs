@@ -1,0 +1,85 @@
+//! Table II — the X.1373 message set. Benchmarks the artefacts that carry
+//! the messages: database parsing, signal coding, bus-level exchange in the
+//! simulator, and the model's event machinery.
+
+use canoe_sim::Simulation;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn database_and_signals(c: &mut Criterion) {
+    c.bench_function("table2/parse_network_dbc", |b| {
+        b.iter(|| candb::parse(black_box(ota::messages::NETWORK_DBC)).unwrap())
+    });
+
+    let db = ota::messages::database();
+    let req = db.message_by_name("reqSw").unwrap().clone();
+    let sig = req.signal("seq").unwrap().clone();
+    c.bench_function("table2/signal_encode_decode", |b| {
+        let mut payload = [0u8; 8];
+        b.iter(|| {
+            for v in 0..64 {
+                sig.encode(&mut payload, black_box(v));
+                assert_eq!(sig.decode(&payload), v);
+            }
+        })
+    });
+}
+
+fn simulated_exchange(c: &mut Criterion) {
+    c.bench_function("table2/simulate_update_cycle", |b| {
+        let vmg = capl::parse(ota::sources::VMG_CAPL).unwrap();
+        let ecu = capl::parse(ota::sources::ECU_CAPL).unwrap();
+        b.iter(|| {
+            let mut sim = Simulation::new(Some(ota::messages::database()));
+            sim.add_node("VMG", vmg.clone()).unwrap();
+            sim.add_node("ECU", ecu.clone()).unwrap();
+            sim.run_for(100_000).unwrap();
+            assert_eq!(
+                sim.trace()
+                    .iter()
+                    .filter(|e| e.event.transmit_name().is_some())
+                    .count(),
+                4
+            );
+            sim
+        })
+    });
+
+    c.bench_function("table2/simulate_periodic_1s", |b| {
+        // One simulated second of 1 kHz periodic traffic.
+        let sender = capl::parse(
+            "variables { message reqSw m; msTimer t; }
+             on start { setTimer(t, 1); }
+             on timer t { output(m); setTimer(t, 1); }",
+        )
+        .unwrap();
+        let receiver = capl::parse(
+            "variables { int n = 0; } on message reqSw { n = n + 1; }",
+        )
+        .unwrap();
+        b.iter(|| {
+            let mut sim = Simulation::new(Some(ota::messages::database()));
+            sim.add_node("VMG", sender.clone()).unwrap();
+            sim.add_node("ECU", receiver.clone()).unwrap();
+            sim.run_for(1_000_000).unwrap();
+            sim.trace().len()
+        })
+    });
+}
+
+fn model_side(c: &mut Criterion) {
+    c.bench_function("table2/event_interning", |b| {
+        b.iter(|| {
+            let mut ab = csp::Alphabet::new();
+            for spec in ota::messages::TABLE_II {
+                for ch in ["rec", "send"] {
+                    black_box(ab.intern(&format!("{ch}.{}", spec.id)));
+                }
+            }
+            ab
+        })
+    });
+}
+
+criterion_group!(benches, database_and_signals, simulated_exchange, model_side);
+criterion_main!(benches);

@@ -1,0 +1,194 @@
+//! Raw signal packing and unpacking in CAN payloads.
+//!
+//! Implements the DBC bit-numbering conventions: Intel (little-endian)
+//! signals grow upward from the start bit; Motorola (big-endian) signals use
+//! the "sawtooth" numbering where the start bit is the most significant bit
+//! and the position steps down within each byte, then on to the next byte.
+
+use crate::model::{ByteOrder, Signal};
+
+impl Signal {
+    /// Write `raw` into `payload` at this signal's position.
+    ///
+    /// Values wider than the signal are truncated to `length` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the signal extends past the end of `payload`.
+    pub fn encode(&self, payload: &mut [u8], raw: i64) {
+        let mask = if self.length >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.length) - 1
+        };
+        let value = (raw as u64) & mask;
+        match self.byte_order {
+            ByteOrder::LittleEndian => {
+                for i in 0..self.length {
+                    let bit_pos = self.start_bit as usize + i as usize;
+                    let byte = bit_pos / 8;
+                    let bit = bit_pos % 8;
+                    let v = (value >> i) & 1;
+                    set_bit(payload, byte, bit, v == 1);
+                }
+            }
+            ByteOrder::BigEndian => {
+                // Start bit is the MSB; walk down the sawtooth.
+                let mut byte = self.start_bit as usize / 8;
+                let mut bit = self.start_bit as usize % 8;
+                for i in (0..self.length).rev() {
+                    let v = (value >> i) & 1;
+                    set_bit(payload, byte, bit, v == 1);
+                    if bit == 0 {
+                        byte += 1;
+                        bit = 7;
+                    } else {
+                        bit -= 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Read this signal's raw value from `payload` (sign-extended when the
+    /// signal is signed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the signal extends past the end of `payload`.
+    pub fn decode(&self, payload: &[u8]) -> i64 {
+        let mut value: u64 = 0;
+        match self.byte_order {
+            ByteOrder::LittleEndian => {
+                for i in 0..self.length {
+                    let bit_pos = self.start_bit as usize + i as usize;
+                    let byte = bit_pos / 8;
+                    let bit = bit_pos % 8;
+                    if get_bit(payload, byte, bit) {
+                        value |= 1 << i;
+                    }
+                }
+            }
+            ByteOrder::BigEndian => {
+                let mut byte = self.start_bit as usize / 8;
+                let mut bit = self.start_bit as usize % 8;
+                for i in (0..self.length).rev() {
+                    if get_bit(payload, byte, bit) {
+                        value |= 1 << i;
+                    }
+                    if bit == 0 {
+                        byte += 1;
+                        bit = 7;
+                    } else {
+                        bit -= 1;
+                    }
+                }
+            }
+        }
+        if self.signed && self.length < 64 {
+            let sign_bit = 1u64 << (self.length - 1);
+            if value & sign_bit != 0 {
+                let extension = u64::MAX << self.length;
+                return (value | extension) as i64;
+            }
+        }
+        value as i64
+    }
+}
+
+fn set_bit(payload: &mut [u8], byte: usize, bit: usize, on: bool) {
+    if on {
+        payload[byte] |= 1 << bit;
+    } else {
+        payload[byte] &= !(1 << bit);
+    }
+}
+
+fn get_bit(payload: &[u8], byte: usize, bit: usize) -> bool {
+    payload[byte] & (1 << bit) != 0
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::model::{ByteOrder, Signal, ValueTable};
+
+    fn signal(start: u16, len: u16, order: ByteOrder, signed: bool) -> Signal {
+        Signal {
+            name: "s".into(),
+            start_bit: start,
+            length: len,
+            byte_order: order,
+            signed,
+            factor: 1.0,
+            offset: 0.0,
+            min: 0.0,
+            max: 0.0,
+            unit: String::new(),
+            receivers: vec![],
+            values: ValueTable::default(),
+            comment: None,
+        }
+    }
+
+    #[test]
+    fn little_endian_roundtrip() {
+        let s = signal(4, 12, ByteOrder::LittleEndian, false);
+        let mut p = [0u8; 8];
+        s.encode(&mut p, 0xABC);
+        assert_eq!(s.decode(&p), 0xABC);
+        // Bits land where DBC says: low nibble of byte0 untouched.
+        assert_eq!(p[0] & 0x0F, 0);
+    }
+
+    #[test]
+    fn big_endian_roundtrip() {
+        let s = signal(7, 12, ByteOrder::BigEndian, false);
+        let mut p = [0u8; 8];
+        s.encode(&mut p, 0xABC);
+        assert_eq!(s.decode(&p), 0xABC);
+    }
+
+    #[test]
+    fn signed_values_sign_extend() {
+        let s = signal(0, 8, ByteOrder::LittleEndian, true);
+        let mut p = [0u8; 8];
+        s.encode(&mut p, -5);
+        assert_eq!(s.decode(&p), -5);
+    }
+
+    #[test]
+    fn truncation_to_width() {
+        let s = signal(0, 4, ByteOrder::LittleEndian, false);
+        let mut p = [0u8; 8];
+        s.encode(&mut p, 0xFF);
+        assert_eq!(s.decode(&p), 0x0F);
+    }
+
+    #[test]
+    fn neighbouring_signals_do_not_clobber() {
+        let a = signal(0, 8, ByteOrder::LittleEndian, false);
+        let b = signal(8, 8, ByteOrder::LittleEndian, false);
+        let mut p = [0u8; 8];
+        a.encode(&mut p, 0x11);
+        b.encode(&mut p, 0x22);
+        assert_eq!(a.decode(&p), 0x11);
+        assert_eq!(b.decode(&p), 0x22);
+    }
+
+    #[test]
+    fn full_width_64_bit_signal() {
+        let s = signal(0, 64, ByteOrder::LittleEndian, false);
+        let mut p = [0u8; 8];
+        s.encode(&mut p, 0x0123_4567_89AB_CDEF);
+        assert_eq!(s.decode(&p), 0x0123_4567_89AB_CDEF);
+    }
+
+    #[test]
+    fn reencoding_clears_old_bits() {
+        let s = signal(0, 8, ByteOrder::LittleEndian, false);
+        let mut p = [0u8; 8];
+        s.encode(&mut p, 0xFF);
+        s.encode(&mut p, 0x00);
+        assert_eq!(s.decode(&p), 0);
+    }
+}

@@ -1,0 +1,41 @@
+//! `candb` — CAN database (`.dbc`) files: parsing and signal coding.
+//!
+//! CANoe links CAPL programs against textual network databases that define
+//! message formats, payloads and node relationships (§IV-B2 of the paper).
+//! The `.dbc` format is a de-facto industry standard; this crate parses the
+//! subset needed by the toolchain and implements the raw↔physical signal
+//! codec so the simulator can exchange realistic frames:
+//!
+//! * `BU_` node lists, `BO_` message definitions, `SG_` signal definitions
+//!   (Intel and Motorola byte order, signedness, factor/offset/min/max),
+//!   `CM_` comments and `VAL_` value tables;
+//! * [`Signal::encode`] / [`Signal::decode`] pack and unpack raw values in
+//!   8-byte CAN payloads;
+//! * [`Database::message_by_name`] / [`Database::message_by_id`] power both
+//!   the CAPL interpreter and the translator's channel declarations.
+//!
+//! # Example
+//!
+//! ```
+//! let dbc = r#"
+//! BU_: VMG ECU
+//! BO_ 100 reqSw: 8 VMG
+//!  SG_ reqType : 0|4@1+ (1,0) [0|15] "" ECU
+//! "#;
+//! let db = candb::parse(dbc)?;
+//! let msg = db.message_by_name("reqSw").unwrap();
+//! let mut payload = [0u8; 8];
+//! msg.signal("reqType").unwrap().encode(&mut payload, 5);
+//! assert_eq!(msg.signal("reqType").unwrap().decode(&payload), 5);
+//! # Ok::<(), candb::DbcError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod codec;
+mod model;
+mod parser;
+
+pub use model::{ByteOrder, Database, Message, Signal, ValueTable};
+pub use parser::{parse, DbcError};

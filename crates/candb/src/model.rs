@@ -1,0 +1,203 @@
+//! Data model for CAN databases.
+
+use serde::{Deserialize, Serialize};
+
+/// Signal byte order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ByteOrder {
+    /// Intel / little-endian (`@1` in DBC).
+    LittleEndian,
+    /// Motorola / big-endian (`@0` in DBC).
+    BigEndian,
+}
+
+/// A named value table for a signal (`VAL_` entries).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ValueTable {
+    /// `(raw value, label)` pairs.
+    pub entries: Vec<(i64, String)>,
+}
+
+impl ValueTable {
+    /// The label for a raw value, if defined.
+    pub fn label(&self, raw: i64) -> Option<&str> {
+        self.entries
+            .iter()
+            .find(|(v, _)| *v == raw)
+            .map(|(_, l)| l.as_str())
+    }
+
+    /// The raw value for a label, if defined.
+    pub fn raw(&self, label: &str) -> Option<i64> {
+        self.entries
+            .iter()
+            .find(|(_, l)| l == label)
+            .map(|(v, _)| *v)
+    }
+}
+
+/// One signal within a message (`SG_`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Signal {
+    /// Signal name.
+    pub name: String,
+    /// Start bit (DBC numbering).
+    pub start_bit: u16,
+    /// Width in bits (1–64).
+    pub length: u16,
+    /// Byte order.
+    pub byte_order: ByteOrder,
+    /// Whether the raw value is signed (`-` in DBC).
+    pub signed: bool,
+    /// Physical = raw × factor + offset.
+    pub factor: f64,
+    /// Physical = raw × factor + offset.
+    pub offset: f64,
+    /// Minimum physical value.
+    pub min: f64,
+    /// Maximum physical value.
+    pub max: f64,
+    /// Unit string.
+    pub unit: String,
+    /// Receiving node names.
+    pub receivers: Vec<String>,
+    /// Optional value table.
+    pub values: ValueTable,
+    /// Optional comment (`CM_ SG_`).
+    pub comment: Option<String>,
+}
+
+impl Signal {
+    /// Convert a raw value to its physical interpretation.
+    pub fn to_physical(&self, raw: i64) -> f64 {
+        raw as f64 * self.factor + self.offset
+    }
+
+    /// Convert a physical value to the nearest raw value.
+    pub fn to_raw(&self, physical: f64) -> i64 {
+        ((physical - self.offset) / self.factor).round() as i64
+    }
+}
+
+/// One message (`BO_`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Message {
+    /// CAN identifier.
+    pub id: u32,
+    /// Message name.
+    pub name: String,
+    /// Data length code (payload size in bytes, 0–8 for classic CAN).
+    pub dlc: usize,
+    /// Sending node name.
+    pub sender: String,
+    /// The message's signals.
+    pub signals: Vec<Signal>,
+    /// Optional comment (`CM_ BO_`).
+    pub comment: Option<String>,
+}
+
+impl Message {
+    /// Find a signal by name.
+    pub fn signal(&self, name: &str) -> Option<&Signal> {
+        self.signals.iter().find(|s| s.name == name)
+    }
+}
+
+/// A parsed CAN database.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Database {
+    /// The `VERSION` string, if present.
+    pub version: String,
+    /// Network node names (`BU_`).
+    pub nodes: Vec<String>,
+    /// Messages (`BO_`), in file order.
+    pub messages: Vec<Message>,
+}
+
+impl Database {
+    /// Find a message by symbolic name.
+    pub fn message_by_name(&self, name: &str) -> Option<&Message> {
+        self.messages.iter().find(|m| m.name == name)
+    }
+
+    /// Find a message by CAN identifier.
+    pub fn message_by_id(&self, id: u32) -> Option<&Message> {
+        self.messages.iter().find(|m| m.id == id)
+    }
+
+    /// Messages sent by a given node.
+    pub fn messages_from<'a>(&'a self, node: &'a str) -> impl Iterator<Item = &'a Message> {
+        self.messages.iter().filter(move |m| m.sender == node)
+    }
+
+    /// Messages received by a given node (any of its signals lists the node
+    /// as receiver).
+    pub fn messages_to<'a>(&'a self, node: &'a str) -> impl Iterator<Item = &'a Message> {
+        self.messages.iter().filter(move |m| {
+            m.signals
+                .iter()
+                .any(|s| s.receivers.iter().any(|r| r == node))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sig(name: &str) -> Signal {
+        Signal {
+            name: name.into(),
+            start_bit: 0,
+            length: 8,
+            byte_order: ByteOrder::LittleEndian,
+            signed: false,
+            factor: 0.5,
+            offset: -10.0,
+            min: 0.0,
+            max: 100.0,
+            unit: "km/h".into(),
+            receivers: vec!["ECU".into()],
+            values: ValueTable::default(),
+            comment: None,
+        }
+    }
+
+    #[test]
+    fn physical_conversion_roundtrips() {
+        let s = sig("speed");
+        assert_eq!(s.to_physical(40), 10.0);
+        assert_eq!(s.to_raw(10.0), 40);
+    }
+
+    #[test]
+    fn value_table_lookup() {
+        let vt = ValueTable {
+            entries: vec![(0, "DIAG".into()), (1, "UPDATE".into())],
+        };
+        assert_eq!(vt.label(1), Some("UPDATE"));
+        assert_eq!(vt.raw("DIAG"), Some(0));
+        assert_eq!(vt.label(9), None);
+    }
+
+    #[test]
+    fn database_queries() {
+        let db = Database {
+            version: String::new(),
+            nodes: vec!["VMG".into(), "ECU".into()],
+            messages: vec![Message {
+                id: 100,
+                name: "reqSw".into(),
+                dlc: 8,
+                sender: "VMG".into(),
+                signals: vec![sig("reqType")],
+                comment: None,
+            }],
+        };
+        assert!(db.message_by_name("reqSw").is_some());
+        assert!(db.message_by_id(100).is_some());
+        assert_eq!(db.messages_from("VMG").count(), 1);
+        assert_eq!(db.messages_to("ECU").count(), 1);
+        assert_eq!(db.messages_to("VMG").count(), 0);
+    }
+}

@@ -1,0 +1,375 @@
+//! Line-oriented parser for the `.dbc` subset used by the toolchain.
+
+use std::fmt;
+
+use crate::model::{ByteOrder, Database, Message, Signal, ValueTable};
+
+/// Errors raised while parsing a `.dbc` file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DbcError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for DbcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dbc parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for DbcError {}
+
+/// Parse `.dbc` source text.
+///
+/// Recognised records: `VERSION`, `BU_`, `BO_`, `SG_`, `CM_ BO_`,
+/// `CM_ SG_`, `VAL_`. Unknown records are skipped, matching the tolerant
+/// behaviour of industrial DBC tooling.
+///
+/// # Errors
+///
+/// [`DbcError`] with the offending line on malformed recognised records.
+pub fn parse(source: &str) -> Result<Database, DbcError> {
+    let mut db = Database::default();
+    let mut current_msg: Option<usize> = None;
+
+    for (idx, raw_line) in source.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw_line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |message: String| DbcError {
+            line: lineno,
+            message,
+        };
+
+        if let Some(rest) = line.strip_prefix("VERSION") {
+            db.version = rest.trim().trim_matches('"').to_owned();
+        } else if let Some(rest) = line.strip_prefix("BU_:") {
+            db.nodes = rest.split_whitespace().map(str::to_owned).collect();
+        } else if let Some(rest) = line.strip_prefix("BO_ ") {
+            // BO_ 100 reqSw: 8 VMG
+            let mut parts = rest.split_whitespace();
+            let id: u32 = parts
+                .next()
+                .ok_or_else(|| err("missing message id".into()))?
+                .parse()
+                .map_err(|_| err("bad message id".into()))?;
+            let name = parts
+                .next()
+                .ok_or_else(|| err("missing message name".into()))?
+                .trim_end_matches(':')
+                .to_owned();
+            let dlc: usize = parts
+                .next()
+                .ok_or_else(|| err("missing dlc".into()))?
+                .parse()
+                .map_err(|_| err("bad dlc".into()))?;
+            let sender = parts.next().unwrap_or("Vector__XXX").to_owned();
+            db.messages.push(Message {
+                id,
+                name,
+                dlc,
+                sender,
+                signals: Vec::new(),
+                comment: None,
+            });
+            current_msg = Some(db.messages.len() - 1);
+        } else if let Some(rest) = line.strip_prefix("SG_ ") {
+            let Some(msg_idx) = current_msg else {
+                return Err(err("signal outside a message".into()));
+            };
+            let signal = parse_signal(rest).map_err(&err)?;
+            db.messages[msg_idx].signals.push(signal);
+        } else if let Some(rest) = line.strip_prefix("CM_ BO_ ") {
+            // CM_ BO_ 100 "comment";
+            let mut parts = rest.splitn(2, ' ');
+            let id: u32 = parts
+                .next()
+                .unwrap_or_default()
+                .parse()
+                .map_err(|_| err("bad comment id".into()))?;
+            let comment = parts
+                .next()
+                .unwrap_or_default()
+                .trim()
+                .trim_end_matches(';')
+                .trim_matches('"')
+                .to_owned();
+            if let Some(m) = db.messages.iter_mut().find(|m| m.id == id) {
+                m.comment = Some(comment);
+            }
+        } else if let Some(rest) = line.strip_prefix("CM_ SG_ ") {
+            // CM_ SG_ 100 reqType "comment";
+            let mut parts = rest.splitn(3, ' ');
+            let id: u32 = parts
+                .next()
+                .unwrap_or_default()
+                .parse()
+                .map_err(|_| err("bad comment id".into()))?;
+            let signame = parts.next().unwrap_or_default().to_owned();
+            let comment = parts
+                .next()
+                .unwrap_or_default()
+                .trim()
+                .trim_end_matches(';')
+                .trim_matches('"')
+                .to_owned();
+            if let Some(m) = db.messages.iter_mut().find(|m| m.id == id) {
+                if let Some(s) = m.signals.iter_mut().find(|s| s.name == signame) {
+                    s.comment = Some(comment);
+                }
+            }
+        } else if let Some(rest) = line.strip_prefix("VAL_ ") {
+            // VAL_ 100 reqType 0 "DIAG" 1 "UPDATE" ;
+            parse_val(rest, &mut db).map_err(err)?;
+        }
+        // Unknown record types (NS_, BS_, attributes, …) are skipped.
+    }
+    Ok(db)
+}
+
+fn parse_signal(rest: &str) -> Result<Signal, String> {
+    // reqType : 8|4@1+ (1,0) [0|15] "" ECU,GW
+    let (name, rest) = rest
+        .split_once(':')
+        .ok_or_else(|| "missing `:` in signal".to_owned())?;
+    let name = name.trim().to_owned();
+    let mut parts = rest.split_whitespace();
+
+    let layout = parts.next().ok_or("missing signal layout")?;
+    // 8|4@1+
+    let (startlen, order_sign) = layout
+        .split_once('@')
+        .ok_or_else(|| "missing `@` in signal layout".to_owned())?;
+    let (start, len) = startlen
+        .split_once('|')
+        .ok_or_else(|| "missing `|` in signal layout".to_owned())?;
+    let start_bit: u16 = start.parse().map_err(|_| "bad start bit".to_owned())?;
+    let length: u16 = len.parse().map_err(|_| "bad signal length".to_owned())?;
+    if length == 0 || length > 64 {
+        return Err(format!("signal length {length} out of range 1..=64"));
+    }
+    let mut order_chars = order_sign.chars();
+    let byte_order = match order_chars.next() {
+        Some('1') => ByteOrder::LittleEndian,
+        Some('0') => ByteOrder::BigEndian,
+        other => return Err(format!("bad byte order {other:?}")),
+    };
+    let signed = match order_chars.next() {
+        Some('+') => false,
+        Some('-') => true,
+        other => return Err(format!("bad sign marker {other:?}")),
+    };
+
+    let factor_offset = parts.next().ok_or("missing (factor,offset)")?;
+    let fo = factor_offset
+        .trim_start_matches('(')
+        .trim_end_matches(')');
+    let (f, o) = fo
+        .split_once(',')
+        .ok_or_else(|| "bad (factor,offset)".to_owned())?;
+    let factor: f64 = f.parse().map_err(|_| "bad factor".to_owned())?;
+    let offset: f64 = o.parse().map_err(|_| "bad offset".to_owned())?;
+
+    let min_max = parts.next().ok_or("missing [min|max]")?;
+    let mm = min_max.trim_start_matches('[').trim_end_matches(']');
+    let (mn, mx) = mm
+        .split_once('|')
+        .ok_or_else(|| "bad [min|max]".to_owned())?;
+    let min: f64 = mn.parse().map_err(|_| "bad min".to_owned())?;
+    let max: f64 = mx.parse().map_err(|_| "bad max".to_owned())?;
+
+    let unit = parts
+        .next()
+        .unwrap_or("\"\"")
+        .trim_matches('"')
+        .to_owned();
+    let receivers: Vec<String> = parts
+        .next()
+        .unwrap_or_default()
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .map(str::to_owned)
+        .collect();
+
+    Ok(Signal {
+        name,
+        start_bit,
+        length,
+        byte_order,
+        signed,
+        factor,
+        offset,
+        min,
+        max,
+        unit,
+        receivers,
+        values: ValueTable::default(),
+        comment: None,
+    })
+}
+
+fn parse_val(rest: &str, db: &mut Database) -> Result<(), String> {
+    let mut tokens = rest.split_whitespace().peekable();
+    let id: u32 = tokens
+        .next()
+        .ok_or("missing VAL_ message id")?
+        .parse()
+        .map_err(|_| "bad VAL_ message id".to_owned())?;
+    let signame = tokens.next().ok_or("missing VAL_ signal name")?.to_owned();
+
+    // The remainder alternates raw values and quoted labels; labels may
+    // contain spaces, so re-scan the raw text after the signal name.
+    let after = rest
+        .splitn(3, ' ')
+        .nth(2)
+        .ok_or("missing VAL_ entries")?
+        .trim()
+        .trim_end_matches(';')
+        .trim();
+    let mut entries = Vec::new();
+    let mut remaining = after;
+    while !remaining.is_empty() {
+        let (num, rest2) = remaining
+            .split_once(' ')
+            .ok_or_else(|| "dangling VAL_ value".to_owned())?;
+        let raw: i64 = num.trim().parse().map_err(|_| "bad VAL_ value".to_owned())?;
+        let rest2 = rest2.trim_start();
+        if !rest2.starts_with('"') {
+            return Err("VAL_ label must be quoted".into());
+        }
+        let close = rest2[1..]
+            .find('"')
+            .ok_or_else(|| "unterminated VAL_ label".to_owned())?;
+        let label = rest2[1..1 + close].to_owned();
+        entries.push((raw, label));
+        remaining = rest2[close + 2..].trim();
+    }
+
+    if let Some(m) = db.messages.iter_mut().find(|m| m.id == id) {
+        if let Some(s) = m.signals.iter_mut().find(|s| s.name == signame) {
+            s.values = ValueTable { entries };
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EXAMPLE: &str = r#"
+VERSION "1.0"
+
+NS_ :
+    NS_DESC_
+
+BS_:
+
+BU_: VMG ECU GW
+
+BO_ 100 reqSw: 8 VMG
+ SG_ reqType : 0|4@1+ (1,0) [0|15] "" ECU
+ SG_ seq : 4|8@1+ (1,0) [0|255] "" ECU,GW
+
+BO_ 101 rptSw: 8 ECU
+ SG_ status : 0|8@1+ (1,0) [0|255] "" VMG
+ SG_ temp : 8|8@1- (0.5,-40) [-40|87.5] "degC" VMG
+
+CM_ BO_ 100 "Request software status";
+CM_ SG_ 100 reqType "Type of diagnostic request";
+VAL_ 100 reqType 0 "DIAG" 1 "UPDATE" ;
+"#;
+
+    #[test]
+    fn parses_example_database() {
+        let db = parse(EXAMPLE).unwrap();
+        assert_eq!(db.version, "1.0");
+        assert_eq!(db.nodes, vec!["VMG", "ECU", "GW"]);
+        assert_eq!(db.messages.len(), 2);
+        let req = db.message_by_name("reqSw").unwrap();
+        assert_eq!(req.id, 100);
+        assert_eq!(req.dlc, 8);
+        assert_eq!(req.sender, "VMG");
+        assert_eq!(req.signals.len(), 2);
+    }
+
+    #[test]
+    fn signal_attributes() {
+        let db = parse(EXAMPLE).unwrap();
+        let temp = db.message_by_name("rptSw").unwrap().signal("temp").unwrap();
+        assert!(temp.signed);
+        assert_eq!(temp.factor, 0.5);
+        assert_eq!(temp.offset, -40.0);
+        assert_eq!(temp.unit, "degC");
+        assert_eq!(temp.to_physical(96), 8.0);
+    }
+
+    #[test]
+    fn receivers_are_split() {
+        let db = parse(EXAMPLE).unwrap();
+        let seq = db.message_by_name("reqSw").unwrap().signal("seq").unwrap();
+        assert_eq!(seq.receivers, vec!["ECU", "GW"]);
+    }
+
+    #[test]
+    fn comments_attach() {
+        let db = parse(EXAMPLE).unwrap();
+        assert_eq!(
+            db.message_by_name("reqSw").unwrap().comment.as_deref(),
+            Some("Request software status")
+        );
+        assert_eq!(
+            db.message_by_name("reqSw")
+                .unwrap()
+                .signal("reqType")
+                .unwrap()
+                .comment
+                .as_deref(),
+            Some("Type of diagnostic request")
+        );
+    }
+
+    #[test]
+    fn value_tables_attach() {
+        let db = parse(EXAMPLE).unwrap();
+        let vt = &db
+            .message_by_name("reqSw")
+            .unwrap()
+            .signal("reqType")
+            .unwrap()
+            .values;
+        assert_eq!(vt.label(0), Some("DIAG"));
+        assert_eq!(vt.raw("UPDATE"), Some(1));
+    }
+
+    #[test]
+    fn signal_outside_message_errors() {
+        let err = parse(" SG_ x : 0|8@1+ (1,0) [0|255] \"\" A").unwrap_err();
+        assert!(err.message.contains("outside"));
+    }
+
+    #[test]
+    fn unknown_records_are_skipped() {
+        let db = parse("BA_DEF_ \"GenMsgCycleTime\" INT 0 10000;\nBU_: A").unwrap();
+        assert_eq!(db.nodes, vec!["A"]);
+    }
+
+    #[test]
+    fn bad_layout_errors() {
+        let err = parse("BO_ 1 m: 8 A\n SG_ x : nonsense (1,0) [0|1] \"\" B").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn val_labels_with_spaces() {
+        let src = "BO_ 1 m: 8 A\n SG_ x : 0|8@1+ (1,0) [0|255] \"\" B\nVAL_ 1 x 0 \"two words\" 1 \"three word label\" ;";
+        let db = parse(src).unwrap();
+        let vt = &db.message_by_id(1).unwrap().signal("x").unwrap().values;
+        assert_eq!(vt.label(0), Some("two words"));
+        assert_eq!(vt.label(1), Some("three word label"));
+    }
+}

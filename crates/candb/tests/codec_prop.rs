@@ -1,0 +1,117 @@
+//! Property-based tests for the signal codec: encode/decode round-trips for
+//! arbitrary layouts, and non-interference between disjoint signals.
+
+use candb::{ByteOrder, Signal, ValueTable};
+use proptest::prelude::*;
+
+fn signal(start: u16, len: u16, order: ByteOrder, signed: bool) -> Signal {
+    Signal {
+        name: "s".into(),
+        start_bit: start,
+        length: len,
+        byte_order: order,
+        signed,
+        factor: 1.0,
+        offset: 0.0,
+        min: 0.0,
+        max: 0.0,
+        unit: String::new(),
+        receivers: vec![],
+        values: ValueTable::default(),
+        comment: None,
+    }
+}
+
+/// A little-endian layout that fits in 8 bytes.
+fn arb_le_layout() -> impl Strategy<Value = (u16, u16)> {
+    (1u16..=64).prop_flat_map(|len| (0u16..=(64 - len), Just(len)))
+}
+
+/// A big-endian (Motorola) layout that fits: start bit is the MSB position;
+/// the signal occupies `len` bits walking the sawtooth downwards. Keeping
+/// `start` in the first byte with enough room below suffices for validity.
+fn arb_be_layout() -> impl Strategy<Value = (u16, u16)> {
+    (1u16..=32).prop_flat_map(|len| {
+        // Choose a start bit whose sawtooth run stays inside 8 bytes.
+        // Position index = byte*8 + (7-bit); run must end <= 63.
+        (0u16..=7u16, Just(len)).prop_map(|(bit, len)| {
+            let byte = 0u16;
+            let start = byte * 8 + bit;
+            (start, len)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn little_endian_roundtrip((start, len) in arb_le_layout(), raw in any::<u64>()) {
+        let s = signal(start, len, ByteOrder::LittleEndian, false);
+        let mask = if len == 64 { u64::MAX } else { (1u64 << len) - 1 };
+        let value = (raw & mask) as i64;
+        let mut payload = [0u8; 8];
+        s.encode(&mut payload, value);
+        prop_assert_eq!(s.decode(&payload), value);
+    }
+
+    #[test]
+    fn big_endian_roundtrip((start, len) in arb_be_layout(), raw in any::<u32>()) {
+        let s = signal(start, len, ByteOrder::BigEndian, false);
+        let mask = if len >= 32 { u32::MAX } else { (1u32 << len) - 1 };
+        let value = i64::from(raw & mask);
+        let mut payload = [0u8; 8];
+        s.encode(&mut payload, value);
+        prop_assert_eq!(s.decode(&payload), value);
+    }
+
+    #[test]
+    fn signed_roundtrip((start, len) in arb_le_layout(), raw in any::<i64>()) {
+        prop_assume!((2..=63).contains(&len));
+        let s = signal(start, len, ByteOrder::LittleEndian, true);
+        // Map into the signed range of the signal via i128 to avoid overflow.
+        let half = 1i128 << (len - 1);
+        let span = half * 2;
+        let value = ((i128::from(raw) % span + span) % span - half) as i64;
+        let mut payload = [0u8; 8];
+        s.encode(&mut payload, value);
+        prop_assert_eq!(s.decode(&payload), value);
+    }
+
+    #[test]
+    fn disjoint_le_signals_do_not_interfere(
+        boundary in 1u16..63,
+        len_a in 1u16..=32,
+        len_b in 1u16..=32,
+        raw_a in any::<u64>(),
+        raw_b in any::<u64>(),
+    ) {
+        // Construct genuinely disjoint layouts on either side of `boundary`.
+        let len_a = len_a.min(boundary);
+        let len_b = len_b.min(64 - boundary);
+        let start_a = boundary - len_a;
+        let start_b = boundary;
+
+        let a = signal(start_a, len_a, ByteOrder::LittleEndian, false);
+        let b = signal(start_b, len_b, ByteOrder::LittleEndian, false);
+        let mask_a = if len_a == 64 { u64::MAX } else { (1u64 << len_a) - 1 };
+        let mask_b = if len_b == 64 { u64::MAX } else { (1u64 << len_b) - 1 };
+        let va = (raw_a & mask_a) as i64;
+        let vb = (raw_b & mask_b) as i64;
+
+        let mut payload = [0u8; 8];
+        a.encode(&mut payload, va);
+        b.encode(&mut payload, vb);
+        prop_assert_eq!(a.decode(&payload), va);
+        prop_assert_eq!(b.decode(&payload), vb);
+    }
+
+    #[test]
+    fn physical_conversion_roundtrips(factor in 1u32..1000, offset in -1000i32..1000, raw in -10_000i64..10_000) {
+        let mut s = signal(0, 32, ByteOrder::LittleEndian, true);
+        s.factor = f64::from(factor) * 0.001;
+        s.offset = f64::from(offset) * 0.1;
+        let physical = s.to_physical(raw);
+        prop_assert_eq!(s.to_raw(physical), raw);
+    }
+}

@@ -1,0 +1,56 @@
+//! CAN data frames.
+
+use serde::{Deserialize, Serialize};
+
+/// A classic CAN data frame: 11-bit identifier, up to 8 payload bytes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Frame {
+    /// CAN identifier (lower values win arbitration).
+    pub id: u32,
+    /// Data length code (0–8).
+    pub dlc: usize,
+    /// Payload bytes; only the first `dlc` are meaningful.
+    pub payload: [u8; 8],
+}
+
+impl Frame {
+    /// A frame with the given id and payload size, zero-filled.
+    pub fn new(id: u32, dlc: usize) -> Frame {
+        Frame {
+            id,
+            dlc: dlc.min(8),
+            payload: [0; 8],
+        }
+    }
+
+    /// Nominal transmission time in microseconds on a 500 kbit/s bus.
+    ///
+    /// A classic CAN data frame carries roughly `44 + 8·dlc` bits plus stuff
+    /// bits; we use the worst-case stuffing approximation FDR-style models
+    /// don't care about but the simulator's arbitration does.
+    pub fn duration_us(&self) -> u64 {
+        let bits = 44 + 8 * self.dlc as u64;
+        let stuffed = bits + bits / 5;
+        // 500 kbit/s → 2 µs per bit.
+        stuffed * 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dlc_is_clamped() {
+        assert_eq!(Frame::new(1, 12).dlc, 8);
+    }
+
+    #[test]
+    fn duration_scales_with_dlc() {
+        let short = Frame::new(1, 0).duration_us();
+        let long = Frame::new(1, 8).duration_us();
+        assert!(long > short);
+        // 8-byte frame ≈ 130 bits ≈ 260 µs at 500 kbit/s.
+        assert!((200..400).contains(&long), "{long}");
+    }
+}

@@ -1,0 +1,1094 @@
+//! The CAPL interpreter: executes one node's event procedures.
+//!
+//! The interpreter is effect-based: running a handler produces a list of
+//! [`Effect`]s (frames to transmit, timers to arm, log lines) which the
+//! scheduler in [`crate::Simulation`] then applies. This keeps the language
+//! semantics independent of bus timing.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use candb::Database;
+use capl::ast::{
+    BinOp, Block, EventHandler, EventKind, Expr, MsgRef, Program, Stmt, Type, UnOp, VarDecl,
+};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// A CAPL runtime value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CaplValue {
+    /// Integral value (covers int/long/byte/word/dword/char).
+    Int(i64),
+    /// Floating value.
+    Float(f64),
+    /// String value (for `write`).
+    Str(String),
+    /// A message object variable.
+    Msg(MsgObject),
+    /// A fixed-size integral array.
+    Array(Vec<i64>),
+}
+
+impl CaplValue {
+    fn truthy(&self) -> bool {
+        match self {
+            CaplValue::Int(n) => *n != 0,
+            CaplValue::Float(f) => *f != 0.0,
+            CaplValue::Str(s) => !s.is_empty(),
+            CaplValue::Msg(_) | CaplValue::Array(_) => true,
+        }
+    }
+
+    fn as_int(&self) -> Result<i64, RuntimeError> {
+        match self {
+            CaplValue::Int(n) => Ok(*n),
+            CaplValue::Float(f) => Ok(*f as i64),
+            other => Err(RuntimeError::new(format!(
+                "expected an integer, found {other:?}"
+            ))),
+        }
+    }
+}
+
+/// A message-object value: id, optional database name, payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MsgObject {
+    /// CAN identifier.
+    pub id: u32,
+    /// Symbolic name, when resolved through the database.
+    pub name: Option<String>,
+    /// Payload length.
+    pub dlc: usize,
+    /// Payload bytes.
+    pub payload: [u8; 8],
+}
+
+/// An error raised while executing CAPL code.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuntimeError {
+    /// Description of the failure.
+    pub message: String,
+}
+
+impl RuntimeError {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
+        RuntimeError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CAPL runtime error: {}", self.message)
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+/// Side effects produced by handler execution, applied by the scheduler.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Effect {
+    /// Transmit a frame built from this message object.
+    Output(MsgObject),
+    /// Arm a timer to fire after `delay_us`.
+    SetTimer {
+        /// Timer variable name.
+        name: String,
+        /// Delay in microseconds.
+        delay_us: u64,
+    },
+    /// Disarm a timer.
+    CancelTimer(String),
+    /// A `write(…)` log line.
+    Log(String),
+}
+
+/// Per-node interpreter state.
+#[derive(Debug)]
+pub(crate) struct NodeState {
+    pub name: String,
+    pub program: Program,
+    globals: HashMap<String, CaplValue>,
+    timer_kinds: HashMap<String, Type>,
+}
+
+/// Bounded step budget per handler activation, to catch runaway loops.
+const MAX_STEPS: usize = 200_000;
+
+impl NodeState {
+    /// Initialise a node: resolve `message` variables against the database
+    /// and zero-initialise scalars and arrays.
+    pub fn new(
+        name: &str,
+        program: Program,
+        db: Option<&Database>,
+    ) -> Result<NodeState, RuntimeError> {
+        let mut globals = HashMap::new();
+        let mut timer_kinds = HashMap::new();
+        for v in &program.variables {
+            match &v.ty {
+                Type::MsTimer | Type::Timer => {
+                    timer_kinds.insert(v.name.clone(), v.ty.clone());
+                }
+                _ => {
+                    let value = init_value(v, db)?;
+                    globals.insert(v.name.clone(), value);
+                }
+            }
+        }
+        Ok(NodeState {
+            name: name.to_owned(),
+            program,
+            globals,
+            timer_kinds,
+        })
+    }
+
+    /// Read a global (for tests and assertions).
+    pub fn global(&self, name: &str) -> Option<&CaplValue> {
+        self.globals.get(name)
+    }
+
+    /// Run the handler for `event`, if any, returning its effects.
+    /// `sysvars` is the simulation-wide environment/system variable store
+    /// shared by `getValue`/`putValue`.
+    pub fn fire(
+        &mut self,
+        event: &EventKind,
+        this: Option<MsgObject>,
+        db: Option<&Database>,
+        rng: &mut SmallRng,
+        now_us: u64,
+        sysvars: &mut HashMap<String, i64>,
+    ) -> Result<Vec<Effect>, RuntimeError> {
+        let Some(handler) = find_handler(&self.program, event) else {
+            return Ok(Vec::new());
+        };
+        let body = handler.body.clone();
+        let mut ctx = Exec {
+            node: self,
+            db,
+            rng,
+            now_us,
+            this,
+            effects: Vec::new(),
+            locals: Vec::new(),
+            sysvars,
+            steps: 0,
+        };
+        ctx.block(&body)?;
+        Ok(ctx.effects)
+    }
+}
+
+/// CAPL `on message` matching: an exact-name or exact-id handler wins over
+/// `on message *`.
+fn find_handler<'a>(program: &'a Program, event: &EventKind) -> Option<&'a EventHandler> {
+    if let Some(h) = program.handler(event) {
+        return Some(h);
+    }
+    if let EventKind::Message(_) = event {
+        return program.handler(&EventKind::Message(MsgRef::Any));
+    }
+    None
+}
+
+fn init_value(v: &VarDecl, db: Option<&Database>) -> Result<CaplValue, RuntimeError> {
+    if let Some(n) = v.array {
+        return Ok(CaplValue::Array(vec![0; n]));
+    }
+    Ok(match &v.ty {
+        Type::Message(r) => CaplValue::Msg(resolve_msg(r, db)?),
+        Type::Float => CaplValue::Float(0.0),
+        _ => match &v.init {
+            Some(Expr::Int(n)) => CaplValue::Int(*n),
+            Some(Expr::Float(f)) => CaplValue::Float(*f),
+            Some(Expr::Char(c)) => CaplValue::Int(*c as i64),
+            _ => CaplValue::Int(0),
+        },
+    })
+}
+
+fn resolve_msg(r: &MsgRef, db: Option<&Database>) -> Result<MsgObject, RuntimeError> {
+    match r {
+        MsgRef::Name(name) => {
+            let Some(db) = db else {
+                return Err(RuntimeError::new(format!(
+                    "message `{name}` needs a network database"
+                )));
+            };
+            let Some(m) = db.message_by_name(name) else {
+                return Err(RuntimeError::new(format!(
+                    "message `{name}` is not in the database"
+                )));
+            };
+            Ok(MsgObject {
+                id: m.id,
+                name: Some(m.name.clone()),
+                dlc: m.dlc,
+                payload: [0; 8],
+            })
+        }
+        MsgRef::Id(id) => {
+            let name = db
+                .and_then(|d| d.message_by_id(*id))
+                .map(|m| m.name.clone());
+            let dlc = db
+                .and_then(|d| d.message_by_id(*id))
+                .map_or(8, |m| m.dlc);
+            Ok(MsgObject {
+                id: *id,
+                name,
+                dlc,
+                payload: [0; 8],
+            })
+        }
+        MsgRef::Any => Err(RuntimeError::new(
+            "`message *` is only valid in an `on message` handler",
+        )),
+    }
+}
+
+enum Flow {
+    Normal,
+    Break,
+    Continue,
+    Return(Option<CaplValue>),
+}
+
+struct Exec<'a> {
+    node: &'a mut NodeState,
+    db: Option<&'a Database>,
+    rng: &'a mut SmallRng,
+    now_us: u64,
+    this: Option<MsgObject>,
+    effects: Vec<Effect>,
+    locals: Vec<(String, CaplValue)>,
+    sysvars: &'a mut HashMap<String, i64>,
+    steps: usize,
+}
+
+impl Exec<'_> {
+    fn tick(&mut self) -> Result<(), RuntimeError> {
+        self.steps += 1;
+        if self.steps > MAX_STEPS {
+            return Err(RuntimeError::new(
+                "handler exceeded its execution budget (possible infinite loop)",
+            ));
+        }
+        Ok(())
+    }
+
+    fn block(&mut self, b: &Block) -> Result<Flow, RuntimeError> {
+        let depth = self.locals.len();
+        for s in &b.stmts {
+            match self.stmt(s)? {
+                Flow::Normal => {}
+                other => {
+                    self.locals.truncate(depth);
+                    return Ok(other);
+                }
+            }
+        }
+        self.locals.truncate(depth);
+        Ok(Flow::Normal)
+    }
+
+    fn stmt(&mut self, s: &Stmt) -> Result<Flow, RuntimeError> {
+        self.tick()?;
+        match s {
+            Stmt::VarDecl(v) => {
+                let value = if let Some(init) = &v.init {
+                    if v.array.is_some() {
+                        init_value(v, self.db)?
+                    } else {
+                        self.expr(init)?
+                    }
+                } else {
+                    init_value(v, self.db)?
+                };
+                self.locals.push((v.name.clone(), value));
+                Ok(Flow::Normal)
+            }
+            Stmt::Expr(e) => {
+                self.expr(e)?;
+                Ok(Flow::Normal)
+            }
+            Stmt::If { cond, then, els } => {
+                if self.expr(cond)?.truthy() {
+                    self.block(then)
+                } else if let Some(els) = els {
+                    self.block(els)
+                } else {
+                    Ok(Flow::Normal)
+                }
+            }
+            Stmt::While { cond, body } => {
+                while self.expr(cond)?.truthy() {
+                    self.tick()?;
+                    match self.block(body)? {
+                        Flow::Break => break,
+                        Flow::Continue | Flow::Normal => {}
+                        ret @ Flow::Return(_) => return Ok(ret),
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                let depth = self.locals.len();
+                if let Some(init) = init {
+                    self.stmt(init)?;
+                }
+                loop {
+                    if let Some(cond) = cond {
+                        if !self.expr(cond)?.truthy() {
+                            break;
+                        }
+                    }
+                    self.tick()?;
+                    match self.block(body)? {
+                        Flow::Break => break,
+                        Flow::Continue | Flow::Normal => {}
+                        ret @ Flow::Return(_) => {
+                            self.locals.truncate(depth);
+                            return Ok(ret);
+                        }
+                    }
+                    if let Some(step) = step {
+                        self.expr(step)?;
+                    }
+                }
+                self.locals.truncate(depth);
+                Ok(Flow::Normal)
+            }
+            Stmt::Switch {
+                scrutinee,
+                cases,
+                default,
+            } => {
+                let v = self.expr(scrutinee)?.as_int()?;
+                for (k, body) in cases {
+                    if self.expr(k)?.as_int()? == v {
+                        return match self.block(body)? {
+                            Flow::Break => Ok(Flow::Normal),
+                            other => Ok(other),
+                        };
+                    }
+                }
+                if let Some(d) = default {
+                    return match self.block(d)? {
+                        Flow::Break => Ok(Flow::Normal),
+                        other => Ok(other),
+                    };
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::Return(e) => {
+                let v = match e {
+                    Some(e) => Some(self.expr(e)?),
+                    None => None,
+                };
+                Ok(Flow::Return(v))
+            }
+            Stmt::Break => Ok(Flow::Break),
+            Stmt::Continue => Ok(Flow::Continue),
+            Stmt::Block(b) => self.block(b),
+        }
+    }
+
+    fn lookup(&self, name: &str) -> Option<&CaplValue> {
+        self.locals
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v)
+            .or_else(|| self.node.globals.get(name))
+    }
+
+    fn expr(&mut self, e: &Expr) -> Result<CaplValue, RuntimeError> {
+        self.tick()?;
+        match e {
+            Expr::Int(n) => Ok(CaplValue::Int(*n)),
+            Expr::Float(f) => Ok(CaplValue::Float(*f)),
+            Expr::Char(c) => Ok(CaplValue::Int(*c as i64)),
+            Expr::Str(s) => Ok(CaplValue::Str(s.clone())),
+            Expr::This => self
+                .this
+                .clone()
+                .map(CaplValue::Msg)
+                .ok_or_else(|| RuntimeError::new("`this` outside an `on message` handler")),
+            Expr::Ident(name) => self
+                .lookup(name)
+                .cloned()
+                .ok_or_else(|| RuntimeError::new(format!("`{name}` is not declared"))),
+            Expr::Member { object, member } => {
+                let obj = self.expr(object)?;
+                let CaplValue::Msg(msg) = obj else {
+                    return Err(RuntimeError::new(format!(
+                        "member access `.{member}` on a non-message value"
+                    )));
+                };
+                self.signal_get(&msg, member)
+            }
+            Expr::Index { array, index } => {
+                let idx = self.expr(index)?.as_int()? as usize;
+                match self.expr(array)? {
+                    CaplValue::Array(items) => items.get(idx).copied().map(CaplValue::Int).ok_or_else(
+                        || RuntimeError::new(format!("array index {idx} out of bounds")),
+                    ),
+                    CaplValue::Msg(m) => m
+                        .payload
+                        .get(idx)
+                        .map(|b| CaplValue::Int(i64::from(*b)))
+                        .ok_or_else(|| {
+                            RuntimeError::new(format!("payload index {idx} out of bounds"))
+                        }),
+                    other => Err(RuntimeError::new(format!("cannot index {other:?}"))),
+                }
+            }
+            Expr::Call { name, args } => self.call(name, args),
+            Expr::Unary { op, expr } => {
+                let v = self.expr(expr)?;
+                Ok(match op {
+                    UnOp::Neg => match v {
+                        CaplValue::Float(f) => CaplValue::Float(-f),
+                        other => CaplValue::Int(-other.as_int()?),
+                    },
+                    UnOp::Not => CaplValue::Int(i64::from(!v.truthy())),
+                    UnOp::BitNot => CaplValue::Int(!v.as_int()?),
+                })
+            }
+            Expr::Binary { op, lhs, rhs } => {
+                // Short-circuit logic first.
+                if matches!(op, BinOp::And) {
+                    let l = self.expr(lhs)?;
+                    if !l.truthy() {
+                        return Ok(CaplValue::Int(0));
+                    }
+                    return Ok(CaplValue::Int(i64::from(self.expr(rhs)?.truthy())));
+                }
+                if matches!(op, BinOp::Or) {
+                    let l = self.expr(lhs)?;
+                    if l.truthy() {
+                        return Ok(CaplValue::Int(1));
+                    }
+                    return Ok(CaplValue::Int(i64::from(self.expr(rhs)?.truthy())));
+                }
+                let l = self.expr(lhs)?;
+                let r = self.expr(rhs)?;
+                binary(*op, l, r)
+            }
+            Expr::Assign { target, value } => {
+                let v = self.expr(value)?;
+                self.assign(target, v.clone())?;
+                Ok(v)
+            }
+        }
+    }
+
+    fn assign(&mut self, target: &Expr, value: CaplValue) -> Result<(), RuntimeError> {
+        match target {
+            Expr::Ident(name) => {
+                if let Some(slot) = self
+                    .locals
+                    .iter_mut()
+                    .rev()
+                    .find(|(n, _)| n == name)
+                    .map(|(_, v)| v)
+                {
+                    *slot = value;
+                    return Ok(());
+                }
+                if let Some(slot) = self.node.globals.get_mut(name) {
+                    *slot = value;
+                    return Ok(());
+                }
+                Err(RuntimeError::new(format!("`{name}` is not declared")))
+            }
+            Expr::Member { object, member } => {
+                let raw = value.as_int()?;
+                self.signal_set(object, member, raw)
+            }
+            Expr::Index { array, index } => {
+                let idx = self.expr(index)?.as_int()? as usize;
+                let raw = value.as_int()?;
+                let Expr::Ident(name) = array.as_ref() else {
+                    return Err(RuntimeError::new("can only index-assign a variable"));
+                };
+                let Some(slot) = self
+                    .locals
+                    .iter_mut()
+                    .rev()
+                    .find(|(n, _)| n == name)
+                    .map(|(_, v)| v)
+                    .or_else(|| self.node.globals.get_mut(name))
+                else {
+                    return Err(RuntimeError::new(format!("`{name}` is not declared")));
+                };
+                match slot {
+                    CaplValue::Array(items) => {
+                        let Some(cell) = items.get_mut(idx) else {
+                            return Err(RuntimeError::new(format!(
+                                "array index {idx} out of bounds"
+                            )));
+                        };
+                        *cell = raw;
+                        Ok(())
+                    }
+                    CaplValue::Msg(m) => {
+                        let Some(cell) = m.payload.get_mut(idx) else {
+                            return Err(RuntimeError::new(format!(
+                                "payload index {idx} out of bounds"
+                            )));
+                        };
+                        *cell = raw as u8;
+                        Ok(())
+                    }
+                    other => Err(RuntimeError::new(format!("cannot index {other:?}"))),
+                }
+            }
+            other => Err(RuntimeError::new(format!(
+                "invalid assignment target {other:?}"
+            ))),
+        }
+    }
+
+    fn signal_get(&self, msg: &MsgObject, signal: &str) -> Result<CaplValue, RuntimeError> {
+        let Some(db) = self.db else {
+            return Err(RuntimeError::new("signal access needs a network database"));
+        };
+        let m = db
+            .message_by_id(msg.id)
+            .ok_or_else(|| RuntimeError::new(format!("message 0x{:x} not in database", msg.id)))?;
+        let s = m.signal(signal).ok_or_else(|| {
+            RuntimeError::new(format!("message `{}` has no signal `{signal}`", m.name))
+        })?;
+        Ok(CaplValue::Int(s.decode(&msg.payload)))
+    }
+
+    fn signal_set(
+        &mut self,
+        object: &Expr,
+        signal: &str,
+        raw: i64,
+    ) -> Result<(), RuntimeError> {
+        let Expr::Ident(name) = object else {
+            return Err(RuntimeError::new(
+                "signal assignment must target a message variable",
+            ));
+        };
+        let Some(db) = self.db else {
+            return Err(RuntimeError::new("signal access needs a network database"));
+        };
+        // Find the message variable.
+        let msg_id = match self.lookup(name) {
+            Some(CaplValue::Msg(m)) => m.id,
+            _ => {
+                return Err(RuntimeError::new(format!(
+                    "`{name}` is not a message variable"
+                )))
+            }
+        };
+        let sig = db
+            .message_by_id(msg_id)
+            .and_then(|m| m.signal(signal))
+            .cloned()
+            .ok_or_else(|| RuntimeError::new(format!("no signal `{signal}` on `{name}`")))?;
+        let slot = self
+            .locals
+            .iter_mut()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v)
+            .or_else(|| self.node.globals.get_mut(name))
+            .expect("variable existence checked above");
+        let CaplValue::Msg(m) = slot else {
+            unreachable!("checked to be a message variable");
+        };
+        sig.encode(&mut m.payload, raw);
+        Ok(())
+    }
+
+    /// System-variable keys may be given as string literals or bare names.
+    fn sysvar_key(&mut self, e: &Expr) -> Result<String, RuntimeError> {
+        match e {
+            Expr::Str(s) => Ok(s.clone()),
+            Expr::Ident(n) => Ok(n.clone()),
+            other => match self.expr(other)? {
+                CaplValue::Str(s) => Ok(s),
+                v => Err(RuntimeError::new(format!(
+                    "system variable name must be a string, found {v:?}"
+                ))),
+            },
+        }
+    }
+
+    fn call(&mut self, name: &str, args: &[Expr]) -> Result<CaplValue, RuntimeError> {
+        match name {
+            "output" => {
+                let [arg] = args else {
+                    return Err(RuntimeError::new("output() takes exactly one argument"));
+                };
+                let msg = match arg {
+                    // A bare database message name is allowed even without a
+                    // declared variable.
+                    Expr::Ident(n) if self.lookup(n).is_none() => {
+                        resolve_msg(&MsgRef::Name(n.clone()), self.db)?
+                    }
+                    other => match self.expr(other)? {
+                        CaplValue::Msg(m) => m,
+                        v => {
+                            return Err(RuntimeError::new(format!(
+                                "output() needs a message, found {v:?}"
+                            )))
+                        }
+                    },
+                };
+                self.effects.push(Effect::Output(msg));
+                Ok(CaplValue::Int(0))
+            }
+            "setTimer" => {
+                let [timer, duration] = args else {
+                    return Err(RuntimeError::new("setTimer(timer, duration) takes 2 args"));
+                };
+                let Expr::Ident(tname) = timer else {
+                    return Err(RuntimeError::new("setTimer: first arg must be a timer"));
+                };
+                let Some(kind) = self.node.timer_kinds.get(tname).cloned() else {
+                    return Err(RuntimeError::new(format!(
+                        "`{tname}` is not a declared timer"
+                    )));
+                };
+                let d = self.expr(duration)?.as_int()?;
+                if d < 0 {
+                    return Err(RuntimeError::new("setTimer: negative duration"));
+                }
+                let delay_us = match kind {
+                    Type::MsTimer => d as u64 * 1_000,
+                    _ => d as u64 * 1_000_000,
+                };
+                self.effects.push(Effect::SetTimer {
+                    name: tname.clone(),
+                    delay_us,
+                });
+                Ok(CaplValue::Int(0))
+            }
+            "cancelTimer" => {
+                let [timer] = args else {
+                    return Err(RuntimeError::new("cancelTimer(timer) takes 1 arg"));
+                };
+                let Expr::Ident(tname) = timer else {
+                    return Err(RuntimeError::new("cancelTimer: arg must be a timer"));
+                };
+                self.effects.push(Effect::CancelTimer(tname.clone()));
+                Ok(CaplValue::Int(0))
+            }
+            "write" => {
+                let mut values = Vec::new();
+                let mut fmt = String::new();
+                for (i, a) in args.iter().enumerate() {
+                    if i == 0 {
+                        if let Expr::Str(s) = a {
+                            fmt = s.clone();
+                            continue;
+                        }
+                    }
+                    values.push(self.expr(a)?);
+                }
+                let rendered = if fmt.is_empty() && args.len() == 1 {
+                    // write(expr) — render the single value.
+                    match self.expr(&args[0])? {
+                        CaplValue::Str(s) => s,
+                        CaplValue::Int(n) => n.to_string(),
+                        CaplValue::Float(f) => f.to_string(),
+                        other => format!("{other:?}"),
+                    }
+                } else {
+                    format_write(&fmt, &values)
+                };
+                self.effects.push(Effect::Log(rendered));
+                Ok(CaplValue::Int(0))
+            }
+            "timeNow" => Ok(CaplValue::Int((self.now_us / 10) as i64)),
+            "getValue" => {
+                let [name_arg] = args else {
+                    return Err(RuntimeError::new("getValue(sysvar) takes 1 arg"));
+                };
+                let key = self.sysvar_key(name_arg)?;
+                Ok(CaplValue::Int(
+                    self.sysvars.get(&key).copied().unwrap_or(0),
+                ))
+            }
+            "putValue" => {
+                let [name_arg, value] = args else {
+                    return Err(RuntimeError::new("putValue(sysvar, value) takes 2 args"));
+                };
+                let key = self.sysvar_key(name_arg)?;
+                let v = self.expr(value)?.as_int()?;
+                self.sysvars.insert(key, v);
+                Ok(CaplValue::Int(0))
+            }
+            "random" => {
+                let [bound] = args else {
+                    return Err(RuntimeError::new("random(max) takes 1 arg"));
+                };
+                let b = self.expr(bound)?.as_int()?;
+                if b <= 0 {
+                    return Ok(CaplValue::Int(0));
+                }
+                Ok(CaplValue::Int(self.rng.gen_range(0..b)))
+            }
+            _ => {
+                // User-defined function.
+                let Some(f) = self.node.program.function(name).cloned() else {
+                    return Err(RuntimeError::new(format!("unknown function `{name}`")));
+                };
+                if f.params.len() != args.len() {
+                    return Err(RuntimeError::new(format!(
+                        "`{name}` expects {} argument(s), got {}",
+                        f.params.len(),
+                        args.len()
+                    )));
+                }
+                let mut bound = Vec::with_capacity(args.len());
+                for ((_, pname), a) in f.params.iter().zip(args) {
+                    bound.push((pname.clone(), self.expr(a)?));
+                }
+                let depth = self.locals.len();
+                self.locals.extend(bound);
+                let flow = self.block(&f.body)?;
+                self.locals.truncate(depth);
+                Ok(match flow {
+                    Flow::Return(Some(v)) => v,
+                    _ => CaplValue::Int(0),
+                })
+            }
+        }
+    }
+}
+
+fn binary(op: BinOp, l: CaplValue, r: CaplValue) -> Result<CaplValue, RuntimeError> {
+    // Floats propagate.
+    if matches!(l, CaplValue::Float(_)) || matches!(r, CaplValue::Float(_)) {
+        let a = match l {
+            CaplValue::Float(f) => f,
+            other => other.as_int()? as f64,
+        };
+        let b = match r {
+            CaplValue::Float(f) => f,
+            other => other.as_int()? as f64,
+        };
+        return Ok(match op {
+            BinOp::Add => CaplValue::Float(a + b),
+            BinOp::Sub => CaplValue::Float(a - b),
+            BinOp::Mul => CaplValue::Float(a * b),
+            BinOp::Div => CaplValue::Float(a / b),
+            BinOp::Eq => CaplValue::Int(i64::from(a == b)),
+            BinOp::Ne => CaplValue::Int(i64::from(a != b)),
+            BinOp::Lt => CaplValue::Int(i64::from(a < b)),
+            BinOp::Le => CaplValue::Int(i64::from(a <= b)),
+            BinOp::Gt => CaplValue::Int(i64::from(a > b)),
+            BinOp::Ge => CaplValue::Int(i64::from(a >= b)),
+            other => return Err(RuntimeError::new(format!("{other:?} on floats"))),
+        });
+    }
+    let a = l.as_int()?;
+    let b = r.as_int()?;
+    Ok(CaplValue::Int(match op {
+        BinOp::Add => a.wrapping_add(b),
+        BinOp::Sub => a.wrapping_sub(b),
+        BinOp::Mul => a.wrapping_mul(b),
+        BinOp::Div => {
+            if b == 0 {
+                return Err(RuntimeError::new("division by zero"));
+            }
+            a / b
+        }
+        BinOp::Mod => {
+            if b == 0 {
+                return Err(RuntimeError::new("modulo by zero"));
+            }
+            a % b
+        }
+        BinOp::Eq => i64::from(a == b),
+        BinOp::Ne => i64::from(a != b),
+        BinOp::Lt => i64::from(a < b),
+        BinOp::Le => i64::from(a <= b),
+        BinOp::Gt => i64::from(a > b),
+        BinOp::Ge => i64::from(a >= b),
+        BinOp::And => i64::from(a != 0 && b != 0),
+        BinOp::Or => i64::from(a != 0 || b != 0),
+        BinOp::BitAnd => a & b,
+        BinOp::BitOr => a | b,
+        BinOp::BitXor => a ^ b,
+        BinOp::Shl => a.wrapping_shl(b as u32),
+        BinOp::Shr => a.wrapping_shr(b as u32),
+    }))
+}
+
+/// Minimal `printf`-style formatting for `write`: `%d`, `%x`, `%s`, `%f`.
+fn format_write(fmt: &str, values: &[CaplValue]) -> String {
+    let mut out = String::new();
+    let mut vi = 0usize;
+    let mut chars = fmt.chars().peekable();
+    while let Some(c) = chars.next() {
+        if c != '%' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('d') => {
+                if let Some(v) = values.get(vi) {
+                    out.push_str(&v.as_int().map_or_else(|_| "?".into(), |n| n.to_string()));
+                }
+                vi += 1;
+            }
+            Some('x') => {
+                if let Some(v) = values.get(vi) {
+                    out.push_str(
+                        &v.as_int()
+                            .map_or_else(|_| "?".into(), |n| format!("{n:x}")),
+                    );
+                }
+                vi += 1;
+            }
+            Some('f') => {
+                if let Some(CaplValue::Float(f)) = values.get(vi) {
+                    out.push_str(&f.to_string());
+                } else if let Some(v) = values.get(vi) {
+                    out.push_str(&v.as_int().map_or_else(|_| "?".into(), |n| n.to_string()));
+                }
+                vi += 1;
+            }
+            Some('s') => {
+                if let Some(CaplValue::Str(s)) = values.get(vi) {
+                    out.push_str(s);
+                }
+                vi += 1;
+            }
+            Some('%') => out.push('%'),
+            Some(other) => {
+                out.push('%');
+                out.push(other);
+            }
+            None => out.push('%'),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn db() -> Database {
+        candb::parse(
+            "BU_: VMG ECU\n\
+             BO_ 100 reqSw: 8 VMG\n SG_ reqType : 0|4@1+ (1,0) [0|15] \"\" ECU\n\
+             BO_ 101 rptSw: 8 ECU\n SG_ status : 0|8@1+ (1,0) [0|255] \"\" VMG",
+        )
+        .unwrap()
+    }
+
+    fn node(src: &str) -> NodeState {
+        let program = capl::parse(src).unwrap();
+        NodeState::new("T", program, Some(&db())).unwrap()
+    }
+
+    fn fire(state: &mut NodeState, event: &EventKind) -> Vec<Effect> {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut sysvars = HashMap::new();
+        state
+            .fire(event, None, Some(&db()), &mut rng, 0, &mut sysvars)
+            .unwrap()
+    }
+
+    #[test]
+    fn on_start_outputs_message() {
+        let mut n = node("variables { message reqSw m; } on start { output(m); }");
+        let fx = fire(&mut n, &EventKind::Start);
+        assert_eq!(fx.len(), 1);
+        let Effect::Output(m) = &fx[0] else { panic!() };
+        assert_eq!(m.id, 100);
+        assert_eq!(m.name.as_deref(), Some("reqSw"));
+    }
+
+    #[test]
+    fn signal_assignment_encodes_into_payload() {
+        let mut n = node(
+            "variables { message rptSw r; }
+             on start { r.status = 42; output(r); }",
+        );
+        let fx = fire(&mut n, &EventKind::Start);
+        let Effect::Output(m) = &fx[0] else { panic!() };
+        assert_eq!(m.payload[0], 42);
+    }
+
+    #[test]
+    fn set_timer_effect_with_ms_conversion() {
+        let mut n = node("variables { msTimer t; } on start { setTimer(t, 100); }");
+        let fx = fire(&mut n, &EventKind::Start);
+        assert_eq!(
+            fx,
+            vec![Effect::SetTimer {
+                name: "t".into(),
+                delay_us: 100_000
+            }]
+        );
+    }
+
+    #[test]
+    fn second_timer_kind_uses_seconds() {
+        let mut n = node("variables { timer t; } on start { setTimer(t, 2); }");
+        let fx = fire(&mut n, &EventKind::Start);
+        assert_eq!(
+            fx,
+            vec![Effect::SetTimer {
+                name: "t".into(),
+                delay_us: 2_000_000
+            }]
+        );
+    }
+
+    #[test]
+    fn write_formats_values() {
+        let mut n = node(
+            "variables { int x = 10; }
+             on start { write(\"x=%d hex=%x\", x, x); }",
+        );
+        let fx = fire(&mut n, &EventKind::Start);
+        assert_eq!(fx, vec![Effect::Log("x=10 hex=a".into())]);
+    }
+
+    #[test]
+    fn state_persists_across_activations() {
+        let mut n = node(
+            "variables { int count = 0; }
+             on start { count = count + 1; }",
+        );
+        fire(&mut n, &EventKind::Start);
+        fire(&mut n, &EventKind::Start);
+        assert_eq!(n.global("count"), Some(&CaplValue::Int(2)));
+    }
+
+    #[test]
+    fn user_functions_return_values() {
+        let mut n = node(
+            "variables { int y = 0; }
+             int double(int x) { return x * 2; }
+             on start { y = double(21); }",
+        );
+        fire(&mut n, &EventKind::Start);
+        assert_eq!(n.global("y"), Some(&CaplValue::Int(42)));
+    }
+
+    #[test]
+    fn loops_and_arrays() {
+        let mut n = node(
+            "variables { byte buf[4]; int sum = 0; }
+             on start {
+               int i;
+               for (i = 0; i < 4; i++) { buf[i] = i * i; }
+               for (i = 0; i < 4; i++) { sum += buf[i]; }
+             }",
+        );
+        fire(&mut n, &EventKind::Start);
+        assert_eq!(n.global("sum"), Some(&CaplValue::Int(1 + 4 + 9)));
+    }
+
+    #[test]
+    fn switch_executes_matching_case() {
+        let mut n = node(
+            "variables { int r = 0; }
+             on start {
+               switch (2) {
+                 case 1: r = 10; break;
+                 case 2: r = 20; break;
+                 default: r = 30;
+               }
+             }",
+        );
+        fire(&mut n, &EventKind::Start);
+        assert_eq!(n.global("r"), Some(&CaplValue::Int(20)));
+    }
+
+    #[test]
+    fn infinite_loop_is_caught() {
+        let mut n = node("on start { while (1) { } }");
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut sysvars = HashMap::new();
+        let err = n
+            .fire(&EventKind::Start, None, Some(&db()), &mut rng, 0, &mut sysvars)
+            .unwrap_err();
+        assert!(err.message.contains("budget"));
+    }
+
+    #[test]
+    fn this_reads_triggering_message() {
+        let mut n = node(
+            "variables { int seen = 0; }
+             on message reqSw { seen = this.reqType; }",
+        );
+        let mut this = MsgObject {
+            id: 100,
+            name: Some("reqSw".into()),
+            dlc: 8,
+            payload: [0; 8],
+        };
+        this.payload[0] = 5;
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut sysvars = HashMap::new();
+        n.fire(
+            &EventKind::Message(MsgRef::Name("reqSw".into())),
+            Some(this),
+            Some(&db()),
+            &mut rng,
+            0,
+            &mut sysvars,
+        )
+        .unwrap();
+        assert_eq!(n.global("seen"), Some(&CaplValue::Int(5)));
+    }
+
+    #[test]
+    fn wildcard_handler_catches_unmatched_messages() {
+        let mut n = node(
+            "variables { int hits = 0; }
+             on message * { hits = hits + 1; }",
+        );
+        let this = MsgObject {
+            id: 999,
+            name: None,
+            dlc: 8,
+            payload: [0; 8],
+        };
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut sysvars = HashMap::new();
+        n.fire(
+            &EventKind::Message(MsgRef::Id(999)),
+            Some(this),
+            Some(&db()),
+            &mut rng,
+            0,
+            &mut sysvars,
+        )
+        .unwrap();
+        assert_eq!(n.global("hits"), Some(&CaplValue::Int(1)));
+    }
+
+    #[test]
+    fn output_of_bare_database_name() {
+        let mut n = node("on start { output(rptSw); }");
+        let fx = fire(&mut n, &EventKind::Start);
+        let Effect::Output(m) = &fx[0] else { panic!() };
+        assert_eq!(m.id, 101);
+    }
+}

@@ -1,0 +1,60 @@
+//! `canoe-sim` — a discrete-event CAN bus simulator with a CAPL interpreter.
+//!
+//! The paper develops and validates its ECU applications inside Vector's
+//! proprietary CANoe environment (§IV-B). This crate is the open substitute:
+//! it executes the *same CAPL sources* the translator consumes, against a
+//! simulated CAN bus, producing an observable message trace. That closes the
+//! validation loop — the trace of the simulated implementation must be a
+//! trace of the extracted CSP model (see the `translator` crate's
+//! integration tests).
+//!
+//! * [`Frame`] — a classic CAN data frame (11-bit id, up to 8 data bytes);
+//! * [`Simulation`] — the discrete-event scheduler: nodes, timers,
+//!   priority-arbitrated transmission, broadcast delivery;
+//! * CAPL interpretation — `on start` / `on message` / `on timer` /
+//!   `on key` procedures, variables, signal access through an attached
+//!   [`candb::Database`], and the CAPL built-ins (`output`, `setTimer`,
+//!   `cancelTimer`, `write`, …);
+//! * [`Interceptor`] — a man-in-the-middle hook used by the security
+//!   crates to drop, modify, replay or forge frames (the Dolev-Yao
+//!   capabilities of §IV-E).
+//!
+//! # Example
+//!
+//! ```
+//! use canoe_sim::Simulation;
+//!
+//! let dbc = r#"
+//! BU_: VMG ECU
+//! BO_ 100 reqSw: 8 VMG
+//!  SG_ reqType : 0|4@1+ (1,0) [0|15] "" ECU
+//! BO_ 101 rptSw: 8 ECU
+//!  SG_ status : 0|8@1+ (1,0) [0|255] "" VMG
+//! "#;
+//! let vmg = "variables { message reqSw m; } on start { output(m); }";
+//! let ecu = "variables { message rptSw r; } on message reqSw { output(r); }";
+//!
+//! let mut sim = Simulation::new(Some(candb::parse(dbc)?));
+//! sim.add_node("VMG", capl::parse(vmg)?)?;
+//! sim.add_node("ECU", capl::parse(ecu)?)?;
+//! sim.run_for(10_000)?; // 10 ms
+//!
+//! let sends: Vec<&str> = sim.trace().iter()
+//!     .filter_map(|e| e.event.transmit_name())
+//!     .collect();
+//! assert_eq!(sends, ["reqSw", "rptSw"]);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod frame;
+mod interp;
+mod sim;
+mod trace;
+
+pub use frame::Frame;
+pub use interp::{CaplValue, RuntimeError};
+pub use sim::{Interceptor, PassThrough, SimError, Simulation};
+pub use trace::{TraceEntry, TraceEvent};

@@ -1,0 +1,740 @@
+//! The discrete-event scheduler: nodes, timers and the arbitrated bus.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::fmt;
+
+use candb::Database;
+use capl::ast::{EventKind, MsgRef, Program};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::frame::Frame;
+use crate::interp::{CaplValue, Effect, MsgObject, NodeState, RuntimeError};
+use crate::trace::{TraceEntry, TraceEvent};
+
+/// Errors from building or running a simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// A CAPL runtime error, attributed to a node.
+    Runtime {
+        /// The node whose handler failed.
+        node: String,
+        /// The underlying error.
+        error: RuntimeError,
+    },
+    /// A node name was used twice.
+    DuplicateNode(String),
+    /// An operation referenced an unknown node.
+    UnknownNode(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Runtime { node, error } => write!(f, "node `{node}`: {error}"),
+            SimError::DuplicateNode(n) => write!(f, "node `{n}` added twice"),
+            SimError::UnknownNode(n) => write!(f, "unknown node `{n}`"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// A man-in-the-middle hook: sees every frame that wins arbitration and
+/// decides what the bus actually delivers.
+///
+/// Returning an empty vector drops the frame; returning different or extra
+/// frames models modification, replay and forgery — the Dolev-Yao
+/// capabilities used by the security analyses (§IV-E of the paper).
+pub trait Interceptor {
+    /// Decide what is delivered in place of `frame`.
+    fn on_frame(&mut self, frame: &Frame, time_us: u64) -> Vec<Frame>;
+}
+
+/// The default interceptor: every frame is delivered unchanged.
+#[derive(Debug, Clone, Default)]
+pub struct PassThrough;
+
+impl Interceptor for PassThrough {
+    fn on_frame(&mut self, frame: &Frame, _time_us: u64) -> Vec<Frame> {
+        vec![frame.clone()]
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Pending {
+    TimerExpiry {
+        node: usize,
+        timer: String,
+        generation: u64,
+    },
+    Delivery {
+        sender: Option<usize>,
+        frame: Frame,
+    },
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Event {
+    time: u64,
+    seq: u64,
+    pending: Pending,
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A CANoe-style simulation: a set of CAPL nodes on one CAN bus.
+pub struct Simulation {
+    db: Option<Database>,
+    nodes: Vec<NodeState>,
+    time_us: u64,
+    seq: u64,
+    queue: BinaryHeap<Reverse<Event>>,
+    trace: Vec<TraceEntry>,
+    rng: SmallRng,
+    bus_free_at: u64,
+    bus_busy: bool,
+    pending_tx: Vec<(Option<usize>, Frame)>,
+    timer_generations: HashMap<(usize, String), u64>,
+    sysvars: HashMap<String, i64>,
+    interceptor: Box<dyn Interceptor>,
+    started: bool,
+}
+
+impl fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Simulation")
+            .field("nodes", &self.nodes.len())
+            .field("time_us", &self.time_us)
+            .field("trace_len", &self.trace.len())
+            .finish()
+    }
+}
+
+impl Simulation {
+    /// Create a simulation, optionally attached to a network database.
+    pub fn new(db: Option<Database>) -> Simulation {
+        Simulation {
+            db,
+            nodes: Vec::new(),
+            time_us: 0,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            trace: Vec::new(),
+            rng: SmallRng::seed_from_u64(0x00CA_7B05),
+            bus_free_at: 0,
+            bus_busy: false,
+            pending_tx: Vec::new(),
+            timer_generations: HashMap::new(),
+            sysvars: HashMap::new(),
+            interceptor: Box::new(PassThrough),
+            started: false,
+        }
+    }
+
+    /// Reseed the deterministic RNG used by CAPL `random()`.
+    pub fn set_seed(&mut self, seed: u64) {
+        self.rng = SmallRng::seed_from_u64(seed);
+    }
+
+    /// Install a man-in-the-middle interceptor.
+    pub fn set_interceptor(&mut self, interceptor: Box<dyn Interceptor>) {
+        self.interceptor = interceptor;
+    }
+
+    /// Add a network node running `program`.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::DuplicateNode`] for repeated names, or a runtime error if
+    /// the program's `message` variables cannot be resolved.
+    pub fn add_node(&mut self, name: &str, program: Program) -> Result<(), SimError> {
+        if self.nodes.iter().any(|n| n.name == name) {
+            return Err(SimError::DuplicateNode(name.to_owned()));
+        }
+        let state = NodeState::new(name, program, self.db.as_ref()).map_err(|error| {
+            SimError::Runtime {
+                node: name.to_owned(),
+                error,
+            }
+        })?;
+        self.nodes.push(state);
+        Ok(())
+    }
+
+    /// Current simulation time in microseconds.
+    pub fn time_us(&self) -> u64 {
+        self.time_us
+    }
+
+    /// The observable trace so far.
+    pub fn trace(&self) -> &[TraceEntry] {
+        &self.trace
+    }
+
+    /// Read a system/environment variable (shared via `getValue`/`putValue`).
+    pub fn sysvar(&self, name: &str) -> Option<i64> {
+        self.sysvars.get(name).copied()
+    }
+
+    /// Set a system/environment variable from outside the network (panel
+    /// input, test harness, …).
+    pub fn set_sysvar(&mut self, name: &str, value: i64) {
+        self.sysvars.insert(name.to_owned(), value);
+    }
+
+    /// Read a node's global variable (for assertions and tests).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::UnknownNode`] if no node has that name.
+    pub fn node_global(&self, node: &str, var: &str) -> Result<Option<CaplValue>, SimError> {
+        let n = self
+            .nodes
+            .iter()
+            .find(|n| n.name == node)
+            .ok_or_else(|| SimError::UnknownNode(node.to_owned()))?;
+        Ok(n.global(var).cloned())
+    }
+
+    /// Press a key on a node's panel (`on key` procedures).
+    ///
+    /// # Errors
+    ///
+    /// Unknown node, or a runtime error in the handler.
+    pub fn key_press(&mut self, node: &str, key: char) -> Result<(), SimError> {
+        let idx = self
+            .nodes
+            .iter()
+            .position(|n| n.name == node)
+            .ok_or_else(|| SimError::UnknownNode(node.to_owned()))?;
+        self.fire_node(idx, &EventKind::Key(key), None)
+    }
+
+    /// Inject a frame as if an (unmodelled) external device transmitted it.
+    pub fn inject_frame(&mut self, frame: Frame) {
+        self.pending_tx.push((None, frame));
+        self.grant_bus();
+    }
+
+    /// Run until simulation time reaches `deadline_us`.
+    ///
+    /// # Errors
+    ///
+    /// The first CAPL runtime error raised by any handler.
+    pub fn run_until(&mut self, deadline_us: u64) -> Result<(), SimError> {
+        if !self.started {
+            self.started = true;
+            for idx in 0..self.nodes.len() {
+                self.fire_node(idx, &EventKind::Start, None)?;
+            }
+        }
+        while let Some(Reverse(ev)) = self.queue.peek().cloned() {
+            if ev.time > deadline_us {
+                break;
+            }
+            self.queue.pop();
+            self.time_us = ev.time;
+            match ev.pending {
+                Pending::TimerExpiry {
+                    node,
+                    timer,
+                    generation,
+                } => {
+                    let current = self
+                        .timer_generations
+                        .get(&(node, timer.clone()))
+                        .copied()
+                        .unwrap_or(0);
+                    if current != generation {
+                        continue; // cancelled or re-armed
+                    }
+                    self.trace.push(TraceEntry {
+                        time_us: self.time_us,
+                        event: TraceEvent::TimerFired {
+                            node: self.nodes[node].name.clone(),
+                            timer: timer.clone(),
+                        },
+                    });
+                    self.fire_node(node, &EventKind::Timer(timer), None)?;
+                }
+                Pending::Delivery { sender, frame } => {
+                    self.bus_busy = false;
+                    self.deliver(sender, frame)?;
+                    self.grant_bus();
+                }
+            }
+        }
+        self.time_us = deadline_us;
+        Ok(())
+    }
+
+    /// Run for `duration_us` more microseconds.
+    ///
+    /// # Errors
+    ///
+    /// See [`Simulation::run_until`].
+    pub fn run_for(&mut self, duration_us: u64) -> Result<(), SimError> {
+        self.run_until(self.time_us + duration_us)
+    }
+
+    // ---- internals -----------------------------------------------------
+
+    fn push_event(&mut self, time: u64, pending: Pending) {
+        self.seq += 1;
+        self.queue.push(Reverse(Event {
+            time,
+            seq: self.seq,
+            pending,
+        }));
+    }
+
+    /// Grant the bus to the highest-priority (lowest id) pending frame.
+    fn grant_bus(&mut self) {
+        if self.bus_busy || self.pending_tx.is_empty() {
+            return;
+        }
+        let best = self
+            .pending_tx
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, (_, f))| f.id)
+            .map(|(i, _)| i)
+            .expect("pending_tx nonempty");
+        let (sender, frame) = self.pending_tx.remove(best);
+        let start = self.time_us.max(self.bus_free_at);
+        let delivery = start + frame.duration_us();
+        self.bus_free_at = delivery;
+        self.bus_busy = true;
+        self.trace.push(TraceEntry {
+            time_us: start,
+            event: TraceEvent::Transmit {
+                node: sender
+                    .map(|i| self.nodes[i].name.clone())
+                    .unwrap_or_else(|| "<external>".to_owned()),
+                message: self.message_name(frame.id),
+                id: frame.id,
+                payload: frame.payload,
+            },
+        });
+        self.push_event(delivery, Pending::Delivery { sender, frame });
+    }
+
+    fn message_name(&self, id: u32) -> String {
+        self.db
+            .as_ref()
+            .and_then(|d| d.message_by_id(id))
+            .map(|m| m.name.clone())
+            .unwrap_or_else(|| format!("id_0x{id:x}"))
+    }
+
+    fn deliver(&mut self, sender: Option<usize>, frame: Frame) -> Result<(), SimError> {
+        let delivered = self.interceptor.on_frame(&frame, self.time_us);
+        if delivered.len() != 1 || delivered[0] != frame {
+            self.trace.push(TraceEntry {
+                time_us: self.time_us,
+                event: TraceEvent::Intercepted {
+                    action: if delivered.is_empty() {
+                        "dropped".to_owned()
+                    } else {
+                        format!("replaced with {} frame(s)", delivered.len())
+                    },
+                    id: frame.id,
+                },
+            });
+        }
+        for f in delivered {
+            let name = self
+                .db
+                .as_ref()
+                .and_then(|d| d.message_by_id(f.id))
+                .map(|m| m.name.clone());
+            for idx in 0..self.nodes.len() {
+                if Some(idx) == sender {
+                    continue; // CAN nodes do not receive their own frames
+                }
+                let event = self.matching_event(idx, f.id, name.as_deref());
+                let Some(event) = event else { continue };
+                self.trace.push(TraceEntry {
+                    time_us: self.time_us,
+                    event: TraceEvent::Receive {
+                        node: self.nodes[idx].name.clone(),
+                        message: self.message_name(f.id),
+                        id: f.id,
+                        payload: f.payload,
+                    },
+                });
+                let this = MsgObject {
+                    id: f.id,
+                    name: name.clone(),
+                    dlc: f.dlc,
+                    payload: f.payload,
+                };
+                self.fire_node(idx, &event, Some(this))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Which `on message` event (if any) node `idx` has for this frame.
+    fn matching_event(&self, idx: usize, id: u32, name: Option<&str>) -> Option<EventKind> {
+        let program = &self.nodes[idx].program;
+        if let Some(n) = name {
+            let ev = EventKind::Message(MsgRef::Name(n.to_owned()));
+            if program.handler(&ev).is_some() {
+                return Some(ev);
+            }
+        }
+        let ev = EventKind::Message(MsgRef::Id(id));
+        if program.handler(&ev).is_some() {
+            return Some(ev);
+        }
+        let any = EventKind::Message(MsgRef::Any);
+        if program.handler(&any).is_some() {
+            return Some(any);
+        }
+        None
+    }
+
+    fn fire_node(
+        &mut self,
+        idx: usize,
+        event: &EventKind,
+        this: Option<MsgObject>,
+    ) -> Result<(), SimError> {
+        let db = self.db.take();
+        let result = self.nodes[idx].fire(
+            event,
+            this,
+            db.as_ref(),
+            &mut self.rng,
+            self.time_us,
+            &mut self.sysvars,
+        );
+        self.db = db;
+        let effects = result.map_err(|error| SimError::Runtime {
+            node: self.nodes[idx].name.clone(),
+            error,
+        })?;
+        for effect in effects {
+            match effect {
+                Effect::Output(m) => {
+                    let mut frame = Frame::new(m.id, m.dlc);
+                    frame.payload = m.payload;
+                    self.trace.push(TraceEntry {
+                        time_us: self.time_us,
+                        event: TraceEvent::Queued {
+                            node: self.nodes[idx].name.clone(),
+                            message: self.message_name(frame.id),
+                            id: frame.id,
+                            payload: frame.payload,
+                        },
+                    });
+                    self.pending_tx.push((Some(idx), frame));
+                }
+                Effect::SetTimer { name, delay_us } => {
+                    let generation = self
+                        .timer_generations
+                        .entry((idx, name.clone()))
+                        .and_modify(|g| *g += 1)
+                        .or_insert(1);
+                    let generation = *generation;
+                    self.push_event(
+                        self.time_us + delay_us,
+                        Pending::TimerExpiry {
+                            node: idx,
+                            timer: name,
+                            generation,
+                        },
+                    );
+                }
+                Effect::CancelTimer(name) => {
+                    self.timer_generations
+                        .entry((idx, name))
+                        .and_modify(|g| *g += 1)
+                        .or_insert(1);
+                }
+                Effect::Log(text) => {
+                    self.trace.push(TraceEntry {
+                        time_us: self.time_us,
+                        event: TraceEvent::Log {
+                            node: self.nodes[idx].name.clone(),
+                            text,
+                        },
+                    });
+                }
+            }
+        }
+        self.grant_bus();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> Database {
+        candb::parse(
+            "BU_: VMG ECU\n\
+             BO_ 100 reqSw: 8 VMG\n SG_ reqType : 0|4@1+ (1,0) [0|15] \"\" ECU\n\
+             BO_ 101 rptSw: 8 ECU\n SG_ status : 0|8@1+ (1,0) [0|255] \"\" VMG\n\
+             BO_ 50 urgent: 2 VMG\n SG_ code : 0|8@1+ (1,0) [0|255] \"\" ECU",
+        )
+        .unwrap()
+    }
+
+    fn sim_with(nodes: &[(&str, &str)]) -> Simulation {
+        let mut sim = Simulation::new(Some(db()));
+        for (name, src) in nodes {
+            sim.add_node(name, capl::parse(src).unwrap()).unwrap();
+        }
+        sim
+    }
+
+    fn tx_names(sim: &Simulation) -> Vec<String> {
+        sim.trace()
+            .iter()
+            .filter_map(|e| e.event.transmit_name().map(str::to_owned))
+            .collect()
+    }
+
+    #[test]
+    fn request_response_exchange() {
+        let mut sim = sim_with(&[
+            ("VMG", "variables { message reqSw m; } on start { output(m); }"),
+            ("ECU", "variables { message rptSw r; } on message reqSw { output(r); }"),
+        ]);
+        sim.run_for(10_000).unwrap();
+        assert_eq!(tx_names(&sim), vec!["reqSw", "rptSw"]);
+        // Receive entries are recorded only where a handler consumed the
+        // frame: the ECU consumes reqSw; nobody handles rptSw.
+        let receives: Vec<&str> = sim
+            .trace()
+            .iter()
+            .filter_map(|e| e.event.receive_name())
+            .collect();
+        assert_eq!(receives, vec!["reqSw"]);
+    }
+
+    #[test]
+    fn arbitration_prefers_lower_id() {
+        // Both messages queued in the same handler: the lower CAN id (urgent,
+        // 0x32) must win the bus even though reqSw was output first.
+        let mut sim = sim_with(&[(
+            "VMG",
+            "variables { message reqSw a; message urgent b; } on start { output(a); output(b); }",
+        )]);
+        sim.run_for(10_000).unwrap();
+        assert_eq!(tx_names(&sim), vec!["urgent", "reqSw"]);
+    }
+
+    #[test]
+    fn periodic_timer_fires_repeatedly() {
+        let mut sim = sim_with(&[(
+            "VMG",
+            "variables { msTimer t; message reqSw m; }
+             on start { setTimer(t, 10); }
+             on timer t { output(m); setTimer(t, 10); }",
+        )]);
+        sim.run_for(35_000).unwrap(); // 35 ms → fires at 10, 20, 30
+        assert_eq!(tx_names(&sim).len(), 3);
+    }
+
+    #[test]
+    fn cancel_timer_prevents_firing() {
+        let mut sim = sim_with(&[(
+            "VMG",
+            "variables { msTimer t; message reqSw m; }
+             on start { setTimer(t, 10); cancelTimer(t); }
+             on timer t { output(m); }",
+        )]);
+        sim.run_for(50_000).unwrap();
+        assert!(tx_names(&sim).is_empty());
+    }
+
+    #[test]
+    fn interceptor_can_drop_frames() {
+        struct DropAll;
+        impl Interceptor for DropAll {
+            fn on_frame(&mut self, _f: &Frame, _t: u64) -> Vec<Frame> {
+                Vec::new()
+            }
+        }
+        let mut sim = sim_with(&[
+            ("VMG", "variables { message reqSw m; } on start { output(m); }"),
+            ("ECU", "variables { message rptSw r; } on message reqSw { output(r); }"),
+        ]);
+        sim.set_interceptor(Box::new(DropAll));
+        sim.run_for(10_000).unwrap();
+        // The request is transmitted but never delivered: no response.
+        assert_eq!(tx_names(&sim), vec!["reqSw"]);
+        assert!(sim
+            .trace()
+            .iter()
+            .any(|e| matches!(e.event, TraceEvent::Intercepted { .. })));
+    }
+
+    #[test]
+    fn interceptor_can_forge_frames() {
+        struct Forger;
+        impl Interceptor for Forger {
+            fn on_frame(&mut self, f: &Frame, _t: u64) -> Vec<Frame> {
+                let mut forged = f.clone();
+                forged.payload[0] = 0xFF;
+                vec![forged]
+            }
+        }
+        let mut sim = sim_with(&[
+            ("VMG", "variables { message reqSw m; } on start { m.reqType = 1; output(m); }"),
+            (
+                "ECU",
+                "variables { int seen = 0; } on message reqSw { seen = this.reqType; }",
+            ),
+        ]);
+        sim.set_interceptor(Box::new(Forger));
+        sim.run_for(10_000).unwrap();
+        // reqType is the low nibble of the forged 0xFF.
+        assert_eq!(
+            sim.node_global("ECU", "seen").unwrap(),
+            Some(CaplValue::Int(0x0F))
+        );
+    }
+
+    #[test]
+    fn injected_frames_reach_nodes() {
+        let mut sim = sim_with(&[(
+            "ECU",
+            "variables { message rptSw r; } on message reqSw { output(r); }",
+        )]);
+        sim.run_for(1).unwrap();
+        sim.inject_frame(Frame::new(100, 8));
+        sim.run_for(10_000).unwrap();
+        assert_eq!(tx_names(&sim), vec!["reqSw", "rptSw"]);
+    }
+
+    #[test]
+    fn key_press_triggers_handler() {
+        let mut sim = sim_with(&[(
+            "VMG",
+            "variables { message reqSw m; } on key 'u' { output(m); }",
+        )]);
+        sim.run_for(1).unwrap();
+        sim.key_press("VMG", 'u').unwrap();
+        sim.run_for(10_000).unwrap();
+        assert_eq!(tx_names(&sim), vec!["reqSw"]);
+    }
+
+    #[test]
+    fn senders_do_not_receive_own_frames() {
+        let mut sim = sim_with(&[(
+            "VMG",
+            "variables { message reqSw m; int echo = 0; }
+             on start { output(m); }
+             on message reqSw { echo = 1; }",
+        )]);
+        sim.run_for(10_000).unwrap();
+        assert_eq!(
+            sim.node_global("VMG", "echo").unwrap(),
+            Some(CaplValue::Int(0))
+        );
+    }
+
+    #[test]
+    fn duplicate_node_rejected() {
+        let mut sim = Simulation::new(None);
+        sim.add_node("A", capl::parse("").unwrap()).unwrap();
+        assert_eq!(
+            sim.add_node("A", capl::parse("").unwrap()),
+            Err(SimError::DuplicateNode("A".into()))
+        );
+    }
+
+    #[test]
+    fn runtime_errors_are_attributed() {
+        let mut sim = sim_with(&[("BAD", "on start { x = 1; }")]);
+        let err = sim.run_for(1_000).unwrap_err();
+        assert!(matches!(err, SimError::Runtime { node, .. } if node == "BAD"));
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let build = || {
+            let mut sim = sim_with(&[
+                ("VMG", "variables { message reqSw m; msTimer t; }
+                  on start { setTimer(t, 5); }
+                  on timer t { output(m); setTimer(t, 7); }"),
+                ("ECU", "variables { message rptSw r; } on message reqSw { output(r); }"),
+            ]);
+            sim.run_for(100_000).unwrap();
+            tx_names(&sim)
+        };
+        assert_eq!(build(), build());
+    }
+}
+
+#[cfg(test)]
+mod sysvar_tests {
+    use super::*;
+
+    #[test]
+    fn get_and_put_value_share_state_across_nodes() {
+        let mut sim = Simulation::new(Some(
+            candb::parse("BU_: A B\nBO_ 100 ping: 8 A").unwrap(),
+        ));
+        sim.add_node(
+            "A",
+            capl::parse(
+                "variables { message ping m; }
+                 on start { putValue(\"mode\", 7); output(m); }",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        sim.add_node(
+            "B",
+            capl::parse(
+                "variables { int seen = 0; }
+                 on message ping { seen = getValue(\"mode\"); }",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        sim.run_for(10_000).unwrap();
+        assert_eq!(sim.sysvar("mode"), Some(7));
+        assert_eq!(
+            sim.node_global("B", "seen").unwrap(),
+            Some(crate::interp::CaplValue::Int(7))
+        );
+    }
+
+    #[test]
+    fn harness_can_seed_sysvars() {
+        let mut sim = Simulation::new(None);
+        sim.set_sysvar("speed", 88);
+        sim.add_node(
+            "A",
+            capl::parse(
+                "variables { int v = 0; } on start { v = getValue(speed); }",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        sim.run_for(1_000).unwrap();
+        assert_eq!(
+            sim.node_global("A", "v").unwrap(),
+            Some(crate::interp::CaplValue::Int(88))
+        );
+    }
+}

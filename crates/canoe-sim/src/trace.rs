@@ -1,0 +1,98 @@
+//! The observable simulation trace.
+
+use serde::{Deserialize, Serialize};
+
+/// One observable event in a simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// A handler passed a frame to its CAN controller (`output()` ran).
+    /// This precedes [`TraceEvent::Transmit`], which is the later bus grant.
+    Queued {
+        /// Sending node.
+        node: String,
+        /// Message name (from the database) or `id_0x…` if unknown.
+        message: String,
+        /// CAN identifier.
+        id: u32,
+        /// Payload.
+        payload: [u8; 8],
+    },
+    /// A node's frame won arbitration and went on the bus.
+    Transmit {
+        /// Sending node.
+        node: String,
+        /// Message name (from the database) or `id_0x…` if unknown.
+        message: String,
+        /// CAN identifier.
+        id: u32,
+        /// Payload.
+        payload: [u8; 8],
+    },
+    /// A node's `on message` handler accepted a frame.
+    Receive {
+        /// Receiving node.
+        node: String,
+        /// Message name (from the database) or `id_0x…` if unknown.
+        message: String,
+        /// CAN identifier.
+        id: u32,
+        /// Payload.
+        payload: [u8; 8],
+    },
+    /// `write(…)` output from a CAPL program.
+    Log {
+        /// The node that logged.
+        node: String,
+        /// The formatted text.
+        text: String,
+    },
+    /// A timer fired and its handler ran.
+    TimerFired {
+        /// The node owning the timer.
+        node: String,
+        /// The timer variable name.
+        timer: String,
+    },
+    /// A frame was dropped or forged by an [`crate::Interceptor`].
+    Intercepted {
+        /// Description of the interception.
+        action: String,
+        /// The affected CAN identifier.
+        id: u32,
+    },
+}
+
+impl TraceEvent {
+    /// The message name if this is a transmit event.
+    pub fn transmit_name(&self) -> Option<&str> {
+        match self {
+            TraceEvent::Transmit { message, .. } => Some(message),
+            _ => None,
+        }
+    }
+
+    /// The message name if this is a queued (controller handoff) event.
+    pub fn queued_name(&self) -> Option<&str> {
+        match self {
+            TraceEvent::Queued { message, .. } => Some(message),
+            _ => None,
+        }
+    }
+
+    /// The message name if this is a receive event.
+    pub fn receive_name(&self) -> Option<&str> {
+        match self {
+            TraceEvent::Receive { message, .. } => Some(message),
+            _ => None,
+        }
+    }
+}
+
+/// A timestamped trace entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceEntry {
+    /// Simulation time in microseconds.
+    pub time_us: u64,
+    /// What happened.
+    pub event: TraceEvent,
+}

@@ -1,0 +1,50 @@
+//! Error and position types for the CAPL frontend.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A 1-based source position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Pos {
+    /// Line number (1-based).
+    pub line: u32,
+    /// Column number (1-based).
+    pub col: u32,
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Errors from lexing or parsing CAPL source.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CaplError {
+    /// A lexical error.
+    Lex {
+        /// Position of the error.
+        pos: Pos,
+        /// Description.
+        message: String,
+    },
+    /// A syntax error.
+    Parse {
+        /// Position of the error.
+        pos: Pos,
+        /// Description.
+        message: String,
+    },
+}
+
+impl fmt::Display for CaplError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CaplError::Lex { pos, message } => write!(f, "lex error at {pos}: {message}"),
+            CaplError::Parse { pos, message } => write!(f, "parse error at {pos}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for CaplError {}

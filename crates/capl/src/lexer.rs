@@ -1,0 +1,483 @@
+//! C-style lexer for CAPL.
+
+use crate::error::{CaplError, Pos};
+
+/// A lexical token kind.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Integer literal (decimal or `0x…`).
+    Int(i64),
+    /// Floating literal.
+    Float(f64),
+    /// Character literal.
+    Char(char),
+    /// String literal.
+    Str(String),
+    /// `#include` directive token (the lexer keeps it distinct).
+    HashInclude,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `=`
+    Assign,
+    /// `+=`
+    PlusAssign,
+    /// `-=`
+    MinusAssign,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Not,
+    /// `~`
+    Tilde,
+    /// `&`
+    Amp,
+    /// `|`
+    Bar,
+    /// `^`
+    Caret,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `++`
+    PlusPlus,
+    /// `--`
+    MinusMinus,
+    /// `:`
+    Colon,
+    /// `?` (unused, reserved)
+    Question,
+    /// End of input.
+    Eof,
+}
+
+/// A token with position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token kind.
+    pub kind: TokenKind,
+    /// Start position.
+    pub pos: Pos,
+}
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    i: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.i).copied()
+    }
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.i + 1).copied()
+    }
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.i += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+    fn pos(&self) -> Pos {
+        Pos {
+            line: self.line,
+            col: self.col,
+        }
+    }
+}
+
+/// Tokenise CAPL source.
+///
+/// # Errors
+///
+/// [`CaplError::Lex`] on malformed literals, unterminated comments/strings or
+/// unexpected characters.
+pub fn lex(source: &str) -> Result<Vec<Token>, CaplError> {
+    let mut cur = Cursor {
+        src: source.as_bytes(),
+        i: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut out = Vec::new();
+    loop {
+        // Whitespace and comments.
+        loop {
+            match (cur.peek(), cur.peek2()) {
+                (Some(c), _) if (c as char).is_whitespace() => {
+                    cur.bump();
+                }
+                (Some(b'/'), Some(b'/')) => {
+                    while let Some(c) = cur.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        cur.bump();
+                    }
+                }
+                (Some(b'/'), Some(b'*')) => {
+                    let start = cur.pos();
+                    cur.bump();
+                    cur.bump();
+                    let mut closed = false;
+                    while let Some(c) = cur.bump() {
+                        if c == b'*' && cur.peek() == Some(b'/') {
+                            cur.bump();
+                            closed = true;
+                            break;
+                        }
+                    }
+                    if !closed {
+                        return Err(CaplError::Lex {
+                            pos: start,
+                            message: "unterminated block comment".into(),
+                        });
+                    }
+                }
+                _ => break,
+            }
+        }
+
+        let pos = cur.pos();
+        let Some(c) = cur.peek() else {
+            out.push(Token {
+                kind: TokenKind::Eof,
+                pos,
+            });
+            return Ok(out);
+        };
+
+        let kind = match c {
+            b'#' => {
+                // `#include`
+                cur.bump();
+                let mut word = String::new();
+                while let Some(d) = cur.peek() {
+                    if (d as char).is_ascii_alphabetic() {
+                        word.push(d as char);
+                        cur.bump();
+                    } else {
+                        break;
+                    }
+                }
+                if word == "include" {
+                    TokenKind::HashInclude
+                } else {
+                    return Err(CaplError::Lex {
+                        pos,
+                        message: format!("unknown directive `#{word}`"),
+                    });
+                }
+            }
+            b'0'..=b'9' => num_literal(&mut cur, pos)?,
+            b'A'..=b'Z' | b'a'..=b'z' | b'_' => {
+                let mut s = String::new();
+                while let Some(d) = cur.peek() {
+                    if (d as char).is_ascii_alphanumeric() || d == b'_' {
+                        s.push(d as char);
+                        cur.bump();
+                    } else {
+                        break;
+                    }
+                }
+                TokenKind::Ident(s)
+            }
+            b'\'' => {
+                cur.bump();
+                let Some(ch) = cur.bump() else {
+                    return Err(CaplError::Lex {
+                        pos,
+                        message: "unterminated character literal".into(),
+                    });
+                };
+                let ch = if ch == b'\\' {
+                    let Some(esc) = cur.bump() else {
+                        return Err(CaplError::Lex {
+                            pos,
+                            message: "unterminated escape".into(),
+                        });
+                    };
+                    unescape(esc)
+                } else {
+                    ch as char
+                };
+                if cur.bump() != Some(b'\'') {
+                    return Err(CaplError::Lex {
+                        pos,
+                        message: "expected closing `'`".into(),
+                    });
+                }
+                TokenKind::Char(ch)
+            }
+            b'"' => {
+                cur.bump();
+                let mut s = String::new();
+                loop {
+                    match cur.bump() {
+                        None => {
+                            return Err(CaplError::Lex {
+                                pos,
+                                message: "unterminated string literal".into(),
+                            });
+                        }
+                        Some(b'"') => break,
+                        Some(b'\\') => {
+                            let Some(esc) = cur.bump() else {
+                                return Err(CaplError::Lex {
+                                    pos,
+                                    message: "unterminated escape".into(),
+                                });
+                            };
+                            s.push(unescape(esc));
+                        }
+                        Some(other) => s.push(other as char),
+                    }
+                }
+                TokenKind::Str(s)
+            }
+            _ => {
+                // Operators and punctuation.
+                let two = (c, cur.peek2());
+                let (kind, len) = match two {
+                    (b'+', Some(b'=')) => (TokenKind::PlusAssign, 2),
+                    (b'-', Some(b'=')) => (TokenKind::MinusAssign, 2),
+                    (b'+', Some(b'+')) => (TokenKind::PlusPlus, 2),
+                    (b'-', Some(b'-')) => (TokenKind::MinusMinus, 2),
+                    (b'=', Some(b'=')) => (TokenKind::Eq, 2),
+                    (b'!', Some(b'=')) => (TokenKind::Ne, 2),
+                    (b'<', Some(b'=')) => (TokenKind::Le, 2),
+                    (b'>', Some(b'=')) => (TokenKind::Ge, 2),
+                    (b'<', Some(b'<')) => (TokenKind::Shl, 2),
+                    (b'>', Some(b'>')) => (TokenKind::Shr, 2),
+                    (b'&', Some(b'&')) => (TokenKind::AndAnd, 2),
+                    (b'|', Some(b'|')) => (TokenKind::OrOr, 2),
+                    (b'{', _) => (TokenKind::LBrace, 1),
+                    (b'}', _) => (TokenKind::RBrace, 1),
+                    (b'(', _) => (TokenKind::LParen, 1),
+                    (b')', _) => (TokenKind::RParen, 1),
+                    (b'[', _) => (TokenKind::LBracket, 1),
+                    (b']', _) => (TokenKind::RBracket, 1),
+                    (b';', _) => (TokenKind::Semi, 1),
+                    (b',', _) => (TokenKind::Comma, 1),
+                    (b'.', _) => (TokenKind::Dot, 1),
+                    (b'=', _) => (TokenKind::Assign, 1),
+                    (b'<', _) => (TokenKind::Lt, 1),
+                    (b'>', _) => (TokenKind::Gt, 1),
+                    (b'!', _) => (TokenKind::Not, 1),
+                    (b'~', _) => (TokenKind::Tilde, 1),
+                    (b'&', _) => (TokenKind::Amp, 1),
+                    (b'|', _) => (TokenKind::Bar, 1),
+                    (b'^', _) => (TokenKind::Caret, 1),
+                    (b'+', _) => (TokenKind::Plus, 1),
+                    (b'-', _) => (TokenKind::Minus, 1),
+                    (b'*', _) => (TokenKind::Star, 1),
+                    (b'/', _) => (TokenKind::Slash, 1),
+                    (b'%', _) => (TokenKind::Percent, 1),
+                    (b':', _) => (TokenKind::Colon, 1),
+                    (b'?', _) => (TokenKind::Question, 1),
+                    (other, _) => {
+                        return Err(CaplError::Lex {
+                            pos,
+                            message: format!("unexpected character `{}`", other as char),
+                        });
+                    }
+                };
+                for _ in 0..len {
+                    cur.bump();
+                }
+                kind
+            }
+        };
+        out.push(Token { kind, pos });
+    }
+}
+
+fn unescape(esc: u8) -> char {
+    match esc {
+        b'n' => '\n',
+        b't' => '\t',
+        b'r' => '\r',
+        b'0' => '\0',
+        b'\\' => '\\',
+        b'\'' => '\'',
+        b'"' => '"',
+        other => other as char,
+    }
+}
+
+fn num_literal(cur: &mut Cursor<'_>, pos: Pos) -> Result<TokenKind, CaplError> {
+    // Hex?
+    if cur.peek() == Some(b'0') && matches!(cur.peek2(), Some(b'x') | Some(b'X')) {
+        cur.bump();
+        cur.bump();
+        let mut n: i64 = 0;
+        let mut any = false;
+        while let Some(d) = cur.peek() {
+            let digit = match d {
+                b'0'..=b'9' => d - b'0',
+                b'a'..=b'f' => d - b'a' + 10,
+                b'A'..=b'F' => d - b'A' + 10,
+                _ => break,
+            };
+            n = n * 16 + i64::from(digit);
+            any = true;
+            cur.bump();
+        }
+        if !any {
+            return Err(CaplError::Lex {
+                pos,
+                message: "malformed hex literal".into(),
+            });
+        }
+        return Ok(TokenKind::Int(n));
+    }
+    let mut n: i64 = 0;
+    while let Some(d) = cur.peek() {
+        if d.is_ascii_digit() {
+            n = n * 10 + i64::from(d - b'0');
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+    // Float?
+    if cur.peek() == Some(b'.') && cur.peek2().is_some_and(|d| d.is_ascii_digit()) {
+        cur.bump();
+        let mut frac = 0f64;
+        let mut scale = 0.1f64;
+        while let Some(d) = cur.peek() {
+            if d.is_ascii_digit() {
+                frac += f64::from(d - b'0') * scale;
+                scale /= 10.0;
+                cur.bump();
+            } else {
+                break;
+            }
+        }
+        return Ok(TokenKind::Float(n as f64 + frac));
+    }
+    Ok(TokenKind::Int(n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_handler_header() {
+        let ks = kinds("on message reqSw { output(rptSw); }");
+        assert_eq!(ks[0], TokenKind::Ident("on".into()));
+        assert_eq!(ks[1], TokenKind::Ident("message".into()));
+        assert!(ks.contains(&TokenKind::Semi));
+    }
+
+    #[test]
+    fn hex_and_decimal_ints() {
+        assert_eq!(kinds("0x64")[0], TokenKind::Int(100));
+        assert_eq!(kinds("42")[0], TokenKind::Int(42));
+    }
+
+    #[test]
+    fn float_literal() {
+        assert_eq!(kinds("1.5")[0], TokenKind::Float(1.5));
+    }
+
+    #[test]
+    fn char_and_string_literals() {
+        assert_eq!(kinds("'a'")[0], TokenKind::Char('a'));
+        assert_eq!(kinds("'\\n'")[0], TokenKind::Char('\n'));
+        assert_eq!(kinds("\"hi\\t\"")[0], TokenKind::Str("hi\t".into()));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let ks = kinds("a // comment\n/* block */ b");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Ident("b".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn include_directive() {
+        let ks = kinds("#include \"common.cin\"");
+        assert_eq!(ks[0], TokenKind::HashInclude);
+        assert_eq!(ks[1], TokenKind::Str("common.cin".into()));
+    }
+
+    #[test]
+    fn compound_operators() {
+        let ks = kinds("a += 1; b == c && d != e");
+        assert!(ks.contains(&TokenKind::PlusAssign));
+        assert!(ks.contains(&TokenKind::Eq));
+        assert!(ks.contains(&TokenKind::AndAnd));
+        assert!(ks.contains(&TokenKind::Ne));
+    }
+
+    #[test]
+    fn unterminated_comment_errors() {
+        assert!(lex("/* nope").is_err());
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(lex("\"nope").is_err());
+    }
+}

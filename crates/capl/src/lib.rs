@@ -1,0 +1,62 @@
+//! `capl` — a frontend for Vector's CAPL language.
+//!
+//! CAPL (Communication Access Programming Language) is the C-based,
+//! event-driven language used inside the CANoe IDE to program simulated ECU
+//! network nodes (§IV-B of the paper). A CAPL program has no `main`; it is a
+//! collection of *event procedures* (`on start`, `on message <m>`,
+//! `on timer <t>`, `on key '<k>'`) plus `includes`/`variables` sections and
+//! ordinary functions.
+//!
+//! This crate provides the front half of the paper's model extractor — the
+//! part ANTLR generated for the authors:
+//!
+//! * [`lex`] / [`parse`] — source text to [`ast::Program`];
+//! * [`analyze`] — a symbol table and semantic diagnostics (undeclared
+//!   variables and timers, duplicate handlers, type-ish checks).
+//!
+//! The `translator` crate consumes the AST to emit CSPm, and `canoe-sim`
+//! interprets it against a simulated CAN bus.
+//!
+//! # Example
+//!
+//! ```
+//! let source = r#"
+//!     variables {
+//!       message reqSw msgReq;
+//!       int count = 0;
+//!     }
+//!     on message reqSw {
+//!       count = count + 1;
+//!       output(rptSw);
+//!     }
+//! "#;
+//! let program = capl::parse(source)?;
+//! assert_eq!(program.handlers.len(), 1);
+//! let report = capl::analyze(&program);
+//! assert!(report.errors().next().is_none());
+//! # Ok::<(), capl::CaplError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+mod error;
+mod lexer;
+mod parser;
+pub mod pretty;
+mod symbols;
+
+pub use error::{CaplError, Pos};
+pub use lexer::{lex, Token, TokenKind};
+pub use symbols::{analyze, Diagnostic, Severity, SymbolReport};
+
+/// Parse CAPL source text into a [`ast::Program`].
+///
+/// # Errors
+///
+/// Returns the first lexical or syntax error with its position.
+pub fn parse(source: &str) -> Result<ast::Program, CaplError> {
+    let tokens = lexer::lex(source)?;
+    parser::parse_program(&tokens)
+}

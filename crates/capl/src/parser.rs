@@ -1,0 +1,868 @@
+//! Recursive-descent parser for CAPL.
+
+use crate::ast::*;
+use crate::error::{CaplError, Pos};
+use crate::lexer::{Token, TokenKind};
+
+/// Parse a token stream into a [`Program`].
+///
+/// # Errors
+///
+/// [`CaplError::Parse`] on the first syntax error.
+pub fn parse_program(tokens: &[Token]) -> Result<Program, CaplError> {
+    let mut p = Parser { tokens, i: 0 };
+    let mut program = Program::default();
+    while !p.at_eof() {
+        if p.is_kw("includes") {
+            p.bump();
+            p.expect(&TokenKind::LBrace, "`{`")?;
+            while !p.eat(&TokenKind::RBrace) {
+                p.expect(&TokenKind::HashInclude, "`#include`")?;
+                match p.bump() {
+                    TokenKind::Str(path) => program.includes.push(path),
+                    other => {
+                        return p.err(format!("expected include path string, found {other:?}"))
+                    }
+                }
+            }
+        } else if p.is_kw("variables") {
+            p.bump();
+            p.expect(&TokenKind::LBrace, "`{`")?;
+            while !p.eat(&TokenKind::RBrace) {
+                program.variables.push(p.var_decl()?);
+            }
+        } else if p.is_kw("on") {
+            program.handlers.push(p.handler()?);
+        } else {
+            program.functions.push(p.function()?);
+        }
+    }
+    Ok(program)
+}
+
+struct Parser<'a> {
+    tokens: &'a [Token],
+    i: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.i.min(self.tokens.len() - 1)].kind
+    }
+
+    fn pos(&self) -> Pos {
+        self.tokens[self.i.min(self.tokens.len() - 1)].pos
+    }
+
+    fn at_eof(&self) -> bool {
+        matches!(self.peek(), TokenKind::Eof)
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let k = self.tokens[self.i].kind.clone();
+        if self.i < self.tokens.len() - 1 {
+            self.i += 1;
+        }
+        k
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, CaplError> {
+        Err(CaplError::Parse {
+            pos: self.pos(),
+            message: message.into(),
+        })
+    }
+
+    fn expect(&mut self, kind: &TokenKind, what: &str) -> Result<(), CaplError> {
+        if self.peek() == kind {
+            self.bump();
+            Ok(())
+        } else {
+            self.err(format!("expected {what}, found {:?}", self.peek()))
+        }
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, CaplError> {
+        match self.peek().clone() {
+            TokenKind::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => self.err(format!("expected {what}, found {other:?}")),
+        }
+    }
+
+    fn is_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), TokenKind::Ident(s) if s == kw)
+    }
+
+    fn peek_type(&self) -> Option<Type> {
+        let TokenKind::Ident(s) = self.peek() else {
+            return None;
+        };
+        Some(match s.as_str() {
+            "int" => Type::Int,
+            "long" => Type::Long,
+            "byte" => Type::Byte,
+            "word" => Type::Word,
+            "dword" => Type::Dword,
+            "char" => Type::Char,
+            "float" | "double" => Type::Float,
+            "msTimer" => Type::MsTimer,
+            "timer" => Type::Timer,
+            "void" => Type::Void,
+            "message" => Type::Message(MsgRef::Any), // refined by caller
+            _ => return None,
+        })
+    }
+
+    fn msg_ref(&mut self) -> Result<MsgRef, CaplError> {
+        match self.peek().clone() {
+            TokenKind::Ident(name) => {
+                self.bump();
+                Ok(MsgRef::Name(name))
+            }
+            TokenKind::Int(id) => {
+                self.bump();
+                Ok(MsgRef::Id(id as u32))
+            }
+            TokenKind::Star => {
+                self.bump();
+                Ok(MsgRef::Any)
+            }
+            other => self.err(format!("expected message name, id or `*`, found {other:?}")),
+        }
+    }
+
+    fn var_decl(&mut self) -> Result<VarDecl, CaplError> {
+        let pos = self.pos();
+        let Some(mut ty) = self.peek_type() else {
+            return self.err(format!("expected a type, found {:?}", self.peek()));
+        };
+        self.bump();
+        if matches!(ty, Type::Message(_)) {
+            ty = Type::Message(self.msg_ref()?);
+        }
+        let name = self.ident("variable name")?;
+        let array = if self.eat(&TokenKind::LBracket) {
+            let n = match self.bump() {
+                TokenKind::Int(n) if n >= 0 => n as usize,
+                other => return self.err(format!("expected array length, found {other:?}")),
+            };
+            self.expect(&TokenKind::RBracket, "`]`")?;
+            Some(n)
+        } else {
+            None
+        };
+        let init = if self.eat(&TokenKind::Assign) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        self.expect(&TokenKind::Semi, "`;`")?;
+        Ok(VarDecl {
+            ty,
+            name,
+            array,
+            init,
+            pos,
+        })
+    }
+
+    fn handler(&mut self) -> Result<EventHandler, CaplError> {
+        let pos = self.pos();
+        self.bump(); // `on`
+        let event = match self.peek().clone() {
+            TokenKind::Ident(w) => match w.as_str() {
+                "start" => {
+                    self.bump();
+                    EventKind::Start
+                }
+                "preStart" => {
+                    self.bump();
+                    EventKind::PreStart
+                }
+                "stopMeasurement" => {
+                    self.bump();
+                    EventKind::StopMeasurement
+                }
+                "message" => {
+                    self.bump();
+                    EventKind::Message(self.msg_ref()?)
+                }
+                "timer" => {
+                    self.bump();
+                    EventKind::Timer(self.ident("timer name")?)
+                }
+                "key" => {
+                    self.bump();
+                    match self.bump() {
+                        TokenKind::Char(c) => EventKind::Key(c),
+                        other => {
+                            return self.err(format!("expected key character, found {other:?}"))
+                        }
+                    }
+                }
+                other => return self.err(format!("unknown event kind `{other}`")),
+            },
+            other => return self.err(format!("expected event kind after `on`, found {other:?}")),
+        };
+        let body = self.block()?;
+        Ok(EventHandler { event, body, pos })
+    }
+
+    fn function(&mut self) -> Result<FunctionDecl, CaplError> {
+        let pos = self.pos();
+        let Some(ret) = self.peek_type() else {
+            return self.err(format!(
+                "expected `includes`, `variables`, `on` or a function, found {:?}",
+                self.peek()
+            ));
+        };
+        self.bump();
+        let name = self.ident("function name")?;
+        self.expect(&TokenKind::LParen, "`(`")?;
+        let mut params = Vec::new();
+        if !self.eat(&TokenKind::RParen) {
+            loop {
+                let Some(pty) = self.peek_type() else {
+                    return self.err(format!("expected parameter type, found {:?}", self.peek()));
+                };
+                self.bump();
+                let pname = self.ident("parameter name")?;
+                params.push((pty, pname));
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect(&TokenKind::RParen, "`)`")?;
+        }
+        let body = self.block()?;
+        Ok(FunctionDecl {
+            ret,
+            name,
+            params,
+            body,
+            pos,
+        })
+    }
+
+    fn block(&mut self) -> Result<Block, CaplError> {
+        self.expect(&TokenKind::LBrace, "`{`")?;
+        let mut stmts = Vec::new();
+        while !self.eat(&TokenKind::RBrace) {
+            stmts.push(self.stmt()?);
+        }
+        Ok(Block { stmts })
+    }
+
+    /// A single statement, or a one-statement block for `if`/loop bodies.
+    fn stmt_or_block(&mut self) -> Result<Block, CaplError> {
+        if matches!(self.peek(), TokenKind::LBrace) {
+            self.block()
+        } else {
+            Ok(Block {
+                stmts: vec![self.stmt()?],
+            })
+        }
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, CaplError> {
+        // Local declaration?
+        if self.peek_type().is_some() {
+            return Ok(Stmt::VarDecl(self.var_decl()?));
+        }
+        match self.peek().clone() {
+            TokenKind::LBrace => Ok(Stmt::Block(self.block()?)),
+            TokenKind::Ident(w) => match w.as_str() {
+                "if" => {
+                    self.bump();
+                    self.expect(&TokenKind::LParen, "`(`")?;
+                    let cond = self.expr()?;
+                    self.expect(&TokenKind::RParen, "`)`")?;
+                    let then = self.stmt_or_block()?;
+                    let els = if self.is_kw("else") {
+                        self.bump();
+                        Some(self.stmt_or_block()?)
+                    } else {
+                        None
+                    };
+                    Ok(Stmt::If { cond, then, els })
+                }
+                "while" => {
+                    self.bump();
+                    self.expect(&TokenKind::LParen, "`(`")?;
+                    let cond = self.expr()?;
+                    self.expect(&TokenKind::RParen, "`)`")?;
+                    let body = self.stmt_or_block()?;
+                    Ok(Stmt::While { cond, body })
+                }
+                "for" => {
+                    self.bump();
+                    self.expect(&TokenKind::LParen, "`(`")?;
+                    let init = if self.eat(&TokenKind::Semi) {
+                        None
+                    } else if self.peek_type().is_some() {
+                        Some(Box::new(Stmt::VarDecl(self.var_decl()?)))
+                    } else {
+                        let e = self.expr_with_assign()?;
+                        self.expect(&TokenKind::Semi, "`;`")?;
+                        Some(Box::new(Stmt::Expr(e)))
+                    };
+                    let cond = if matches!(self.peek(), TokenKind::Semi) {
+                        None
+                    } else {
+                        Some(self.expr()?)
+                    };
+                    self.expect(&TokenKind::Semi, "`;`")?;
+                    let step = if matches!(self.peek(), TokenKind::RParen) {
+                        None
+                    } else {
+                        Some(self.expr_with_assign()?)
+                    };
+                    self.expect(&TokenKind::RParen, "`)`")?;
+                    let body = self.stmt_or_block()?;
+                    Ok(Stmt::For {
+                        init,
+                        cond,
+                        step,
+                        body,
+                    })
+                }
+                "switch" => {
+                    self.bump();
+                    self.expect(&TokenKind::LParen, "`(`")?;
+                    let scrutinee = self.expr()?;
+                    self.expect(&TokenKind::RParen, "`)`")?;
+                    self.expect(&TokenKind::LBrace, "`{`")?;
+                    let mut cases = Vec::new();
+                    let mut default = None;
+                    while !self.eat(&TokenKind::RBrace) {
+                        if self.is_kw("case") {
+                            self.bump();
+                            let k = self.expr()?;
+                            self.expect(&TokenKind::Colon, "`:`")?;
+                            cases.push((k, self.case_body()?));
+                        } else if self.is_kw("default") {
+                            self.bump();
+                            self.expect(&TokenKind::Colon, "`:`")?;
+                            default = Some(self.case_body()?);
+                        } else {
+                            return self.err(format!(
+                                "expected `case` or `default`, found {:?}",
+                                self.peek()
+                            ));
+                        }
+                    }
+                    Ok(Stmt::Switch {
+                        scrutinee,
+                        cases,
+                        default,
+                    })
+                }
+                "return" => {
+                    self.bump();
+                    let value = if matches!(self.peek(), TokenKind::Semi) {
+                        None
+                    } else {
+                        Some(self.expr()?)
+                    };
+                    self.expect(&TokenKind::Semi, "`;`")?;
+                    Ok(Stmt::Return(value))
+                }
+                "break" => {
+                    self.bump();
+                    self.expect(&TokenKind::Semi, "`;`")?;
+                    Ok(Stmt::Break)
+                }
+                "continue" => {
+                    self.bump();
+                    self.expect(&TokenKind::Semi, "`;`")?;
+                    Ok(Stmt::Continue)
+                }
+                _ => {
+                    let e = self.expr_with_assign()?;
+                    self.expect(&TokenKind::Semi, "`;`")?;
+                    Ok(Stmt::Expr(e))
+                }
+            },
+            _ => {
+                let e = self.expr_with_assign()?;
+                self.expect(&TokenKind::Semi, "`;`")?;
+                Ok(Stmt::Expr(e))
+            }
+        }
+    }
+
+    /// The body of a `case` arm: statements until `case`/`default`/`}`.
+    fn case_body(&mut self) -> Result<Block, CaplError> {
+        let mut stmts = Vec::new();
+        loop {
+            if matches!(self.peek(), TokenKind::RBrace)
+                || self.is_kw("case")
+                || self.is_kw("default")
+            {
+                break;
+            }
+            stmts.push(self.stmt()?);
+        }
+        // A trailing `break;` inside the arm is already consumed as a Stmt.
+        Ok(Block { stmts })
+    }
+
+    /// Expression including assignment forms (`=`, `+=`, `-=`, `++`, `--`).
+    fn expr_with_assign(&mut self) -> Result<Expr, CaplError> {
+        let lhs = self.expr()?;
+        match self.peek().clone() {
+            TokenKind::Assign => {
+                self.bump();
+                let rhs = self.expr_with_assign()?;
+                Ok(Expr::Assign {
+                    target: Box::new(lhs),
+                    value: Box::new(rhs),
+                })
+            }
+            TokenKind::PlusAssign => {
+                self.bump();
+                let rhs = self.expr()?;
+                Ok(Expr::Assign {
+                    target: Box::new(lhs.clone()),
+                    value: Box::new(Expr::Binary {
+                        op: BinOp::Add,
+                        lhs: Box::new(lhs),
+                        rhs: Box::new(rhs),
+                    }),
+                })
+            }
+            TokenKind::MinusAssign => {
+                self.bump();
+                let rhs = self.expr()?;
+                Ok(Expr::Assign {
+                    target: Box::new(lhs.clone()),
+                    value: Box::new(Expr::Binary {
+                        op: BinOp::Sub,
+                        lhs: Box::new(lhs),
+                        rhs: Box::new(rhs),
+                    }),
+                })
+            }
+            TokenKind::PlusPlus => {
+                self.bump();
+                Ok(incr(lhs, BinOp::Add))
+            }
+            TokenKind::MinusMinus => {
+                self.bump();
+                Ok(incr(lhs, BinOp::Sub))
+            }
+            _ => Ok(lhs),
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr, CaplError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, CaplError> {
+        let mut lhs = self.and_expr()?;
+        while self.eat(&TokenKind::OrOr) {
+            let rhs = self.and_expr()?;
+            lhs = bin(BinOp::Or, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, CaplError> {
+        let mut lhs = self.bitor_expr()?;
+        while self.eat(&TokenKind::AndAnd) {
+            let rhs = self.bitor_expr()?;
+            lhs = bin(BinOp::And, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn bitor_expr(&mut self) -> Result<Expr, CaplError> {
+        let mut lhs = self.bitxor_expr()?;
+        while self.eat(&TokenKind::Bar) {
+            let rhs = self.bitxor_expr()?;
+            lhs = bin(BinOp::BitOr, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn bitxor_expr(&mut self) -> Result<Expr, CaplError> {
+        let mut lhs = self.bitand_expr()?;
+        while self.eat(&TokenKind::Caret) {
+            let rhs = self.bitand_expr()?;
+            lhs = bin(BinOp::BitXor, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn bitand_expr(&mut self) -> Result<Expr, CaplError> {
+        let mut lhs = self.equality()?;
+        while self.eat(&TokenKind::Amp) {
+            let rhs = self.equality()?;
+            lhs = bin(BinOp::BitAnd, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn equality(&mut self) -> Result<Expr, CaplError> {
+        let mut lhs = self.relational()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Eq => BinOp::Eq,
+                TokenKind::Ne => BinOp::Ne,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.relational()?;
+            lhs = bin(op, lhs, rhs);
+        }
+    }
+
+    fn relational(&mut self) -> Result<Expr, CaplError> {
+        let mut lhs = self.shift()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Lt => BinOp::Lt,
+                TokenKind::Le => BinOp::Le,
+                TokenKind::Gt => BinOp::Gt,
+                TokenKind::Ge => BinOp::Ge,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.shift()?;
+            lhs = bin(op, lhs, rhs);
+        }
+    }
+
+    fn shift(&mut self) -> Result<Expr, CaplError> {
+        let mut lhs = self.additive()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Shl => BinOp::Shl,
+                TokenKind::Shr => BinOp::Shr,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.additive()?;
+            lhs = bin(op, lhs, rhs);
+        }
+    }
+
+    fn additive(&mut self) -> Result<Expr, CaplError> {
+        let mut lhs = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.multiplicative()?;
+            lhs = bin(op, lhs, rhs);
+        }
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr, CaplError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                TokenKind::Percent => BinOp::Mod,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.unary()?;
+            lhs = bin(op, lhs, rhs);
+        }
+    }
+
+    fn unary(&mut self) -> Result<Expr, CaplError> {
+        let op = match self.peek() {
+            TokenKind::Minus => Some(UnOp::Neg),
+            TokenKind::Not => Some(UnOp::Not),
+            TokenKind::Tilde => Some(UnOp::BitNot),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let e = self.unary()?;
+            return Ok(Expr::Unary {
+                op,
+                expr: Box::new(e),
+            });
+        }
+        self.postfix()
+    }
+
+    fn postfix(&mut self) -> Result<Expr, CaplError> {
+        let mut e = self.primary()?;
+        loop {
+            match self.peek() {
+                TokenKind::Dot => {
+                    self.bump();
+                    let member = self.ident("member name")?;
+                    e = Expr::Member {
+                        object: Box::new(e),
+                        member,
+                    };
+                }
+                TokenKind::LBracket => {
+                    self.bump();
+                    let index = self.expr()?;
+                    self.expect(&TokenKind::RBracket, "`]`")?;
+                    e = Expr::Index {
+                        array: Box::new(e),
+                        index: Box::new(index),
+                    };
+                }
+                _ => return Ok(e),
+            }
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr, CaplError> {
+        match self.peek().clone() {
+            TokenKind::Int(n) => {
+                self.bump();
+                Ok(Expr::Int(n))
+            }
+            TokenKind::Float(f) => {
+                self.bump();
+                Ok(Expr::Float(f))
+            }
+            TokenKind::Char(c) => {
+                self.bump();
+                Ok(Expr::Char(c))
+            }
+            TokenKind::Str(s) => {
+                self.bump();
+                Ok(Expr::Str(s))
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                if name == "this" {
+                    return Ok(Expr::This);
+                }
+                if self.eat(&TokenKind::LParen) {
+                    let mut args = Vec::new();
+                    if !self.eat(&TokenKind::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.eat(&TokenKind::Comma) {
+                                break;
+                            }
+                        }
+                        self.expect(&TokenKind::RParen, "`)`")?;
+                    }
+                    return Ok(Expr::Call { name, args });
+                }
+                Ok(Expr::Ident(name))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(&TokenKind::RParen, "`)`")?;
+                Ok(e)
+            }
+            other => self.err(format!("unexpected token {other:?} in expression")),
+        }
+    }
+}
+
+fn bin(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+    Expr::Binary {
+        op,
+        lhs: Box::new(lhs),
+        rhs: Box::new(rhs),
+    }
+}
+
+fn incr(lhs: Expr, op: BinOp) -> Expr {
+    Expr::Assign {
+        target: Box::new(lhs.clone()),
+        value: Box::new(Expr::Binary {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(Expr::Int(1)),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse(src: &str) -> Program {
+        parse_program(&lex(src).unwrap()).unwrap()
+    }
+
+    const ECU_EXAMPLE: &str = r#"
+        /* Simplified ECU node for the OTA update case study. */
+        includes
+        {
+          #include "common.cin"
+        }
+
+        variables
+        {
+          message reqSw msgReq;
+          message rptSw msgRpt;
+          msTimer tTick;
+          int updateCount = 0;
+        }
+
+        on start
+        {
+          setTimer(tTick, 100);
+        }
+
+        on message reqSw
+        {
+          output(msgRpt);
+          updateCount = updateCount + 1;
+        }
+
+        on timer tTick
+        {
+          setTimer(tTick, 100);
+        }
+
+        void reset(int hard)
+        {
+          if (hard > 0) {
+            updateCount = 0;
+          }
+        }
+    "#;
+
+    #[test]
+    fn parses_full_ecu_program() {
+        let p = parse(ECU_EXAMPLE);
+        assert_eq!(p.includes, vec!["common.cin".to_string()]);
+        assert_eq!(p.variables.len(), 4);
+        assert_eq!(p.handlers.len(), 3);
+        assert_eq!(p.functions.len(), 1);
+    }
+
+    #[test]
+    fn message_variable_declarations() {
+        let p = parse(ECU_EXAMPLE);
+        assert_eq!(p.variables[0].ty, Type::Message(MsgRef::Name("reqSw".into())));
+        assert_eq!(p.variables[3].init, Some(Expr::Int(0)));
+    }
+
+    #[test]
+    fn message_handler_by_id_and_star() {
+        let p = parse("on message 0x64 { } on message * { }");
+        assert_eq!(p.handlers[0].event, EventKind::Message(MsgRef::Id(0x64)));
+        assert_eq!(p.handlers[1].event, EventKind::Message(MsgRef::Any));
+    }
+
+    #[test]
+    fn key_handler() {
+        let p = parse("on key 'a' { write(\"pressed\"); }");
+        assert_eq!(p.handlers[0].event, EventKind::Key('a'));
+    }
+
+    #[test]
+    fn if_else_and_while() {
+        let p = parse(
+            "void f(int x) {
+                while (x > 0) {
+                    if (x == 1) { x = 0; } else x = x - 1;
+                }
+            }",
+        );
+        let body = &p.functions[0].body;
+        assert!(matches!(body.stmts[0], Stmt::While { .. }));
+    }
+
+    #[test]
+    fn for_loop_and_compound_assign() {
+        let p = parse(
+            "void f() {
+                int i;
+                for (i = 0; i < 8; i++) {
+                    total += i;
+                }
+            }",
+        );
+        let Stmt::For { init, cond, step, .. } = &p.functions[0].body.stmts[1] else {
+            panic!();
+        };
+        assert!(init.is_some());
+        assert!(cond.is_some());
+        assert!(matches!(step, Some(Expr::Assign { .. })));
+    }
+
+    #[test]
+    fn switch_statement() {
+        let p = parse(
+            "void f(int x) {
+                switch (x) {
+                    case 0: g(); break;
+                    case 1: h(); break;
+                    default: k();
+                }
+            }",
+        );
+        let Stmt::Switch { cases, default, .. } = &p.functions[0].body.stmts[0] else {
+            panic!();
+        };
+        assert_eq!(cases.len(), 2);
+        assert!(default.is_some());
+    }
+
+    #[test]
+    fn member_and_index_access() {
+        let p = parse("void f() { x = msg.byte_field; y = buf[2]; z = this.data; }");
+        let stmts = &p.functions[0].body.stmts;
+        assert!(matches!(&stmts[0], Stmt::Expr(Expr::Assign { value, .. })
+            if matches!(value.as_ref(), Expr::Member { .. })));
+        assert!(matches!(&stmts[1], Stmt::Expr(Expr::Assign { value, .. })
+            if matches!(value.as_ref(), Expr::Index { .. })));
+        assert!(matches!(&stmts[2], Stmt::Expr(Expr::Assign { value, .. })
+            if matches!(value.as_ref(), Expr::Member { object, .. } if matches!(object.as_ref(), Expr::This))));
+    }
+
+    #[test]
+    fn operator_precedence() {
+        let p = parse("void f() { x = 1 + 2 * 3 == 7 && 1 < 2; }");
+        let Stmt::Expr(Expr::Assign { value, .. }) = &p.functions[0].body.stmts[0] else {
+            panic!();
+        };
+        assert!(matches!(value.as_ref(), Expr::Binary { op: BinOp::And, .. }));
+    }
+
+    #[test]
+    fn array_declaration() {
+        let p = parse("variables { byte buffer[8]; }");
+        assert_eq!(p.variables[0].array, Some(8));
+    }
+
+    #[test]
+    fn error_on_bad_event() {
+        let toks = lex("on frobnicate { }").unwrap();
+        assert!(parse_program(&toks).is_err());
+    }
+
+    #[test]
+    fn empty_program() {
+        let p = parse("");
+        assert!(p.handlers.is_empty());
+    }
+}

@@ -1,0 +1,352 @@
+//! Pretty-printing of CAPL ASTs back to source text.
+//!
+//! The printer produces canonical formatting; `parse ∘ print` is the
+//! identity on ASTs, which the round-trip tests (including property-based
+//! ones) verify. Useful for code generators and for normalising source in
+//! tooling.
+
+use std::fmt::Write as _;
+
+use crate::ast::*;
+
+/// Render a whole program in canonical formatting.
+pub fn program(p: &Program) -> String {
+    let mut out = String::new();
+    if !p.includes.is_empty() {
+        out.push_str("includes\n{\n");
+        for inc in &p.includes {
+            let _ = writeln!(out, "  #include \"{inc}\"");
+        }
+        out.push_str("}\n\n");
+    }
+    if !p.variables.is_empty() {
+        out.push_str("variables\n{\n");
+        for v in &p.variables {
+            let _ = writeln!(out, "  {}", var_decl(v));
+        }
+        out.push_str("}\n\n");
+    }
+    for h in &p.handlers {
+        let _ = writeln!(out, "on {}", event_kind(&h.event));
+        out.push_str(&block(&h.body, 0));
+        out.push('\n');
+    }
+    for f in &p.functions {
+        let params = f
+            .params
+            .iter()
+            .map(|(t, n)| format!("{} {n}", type_name(t)))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let _ = writeln!(out, "{} {}({params})", type_name(&f.ret), f.name);
+        out.push_str(&block(&f.body, 0));
+        out.push('\n');
+    }
+    out
+}
+
+fn event_kind(e: &EventKind) -> String {
+    match e {
+        EventKind::Start => "start".into(),
+        EventKind::PreStart => "preStart".into(),
+        EventKind::StopMeasurement => "stopMeasurement".into(),
+        EventKind::Message(m) => format!("message {}", msg_ref(m)),
+        EventKind::Timer(t) => format!("timer {t}"),
+        EventKind::Key(c) => format!("key '{c}'"),
+    }
+}
+
+fn msg_ref(m: &MsgRef) -> String {
+    match m {
+        MsgRef::Name(n) => n.clone(),
+        MsgRef::Id(id) => format!("0x{id:x}"),
+        MsgRef::Any => "*".into(),
+    }
+}
+
+fn type_name(t: &Type) -> String {
+    match t {
+        Type::Int => "int".into(),
+        Type::Long => "long".into(),
+        Type::Byte => "byte".into(),
+        Type::Word => "word".into(),
+        Type::Dword => "dword".into(),
+        Type::Char => "char".into(),
+        Type::Float => "float".into(),
+        Type::Message(m) => format!("message {}", msg_ref(m)),
+        Type::MsTimer => "msTimer".into(),
+        Type::Timer => "timer".into(),
+        Type::Void => "void".into(),
+    }
+}
+
+fn var_decl(v: &VarDecl) -> String {
+    let mut s = format!("{} {}", type_name(&v.ty), v.name);
+    if let Some(n) = v.array {
+        let _ = write!(s, "[{n}]");
+    }
+    if let Some(init) = &v.init {
+        let _ = write!(s, " = {}", expr(init));
+    }
+    s.push(';');
+    s
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn block(b: &Block, depth: usize) -> String {
+    let mut out = String::new();
+    indent(&mut out, depth);
+    out.push_str("{\n");
+    for s in &b.stmts {
+        out.push_str(&stmt(s, depth + 1));
+    }
+    indent(&mut out, depth);
+    out.push_str("}\n");
+    out
+}
+
+fn stmt(s: &Stmt, depth: usize) -> String {
+    let mut out = String::new();
+    match s {
+        Stmt::VarDecl(v) => {
+            indent(&mut out, depth);
+            out.push_str(&var_decl(v));
+            out.push('\n');
+        }
+        Stmt::Expr(e) => {
+            indent(&mut out, depth);
+            out.push_str(&expr(e));
+            out.push_str(";\n");
+        }
+        Stmt::If { cond, then, els } => {
+            indent(&mut out, depth);
+            let _ = writeln!(out, "if ({})", expr(cond));
+            out.push_str(&block(then, depth));
+            if let Some(els) = els {
+                indent(&mut out, depth);
+                out.push_str("else\n");
+                out.push_str(&block(els, depth));
+            }
+        }
+        Stmt::While { cond, body } => {
+            indent(&mut out, depth);
+            let _ = writeln!(out, "while ({})", expr(cond));
+            out.push_str(&block(body, depth));
+        }
+        Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+        } => {
+            indent(&mut out, depth);
+            let init_text = match init {
+                Some(boxed) => match boxed.as_ref() {
+                    Stmt::Expr(e) => expr(e),
+                    Stmt::VarDecl(v) => {
+                        let d = var_decl(v);
+                        d.trim_end_matches(';').to_owned()
+                    }
+                    _ => String::new(),
+                },
+                None => String::new(),
+            };
+            let cond_text = cond.as_ref().map(expr).unwrap_or_default();
+            let step_text = step.as_ref().map(expr).unwrap_or_default();
+            let _ = writeln!(out, "for ({init_text}; {cond_text}; {step_text})");
+            out.push_str(&block(body, depth));
+        }
+        Stmt::Switch {
+            scrutinee,
+            cases,
+            default,
+        } => {
+            indent(&mut out, depth);
+            let _ = writeln!(out, "switch ({})", expr(scrutinee));
+            indent(&mut out, depth);
+            out.push_str("{\n");
+            for (k, b) in cases {
+                indent(&mut out, depth + 1);
+                let _ = writeln!(out, "case {}:", expr(k));
+                for s in &b.stmts {
+                    out.push_str(&stmt(s, depth + 2));
+                }
+            }
+            if let Some(d) = default {
+                indent(&mut out, depth + 1);
+                out.push_str("default:\n");
+                for s in &d.stmts {
+                    out.push_str(&stmt(s, depth + 2));
+                }
+            }
+            indent(&mut out, depth);
+            out.push_str("}\n");
+        }
+        Stmt::Return(e) => {
+            indent(&mut out, depth);
+            match e {
+                Some(e) => {
+                    let _ = writeln!(out, "return {};", expr(e));
+                }
+                None => out.push_str("return;\n"),
+            }
+        }
+        Stmt::Break => {
+            indent(&mut out, depth);
+            out.push_str("break;\n");
+        }
+        Stmt::Continue => {
+            indent(&mut out, depth);
+            out.push_str("continue;\n");
+        }
+        Stmt::Block(b) => out.push_str(&block(b, depth)),
+    }
+    out
+}
+
+/// Operands of postfix `.member` / `[index]` need parentheses when they are
+/// unary/assignment expressions (binary operands already print their own).
+fn postfix_operand(e: &Expr) -> String {
+    match e {
+        Expr::Unary { .. } | Expr::Assign { .. } => format!("({})", expr(e)),
+        other => expr(other),
+    }
+}
+
+/// Render an expression (fully parenthesised where precedence matters).
+pub fn expr(e: &Expr) -> String {
+    match e {
+        Expr::Int(n) => n.to_string(),
+        Expr::Float(f) => {
+            if f.fract() == 0.0 {
+                format!("{f:.1}")
+            } else {
+                f.to_string()
+            }
+        }
+        Expr::Char(c) => format!("'{c}'"),
+        Expr::Str(s) => format!(
+            "\"{}\"",
+            s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+        ),
+        Expr::Ident(n) => n.clone(),
+        Expr::This => "this".into(),
+        Expr::Member { object, member } => {
+            format!("{}.{member}", postfix_operand(object))
+        }
+        Expr::Index { array, index } => {
+            format!("{}[{}]", postfix_operand(array), expr(index))
+        }
+        Expr::Call { name, args } => {
+            let a = args.iter().map(expr).collect::<Vec<_>>().join(", ");
+            format!("{name}({a})")
+        }
+        Expr::Unary { op, expr: inner } => {
+            let op = match op {
+                UnOp::Neg => "-",
+                UnOp::Not => "!",
+                UnOp::BitNot => "~",
+            };
+            // Parenthesise the operand so `-(-x)` never prints as `--x`.
+            format!("{op}({})", expr(inner))
+        }
+        Expr::Binary { op, lhs, rhs } => {
+            let op = match op {
+                BinOp::Add => "+",
+                BinOp::Sub => "-",
+                BinOp::Mul => "*",
+                BinOp::Div => "/",
+                BinOp::Mod => "%",
+                BinOp::Eq => "==",
+                BinOp::Ne => "!=",
+                BinOp::Lt => "<",
+                BinOp::Le => "<=",
+                BinOp::Gt => ">",
+                BinOp::Ge => ">=",
+                BinOp::And => "&&",
+                BinOp::Or => "||",
+                BinOp::BitAnd => "&",
+                BinOp::BitOr => "|",
+                BinOp::BitXor => "^",
+                BinOp::Shl => "<<",
+                BinOp::Shr => ">>",
+            };
+            format!("({} {op} {})", expr(lhs), expr(rhs))
+        }
+        Expr::Assign { target, value } => format!("{} = {}", expr(target), expr(value)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    fn strip_positions(p: &Program) -> String {
+        // ASTs carry source positions; compare via re-printing instead.
+        program(p)
+    }
+
+    fn roundtrip(src: &str) {
+        let p1 = parse(src).unwrap();
+        let printed = program(&p1);
+        let p2 = parse(&printed)
+            .unwrap_or_else(|e| panic!("re-parse failed: {e}\n--- printed ---\n{printed}"));
+        assert_eq!(
+            strip_positions(&p1),
+            strip_positions(&p2),
+            "printing is not a fixpoint for\n{printed}"
+        );
+    }
+
+    #[test]
+    fn roundtrips_the_case_study_sources() {
+        for src in [
+            "variables { message reqSw m; int n = 0; } on message reqSw { output(m); n = n + 1; }",
+            "includes { #include \"common.cin\" } on start { }",
+            "variables { msTimer t; } on start { setTimer(t, 100); } on timer t { cancelTimer(t); }",
+        ] {
+            roundtrip(src);
+        }
+    }
+
+    #[test]
+    fn roundtrips_control_flow() {
+        roundtrip(
+            "void f(int x) {
+                if (x > 0) { x = x - 1; } else { x = 0; }
+                while (x < 10) { x = x + 1; }
+                for (x = 0; x < 8; x = x + 1) { g(x); }
+                switch (x) { case 1: g(1); break; default: g(0); }
+                return;
+             }
+             void g(int y) { }",
+        );
+    }
+
+    #[test]
+    fn roundtrips_expressions() {
+        roundtrip(
+            "variables { message 0x64 m; byte buf[4]; }
+             on message * {
+                buf[0] = this.sig + 1 * 2;
+                m.field = (buf[1] >> 2) & 0xF;
+                write(\"x=%d\", buf[0]);
+             }",
+        );
+    }
+
+    #[test]
+    fn printed_output_is_stable() {
+        let src = "variables { int a = 1; } on start { a = a + 1; }";
+        let p = parse(src).unwrap();
+        let once = program(&p);
+        let twice = program(&parse(&once).unwrap());
+        assert_eq!(once, twice);
+    }
+}

@@ -1,0 +1,429 @@
+//! Symbol table construction and semantic diagnostics for CAPL programs.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::ast::*;
+use crate::error::Pos;
+
+/// Diagnostic severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// A definite error (e.g. undeclared variable).
+    Error,
+    /// A likely mistake (e.g. timer never set).
+    Warning,
+}
+
+/// A semantic diagnostic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// How severe the issue is.
+    pub severity: Severity,
+    /// Where it was detected (best effort).
+    pub pos: Pos,
+    /// Description.
+    pub message: String,
+}
+
+/// The result of analysing a program: global symbols plus diagnostics.
+#[derive(Debug, Clone, Default)]
+pub struct SymbolReport {
+    globals: HashMap<String, Type>,
+    diagnostics: Vec<Diagnostic>,
+}
+
+impl SymbolReport {
+    /// Type of a global variable, if declared.
+    pub fn global(&self, name: &str) -> Option<&Type> {
+        self.globals.get(name)
+    }
+
+    /// All diagnostics, in detection order.
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diagnostics
+    }
+
+    /// Only the error-severity diagnostics.
+    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+    }
+}
+
+/// CAPL built-in functions callable from application code.
+const BUILTINS: &[&str] = &[
+    "output",
+    "setTimer",
+    "cancelTimer",
+    "write",
+    "getValue",
+    "putValue",
+    "timeNow",
+    "random",
+];
+
+/// Analyse `program`: build the global symbol table and report undeclared
+/// names, duplicate handlers, unknown callees and suspicious timer usage.
+pub fn analyze(program: &Program) -> SymbolReport {
+    let mut report = SymbolReport::default();
+
+    // Globals.
+    for v in &program.variables {
+        if report
+            .globals
+            .insert(v.name.clone(), v.ty.clone())
+            .is_some()
+        {
+            report.diagnostics.push(Diagnostic {
+                severity: Severity::Error,
+                pos: v.pos,
+                message: format!("global `{}` declared twice", v.name),
+            });
+        }
+    }
+
+    // Duplicate handlers.
+    let mut seen_events: Vec<&EventKind> = Vec::new();
+    for h in &program.handlers {
+        if seen_events.contains(&&h.event) {
+            report.diagnostics.push(Diagnostic {
+                severity: Severity::Error,
+                pos: h.pos,
+                message: format!("duplicate handler for {:?}", h.event),
+            });
+        }
+        seen_events.push(&h.event);
+    }
+
+    // Timer references in handlers must be declared timer variables.
+    for h in &program.handlers {
+        if let EventKind::Timer(t) = &h.event {
+            match report.globals.get(t) {
+                Some(Type::MsTimer | Type::Timer) => {}
+                Some(_) => report.diagnostics.push(Diagnostic {
+                    severity: Severity::Error,
+                    pos: h.pos,
+                    message: format!("`{t}` is not a timer variable"),
+                }),
+                None => report.diagnostics.push(Diagnostic {
+                    severity: Severity::Error,
+                    pos: h.pos,
+                    message: format!("timer `{t}` is not declared"),
+                }),
+            }
+        }
+    }
+
+    let function_names: HashSet<&str> = program.functions.iter().map(|f| f.name.as_str()).collect();
+
+    // Walk all bodies.
+    let mut set_timers: HashSet<String> = HashSet::new();
+    for h in &program.handlers {
+        let mut scope = Scope::new(&report.globals, &function_names, h.pos);
+        scope.walk_block(&h.body);
+        report.diagnostics.extend(scope.diagnostics);
+        set_timers.extend(scope.set_timers);
+    }
+    for f in &program.functions {
+        let mut scope = Scope::new(&report.globals, &function_names, f.pos);
+        for (ty, name) in &f.params {
+            scope.locals.push((name.clone(), ty.clone()));
+        }
+        scope.walk_block(&f.body);
+        report.diagnostics.extend(scope.diagnostics);
+        set_timers.extend(scope.set_timers);
+    }
+
+    // Timers with a handler but never set will never fire.
+    for h in &program.handlers {
+        if let EventKind::Timer(t) = &h.event {
+            if !set_timers.contains(t) {
+                report.diagnostics.push(Diagnostic {
+                    severity: Severity::Warning,
+                    pos: h.pos,
+                    message: format!("timer `{t}` has a handler but is never set"),
+                });
+            }
+        }
+    }
+
+    report
+}
+
+struct Scope<'a> {
+    globals: &'a HashMap<String, Type>,
+    functions: &'a HashSet<&'a str>,
+    locals: Vec<(String, Type)>,
+    diagnostics: Vec<Diagnostic>,
+    set_timers: HashSet<String>,
+    pos: Pos,
+}
+
+impl<'a> Scope<'a> {
+    fn new(
+        globals: &'a HashMap<String, Type>,
+        functions: &'a HashSet<&'a str>,
+        pos: Pos,
+    ) -> Scope<'a> {
+        Scope {
+            globals,
+            functions,
+            locals: Vec::new(),
+            diagnostics: Vec::new(),
+            set_timers: HashSet::new(),
+            pos,
+        }
+    }
+
+    fn known(&self, name: &str) -> bool {
+        self.locals.iter().any(|(n, _)| n == name) || self.globals.contains_key(name)
+    }
+
+    fn error(&mut self, message: String) {
+        self.diagnostics.push(Diagnostic {
+            severity: Severity::Error,
+            pos: self.pos,
+            message,
+        });
+    }
+
+    fn walk_block(&mut self, block: &Block) {
+        let depth = self.locals.len();
+        for s in &block.stmts {
+            self.walk_stmt(s);
+        }
+        self.locals.truncate(depth);
+    }
+
+    fn walk_stmt(&mut self, stmt: &Stmt) {
+        match stmt {
+            Stmt::VarDecl(v) => {
+                if let Some(init) = &v.init {
+                    self.walk_expr(init);
+                }
+                self.locals.push((v.name.clone(), v.ty.clone()));
+            }
+            Stmt::Expr(e) => self.walk_expr(e),
+            Stmt::If { cond, then, els } => {
+                self.walk_expr(cond);
+                self.walk_block(then);
+                if let Some(els) = els {
+                    self.walk_block(els);
+                }
+            }
+            Stmt::While { cond, body } => {
+                self.walk_expr(cond);
+                self.walk_block(body);
+            }
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                let depth = self.locals.len();
+                if let Some(init) = init {
+                    self.walk_stmt(init);
+                }
+                if let Some(cond) = cond {
+                    self.walk_expr(cond);
+                }
+                if let Some(step) = step {
+                    self.walk_expr(step);
+                }
+                self.walk_block(body);
+                self.locals.truncate(depth);
+            }
+            Stmt::Switch {
+                scrutinee,
+                cases,
+                default,
+            } => {
+                self.walk_expr(scrutinee);
+                for (k, b) in cases {
+                    self.walk_expr(k);
+                    self.walk_block(b);
+                }
+                if let Some(d) = default {
+                    self.walk_block(d);
+                }
+            }
+            Stmt::Return(Some(e)) => self.walk_expr(e),
+            Stmt::Return(None) | Stmt::Break | Stmt::Continue => {}
+            Stmt::Block(b) => self.walk_block(b),
+        }
+    }
+
+    fn walk_expr(&mut self, expr: &Expr) {
+        match expr {
+            Expr::Int(_) | Expr::Float(_) | Expr::Char(_) | Expr::Str(_) | Expr::This => {}
+            Expr::Ident(name) => {
+                if !self.known(name) {
+                    self.error(format!("`{name}` is not declared"));
+                }
+            }
+            Expr::Member { object, .. } => self.walk_expr(object),
+            Expr::Index { array, index } => {
+                self.walk_expr(array);
+                self.walk_expr(index);
+            }
+            Expr::Call { name, args } => {
+                if name == "setTimer" || name == "cancelTimer" {
+                    if let Some(Expr::Ident(t)) = args.first() {
+                        match self.globals.get(t) {
+                            Some(Type::MsTimer | Type::Timer) => {
+                                if name == "setTimer" {
+                                    self.set_timers.insert(t.clone());
+                                }
+                            }
+                            _ => self.error(format!("`{t}` is not a declared timer")),
+                        }
+                    }
+                    for a in args.iter().skip(1) {
+                        self.walk_expr(a);
+                    }
+                    return;
+                }
+                if name == "output" {
+                    if let Some(Expr::Ident(m)) = args.first() {
+                        // Message objects must be declared (either as a
+                        // `message` variable or as a bare symbolic name that
+                        // the network database resolves).
+                        if !self.known(m) {
+                            // Symbolic database names are allowed; this is
+                            // only a warning because no database is attached
+                            // at this stage.
+                            self.diagnostics.push(Diagnostic {
+                                severity: Severity::Warning,
+                                pos: self.pos,
+                                message: format!(
+                                    "`{m}` is not a declared message variable; assuming it is a database message name"
+                                ),
+                            });
+                        }
+                    }
+                    for a in args.iter().skip(1) {
+                        self.walk_expr(a);
+                    }
+                    return;
+                }
+                if !BUILTINS.contains(&name.as_str()) && !self.functions.contains(name.as_str()) {
+                    self.error(format!("call to unknown function `{name}`"));
+                }
+                for a in args {
+                    self.walk_expr(a);
+                }
+            }
+            Expr::Unary { expr, .. } => self.walk_expr(expr),
+            Expr::Binary { lhs, rhs, .. } => {
+                self.walk_expr(lhs);
+                self.walk_expr(rhs);
+            }
+            Expr::Assign { target, value } => {
+                self.walk_expr(target);
+                self.walk_expr(value);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    fn report(src: &str) -> SymbolReport {
+        analyze(&parse(src).unwrap())
+    }
+
+    #[test]
+    fn clean_program_has_no_errors() {
+        let r = report(
+            "variables { message reqSw m; msTimer t; int n = 0; }
+             on start { setTimer(t, 100); }
+             on message reqSw { output(m); n = n + 1; }
+             on timer t { setTimer(t, 100); }",
+        );
+        assert_eq!(r.errors().count(), 0, "{:?}", r.diagnostics());
+    }
+
+    #[test]
+    fn undeclared_variable_is_an_error() {
+        let r = report("on start { ghost = 1; }");
+        assert!(r.errors().any(|d| d.message.contains("ghost")));
+    }
+
+    #[test]
+    fn duplicate_global_is_an_error() {
+        let r = report("variables { int x; int x; }");
+        assert!(r.errors().any(|d| d.message.contains("declared twice")));
+    }
+
+    #[test]
+    fn duplicate_handler_is_an_error() {
+        let r = report("on start { } on start { }");
+        assert!(r.errors().any(|d| d.message.contains("duplicate handler")));
+    }
+
+    #[test]
+    fn undeclared_timer_handler_is_an_error() {
+        let r = report("on timer t { }");
+        assert!(r.errors().any(|d| d.message.contains("not declared")));
+    }
+
+    #[test]
+    fn timer_never_set_is_a_warning() {
+        let r = report("variables { msTimer t; } on timer t { }");
+        assert_eq!(r.errors().count(), 0);
+        assert!(r
+            .diagnostics()
+            .iter()
+            .any(|d| d.severity == Severity::Warning && d.message.contains("never set")));
+    }
+
+    #[test]
+    fn set_timer_on_non_timer_is_an_error() {
+        let r = report("variables { int t; } on start { setTimer(t, 5); }");
+        assert!(r.errors().any(|d| d.message.contains("not a declared timer")));
+    }
+
+    #[test]
+    fn unknown_function_is_an_error() {
+        let r = report("on start { launchMissiles(); }");
+        assert!(r.errors().any(|d| d.message.contains("launchMissiles")));
+    }
+
+    #[test]
+    fn user_function_call_is_fine() {
+        let r = report(
+            "void helper(int x) { }
+             on start { helper(1); }",
+        );
+        assert_eq!(r.errors().count(), 0);
+    }
+
+    #[test]
+    fn locals_scope_to_their_block() {
+        let r = report(
+            "void f() {
+                if (1 > 0) { int local; local = 2; }
+                local = 3;
+             }",
+        );
+        assert!(r.errors().any(|d| d.message.contains("local")));
+    }
+
+    #[test]
+    fn function_params_are_in_scope() {
+        let r = report("void f(int x) { x = x + 1; }");
+        assert_eq!(r.errors().count(), 0);
+    }
+
+    #[test]
+    fn globals_accessor() {
+        let r = report("variables { int n = 0; }");
+        assert_eq!(r.global("n"), Some(&Type::Int));
+        assert_eq!(r.global("m"), None);
+    }
+}

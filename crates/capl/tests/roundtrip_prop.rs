@@ -1,0 +1,173 @@
+//! Property-based round-trip: for randomly generated CAPL programs,
+//! `parse(print(ast)) == ast` (up to source positions, compared via
+//! re-printing).
+
+use capl::ast::*;
+use proptest::prelude::*;
+
+fn ident() -> impl Strategy<Value = String> {
+    // Avoid keywords and type names.
+    "[a-z][a-zA-Z0-9_]{0,6}".prop_filter("keyword", |s| {
+        ![
+            "on", "if", "else", "while", "for", "switch", "case", "default", "return", "break",
+            "continue", "int", "long", "byte", "word", "dword", "char", "float", "double",
+            "message", "msTimer", "timer", "void", "this", "includes", "variables", "output",
+            "start",
+        ]
+        .contains(&s.as_str())
+    })
+}
+
+fn scalar_type() -> impl Strategy<Value = Type> {
+    prop_oneof![
+        Just(Type::Int),
+        Just(Type::Long),
+        Just(Type::Byte),
+        Just(Type::Word),
+        Just(Type::Dword),
+        Just(Type::Char),
+    ]
+}
+
+fn arb_expr(depth: u32) -> BoxedStrategy<Expr> {
+    let leaf = prop_oneof![
+        (0i64..1000).prop_map(Expr::Int),
+        ident().prop_map(Expr::Ident),
+        Just(Expr::This),
+        "[ -~&&[^\"\\\\%']]{0,8}".prop_map(Expr::Str),
+    ];
+    leaf.prop_recursive(depth, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone(), arb_binop()).prop_map(|(l, r, op)| Expr::Binary {
+                op,
+                lhs: Box::new(l),
+                rhs: Box::new(r),
+            }),
+            (inner.clone(), ident()).prop_map(|(o, m)| Expr::Member {
+                object: Box::new(o),
+                member: m,
+            }),
+            (ident(), proptest::collection::vec(inner.clone(), 0..3))
+                .prop_map(|(name, args)| Expr::Call { name, args }),
+            (ident(), inner.clone()).prop_map(|(v, idx)| Expr::Index {
+                array: Box::new(Expr::Ident(v)),
+                index: Box::new(idx),
+            }),
+            (inner.clone(), arb_unop()).prop_map(|(e, op)| Expr::Unary {
+                op,
+                expr: Box::new(e),
+            }),
+        ]
+    })
+    .boxed()
+}
+
+fn arb_binop() -> impl Strategy<Value = BinOp> {
+    prop_oneof![
+        Just(BinOp::Add),
+        Just(BinOp::Sub),
+        Just(BinOp::Mul),
+        Just(BinOp::Div),
+        Just(BinOp::Eq),
+        Just(BinOp::Lt),
+        Just(BinOp::And),
+        Just(BinOp::BitOr),
+        Just(BinOp::Shl),
+    ]
+}
+
+fn arb_unop() -> impl Strategy<Value = UnOp> {
+    prop_oneof![Just(UnOp::Neg), Just(UnOp::Not), Just(UnOp::BitNot)]
+}
+
+fn arb_stmt(depth: u32) -> BoxedStrategy<Stmt> {
+    let leaf = prop_oneof![
+        (ident(), arb_expr(2)).prop_map(|(v, e)| Stmt::Expr(Expr::Assign {
+            target: Box::new(Expr::Ident(v)),
+            value: Box::new(e),
+        })),
+        arb_expr(2).prop_map(|e| match e {
+            // Bare non-call expressions are printed as statements fine, but
+            // keep them call-like for realism.
+            Expr::Call { .. } => Stmt::Expr(e),
+            other => Stmt::Expr(Expr::Assign {
+                target: Box::new(Expr::Ident("x".to_owned())),
+                value: Box::new(other),
+            }),
+        }),
+        Just(Stmt::Break),
+        Just(Stmt::Continue),
+        proptest::option::of(arb_expr(1)).prop_map(Stmt::Return),
+        (scalar_type(), ident(), proptest::option::of(arb_expr(1))).prop_map(
+            |(ty, name, init)| Stmt::VarDecl(VarDecl {
+                ty,
+                name,
+                array: None,
+                init,
+                pos: capl::Pos::default(),
+            })
+        ),
+    ];
+    leaf.prop_recursive(depth, 12, 2, |inner| {
+        let blk = proptest::collection::vec(inner.clone(), 0..3)
+            .prop_map(|stmts| Block { stmts });
+        prop_oneof![
+            (arb_expr(1), blk.clone(), proptest::option::of(blk.clone())).prop_map(
+                |(cond, then, els)| Stmt::If { cond, then, els }
+            ),
+            (arb_expr(1), blk.clone()).prop_map(|(cond, body)| Stmt::While { cond, body }),
+            blk.prop_map(Stmt::Block),
+        ]
+    })
+    .boxed()
+}
+
+fn arb_program() -> impl Strategy<Value = Program> {
+    (
+        proptest::collection::vec(
+            (scalar_type(), ident(), proptest::option::of(arb_expr(1))),
+            0..4,
+        ),
+        proptest::collection::vec(arb_stmt(2), 0..4),
+        proptest::collection::vec(arb_stmt(2), 0..4),
+    )
+        .prop_map(|(vars, start_body, msg_body)| Program {
+            includes: vec![],
+            variables: vars
+                .into_iter()
+                .map(|(ty, name, init)| VarDecl {
+                    ty,
+                    name,
+                    array: None,
+                    init,
+                    pos: capl::Pos::default(),
+                })
+                .collect(),
+            handlers: vec![
+                EventHandler {
+                    event: EventKind::Start,
+                    body: Block { stmts: start_body },
+                    pos: capl::Pos::default(),
+                },
+                EventHandler {
+                    event: EventKind::Message(MsgRef::Name("reqSw".to_owned())),
+                    body: Block { stmts: msg_body },
+                    pos: capl::Pos::default(),
+                },
+            ],
+            functions: vec![],
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn print_parse_roundtrip(program in arb_program()) {
+        let printed = capl::pretty::program(&program);
+        let reparsed = capl::parse(&printed)
+            .unwrap_or_else(|e| panic!("re-parse failed: {e}\n{printed}"));
+        let reprinted = capl::pretty::program(&reparsed);
+        prop_assert_eq!(printed, reprinted);
+    }
+}

@@ -1,0 +1,387 @@
+//! Event interning, transition labels, event sets and renaming maps.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// An interned visible event.
+///
+/// `EventId`s are small, copyable handles into an [`Alphabet`]. Two ids are
+/// equal exactly when they were interned from the same event name in the same
+/// alphabet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EventId(pub(crate) u32);
+
+impl EventId {
+    /// Raw index of this event within its alphabet.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Construct an event id from a raw index.
+    ///
+    /// Intended for deserialisation and table-driven tests; the caller must
+    /// ensure the index is valid for the alphabet it will be used with.
+    pub fn from_index(index: usize) -> Self {
+        EventId(index as u32)
+    }
+}
+
+/// A transition label: a visible event, the silent `τ`, or termination `✓`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Label {
+    /// The silent, internal action.
+    Tau,
+    /// Successful termination (CSP's `✓`).
+    Tick,
+    /// A visible event.
+    Event(EventId),
+}
+
+impl Label {
+    /// Is this the silent action?
+    pub fn is_tau(self) -> bool {
+        matches!(self, Label::Tau)
+    }
+
+    /// Is this the termination signal?
+    pub fn is_tick(self) -> bool {
+        matches!(self, Label::Tick)
+    }
+
+    /// The visible event carried by this label, if any.
+    pub fn event(self) -> Option<EventId> {
+        match self {
+            Label::Event(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// An interner mapping event names (e.g. `"send.reqSw"`) to [`EventId`]s.
+///
+/// The alphabet also remembers the dotted structure of compound CSPm events so
+/// that channel-based sets (`{| send |}` in CSPm) can be reconstructed.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Alphabet {
+    names: Vec<String>,
+    by_name: BTreeMap<String, EventId>,
+}
+
+impl Alphabet {
+    /// Create an empty alphabet.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern `name`, returning its id. Idempotent.
+    pub fn intern(&mut self, name: &str) -> EventId {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = EventId(self.names.len() as u32);
+        self.names.push(name.to_owned());
+        self.by_name.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Look up an already-interned event by name.
+    pub fn lookup(&self, name: &str) -> Option<EventId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The name of an event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this alphabet.
+    pub fn name(&self, id: EventId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Number of interned events.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the alphabet is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// All events whose name equals `channel` or starts with `channel.`.
+    ///
+    /// This implements CSPm's *productions* operator `{| channel |}`.
+    pub fn productions(&self, channel: &str) -> EventSet {
+        let prefix = format!("{channel}.");
+        self.iter()
+            .filter(|&(_, name)| name == channel || name.starts_with(&prefix))
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Iterate over `(id, name)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (EventId, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (EventId(i as u32), n.as_str()))
+    }
+
+    /// The set of every event in the alphabet.
+    pub fn universe(&self) -> EventSet {
+        (0..self.names.len() as u32).map(EventId).collect()
+    }
+}
+
+/// An immutable set of visible events, stored sorted for cheap hashing.
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EventSet {
+    sorted: Vec<EventId>,
+}
+
+impl EventSet {
+    /// The empty set.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// A singleton set.
+    pub fn singleton(e: EventId) -> Self {
+        EventSet { sorted: vec![e] }
+    }
+
+    /// Build from any iterator of events (duplicates are removed).
+    pub fn from_iter_dedup<I: IntoIterator<Item = EventId>>(iter: I) -> Self {
+        let mut v: Vec<EventId> = iter.into_iter().collect();
+        v.sort_unstable();
+        v.dedup();
+        EventSet { sorted: v }
+    }
+
+    /// Membership test.
+    pub fn contains(&self, e: EventId) -> bool {
+        self.sorted.binary_search(&e).is_ok()
+    }
+
+    /// Number of events in the set.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &EventSet) -> EventSet {
+        EventSet::from_iter_dedup(self.sorted.iter().chain(other.sorted.iter()).copied())
+    }
+
+    /// Set intersection.
+    pub fn intersection(&self, other: &EventSet) -> EventSet {
+        EventSet {
+            sorted: self
+                .sorted
+                .iter()
+                .copied()
+                .filter(|e| other.contains(*e))
+                .collect(),
+        }
+    }
+
+    /// Set difference (`self \ other`).
+    pub fn difference(&self, other: &EventSet) -> EventSet {
+        EventSet {
+            sorted: self
+                .sorted
+                .iter()
+                .copied()
+                .filter(|e| !other.contains(*e))
+                .collect(),
+        }
+    }
+
+    /// Is `self` a subset of `other`?
+    pub fn is_subset(&self, other: &EventSet) -> bool {
+        self.sorted.iter().all(|e| other.contains(*e))
+    }
+
+    /// Iterate over the events in ascending id order.
+    pub fn iter(&self) -> impl Iterator<Item = EventId> + '_ {
+        self.sorted.iter().copied()
+    }
+}
+
+impl FromIterator<EventId> for EventSet {
+    fn from_iter<I: IntoIterator<Item = EventId>>(iter: I) -> Self {
+        EventSet::from_iter_dedup(iter)
+    }
+}
+
+impl Extend<EventId> for EventSet {
+    fn extend<I: IntoIterator<Item = EventId>>(&mut self, iter: I) {
+        let extra: Vec<EventId> = iter.into_iter().collect();
+        *self = EventSet::from_iter_dedup(self.sorted.iter().copied().chain(extra));
+    }
+}
+
+impl fmt::Display for EventSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, e) in self.sorted.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", e.0)?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// A functional event renaming, as used by the CSP renaming operator `P[[R]]`.
+///
+/// Events not present in the map are left unchanged.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RenameMap {
+    pairs: Vec<(EventId, EventId)>,
+}
+
+impl RenameMap {
+    /// An empty (identity) renaming.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add the mapping `from ↦ to`, replacing any previous mapping of `from`.
+    pub fn insert(&mut self, from: EventId, to: EventId) {
+        match self.pairs.binary_search_by_key(&from, |p| p.0) {
+            Ok(i) => self.pairs[i].1 = to,
+            Err(i) => self.pairs.insert(i, (from, to)),
+        }
+    }
+
+    /// Apply the renaming to one event.
+    pub fn apply(&self, e: EventId) -> EventId {
+        match self.pairs.binary_search_by_key(&e, |p| p.0) {
+            Ok(i) => self.pairs[i].1,
+            Err(_) => e,
+        }
+    }
+
+    /// Iterate over the `(from, to)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (EventId, EventId)> + '_ {
+        self.pairs.iter().copied()
+    }
+
+    /// The composition `other ∘ self`: apply `self` first, then `other`.
+    pub fn then(&self, other: &RenameMap) -> RenameMap {
+        let mut out = RenameMap::new();
+        for (f, t) in self.iter() {
+            out.insert(f, other.apply(t));
+        }
+        for (f, t) in other.iter() {
+            if self.pairs.binary_search_by_key(&f, |p| p.0).is_err() {
+                out.insert(f, t);
+            }
+        }
+        out
+    }
+
+    /// Number of explicit mappings.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether the renaming is the identity.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+}
+
+impl FromIterator<(EventId, EventId)> for RenameMap {
+    fn from_iter<I: IntoIterator<Item = (EventId, EventId)>>(iter: I) -> Self {
+        let mut m = RenameMap::new();
+        for (f, t) in iter {
+            m.insert(f, t);
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut ab = Alphabet::new();
+        let a = ab.intern("a");
+        let a2 = ab.intern("a");
+        assert_eq!(a, a2);
+        assert_eq!(ab.len(), 1);
+    }
+
+    #[test]
+    fn lookup_and_name_roundtrip() {
+        let mut ab = Alphabet::new();
+        let id = ab.intern("send.reqSw");
+        assert_eq!(ab.lookup("send.reqSw"), Some(id));
+        assert_eq!(ab.name(id), "send.reqSw");
+        assert_eq!(ab.lookup("missing"), None);
+    }
+
+    #[test]
+    fn productions_matches_channel_prefix() {
+        let mut ab = Alphabet::new();
+        let s1 = ab.intern("send.a");
+        let s2 = ab.intern("send.b");
+        let _r = ab.intern("rec.a");
+        let bare = ab.intern("send");
+        let prods = ab.productions("send");
+        assert!(prods.contains(s1) && prods.contains(s2) && prods.contains(bare));
+        assert_eq!(prods.len(), 3);
+    }
+
+    #[test]
+    fn event_set_ops() {
+        let a = EventId(0);
+        let b = EventId(1);
+        let c = EventId(2);
+        let s1: EventSet = [a, b].into_iter().collect();
+        let s2: EventSet = [b, c].into_iter().collect();
+        assert_eq!(s1.union(&s2).len(), 3);
+        assert_eq!(s1.intersection(&s2), EventSet::singleton(b));
+        assert_eq!(s1.difference(&s2), EventSet::singleton(a));
+        assert!(EventSet::singleton(b).is_subset(&s1));
+        assert!(!s1.is_subset(&s2));
+    }
+
+    #[test]
+    fn event_set_dedups() {
+        let a = EventId(3);
+        let s = EventSet::from_iter_dedup([a, a, a]);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn rename_map_applies_and_defaults_to_identity() {
+        let mut m = RenameMap::new();
+        m.insert(EventId(0), EventId(5));
+        assert_eq!(m.apply(EventId(0)), EventId(5));
+        assert_eq!(m.apply(EventId(1)), EventId(1));
+        m.insert(EventId(0), EventId(6));
+        assert_eq!(m.apply(EventId(0)), EventId(6));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn universe_covers_all() {
+        let mut ab = Alphabet::new();
+        ab.intern("x");
+        ab.intern("y");
+        assert_eq!(ab.universe().len(), 2);
+    }
+}

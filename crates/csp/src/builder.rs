@@ -1,0 +1,70 @@
+//! Ergonomic free functions for building processes in tests and examples.
+//!
+//! These mirror the CSPm surface syntax: `prefix`, `choice`, `par`, etc.
+
+use crate::alphabet::{EventId, EventSet};
+use crate::process::Process;
+
+/// `e -> p`
+pub fn prefix(e: EventId, p: Process) -> Process {
+    Process::prefix(e, p)
+}
+
+/// `p [] q`
+pub fn choice(p: Process, q: Process) -> Process {
+    Process::external_choice(p, q)
+}
+
+/// `p |~| q`
+pub fn ichoice(p: Process, q: Process) -> Process {
+    Process::internal_choice(p, q)
+}
+
+/// `p ; q`
+pub fn seq(p: Process, q: Process) -> Process {
+    Process::seq(p, q)
+}
+
+/// `p [| sync |] q`
+pub fn par<I: IntoIterator<Item = EventId>>(p: Process, sync: I, q: Process) -> Process {
+    Process::parallel(sync.into_iter().collect::<EventSet>(), p, q)
+}
+
+/// `p ||| q`
+pub fn interleave(p: Process, q: Process) -> Process {
+    Process::interleave(p, q)
+}
+
+/// `p \ hidden`
+pub fn hide<I: IntoIterator<Item = EventId>>(p: Process, hidden: I) -> Process {
+    Process::hide(p, hidden.into_iter().collect::<EventSet>())
+}
+
+/// `STOP`
+pub fn stop() -> Process {
+    Process::Stop
+}
+
+/// `SKIP`
+pub fn skip() -> Process {
+    Process::Skip
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_match_constructors() {
+        let e0 = EventId::from_index(0);
+        assert_eq!(prefix(e0, stop()), Process::prefix(e0, Process::Stop));
+        assert_eq!(
+            par(skip(), [e0], stop()),
+            Process::parallel(EventSet::singleton(e0), Process::Skip, Process::Stop)
+        );
+        assert_eq!(
+            hide(stop(), [e0]),
+            Process::hide(Process::Stop, EventSet::singleton(e0))
+        );
+    }
+}

@@ -1,0 +1,42 @@
+//! Error type for state-space operations.
+
+use std::fmt;
+
+/// Errors raised while exploring or analysing a process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CspError {
+    /// State-space exploration exceeded the configured bound.
+    StateSpaceExceeded {
+        /// The bound that was exceeded.
+        limit: usize,
+    },
+    /// A process referenced a definition that was declared but never defined.
+    UndefinedProcess {
+        /// Name of the missing definition.
+        name: String,
+    },
+    /// Recursion was not guarded by any event (e.g. `P = P`), so the firing
+    /// rules never reach a prefix.
+    UnguardedRecursion {
+        /// Unfold depth at which the rules gave up.
+        depth: usize,
+    },
+}
+
+impl fmt::Display for CspError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CspError::StateSpaceExceeded { limit } => {
+                write!(f, "state space exceeded the limit of {limit} states")
+            }
+            CspError::UndefinedProcess { name } => {
+                write!(f, "process `{name}` was declared but never defined")
+            }
+            CspError::UnguardedRecursion { depth } => {
+                write!(f, "unguarded recursion: no event after {depth} unfoldings")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CspError {}

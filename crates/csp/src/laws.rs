@@ -1,0 +1,108 @@
+//! Helpers for checking the algebraic trace laws of §IV-A2 on bounded trace
+//! sets. Used by the Table I reproduction tests.
+
+use std::collections::BTreeSet;
+
+use crate::error::CspError;
+use crate::lts::Lts;
+use crate::process::{Definitions, Process};
+use crate::traces::{traces_upto, Trace};
+
+/// Trace set of `p` with traces bounded to `max_len` elements.
+///
+/// # Errors
+///
+/// Propagates LTS-construction failures (state-space bound, bad recursion).
+pub fn bounded_traces(
+    p: &Process,
+    defs: &Definitions,
+    max_len: usize,
+    max_states: usize,
+) -> Result<BTreeSet<Trace>, CspError> {
+    let lts = Lts::build(p.clone(), defs, max_states)?;
+    Ok(traces_upto(&lts, max_len))
+}
+
+/// Are `p` and `q` trace-equivalent up to traces of length `max_len`?
+///
+/// # Errors
+///
+/// Propagates LTS-construction failures for either operand.
+pub fn trace_equivalent_upto(
+    p: &Process,
+    q: &Process,
+    defs: &Definitions,
+    max_len: usize,
+    max_states: usize,
+) -> Result<bool, CspError> {
+    Ok(bounded_traces(p, defs, max_len, max_states)?
+        == bounded_traces(q, defs, max_len, max_states)?)
+}
+
+/// Does `q` trace-refine `p` (`p ⊑T q`, i.e. `traces(q) ⊆ traces(p)`) up to
+/// traces of length `max_len`?
+///
+/// This is the reference (enumerative) implementation used to cross-check the
+/// efficient product-automaton algorithm in `fdrlite`.
+///
+/// # Errors
+///
+/// Propagates LTS-construction failures for either operand.
+pub fn trace_refines_upto(
+    spec: &Process,
+    impl_: &Process,
+    defs: &Definitions,
+    max_len: usize,
+    max_states: usize,
+) -> Result<bool, CspError> {
+    let spec_traces = bounded_traces(spec, defs, max_len, max_states)?;
+    let impl_traces = bounded_traces(impl_, defs, max_len, max_states)?;
+    Ok(impl_traces.is_subset(&spec_traces))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::EventId;
+
+    fn e(n: u32) -> EventId {
+        EventId::from_index(n as usize)
+    }
+
+    #[test]
+    fn external_choice_traces_are_union() {
+        // traces(P1 [] P2) = traces(P1) ∪ traces(P2)
+        let defs = Definitions::new();
+        let p1 = Process::prefix(e(0), Process::Stop);
+        let p2 = Process::prefix(e(1), Process::Stop);
+        let both = Process::external_choice(p1.clone(), p2.clone());
+        let t1 = bounded_traces(&p1, &defs, 5, 100).unwrap();
+        let t2 = bounded_traces(&p2, &defs, 5, 100).unwrap();
+        let tb = bounded_traces(&both, &defs, 5, 100).unwrap();
+        let union: BTreeSet<Trace> = t1.union(&t2).cloned().collect();
+        assert_eq!(tb, union);
+    }
+
+    #[test]
+    fn internal_and_external_choice_trace_equivalent() {
+        // In the traces model, [] and |~| are indistinguishable.
+        let defs = Definitions::new();
+        let p1 = Process::prefix(e(0), Process::Stop);
+        let p2 = Process::prefix(e(1), Process::Stop);
+        let ext = Process::external_choice(p1.clone(), p2.clone());
+        let int = Process::internal_choice(p1, p2);
+        assert!(trace_equivalent_upto(&ext, &int, &defs, 6, 100).unwrap());
+    }
+
+    #[test]
+    fn refinement_reference_implementation() {
+        let defs = Definitions::new();
+        let spec = Process::external_choice(
+            Process::prefix(e(0), Process::Stop),
+            Process::prefix(e(1), Process::Stop),
+        );
+        let impl_ = Process::prefix(e(0), Process::Stop);
+        assert!(trace_refines_upto(&spec, &impl_, &defs, 6, 100).unwrap());
+        assert!(!trace_refines_upto(&impl_, &spec, &defs, 6, 100).unwrap());
+    }
+}

@@ -1,0 +1,283 @@
+//! Labelled transition system construction by explicit state enumeration.
+
+use std::collections::HashMap;
+
+use crate::alphabet::Label;
+use crate::error::CspError;
+use crate::process::{Definitions, Process};
+use crate::semantics::transitions;
+
+/// Index of a state within an [`Lts`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StateId(pub(crate) u32);
+
+impl StateId {
+    /// Raw index of this state.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Construct from a raw index (for tests and serialisation).
+    pub fn from_index(index: usize) -> Self {
+        StateId(index as u32)
+    }
+}
+
+/// An explicit labelled transition system: the reachable state graph of a
+/// process term.
+///
+/// States are deduplicated by the structural equality of their process terms,
+/// which is the miniature equivalent of FDR's *explicate* compilation step.
+#[derive(Debug, Clone)]
+pub struct Lts {
+    states: Vec<Process>,
+    transitions: Vec<Vec<(Label, StateId)>>,
+    initial: StateId,
+}
+
+impl Lts {
+    /// Explore the reachable states of `root` breadth-first.
+    ///
+    /// # Errors
+    ///
+    /// * [`CspError::StateSpaceExceeded`] if more than `max_states` distinct
+    ///   states are reachable.
+    /// * Any error from the firing rules (undefined or unguarded recursion).
+    pub fn build(root: Process, defs: &Definitions, max_states: usize) -> Result<Lts, CspError> {
+        let mut states: Vec<Process> = Vec::new();
+        let mut index: HashMap<Process, StateId> = HashMap::new();
+        let mut out: Vec<Vec<(Label, StateId)>> = Vec::new();
+
+        let initial = StateId(0);
+        index.insert(root.clone(), initial);
+        states.push(root);
+        out.push(Vec::new());
+
+        let mut frontier = 0usize;
+        while frontier < states.len() {
+            let current = states[frontier].clone();
+            let succs = transitions(&current, defs)?;
+            let mut edges = Vec::with_capacity(succs.len());
+            for (label, succ) in succs {
+                let id = match index.get(&succ) {
+                    Some(&id) => id,
+                    None => {
+                        if states.len() >= max_states {
+                            return Err(CspError::StateSpaceExceeded { limit: max_states });
+                        }
+                        let id = StateId(states.len() as u32);
+                        index.insert(succ.clone(), id);
+                        states.push(succ);
+                        out.push(Vec::new());
+                        id
+                    }
+                };
+                edges.push((label, id));
+            }
+            edges.sort_unstable_by_key(|a| (a.0, a.1));
+            edges.dedup();
+            out[frontier] = edges;
+            frontier += 1;
+        }
+
+        Ok(Lts {
+            states,
+            transitions: out,
+            initial,
+        })
+    }
+
+    /// Assemble an LTS directly from states and transition lists (used by
+    /// compression). State 0 is the initial state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `states` and `transitions` have different lengths or are
+    /// empty.
+    pub(crate) fn from_parts(
+        states: Vec<Process>,
+        transitions: Vec<Vec<(Label, StateId)>>,
+    ) -> Lts {
+        assert_eq!(states.len(), transitions.len());
+        assert!(!states.is_empty());
+        Lts {
+            states,
+            transitions,
+            initial: StateId(0),
+        }
+    }
+
+    /// The initial state.
+    pub fn initial(&self) -> StateId {
+        self.initial
+    }
+
+    /// Number of states.
+    pub fn state_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Total number of transitions.
+    pub fn transition_count(&self) -> usize {
+        self.transitions.iter().map(Vec::len).sum()
+    }
+
+    /// The process term a state stands for.
+    pub fn state(&self, id: StateId) -> &Process {
+        &self.states[id.index()]
+    }
+
+    /// The outgoing edges of a state, sorted by `(label, target)`.
+    pub fn edges(&self, id: StateId) -> &[(Label, StateId)] {
+        &self.transitions[id.index()]
+    }
+
+    /// Iterate over all state ids.
+    pub fn state_ids(&self) -> impl Iterator<Item = StateId> {
+        (0..self.states.len() as u32).map(StateId)
+    }
+
+    /// Whether `id` has no outgoing transitions at all (deadlock if it is
+    /// also not the terminated state `Ω`).
+    pub fn is_terminal(&self, id: StateId) -> bool {
+        self.transitions[id.index()].is_empty()
+    }
+
+    /// States reachable from `from` by following only `τ` transitions
+    /// (including `from` itself), in ascending order.
+    pub fn tau_closure(&self, from: StateId) -> Vec<StateId> {
+        let mut seen = vec![false; self.states.len()];
+        let mut stack = vec![from];
+        seen[from.index()] = true;
+        while let Some(s) = stack.pop() {
+            for &(label, target) in self.edges(s) {
+                if label.is_tau() && !seen[target.index()] {
+                    seen[target.index()] = true;
+                    stack.push(target);
+                }
+            }
+        }
+        (0..self.states.len())
+            .filter(|&i| seen[i])
+            .map(|i| StateId(i as u32))
+            .collect()
+    }
+
+    /// Whether a `τ`-cycle exists, i.e. the process can diverge.
+    ///
+    /// Runs Kahn's algorithm on the τ-subgraph: a cycle exists exactly when
+    /// topological sorting cannot consume every state.
+    pub fn has_tau_cycle(&self) -> bool {
+        let n = self.states.len();
+        let mut indegree = vec![0usize; n];
+        let mut tau_succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (s, edges) in self.transitions.iter().enumerate() {
+            for &(label, target) in edges {
+                if label.is_tau() {
+                    tau_succs[s].push(target.index());
+                    indegree[target.index()] += 1;
+                }
+            }
+        }
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+        let mut processed = 0usize;
+        while let Some(s) = queue.pop() {
+            processed += 1;
+            for &t in &tau_succs[s] {
+                indegree[t] -= 1;
+                if indegree[t] == 0 {
+                    queue.push(t);
+                }
+            }
+        }
+        processed < n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::{EventId, EventSet};
+
+    fn e(n: u32) -> EventId {
+        EventId(n)
+    }
+
+    #[test]
+    fn recursion_yields_finite_lts() {
+        let mut defs = Definitions::new();
+        let d = defs.declare("P");
+        defs.define(
+            d,
+            Process::prefix(e(0), Process::prefix(e(1), Process::var(d))),
+        );
+        let lts = Lts::build(Process::var(d), &defs, 100).unwrap();
+        assert_eq!(lts.state_count(), 2);
+        assert_eq!(lts.transition_count(), 2);
+    }
+
+    #[test]
+    fn state_limit_is_enforced() {
+        let mut defs = Definitions::new();
+        // A chain of 10 distinct prefix states.
+        let p = Process::prefix_chain((0..10).map(e), Process::Stop);
+        let err = Lts::build(p, &defs, 5).unwrap_err();
+        assert!(matches!(err, CspError::StateSpaceExceeded { limit: 5 }));
+    }
+
+    #[test]
+    fn tau_closure_collects_internal_states() {
+        let defs = Definitions::new();
+        let p = Process::internal_choice(
+            Process::prefix(e(0), Process::Stop),
+            Process::prefix(e(1), Process::Stop),
+        );
+        let lts = Lts::build(p, &defs, 100).unwrap();
+        let closure = lts.tau_closure(lts.initial());
+        // initial + both resolved branches
+        assert_eq!(closure.len(), 3);
+    }
+
+    #[test]
+    fn divergence_detected_for_hidden_loop() {
+        let mut defs = Definitions::new();
+        let d = defs.declare("P");
+        defs.define(d, Process::prefix(e(0), Process::var(d)));
+        let hidden = Process::hide(Process::var(d), EventSet::singleton(e(0)));
+        let lts = Lts::build(hidden, &defs, 100).unwrap();
+        assert!(lts.has_tau_cycle());
+    }
+
+    #[test]
+    fn no_divergence_without_tau_cycle() {
+        let mut defs = Definitions::new();
+        let d = defs.declare("P");
+        defs.define(d, Process::prefix(e(0), Process::var(d)));
+        let lts = Lts::build(Process::var(d), &defs, 100).unwrap();
+        assert!(!lts.has_tau_cycle());
+    }
+
+    #[test]
+    fn parallel_product_states() {
+        let defs = Definitions::new();
+        let p = Process::interleave(
+            Process::prefix(e(0), Process::Stop),
+            Process::prefix(e(1), Process::Stop),
+        );
+        let lts = Lts::build(p, &defs, 100).unwrap();
+        // 2x2 product grid.
+        assert_eq!(lts.state_count(), 4);
+    }
+
+    #[test]
+    fn edges_are_sorted_and_deduped() {
+        let defs = Definitions::new();
+        // a -> STOP [] a -> STOP produces duplicate edges that must collapse.
+        let p = Process::ExternalChoice(vec![
+            std::sync::Arc::new(Process::prefix(e(0), Process::Stop)),
+            std::sync::Arc::new(Process::prefix(e(0), Process::Stop)),
+        ]);
+        let lts = Lts::build(p, &defs, 100).unwrap();
+        assert_eq!(lts.edges(lts.initial()).len(), 1);
+    }
+}

@@ -1,0 +1,294 @@
+//! The finite-traces model: extraction of trace sets from an [`Lts`].
+//!
+//! Traces are sequences of visible events, possibly ending with the
+//! termination signal `✓`, exactly as defined in §IV-A2 of the paper
+//! (`Σ*✓ = { tr ⌢ en | tr ∈ Σ* ∧ en ∈ {⟨⟩, ⟨✓⟩} }`).
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::alphabet::{Alphabet, EventId, EventSet, Label};
+use crate::lts::{Lts, StateId};
+
+/// One element of a trace: a visible event or the termination signal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TraceEvent {
+    /// A visible event.
+    Event(EventId),
+    /// Successful termination `✓`; only ever the last element of a trace.
+    Tick,
+}
+
+impl TraceEvent {
+    /// The event id, if this is a visible event.
+    pub fn event(self) -> Option<EventId> {
+        match self {
+            TraceEvent::Event(e) => Some(e),
+            TraceEvent::Tick => None,
+        }
+    }
+}
+
+/// A finite trace: a sequence of visible events, possibly `✓`-terminated.
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// The empty trace `⟨⟩`.
+    pub fn empty() -> Self {
+        Trace::default()
+    }
+
+    /// Build a trace from visible events only.
+    pub fn from_events<I: IntoIterator<Item = EventId>>(events: I) -> Self {
+        Trace {
+            events: events.into_iter().map(TraceEvent::Event).collect(),
+        }
+    }
+
+    /// The elements of the trace.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Length of the trace (counting `✓` if present).
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether this is the empty trace.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Whether the trace ends in `✓`.
+    pub fn is_terminated(&self) -> bool {
+        matches!(self.events.last(), Some(TraceEvent::Tick))
+    }
+
+    /// Append an element, returning the extended trace.
+    pub fn extended(&self, ev: TraceEvent) -> Trace {
+        let mut events = self.events.clone();
+        events.push(ev);
+        Trace { events }
+    }
+
+    /// Is `self` a prefix of `other` (`self ≤ other` in the paper)?
+    pub fn is_prefix_of(&self, other: &Trace) -> bool {
+        other.events.starts_with(&self.events)
+    }
+
+    /// The trace with every event in `hidden` removed (`tr \ A`).
+    ///
+    /// `✓` is never hidden.
+    pub fn hide(&self, hidden: &EventSet) -> Trace {
+        Trace {
+            events: self
+                .events
+                .iter()
+                .copied()
+                .filter(|ev| match ev {
+                    TraceEvent::Event(e) => !hidden.contains(*e),
+                    TraceEvent::Tick => true,
+                })
+                .collect(),
+        }
+    }
+
+    /// Render using event names from `alphabet`.
+    pub fn display<'a>(&'a self, alphabet: &'a Alphabet) -> TraceDisplay<'a> {
+        TraceDisplay {
+            trace: self,
+            alphabet,
+        }
+    }
+}
+
+impl FromIterator<TraceEvent> for Trace {
+    fn from_iter<I: IntoIterator<Item = TraceEvent>>(iter: I) -> Self {
+        Trace {
+            events: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// Helper returned by [`Trace::display`]: renders a trace with event names.
+#[derive(Debug)]
+pub struct TraceDisplay<'a> {
+    trace: &'a Trace,
+    alphabet: &'a Alphabet,
+}
+
+impl fmt::Display for TraceDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨")?;
+        for (i, ev) in self.trace.events.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            match ev {
+                TraceEvent::Event(e) => write!(f, "{}", self.alphabet.name(*e))?,
+                TraceEvent::Tick => write!(f, "✓")?,
+            }
+        }
+        write!(f, "⟩")
+    }
+}
+
+/// All traces of `lts` with at most `max_len` elements.
+///
+/// The result is prefix-closed and always contains the empty trace. `τ`
+/// transitions contribute no trace elements.
+pub fn traces_upto(lts: &Lts, max_len: usize) -> BTreeSet<Trace> {
+    let mut result = BTreeSet::new();
+    // Worklist of (state, trace-so-far). Visible behaviour may loop, so we
+    // bound by trace length rather than visited states.
+    let mut work: Vec<(StateId, Trace)> = vec![(lts.initial(), Trace::empty())];
+    let mut seen: BTreeSet<(StateId, Trace)> = BTreeSet::new();
+    while let Some((state, trace)) = work.pop() {
+        if !seen.insert((state, trace.clone())) {
+            continue;
+        }
+        result.insert(trace.clone());
+        if trace.len() >= max_len {
+            continue;
+        }
+        for &(label, target) in lts.edges(state) {
+            match label {
+                Label::Tau => work.push((target, trace.clone())),
+                Label::Tick => {
+                    result.insert(trace.extended(TraceEvent::Tick));
+                }
+                Label::Event(e) => {
+                    work.push((target, trace.extended(TraceEvent::Event(e))));
+                }
+            }
+        }
+    }
+    result
+}
+
+/// Does `lts` exhibit exactly the visible trace `events` (ignoring whatever
+/// may come after)?
+pub fn has_trace(lts: &Lts, events: &[EventId]) -> bool {
+    let mut current: Vec<StateId> = tau_closure_set(lts, lts.initial());
+    for &e in events {
+        let mut next: BTreeSet<StateId> = BTreeSet::new();
+        for &s in &current {
+            for &(label, target) in lts.edges(s) {
+                if label == Label::Event(e) {
+                    next.extend(tau_closure_set(lts, target));
+                }
+            }
+        }
+        if next.is_empty() {
+            return false;
+        }
+        current = next.into_iter().collect();
+    }
+    true
+}
+
+fn tau_closure_set(lts: &Lts, s: StateId) -> Vec<StateId> {
+    lts.tau_closure(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::{Definitions, Process};
+
+    fn e(n: u32) -> EventId {
+        EventId::from_index(n as usize)
+    }
+
+    fn lts_of(p: Process) -> Lts {
+        Lts::build(p, &Definitions::new(), 10_000).unwrap()
+    }
+
+    #[test]
+    fn traces_of_stop_is_empty_trace_only() {
+        let ts = traces_upto(&lts_of(Process::Stop), 5);
+        assert_eq!(ts.len(), 1);
+        assert!(ts.contains(&Trace::empty()));
+    }
+
+    #[test]
+    fn traces_of_skip_includes_tick() {
+        let ts = traces_upto(&lts_of(Process::Skip), 5);
+        assert_eq!(ts.len(), 2);
+        assert!(ts.contains(&Trace::empty().extended(TraceEvent::Tick)));
+    }
+
+    #[test]
+    fn traces_of_prefix_matches_definition() {
+        // traces(e -> STOP) = { ⟨⟩, ⟨e⟩ }
+        let ts = traces_upto(&lts_of(Process::prefix(e(0), Process::Stop)), 5);
+        assert_eq!(ts.len(), 2);
+        assert!(ts.contains(&Trace::from_events([e(0)])));
+    }
+
+    #[test]
+    fn traces_are_prefix_closed() {
+        let p = Process::prefix_chain([e(0), e(1), e(2)], Process::Stop);
+        let ts = traces_upto(&lts_of(p), 10);
+        for t in &ts {
+            for cut in 0..t.len() {
+                let prefix: Trace = t.events()[..cut].iter().copied().collect();
+                assert!(ts.contains(&prefix), "missing prefix of {t:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn length_bound_is_respected() {
+        let mut defs = Definitions::new();
+        let d = defs.declare("P");
+        defs.define(d, Process::prefix(e(0), Process::var(d)));
+        let lts = Lts::build(Process::var(d), &defs, 100).unwrap();
+        let ts = traces_upto(&lts, 3);
+        assert_eq!(ts.iter().map(Trace::len).max(), Some(3));
+        assert_eq!(ts.len(), 4); // ⟨⟩, ⟨a⟩, ⟨a,a⟩, ⟨a,a,a⟩
+    }
+
+    #[test]
+    fn interleave_traces_are_shuffles() {
+        let p = Process::interleave(
+            Process::prefix(e(0), Process::Stop),
+            Process::prefix(e(1), Process::Stop),
+        );
+        let ts = traces_upto(&lts_of(p), 5);
+        assert!(ts.contains(&Trace::from_events([e(0), e(1)])));
+        assert!(ts.contains(&Trace::from_events([e(1), e(0)])));
+    }
+
+    #[test]
+    fn has_trace_follows_taus() {
+        let p = Process::internal_choice(
+            Process::prefix(e(0), Process::Stop),
+            Process::prefix(e(1), Process::Stop),
+        );
+        let lts = lts_of(p);
+        assert!(has_trace(&lts, &[e(0)]));
+        assert!(has_trace(&lts, &[e(1)]));
+        assert!(!has_trace(&lts, &[e(0), e(1)]));
+    }
+
+    #[test]
+    fn trace_hiding_matches_paper_definition() {
+        let tr = Trace::from_events([e(0), e(1), e(0)]);
+        let hidden = EventSet::singleton(e(0));
+        assert_eq!(tr.hide(&hidden), Trace::from_events([e(1)]));
+    }
+
+    #[test]
+    fn prefix_relation() {
+        let t1 = Trace::from_events([e(0)]);
+        let t2 = Trace::from_events([e(0), e(1)]);
+        assert!(t1.is_prefix_of(&t2));
+        assert!(!t2.is_prefix_of(&t1));
+        assert!(Trace::empty().is_prefix_of(&t1));
+    }
+}

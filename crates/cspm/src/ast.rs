@@ -1,0 +1,339 @@
+//! Abstract syntax tree for the CSPm subset.
+
+use crate::error::Pos;
+
+/// A whole script: a sequence of declarations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Module {
+    /// The declarations in source order.
+    pub decls: Vec<Decl>,
+}
+
+/// A top-level declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Decl {
+    /// `channel a, b : T1.T2` (the type list may be empty).
+    Channel {
+        /// Channel names being declared.
+        names: Vec<String>,
+        /// The dotted field types (empty for bare events).
+        fields: Vec<TypeExpr>,
+    },
+    /// `datatype T = A | B | C` (constructors may carry dotted payloads).
+    Datatype {
+        /// The datatype's name.
+        name: String,
+        /// Its constructors.
+        ctors: Vec<Ctor>,
+    },
+    /// `nametype N = {0..3}`.
+    Nametype {
+        /// The type alias name.
+        name: String,
+        /// The set expression it abbreviates.
+        value: Expr,
+    },
+    /// `P = …` or `P(x, y) = …` — a process/function/constant definition.
+    Definition {
+        /// Name being defined.
+        name: String,
+        /// Formal parameters (empty for constants).
+        params: Vec<String>,
+        /// The body.
+        body: Expr,
+        /// Source position of the definition.
+        pos: Pos,
+    },
+    /// `assert …`.
+    Assert(Assertion),
+}
+
+/// One constructor of a datatype.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ctor {
+    /// The constructor name.
+    pub name: String,
+    /// Dotted payload field types (empty for an enumeration constant).
+    pub fields: Vec<TypeExpr>,
+}
+
+/// A type expression: something that evaluates to a finite set of values.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TypeExpr {
+    /// A named type (datatype or nametype) or `Bool`.
+    Name(String),
+    /// An inline set expression, e.g. `{0..3}`.
+    Set(Box<Expr>),
+}
+
+/// A checkable assertion.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Assertion {
+    /// `assert Spec [T= Impl` or `assert Spec [F= Impl`.
+    Refinement {
+        /// The specification process expression.
+        spec: Expr,
+        /// The implementation process expression.
+        impl_: Expr,
+        /// Which semantic model.
+        model: RefModel,
+    },
+    /// `assert P :[deadlock free]` / `:[divergence free]` / `:[deterministic]`.
+    Property {
+        /// The process under test.
+        process: Expr,
+        /// Which property.
+        property: PropKind,
+    },
+}
+
+/// Semantic model of a refinement assertion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefModel {
+    /// Trace refinement `[T=`.
+    Traces,
+    /// Stable-failures refinement `[F=`.
+    Failures,
+    /// Failures-divergences refinement `[FD=`.
+    FailuresDivergences,
+}
+
+/// Property assertions FDR supports with `:[…]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PropKind {
+    /// `:[deadlock free]`
+    DeadlockFree,
+    /// `:[divergence free]`
+    DivergenceFree,
+    /// `:[deterministic]`
+    Deterministic,
+}
+
+/// An expression: value-level and process-level syntax share one tree, since
+/// CSPm definitions may evaluate to either.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// Boolean literal (`true` / `false`).
+    Bool(bool),
+    /// A name reference.
+    Name(String),
+    /// Function/process application `f(a, b)`.
+    Call {
+        /// The callee name.
+        name: String,
+        /// Argument expressions.
+        args: Vec<Expr>,
+    },
+    /// Dotted value construction `Ctor.a.b` (datatype payload application).
+    Dotted {
+        /// The constructor name.
+        name: String,
+        /// The payload component expressions, in order.
+        fields: Vec<Expr>,
+    },
+    /// A set literal `{a, b, c}`.
+    SetLit(Vec<Expr>),
+    /// A set comprehension `{ head | x <- S, …, guard, … }`.
+    SetComprehension {
+        /// The expression collected for each binding.
+        head: Box<Expr>,
+        /// `x <- S` generators, evaluated left to right.
+        binders: Vec<(String, Expr)>,
+        /// Boolean guards filtering the bindings.
+        guards: Vec<Expr>,
+    },
+    /// An integer range set `{lo..hi}`.
+    RangeSet {
+        /// Lower bound (inclusive).
+        lo: Box<Expr>,
+        /// Upper bound (inclusive).
+        hi: Box<Expr>,
+    },
+    /// Channel-productions set `{| c, d.1 |}`.
+    Productions(Vec<EventPattern>),
+    /// A sequence literal `<a, b>`.
+    SeqLit(Vec<Expr>),
+    /// A tuple `(a, b)`.
+    Tuple(Vec<Expr>),
+    /// Unary negation / not.
+    Unary {
+        /// The operator.
+        op: UnOp,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// A binary (value-level) operation.
+    Binary {
+        /// The operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// `if c then a else b`.
+    If {
+        /// Condition.
+        cond: Box<Expr>,
+        /// Then-branch.
+        then: Box<Expr>,
+        /// Else-branch.
+        els: Box<Expr>,
+    },
+    /// `let x = e within body` (also used for multiple bindings).
+    Let {
+        /// `(name, value)` bindings, evaluated in order.
+        bindings: Vec<(String, Expr)>,
+        /// The expression the bindings scope over.
+        body: Box<Expr>,
+    },
+    /// `STOP`.
+    Stop,
+    /// `SKIP`.
+    Skip,
+    /// Event prefix `ev -> P`.
+    Prefix {
+        /// The (possibly dotted / `?` / `!`) event.
+        event: EventPattern,
+        /// The continuation process.
+        body: Box<Expr>,
+    },
+    /// Guard `cond & P`.
+    Guard {
+        /// Boolean guard.
+        cond: Box<Expr>,
+        /// Guarded process.
+        body: Box<Expr>,
+    },
+    /// External choice `P [] Q`.
+    ExtChoice(Box<Expr>, Box<Expr>),
+    /// Internal choice `P |~| Q`.
+    IntChoice(Box<Expr>, Box<Expr>),
+    /// Sequential composition `P ; Q`.
+    Seq(Box<Expr>, Box<Expr>),
+    /// Generalised parallel `P [| A |] Q`.
+    Parallel {
+        /// Left process.
+        left: Box<Expr>,
+        /// Synchronisation set expression.
+        sync: Box<Expr>,
+        /// Right process.
+        right: Box<Expr>,
+    },
+    /// Interleaving `P ||| Q`.
+    Interleave(Box<Expr>, Box<Expr>),
+    /// Interrupt `P /\ Q`.
+    Interrupt(Box<Expr>, Box<Expr>),
+    /// Timeout (sliding choice) `P [> Q`.
+    Timeout(Box<Expr>, Box<Expr>),
+    /// Hiding `P \ A`.
+    Hide {
+        /// The process.
+        process: Box<Expr>,
+        /// The hidden set expression.
+        set: Box<Expr>,
+    },
+    /// Renaming `P [[ a <- b, … ]]`.
+    Rename {
+        /// The process.
+        process: Box<Expr>,
+        /// `(from, to)` event-pattern pairs.
+        pairs: Vec<(EventPattern, EventPattern)>,
+    },
+    /// A replicated operator, e.g. `[] x : S @ P`.
+    Replicated {
+        /// Which operator is replicated.
+        op: ReplOp,
+        /// The bound variable.
+        var: String,
+        /// The set it ranges over.
+        set: Box<Expr>,
+        /// The body, with `var` in scope.
+        body: Box<Expr>,
+    },
+}
+
+/// Unary value operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Boolean negation (`not`).
+    Not,
+}
+
+/// Binary value operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `and`
+    And,
+    /// `or`
+    Or,
+    /// `^` sequence concatenation — written `^` in CSPm; unsupported token,
+    /// provided via the `cat` builtin instead.
+    Cat,
+}
+
+/// Replicable process operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplOp {
+    /// `[] x : S @ P`
+    ExtChoice,
+    /// `|~| x : S @ P`
+    IntChoice,
+    /// `||| x : S @ P`
+    Interleave,
+    /// `; x : S @ P` (sequenced in the set's value order)
+    Seq,
+}
+
+/// An event pattern: a channel name followed by field actions.
+///
+/// `c.3?x!y` has fields `[Dot(3), Input(x, None), Output(y)]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventPattern {
+    /// The channel (or datatype constructor, in production sets).
+    pub channel: String,
+    /// The field actions, in order.
+    pub fields: Vec<FieldPat>,
+}
+
+/// One field of an event pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldPat {
+    /// `.expr` — an output-style dotted value.
+    Dot(Expr),
+    /// `!expr` — an explicit output value.
+    Output(Expr),
+    /// `?x` or `?x : S` — an input binding, optionally restricted to a set.
+    Input {
+        /// The variable bound by the input.
+        var: String,
+        /// Optional restriction set.
+        restrict: Option<Expr>,
+    },
+}

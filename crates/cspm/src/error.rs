@@ -1,0 +1,84 @@
+//! Error type covering lexing, parsing, evaluation and checking.
+
+use std::fmt;
+
+/// A source position (1-based line and column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Pos {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub col: u32,
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Errors from any stage of handling a CSPm script.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CspmError {
+    /// A lexical error (bad character, unterminated comment, …).
+    Lex {
+        /// Where the error occurred.
+        pos: Pos,
+        /// Description.
+        message: String,
+    },
+    /// A syntax error.
+    Parse {
+        /// Where the error occurred.
+        pos: Pos,
+        /// Description.
+        message: String,
+    },
+    /// An evaluation/elaboration error (unknown name, type mismatch, …).
+    Eval {
+        /// Description.
+        message: String,
+    },
+    /// An error from the refinement checker while running assertions.
+    Check {
+        /// Description.
+        message: String,
+    },
+}
+
+impl CspmError {
+    pub(crate) fn eval(message: impl Into<String>) -> Self {
+        CspmError::Eval {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for CspmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CspmError::Lex { pos, message } => write!(f, "lex error at {pos}: {message}"),
+            CspmError::Parse { pos, message } => write!(f, "parse error at {pos}: {message}"),
+            CspmError::Eval { message } => write!(f, "evaluation error: {message}"),
+            CspmError::Check { message } => write!(f, "check error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for CspmError {}
+
+impl From<csp::CspError> for CspmError {
+    fn from(e: csp::CspError) -> Self {
+        CspmError::Check {
+            message: e.to_string(),
+        }
+    }
+}
+
+impl From<fdrlite::CheckError> for CspmError {
+    fn from(e: fdrlite::CheckError) -> Self {
+        CspmError::Check {
+            message: e.to_string(),
+        }
+    }
+}

@@ -1,0 +1,595 @@
+//! Hand-written lexer for the CSPm subset.
+
+use crate::error::{CspmError, Pos};
+
+/// The kind of a lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// An identifier or keyword (keywords are distinguished by the parser).
+    Ident(String),
+    /// An integer literal.
+    Int(i64),
+    /// `->`
+    Arrow,
+    /// `<-`
+    LeftArrow,
+    /// `[]`
+    ExtChoice,
+    /// `|~|`
+    IntChoice,
+    /// `|||`
+    Interleave,
+    /// `[|`
+    LParBar,
+    /// `|]`
+    RParBar,
+    /// `{|`
+    LBraceBar,
+    /// `|}`
+    RBraceBar,
+    /// `[[`
+    LRenameBracket,
+    /// `]]`
+    RRenameBracket,
+    /// `[T=`
+    RefinesTraces,
+    /// `[F=`
+    RefinesFailures,
+    /// `[FD=`
+    RefinesFailuresDivergences,
+    /// `:[`
+    ColonLBracket,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `=`
+    Eq,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `..`
+    DotDot,
+    /// `?`
+    Question,
+    /// `!`
+    Bang,
+    /// `:`
+    Colon,
+    /// `;`
+    Semi,
+    /// `@`
+    At,
+    /// `&`
+    Amp,
+    /// `\`
+    Backslash,
+    /// `|`
+    Bar,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `/\` (interrupt)
+    InterruptOp,
+    /// `[>` (timeout / sliding choice)
+    TimeoutOp,
+    /// End of input.
+    Eof,
+}
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokenKind,
+    /// Where it starts.
+    pub pos: Pos,
+}
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    i: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Cursor {
+            src: src.as_bytes(),
+            i: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn pos(&self) -> Pos {
+        Pos {
+            line: self.line,
+            col: self.col,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.i).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.i + 1).copied()
+    }
+
+    fn peek3(&self) -> Option<u8> {
+        self.src.get(self.i + 2).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.i += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+}
+
+/// Tokenise CSPm source text.
+///
+/// # Errors
+///
+/// Returns [`CspmError::Lex`] on an unexpected character or unterminated
+/// block comment.
+pub fn lex(source: &str) -> Result<Vec<Token>, CspmError> {
+    let mut cur = Cursor::new(source);
+    let mut out = Vec::new();
+    loop {
+        // Skip whitespace and comments.
+        loop {
+            match cur.peek() {
+                Some(c) if (c as char).is_whitespace() => {
+                    cur.bump();
+                }
+                // Line comment `-- …`
+                Some(b'-') if cur.peek2() == Some(b'-') => {
+                    while let Some(c) = cur.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        cur.bump();
+                    }
+                }
+                // Block comment `{- … -}` (non-nesting).
+                Some(b'{') if cur.peek2() == Some(b'-') => {
+                    let start = cur.pos();
+                    cur.bump();
+                    cur.bump();
+                    let mut closed = false;
+                    while let Some(c) = cur.bump() {
+                        if c == b'-' && cur.peek() == Some(b'}') {
+                            cur.bump();
+                            closed = true;
+                            break;
+                        }
+                    }
+                    if !closed {
+                        return Err(CspmError::Lex {
+                            pos: start,
+                            message: "unterminated block comment".into(),
+                        });
+                    }
+                }
+                _ => break,
+            }
+        }
+
+        let pos = cur.pos();
+        let Some(c) = cur.peek() else {
+            out.push(Token {
+                kind: TokenKind::Eof,
+                pos,
+            });
+            return Ok(out);
+        };
+
+        let kind = match c {
+            b'0'..=b'9' => {
+                let mut n: i64 = 0;
+                while let Some(d) = cur.peek() {
+                    if d.is_ascii_digit() {
+                        n = n * 10 + i64::from(d - b'0');
+                        cur.bump();
+                    } else {
+                        break;
+                    }
+                }
+                TokenKind::Int(n)
+            }
+            b'A'..=b'Z' | b'a'..=b'z' | b'_' => {
+                let mut s = String::new();
+                while let Some(d) = cur.peek() {
+                    if (d as char).is_ascii_alphanumeric() || d == b'_' || d == b'\'' {
+                        s.push(d as char);
+                        cur.bump();
+                    } else {
+                        break;
+                    }
+                }
+                TokenKind::Ident(s)
+            }
+            b'-' if cur.peek2() == Some(b'>') => {
+                cur.bump();
+                cur.bump();
+                TokenKind::Arrow
+            }
+            b'-' => {
+                cur.bump();
+                TokenKind::Minus
+            }
+            b'<' if cur.peek2() == Some(b'-') => {
+                cur.bump();
+                cur.bump();
+                TokenKind::LeftArrow
+            }
+            b'<' if cur.peek2() == Some(b'=') => {
+                cur.bump();
+                cur.bump();
+                TokenKind::Le
+            }
+            b'<' => {
+                cur.bump();
+                TokenKind::Lt
+            }
+            b'>' if cur.peek2() == Some(b'=') => {
+                cur.bump();
+                cur.bump();
+                TokenKind::Ge
+            }
+            b'>' => {
+                cur.bump();
+                TokenKind::Gt
+            }
+            b'=' if cur.peek2() == Some(b'=') => {
+                cur.bump();
+                cur.bump();
+                TokenKind::EqEq
+            }
+            b'=' => {
+                cur.bump();
+                TokenKind::Eq
+            }
+            b'!' if cur.peek2() == Some(b'=') => {
+                cur.bump();
+                cur.bump();
+                TokenKind::NotEq
+            }
+            b'!' => {
+                cur.bump();
+                TokenKind::Bang
+            }
+            b'[' => match (cur.peek2(), cur.peek3()) {
+                (Some(b']'), _) => {
+                    cur.bump();
+                    cur.bump();
+                    TokenKind::ExtChoice
+                }
+                (Some(b'|'), _) => {
+                    cur.bump();
+                    cur.bump();
+                    TokenKind::LParBar
+                }
+                (Some(b'['), _) => {
+                    cur.bump();
+                    cur.bump();
+                    TokenKind::LRenameBracket
+                }
+                (Some(b'>'), _) => {
+                    cur.bump();
+                    cur.bump();
+                    TokenKind::TimeoutOp
+                }
+                (Some(b'T'), Some(b'=')) => {
+                    cur.bump();
+                    cur.bump();
+                    cur.bump();
+                    TokenKind::RefinesTraces
+                }
+                (Some(b'F'), Some(b'=')) => {
+                    cur.bump();
+                    cur.bump();
+                    cur.bump();
+                    TokenKind::RefinesFailures
+                }
+                (Some(b'F'), Some(b'D')) => {
+                    cur.bump();
+                    cur.bump();
+                    cur.bump();
+                    if cur.peek() != Some(b'=') {
+                        return Err(CspmError::Lex {
+                            pos,
+                            message: "expected `=` after `[FD`".into(),
+                        });
+                    }
+                    cur.bump();
+                    TokenKind::RefinesFailuresDivergences
+                }
+                _ => {
+                    cur.bump();
+                    TokenKind::LBracket
+                }
+            },
+            b']' if cur.peek2() == Some(b']') => {
+                cur.bump();
+                cur.bump();
+                TokenKind::RRenameBracket
+            }
+            b']' => {
+                cur.bump();
+                TokenKind::RBracket
+            }
+            b'{' if cur.peek2() == Some(b'|') => {
+                cur.bump();
+                cur.bump();
+                TokenKind::LBraceBar
+            }
+            b'{' => {
+                cur.bump();
+                TokenKind::LBrace
+            }
+            b'}' => {
+                cur.bump();
+                TokenKind::RBrace
+            }
+            b'|' => match (cur.peek2(), cur.peek3()) {
+                (Some(b'~'), Some(b'|')) => {
+                    cur.bump();
+                    cur.bump();
+                    cur.bump();
+                    TokenKind::IntChoice
+                }
+                (Some(b'|'), Some(b'|')) => {
+                    cur.bump();
+                    cur.bump();
+                    cur.bump();
+                    TokenKind::Interleave
+                }
+                (Some(b']'), _) => {
+                    cur.bump();
+                    cur.bump();
+                    TokenKind::RParBar
+                }
+                (Some(b'}'), _) => {
+                    cur.bump();
+                    cur.bump();
+                    TokenKind::RBraceBar
+                }
+                _ => {
+                    cur.bump();
+                    TokenKind::Bar
+                }
+            },
+            b':' if cur.peek2() == Some(b'[') => {
+                cur.bump();
+                cur.bump();
+                TokenKind::ColonLBracket
+            }
+            b':' => {
+                cur.bump();
+                TokenKind::Colon
+            }
+            b'(' => {
+                cur.bump();
+                TokenKind::LParen
+            }
+            b')' => {
+                cur.bump();
+                TokenKind::RParen
+            }
+            b',' => {
+                cur.bump();
+                TokenKind::Comma
+            }
+            b'.' if cur.peek2() == Some(b'.') => {
+                cur.bump();
+                cur.bump();
+                TokenKind::DotDot
+            }
+            b'.' => {
+                cur.bump();
+                TokenKind::Dot
+            }
+            b'?' => {
+                cur.bump();
+                TokenKind::Question
+            }
+            b';' => {
+                cur.bump();
+                TokenKind::Semi
+            }
+            b'@' => {
+                cur.bump();
+                TokenKind::At
+            }
+            b'&' => {
+                cur.bump();
+                TokenKind::Amp
+            }
+            b'\\' => {
+                cur.bump();
+                TokenKind::Backslash
+            }
+            b'+' => {
+                cur.bump();
+                TokenKind::Plus
+            }
+            b'*' => {
+                cur.bump();
+                TokenKind::Star
+            }
+            b'/' if cur.peek2() == Some(b'\\') => {
+                cur.bump();
+                cur.bump();
+                TokenKind::InterruptOp
+            }
+            b'/' => {
+                cur.bump();
+                TokenKind::Slash
+            }
+            b'%' => {
+                cur.bump();
+                TokenKind::Percent
+            }
+            other => {
+                return Err(CspmError::Lex {
+                    pos,
+                    message: format!("unexpected character `{}`", other as char),
+                });
+            }
+        };
+        out.push(Token { kind, pos });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_the_paper_example() {
+        let ks = kinds("SP02 = rec.reqSw -> send.rptSw -> SP02");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Ident("SP02".into()),
+                TokenKind::Eq,
+                TokenKind::Ident("rec".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("reqSw".into()),
+                TokenKind::Arrow,
+                TokenKind::Ident("send".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("rptSw".into()),
+                TokenKind::Arrow,
+                TokenKind::Ident("SP02".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_operators() {
+        let ks = kinds("[] |~| ||| [| |] {| |} [T= [F= :[ -> <- .. == != <= >=");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::ExtChoice,
+                TokenKind::IntChoice,
+                TokenKind::Interleave,
+                TokenKind::LParBar,
+                TokenKind::RParBar,
+                TokenKind::LBraceBar,
+                TokenKind::RBraceBar,
+                TokenKind::RefinesTraces,
+                TokenKind::RefinesFailures,
+                TokenKind::ColonLBracket,
+                TokenKind::Arrow,
+                TokenKind::LeftArrow,
+                TokenKind::DotDot,
+                TokenKind::EqEq,
+                TokenKind::NotEq,
+                TokenKind::Le,
+                TokenKind::Ge,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let ks = kinds("a -- line comment\n{- block\ncomment -} b");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Ident("b".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_block_comment_errors() {
+        assert!(matches!(lex("{- oops"), Err(CspmError::Lex { .. })));
+    }
+
+    #[test]
+    fn positions_are_tracked() {
+        let ts = lex("a\n  b").unwrap();
+        assert_eq!(ts[0].pos, Pos { line: 1, col: 1 });
+        assert_eq!(ts[1].pos, Pos { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn numbers_and_arithmetic() {
+        let ks = kinds("1 + 23 * 4 - 5 / 6 % 7");
+        assert!(ks.contains(&TokenKind::Int(23)));
+        assert!(ks.contains(&TokenKind::Percent));
+    }
+
+    #[test]
+    fn minus_vs_arrow() {
+        assert_eq!(
+            kinds("a-b"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Minus,
+                TokenKind::Ident("b".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+}
+
+#[cfg(test)]
+mod fd_token_tests {
+    use super::*;
+
+    #[test]
+    fn fd_refinement_token() {
+        let ks: Vec<TokenKind> = lex("P [FD= Q").unwrap().into_iter().map(|t| t.kind).collect();
+        assert_eq!(ks[1], TokenKind::RefinesFailuresDivergences);
+    }
+}

@@ -1,0 +1,60 @@
+//! `cspm` — the machine-readable CSP dialect (CSPm) as used by FDR.
+//!
+//! The paper's model extractor emits CSPm scripts (Fig. 3) which FDR then
+//! checks. This crate implements the subset of CSPm needed for that loop:
+//!
+//! * **Lexer and parser** ([`parse`]) for declarations (`channel`,
+//!   `datatype`, `nametype`, process/function definitions, `assert`) and the
+//!   Table I process operators (`->`, `?`, `!`, `[]`, `|~|`, `;`, `[|A|]`,
+//!   `|||`, `\`), plus guards (`b & P`), `if/then/else`, `let … within`, and
+//!   replicated operators (`[] x : S @ P` etc.).
+//! * **Evaluator and elaborator** ([`Script::load`]) that turns the script
+//!   into interned events ([`csp::Alphabet`]), recursive process definitions
+//!   ([`csp::Definitions`]) and [`csp::Process`] terms.
+//! * **Assertions** (`assert SPEC [T= IMPL`, `assert P :[deadlock free]`, …)
+//!   runnable against the [`fdrlite`] checker via [`LoadedScript::check`].
+//!
+//! # Example
+//!
+//! The paper's §V-B integrity property, end to end:
+//!
+//! ```
+//! let source = r#"
+//!     datatype MsgT = reqSw | rptSw
+//!     channel send, rec : MsgT
+//!     SP02 = rec.reqSw -> send.rptSw -> SP02
+//!     ECU  = rec.reqSw -> send.rptSw -> ECU
+//!     assert SP02 [T= ECU
+//! "#;
+//! let script = cspm::Script::parse(source)?;
+//! let loaded = script.load()?;
+//! let results = loaded.check(&fdrlite::Checker::new())?;
+//! assert!(results.iter().all(|r| r.verdict.is_pass()));
+//! # Ok::<(), cspm::CspmError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+mod error;
+mod eval;
+mod lexer;
+mod parser;
+pub mod pretty;
+mod script;
+
+pub use error::CspmError;
+pub use eval::Value;
+pub use lexer::{Token, TokenKind};
+pub use script::{AssertionResult, LoadedScript, Script};
+
+/// Parse CSPm source text into an AST.
+///
+/// # Errors
+///
+/// Returns a [`CspmError`] describing the first lexical or syntax error.
+pub fn parse(source: &str) -> Result<ast::Module, CspmError> {
+    let tokens = lexer::lex(source)?;
+    parser::parse_module(&tokens)
+}

@@ -1,0 +1,396 @@
+//! Pretty-printing of CSPm ASTs back to source text.
+//!
+//! Used for assertion descriptions in check reports and for round-trip
+//! testing of the parser.
+
+use crate::ast::*;
+use std::fmt::Write as _;
+
+/// Render a whole module, one declaration per line.
+pub fn module(m: &Module) -> String {
+    let mut out = String::new();
+    for d in &m.decls {
+        out.push_str(&decl(d));
+        out.push('\n');
+    }
+    out
+}
+
+/// Render one declaration.
+pub fn decl(d: &Decl) -> String {
+    match d {
+        Decl::Channel { names, fields } => {
+            let mut s = format!("channel {}", names.join(", "));
+            if !fields.is_empty() {
+                s.push_str(" : ");
+                s.push_str(
+                    &fields
+                        .iter()
+                        .map(type_expr)
+                        .collect::<Vec<_>>()
+                        .join("."),
+                );
+            }
+            s
+        }
+        Decl::Datatype { name, ctors } => {
+            let body = ctors
+                .iter()
+                .map(|c| {
+                    let mut s = c.name.clone();
+                    for f in &c.fields {
+                        s.push('.');
+                        s.push_str(&type_expr(f));
+                    }
+                    s
+                })
+                .collect::<Vec<_>>()
+                .join(" | ");
+            format!("datatype {name} = {body}")
+        }
+        Decl::Nametype { name, value } => format!("nametype {name} = {}", expr(value)),
+        Decl::Definition {
+            name, params, body, ..
+        } => {
+            if params.is_empty() {
+                format!("{name} = {}", expr(body))
+            } else {
+                format!("{name}({}) = {}", params.join(", "), expr(body))
+            }
+        }
+        Decl::Assert(a) => format!("assert {}", assertion(a)),
+    }
+}
+
+/// Render an assertion (without the `assert` keyword).
+pub fn assertion(a: &Assertion) -> String {
+    match a {
+        Assertion::Refinement { spec, impl_, model } => {
+            let op = match model {
+                RefModel::Traces => "[T=",
+                RefModel::Failures => "[F=",
+                RefModel::FailuresDivergences => "[FD=",
+            };
+            format!("{} {op} {}", expr(spec), expr(impl_))
+        }
+        Assertion::Property { process, property } => {
+            let p = match property {
+                PropKind::DeadlockFree => "deadlock free",
+                PropKind::DivergenceFree => "divergence free",
+                PropKind::Deterministic => "deterministic",
+            };
+            format!("{} :[{p}]", expr(process))
+        }
+    }
+}
+
+fn type_expr(t: &TypeExpr) -> String {
+    match t {
+        TypeExpr::Name(n) => n.clone(),
+        TypeExpr::Set(e) => expr(e),
+    }
+}
+
+/// Render an expression with minimal but safe parenthesisation.
+pub fn expr(e: &Expr) -> String {
+    let mut s = String::new();
+    write_expr(e, &mut s);
+    s
+}
+
+fn write_expr(e: &Expr, out: &mut String) {
+    match e {
+        Expr::Int(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Expr::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Expr::Name(n) => out.push_str(n),
+        Expr::Call { name, args } => {
+            out.push_str(name);
+            out.push('(');
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_expr(a, out);
+            }
+            out.push(')');
+        }
+        Expr::Dotted { name, fields } => {
+            out.push_str(name);
+            for f in fields {
+                out.push('.');
+                write_expr(f, out);
+            }
+        }
+        Expr::SetLit(items) => {
+            out.push('{');
+            for (i, it) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_expr(it, out);
+            }
+            out.push('}');
+        }
+        Expr::SetComprehension {
+            head,
+            binders,
+            guards,
+        } => {
+            out.push_str("{ ");
+            write_expr(head, out);
+            out.push_str(" | ");
+            let mut first = true;
+            for (v, d) in binders {
+                if !first {
+                    out.push_str(", ");
+                }
+                first = false;
+                let _ = write!(out, "{v} <- ");
+                write_expr(d, out);
+            }
+            for g in guards {
+                if !first {
+                    out.push_str(", ");
+                }
+                first = false;
+                write_expr(g, out);
+            }
+            out.push_str(" }");
+        }
+        Expr::RangeSet { lo, hi } => {
+            out.push('{');
+            write_expr(lo, out);
+            out.push_str("..");
+            write_expr(hi, out);
+            out.push('}');
+        }
+        Expr::Productions(pats) => {
+            out.push_str("{| ");
+            for (i, p) in pats.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_event_pattern(p, out);
+            }
+            out.push_str(" |}");
+        }
+        Expr::SeqLit(items) => {
+            out.push('<');
+            for (i, it) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_expr(it, out);
+            }
+            out.push('>');
+        }
+        Expr::Tuple(items) => {
+            out.push('(');
+            for (i, it) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_expr(it, out);
+            }
+            out.push(')');
+        }
+        Expr::Unary { op, expr } => {
+            out.push_str(match op {
+                UnOp::Neg => "-",
+                UnOp::Not => "not ",
+            });
+            write_expr(expr, out);
+        }
+        Expr::Binary { op, lhs, rhs } => {
+            out.push('(');
+            write_expr(lhs, out);
+            let _ = write!(
+                out,
+                " {} ",
+                match op {
+                    BinOp::Add => "+",
+                    BinOp::Sub => "-",
+                    BinOp::Mul => "*",
+                    BinOp::Div => "/",
+                    BinOp::Mod => "%",
+                    BinOp::Eq => "==",
+                    BinOp::Ne => "!=",
+                    BinOp::Lt => "<",
+                    BinOp::Le => "<=",
+                    BinOp::Gt => ">",
+                    BinOp::Ge => ">=",
+                    BinOp::And => "and",
+                    BinOp::Or => "or",
+                    BinOp::Cat => "^",
+                }
+            );
+            write_expr(rhs, out);
+            out.push(')');
+        }
+        Expr::If { cond, then, els } => {
+            out.push_str("if ");
+            write_expr(cond, out);
+            out.push_str(" then ");
+            write_expr(then, out);
+            out.push_str(" else ");
+            write_expr(els, out);
+        }
+        Expr::Let { bindings, body } => {
+            out.push_str("let ");
+            for (i, (n, v)) in bindings.iter().enumerate() {
+                if i > 0 {
+                    out.push(' ');
+                }
+                let _ = write!(out, "{n} = ");
+                write_expr(v, out);
+            }
+            out.push_str(" within ");
+            write_expr(body, out);
+        }
+        Expr::Stop => out.push_str("STOP"),
+        Expr::Skip => out.push_str("SKIP"),
+        Expr::Prefix { event, body } => {
+            write_event_pattern_full(event, out);
+            out.push_str(" -> ");
+            write_expr(body, out);
+        }
+        Expr::Guard { cond, body } => {
+            write_expr(cond, out);
+            out.push_str(" & ");
+            write_expr(body, out);
+        }
+        Expr::ExtChoice(a, b) => binopp(a, "[]", b, out),
+        Expr::IntChoice(a, b) => binopp(a, "|~|", b, out),
+        Expr::Seq(a, b) => binopp(a, ";", b, out),
+        Expr::Parallel { left, sync, right } => {
+            out.push('(');
+            write_expr(left, out);
+            out.push_str(" [| ");
+            write_expr(sync, out);
+            out.push_str(" |] ");
+            write_expr(right, out);
+            out.push(')');
+        }
+        Expr::Interleave(a, b) => binopp(a, "|||", b, out),
+        Expr::Interrupt(a, b) => binopp(a, "/\\", b, out),
+        Expr::Timeout(a, b) => binopp(a, "[>", b, out),
+        Expr::Hide { process, set } => {
+            out.push('(');
+            write_expr(process, out);
+            out.push_str(" \\ ");
+            write_expr(set, out);
+            out.push(')');
+        }
+        Expr::Rename { process, pairs } => {
+            out.push('(');
+            write_expr(process, out);
+            out.push_str(" [[ ");
+            for (i, (f, t)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_event_pattern(f, out);
+                out.push_str(" <- ");
+                write_event_pattern(t, out);
+            }
+            out.push_str(" ]])");
+        }
+        Expr::Replicated { op, var, set, body } => {
+            out.push_str(match op {
+                ReplOp::ExtChoice => "[] ",
+                ReplOp::IntChoice => "|~| ",
+                ReplOp::Interleave => "||| ",
+                ReplOp::Seq => "; ",
+            });
+            let _ = write!(out, "{var} : ");
+            write_expr(set, out);
+            out.push_str(" @ ");
+            write_expr(body, out);
+        }
+    }
+}
+
+fn binopp(a: &Expr, op: &str, b: &Expr, out: &mut String) {
+    out.push('(');
+    write_expr(a, out);
+    let _ = write!(out, " {op} ");
+    write_expr(b, out);
+    out.push(')');
+}
+
+fn write_event_pattern(p: &EventPattern, out: &mut String) {
+    out.push_str(&p.channel);
+    for f in &p.fields {
+        if let FieldPat::Dot(e) = f {
+            out.push('.');
+            write_expr(e, out);
+        }
+    }
+}
+
+fn write_event_pattern_full(p: &EventPattern, out: &mut String) {
+    out.push_str(&p.channel);
+    for f in &p.fields {
+        match f {
+            FieldPat::Dot(e) => {
+                out.push('.');
+                write_expr(e, out);
+            }
+            FieldPat::Output(e) => {
+                out.push('!');
+                write_expr(e, out);
+            }
+            FieldPat::Input { var, restrict } => {
+                let _ = write!(out, "?{var}");
+                if let Some(r) = restrict {
+                    out.push(':');
+                    write_expr(r, out);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse_module;
+
+    fn roundtrip(src: &str) {
+        let m1 = parse_module(&lex(src).unwrap()).unwrap();
+        let printed = module(&m1);
+        let m2 = parse_module(&lex(&printed).unwrap())
+            .unwrap_or_else(|e| panic!("re-parse of `{printed}` failed: {e}"));
+        let printed2 = module(&m2);
+        assert_eq!(printed, printed2, "pretty-printing is not a fixpoint");
+    }
+
+    #[test]
+    fn roundtrips_paper_script() {
+        roundtrip(
+            "datatype MsgT = reqSw | rptSw\n\
+             channel send, rec : MsgT\n\
+             SP02 = rec.reqSw -> send.rptSw -> SP02\n\
+             assert SP02 [T= SP02",
+        );
+    }
+
+    #[test]
+    fn roundtrips_operators() {
+        roundtrip("P = (a -> STOP [] b -> SKIP) |~| (c -> STOP ; SKIP)");
+        roundtrip("P = (Q [| {| c |} |] R) \\ {| d |}");
+        roundtrip("P = [] x : {0..3} @ c.x -> STOP");
+        roundtrip("P = c?x!0 -> if x == 1 then STOP else SKIP");
+        roundtrip("P = (a -> STOP) /\\ (k -> STOP)");
+        roundtrip("P = (a -> STOP) [> (b -> STOP)");
+        roundtrip("S = { x * 2 | x <- {0..4}, x != 1 }");
+    }
+
+    #[test]
+    fn roundtrips_assertions() {
+        roundtrip("assert P :[deadlock free]\nassert Q :[deterministic]");
+    }
+}

@@ -1,0 +1,284 @@
+//! Top-level script API: parse, load, and run assertions.
+
+use std::collections::BTreeMap;
+
+use csp::{Alphabet, Definitions, Process};
+use fdrlite::{Checker, Verdict};
+
+use crate::ast::{Assertion, Decl, Module, PropKind, RefModel};
+use crate::error::CspmError;
+use crate::eval::{load_module, Value};
+use crate::pretty;
+
+/// A parsed (but not yet evaluated) CSPm script.
+#[derive(Debug, Clone)]
+pub struct Script {
+    module: Module,
+}
+
+impl Script {
+    /// Parse CSPm source text.
+    ///
+    /// # Errors
+    ///
+    /// Lexical or syntax errors, with positions.
+    pub fn parse(source: &str) -> Result<Script, CspmError> {
+        Ok(Script {
+            module: crate::parse(source)?,
+        })
+    }
+
+    /// The underlying AST.
+    pub fn module(&self) -> &Module {
+        &self.module
+    }
+
+    /// Evaluate the script: elaborate every zero-parameter definition and
+    /// resolve every assertion.
+    ///
+    /// # Errors
+    ///
+    /// Evaluation errors (unknown names, type mismatches, arity errors, …).
+    pub fn load(&self) -> Result<LoadedScript, CspmError> {
+        let (mut ev, named) = load_module(&self.module)?;
+
+        let mut named_processes = BTreeMap::new();
+        let mut named_values = BTreeMap::new();
+        for (name, value) in named {
+            match value {
+                Value::Process(p) => {
+                    named_processes.insert(name, p);
+                }
+                other => {
+                    named_values.insert(name, other);
+                }
+            }
+        }
+
+        let mut assertions = Vec::new();
+        for decl in &self.module.decls {
+            let Decl::Assert(a) = decl else { continue };
+            let description = pretty::assertion(a);
+            let kind = match a {
+                Assertion::Refinement { spec, impl_, model } => {
+                    let spec = ev.eval(spec, &mut Vec::new())?.into_process()?;
+                    let impl_ = ev.eval(impl_, &mut Vec::new())?.into_process()?;
+                    ev.drain_pending()?;
+                    ResolvedCheck::Refinement {
+                        model: *model,
+                        spec,
+                        impl_,
+                    }
+                }
+                Assertion::Property { process, property } => {
+                    let p = ev.eval(process, &mut Vec::new())?.into_process()?;
+                    ev.drain_pending()?;
+                    ResolvedCheck::Property {
+                        process: p,
+                        property: *property,
+                    }
+                }
+            };
+            assertions.push(ResolvedAssertion { description, kind });
+        }
+
+        Ok(LoadedScript {
+            alphabet: ev.alphabet,
+            defs: ev.defs,
+            named_processes,
+            named_values,
+            assertions,
+        })
+    }
+}
+
+/// A fully evaluated script: interned alphabet, process definitions, named
+/// top-level processes/values and resolved assertions.
+#[derive(Debug, Clone)]
+pub struct LoadedScript {
+    alphabet: Alphabet,
+    defs: Definitions,
+    named_processes: BTreeMap<String, Process>,
+    named_values: BTreeMap<String, Value>,
+    assertions: Vec<ResolvedAssertion>,
+}
+
+/// An assertion with its operand processes already elaborated.
+#[derive(Debug, Clone)]
+pub struct ResolvedAssertion {
+    /// Human-readable rendering of the assertion.
+    pub description: String,
+    /// What to check.
+    pub kind: ResolvedCheck,
+}
+
+/// The resolved operands of an assertion.
+#[derive(Debug, Clone)]
+pub enum ResolvedCheck {
+    /// A refinement check.
+    Refinement {
+        /// Semantic model.
+        model: RefModel,
+        /// Specification process.
+        spec: Process,
+        /// Implementation process.
+        impl_: Process,
+    },
+    /// A single-process property check.
+    Property {
+        /// The process under test.
+        process: Process,
+        /// The property.
+        property: PropKind,
+    },
+}
+
+/// The outcome of one assertion.
+#[derive(Debug, Clone)]
+pub struct AssertionResult {
+    /// Human-readable rendering of the assertion.
+    pub description: String,
+    /// Pass, or fail with counterexample.
+    pub verdict: Verdict,
+}
+
+impl LoadedScript {
+    /// The interned event alphabet.
+    pub fn alphabet(&self) -> &Alphabet {
+        &self.alphabet
+    }
+
+    /// The elaborated recursive definitions (needed to explore processes).
+    pub fn definitions(&self) -> &Definitions {
+        &self.defs
+    }
+
+    /// A zero-parameter process definition by name.
+    pub fn process(&self, name: &str) -> Option<&Process> {
+        self.named_processes.get(name)
+    }
+
+    /// Names of all zero-parameter process definitions.
+    pub fn process_names(&self) -> impl Iterator<Item = &str> {
+        self.named_processes.keys().map(String::as_str)
+    }
+
+    /// A zero-parameter non-process value by name.
+    pub fn value(&self, name: &str) -> Option<&Value> {
+        self.named_values.get(name)
+    }
+
+    /// The script's assertions, resolved.
+    pub fn assertions(&self) -> &[ResolvedAssertion] {
+        &self.assertions
+    }
+
+    /// Run every assertion through `checker`, in script order.
+    ///
+    /// # Errors
+    ///
+    /// [`CspmError::Check`] when the checker hits a state-space bound.
+    pub fn check(&self, checker: &Checker) -> Result<Vec<AssertionResult>, CspmError> {
+        let mut out = Vec::with_capacity(self.assertions.len());
+        for a in &self.assertions {
+            let verdict = match &a.kind {
+                ResolvedCheck::Refinement { model, spec, impl_ } => match model {
+                    RefModel::Traces => checker.trace_refinement(spec, impl_, &self.defs)?,
+                    RefModel::Failures => checker.failures_refinement(spec, impl_, &self.defs)?,
+                    RefModel::FailuresDivergences => {
+                        checker.failures_divergences_refinement(spec, impl_, &self.defs)?
+                    }
+                },
+                ResolvedCheck::Property { process, property } => match property {
+                    PropKind::DeadlockFree => checker.deadlock_free(process, &self.defs)?,
+                    PropKind::DivergenceFree => checker.divergence_free(process, &self.defs)?,
+                    PropKind::Deterministic => checker.deterministic(process, &self.defs)?,
+                },
+            };
+            out.push(AssertionResult {
+                description: a.description.clone(),
+                verdict,
+            });
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_pipeline_on_paper_script() {
+        let src = "
+            datatype MsgT = reqSw | rptSw
+            channel send, rec : MsgT
+            SP02 = rec.reqSw -> send.rptSw -> SP02
+            ECU  = rec.reqSw -> send.rptSw -> ECU
+            assert SP02 [T= ECU
+            assert ECU :[deadlock free]
+            assert ECU :[deterministic]
+        ";
+        let loaded = Script::parse(src).unwrap().load().unwrap();
+        assert!(loaded.process("SP02").is_some());
+        assert!(loaded.process("ECU").is_some());
+        let results = loaded.check(&Checker::new()).unwrap();
+        assert_eq!(results.len(), 3);
+        assert!(results.iter().all(|r| r.verdict.is_pass()), "{results:?}");
+    }
+
+    #[test]
+    fn failing_assertion_reports_counterexample() {
+        let src = "
+            datatype MsgT = reqSw | rptSw
+            channel send, rec : MsgT
+            SP02 = rec.reqSw -> send.rptSw -> SP02
+            ROGUE = rec.reqSw -> send.rptSw -> send.rptSw -> STOP
+            assert SP02 [T= ROGUE
+        ";
+        let loaded = Script::parse(src).unwrap().load().unwrap();
+        let results = loaded.check(&Checker::new()).unwrap();
+        let cex = results[0].verdict.counterexample().expect("must fail");
+        let shown = cex.display(loaded.alphabet()).to_string();
+        assert!(shown.contains("send.rptSw"), "{shown}");
+    }
+
+    #[test]
+    fn values_are_accessible() {
+        let loaded = Script::parse("N = 6 * 7").unwrap().load().unwrap();
+        assert_eq!(loaded.value("N"), Some(&Value::Int(42)));
+        assert!(loaded.process("N").is_none());
+    }
+
+    #[test]
+    fn assertion_description_is_readable() {
+        let src = "
+            channel a
+            P = a -> P
+            assert P :[deadlock free]
+        ";
+        let loaded = Script::parse(src).unwrap().load().unwrap();
+        assert_eq!(loaded.assertions()[0].description, "P :[deadlock free]");
+    }
+}
+
+#[cfg(test)]
+mod fd_assertion_tests {
+    use super::*;
+
+    #[test]
+    fn fd_assertion_checks_divergence_first() {
+        let src = "
+            channel a
+            SPEC = a -> SPEC
+            DIV = (a -> DIV) \\ {| a |}
+            assert SPEC [FD= DIV
+            assert SPEC [FD= SPEC
+        ";
+        let loaded = Script::parse(src).unwrap().load().unwrap();
+        let results = loaded.check(&Checker::new()).unwrap();
+        assert!(!results[0].verdict.is_pass());
+        assert!(results[1].verdict.is_pass());
+        assert_eq!(results[0].description, "SPEC [FD= DIV");
+    }
+}

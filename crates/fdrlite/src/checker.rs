@@ -1,0 +1,800 @@
+//! The checking engine: refinement by product exploration of the
+//! implementation against the normalised specification.
+
+use std::collections::HashMap;
+
+use csp::{Definitions, EventId, Label, Lts, Process, StateId, Trace, TraceEvent};
+
+use crate::counterexample::{Counterexample, FailureKind, Verdict};
+use crate::error::CheckError;
+use crate::normalise::{Acceptance, NormNodeId, NormalisedLts};
+
+/// Configures and builds a [`Checker`].
+#[derive(Debug, Clone)]
+pub struct CheckerBuilder {
+    max_states: usize,
+    max_norm_nodes: usize,
+    max_product: usize,
+    compress: bool,
+}
+
+impl Default for CheckerBuilder {
+    fn default() -> Self {
+        CheckerBuilder {
+            max_states: 1_000_000,
+            max_norm_nodes: 200_000,
+            max_product: 4_000_000,
+            compress: false,
+        }
+    }
+}
+
+impl CheckerBuilder {
+    /// Start from the default bounds.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bound on reachable states per compiled process.
+    pub fn max_states(&mut self, n: usize) -> &mut Self {
+        self.max_states = n;
+        self
+    }
+
+    /// Bound on specification normal-form nodes.
+    pub fn max_norm_nodes(&mut self, n: usize) -> &mut Self {
+        self.max_norm_nodes = n;
+        self
+    }
+
+    /// Bound on explored (implementation state, spec node) pairs.
+    pub fn max_product(&mut self, n: usize) -> &mut Self {
+        self.max_product = n;
+        self
+    }
+
+    /// Apply strong-bisimulation compression to compiled processes before
+    /// checking (FDR's `sbisim`). Preserves every verdict; shrinks the
+    /// product for models with redundant interleaving structure.
+    pub fn compress(&mut self, on: bool) -> &mut Self {
+        self.compress = on;
+        self
+    }
+
+    /// Build the checker.
+    pub fn build(&self) -> Checker {
+        Checker {
+            max_states: self.max_states,
+            max_norm_nodes: self.max_norm_nodes,
+            max_product: self.max_product,
+            compress: self.compress,
+        }
+    }
+}
+
+/// A refinement checker with configured state-space bounds.
+///
+/// Create with [`Checker::new`] for defaults or through [`CheckerBuilder`].
+#[derive(Debug, Clone)]
+pub struct Checker {
+    max_states: usize,
+    max_norm_nodes: usize,
+    max_product: usize,
+    compress: bool,
+}
+
+impl Default for Checker {
+    fn default() -> Self {
+        CheckerBuilder::default().build()
+    }
+}
+
+impl Checker {
+    /// A checker with default bounds.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bound on reachable states per compiled process.
+    pub fn max_states(&self) -> usize {
+        self.max_states
+    }
+
+    /// Compile a process to its explicit LTS (FDR's "explicate"), applying
+    /// strong-bisimulation compression when enabled.
+    ///
+    /// # Errors
+    ///
+    /// Propagates state-space and recursion errors from the core semantics.
+    pub fn compile(&self, p: &Process, defs: &Definitions) -> Result<Lts, CheckError> {
+        let lts = Lts::build(p.clone(), defs, self.max_states)?;
+        if self.compress {
+            Ok(csp::compress::quotient_bisim(&lts).lts)
+        } else {
+            Ok(lts)
+        }
+    }
+
+    /// Normalise an LTS for use as a specification.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckError::NormalisationExceeded`] if the subset construction grows
+    /// past the configured bound.
+    pub fn normalise(&self, lts: &Lts) -> Result<NormalisedLts, CheckError> {
+        NormalisedLts::build(lts, self.max_norm_nodes)
+    }
+
+    /// Check `spec ⊑T impl_` (trace refinement).
+    ///
+    /// # Errors
+    ///
+    /// Compilation or exploration exceeded its bound.
+    pub fn trace_refinement(
+        &self,
+        spec: &Process,
+        impl_: &Process,
+        defs: &Definitions,
+    ) -> Result<Verdict, CheckError> {
+        let spec_lts = self.compile(spec, defs)?;
+        let norm = self.normalise(&spec_lts)?;
+        let impl_lts = self.compile(impl_, defs)?;
+        self.refine(&norm, &impl_lts, RefinementModel::Traces)
+    }
+
+    /// Check `spec ⊑F impl_` (stable-failures refinement).
+    ///
+    /// # Errors
+    ///
+    /// Compilation or exploration exceeded its bound.
+    pub fn failures_refinement(
+        &self,
+        spec: &Process,
+        impl_: &Process,
+        defs: &Definitions,
+    ) -> Result<Verdict, CheckError> {
+        let spec_lts = self.compile(spec, defs)?;
+        let norm = self.normalise(&spec_lts)?;
+        let impl_lts = self.compile(impl_, defs)?;
+        self.refine(&norm, &impl_lts, RefinementModel::Failures)
+    }
+
+    /// Check `spec ⊑FD impl_` (failures-divergences refinement).
+    ///
+    /// Implemented as divergence-freedom of the implementation followed by
+    /// stable-failures refinement, which coincides with FD refinement
+    /// whenever the specification is divergence-free (true of every
+    /// specification built by [`crate::properties`]).
+    ///
+    /// # Errors
+    ///
+    /// Compilation or exploration exceeded its bound.
+    pub fn failures_divergences_refinement(
+        &self,
+        spec: &Process,
+        impl_: &Process,
+        defs: &Definitions,
+    ) -> Result<Verdict, CheckError> {
+        let divergence = self.divergence_free(impl_, defs)?;
+        if !divergence.is_pass() {
+            return Ok(divergence);
+        }
+        self.failures_refinement(spec, impl_, defs)
+    }
+
+    /// Refinement of a pre-compiled implementation against a pre-normalised
+    /// specification. Useful when one spec is checked against many
+    /// implementations (or vice versa).
+    ///
+    /// # Errors
+    ///
+    /// [`CheckError::ProductExceeded`] if the product grows past its bound.
+    pub fn refine(
+        &self,
+        spec: &NormalisedLts,
+        impl_lts: &Lts,
+        model: RefinementModel,
+    ) -> Result<Verdict, CheckError> {
+        let mut visited: HashMap<(StateId, NormNodeId), u32> = HashMap::new();
+        let mut order: Vec<(StateId, NormNodeId)> = Vec::new();
+        // (parent index, visible event on the edge from the parent)
+        let mut parents: Vec<(u32, Option<EventId>)> = Vec::new();
+
+        let root = (impl_lts.initial(), spec.initial());
+        visited.insert(root, 0);
+        order.push(root);
+        parents.push((0, None));
+
+        let mut frontier = 0usize;
+        while frontier < order.len() {
+            let (s, n) = order[frontier];
+            let idx = frontier as u32;
+
+            if model == RefinementModel::Failures {
+                if let Some(kind) = failure_violation(impl_lts, spec, s, n) {
+                    return Ok(Verdict::Fail(Counterexample::new(
+                        rebuild_trace(&order, &parents, idx),
+                        kind,
+                    )));
+                }
+            }
+
+            for &(label, target) in impl_lts.edges(s) {
+                match label {
+                    Label::Tau => {
+                        push_pair(
+                            (target, n),
+                            idx,
+                            None,
+                            &mut visited,
+                            &mut order,
+                            &mut parents,
+                            self.max_product,
+                        )?;
+                    }
+                    Label::Event(e) => match spec.after(n, e) {
+                        Some(n2) => {
+                            push_pair(
+                                (target, n2),
+                                idx,
+                                Some(e),
+                                &mut visited,
+                                &mut order,
+                                &mut parents,
+                                self.max_product,
+                            )?;
+                        }
+                        None => {
+                            return Ok(Verdict::Fail(Counterexample::new(
+                                rebuild_trace(&order, &parents, idx),
+                                FailureKind::TraceViolation { event: Some(e) },
+                            )));
+                        }
+                    },
+                    Label::Tick => {
+                        if !spec.allows_tick(n) {
+                            return Ok(Verdict::Fail(Counterexample::new(
+                                rebuild_trace(&order, &parents, idx),
+                                FailureKind::TraceViolation { event: None },
+                            )));
+                        }
+                        // Nothing to explore after successful termination.
+                    }
+                }
+            }
+            frontier += 1;
+        }
+        Ok(Verdict::Pass)
+    }
+
+    /// Is `p` deadlock free? A deadlock is a reachable state with no
+    /// transitions at all, other than the terminated state `Ω`.
+    ///
+    /// # Errors
+    ///
+    /// Compilation exceeded its bound.
+    pub fn deadlock_free(&self, p: &Process, defs: &Definitions) -> Result<Verdict, CheckError> {
+        let lts = self.compile(p, defs)?;
+        let reach = Reachability::explore(&lts);
+        for (idx, &s) in reach.order.iter().enumerate() {
+            if lts.is_terminal(s) && !matches!(lts.state(s), Process::Omega) {
+                return Ok(Verdict::Fail(Counterexample::new(
+                    reach.trace_to(idx),
+                    FailureKind::Deadlock,
+                )));
+            }
+        }
+        Ok(Verdict::Pass)
+    }
+
+    /// Is `p` divergence free (no reachable τ-loop)?
+    ///
+    /// # Errors
+    ///
+    /// Compilation exceeded its bound.
+    pub fn divergence_free(&self, p: &Process, defs: &Definitions) -> Result<Verdict, CheckError> {
+        let lts = self.compile(p, defs)?;
+        let divergent = crate::normalise::divergent_states_of(&lts);
+        let reach = Reachability::explore(&lts);
+        for (idx, &s) in reach.order.iter().enumerate() {
+            if divergent[s.index()] {
+                return Ok(Verdict::Fail(Counterexample::new(
+                    reach.trace_to(idx),
+                    FailureKind::Divergence,
+                )));
+            }
+        }
+        Ok(Verdict::Pass)
+    }
+
+    /// Is `p` deterministic? After every trace, no event may be both
+    /// acceptable and refusable; divergence also counts as nondeterminism
+    /// (as in FDR's check).
+    ///
+    /// # Errors
+    ///
+    /// Compilation or normalisation exceeded its bound.
+    pub fn deterministic(&self, p: &Process, defs: &Definitions) -> Result<Verdict, CheckError> {
+        let lts = self.compile(p, defs)?;
+        let norm = self.normalise(&lts)?;
+
+        // BFS over the normal form with parent tracking for witness traces.
+        let mut parents: Vec<(u32, Option<EventId>)> = vec![(0, None)];
+        let mut order: Vec<NormNodeId> = vec![norm.initial()];
+        let mut seen: HashMap<NormNodeId, u32> = HashMap::new();
+        seen.insert(norm.initial(), 0);
+
+        let mut frontier = 0usize;
+        while frontier < order.len() {
+            let node = order[frontier];
+            let idx = frontier as u32;
+
+            if norm.divergent(node) {
+                return Ok(Verdict::Fail(Counterexample::new(
+                    rebuild_norm_trace(&order, &parents, idx),
+                    FailureKind::Divergence,
+                )));
+            }
+            for e in norm.enabled(node) {
+                let refusable = norm
+                    .acceptances(node)
+                    .iter()
+                    .any(|a: &Acceptance| !a.events.contains(e));
+                if refusable {
+                    return Ok(Verdict::Fail(Counterexample::new(
+                        rebuild_norm_trace(&order, &parents, idx),
+                        FailureKind::Nondeterminism { event: e },
+                    )));
+                }
+            }
+
+            for e in norm.enabled(node) {
+                let next = norm.after(node, e).expect("enabled event has successor");
+                if let std::collections::hash_map::Entry::Vacant(entry) = seen.entry(next) {
+                    entry.insert(order.len() as u32);
+                    order.push(next);
+                    parents.push((idx, Some(e)));
+                }
+            }
+            frontier += 1;
+        }
+        Ok(Verdict::Pass)
+    }
+}
+
+/// Which semantic model a refinement runs in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefinementModel {
+    /// Finite traces (`⊑T`).
+    Traces,
+    /// Stable failures (`⊑F`).
+    Failures,
+}
+
+/// If impl state `s` is stable, check its acceptance against the spec node's
+/// minimal acceptances. Returns the violation, if any.
+fn failure_violation(
+    impl_lts: &Lts,
+    spec: &NormalisedLts,
+    s: StateId,
+    n: NormNodeId,
+) -> Option<FailureKind> {
+    // Terminated processes have no stable failures.
+    if matches!(impl_lts.state(s), Process::Omega) {
+        return None;
+    }
+    let mut stable = true;
+    let mut events: Vec<EventId> = Vec::new();
+    let mut tick = false;
+    for &(label, _) in impl_lts.edges(s) {
+        match label {
+            Label::Tau => stable = false,
+            Label::Tick => tick = true,
+            Label::Event(e) => events.push(e),
+        }
+    }
+    if !stable {
+        return None;
+    }
+    let impl_acc = Acceptance {
+        events: events.iter().copied().collect(),
+        tick,
+    };
+    let ok = spec
+        .acceptances(n)
+        .iter()
+        .any(|spec_acc| spec_acc.is_subset(&impl_acc));
+    if ok {
+        None
+    } else {
+        Some(FailureKind::RefusalViolation {
+            accepted: events,
+            accepts_tick: tick,
+        })
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn push_pair(
+    pair: (StateId, NormNodeId),
+    parent: u32,
+    label: Option<EventId>,
+    visited: &mut HashMap<(StateId, NormNodeId), u32>,
+    order: &mut Vec<(StateId, NormNodeId)>,
+    parents: &mut Vec<(u32, Option<EventId>)>,
+    max_product: usize,
+) -> Result<(), CheckError> {
+    if visited.contains_key(&pair) {
+        return Ok(());
+    }
+    if order.len() >= max_product {
+        return Err(CheckError::ProductExceeded { limit: max_product });
+    }
+    visited.insert(pair, order.len() as u32);
+    order.push(pair);
+    parents.push((parent, label));
+    Ok(())
+}
+
+fn rebuild_trace(
+    order: &[(StateId, NormNodeId)],
+    parents: &[(u32, Option<EventId>)],
+    mut idx: u32,
+) -> Trace {
+    let mut events: Vec<TraceEvent> = Vec::new();
+    while idx != 0 {
+        let (parent, label) = parents[idx as usize];
+        if let Some(e) = label {
+            events.push(TraceEvent::Event(e));
+        }
+        idx = parent;
+    }
+    let _ = order;
+    events.reverse();
+    events.into_iter().collect()
+}
+
+fn rebuild_norm_trace(
+    order: &[NormNodeId],
+    parents: &[(u32, Option<EventId>)],
+    mut idx: u32,
+) -> Trace {
+    let mut events: Vec<TraceEvent> = Vec::new();
+    while idx != 0 {
+        let (parent, label) = parents[idx as usize];
+        if let Some(e) = label {
+            events.push(TraceEvent::Event(e));
+        }
+        idx = parent;
+    }
+    let _ = order;
+    events.reverse();
+    events.into_iter().collect()
+}
+
+/// BFS over a single LTS with parent tracking for witness extraction.
+struct Reachability {
+    order: Vec<StateId>,
+    parents: Vec<(u32, Option<EventId>)>,
+}
+
+impl Reachability {
+    fn explore(lts: &Lts) -> Reachability {
+        let mut order = vec![lts.initial()];
+        let mut parents: Vec<(u32, Option<EventId>)> = vec![(0, None)];
+        let mut seen = vec![false; lts.state_count()];
+        seen[lts.initial().index()] = true;
+        let mut frontier = 0usize;
+        while frontier < order.len() {
+            let s = order[frontier];
+            for &(label, target) in lts.edges(s) {
+                if seen[target.index()] {
+                    continue;
+                }
+                seen[target.index()] = true;
+                order.push(target);
+                parents.push((frontier as u32, label.event()));
+            }
+            frontier += 1;
+        }
+        Reachability { order, parents }
+    }
+
+    fn trace_to(&self, mut idx: usize) -> Trace {
+        let mut events: Vec<TraceEvent> = Vec::new();
+        while idx != 0 {
+            let (parent, label) = self.parents[idx];
+            if let Some(e) = label {
+                events.push(TraceEvent::Event(e));
+            }
+            idx = parent as usize;
+        }
+        events.reverse();
+        events.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csp::EventSet;
+
+    fn e(n: u32) -> EventId {
+        EventId::from_index(n as usize)
+    }
+
+    fn checker() -> Checker {
+        Checker::new()
+    }
+
+    #[test]
+    fn reflexive_trace_refinement() {
+        let defs = Definitions::new();
+        let p = Process::prefix(e(0), Process::prefix(e(1), Process::Stop));
+        let v = checker().trace_refinement(&p, &p, &defs).unwrap();
+        assert!(v.is_pass());
+    }
+
+    #[test]
+    fn trace_violation_found_with_shortest_trace() {
+        let defs = Definitions::new();
+        let spec = Process::prefix(e(0), Process::Stop);
+        let impl_ = Process::prefix(e(0), Process::prefix(e(1), Process::Stop));
+        let v = checker().trace_refinement(&spec, &impl_, &defs).unwrap();
+        let cex = v.counterexample().expect("must fail");
+        assert_eq!(cex.trace(), &Trace::from_events([e(0)]));
+        assert_eq!(
+            cex.kind(),
+            &FailureKind::TraceViolation { event: Some(e(1)) }
+        );
+    }
+
+    #[test]
+    fn subset_behaviour_trace_refines() {
+        let defs = Definitions::new();
+        let spec = Process::external_choice(
+            Process::prefix(e(0), Process::Stop),
+            Process::prefix(e(1), Process::Stop),
+        );
+        let impl_ = Process::prefix(e(0), Process::Stop);
+        assert!(checker()
+            .trace_refinement(&spec, &impl_, &defs)
+            .unwrap()
+            .is_pass());
+    }
+
+    #[test]
+    fn unexpected_termination_is_a_trace_violation() {
+        let defs = Definitions::new();
+        let spec = Process::prefix(e(0), Process::Stop);
+        let v = checker().trace_refinement(&spec, &Process::Skip, &defs).unwrap();
+        assert_eq!(
+            v.counterexample().unwrap().kind(),
+            &FailureKind::TraceViolation { event: None }
+        );
+    }
+
+    #[test]
+    fn internal_choice_fails_failures_refinement_of_external() {
+        // SPEC = a -> STOP [] b -> STOP must offer both; the internal choice
+        // may refuse one, so ⊑F fails while ⊑T passes.
+        let defs = Definitions::new();
+        let spec = Process::external_choice(
+            Process::prefix(e(0), Process::Stop),
+            Process::prefix(e(1), Process::Stop),
+        );
+        let impl_ = Process::internal_choice(
+            Process::prefix(e(0), Process::Stop),
+            Process::prefix(e(1), Process::Stop),
+        );
+        assert!(checker()
+            .trace_refinement(&spec, &impl_, &defs)
+            .unwrap()
+            .is_pass());
+        let v = checker().failures_refinement(&spec, &impl_, &defs).unwrap();
+        let cex = v.counterexample().expect("⊑F must fail");
+        assert!(matches!(
+            cex.kind(),
+            FailureKind::RefusalViolation { .. }
+        ));
+        assert!(cex.trace().is_empty());
+    }
+
+    #[test]
+    fn failures_refinement_reflexive_on_nondeterministic_process() {
+        let defs = Definitions::new();
+        let p = Process::internal_choice(
+            Process::prefix(e(0), Process::Stop),
+            Process::prefix(e(1), Process::Stop),
+        );
+        assert!(checker().failures_refinement(&p, &p, &defs).unwrap().is_pass());
+    }
+
+    #[test]
+    fn deadlocked_stop_fails_failures_refinement_of_prefix() {
+        let defs = Definitions::new();
+        let spec = Process::prefix(e(0), Process::Stop);
+        let v = checker()
+            .failures_refinement(&spec, &Process::Stop, &defs)
+            .unwrap();
+        assert!(matches!(
+            v.counterexample().unwrap().kind(),
+            FailureKind::RefusalViolation { .. }
+        ));
+    }
+
+    #[test]
+    fn deadlock_free_detects_stop() {
+        let defs = Definitions::new();
+        let p = Process::prefix(e(0), Process::Stop);
+        let v = checker().deadlock_free(&p, &defs).unwrap();
+        let cex = v.counterexample().unwrap();
+        assert_eq!(cex.kind(), &FailureKind::Deadlock);
+        assert_eq!(cex.trace(), &Trace::from_events([e(0)]));
+    }
+
+    #[test]
+    fn skip_is_deadlock_free() {
+        let defs = Definitions::new();
+        assert!(checker()
+            .deadlock_free(&Process::Skip, &defs)
+            .unwrap()
+            .is_pass());
+    }
+
+    #[test]
+    fn recursive_process_is_deadlock_free() {
+        let mut defs = Definitions::new();
+        let d = defs.declare("P");
+        defs.define(d, Process::prefix(e(0), Process::var(d)));
+        assert!(checker()
+            .deadlock_free(&Process::var(d), &defs)
+            .unwrap()
+            .is_pass());
+    }
+
+    #[test]
+    fn divergence_detected_after_hiding() {
+        let mut defs = Definitions::new();
+        let d = defs.declare("P");
+        defs.define(d, Process::prefix(e(0), Process::var(d)));
+        let hidden = Process::hide(Process::var(d), EventSet::singleton(e(0)));
+        let v = checker().divergence_free(&hidden, &defs).unwrap();
+        assert_eq!(v.counterexample().unwrap().kind(), &FailureKind::Divergence);
+    }
+
+    #[test]
+    fn deterministic_process_passes() {
+        let defs = Definitions::new();
+        let p = Process::external_choice(
+            Process::prefix(e(0), Process::Stop),
+            Process::prefix(e(1), Process::Stop),
+        );
+        assert!(checker().deterministic(&p, &defs).unwrap().is_pass());
+    }
+
+    #[test]
+    fn internal_choice_is_nondeterministic() {
+        let defs = Definitions::new();
+        let p = Process::internal_choice(
+            Process::prefix(e(0), Process::Stop),
+            Process::prefix(e(1), Process::Stop),
+        );
+        let v = checker().deterministic(&p, &defs).unwrap();
+        assert!(matches!(
+            v.counterexample().unwrap().kind(),
+            FailureKind::Nondeterminism { .. }
+        ));
+    }
+
+    #[test]
+    fn product_bound_is_enforced() {
+        let defs = Definitions::new();
+        let mut c = CheckerBuilder::new();
+        c.max_product(2);
+        let checker = c.build();
+        let spec = Process::prefix_chain((0..5).map(e), Process::Stop);
+        let err = checker
+            .trace_refinement(&spec, &spec.clone(), &defs)
+            .unwrap_err();
+        assert!(matches!(err, CheckError::ProductExceeded { limit: 2 }));
+    }
+
+    #[test]
+    fn refusal_counterexample_after_nonempty_trace() {
+        // SPEC = a -> (b -> STOP [] c -> STOP)
+        // IMPL = a -> (b -> STOP |~| c -> STOP): fails ⊑F after ⟨a⟩.
+        let defs = Definitions::new();
+        let spec = Process::prefix(
+            e(0),
+            Process::external_choice(
+                Process::prefix(e(1), Process::Stop),
+                Process::prefix(e(2), Process::Stop),
+            ),
+        );
+        let impl_ = Process::prefix(
+            e(0),
+            Process::internal_choice(
+                Process::prefix(e(1), Process::Stop),
+                Process::prefix(e(2), Process::Stop),
+            ),
+        );
+        let v = checker().failures_refinement(&spec, &impl_, &defs).unwrap();
+        let cex = v.counterexample().unwrap();
+        assert_eq!(cex.trace(), &Trace::from_events([e(0)]));
+    }
+}
+
+#[cfg(test)]
+mod fd_and_compression_tests {
+    use super::*;
+    use csp::{EventId, EventSet};
+
+    fn e(n: u32) -> EventId {
+        EventId::from_index(n as usize)
+    }
+
+    #[test]
+    fn fd_refinement_rejects_divergent_implementations() {
+        let mut defs = Definitions::new();
+        let d = defs.declare("P");
+        defs.define(d, Process::prefix(e(0), Process::var(d)));
+        let divergent = Process::hide(Process::var(d), EventSet::singleton(e(0)));
+        let spec = Process::Stop;
+        let v = Checker::new()
+            .failures_divergences_refinement(&spec, &divergent, &defs)
+            .unwrap();
+        assert_eq!(v.counterexample().unwrap().kind(), &FailureKind::Divergence);
+    }
+
+    #[test]
+    fn fd_refinement_passes_where_failures_does() {
+        let defs = Definitions::new();
+        let p = Process::prefix(e(0), Process::Stop);
+        let v = Checker::new()
+            .failures_divergences_refinement(&p, &p, &defs)
+            .unwrap();
+        assert!(v.is_pass());
+    }
+
+    #[test]
+    fn compression_preserves_verdicts() {
+        let defs = Definitions::new();
+        // An implementation with redundant interleaving structure.
+        let imp = Process::interleave(
+            Process::prefix(e(0), Process::Stop),
+            Process::prefix(e(0), Process::Stop),
+        );
+        let spec = Process::prefix(
+            e(0),
+            Process::external_choice(
+                Process::prefix(e(0), Process::Stop),
+                Process::Stop,
+            ),
+        );
+        let plain = Checker::new().trace_refinement(&spec, &imp, &defs).unwrap();
+        let mut b = CheckerBuilder::new();
+        b.compress(true);
+        let compressed = b.build().trace_refinement(&spec, &imp, &defs).unwrap();
+        assert_eq!(plain.is_pass(), compressed.is_pass());
+    }
+
+    #[test]
+    fn compression_shrinks_the_compiled_lts() {
+        let defs = Definitions::new();
+        let components: Vec<Process> = (0..4)
+            .map(|_| Process::prefix(e(0), Process::prefix(e(1), Process::Stop)))
+            .collect();
+        let p = Process::interleave_all(components);
+        let plain = Checker::new().compile(&p, &defs).unwrap();
+        let mut b = CheckerBuilder::new();
+        b.compress(true);
+        let small = b.build().compile(&p, &defs).unwrap();
+        assert!(
+            small.state_count() < plain.state_count(),
+            "{} vs {}",
+            small.state_count(),
+            plain.state_count()
+        );
+    }
+}

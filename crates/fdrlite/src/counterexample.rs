@@ -1,0 +1,171 @@
+//! Check verdicts and counterexample witnesses.
+
+use csp::{Alphabet, EventId, Trace};
+use std::fmt;
+
+/// The outcome of a check: either it holds, or a witness refutes it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// The property holds.
+    Pass,
+    /// The property fails; the counterexample explains why.
+    Fail(Counterexample),
+}
+
+impl Verdict {
+    /// Did the check pass?
+    pub fn is_pass(&self) -> bool {
+        matches!(self, Verdict::Pass)
+    }
+
+    /// The counterexample, if the check failed.
+    pub fn counterexample(&self) -> Option<&Counterexample> {
+        match self {
+            Verdict::Pass => None,
+            Verdict::Fail(c) => Some(c),
+        }
+    }
+}
+
+/// Why a check failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FailureKind {
+    /// The implementation performed a visible event (or `✓` when `event` is
+    /// `None`) the specification does not allow after the witness trace.
+    TraceViolation {
+        /// The offending event; `None` means unexpected termination.
+        event: Option<EventId>,
+    },
+    /// The implementation reached a stable state whose refusals exceed
+    /// anything the specification allows after the witness trace.
+    RefusalViolation {
+        /// The visible events the implementation still accepts there.
+        accepted: Vec<EventId>,
+        /// Whether the implementation accepts `✓` there.
+        accepts_tick: bool,
+    },
+    /// The implementation deadlocks after the witness trace.
+    Deadlock,
+    /// The implementation can diverge (perform `τ` forever) after the
+    /// witness trace.
+    Divergence,
+    /// After the witness trace the process can both accept and refuse
+    /// `event` — it is nondeterministic.
+    Nondeterminism {
+        /// The ambivalent event.
+        event: EventId,
+    },
+}
+
+/// A witness refuting a check: the trace that leads to the problem plus the
+/// kind of problem found there.
+///
+/// This is the "counterexample / failure trace" of the paper's Fig. 1, fed
+/// back to the software designer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Counterexample {
+    trace: Trace,
+    kind: FailureKind,
+}
+
+impl Counterexample {
+    pub(crate) fn new(trace: Trace, kind: FailureKind) -> Self {
+        Counterexample { trace, kind }
+    }
+
+    /// The visible trace leading to the violation.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// What went wrong at the end of the trace.
+    pub fn kind(&self) -> &FailureKind {
+        &self.kind
+    }
+
+    /// Render the counterexample with event names from `alphabet`.
+    pub fn display<'a>(&'a self, alphabet: &'a Alphabet) -> CounterexampleDisplay<'a> {
+        CounterexampleDisplay {
+            cex: self,
+            alphabet,
+        }
+    }
+}
+
+/// Pretty-printer returned by [`Counterexample::display`].
+#[derive(Debug)]
+pub struct CounterexampleDisplay<'a> {
+    cex: &'a Counterexample,
+    alphabet: &'a Alphabet,
+}
+
+impl fmt::Display for CounterexampleDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "after {}", self.cex.trace.display(self.alphabet))?;
+        match &self.cex.kind {
+            FailureKind::TraceViolation { event: Some(e) } => {
+                write!(
+                    f,
+                    ", the implementation performs `{}` which the specification forbids",
+                    self.alphabet.name(*e)
+                )
+            }
+            FailureKind::TraceViolation { event: None } => {
+                write!(f, ", the implementation terminates but the specification forbids ✓")
+            }
+            FailureKind::RefusalViolation {
+                accepted,
+                accepts_tick,
+            } => {
+                write!(f, ", the implementation may refuse everything except {{")?;
+                for (i, e) in accepted.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{}", self.alphabet.name(*e))?;
+                }
+                if *accepts_tick {
+                    if !accepted.is_empty() {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "✓")?;
+                }
+                write!(f, "}}, which the specification does not allow")
+            }
+            FailureKind::Deadlock => write!(f, ", the implementation deadlocks"),
+            FailureKind::Divergence => write!(f, ", the implementation can diverge"),
+            FailureKind::Nondeterminism { event } => write!(
+                f,
+                ", the process may both accept and refuse `{}`",
+                self.alphabet.name(*event)
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verdict_accessors() {
+        assert!(Verdict::Pass.is_pass());
+        assert!(Verdict::Pass.counterexample().is_none());
+        let cex = Counterexample::new(Trace::empty(), FailureKind::Deadlock);
+        let v = Verdict::Fail(cex.clone());
+        assert!(!v.is_pass());
+        assert_eq!(v.counterexample(), Some(&cex));
+    }
+
+    #[test]
+    fn display_names_the_offending_event() {
+        let mut ab = Alphabet::new();
+        let bad = ab.intern("send.rogue");
+        let cex = Counterexample::new(
+            Trace::empty(),
+            FailureKind::TraceViolation { event: Some(bad) },
+        );
+        let text = cex.display(&ab).to_string();
+        assert!(text.contains("send.rogue"), "{text}");
+    }
+}

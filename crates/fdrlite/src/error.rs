@@ -1,0 +1,52 @@
+//! Error type for refinement checking.
+
+use std::fmt;
+
+use csp::CspError;
+
+/// Errors raised while compiling or checking processes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckError {
+    /// An error from the underlying process semantics (state-space bound,
+    /// undefined or unguarded recursion).
+    Csp(CspError),
+    /// Normalisation of the specification exceeded the node bound.
+    NormalisationExceeded {
+        /// The bound that was exceeded.
+        limit: usize,
+    },
+    /// The product exploration exceeded the pair bound.
+    ProductExceeded {
+        /// The bound that was exceeded.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for CheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckError::Csp(e) => write!(f, "{e}"),
+            CheckError::NormalisationExceeded { limit } => {
+                write!(f, "specification normalisation exceeded {limit} nodes")
+            }
+            CheckError::ProductExceeded { limit } => {
+                write!(f, "product exploration exceeded {limit} state pairs")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckError::Csp(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CspError> for CheckError {
+    fn from(e: CspError) -> Self {
+        CheckError::Csp(e)
+    }
+}

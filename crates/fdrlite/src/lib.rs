@@ -1,0 +1,63 @@
+//! `fdrlite` — a refinement checker for CSP processes.
+//!
+//! This crate stands in for the FDR tool used by the paper (§IV-D). It offers
+//! the checks the paper relies on, over the [`csp`] core:
+//!
+//! * **Trace refinement** (`SPEC ⊑T IMPL`): [`Checker::trace_refinement`],
+//!   the check used for the paper's security properties (e.g. `SP02`).
+//! * **Stable-failures refinement** (`SPEC ⊑F IMPL`):
+//!   [`Checker::failures_refinement`], FDR's next semantic model, needed to
+//!   detect a system that avoids insecure traces only by refusing to respond.
+//! * **Deadlock freedom**: [`Checker::deadlock_free`].
+//! * **Divergence freedom** (livelock): [`Checker::divergence_free`].
+//! * **Determinism**: [`Checker::deterministic`] (nondeterminism is how
+//!   information can leak in the CSP security literature).
+//!
+//! Failed checks come back as a [`Verdict::Fail`] carrying a
+//! [`Counterexample`] — the message-sequence witness the paper feeds back to
+//! software designers (Fig. 1).
+//!
+//! # Example
+//!
+//! Check the paper's §V-B integrity property against a faulty ECU that sends
+//! a second, unsolicited report:
+//!
+//! ```
+//! use csp::{Alphabet, Definitions, Process};
+//! use fdrlite::{Checker, Verdict};
+//!
+//! let mut ab = Alphabet::new();
+//! let req = ab.intern("rec.reqSw");
+//! let rpt = ab.intern("send.rptSw");
+//!
+//! let mut defs = Definitions::new();
+//! let sp02 = defs.declare("SP02");
+//! defs.define(sp02, Process::prefix(req, Process::prefix(rpt, Process::var(sp02))));
+//! let faulty = Process::prefix_chain([req, rpt, rpt], Process::Stop);
+//!
+//! let checker = Checker::new();
+//! let verdict = checker.trace_refinement(&Process::var(sp02), &faulty, &defs)?;
+//! match verdict {
+//!     Verdict::Fail(cex) => {
+//!         assert_eq!(cex.trace().display(&ab).to_string(), "⟨rec.reqSw, send.rptSw⟩");
+//!     }
+//!     Verdict::Pass => panic!("the unsolicited report must be caught"),
+//! }
+//! # Ok::<(), fdrlite::CheckError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod checker;
+mod counterexample;
+mod error;
+mod normalise;
+
+pub mod parallel;
+pub mod properties;
+
+pub use checker::{Checker, CheckerBuilder, RefinementModel};
+pub use counterexample::{Counterexample, FailureKind, Verdict};
+pub use error::CheckError;
+pub use normalise::{Acceptance, NormNodeId, NormalisedLts};

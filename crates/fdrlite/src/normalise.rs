@@ -1,0 +1,341 @@
+//! Specification normalisation: τ-closed subset construction.
+//!
+//! Refinement checking against an arbitrary (nondeterministic) specification
+//! requires the spec in *normal form*: a deterministic automaton over visible
+//! events where each node also records
+//!
+//! * whether the spec may terminate there,
+//! * the **minimal acceptance sets** of its stable states (for the
+//!   stable-failures model), and
+//! * whether the node can diverge (an infinite τ-path exists).
+//!
+//! This mirrors FDR's `normalise` compilation step.
+
+use std::collections::{BTreeMap, HashMap};
+
+use csp::{EventId, EventSet, Label, Lts, StateId};
+
+use crate::error::CheckError;
+
+/// Index of a node in a [`NormalisedLts`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NormNodeId(u32);
+
+impl NormNodeId {
+    /// Raw index of this node.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The initials of one stable state: the visible events it offers plus
+/// whether it offers termination.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Acceptance {
+    /// Visible events offered.
+    pub events: EventSet,
+    /// Whether `✓` is offered.
+    pub tick: bool,
+}
+
+impl Acceptance {
+    /// Is `self` a subset of `other` (component-wise)?
+    pub fn is_subset(&self, other: &Acceptance) -> bool {
+        (!self.tick || other.tick) && self.events.is_subset(&other.events)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct NormNode {
+    after: BTreeMap<EventId, NormNodeId>,
+    allows_tick: bool,
+    acceptances: Vec<Acceptance>,
+    divergent: bool,
+}
+
+/// A normalised (deterministic) view of an [`Lts`], used as the
+/// specification side of a refinement check.
+#[derive(Debug, Clone)]
+pub struct NormalisedLts {
+    nodes: Vec<NormNode>,
+}
+
+impl NormalisedLts {
+    /// Normalise `lts` by τ-closed subset construction.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckError::NormalisationExceeded`] if more than `max_nodes` subset
+    /// nodes are produced.
+    pub fn build(lts: &Lts, max_nodes: usize) -> Result<NormalisedLts, CheckError> {
+        let divergent_states = divergent_states_of(lts);
+
+        let mut nodes: Vec<NormNode> = Vec::new();
+        let mut key_index: HashMap<Vec<StateId>, NormNodeId> = HashMap::new();
+        let mut keys: Vec<Vec<StateId>> = Vec::new();
+
+        let initial_key = lts.tau_closure(lts.initial());
+        key_index.insert(initial_key.clone(), NormNodeId(0));
+        keys.push(initial_key);
+
+        let mut frontier = 0usize;
+        while frontier < keys.len() {
+            let key = keys[frontier].clone();
+            let mut allows_tick = false;
+            let mut acceptances: Vec<Acceptance> = Vec::new();
+            let mut divergent = false;
+            // event -> union of target states (pre-closure)
+            let mut successors: BTreeMap<EventId, Vec<StateId>> = BTreeMap::new();
+
+            for &s in &key {
+                if divergent_states[s.index()] {
+                    divergent = true;
+                }
+                let mut stable = true;
+                let mut acc_events: Vec<EventId> = Vec::new();
+                let mut acc_tick = false;
+                for &(label, target) in lts.edges(s) {
+                    match label {
+                        Label::Tau => stable = false,
+                        Label::Tick => {
+                            allows_tick = true;
+                            acc_tick = true;
+                        }
+                        Label::Event(e) => {
+                            successors.entry(e).or_default().push(target);
+                            acc_events.push(e);
+                        }
+                    }
+                }
+                if stable {
+                    acceptances.push(Acceptance {
+                        events: acc_events.into_iter().collect(),
+                        tick: acc_tick,
+                    });
+                }
+            }
+
+            let mut after = BTreeMap::new();
+            for (event, targets) in successors {
+                let mut closure: Vec<StateId> = Vec::new();
+                for t in targets {
+                    closure.extend(lts.tau_closure(t));
+                }
+                closure.sort_unstable();
+                closure.dedup();
+                let id = match key_index.get(&closure) {
+                    Some(&id) => id,
+                    None => {
+                        if keys.len() >= max_nodes {
+                            return Err(CheckError::NormalisationExceeded { limit: max_nodes });
+                        }
+                        let id = NormNodeId(keys.len() as u32);
+                        key_index.insert(closure.clone(), id);
+                        keys.push(closure);
+                        id
+                    }
+                };
+                after.insert(event, id);
+            }
+
+            nodes.push(NormNode {
+                after,
+                allows_tick,
+                acceptances: minimal_acceptances(acceptances),
+                divergent,
+            });
+            frontier += 1;
+        }
+
+        Ok(NormalisedLts { nodes })
+    }
+
+    /// The initial node.
+    pub fn initial(&self) -> NormNodeId {
+        NormNodeId(0)
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Successor node on visible event `e`, if the spec allows `e` here.
+    pub fn after(&self, node: NormNodeId, e: EventId) -> Option<NormNodeId> {
+        self.nodes[node.index()].after.get(&e).copied()
+    }
+
+    /// Whether the spec may terminate (`✓`) at this node.
+    pub fn allows_tick(&self, node: NormNodeId) -> bool {
+        self.nodes[node.index()].allows_tick
+    }
+
+    /// The minimal acceptance sets of this node's stable states.
+    ///
+    /// Empty exactly when the node has no stable states (i.e. it diverges),
+    /// in which case the spec has **no** stable failure with this trace.
+    pub fn acceptances(&self, node: NormNodeId) -> &[Acceptance] {
+        &self.nodes[node.index()].acceptances
+    }
+
+    /// Whether the node can diverge.
+    pub fn divergent(&self, node: NormNodeId) -> bool {
+        self.nodes[node.index()].divergent
+    }
+
+    /// All visible events enabled at this node.
+    pub fn enabled(&self, node: NormNodeId) -> impl Iterator<Item = EventId> + '_ {
+        self.nodes[node.index()].after.keys().copied()
+    }
+}
+
+/// States with an infinite outgoing τ-path (they can diverge).
+///
+/// Computed by peeling states with no remaining outgoing τ-edges (reverse
+/// Kahn); whatever survives can τ-step forever.
+pub(crate) fn divergent_states_of(lts: &Lts) -> Vec<bool> {
+    let n = lts.state_count();
+    let mut outdeg = vec![0usize; n];
+    let mut rev: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for s in lts.state_ids() {
+        for &(label, target) in lts.edges(s) {
+            if label.is_tau() {
+                outdeg[s.index()] += 1;
+                rev[target.index()].push(s.index());
+            }
+        }
+    }
+    let mut queue: Vec<usize> = (0..n).filter(|&i| outdeg[i] == 0).collect();
+    let mut removed = vec![false; n];
+    for &q in &queue {
+        removed[q] = true;
+    }
+    while let Some(s) = queue.pop() {
+        for &p in &rev[s] {
+            if removed[p] {
+                continue;
+            }
+            outdeg[p] -= 1;
+            if outdeg[p] == 0 {
+                removed[p] = true;
+                queue.push(p);
+            }
+        }
+    }
+    removed.into_iter().map(|r| !r).collect()
+}
+
+/// Keep only acceptances that have no strict subset among the others.
+fn minimal_acceptances(mut accs: Vec<Acceptance>) -> Vec<Acceptance> {
+    accs.sort_unstable();
+    accs.dedup();
+    let keep: Vec<bool> = accs
+        .iter()
+        .map(|a| {
+            !accs
+                .iter()
+                .any(|b| b != a && b.is_subset(a))
+        })
+        .collect();
+    accs.into_iter()
+        .zip(keep)
+        .filter_map(|(a, k)| k.then_some(a))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csp::{Definitions, Process};
+
+    fn e(n: u32) -> EventId {
+        EventId::from_index(n as usize)
+    }
+
+    fn norm(p: Process) -> NormalisedLts {
+        let lts = Lts::build(p, &Definitions::new(), 10_000).unwrap();
+        NormalisedLts::build(&lts, 10_000).unwrap()
+    }
+
+    #[test]
+    fn deterministic_process_normalises_one_to_one() {
+        let p = Process::prefix(e(0), Process::prefix(e(1), Process::Stop));
+        let n = norm(p);
+        assert_eq!(n.node_count(), 3);
+        let n1 = n.after(n.initial(), e(0)).unwrap();
+        assert!(n.after(n1, e(1)).is_some());
+        assert!(n.after(n.initial(), e(1)).is_none());
+    }
+
+    #[test]
+    fn internal_choice_merges_into_one_node() {
+        // a -> STOP |~| b -> STOP: initial node allows both a and b
+        // (trace-wise) but has two singleton acceptances.
+        let p = Process::internal_choice(
+            Process::prefix(e(0), Process::Stop),
+            Process::prefix(e(1), Process::Stop),
+        );
+        let n = norm(p);
+        let init = n.initial();
+        assert!(n.after(init, e(0)).is_some());
+        assert!(n.after(init, e(1)).is_some());
+        let accs = n.acceptances(init);
+        assert_eq!(accs.len(), 2);
+        assert!(accs.iter().all(|a| a.events.len() == 1 && !a.tick));
+    }
+
+    #[test]
+    fn external_choice_has_single_acceptance() {
+        let p = Process::external_choice(
+            Process::prefix(e(0), Process::Stop),
+            Process::prefix(e(1), Process::Stop),
+        );
+        let n = norm(p);
+        let accs = n.acceptances(n.initial());
+        assert_eq!(accs.len(), 1);
+        assert_eq!(accs[0].events.len(), 2);
+    }
+
+    #[test]
+    fn tick_is_recorded() {
+        let n = norm(Process::Skip);
+        assert!(n.allows_tick(n.initial()));
+        let accs = n.acceptances(n.initial());
+        assert_eq!(accs.len(), 1);
+        assert!(accs[0].tick);
+    }
+
+    #[test]
+    fn divergence_flag_set_for_hidden_loop() {
+        let mut defs = Definitions::new();
+        let d = defs.declare("P");
+        defs.define(d, Process::prefix(e(0), Process::var(d)));
+        let hidden = Process::hide(Process::var(d), EventSet::singleton(e(0)));
+        let lts = Lts::build(hidden, &defs, 1_000).unwrap();
+        let n = NormalisedLts::build(&lts, 1_000).unwrap();
+        assert!(n.divergent(n.initial()));
+        assert!(n.acceptances(n.initial()).is_empty());
+    }
+
+    #[test]
+    fn minimal_acceptances_filters_supersets() {
+        let a_small = Acceptance {
+            events: EventSet::singleton(e(0)),
+            tick: false,
+        };
+        let a_big = Acceptance {
+            events: [e(0), e(1)].into_iter().collect(),
+            tick: false,
+        };
+        let out = minimal_acceptances(vec![a_big.clone(), a_small.clone()]);
+        assert_eq!(out, vec![a_small]);
+    }
+
+    #[test]
+    fn node_bound_is_enforced() {
+        let p = Process::prefix_chain((0..20).map(e), Process::Stop);
+        let lts = Lts::build(p, &Definitions::new(), 1_000).unwrap();
+        let err = NormalisedLts::build(&lts, 3).unwrap_err();
+        assert!(matches!(err, CheckError::NormalisationExceeded { limit: 3 }));
+    }
+}

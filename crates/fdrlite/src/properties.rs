@@ -1,0 +1,362 @@
+//! Reusable specification-process templates.
+//!
+//! The paper (§V-B) expresses security properties as abstract CSP processes
+//! and checks that the extracted implementation refines them. These builders
+//! produce the standard shapes used there and in the CSP security literature
+//! (Ryan & Schneider): `RUN`, `CHAOS`, request–response, never-occurs and
+//! precedence properties.
+
+use csp::{DefId, Definitions, EventId, EventSet, Process};
+
+/// `RUN(A)`: always willing to perform any event of `A`, forever.
+pub fn run(defs: &mut Definitions, name: &str, events: &EventSet) -> Process {
+    let d = defs.declare(name);
+    let branches = events
+        .iter()
+        .map(|e| Process::prefix(e, Process::var(d)))
+        .collect();
+    defs.define(d, Process::external_choice_all(branches));
+    Process::var(d)
+}
+
+/// `CHAOS(A)`: may perform or refuse anything in `A` at any point.
+///
+/// Trace-equivalent to [`run`], but in the failures model it may also refuse
+/// everything — the weakest specification over `A`.
+pub fn chaos(defs: &mut Definitions, name: &str, events: &EventSet) -> Process {
+    let d = defs.declare(name);
+    let branches: Vec<Process> = events
+        .iter()
+        .map(|e| Process::prefix(e, Process::var(d)))
+        .collect();
+    defs.define(
+        d,
+        Process::internal_choice(Process::Stop, Process::external_choice_all(branches)),
+    );
+    Process::var(d)
+}
+
+/// The paper's `SP02` shape: every `request` is answered by exactly one
+/// `response` before the next request (`SP = req -> rsp -> SP`).
+pub fn request_response(
+    defs: &mut Definitions,
+    name: &str,
+    request: EventId,
+    response: EventId,
+) -> Process {
+    let d = defs.declare(name);
+    defs.define(
+        d,
+        Process::prefix(request, Process::prefix(response, Process::var(d))),
+    );
+    Process::var(d)
+}
+
+/// Like [`request_response`], but other events from `other` may freely occur
+/// at any point — the "more sophisticated model" sketched in §V-B of the
+/// paper, where unrelated traffic is allowed on an `other` channel while the
+/// request is still answered before the next request.
+pub fn request_response_with_noise(
+    defs: &mut Definitions,
+    name: &str,
+    request: EventId,
+    response: EventId,
+    other: &EventSet,
+) -> Process {
+    let idle = defs.declare(&format!("{name}_idle"));
+    let busy = defs.declare(&format!("{name}_busy"));
+    let mut idle_branches = vec![Process::prefix(request, Process::var(busy))];
+    idle_branches.extend(
+        other
+            .iter()
+            .map(|e| Process::prefix(e, Process::var(idle))),
+    );
+    defs.define(idle, Process::external_choice_all(idle_branches));
+    let mut busy_branches = vec![Process::prefix(response, Process::var(idle))];
+    busy_branches.extend(
+        other
+            .iter()
+            .map(|e| Process::prefix(e, Process::var(busy))),
+    );
+    defs.define(busy, Process::external_choice_all(busy_branches));
+    Process::var(idle)
+}
+
+/// A safety property: events of `universe \ forbidden` may occur freely, but
+/// nothing in `forbidden` may ever occur.
+pub fn never(
+    defs: &mut Definitions,
+    name: &str,
+    universe: &EventSet,
+    forbidden: &EventSet,
+) -> Process {
+    run(defs, name, &universe.difference(forbidden))
+}
+
+/// A precedence property: no event of `then` may occur before some event of
+/// `first` has occurred; afterwards everything in `universe` is free.
+pub fn precedes(
+    defs: &mut Definitions,
+    name: &str,
+    universe: &EventSet,
+    first: &EventSet,
+    then: &EventSet,
+) -> Process {
+    let after = run(defs, &format!("{name}_after"), universe);
+    let d = defs.declare(name);
+    let mut branches: Vec<Process> = first
+        .iter()
+        .map(|e| Process::prefix(e, after.clone()))
+        .collect();
+    for e in universe.difference(&first.union(then)).iter() {
+        branches.push(Process::prefix(e, Process::var(d)));
+    }
+    defs.define(d, Process::external_choice_all(branches));
+    Process::var(d)
+}
+
+/// Convenience: declare a recursive process `name = body(var)` in one step,
+/// where `body` receives the self-reference.
+pub fn recursive<F>(defs: &mut Definitions, name: &str, body: F) -> Process
+where
+    F: FnOnce(Process) -> Process,
+{
+    let d: DefId = defs.declare(name);
+    let b = body(Process::var(d));
+    defs.define(d, b);
+    Process::var(d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checker::Checker;
+    use crate::counterexample::FailureKind;
+
+    fn e(n: u32) -> EventId {
+        EventId::from_index(n as usize)
+    }
+
+    #[test]
+    fn run_allows_everything_in_its_set() {
+        let mut defs = Definitions::new();
+        let set: EventSet = [e(0), e(1)].into_iter().collect();
+        let spec = run(&mut defs, "RUN", &set);
+        let impl_ = Process::prefix_chain([e(1), e(0), e(1)], Process::Stop);
+        assert!(Checker::new()
+            .trace_refinement(&spec, &impl_, &defs)
+            .unwrap()
+            .is_pass());
+    }
+
+    #[test]
+    fn never_catches_forbidden_event() {
+        let mut defs = Definitions::new();
+        let universe: EventSet = [e(0), e(1), e(2)].into_iter().collect();
+        let forbidden = EventSet::singleton(e(2));
+        let spec = never(&mut defs, "NEVER", &universe, &forbidden);
+        let impl_ = Process::prefix_chain([e(0), e(2)], Process::Stop);
+        let v = Checker::new().trace_refinement(&spec, &impl_, &defs).unwrap();
+        assert_eq!(
+            v.counterexample().unwrap().kind(),
+            &FailureKind::TraceViolation { event: Some(e(2)) }
+        );
+    }
+
+    #[test]
+    fn chaos_refines_anything_trace_wise() {
+        let mut defs = Definitions::new();
+        let set: EventSet = [e(0), e(1)].into_iter().collect();
+        let spec = chaos(&mut defs, "CHAOS", &set);
+        let impl_ = Process::internal_choice(
+            Process::prefix(e(0), Process::Stop),
+            Process::prefix(e(1), Process::Stop),
+        );
+        let c = Checker::new();
+        assert!(c.trace_refinement(&spec, &impl_, &defs).unwrap().is_pass());
+        assert!(c.failures_refinement(&spec, &impl_, &defs).unwrap().is_pass());
+    }
+
+    #[test]
+    fn request_response_rejects_double_response() {
+        let mut defs = Definitions::new();
+        let spec = request_response(&mut defs, "SP02", e(0), e(1));
+        let impl_ = Process::prefix_chain([e(0), e(1), e(1)], Process::Stop);
+        let v = Checker::new().trace_refinement(&spec, &impl_, &defs).unwrap();
+        assert!(!v.is_pass());
+    }
+
+    #[test]
+    fn request_response_with_noise_allows_other_traffic() {
+        let mut defs = Definitions::new();
+        let other = EventSet::singleton(e(2));
+        let spec = request_response_with_noise(&mut defs, "SP", e(0), e(1), &other);
+        let impl_ = Process::prefix_chain([e(2), e(0), e(2), e(1), e(2)], Process::Stop);
+        assert!(Checker::new()
+            .trace_refinement(&spec, &impl_, &defs)
+            .unwrap()
+            .is_pass());
+        // But a response without a request is still rejected.
+        let bad = Process::prefix(e(1), Process::Stop);
+        assert!(!Checker::new()
+            .trace_refinement(&spec, &bad, &defs)
+            .unwrap()
+            .is_pass());
+    }
+
+    #[test]
+    fn precedes_enforces_ordering() {
+        let mut defs = Definitions::new();
+        let universe: EventSet = [e(0), e(1), e(2)].into_iter().collect();
+        let first = EventSet::singleton(e(0));
+        let then = EventSet::singleton(e(1));
+        let spec = precedes(&mut defs, "PRE", &universe, &first, &then);
+        // ok: a then b
+        let good = Process::prefix_chain([e(0), e(1)], Process::Stop);
+        assert!(Checker::new()
+            .trace_refinement(&spec, &good, &defs)
+            .unwrap()
+            .is_pass());
+        // ok: unrelated c first
+        let noisy = Process::prefix_chain([e(2), e(0), e(1)], Process::Stop);
+        assert!(Checker::new()
+            .trace_refinement(&spec, &noisy, &defs)
+            .unwrap()
+            .is_pass());
+        // bad: b before a
+        let bad = Process::prefix_chain([e(1), e(0)], Process::Stop);
+        assert!(!Checker::new()
+            .trace_refinement(&spec, &bad, &defs)
+            .unwrap()
+            .is_pass());
+    }
+
+    #[test]
+    fn recursive_helper_ties_the_knot() {
+        let mut defs = Definitions::new();
+        let p = recursive(&mut defs, "LOOP", |me| Process::prefix(e(0), me));
+        assert!(Checker::new().deadlock_free(&p, &defs).unwrap().is_pass());
+    }
+}
+
+/// A discrete-time bounded-response property over a `tock`-timed alphabet
+/// (§VII-B of the paper: untimed CSP extended with an explicit `tock`
+/// event): after `request`, at most `max_tocks` clock ticks may pass before
+/// `response`; `noise` events are unconstrained.
+///
+/// Checked in the traces model: an implementation that lets the clock tick
+/// `max_tocks + 1` times while a request is outstanding performs a `tock`
+/// the specification forbids, producing a counterexample ending in `tock`.
+pub fn respond_within(
+    defs: &mut Definitions,
+    name: &str,
+    request: EventId,
+    response: EventId,
+    tock: EventId,
+    max_tocks: usize,
+    noise: &EventSet,
+) -> Process {
+    let idle = defs.declare(&format!("{name}_idle"));
+    // busy[k] = response still owed, k tocks of budget left.
+    let busy: Vec<DefId> = (0..=max_tocks)
+        .map(|k| defs.declare(&format!("{name}_busy{k}")))
+        .collect();
+
+    let mut idle_branches = vec![
+        Process::prefix(request, Process::var(busy[max_tocks])),
+        Process::prefix(tock, Process::var(idle)),
+    ];
+    idle_branches.extend(noise.iter().map(|e| Process::prefix(e, Process::var(idle))));
+    defs.define(idle, Process::external_choice_all(idle_branches));
+
+    for k in 0..=max_tocks {
+        let mut branches = vec![
+            Process::prefix(response, Process::var(idle)),
+            // Further requests while busy keep the (older) deadline.
+            Process::prefix(request, Process::var(busy[k])),
+        ];
+        if k > 0 {
+            branches.push(Process::prefix(tock, Process::var(busy[k - 1])));
+        }
+        branches.extend(
+            noise
+                .iter()
+                .map(|e| Process::prefix(e, Process::var(busy[k]))),
+        );
+        defs.define(busy[k], Process::external_choice_all(branches));
+    }
+    Process::var(idle)
+}
+
+#[cfg(test)]
+mod timed_tests {
+    use super::*;
+    use crate::checker::Checker;
+
+    fn e(n: u32) -> EventId {
+        EventId::from_index(n as usize)
+    }
+
+    fn spec(defs: &mut Definitions, budget: usize) -> Process {
+        respond_within(defs, "RW", e(0), e(1), e(2), budget, &EventSet::empty())
+    }
+
+    #[test]
+    fn response_within_budget_passes() {
+        let mut defs = Definitions::new();
+        let s = spec(&mut defs, 2);
+        // req, tock, rsp — one tock used of two.
+        let ok = Process::prefix_chain([e(0), e(2), e(1)], Process::Stop);
+        assert!(Checker::new().trace_refinement(&s, &ok, &defs).unwrap().is_pass());
+    }
+
+    #[test]
+    fn late_response_is_caught_at_the_tock_that_breaks_the_deadline() {
+        let mut defs = Definitions::new();
+        let s = spec(&mut defs, 2);
+        let late = Process::prefix_chain([e(0), e(2), e(2), e(2), e(1)], Process::Stop);
+        let v = Checker::new().trace_refinement(&s, &late, &defs).unwrap();
+        let cex = v.counterexample().expect("three tocks exceed the budget");
+        // The witness ends exactly when the deadline is broken.
+        assert_eq!(cex.trace().len(), 3);
+    }
+
+    #[test]
+    fn clock_runs_freely_while_idle() {
+        let mut defs = Definitions::new();
+        let s = spec(&mut defs, 1);
+        let idle_ticking = Process::prefix_chain([e(2), e(2), e(2), e(0), e(1)], Process::Stop);
+        assert!(Checker::new()
+            .trace_refinement(&s, &idle_ticking, &defs)
+            .unwrap()
+            .is_pass());
+    }
+
+    #[test]
+    fn translated_timer_ecu_meets_its_deadline() {
+        // The translator's tock model: an ECU that arms a timer on request
+        // and responds when it fires must answer within one tock.
+        let src = "
+            variables { message rptSw rpt; message reqSw a; msTimer t; }
+            on message reqSw { setTimer(t, 10); }
+            on timer t { output(rpt); }
+        ";
+        let program = capl::parse(src).unwrap();
+        let out = translator::Translator::new(translator::TranslateConfig::ecu("ECU"))
+            .translate(&program)
+            .unwrap();
+        let loaded = cspm::Script::parse(&out.script).unwrap().load().unwrap();
+        let mut defs = loaded.definitions().clone();
+        let req = loaded.alphabet().lookup("rec.reqSw").unwrap();
+        let rsp = loaded.alphabet().lookup("send.rptSw").unwrap();
+        let tock = loaded.alphabet().lookup("tock").unwrap();
+        let s = respond_within(&mut defs, "RW", req, rsp, tock, 1, &EventSet::empty());
+        let ecu = loaded.process("ECU_INIT").unwrap();
+        let v = Checker::new().trace_refinement(&s, ecu, &defs).unwrap();
+        assert!(
+            v.is_pass(),
+            "{:?}",
+            v.counterexample().map(|c| c.display(loaded.alphabet()).to_string())
+        );
+    }
+}

@@ -1,0 +1,43 @@
+//! `ota` — the paper's case study: securing over-the-air software updates
+//! (§V), based on ITU-T recommendation X.1373.
+//!
+//! The crate bundles everything needed to reproduce the case study end to
+//! end and to extend it the way §VIII-A proposes:
+//!
+//! * [`messages`] — the Table II message set (`reqSw`, `rptSw`, `reqApp`,
+//!   `rptUpd`) plus the X.1373 server-scope messages the paper defers
+//!   (`update_check`, `update`, `update_report`, `diagnose`), as metadata
+//!   and as a CAN database;
+//! * [`sources`] — the CAPL applications for the VMG and the target ECU
+//!   (and the update server), written the way the paper's demonstration
+//!   nodes are, runnable in `canoe-sim` and translatable by `translator`;
+//! * [`system`] — the composed implementation model `SYSTEM = VMG ∥ ECU`
+//!   (Fig. 2 scope) and the server-extended variant;
+//! * [`requirements`] — Table III's R01–R05 as CSP specification processes;
+//! * [`attacks`] — drop / replay / forge scenarios built by interposing a
+//!   `secmod` Dolev-Yao intruder on the update path;
+//! * [`secured`] — the shared-key (MAC) model R05 assumes, and the
+//!   asymmetric-signature variant the paper lists as further work.
+//!
+//! # Example
+//!
+//! ```
+//! let mut study = ota::system::OtaSystem::build()?;
+//! let checker = fdrlite::Checker::new();
+//! let requirements = ota::requirements::all(&mut study)?;
+//! for req in &requirements {
+//!     let verdict = checker.trace_refinement(&req.spec, &req.scoped_system, study.definitions())?;
+//!     assert!(verdict.is_pass(), "{} must hold on the honest system", req.id);
+//! }
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attacks;
+pub mod messages;
+pub mod requirements;
+pub mod secured;
+pub mod sources;
+pub mod system;

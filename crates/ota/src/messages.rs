@@ -1,0 +1,175 @@
+//! The X.1373 message set: Table II plus the server-scope messages.
+
+use serde::{Deserialize, Serialize};
+
+/// One row of the paper's Table II (extended with the X.1373 messages the
+/// paper's §VIII-A defers to future work).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MessageSpec {
+    /// Message class (`Diagnose` / `Update`).
+    pub class: &'static str,
+    /// Message identifier used in models and CAPL sources.
+    pub id: &'static str,
+    /// Sending component.
+    pub from: &'static str,
+    /// Receiving component.
+    pub to: &'static str,
+    /// Description from X.1373.
+    pub description: &'static str,
+}
+
+/// Table II exactly as printed in the paper (VMG↔ECU scope, Fig. 2).
+pub const TABLE_II: &[MessageSpec] = &[
+    MessageSpec {
+        class: "Diagnose",
+        id: "reqSw",
+        from: "VMG",
+        to: "ECU",
+        description: "Request diagnose software status",
+    },
+    MessageSpec {
+        class: "Diagnose",
+        id: "rptSw",
+        from: "ECU",
+        to: "VMG",
+        description: "Result of software diagnosis",
+    },
+    MessageSpec {
+        class: "Update",
+        id: "reqApp",
+        from: "VMG",
+        to: "ECU",
+        description: "Request apply update module",
+    },
+    MessageSpec {
+        class: "Update",
+        id: "rptUpd",
+        from: "ECU",
+        to: "VMG",
+        description: "Result of applying update module",
+    },
+];
+
+/// The server-scope messages X.1373 defines and §VIII-A defers: exchanged
+/// between the update server and the VMG.
+pub const SERVER_MESSAGES: &[MessageSpec] = &[
+    MessageSpec {
+        class: "Diagnose",
+        id: "diagnose",
+        from: "Server",
+        to: "VMG",
+        description: "Request vehicle diagnosis",
+    },
+    MessageSpec {
+        class: "Update",
+        id: "update_check",
+        from: "VMG",
+        to: "Server",
+        description: "Check for available updates",
+    },
+    MessageSpec {
+        class: "Update",
+        id: "update",
+        from: "Server",
+        to: "VMG",
+        description: "Deliver update package",
+    },
+    MessageSpec {
+        class: "Update",
+        id: "update_report",
+        from: "VMG",
+        to: "Server",
+        description: "Report update application status",
+    },
+];
+
+/// The CAN database backing the simulated network (Fig. 2 scope plus the
+/// server hop). Ids give the VMG→ECU direction higher priority (lower id)
+/// than responses, as a real network design would.
+pub const NETWORK_DBC: &str = r#"VERSION "1.0"
+
+BU_: VMG ECU Server
+
+BO_ 256 reqSw: 8 VMG
+ SG_ reqType : 0|4@1+ (1,0) [0|15] "" ECU
+ SG_ seq : 4|8@1+ (1,0) [0|255] "" ECU
+
+BO_ 257 reqApp: 8 VMG
+ SG_ pkgId : 0|8@1+ (1,0) [0|255] "" ECU
+ SG_ seq : 8|8@1+ (1,0) [0|255] "" ECU
+
+BO_ 512 rptSw: 8 ECU
+ SG_ status : 0|8@1+ (1,0) [0|255] "" VMG
+ SG_ version : 8|16@1+ (1,0) [0|65535] "" VMG
+
+BO_ 513 rptUpd: 8 ECU
+ SG_ result : 0|8@1+ (1,0) [0|255] "" VMG
+
+BO_ 768 diagnose: 8 Server
+ SG_ scope : 0|8@1+ (1,0) [0|255] "" VMG
+
+BO_ 769 update: 8 Server
+ SG_ pkgId : 0|8@1+ (1,0) [0|255] "" VMG
+
+BO_ 770 update_check: 8 VMG
+ SG_ vin : 0|8@1+ (1,0) [0|255] "" Server
+
+BO_ 771 update_report: 8 VMG
+ SG_ result : 0|8@1+ (1,0) [0|255] "" Server
+
+CM_ BO_ 256 "Request diagnose software status";
+CM_ BO_ 512 "Result of software diagnosis";
+CM_ BO_ 257 "Request apply update module";
+CM_ BO_ 513 "Result of applying update module";
+VAL_ 513 result 0 "OK" 1 "FAILED" ;
+"#;
+
+/// Parse [`NETWORK_DBC`].
+///
+/// # Panics
+///
+/// Never — the embedded database is covered by tests.
+pub fn database() -> candb::Database {
+    candb::parse(NETWORK_DBC).expect("embedded network database is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_ii_matches_the_paper() {
+        assert_eq!(TABLE_II.len(), 4);
+        assert_eq!(TABLE_II[0].id, "reqSw");
+        assert_eq!(TABLE_II[1].from, "ECU");
+        assert_eq!(TABLE_II[3].description, "Result of applying update module");
+    }
+
+    #[test]
+    fn database_parses_and_contains_all_messages() {
+        let db = database();
+        for spec in TABLE_II.iter().chain(SERVER_MESSAGES) {
+            assert!(
+                db.message_by_name(spec.id).is_some(),
+                "missing message {}",
+                spec.id
+            );
+        }
+    }
+
+    #[test]
+    fn requests_win_arbitration_over_responses() {
+        let db = database();
+        let req = db.message_by_name("reqSw").unwrap().id;
+        let rpt = db.message_by_name("rptSw").unwrap().id;
+        assert!(req < rpt);
+    }
+
+    #[test]
+    fn senders_match_table_ii() {
+        let db = database();
+        for spec in TABLE_II {
+            assert_eq!(db.message_by_name(spec.id).unwrap().sender, spec.from);
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! The CAPL applications of the demonstration network (§VI): the Vehicle
+//! Mobile Gateway, the target ECU, and the §VIII-A update server.
+//!
+//! These are the programs that run in `canoe-sim` *and* get translated by
+//! `translator` — one source of truth for both, exactly the property the
+//! paper's workflow (Fig. 1) needs.
+
+/// The target ECU: answers diagnosis requests and applies updates
+/// (requirements R02–R04 of Table III).
+pub const ECU_CAPL: &str = r#"
+/* Target ECU update module, per ITU-T X.1373.
+ * R02: every software inventory request gets a software list response.
+ * R03/R04: an apply-update request is applied and acknowledged. */
+variables
+{
+  message rptSw msgRptSw;
+  message rptUpd msgRptUpd;
+  int updatesApplied = 0;
+}
+
+on message reqSw
+{
+  output(msgRptSw);
+}
+
+on message reqApp
+{
+  updatesApplied = updatesApplied + 1;
+  output(msgRptUpd);
+}
+"#;
+
+/// The Vehicle Mobile Gateway: drives the update sequence
+/// (R01: inventory request first, then apply, then collect the result).
+pub const VMG_CAPL: &str = r#"
+/* Vehicle Mobile Gateway, per ITU-T X.1373. */
+variables
+{
+  message reqSw msgReqSw;
+  message reqApp msgReqApp;
+  int updateDone = 0;
+}
+
+on start
+{
+  output(msgReqSw);
+}
+
+on message rptSw
+{
+  output(msgReqApp);
+}
+
+on message rptUpd
+{
+  updateDone = 1;
+  write("update complete");
+}
+"#;
+
+/// The update server (§VIII-A extension): triggers the VMG's update cycle
+/// and collects the final report.
+pub const SERVER_CAPL: &str = r#"
+/* OEM update server, per ITU-T X.1373 (server scope). */
+variables
+{
+  message update msgUpdate;
+  int reportsSeen = 0;
+}
+
+on message update_check
+{
+  output(msgUpdate);
+}
+
+on message update_report
+{
+  reportsSeen = reportsSeen + 1;
+}
+"#;
+
+/// A VMG variant that also talks to the update server: checks for updates
+/// at start, runs the ECU-side update cycle when one arrives, and reports
+/// back (the full X.1373 loop).
+pub const VMG_FULL_CAPL: &str = r#"
+variables
+{
+  message update_check msgCheck;
+  message update_report msgReport;
+  message reqSw msgReqSw;
+  message reqApp msgReqApp;
+}
+
+on start
+{
+  output(msgCheck);
+}
+
+on message update
+{
+  output(msgReqSw);
+}
+
+on message rptSw
+{
+  output(msgReqApp);
+}
+
+on message rptUpd
+{
+  output(msgReport);
+}
+"#;
+
+/// A deliberately faulty ECU used in negative tests: it acknowledges the
+/// update twice (violating R02's "exactly one response" integrity reading).
+pub const FAULTY_ECU_CAPL: &str = r#"
+variables
+{
+  message rptSw msgRptSw;
+  message rptUpd msgRptUpd;
+}
+
+on message reqSw
+{
+  output(msgRptSw);
+  output(msgRptSw);
+}
+
+on message reqApp
+{
+  output(msgRptUpd);
+}
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_sources_parse() {
+        for (name, src) in [
+            ("ECU", ECU_CAPL),
+            ("VMG", VMG_CAPL),
+            ("SERVER", SERVER_CAPL),
+            ("VMG_FULL", VMG_FULL_CAPL),
+            ("FAULTY_ECU", FAULTY_ECU_CAPL),
+        ] {
+            capl::parse(src).unwrap_or_else(|e| panic!("{name} failed to parse: {e}"));
+        }
+    }
+
+    #[test]
+    fn sources_are_clean_under_analysis() {
+        for src in [ECU_CAPL, VMG_CAPL, SERVER_CAPL, VMG_FULL_CAPL] {
+            let program = capl::parse(src).unwrap();
+            let report = capl::analyze(&program);
+            assert_eq!(report.errors().count(), 0, "{:?}", report.diagnostics());
+        }
+    }
+
+    #[test]
+    fn sources_run_in_the_simulator() {
+        let mut sim = canoe_sim::Simulation::new(Some(crate::messages::database()));
+        sim.add_node("VMG", capl::parse(VMG_CAPL).unwrap()).unwrap();
+        sim.add_node("ECU", capl::parse(ECU_CAPL).unwrap()).unwrap();
+        sim.run_for(50_000).unwrap();
+        let transmits: Vec<&str> = sim
+            .trace()
+            .iter()
+            .filter_map(|e| e.event.transmit_name())
+            .collect();
+        assert_eq!(transmits, vec!["reqSw", "rptSw", "reqApp", "rptUpd"]);
+        assert_eq!(
+            sim.node_global("VMG", "updateDone").unwrap(),
+            Some(canoe_sim::CaplValue::Int(1))
+        );
+        assert_eq!(
+            sim.node_global("ECU", "updatesApplied").unwrap(),
+            Some(canoe_sim::CaplValue::Int(1))
+        );
+    }
+
+    #[test]
+    fn full_loop_runs_with_server() {
+        let mut sim = canoe_sim::Simulation::new(Some(crate::messages::database()));
+        sim.add_node("VMG", capl::parse(VMG_FULL_CAPL).unwrap()).unwrap();
+        sim.add_node("ECU", capl::parse(ECU_CAPL).unwrap()).unwrap();
+        sim.add_node("Server", capl::parse(SERVER_CAPL).unwrap()).unwrap();
+        sim.run_for(100_000).unwrap();
+        assert_eq!(
+            sim.node_global("Server", "reportsSeen").unwrap(),
+            Some(canoe_sim::CaplValue::Int(1))
+        );
+    }
+}

@@ -1,0 +1,294 @@
+//! Attack trees as series-parallel graphs, with the paper's sequence
+//! semantics and the translation to CSP processes.
+//!
+//! §IV-E defines the action sequences of an SP graph recursively:
+//!
+//! ```text
+//! (a)        = { ⟨a⟩ }
+//! (G1 ∥ G2)  = { s ∈ s1 ||| s2 | s1 ∈ (G1), s2 ∈ (G2) }   (interleavings)
+//! (G1 · G2)  = { s1 ⌢ s2 | s1 ∈ (G1), s2 ∈ (G2) }          (concatenation)
+//! ({G1,…,Gn}) = ⋃ (Gi)                                      (alternatives)
+//! ```
+//!
+//! [`AttackTree::sequences`] implements exactly this function;
+//! [`AttackTree::to_process`] produces a CSP process whose *complete* traces
+//! (those ending in `✓`) are exactly those sequences — the semantic
+//! equivalence result of the paper's reference [17].
+
+use std::collections::BTreeSet;
+
+use csp::{Alphabet, Definitions, Process};
+use serde::{Deserialize, Serialize};
+
+/// An attack tree / series-parallel graph over named attacker actions.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AttackTree {
+    /// A single attacker action.
+    Leaf(String),
+    /// Sequential composition `G1 · G2 · …` — every part, in order.
+    Seq(Vec<AttackTree>),
+    /// Parallel composition `G1 ∥ G2 ∥ …` — every part, interleaved.
+    Par(Vec<AttackTree>),
+    /// Alternatives `{G1, …, Gn}` — any one part (an OR node).
+    Choice(Vec<AttackTree>),
+}
+
+impl AttackTree {
+    /// Convenience constructor for a leaf.
+    pub fn leaf(action: &str) -> AttackTree {
+        AttackTree::Leaf(action.to_owned())
+    }
+
+    /// All attacker actions mentioned in the tree, deduplicated.
+    pub fn actions(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        self.collect_actions(&mut out);
+        out
+    }
+
+    fn collect_actions(&self, out: &mut BTreeSet<String>) {
+        match self {
+            AttackTree::Leaf(a) => {
+                out.insert(a.clone());
+            }
+            AttackTree::Seq(children)
+            | AttackTree::Par(children)
+            | AttackTree::Choice(children) => {
+                for c in children {
+                    c.collect_actions(out);
+                }
+            }
+        }
+    }
+
+    /// The paper's `(·)` semantics: the set of action sequences realising
+    /// the attack.
+    pub fn sequences(&self) -> BTreeSet<Vec<String>> {
+        match self {
+            AttackTree::Leaf(a) => [vec![a.clone()]].into_iter().collect(),
+            AttackTree::Seq(children) => {
+                let mut acc: BTreeSet<Vec<String>> = [Vec::new()].into_iter().collect();
+                for c in children {
+                    let mut next = BTreeSet::new();
+                    for prefix in &acc {
+                        for suffix in c.sequences() {
+                            let mut s = prefix.clone();
+                            s.extend(suffix);
+                            next.insert(s);
+                        }
+                    }
+                    acc = next;
+                }
+                acc
+            }
+            AttackTree::Par(children) => {
+                let mut acc: BTreeSet<Vec<String>> = [Vec::new()].into_iter().collect();
+                for c in children {
+                    let mut next = BTreeSet::new();
+                    for left in &acc {
+                        for right in c.sequences() {
+                            for merged in interleavings(left, &right) {
+                                next.insert(merged);
+                            }
+                        }
+                    }
+                    acc = next;
+                }
+                acc
+            }
+            AttackTree::Choice(children) => children
+                .iter()
+                .flat_map(|c| c.sequences())
+                .collect(),
+        }
+    }
+
+    /// Translate to a CSP process: leaves become event prefixes, `Seq`
+    /// becomes `;`, `Par` becomes `|||` and `Choice` becomes external
+    /// choice. The process terminates (`✓`) exactly after a complete attack.
+    pub fn to_process(&self, alphabet: &mut Alphabet) -> Process {
+        match self {
+            AttackTree::Leaf(a) => Process::prefix(alphabet.intern(a), Process::Skip),
+            AttackTree::Seq(children) => {
+                let parts: Vec<Process> =
+                    children.iter().map(|c| c.to_process(alphabet)).collect();
+                let mut iter = parts.into_iter().rev();
+                match iter.next() {
+                    None => Process::Skip,
+                    Some(last) => iter.fold(last, |acc, p| Process::seq(p, acc)),
+                }
+            }
+            AttackTree::Par(children) => Process::interleave_all(
+                children.iter().map(|c| c.to_process(alphabet)).collect(),
+            ),
+            AttackTree::Choice(children) => Process::external_choice_all(
+                children.iter().map(|c| c.to_process(alphabet)).collect(),
+            ),
+        }
+    }
+
+    /// A monitor process for composing with a system model: performs the
+    /// attack (synchronising on its action events) and then signals
+    /// `success_event`. Used to ask "can this attack complete?" as a trace
+    /// refinement query.
+    pub fn to_monitor(
+        &self,
+        alphabet: &mut Alphabet,
+        defs: &mut Definitions,
+        success_event: &str,
+    ) -> Process {
+        let success = alphabet.intern(success_event);
+        let attack = self.to_process(alphabet);
+        let done = defs.add(
+            "ATTACK_DONE",
+            Process::prefix(success, Process::Stop),
+        );
+        Process::seq(attack, Process::var(done))
+    }
+}
+
+/// All interleavings of two sequences (`s1 ||| s2` on traces).
+fn interleavings(a: &[String], b: &[String]) -> Vec<Vec<String>> {
+    if a.is_empty() {
+        return vec![b.to_vec()];
+    }
+    if b.is_empty() {
+        return vec![a.to_vec()];
+    }
+    let mut out = Vec::new();
+    for rest in interleavings(&a[1..], b) {
+        let mut s = vec![a[0].clone()];
+        s.extend(rest);
+        out.push(s);
+    }
+    for rest in interleavings(a, &b[1..]) {
+        let mut s = vec![b[0].clone()];
+        s.extend(rest);
+        out.push(s);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csp::{Lts, TraceEvent};
+
+    fn seqs(t: &AttackTree) -> BTreeSet<Vec<String>> {
+        t.sequences()
+    }
+
+    fn s(items: &[&str]) -> Vec<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn leaf_semantics() {
+        assert_eq!(
+            seqs(&AttackTree::leaf("spoof")),
+            [s(&["spoof"])].into_iter().collect()
+        );
+    }
+
+    #[test]
+    fn seq_concatenates() {
+        let t = AttackTree::Seq(vec![AttackTree::leaf("a"), AttackTree::leaf("b")]);
+        assert_eq!(seqs(&t), [s(&["a", "b"])].into_iter().collect());
+    }
+
+    #[test]
+    fn par_interleaves() {
+        let t = AttackTree::Par(vec![AttackTree::leaf("a"), AttackTree::leaf("b")]);
+        assert_eq!(
+            seqs(&t),
+            [s(&["a", "b"]), s(&["b", "a"])].into_iter().collect()
+        );
+    }
+
+    #[test]
+    fn choice_unions() {
+        let t = AttackTree::Choice(vec![AttackTree::leaf("a"), AttackTree::leaf("b")]);
+        assert_eq!(seqs(&t), [s(&["a"]), s(&["b"])].into_iter().collect());
+    }
+
+    #[test]
+    fn nested_tree_semantics() {
+        // (a · (b ∥ c)) has sequences abc and acb.
+        let t = AttackTree::Seq(vec![
+            AttackTree::leaf("a"),
+            AttackTree::Par(vec![AttackTree::leaf("b"), AttackTree::leaf("c")]),
+        ]);
+        assert_eq!(
+            seqs(&t),
+            [s(&["a", "b", "c"]), s(&["a", "c", "b"])]
+                .into_iter()
+                .collect()
+        );
+    }
+
+    /// The semantic-equivalence theorem: the complete traces of the CSP
+    /// process equal the SP-graph sequences.
+    fn assert_process_matches_semantics(tree: &AttackTree) {
+        let mut ab = Alphabet::new();
+        let p = tree.to_process(&mut ab);
+        let defs = Definitions::new();
+        let lts = Lts::build(p, &defs, 100_000).unwrap();
+        let traces = csp::traces::traces_upto(&lts, 32);
+        let complete: BTreeSet<Vec<String>> = traces
+            .iter()
+            .filter(|t| t.is_terminated())
+            .map(|t| {
+                t.events()
+                    .iter()
+                    .filter_map(|e| match e {
+                        TraceEvent::Event(id) => Some(ab.name(*id).to_owned()),
+                        TraceEvent::Tick => None,
+                    })
+                    .collect()
+            })
+            .collect();
+        assert_eq!(complete, tree.sequences(), "for tree {tree:?}");
+    }
+
+    #[test]
+    fn process_translation_is_semantically_equivalent() {
+        assert_process_matches_semantics(&AttackTree::leaf("a"));
+        assert_process_matches_semantics(&AttackTree::Seq(vec![
+            AttackTree::leaf("a"),
+            AttackTree::leaf("b"),
+        ]));
+        assert_process_matches_semantics(&AttackTree::Par(vec![
+            AttackTree::leaf("a"),
+            AttackTree::leaf("b"),
+            AttackTree::leaf("c"),
+        ]));
+        assert_process_matches_semantics(&AttackTree::Choice(vec![
+            AttackTree::Seq(vec![AttackTree::leaf("probe"), AttackTree::leaf("spoof")]),
+            AttackTree::Par(vec![AttackTree::leaf("jam"), AttackTree::leaf("replay")]),
+        ]));
+    }
+
+    #[test]
+    fn actions_are_collected() {
+        let t = AttackTree::Seq(vec![
+            AttackTree::leaf("probe"),
+            AttackTree::Choice(vec![AttackTree::leaf("spoof"), AttackTree::leaf("probe")]),
+        ]);
+        assert_eq!(t.actions(), ["probe", "spoof"].iter().map(|s| s.to_string()).collect());
+    }
+
+    #[test]
+    fn monitor_signals_success_only_after_attack() {
+        let mut ab = Alphabet::new();
+        let mut defs = Definitions::new();
+        let t = AttackTree::Seq(vec![AttackTree::leaf("probe"), AttackTree::leaf("spoof")]);
+        let monitor = t.to_monitor(&mut ab, &mut defs, "attack_success");
+        let lts = Lts::build(monitor, &defs, 10_000).unwrap();
+        let probe = ab.lookup("probe").unwrap();
+        let spoof = ab.lookup("spoof").unwrap();
+        let win = ab.lookup("attack_success").unwrap();
+        assert!(csp::traces::has_trace(&lts, &[probe, spoof, win]));
+        assert!(!csp::traces::has_trace(&lts, &[win]));
+        assert!(!csp::traces::has_trace(&lts, &[probe, win]));
+    }
+}

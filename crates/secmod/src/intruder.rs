@@ -1,0 +1,293 @@
+//! Dolev-Yao intruder process generation.
+//!
+//! The intruder sits on a *tapped hop*: honest senders transmit on the
+//! `heard` channel and honest receivers listen on the `delivered` channel.
+//! The intruder is the only process bridging the two, which gives it the
+//! full Dolev-Yao capability set:
+//!
+//! * **overhear** — every `heard.m` extends its knowledge;
+//! * **drop** — it is never obliged to deliver;
+//! * **delay / reorder / replay** — it may deliver anything it knows, any
+//!   number of times, in any order;
+//! * **forge** — initial knowledge (and anything learnt) can be delivered
+//!   without ever having been sent.
+//!
+//! Knowledge is a subset of the finite message space, so the generated
+//! process is a finite machine with one state per reachable knowledge set —
+//! exactly how FDR-facing CSP intruders are written by hand.
+
+use std::collections::HashMap;
+
+use csp::{Alphabet, DefId, Definitions, Process};
+
+/// A generated Dolev-Yao intruder (see module docs).
+#[derive(Debug, Clone)]
+pub struct Intruder {
+    process: Process,
+    heard_events: Vec<csp::EventId>,
+    delivered_events: Vec<csp::EventId>,
+}
+
+impl Intruder {
+    /// Start building an intruder; `name` prefixes its definition names.
+    pub fn builder(name: &str) -> IntruderBuilder {
+        IntruderBuilder {
+            name: name.to_owned(),
+            messages: Vec::new(),
+            heard_channel: "heard".to_owned(),
+            delivered_channel: "delivered".to_owned(),
+            initial_knowledge: Vec::new(),
+            lossy: false,
+        }
+    }
+
+    /// The intruder process (compose it in parallel, synchronising on
+    /// [`Intruder::heard_events`] with senders and
+    /// [`Intruder::delivered_events`] with receivers).
+    pub fn process(&self) -> &Process {
+        &self.process
+    }
+
+    /// Events the intruder overhears.
+    pub fn heard_events(&self) -> &[csp::EventId] {
+        &self.heard_events
+    }
+
+    /// Events the intruder may deliver.
+    pub fn delivered_events(&self) -> &[csp::EventId] {
+        &self.delivered_events
+    }
+}
+
+/// Configures an [`Intruder`].
+#[derive(Debug, Clone)]
+pub struct IntruderBuilder {
+    name: String,
+    messages: Vec<String>,
+    heard_channel: String,
+    delivered_channel: String,
+    initial_knowledge: Vec<String>,
+    lossy: bool,
+}
+
+impl IntruderBuilder {
+    /// Add a message to the (finite) message space.
+    pub fn message(mut self, m: &str) -> IntruderBuilder {
+        self.messages.push(m.to_owned());
+        self
+    }
+
+    /// Add several messages.
+    pub fn messages<'a, I: IntoIterator<Item = &'a str>>(mut self, ms: I) -> IntruderBuilder {
+        self.messages.extend(ms.into_iter().map(str::to_owned));
+        self
+    }
+
+    /// Set the tapped channel pair: senders transmit on `heard`, receivers
+    /// listen on `delivered`.
+    pub fn tap(mut self, heard: &str, delivered: &str) -> IntruderBuilder {
+        self.heard_channel = heard.to_owned();
+        self.delivered_channel = delivered.to_owned();
+        self
+    }
+
+    /// Give the intruder initial knowledge of `m` (it can forge it from the
+    /// start).
+    pub fn knows(mut self, m: &str) -> IntruderBuilder {
+        self.initial_knowledge.push(m.to_owned());
+        self
+    }
+
+    /// Make the intruder *lossy*: after overhearing a message it decides
+    /// internally whether to keep it. A kept message can be delivered (and
+    /// replayed); a dropped one is gone — which makes denial-of-service
+    /// observable as a refusal in the stable-failures model.
+    pub fn lossy(mut self, lossy: bool) -> IntruderBuilder {
+        self.lossy = lossy;
+        self
+    }
+
+    /// Generate the intruder process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the message space is larger than 16 (the knowledge lattice
+    /// would have more than 65 536 states; restrict the message space
+    /// instead).
+    pub fn build(self, alphabet: &mut Alphabet, defs: &mut Definitions) -> Intruder {
+        assert!(
+            self.messages.len() <= 16,
+            "intruder message space too large ({} messages)",
+            self.messages.len()
+        );
+        let heard: Vec<csp::EventId> = self
+            .messages
+            .iter()
+            .map(|m| alphabet.intern(&format!("{}.{m}", self.heard_channel)))
+            .collect();
+        let delivered: Vec<csp::EventId> = self
+            .messages
+            .iter()
+            .map(|m| alphabet.intern(&format!("{}.{m}", self.delivered_channel)))
+            .collect();
+
+        let mut initial: u32 = 0;
+        for (i, m) in self.messages.iter().enumerate() {
+            if self.initial_knowledge.iter().any(|k| k == m) {
+                initial |= 1 << i;
+            }
+        }
+
+        // One definition per knowledge set, created on demand.
+        let mut ids: HashMap<u32, DefId> = HashMap::new();
+        let mut worklist = vec![initial];
+        while let Some(knowledge) = worklist.pop() {
+            if ids.contains_key(&knowledge) {
+                continue;
+            }
+            let id = defs.declare(&format!("{}_{knowledge:04x}", self.name));
+            ids.insert(knowledge, id);
+            for i in 0..self.messages.len() {
+                worklist.push(knowledge | (1 << i));
+            }
+        }
+        for (&knowledge, &id) in &ids {
+            let mut branches = Vec::new();
+            for i in 0..self.messages.len() {
+                // Overhear: learn the message (or, when lossy, maybe drop it).
+                let learned = ids[&(knowledge | (1 << i))];
+                let continuation = if self.lossy {
+                    Process::internal_choice(Process::var(learned), Process::var(id))
+                } else {
+                    Process::var(learned)
+                };
+                branches.push(Process::prefix(heard[i], continuation));
+            }
+            for (i, &event) in delivered.iter().enumerate() {
+                // Deliver / replay / forge anything known.
+                if knowledge & (1 << i) != 0 {
+                    branches.push(Process::prefix(event, Process::var(id)));
+                }
+            }
+            defs.define(id, Process::external_choice_all(branches));
+        }
+
+        Intruder {
+            process: Process::var(ids[&initial]),
+            heard_events: heard,
+            delivered_events: delivered,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csp::{EventSet, Lts};
+
+    fn setup() -> (Alphabet, Definitions, Intruder) {
+        let mut ab = Alphabet::new();
+        let mut defs = Definitions::new();
+        let intruder = Intruder::builder("EVE")
+            .messages(["reqSw", "rptSw"])
+            .tap("net", "dlv")
+            .build(&mut ab, &mut defs);
+        (ab, defs, intruder)
+    }
+
+    #[test]
+    fn intruder_cannot_forge_unknown_messages() {
+        let (ab, defs, intruder) = setup();
+        let lts = Lts::build(intruder.process().clone(), &defs, 10_000).unwrap();
+        let dlv = ab.lookup("dlv.reqSw").unwrap();
+        // Without having heard anything, no delivery is possible.
+        assert!(!csp::traces::has_trace(&lts, &[dlv]));
+    }
+
+    #[test]
+    fn intruder_replays_after_overhearing() {
+        let (ab, defs, intruder) = setup();
+        let lts = Lts::build(intruder.process().clone(), &defs, 10_000).unwrap();
+        let net = ab.lookup("net.reqSw").unwrap();
+        let dlv = ab.lookup("dlv.reqSw").unwrap();
+        assert!(csp::traces::has_trace(&lts, &[net, dlv]));
+        // Replay: deliver twice from one overheard message.
+        assert!(csp::traces::has_trace(&lts, &[net, dlv, dlv]));
+    }
+
+    #[test]
+    fn knowledge_is_monotone() {
+        let (ab, defs, intruder) = setup();
+        let lts = Lts::build(intruder.process().clone(), &defs, 10_000).unwrap();
+        let net_req = ab.lookup("net.reqSw").unwrap();
+        let net_rpt = ab.lookup("net.rptSw").unwrap();
+        let dlv_req = ab.lookup("dlv.reqSw").unwrap();
+        let dlv_rpt = ab.lookup("dlv.rptSw").unwrap();
+        assert!(csp::traces::has_trace(
+            &lts,
+            &[net_req, net_rpt, dlv_rpt, dlv_req]
+        ));
+        assert!(!csp::traces::has_trace(&lts, &[net_req, dlv_rpt]));
+    }
+
+    #[test]
+    fn initial_knowledge_enables_forgery() {
+        let mut ab = Alphabet::new();
+        let mut defs = Definitions::new();
+        let intruder = Intruder::builder("EVE")
+            .message("reqApp")
+            .knows("reqApp")
+            .tap("net", "dlv")
+            .build(&mut ab, &mut defs);
+        let lts = Lts::build(intruder.process().clone(), &defs, 1_000).unwrap();
+        let dlv = ab.lookup("dlv.reqApp").unwrap();
+        assert!(csp::traces::has_trace(&lts, &[dlv]));
+    }
+
+    #[test]
+    fn intruder_state_space_is_the_knowledge_lattice() {
+        let (_, defs, intruder) = setup();
+        let lts = Lts::build(intruder.process().clone(), &defs, 10_000).unwrap();
+        // 2 messages → 4 knowledge sets.
+        assert_eq!(lts.state_count(), 4);
+    }
+
+    #[test]
+    fn lossy_intruder_can_commit_to_dropping() {
+        let mut ab = Alphabet::new();
+        let mut defs = Definitions::new();
+        let intruder = Intruder::builder("EVE")
+            .message("reqSw")
+            .tap("net", "dlv")
+            .lossy(true)
+            .build(&mut ab, &mut defs);
+        let lts = Lts::build(intruder.process().clone(), &defs, 1_000).unwrap();
+        let net = ab.lookup("net.reqSw").unwrap();
+        let dlv = ab.lookup("dlv.reqSw").unwrap();
+        // After hearing, there must exist a resolved state refusing delivery.
+        let norm = fdrlite::NormalisedLts::build(&lts, 1_000).unwrap();
+        let after = norm.after(norm.initial(), net).unwrap();
+        assert!(norm
+            .acceptances(after)
+            .iter()
+            .any(|a| !a.events.contains(dlv)));
+        // But delivery is still possible on the other branch.
+        assert!(csp::traces::has_trace(&lts, &[net, dlv]));
+    }
+
+    #[test]
+    fn dropping_is_default_behaviour() {
+        // A sender synchronising on `net.*` only: the composed system can
+        // always proceed even if nothing is ever delivered.
+        let (ab, defs, intruder) = setup();
+        let net = ab.lookup("net.reqSw").unwrap();
+        let sender = Process::prefix(net, Process::prefix(net, Process::Stop));
+        let system = Process::parallel(
+            EventSet::singleton(net),
+            sender,
+            intruder.process().clone(),
+        );
+        let lts = Lts::build(system, &defs, 10_000).unwrap();
+        assert!(csp::traces::has_trace(&lts, &[net, net]));
+    }
+}

@@ -1,0 +1,60 @@
+//! `secmod` — security modelling for CSP-based checking of automotive ECUs.
+//!
+//! Implements §IV-E of the paper:
+//!
+//! * [`Intruder`] — a Dolev-Yao network intruder generated as a CSP process:
+//!   it overhears everything on a channel, accumulates knowledge, and can
+//!   drop, replay, delay and forge messages within its knowledge. Composed
+//!   in parallel with component models it turns a functional model into an
+//!   attack analysis (Ryan & Schneider's approach, reference 30 in the paper).
+//! * [`AttackTree`] — attack trees as series-parallel (SP) graphs with the
+//!   paper's sequence semantics `(·)`, and their translation to semantically
+//!   equivalent CSP processes (the result the paper builds on, its reference 17).
+//! * [`properties`] — named-event wrappers over the `fdrlite` specification
+//!   templates: integrity (request–response), confidentiality (no leak),
+//!   authentication precedence.
+//!
+//! # Example: the intruder can break what the bare system satisfies
+//!
+//! ```
+//! use csp::{Alphabet, Definitions, Process};
+//! use fdrlite::Checker;
+//! use secmod::Intruder;
+//!
+//! let mut ab = Alphabet::new();
+//! let mut defs = Definitions::new();
+//! // A sender that transmits `hello` once over the tapped hop.
+//! let heard = ab.intern("net.hello");
+//! let sender = Process::prefix(heard, Process::Stop);
+//!
+//! // The intruder relays net.* to dlv.* but may also replay.
+//! let intruder = Intruder::builder("EVE")
+//!     .message("hello")
+//!     .tap("net", "dlv")
+//!     .build(&mut ab, &mut defs);
+//!
+//! let delivered = ab.lookup("dlv.hello").unwrap();
+//! let system = Process::parallel(
+//!     csp::EventSet::singleton(heard),
+//!     sender,
+//!     intruder.process().clone(),
+//! );
+//! // SPEC: at most one delivery. The intruder's replay capability breaks it.
+//! let spec = Process::external_choice(
+//!     Process::prefix(heard, Process::prefix(delivered, Process::Stop)),
+//!     Process::prefix(heard, Process::Stop),
+//! );
+//! let verdict = Checker::new().trace_refinement(&spec, &system, &defs)?;
+//! assert!(!verdict.is_pass());
+//! # Ok::<(), fdrlite::CheckError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod attack_tree;
+mod intruder;
+pub mod properties;
+
+pub use attack_tree::AttackTree;
+pub use intruder::{Intruder, IntruderBuilder};

@@ -1,0 +1,156 @@
+//! Security-property builders over named events.
+//!
+//! Thin wrappers around [`fdrlite::properties`] that resolve event names
+//! through a [`csp::Alphabet`], matching how the OTA case study (and user
+//! code) talks about messages.
+
+use csp::{Alphabet, Definitions, EventSet, Process};
+
+/// Integrity as in the paper's `SP02` (§V-B): every `request` is answered by
+/// exactly one `response` before the next request.
+pub fn integrity(
+    alphabet: &mut Alphabet,
+    defs: &mut Definitions,
+    name: &str,
+    request: &str,
+    response: &str,
+) -> Process {
+    let req = alphabet.intern(request);
+    let rsp = alphabet.intern(response);
+    fdrlite::properties::request_response(defs, name, req, rsp)
+}
+
+/// The "more sophisticated" §V-B variant: other traffic may interleave, but
+/// a response still follows each request before the next request.
+pub fn integrity_with_noise(
+    alphabet: &mut Alphabet,
+    defs: &mut Definitions,
+    name: &str,
+    request: &str,
+    response: &str,
+    other: &[&str],
+) -> Process {
+    let req = alphabet.intern(request);
+    let rsp = alphabet.intern(response);
+    let noise: EventSet = other.iter().map(|o| alphabet.intern(o)).collect();
+    fdrlite::properties::request_response_with_noise(defs, name, req, rsp, &noise)
+}
+
+/// Confidentiality: none of `leaks` may ever occur while `allowed` events
+/// run freely.
+pub fn confidentiality(
+    alphabet: &mut Alphabet,
+    defs: &mut Definitions,
+    name: &str,
+    allowed: &[&str],
+    leaks: &[&str],
+) -> Process {
+    let universe: EventSet = allowed
+        .iter()
+        .chain(leaks.iter())
+        .map(|e| alphabet.intern(e))
+        .collect();
+    let forbidden: EventSet = leaks.iter().map(|e| alphabet.intern(e)).collect();
+    fdrlite::properties::never(defs, name, &universe, &forbidden)
+}
+
+/// Authentication precedence: no event of `effects` may occur before some
+/// event of `credentials` has occurred.
+pub fn authentication(
+    alphabet: &mut Alphabet,
+    defs: &mut Definitions,
+    name: &str,
+    universe: &[&str],
+    credentials: &[&str],
+    effects: &[&str],
+) -> Process {
+    let uni: EventSet = universe.iter().map(|e| alphabet.intern(e)).collect();
+    let first: EventSet = credentials.iter().map(|e| alphabet.intern(e)).collect();
+    let then: EventSet = effects.iter().map(|e| alphabet.intern(e)).collect();
+    fdrlite::properties::precedes(defs, name, &uni, &first, &then)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdrlite::Checker;
+
+    #[test]
+    fn integrity_matches_paper_sp02() {
+        let mut ab = Alphabet::new();
+        let mut defs = Definitions::new();
+        let spec = integrity(&mut ab, &mut defs, "SP02", "rec.reqSw", "send.rptSw");
+        let req = ab.lookup("rec.reqSw").unwrap();
+        let rpt = ab.lookup("send.rptSw").unwrap();
+        let good = Process::prefix_chain([req, rpt, req, rpt], Process::Stop);
+        let bad = Process::prefix_chain([req, rpt, rpt], Process::Stop);
+        let c = Checker::new();
+        assert!(c.trace_refinement(&spec, &good, &defs).unwrap().is_pass());
+        assert!(!c.trace_refinement(&spec, &bad, &defs).unwrap().is_pass());
+    }
+
+    #[test]
+    fn confidentiality_rejects_leak() {
+        let mut ab = Alphabet::new();
+        let mut defs = Definitions::new();
+        let spec = confidentiality(
+            &mut ab,
+            &mut defs,
+            "CONF",
+            &["send.rptSw"],
+            &["leak.key"],
+        );
+        let rpt = ab.lookup("send.rptSw").unwrap();
+        let leak = ab.lookup("leak.key").unwrap();
+        let good = Process::prefix_chain([rpt, rpt], Process::Stop);
+        let bad = Process::prefix_chain([rpt, leak], Process::Stop);
+        let c = Checker::new();
+        assert!(c.trace_refinement(&spec, &good, &defs).unwrap().is_pass());
+        let v = c.trace_refinement(&spec, &bad, &defs).unwrap();
+        assert!(!v.is_pass());
+    }
+
+    #[test]
+    fn authentication_requires_credential_first() {
+        let mut ab = Alphabet::new();
+        let mut defs = Definitions::new();
+        let spec = authentication(
+            &mut ab,
+            &mut defs,
+            "AUTH",
+            &["auth.ok", "apply.update", "send.rptSw"],
+            &["auth.ok"],
+            &["apply.update"],
+        );
+        let auth = ab.lookup("auth.ok").unwrap();
+        let apply = ab.lookup("apply.update").unwrap();
+        let rpt = ab.lookup("send.rptSw").unwrap();
+        let good = Process::prefix_chain([rpt, auth, apply], Process::Stop);
+        let bad = Process::prefix_chain([apply], Process::Stop);
+        let c = Checker::new();
+        assert!(c.trace_refinement(&spec, &good, &defs).unwrap().is_pass());
+        assert!(!c.trace_refinement(&spec, &bad, &defs).unwrap().is_pass());
+    }
+
+    #[test]
+    fn integrity_with_noise_allows_other_channels() {
+        let mut ab = Alphabet::new();
+        let mut defs = Definitions::new();
+        let spec = integrity_with_noise(
+            &mut ab,
+            &mut defs,
+            "SP02N",
+            "rec.reqSw",
+            "send.rptSw",
+            &["other.ping"],
+        );
+        let req = ab.lookup("rec.reqSw").unwrap();
+        let rpt = ab.lookup("send.rptSw").unwrap();
+        let ping = ab.lookup("other.ping").unwrap();
+        let noisy = Process::prefix_chain([ping, req, ping, rpt], Process::Stop);
+        assert!(Checker::new()
+            .trace_refinement(&spec, &noisy, &defs)
+            .unwrap()
+            .is_pass());
+    }
+}

@@ -1,0 +1,555 @@
+//! `sttpl` — a small, logic-less template engine.
+//!
+//! The paper's model extractor uses ANTLR's StringTemplate to keep
+//! translation logic separate from the textual shape of the generated CSPm
+//! (§IV-C). This crate is the Rust stand-in: templates are plain text with
+//! `$…$` actions, rendered against a tree of [`Value`]s.
+//!
+//! Supported actions:
+//!
+//! * `$name$` — insert an attribute (dotted paths allowed: `$msg.name$`);
+//! * `$items:{x | body}$` — map a list attribute through an inline
+//!   sub-template, binding each element to `x`;
+//! * `… ; separator=", "$` — join a list (with or without a sub-template)
+//!   using a separator;
+//! * `$if(name)$ … $else$ … $endif$` — conditional on attribute truthiness;
+//! * `$$` — a literal dollar sign.
+//!
+//! # Example
+//!
+//! ```
+//! use sttpl::{Template, Value};
+//!
+//! let t = Template::parse("channel $name$ : $fields; separator=\".\"$")?;
+//! let mut ctx = Value::map();
+//! ctx.set("name", "send");
+//! ctx.set("fields", Value::from_iter(["MsgT", "Byte"]));
+//! assert_eq!(t.render(&ctx)?, "channel send : MsgT.Byte");
+//! # Ok::<(), sttpl::TemplateError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Errors from parsing or rendering a template.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TemplateError {
+    /// Malformed template text.
+    Parse(String),
+    /// A rendering failure (missing attribute used strictly, bad types).
+    Render(String),
+}
+
+impl fmt::Display for TemplateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TemplateError::Parse(m) => write!(f, "template parse error: {m}"),
+            TemplateError::Render(m) => write!(f, "template render error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TemplateError {}
+
+/// A value passed to template rendering.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A text value.
+    Str(String),
+    /// A boolean (used by `$if$`).
+    Bool(bool),
+    /// A list of values.
+    List(Vec<Value>),
+    /// A string-keyed map (attribute access via `.`).
+    Map(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// An empty map value.
+    pub fn map() -> Value {
+        Value::Map(BTreeMap::new())
+    }
+
+    /// Insert an attribute into a map value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not a map.
+    pub fn set(&mut self, key: &str, value: impl Into<Value>) -> &mut Value {
+        let Value::Map(m) = self else {
+            panic!("Value::set on a non-map value");
+        };
+        m.insert(key.to_owned(), value.into());
+        self
+    }
+
+    /// Attribute lookup (single path segment).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Map(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// Truthiness for `$if$`: false for `Bool(false)`, empty strings, empty
+    /// lists and empty maps.
+    pub fn truthy(&self) -> bool {
+        match self {
+            Value::Bool(b) => *b,
+            Value::Str(s) => !s.is_empty(),
+            Value::List(l) => !l.is_empty(),
+            Value::Map(m) => !m.is_empty(),
+        }
+    }
+
+    fn render_scalar(&self) -> Result<String, TemplateError> {
+        match self {
+            Value::Str(s) => Ok(s.clone()),
+            Value::Bool(b) => Ok(b.to_string()),
+            Value::List(items) => {
+                let parts: Result<Vec<_>, _> = items.iter().map(Value::render_scalar).collect();
+                Ok(parts?.join(""))
+            }
+            Value::Map(_) => Err(TemplateError::Render(
+                "cannot render a map directly; use attribute access".into(),
+            )),
+        }
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::Str(s.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Value {
+        Value::Str(s)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::Bool(b)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(n: i64) -> Value {
+        Value::Str(n.to_string())
+    }
+}
+
+impl From<Vec<Value>> for Value {
+    fn from(v: Vec<Value>) -> Value {
+        Value::List(v)
+    }
+}
+
+impl<'a> FromIterator<&'a str> for Value {
+    fn from_iter<I: IntoIterator<Item = &'a str>>(iter: I) -> Value {
+        Value::List(iter.into_iter().map(Value::from).collect())
+    }
+}
+
+impl FromIterator<Value> for Value {
+    fn from_iter<I: IntoIterator<Item = Value>>(iter: I) -> Value {
+        Value::List(iter.into_iter().collect())
+    }
+}
+
+/// A parsed template, ready to render.
+#[derive(Debug, Clone)]
+pub struct Template {
+    nodes: Vec<Node>,
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Text(String),
+    /// `$path$` or `$path; separator=", "$` or `$path:{x | body}$`.
+    Subst {
+        path: Vec<String>,
+        lambda: Option<(String, Vec<Node>)>,
+        separator: Option<String>,
+    },
+    If {
+        path: Vec<String>,
+        negated: bool,
+        then: Vec<Node>,
+        els: Vec<Node>,
+    },
+}
+
+impl Template {
+    /// Parse template text.
+    ///
+    /// # Errors
+    ///
+    /// [`TemplateError::Parse`] on unbalanced `$`, `$if$` without `$endif$`,
+    /// or malformed actions.
+    pub fn parse(text: &str) -> Result<Template, TemplateError> {
+        let mut parser = TplParser {
+            chars: text.chars().collect(),
+            i: 0,
+            last_stop: String::new(),
+        };
+        let nodes = parser.nodes(&[])?;
+        if parser.i < parser.chars.len() {
+            return Err(TemplateError::Parse("unexpected trailing `$end$`".into()));
+        }
+        Ok(Template { nodes })
+    }
+
+    /// Render against a context (normally a [`Value::Map`]).
+    ///
+    /// # Errors
+    ///
+    /// [`TemplateError::Render`] if an action references a missing attribute
+    /// or applies list operations to a non-list.
+    pub fn render(&self, ctx: &Value) -> Result<String, TemplateError> {
+        let mut out = String::new();
+        render_nodes(&self.nodes, ctx, &mut out)?;
+        Ok(out)
+    }
+}
+
+struct TplParser {
+    chars: Vec<char>,
+    i: usize,
+    last_stop: String,
+}
+
+impl TplParser {
+    /// Parse nodes until one of `stop` keywords (inside `$…$`) or EOF.
+    /// Returns leaving the stop-action *consumed* and recorded via `last_stop`.
+    fn nodes(&mut self, stop: &[&str]) -> Result<Vec<Node>, TemplateError> {
+        let mut nodes = Vec::new();
+        let mut text = String::new();
+        while self.i < self.chars.len() {
+            let c = self.chars[self.i];
+            if c != '$' {
+                text.push(c);
+                self.i += 1;
+                continue;
+            }
+            // `$$` escape.
+            if self.chars.get(self.i + 1) == Some(&'$') {
+                text.push('$');
+                self.i += 2;
+                continue;
+            }
+            // An action.
+            let action = self.read_action()?;
+            let trimmed = action.trim();
+            if stop.contains(&trimmed) {
+                if !text.is_empty() {
+                    nodes.push(Node::Text(std::mem::take(&mut text)));
+                }
+                self.last_stop = trimmed.to_owned();
+                return Ok(nodes);
+            }
+            if !text.is_empty() {
+                nodes.push(Node::Text(std::mem::take(&mut text)));
+            }
+            nodes.push(self.action_node(trimmed)?);
+        }
+        if !stop.is_empty() {
+            return Err(TemplateError::Parse(format!(
+                "missing closing action (expected one of {stop:?})"
+            )));
+        }
+        if !text.is_empty() {
+            nodes.push(Node::Text(text));
+        }
+        Ok(nodes)
+    }
+
+    fn read_action(&mut self) -> Result<String, TemplateError> {
+        debug_assert_eq!(self.chars[self.i], '$');
+        self.i += 1;
+        let mut action = String::new();
+        let mut depth = 0usize;
+        while self.i < self.chars.len() {
+            let c = self.chars[self.i];
+            if c == '{' {
+                depth += 1;
+            } else if c == '}' && depth > 0 {
+                depth -= 1;
+            } else if c == '$' && depth == 0 {
+                self.i += 1;
+                return Ok(action);
+            }
+            action.push(c);
+            self.i += 1;
+        }
+        Err(TemplateError::Parse("unterminated `$` action".into()))
+    }
+
+    fn action_node(&mut self, action: &str) -> Result<Node, TemplateError> {
+        if let Some(rest) = action.strip_prefix("if(") {
+            let inner = rest
+                .strip_suffix(')')
+                .ok_or_else(|| TemplateError::Parse("malformed `$if(…)$`".into()))?;
+            let (negated, path_text) = match inner.strip_prefix('!') {
+                Some(p) => (true, p),
+                None => (false, inner),
+            };
+            let path = parse_path(path_text)?;
+            let then = self.nodes(&["else", "endif"])?;
+            let els = if self.last_stop == "else" {
+                self.nodes(&["endif"])?
+            } else {
+                Vec::new()
+            };
+            return Ok(Node::If {
+                path,
+                negated,
+                then,
+                els,
+            });
+        }
+
+        // Split off `; separator="…"`.
+        let (main, separator) = match action.split_once(';') {
+            Some((m, opts)) => {
+                let opts = opts.trim();
+                let sep = opts
+                    .strip_prefix("separator=")
+                    .ok_or_else(|| {
+                        TemplateError::Parse(format!("unknown option `{opts}`"))
+                    })?
+                    .trim()
+                    .trim_matches('"')
+                    .to_owned();
+                (m.trim(), Some(unescape(&sep)))
+            }
+            None => (action, None),
+        };
+
+        // Lambda application `path:{x | body}`?
+        if let Some((path_text, lambda_text)) = main.split_once(":{") {
+            let lambda_text = lambda_text
+                .strip_suffix('}')
+                .ok_or_else(|| TemplateError::Parse("unterminated `{…}` lambda".into()))?;
+            let (var, body_text) = lambda_text
+                .split_once('|')
+                .ok_or_else(|| TemplateError::Parse("lambda needs `var | body`".into()))?;
+            let body = Template::parse(body_text.strip_prefix(' ').unwrap_or(body_text))?;
+            return Ok(Node::Subst {
+                path: parse_path(path_text.trim())?,
+                lambda: Some((var.trim().to_owned(), body.nodes)),
+                separator,
+            });
+        }
+
+        Ok(Node::Subst {
+            path: parse_path(main)?,
+            lambda: None,
+            separator,
+        })
+    }
+}
+
+fn parse_path(text: &str) -> Result<Vec<String>, TemplateError> {
+    if text.is_empty() {
+        return Err(TemplateError::Parse("empty attribute path".into()));
+    }
+    Ok(text.split('.').map(str::to_owned).collect())
+}
+
+fn unescape(s: &str) -> String {
+    s.replace("\\n", "\n").replace("\\t", "\t")
+}
+
+fn lookup<'a>(ctx: &'a Value, path: &[String]) -> Option<&'a Value> {
+    let mut v = ctx;
+    for seg in path {
+        v = v.get(seg)?;
+    }
+    Some(v)
+}
+
+fn render_nodes(nodes: &[Node], ctx: &Value, out: &mut String) -> Result<(), TemplateError> {
+    for node in nodes {
+        match node {
+            Node::Text(t) => out.push_str(t),
+            Node::Subst {
+                path,
+                lambda,
+                separator,
+            } => {
+                let Some(value) = lookup(ctx, path) else {
+                    return Err(TemplateError::Render(format!(
+                        "missing attribute `{}`",
+                        path.join(".")
+                    )));
+                };
+                match lambda {
+                    Some((var, body)) => {
+                        let Value::List(items) = value else {
+                            return Err(TemplateError::Render(format!(
+                                "attribute `{}` is not a list",
+                                path.join(".")
+                            )));
+                        };
+                        let mut parts = Vec::with_capacity(items.len());
+                        for item in items {
+                            let mut scope = match ctx {
+                                Value::Map(m) => m.clone(),
+                                _ => BTreeMap::new(),
+                            };
+                            scope.insert(var.clone(), item.clone());
+                            let scope = Value::Map(scope);
+                            let mut piece = String::new();
+                            render_nodes(body, &scope, &mut piece)?;
+                            parts.push(piece);
+                        }
+                        out.push_str(&parts.join(separator.as_deref().unwrap_or("")));
+                    }
+                    None => match (value, separator) {
+                        (Value::List(items), Some(sep)) => {
+                            let parts: Result<Vec<_>, _> =
+                                items.iter().map(Value::render_scalar).collect();
+                            out.push_str(&parts?.join(sep));
+                        }
+                        (v, _) => out.push_str(&v.render_scalar()?),
+                    },
+                }
+            }
+            Node::If {
+                path,
+                negated,
+                then,
+                els,
+            } => {
+                let truthy = lookup(ctx, path).is_some_and(Value::truthy);
+                let cond = truthy != *negated;
+                render_nodes(if cond { then } else { els }, ctx, out)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> Value {
+        let mut v = Value::map();
+        v.set("name", "ECU");
+        v.set("empty", "");
+        v.set("flag", true);
+        v.set("msgs", Value::from_iter(["reqSw", "rptSw"]));
+        let mut m1 = Value::map();
+        m1.set("name", "reqSw");
+        m1.set("id", 100i64);
+        let mut m2 = Value::map();
+        m2.set("name", "rptSw");
+        m2.set("id", 101i64);
+        v.set("messages", Value::from_iter([m1, m2]));
+        v
+    }
+
+    #[test]
+    fn plain_substitution() {
+        let t = Template::parse("Process $name$ = STOP").unwrap();
+        assert_eq!(t.render(&ctx()).unwrap(), "Process ECU = STOP");
+    }
+
+    #[test]
+    fn dollar_escape() {
+        let t = Template::parse("cost: $$5").unwrap();
+        assert_eq!(t.render(&ctx()).unwrap(), "cost: $5");
+    }
+
+    #[test]
+    fn list_with_separator() {
+        let t = Template::parse("datatype MsgT = $msgs; separator=\" | \"$").unwrap();
+        assert_eq!(
+            t.render(&ctx()).unwrap(),
+            "datatype MsgT = reqSw | rptSw"
+        );
+    }
+
+    #[test]
+    fn lambda_over_maps() {
+        let t =
+            Template::parse("$messages:{m | $m.name$/$m.id$}; separator=\", \"$").unwrap();
+        assert_eq!(t.render(&ctx()).unwrap(), "reqSw/100, rptSw/101");
+    }
+
+    #[test]
+    fn lambda_sees_outer_scope() {
+        let t = Template::parse("$msgs:{m | $name$:$m$}; separator=\" \"$").unwrap();
+        assert_eq!(t.render(&ctx()).unwrap(), "ECU:reqSw ECU:rptSw");
+    }
+
+    #[test]
+    fn conditional_true_false() {
+        let t = Template::parse("$if(flag)$yes$else$no$endif$").unwrap();
+        assert_eq!(t.render(&ctx()).unwrap(), "yes");
+        let t = Template::parse("$if(empty)$yes$else$no$endif$").unwrap();
+        assert_eq!(t.render(&ctx()).unwrap(), "no");
+        let t = Template::parse("$if(!empty)$yes$endif$").unwrap();
+        assert_eq!(t.render(&ctx()).unwrap(), "yes");
+    }
+
+    #[test]
+    fn conditional_on_missing_attribute_is_false() {
+        let t = Template::parse("$if(ghost)$yes$else$no$endif$").unwrap();
+        assert_eq!(t.render(&ctx()).unwrap(), "no");
+    }
+
+    #[test]
+    fn missing_attribute_in_substitution_errors() {
+        let t = Template::parse("$ghost$").unwrap();
+        assert!(matches!(
+            t.render(&ctx()),
+            Err(TemplateError::Render(_))
+        ));
+    }
+
+    #[test]
+    fn nested_conditionals() {
+        let t = Template::parse("$if(flag)$a$if(flag)$b$endif$c$endif$").unwrap();
+        assert_eq!(t.render(&ctx()).unwrap(), "abc");
+    }
+
+    #[test]
+    fn separator_with_escapes() {
+        let t = Template::parse("$msgs; separator=\"\\n\"$").unwrap();
+        assert_eq!(t.render(&ctx()).unwrap(), "reqSw\nrptSw");
+    }
+
+    #[test]
+    fn unterminated_action_is_a_parse_error() {
+        assert!(matches!(
+            Template::parse("hello $name"),
+            Err(TemplateError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn missing_endif_is_a_parse_error() {
+        assert!(matches!(
+            Template::parse("$if(flag)$oops"),
+            Err(TemplateError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn multiline_template() {
+        let t = Template::parse(
+            "$messages:{m | ON_$m.name$ = rec.$m.name$ -> SKIP}; separator=\"\\n\"$",
+        )
+        .unwrap();
+        let out = t.render(&ctx()).unwrap();
+        assert_eq!(out, "ON_reqSw = rec.reqSw -> SKIP\nON_rptSw = rec.rptSw -> SKIP");
+    }
+}

@@ -1,0 +1,58 @@
+//! `translator` — the paper's contribution: a model extractor that
+//! programmatically transforms ECU application code (CAPL) into a formal,
+//! machine-readable CSP model (CSPm) for refinement checking.
+//!
+//! The architecture mirrors §IV-C/§VI of the paper: a CAPL grammar
+//! (the [`capl`] crate) produces an AST; translation rules map AST nodes to
+//! CSPm fragments; output text is assembled through templates (the
+//! [`sttpl`] crate) so the target-language shape stays separate from the
+//! translation logic; message declarations become CSPm channel and datatype
+//! declarations — including from an attached CAN database, the second parser
+//! the paper lists as future work (§VIII-A).
+//!
+//! Translation rules, beyond the paper's demonstrated `on message` →
+//! prefix / `output()` → send mapping:
+//!
+//! * **State-variable finitisation** — integer globals become process
+//!   parameters over a bounded domain `{0..MAXV}` with saturating
+//!   arithmetic, so `if`/`switch` over ECU state translates to CSPm
+//!   conditionals;
+//! * **Timers via `tock`** — `on timer` procedures become `tock`-guarded
+//!   branches with an armed/disarmed parameter per timer (§VII-B's
+//!   recommended discrete-time treatment);
+//! * **Sound abstraction of the untranslatable** — conditions on signal
+//!   payloads or other unsupported expressions become internal choice
+//!   (`|~|`), assignments from them havoc the target variable; every such
+//!   abstraction is recorded in the [`TranslationReport`].
+//!
+//! The [`Pipeline`] runs the whole Fig. 1 loop: parse → translate →
+//! re-parse the generated CSPm ([`cspm`]) → hand elaborated processes to a
+//! checker.
+//!
+//! # Example
+//!
+//! ```
+//! use translator::{Translator, TranslateConfig};
+//!
+//! let program = capl::parse(
+//!     "variables { message reqSw msgReq; message rptSw msgRpt; }
+//!      on message reqSw { output(msgRpt); }",
+//! )?;
+//! let output = Translator::new(TranslateConfig::ecu("ECU")).translate(&program)?;
+//! assert!(output.script.contains("ECU = rec.reqSw -> send.rptSw -> ECU"));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod pipeline;
+mod system;
+mod translate;
+
+pub use pipeline::{Pipeline, PipelineError, PipelineOutput};
+pub use system::{NodeSpec, SystemBuilder};
+pub use translate::{
+    Abstraction, AbstractionKind, TranslateConfig, TranslateError, TranslationOutput,
+    TranslationReport, Translator,
+};

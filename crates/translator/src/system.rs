@@ -1,0 +1,309 @@
+//! Composite system models: several translated nodes in parallel.
+//!
+//! §VIII-A of the paper lists "writing CSP parallel operation constructs …
+//! would allow building composite ECU models" as future work; this module
+//! implements it. Each node is translated with its own orientation, the
+//! declarations are merged, and a `SYSTEM` process composes the node entry
+//! processes in parallel, synchronised on the shared message channels.
+
+use std::collections::BTreeSet;
+
+use candb::Database;
+use capl::ast::Program;
+
+use crate::translate::{
+    render_script, NodeAlphabet, TranslateConfig, TranslateError, TranslationReport, Translator,
+};
+
+/// One node of a composite system.
+#[derive(Debug, Clone)]
+pub struct NodeSpec {
+    /// The CAPL program for this node.
+    pub program: Program,
+    /// Its translation configuration (name, channel orientation).
+    pub config: TranslateConfig,
+}
+
+impl NodeSpec {
+    /// An ECU-oriented node.
+    pub fn ecu(name: &str, program: Program) -> NodeSpec {
+        NodeSpec {
+            program,
+            config: TranslateConfig::ecu(name),
+        }
+    }
+
+    /// A gateway-oriented node (see [`TranslateConfig::gateway`]).
+    pub fn gateway(name: &str, program: Program) -> NodeSpec {
+        NodeSpec {
+            program,
+            config: TranslateConfig::gateway(name),
+        }
+    }
+}
+
+/// The result of composing a system.
+#[derive(Debug, Clone)]
+pub struct SystemOutput {
+    /// The combined CSPm script.
+    pub script: String,
+    /// The name of the composed process (`SYSTEM` by default).
+    pub system: String,
+    /// Entry process name per node, in node order.
+    pub entries: Vec<String>,
+    /// Translation report per node, in node order.
+    pub reports: Vec<TranslationReport>,
+}
+
+/// Builds a multi-node CSPm system model.
+#[derive(Debug, Default)]
+pub struct SystemBuilder {
+    nodes: Vec<NodeSpec>,
+    db: Option<Database>,
+    system_name: String,
+    buffer_capacity: Option<usize>,
+}
+
+impl SystemBuilder {
+    /// An empty builder; the composed process is named `SYSTEM`.
+    pub fn new() -> SystemBuilder {
+        SystemBuilder {
+            nodes: Vec::new(),
+            db: None,
+            system_name: "SYSTEM".to_owned(),
+            buffer_capacity: None,
+        }
+    }
+
+    /// Rename the composed process.
+    pub fn system_name(mut self, name: &str) -> SystemBuilder {
+        self.system_name = name.to_owned();
+        self
+    }
+
+    /// Attach a CAN database shared by all nodes.
+    pub fn database(mut self, db: Database) -> SystemBuilder {
+        self.db = Some(db);
+        self
+    }
+
+    /// Add a node.
+    pub fn node(mut self, spec: NodeSpec) -> SystemBuilder {
+        self.nodes.push(spec);
+        self
+    }
+
+    /// Insert a bounded FIFO network model between senders and receivers
+    /// (the "associated network model" of the paper's Fig. 1).
+    ///
+    /// Without it, composition is synchronous: a receiver that is not ready
+    /// blocks the sender — faithful to CSP handshakes but not to a CAN bus,
+    /// where frames queue at the controller. With a buffer of `capacity`
+    /// frames per direction, each receiver listens on a derived `<chan>d`
+    /// channel fed by a `BUF_<chan>` process.
+    pub fn buffered(mut self, capacity: usize) -> SystemBuilder {
+        self.buffer_capacity = Some(capacity);
+        self
+    }
+
+    /// Translate all nodes and compose them.
+    ///
+    /// # Errors
+    ///
+    /// Any node-level [`TranslateError`].
+    pub fn build(self) -> Result<SystemOutput, TranslateError> {
+        let mut defs = Vec::new();
+        let mut entries = Vec::new();
+        let mut reports = Vec::new();
+        let mut messages: BTreeSet<String> = BTreeSet::new();
+        let mut bare_channels: Vec<String> = Vec::new();
+        let mut has_state = false;
+        let mut alphabets: Vec<NodeAlphabet> = Vec::new();
+        let mut names: Vec<String> = Vec::new();
+        let mut max_bound = 0;
+
+        let first_config = self
+            .nodes
+            .first()
+            .map(|n| n.config.clone())
+            .unwrap_or_else(|| TranslateConfig::ecu(&self.system_name));
+
+        let mut channels: BTreeSet<String> = BTreeSet::new();
+        // (producer channel, delivery channel) pairs needing a buffer.
+        let mut buffered_pairs: BTreeSet<(String, String)> = BTreeSet::new();
+
+        for spec in &self.nodes {
+            let mut config = spec.config.clone();
+            if self.buffer_capacity.is_some() {
+                // Receivers listen on the buffered delivery channel.
+                let delivery = format!("{}d", config.input_channel);
+                buffered_pairs.insert((config.input_channel.clone(), delivery.clone()));
+                config.input_channel = delivery;
+            }
+            let mut translator = Translator::new(config.clone());
+            if let Some(db) = &self.db {
+                translator = translator.with_database(db.clone());
+            }
+            names.push(config.process_name.clone());
+            let parts = translator.translate_parts(&spec.program)?;
+            channels.extend(parts.channels.iter().cloned());
+            defs.extend(parts.defs);
+            entries.push(parts.entry);
+            reports.push(parts.report);
+            messages.extend(parts.messages);
+            alphabets.push(parts.alphabet);
+            for c in parts.bare_channels {
+                if !bare_channels.contains(&c) {
+                    bare_channels.push(c);
+                }
+            }
+            has_state |= parts.has_state;
+            max_bound = max_bound.max(spec.config.int_bound);
+        }
+
+        // Network model: one bounded FIFO process per buffered direction.
+        if let Some(capacity) = self.buffer_capacity {
+            for (produce, deliver) in &buffered_pairs {
+                channels.insert(produce.clone());
+                channels.insert(deliver.clone());
+                let buf = format!("BUF_{produce}");
+                defs.push(format!(
+                    "{buf}(q) = length(q) < {capacity} & {produce}?m -> {buf}(cat(q, <m>))\n                       [] length(q) > 0 & {deliver}!(head(q)) -> {buf}(tail(q))"
+                ));
+                names.push(buf.clone());
+                entries.push(format!("{buf}(<>)"));
+                let mut alpha = NodeAlphabet::default();
+                alpha.patterns.insert(produce.clone());
+                alpha.patterns.insert(deliver.clone());
+                alphabets.push(alpha);
+                reports.push(TranslationReport::default());
+            }
+        }
+
+        // Alphabetised composition: each step synchronises on the
+        // intersection of the alphabets on either side, so a node never
+        // blocks events it does not observe.
+        for (name, alpha) in names.iter().zip(&alphabets) {
+            defs.push(format!("ALPHA_{name} = {}", alpha.to_cspm()));
+        }
+        let system_def = match entries.len() {
+            0 => format!("{} = STOP", self.system_name),
+            1 => format!("{} = {}", self.system_name, entries[0]),
+            _ => {
+                let mut composed = entries[0].clone();
+                let mut left_alpha = format!("ALPHA_{}", names[0]);
+                for (i, entry) in entries.iter().enumerate().skip(1) {
+                    let right_alpha = format!("ALPHA_{}", names[i]);
+                    composed = format!(
+                        "({composed} [| inter({left_alpha}, {right_alpha}) |] {entry})"
+                    );
+                    left_alpha = format!("union({left_alpha}, {right_alpha})");
+                }
+                format!("{} = {composed}", self.system_name)
+            }
+        };
+        defs.push(system_def);
+
+        let merged = crate::translate::TranslationParts {
+            defs,
+            entry: self.system_name.clone(),
+            messages,
+            channels,
+            bare_channels,
+            has_state,
+            report: TranslationReport::default(),
+            alphabet: NodeAlphabet::default(),
+        };
+        let mut render_config = first_config;
+        render_config.int_bound = max_bound;
+        let script = render_script(&render_config, &merged)?;
+        Ok(SystemOutput {
+            script,
+            system: self.system_name,
+            entries,
+            reports,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn composes_vmg_and_ecu() {
+        let vmg = capl::parse(
+            "variables { message reqSw req; }
+             on start { output(req); }
+             on message rptSw { output(req); }",
+        )
+        .unwrap();
+        let ecu = capl::parse(
+            "variables { message rptSw rpt; }
+             on message reqSw { output(rpt); }",
+        )
+        .unwrap();
+        let out = SystemBuilder::new()
+            .node(NodeSpec::gateway("VMG", vmg))
+            .node(NodeSpec::ecu("ECU", ecu))
+            .build()
+            .unwrap();
+        assert!(
+            out.script
+                .contains("SYSTEM = (VMG_INIT [| inter(ALPHA_VMG, ALPHA_ECU) |] ECU)"),
+            "{}",
+            out.script
+        );
+        let loaded = cspm::Script::parse(&out.script)
+            .unwrap_or_else(|e| panic!("{e}\n{}", out.script))
+            .load()
+            .unwrap_or_else(|e| panic!("{e}\n{}", out.script));
+        assert!(loaded.process("SYSTEM").is_some());
+    }
+
+    #[test]
+    fn composed_system_exchanges_messages() {
+        // The composed model must exhibit the request/response trace.
+        let vmg = capl::parse(
+            "variables { message reqSw req; }
+             on start { output(req); }",
+        )
+        .unwrap();
+        let ecu = capl::parse(
+            "variables { message rptSw rpt; }
+             on message reqSw { output(rpt); }",
+        )
+        .unwrap();
+        let out = SystemBuilder::new()
+            .node(NodeSpec::gateway("VMG", vmg))
+            .node(NodeSpec::ecu("ECU", ecu))
+            .build()
+            .unwrap();
+        let loaded = cspm::Script::parse(&out.script).unwrap().load().unwrap();
+        let system = loaded.process("SYSTEM").unwrap().clone();
+        let lts = csp::Lts::build(system, loaded.definitions(), 10_000).unwrap();
+        let req = loaded.alphabet().lookup("rec.reqSw").unwrap();
+        let rpt = loaded.alphabet().lookup("send.rptSw").unwrap();
+        assert!(csp::traces::has_trace(&lts, &[req, rpt]));
+    }
+
+    #[test]
+    fn empty_system_is_stop() {
+        let out = SystemBuilder::new().build().unwrap();
+        assert!(out.script.contains("SYSTEM = STOP"));
+    }
+
+    #[test]
+    fn single_node_system_is_that_node() {
+        let ecu = capl::parse(
+            "variables { message rptSw rpt; }
+             on message reqSw { output(rpt); }",
+        )
+        .unwrap();
+        let out = SystemBuilder::new()
+            .node(NodeSpec::ecu("ECU", ecu))
+            .build()
+            .unwrap();
+        assert!(out.script.contains("SYSTEM = ECU"), "{}", out.script);
+    }
+}

@@ -1,0 +1,94 @@
+//! A second automotive security scenario: UDS-style SecurityAccess
+//! (ISO 14229 service 0x27) — the seed/key handshake that gates protected
+//! diagnostic functions like reflashing.
+//!
+//! The ECU hands out a *seed*; the tester must answer with the matching
+//! *key* before the protected function unlocks. Two designs are compared
+//! against a man-in-the-middle that records keys and replays them:
+//!
+//! * a **static-seed** ECU keeps challenging with the same seed — the
+//!   recorded key unlocks it on the next cycle (**breach found**, with the
+//!   replay trace as the counterexample);
+//! * a **fresh-seed** ECU never re-issues a seed — every replayed key is
+//!   rejected (**assertion passes**).
+//!
+//! Run with: `cargo run --example diagnostic_security`
+
+use cspm::Script;
+use fdrlite::Checker;
+
+fn model(ecu_def: &str) -> String {
+    format!(
+        r#"
+-- Seeds double as their keys: knowing the right response IS the secret.
+nametype SeedT = {{0..1}}
+
+channel reqSeed
+channel seed : SeedT   -- ECU -> tester challenge
+channel tkey : SeedT   -- tester -> network (tapped by the intruder)
+channel key  : SeedT   -- network -> ECU
+channel unlock, reject
+channel breach
+
+{ecu_def}
+
+-- The authorised tester computes the right key for whatever seed arrives
+-- (fire-and-forget: results go to the diagnostic application, not here).
+TESTER = reqSeed -> seed?s -> tkey!s -> TESTER
+
+-- The man in the middle: forwards the tester's keys (learning them), and
+-- may instead inject a recorded key; an unlock following an injection is a
+-- breach.
+MITM(known) =
+     tkey?k -> key!k -> MITM(union(known, {{k}}))
+  [] unlock -> MITM(known)
+  [] reject -> MITM(known)
+  [] ([] k : known @ key!k ->
+        (unlock -> breach -> STOP [] reject -> MITM(known)))
+
+HONEST = TESTER [| {{| reqSeed, seed |}} |] ECU0
+ATTACKED = HONEST [| {{| tkey, key, unlock, reject |}} |] MITM({{}})
+
+NO_BREACH = [] e : diff(Events, {{| breach |}}) @ e -> NO_BREACH
+
+assert NO_BREACH [T= ATTACKED
+"#
+    )
+}
+
+/// Static seed: the same challenge forever.
+const STATIC_ECU: &str = "
+ECU(s) = reqSeed -> seed.s ->
+         key?k -> (if k == s then unlock -> ECU(s) else reject -> ECU(s))
+ECU0 = ECU(0)
+";
+
+/// Fresh seeds: each challenge is used at most once, then the ECU locks out.
+const FRESH_ECU: &str = "
+ECU(s) = reqSeed -> seed.s ->
+         key?k -> (if k == s then unlock -> NEXT(s) else reject -> NEXT(s))
+NEXT(s) = if s == 0 then ECU(1) else LOCKED
+LOCKED = reqSeed -> LOCKED
+ECU0 = ECU(0)
+";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let checker = Checker::new();
+    for (label, ecu) in [("static-seed ECU", STATIC_ECU), ("fresh-seed ECU", FRESH_ECU)] {
+        let source = model(ecu);
+        let loaded = Script::parse(&source)?.load()?;
+        let results = loaded.check(&checker)?;
+        println!("== {label} ==");
+        for r in &results {
+            match r.verdict.counterexample() {
+                None => println!("  assert {}  ...  PASS (replay defeated)", r.description),
+                Some(cex) => {
+                    println!("  assert {}  ...  FAIL", r.description);
+                    println!("  breach: {}", cex.display(loaded.alphabet()));
+                }
+            }
+        }
+        println!();
+    }
+    Ok(())
+}

@@ -1,0 +1,88 @@
+//! Rediscovering Lowe's attack on the Needham–Schroeder public-key
+//! protocol — the paper's own §II-B motivation for CSP-based security
+//! checking ("exposed 18 years later through formal analysis using CSP").
+//!
+//! The protocol, its Dolev-Yao network, and the authentication property are
+//! all written in CSPm; the refinement checker produces the famous
+//! man-in-the-middle interleaving as a counterexample.
+//!
+//! Run with: `cargo run --example needham_schroeder`
+
+use cspm::Script;
+use fdrlite::Checker;
+
+const NSPK: &str = r#"
+datatype AgentT = alice | bob | mallory
+datatype NonceT = na | nb | ni
+
+channel snd1, rcv1 : AgentT.AgentT.NonceT.AgentT
+channel snd2, rcv2 : AgentT.AgentT.NonceT.NonceT
+channel snd3, rcv3 : AgentT.AgentT.NonceT
+channel running, finished : AgentT.AgentT
+
+ALICE = [] b : {bob, mallory} @
+          running.alice.b ->
+          snd1.alice.b.na.alice ->
+          rcv2?src!alice!na?x ->
+          snd3.alice.b.x ->
+          finished.alice.b -> STOP
+
+BOB = rcv1?src!bob?n?a ->
+      snd2.bob.a.n.nb ->
+      rcv3?src2!bob!nb ->
+      finished.bob.a -> STOP
+
+INTRUDER(known) =
+     snd1?a?b?n?a2 ->
+       (if b == mallory then INTRUDER(union(known, {n}))
+        else (rcv1.a.b.n.a2 -> INTRUDER(known) |~| INTRUDER(known)))
+  [] snd2?a?b?n1?n2 ->
+       (if b == mallory then INTRUDER(union(known, {n1, n2}))
+        else (rcv2.a.b.n1.n2 -> INTRUDER(known) |~| INTRUDER(known)))
+  [] snd3?a?b?n ->
+       (if b == mallory then INTRUDER(union(known, {n}))
+        else (rcv3.a.b.n -> INTRUDER(known) |~| INTRUDER(known)))
+  [] ([] b : {alice, bob} @ [] n : known @ [] a2 : {alice, bob} @
+        rcv1.mallory.b.n.a2 -> INTRUDER(known))
+  [] ([] b : {alice, bob} @ [] n1 : known @ [] n2 : known @
+        rcv2.mallory.b.n1.n2 -> INTRUDER(known))
+  [] ([] b : {alice, bob} @ [] n : known @
+        rcv3.mallory.b.n -> INTRUDER(known))
+
+NETSET = {| snd1, snd2, snd3, rcv1, rcv2, rcv3 |}
+SYSTEM = (ALICE ||| BOB) [| NETSET |] INTRUDER({ni})
+
+RUNALL = [] e : Events @ e -> RUNALL
+AUTH = running.alice.bob -> RUNALL
+    [] ([] e : diff(Events, {| running.alice.bob, finished.bob.alice |}) @ e -> AUTH)
+
+assert AUTH [T= SYSTEM
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("Needham–Schroeder public-key protocol (1978) under a Dolev-Yao network.\n");
+    let loaded = Script::parse(NSPK)?.load()?;
+    println!(
+        "model loaded: {} events, {} process definitions",
+        loaded.alphabet().len(),
+        loaded.definitions().len()
+    );
+
+    let results = loaded.check(&Checker::new())?;
+    for r in &results {
+        match r.verdict.counterexample() {
+            None => println!("assert {}  ...  PASS", r.description),
+            Some(cex) => {
+                println!("assert {}  ...  FAIL", r.description);
+                println!("\nLowe's attack (1995), rediscovered:");
+                println!("  {}", cex.display(loaded.alphabet()));
+                println!("\nReading the witness:");
+                println!("  • Alice starts a session with Mallory;");
+                println!("  • Mallory re-encrypts her nonce to Bob, posing as Alice;");
+                println!("  • Bob completes the handshake believing he talked to Alice,");
+                println!("    while Alice never ran the protocol with Bob.");
+            }
+        }
+    }
+    Ok(())
+}

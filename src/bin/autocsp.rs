@@ -1,0 +1,249 @@
+//! `autocsp` — the command-line face of the toolchain.
+//!
+//! ```text
+//! autocsp translate <app.can> [--dbc net.dbc] [--node ECU] [--gateway] [-o out.csp]
+//! autocsp check <model.csp>
+//! autocsp compose <gateway.can> <ecu.can> [--dbc net.dbc] [--buffered N] [-o out.csp]
+//! autocsp simulate <node.can>... [--dbc net.dbc] [--for-ms N]
+//! ```
+
+use std::fs;
+use std::process::ExitCode;
+
+use fdrlite::Checker;
+use translator::{NodeSpec, Pipeline, SystemBuilder, TranslateConfig};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("translate") => translate(&args[1..]),
+        Some("check") => check(&args[1..]),
+        Some("compose") => compose(&args[1..]),
+        Some("simulate") => simulate(&args[1..]),
+        Some("--help" | "-h" | "help") | None => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown subcommand `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+autocsp — security checking of automotive ECUs with formal CSP models
+
+USAGE:
+  autocsp translate <app.can> [--dbc <net.dbc>] [--node <NAME>] [--gateway] [-o <out.csp>]
+      Extract a CSPm implementation model from a CAPL application.
+
+  autocsp check <model.csp>
+      Run every `assert` in a CSPm script through the refinement checker.
+
+  autocsp compose <gateway.can> <ecu.can> [--dbc <net.dbc>] [--buffered <N>] [-o <out.csp>]
+      Translate both nodes and compose SYSTEM = GATEWAY ∥ ECU.
+
+  autocsp simulate <node.can>... [--dbc <net.dbc>] [--for-ms <N>]
+      Run CAPL applications on the simulated CAN bus and print the trace.
+";
+
+struct Flags {
+    positional: Vec<String>,
+    dbc: Option<String>,
+    node: Option<String>,
+    gateway: bool,
+    buffered: Option<usize>,
+    output: Option<String>,
+    for_ms: u64,
+}
+
+fn parse_flags(args: &[String]) -> Result<Flags, String> {
+    let mut flags = Flags {
+        positional: Vec::new(),
+        dbc: None,
+        node: None,
+        gateway: false,
+        buffered: None,
+        output: None,
+        for_ms: 1_000,
+    };
+    let mut i = 0;
+    let value = |args: &[String], i: &mut usize, flag: &str| -> Result<String, String> {
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("`{flag}` needs a value"))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--dbc" => flags.dbc = Some(value(args, &mut i, "--dbc")?),
+            "--node" => flags.node = Some(value(args, &mut i, "--node")?),
+            "--gateway" => flags.gateway = true,
+            "--buffered" => {
+                flags.buffered = Some(
+                    value(args, &mut i, "--buffered")?
+                        .parse()
+                        .map_err(|_| "`--buffered` needs a number".to_owned())?,
+                )
+            }
+            "-o" | "--output" => flags.output = Some(value(args, &mut i, "-o")?),
+            "--for-ms" => {
+                flags.for_ms = value(args, &mut i, "--for-ms")?
+                    .parse()
+                    .map_err(|_| "`--for-ms` needs a number".to_owned())?
+            }
+            other if other.starts_with('-') => return Err(format!("unknown flag `{other}`")),
+            other => flags.positional.push(other.to_owned()),
+        }
+        i += 1;
+    }
+    Ok(flags)
+}
+
+fn read(path: &str) -> Result<String, String> {
+    fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))
+}
+
+fn emit(output: &Option<String>, text: &str) -> Result<(), String> {
+    match output {
+        Some(path) => {
+            fs::write(path, text).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+            eprintln!("wrote {path}");
+            Ok(())
+        }
+        None => {
+            print!("{text}");
+            Ok(())
+        }
+    }
+}
+
+fn node_name_from(path: &str, fallback: &str) -> String {
+    std::path::Path::new(path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .map(str::to_uppercase)
+        .unwrap_or_else(|| fallback.to_owned())
+}
+
+fn translate(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let [source_path] = flags.positional.as_slice() else {
+        return Err("translate needs exactly one CAPL file".into());
+    };
+    let source = read(source_path)?;
+    let dbc = flags.dbc.as_deref().map(read).transpose()?;
+    let name = flags
+        .node
+        .clone()
+        .unwrap_or_else(|| node_name_from(source_path, "NODE"));
+    let config = if flags.gateway {
+        TranslateConfig::gateway(&name)
+    } else {
+        TranslateConfig::ecu(&name)
+    };
+    let pipeline = Pipeline::new(config);
+    let out = pipeline
+        .run(&source, dbc.as_deref())
+        .map_err(|e| e.to_string())?;
+    for d in &out.diagnostics {
+        eprintln!("{source_path}:{}: {:?}: {}", d.pos, d.severity, d.message);
+    }
+    for a in &out.report.abstractions {
+        eprintln!("abstraction [{:?}] {}", a.kind, a.detail);
+    }
+    emit(&flags.output, &out.script)
+}
+
+fn check(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let [script_path] = flags.positional.as_slice() else {
+        return Err("check needs exactly one CSPm file".into());
+    };
+    let source = read(script_path)?;
+    let loaded = cspm::Script::parse(&source)
+        .and_then(|s| s.load())
+        .map_err(|e| e.to_string())?;
+    if loaded.assertions().is_empty() {
+        return Err("script contains no `assert` declarations".into());
+    }
+    let results = loaded.check(&Checker::new()).map_err(|e| e.to_string())?;
+    let mut failures = 0;
+    for r in &results {
+        match r.verdict.counterexample() {
+            None => println!("assert {}  ...  PASS", r.description),
+            Some(cex) => {
+                failures += 1;
+                println!("assert {}  ...  FAIL", r.description);
+                println!("  {}", cex.display(loaded.alphabet()));
+            }
+        }
+    }
+    if failures > 0 {
+        Err(format!("{failures} assertion(s) failed"))
+    } else {
+        Ok(())
+    }
+}
+
+fn compose(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let [gateway_path, ecu_path] = flags.positional.as_slice() else {
+        return Err("compose needs a gateway CAPL file and an ECU CAPL file".into());
+    };
+    let gateway = capl::parse(&read(gateway_path)?).map_err(|e| e.to_string())?;
+    let ecu = capl::parse(&read(ecu_path)?).map_err(|e| e.to_string())?;
+    let mut builder = SystemBuilder::new()
+        .node(NodeSpec::gateway(
+            &node_name_from(gateway_path, "VMG"),
+            gateway,
+        ))
+        .node(NodeSpec::ecu(&node_name_from(ecu_path, "ECU"), ecu));
+    if let Some(dbc_path) = &flags.dbc {
+        builder = builder.database(candb::parse(&read(dbc_path)?).map_err(|e| e.to_string())?);
+    }
+    if let Some(capacity) = flags.buffered {
+        builder = builder.buffered(capacity);
+    }
+    let out = builder.build().map_err(|e| e.to_string())?;
+    emit(&flags.output, &out.script)
+}
+
+fn simulate(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    if flags.positional.is_empty() {
+        return Err("simulate needs at least one CAPL file".into());
+    }
+    let db = flags
+        .dbc
+        .as_deref()
+        .map(|p| candb::parse(&read(p)?).map_err(|e| e.to_string()))
+        .transpose()?;
+    let mut sim = canoe_sim::Simulation::new(db);
+    for path in &flags.positional {
+        let program = capl::parse(&read(path)?).map_err(|e| e.to_string())?;
+        sim.add_node(&node_name_from(path, "NODE"), program)
+            .map_err(|e| e.to_string())?;
+    }
+    sim.run_for(flags.for_ms * 1_000).map_err(|e| e.to_string())?;
+    for entry in sim.trace() {
+        use canoe_sim::TraceEvent::*;
+        let text = match &entry.event {
+            Queued { node, message, .. } => format!("{node:>8}  queued    {message}"),
+            Transmit { node, message, id, .. } => {
+                format!("{node:>8}  transmit  {message} (0x{id:x})")
+            }
+            Receive { node, message, .. } => format!("{node:>8}  receive   {message}"),
+            Log { node, text } => format!("{node:>8}  log       {text}"),
+            TimerFired { node, timer } => format!("{node:>8}  timer     {timer}"),
+            Intercepted { action, id } => format!("{:>8}  intercept {action} (0x{id:x})", "<mitm>"),
+        };
+        println!("{:>9} µs  {text}", entry.time_us);
+    }
+    Ok(())
+}

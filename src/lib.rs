@@ -1,0 +1,37 @@
+//! Umbrella crate for the `auto-csp` workspace: security checking of
+//! automotive ECUs with formal CSP models.
+//!
+//! This crate re-exports every subsystem so that examples, integration tests
+//! and downstream users can depend on a single crate:
+//!
+//! * [`csp`] — the CSP process algebra core (events, processes, operational
+//!   semantics, LTS exploration, traces model).
+//! * [`cspm`] — the machine-readable CSPm language: parser, evaluator,
+//!   elaboration to core processes, pretty-printer and assertions.
+//! * [`fdrlite`] — the refinement checker (FDR substitute): normalisation,
+//!   trace and stable-failures refinement, deadlock/divergence checks and
+//!   counterexample extraction.
+//! * [`capl`] — frontend for Vector's CAPL language (lexer, parser, AST).
+//! * [`candb`] — CAN database (`.dbc`) parser and signal codec.
+//! * [`canoe_sim`] — a discrete-event CAN bus simulator plus CAPL interpreter,
+//!   substituting for the proprietary CANoe environment.
+//! * [`sttpl`] — a small template engine (StringTemplate substitute).
+//! * [`translator`] — the paper's contribution: the CAPL → CSPm model
+//!   extractor.
+//! * [`secmod`] — Dolev-Yao intruders, attack trees and security property
+//!   builders.
+//! * [`ota`] — the ITU-T X.1373 over-the-air software update case study.
+//!
+//! See `DESIGN.md` for the full system inventory and `EXPERIMENTS.md` for the
+//! paper-versus-measured record of every table and figure.
+
+pub use candb;
+pub use canoe_sim;
+pub use capl;
+pub use csp;
+pub use cspm;
+pub use fdrlite;
+pub use ota;
+pub use secmod;
+pub use sttpl;
+pub use translator;

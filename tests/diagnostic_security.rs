@@ -1,0 +1,92 @@
+//! UDS SecurityAccess seed/key handshake under a replaying intruder: the
+//! static-seed design is breached, the fresh-seed design is not.
+//! (Integration-test form of `examples/diagnostic_security.rs`.)
+
+use cspm::Script;
+use fdrlite::Checker;
+
+fn model(ecu_def: &str) -> String {
+    format!(
+        r#"
+nametype SeedT = {{0..1}}
+channel reqSeed
+channel seed : SeedT
+channel tkey : SeedT
+channel key  : SeedT
+channel unlock, reject
+channel breach
+
+{ecu_def}
+
+TESTER = reqSeed -> seed?s -> tkey!s -> TESTER
+
+MITM(known) =
+     tkey?k -> key!k -> MITM(union(known, {{k}}))
+  [] unlock -> MITM(known)
+  [] reject -> MITM(known)
+  [] ([] k : known @ key!k ->
+        (unlock -> breach -> STOP [] reject -> MITM(known)))
+
+HONEST = TESTER [| {{| reqSeed, seed |}} |] ECU0
+ATTACKED = HONEST [| {{| tkey, key, unlock, reject |}} |] MITM({{}})
+
+NO_BREACH = [] e : diff(Events, {{| breach |}}) @ e -> NO_BREACH
+
+assert NO_BREACH [T= ATTACKED
+"#
+    )
+}
+
+const STATIC_ECU: &str = "
+ECU(s) = reqSeed -> seed.s ->
+         key?k -> (if k == s then unlock -> ECU(s) else reject -> ECU(s))
+ECU0 = ECU(0)
+";
+
+const FRESH_ECU: &str = "
+ECU(s) = reqSeed -> seed.s ->
+         key?k -> (if k == s then unlock -> NEXT(s) else reject -> NEXT(s))
+NEXT(s) = if s == 0 then ECU(1) else LOCKED
+LOCKED = reqSeed -> LOCKED
+ECU0 = ECU(0)
+";
+
+#[test]
+fn static_seed_is_breached_by_replay() {
+    let loaded = Script::parse(&model(STATIC_ECU)).unwrap().load().unwrap();
+    let results = loaded.check(&Checker::new()).unwrap();
+    let cex = results[0]
+        .verdict
+        .counterexample()
+        .expect("static seed must be breachable");
+    let shown = cex.display(loaded.alphabet()).to_string();
+    // The witness is a full honest exchange followed by the replayed key.
+    assert!(shown.contains("tkey.0, key.0, unlock"), "{shown}");
+    assert!(shown.contains("seed.0, key.0, unlock⟩"), "{shown}");
+}
+
+#[test]
+fn fresh_seed_defeats_replay() {
+    let loaded = Script::parse(&model(FRESH_ECU)).unwrap().load().unwrap();
+    let results = loaded.check(&Checker::new()).unwrap();
+    assert!(
+        results[0].verdict.is_pass(),
+        "{:?}",
+        results[0]
+            .verdict
+            .counterexample()
+            .map(|c| c.display(loaded.alphabet()).to_string())
+    );
+}
+
+#[test]
+fn honest_exchange_unlocks_in_both_designs() {
+    for ecu in [STATIC_ECU, FRESH_ECU] {
+        let loaded = Script::parse(&model(ecu)).unwrap().load().unwrap();
+        let attacked = loaded.process("ATTACKED").unwrap().clone();
+        let lts = csp::Lts::build(attacked, loaded.definitions(), 500_000).unwrap();
+        let step = |n: &str| loaded.alphabet().lookup(n).unwrap();
+        let honest = ["reqSeed", "seed.0", "tkey.0", "key.0", "unlock"].map(step);
+        assert!(csp::traces::has_trace(&lts, &honest));
+    }
+}

@@ -1,0 +1,196 @@
+//! Mutation adequacy of the Table III requirement suite: behavioural
+//! mutants of the ECU application must each be *killed* (detected) by at
+//! least one requirement check at component level.
+//!
+//! Omission mutants (a response that never comes) are invisible in the
+//! prefix-closed traces model — they are caught in the stable-failures
+//! model, which is exactly why `fdrlite` implements `⊑F` alongside the
+//! paper's `⊑T`.
+
+use csp::{EventSet, Process};
+use fdrlite::Checker;
+use translator::{Pipeline, TranslateConfig};
+
+struct EcuModel {
+    ecu: Process,
+    defs: csp::Definitions,
+    req_sw: csp::EventId,
+    rpt_sw: csp::EventId,
+    req_app: csp::EventId,
+    rpt_upd: csp::EventId,
+}
+
+fn extract(capl_src: &str) -> EcuModel {
+    let pipeline = Pipeline::new(TranslateConfig::ecu("ECU"));
+    let out = pipeline
+        .run(capl_src, Some(ota::messages::NETWORK_DBC))
+        .unwrap();
+    // Mutants may never perform some event; intern it anyway so the spec
+    // can still talk about it (fresh ids are consistent extensions).
+    let mut alphabet = out.loaded.alphabet().clone();
+    EcuModel {
+        ecu: out.loaded.process(&out.entry).unwrap().clone(),
+        defs: out.loaded.definitions().clone(),
+        req_sw: alphabet.intern("rec.reqSw"),
+        rpt_sw: alphabet.intern("send.rptSw"),
+        req_app: alphabet.intern("rec.reqApp"),
+        rpt_upd: alphabet.intern("send.rptUpd"),
+    }
+}
+
+/// Response liveness: after `req`, `rsp` must be *offered* — but the
+/// process is never obliged to accept a new request (the internal STOP
+/// branch makes the idle state refusable). The weakest failures-model spec
+/// that still kills response-omission mutants.
+fn responds(
+    defs: &mut csp::Definitions,
+    name: &str,
+    req: csp::EventId,
+    rsp: csp::EventId,
+) -> Process {
+    let idle = defs.declare(name);
+    defs.define(
+        idle,
+        Process::internal_choice(
+            Process::prefix(req, Process::prefix(rsp, Process::var(idle))),
+            Process::Stop,
+        ),
+    );
+    Process::var(idle)
+}
+
+/// Run the component-level requirement suite; returns the ids that failed.
+fn killed_by(model: &mut EcuModel) -> Vec<&'static str> {
+    let checker = Checker::new();
+    let mut killers = Vec::new();
+
+    // R02 (failures model): a request must be answerable by exactly one
+    // response. Noise is granted through an interleaved CHAOS so that the
+    // implementation is not *obliged* to offer it (the right spec shape for
+    // the failures model).
+    let noise02: EventSet = [model.req_app, model.rpt_upd].into_iter().collect();
+    let r02 = Process::interleave(
+        responds(&mut model.defs, "M_R02", model.req_sw, model.rpt_sw),
+        fdrlite::properties::chaos(&mut model.defs, "M_R02N", &noise02),
+    );
+    if !checker
+        .failures_refinement(&r02, &model.ecu, &model.defs)
+        .unwrap()
+        .is_pass()
+    {
+        killers.push("R02");
+    }
+
+    // R03 (traces): no update result before an apply request.
+    let universe: EventSet = [model.req_sw, model.rpt_sw, model.req_app, model.rpt_upd]
+        .into_iter()
+        .collect();
+    let r03 = fdrlite::properties::precedes(
+        &mut model.defs,
+        "M_R03",
+        &universe,
+        &EventSet::singleton(model.req_app),
+        &EventSet::singleton(model.rpt_upd),
+    );
+    if !checker
+        .trace_refinement(&r03, &model.ecu, &model.defs)
+        .unwrap()
+        .is_pass()
+    {
+        killers.push("R03");
+    }
+
+    // R04 (failures): exactly one result per apply request.
+    let noise04: EventSet = [model.req_sw, model.rpt_sw].into_iter().collect();
+    let r04 = Process::interleave(
+        responds(&mut model.defs, "M_R04", model.req_app, model.rpt_upd),
+        fdrlite::properties::chaos(&mut model.defs, "M_R04N", &noise04),
+    );
+    if !checker
+        .failures_refinement(&r04, &model.ecu, &model.defs)
+        .unwrap()
+        .is_pass()
+    {
+        killers.push("R04");
+    }
+
+    killers
+}
+
+#[test]
+fn the_original_ecu_survives_every_check() {
+    let mut model = extract(ota::sources::ECU_CAPL);
+    assert!(killed_by(&mut model).is_empty());
+}
+
+#[test]
+fn mutant_missing_diagnosis_response_is_killed() {
+    // Omission: the reqSw handler no longer responds.
+    let mutant = ota::sources::ECU_CAPL.replace(
+        "on message reqSw\n{\n  output(msgRptSw);\n}",
+        "on message reqSw\n{\n}",
+    );
+    assert_ne!(mutant, ota::sources::ECU_CAPL, "mutation must apply");
+    let mut model = extract(&mutant);
+    let killers = killed_by(&mut model);
+    assert!(killers.contains(&"R02"), "killed by {killers:?}");
+}
+
+#[test]
+fn mutant_double_response_is_killed() {
+    let mutant = ota::sources::ECU_CAPL.replace(
+        "output(msgRptSw);",
+        "output(msgRptSw);\n  output(msgRptSw);",
+    );
+    let mut model = extract(&mutant);
+    let killers = killed_by(&mut model);
+    assert!(killers.contains(&"R02"), "killed by {killers:?}");
+}
+
+#[test]
+fn mutant_wrong_response_message_is_killed() {
+    // The diagnosis handler acknowledges an update instead.
+    let mutant = ota::sources::ECU_CAPL.replace("output(msgRptSw);", "output(msgRptUpd);");
+    let mut model = extract(&mutant);
+    let killers = killed_by(&mut model);
+    assert!(
+        killers.contains(&"R03") || killers.contains(&"R02"),
+        "killed by {killers:?}"
+    );
+}
+
+#[test]
+fn mutant_unsolicited_response_at_startup_is_killed() {
+    let mutant = format!(
+        "{}\non start\n{{\n  output(msgRptUpd);\n}}\n",
+        ota::sources::ECU_CAPL
+    );
+    let mut model = extract(&mutant);
+    let killers = killed_by(&mut model);
+    assert!(killers.contains(&"R03"), "killed by {killers:?}");
+}
+
+#[test]
+fn mutant_missing_update_acknowledgement_is_killed() {
+    let mutant = ota::sources::ECU_CAPL.replace("  output(msgRptUpd);\n", "");
+    assert_ne!(mutant, ota::sources::ECU_CAPL, "mutation must apply");
+    let mut model = extract(&mutant);
+    let killers = killed_by(&mut model);
+    assert!(killers.contains(&"R04"), "killed by {killers:?}");
+}
+
+#[test]
+fn silent_apply_mutant_is_equivalent_at_message_granularity() {
+    // `updatesApplied` is internal state: a mutant that acknowledges
+    // without counting is indistinguishable at message level — the honest
+    // limitation of message-granular models (§VII-B of the paper); the
+    // signal-aware translation (`TranslateConfig::signal_fields`) is the
+    // remedy when the counter is reflected in a payload.
+    let mutant = ota::sources::ECU_CAPL.replace(
+        "updatesApplied = updatesApplied + 1;",
+        "",
+    );
+    assert_ne!(mutant, ota::sources::ECU_CAPL, "mutation must apply");
+    let mut model = extract(&mutant);
+    assert!(killed_by(&mut model).is_empty(), "equivalent mutant");
+}

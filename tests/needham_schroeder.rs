@@ -1,0 +1,194 @@
+//! The Needham–Schroeder public-key protocol, the paper's own motivating
+//! example (§II-B): "the security weakness was only exposed 18 years later
+//! through formal analysis using CSP". This test rediscovers Lowe's attack
+//! with the reproduced toolchain, and confirms Lowe's fix.
+//!
+//! Modelling notes: encryption is modelled by addressing — a packet on
+//! `rcvN.src.dst.…` is readable only by `dst` (or the intruder when
+//! `dst == mallory`). The intruder is the network: it learns nonces from
+//! packets addressed to it, forwards or drops others, and constructs
+//! packets from known nonces.
+
+use auto_csp::cspm::Script;
+use auto_csp::fdrlite::Checker;
+
+/// The original protocol. `AUTH` demands that when Bob finishes a session
+/// ostensibly with Alice, Alice was actually running the protocol with Bob.
+const NSPK: &str = r#"
+datatype AgentT = alice | bob | mallory
+datatype NonceT = na | nb | ni
+
+-- sndN: agent hands a packet to the network; rcvN: network delivers.
+-- Fields: source (routing, unauthenticated), destination (= encryption
+-- key), then the encrypted payload.
+channel snd1, rcv1 : AgentT.AgentT.NonceT.AgentT
+channel snd2, rcv2 : AgentT.AgentT.NonceT.NonceT
+channel snd3, rcv3 : AgentT.AgentT.NonceT
+channel running, finished : AgentT.AgentT
+
+-- Alice initiates with some peer b: Msg1 {na, alice}pk(b); expects
+-- Msg2 {na, x}pk(alice); answers Msg3 {x}pk(b).
+ALICE = [] b : {bob, mallory} @
+          running.alice.b ->
+          snd1.alice.b.na.alice ->
+          rcv2?src!alice!na?x ->
+          snd3.alice.b.x ->
+          finished.alice.b -> STOP
+
+-- Bob responds: on Msg1 {n, a}pk(bob) sends Msg2 {n, nb}pk(a); on
+-- Msg3 {nb}pk(bob) he believes he talked to a.
+BOB = rcv1?src!bob?n?a ->
+      snd2.bob.a.n.nb ->
+      rcv3?src2!bob!nb ->
+      finished.bob.a -> STOP
+
+-- The Dolev-Yao network: learns payloads addressed to mallory, forwards or
+-- drops the rest, and fabricates packets from known nonces.
+INTRUDER(known) =
+     snd1?a?b?n?a2 ->
+       (if b == mallory then INTRUDER(union(known, {n}))
+        else (rcv1.a.b.n.a2 -> INTRUDER(known) |~| INTRUDER(known)))
+  [] snd2?a?b?n1?n2 ->
+       (if b == mallory then INTRUDER(union(known, {n1, n2}))
+        else (rcv2.a.b.n1.n2 -> INTRUDER(known) |~| INTRUDER(known)))
+  [] snd3?a?b?n ->
+       (if b == mallory then INTRUDER(union(known, {n}))
+        else (rcv3.a.b.n -> INTRUDER(known) |~| INTRUDER(known)))
+  [] ([] b : {alice, bob} @ [] n : known @ [] a2 : {alice, bob} @
+        rcv1.mallory.b.n.a2 -> INTRUDER(known))
+  [] ([] b : {alice, bob} @ [] n1 : known @ [] n2 : known @
+        rcv2.mallory.b.n1.n2 -> INTRUDER(known))
+  [] ([] b : {alice, bob} @ [] n : known @
+        rcv3.mallory.b.n -> INTRUDER(known))
+
+NETSET = {| snd1, snd2, snd3, rcv1, rcv2, rcv3 |}
+SYSTEM = (ALICE ||| BOB) [| NETSET |] INTRUDER({ni})
+
+RUNALL = [] e : Events @ e -> RUNALL
+AUTH = running.alice.bob -> RUNALL
+    [] ([] e : diff(Events, {| running.alice.bob, finished.bob.alice |}) @ e -> AUTH)
+
+assert AUTH [T= SYSTEM
+"#;
+
+/// Lowe's fix: Msg2 carries the responder's identity inside the encryption
+/// (`snd2.src.dst.n1.n2.responder`), and Alice accepts it only if it names
+/// the peer she is running with.
+const NSPK_LOWE: &str = r#"
+datatype AgentT = alice | bob | mallory
+datatype NonceT = na | nb | ni
+
+channel snd1, rcv1 : AgentT.AgentT.NonceT.AgentT
+channel snd2, rcv2 : AgentT.AgentT.NonceT.NonceT.AgentT
+channel snd3, rcv3 : AgentT.AgentT.NonceT
+channel running, finished : AgentT.AgentT
+
+ALICE = [] b : {bob, mallory} @
+          running.alice.b ->
+          snd1.alice.b.na.alice ->
+          rcv2?src!alice!na?x!b ->
+          snd3.alice.b.x ->
+          finished.alice.b -> STOP
+
+BOB = rcv1?src!bob?n?a ->
+      snd2.bob.a.n.nb.bob ->
+      rcv3?src2!bob!nb ->
+      finished.bob.a -> STOP
+
+INTRUDER(known) =
+     snd1?a?b?n?a2 ->
+       (if b == mallory then INTRUDER(union(known, {n}))
+        else (rcv1.a.b.n.a2 -> INTRUDER(known) |~| INTRUDER(known)))
+  [] snd2?a?b?n1?n2?r ->
+       (if b == mallory then INTRUDER(union(known, {n1, n2}))
+        else (rcv2.a.b.n1.n2.r -> INTRUDER(known) |~| INTRUDER(known)))
+  [] snd3?a?b?n ->
+       (if b == mallory then INTRUDER(union(known, {n}))
+        else (rcv3.a.b.n -> INTRUDER(known) |~| INTRUDER(known)))
+  [] ([] b : {alice, bob} @ [] n : known @ [] a2 : {alice, bob} @
+        rcv1.mallory.b.n.a2 -> INTRUDER(known))
+  [] ([] b : {alice, bob} @ [] n1 : known @ [] n2 : known @ [] r : {alice, bob, mallory} @
+        rcv2.mallory.b.n1.n2.r -> INTRUDER(known))
+  [] ([] b : {alice, bob} @ [] n : known @
+        rcv3.mallory.b.n -> INTRUDER(known))
+
+NETSET = {| snd1, snd2, snd3, rcv1, rcv2, rcv3 |}
+SYSTEM = (ALICE ||| BOB) [| NETSET |] INTRUDER({ni})
+
+RUNALL = [] e : Events @ e -> RUNALL
+AUTH = running.alice.bob -> RUNALL
+    [] ([] e : diff(Events, {| running.alice.bob, finished.bob.alice |}) @ e -> AUTH)
+
+assert AUTH [T= SYSTEM
+"#;
+
+#[test]
+fn lowe_attack_is_rediscovered() {
+    let loaded = Script::parse(NSPK).unwrap().load().unwrap();
+    let results = loaded.check(&Checker::new()).unwrap();
+    let cex = results[0]
+        .verdict
+        .counterexample()
+        .expect("the original NSPK must fail authentication");
+    let shown = cex.display(loaded.alphabet()).to_string();
+    // The witness is the classic man-in-the-middle: Alice starts a session
+    // with Mallory, and Bob ends up believing he talked to Alice.
+    assert!(shown.contains("running.alice.mallory"), "{shown}");
+    assert!(shown.contains("finished.bob.alice"), "{shown}");
+    assert!(!shown.contains("running.alice.bob"), "{shown}");
+}
+
+#[test]
+fn attack_trace_has_the_expected_shape() {
+    let loaded = Script::parse(NSPK).unwrap().load().unwrap();
+    let system = loaded.process("SYSTEM").unwrap().clone();
+    let lts = csp::Lts::build(system, loaded.definitions(), 2_000_000).unwrap();
+    let step = |n: &str| loaded.alphabet().lookup(n).unwrap();
+    // The full Lowe interleaving is a trace of the system.
+    let attack = [
+        "running.alice.mallory",
+        "snd1.alice.mallory.na.alice", // Alice → Mallory: {na, A}pk(M)
+        "rcv1.mallory.bob.na.alice",   // Mallory re-encrypts to Bob
+        "snd2.bob.alice.na.nb",        // Bob → Alice: {na, nb}pk(A)
+        "rcv2.bob.alice.na.nb",        // forwarded unchanged
+        "snd3.alice.mallory.nb",       // Alice → Mallory: {nb}pk(M)
+        "rcv3.mallory.bob.nb",         // Mallory → Bob: {nb}pk(B)
+        "finished.bob.alice",          // Bob authenticated "Alice"
+    ]
+    .map(step);
+    assert!(csp::traces::has_trace(&lts, &attack));
+}
+
+#[test]
+fn lowes_fix_restores_authentication() {
+    let loaded = Script::parse(NSPK_LOWE).unwrap().load().unwrap();
+    let results = loaded.check(&Checker::new()).unwrap();
+    assert!(
+        results[0].verdict.is_pass(),
+        "{:?}",
+        results[0]
+            .verdict
+            .counterexample()
+            .map(|c| c.display(loaded.alphabet()).to_string())
+    );
+}
+
+#[test]
+fn fixed_protocol_still_completes_honestly() {
+    let loaded = Script::parse(NSPK_LOWE).unwrap().load().unwrap();
+    let system = loaded.process("SYSTEM").unwrap().clone();
+    let lts = csp::Lts::build(system, loaded.definitions(), 2_000_000).unwrap();
+    let step = |n: &str| loaded.alphabet().lookup(n).unwrap();
+    let honest = [
+        "running.alice.bob",
+        "snd1.alice.bob.na.alice",
+        "rcv1.alice.bob.na.alice",
+        "snd2.bob.alice.na.nb.bob",
+        "rcv2.bob.alice.na.nb.bob",
+        "snd3.alice.bob.nb",
+        "rcv3.alice.bob.nb",
+        "finished.bob.alice",
+    ]
+    .map(step);
+    assert!(csp::traces::has_trace(&lts, &honest));
+}

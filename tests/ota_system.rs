@@ -1,0 +1,134 @@
+//! Fig. 2 reproduction: the scope of the demonstration system — VMG and ECU
+//! composed over the update-path messages — with its structural statistics
+//! and end-to-end behaviour.
+
+use auto_csp::fdrlite::Checker;
+use auto_csp::ota::{sources, system::OtaSystem};
+use csp::Lts;
+use translator::{NodeSpec, SystemBuilder};
+
+#[test]
+fn fig2_scope_contains_vmg_ecu_and_their_messages() {
+    let study = OtaSystem::build().unwrap();
+    let script = study.script();
+    assert!(script.contains("VMG"), "{script}");
+    assert!(script.contains("ECU"), "{script}");
+    for event in ["rec.reqSw", "send.rptSw", "rec.reqApp", "send.rptUpd"] {
+        assert!(study.event(event).is_some(), "missing {event}");
+    }
+    // The update server is out of scope in Fig. 2.
+    assert!(study.event("rec.update").is_none());
+}
+
+#[test]
+fn system_state_space_statistics() {
+    let study = OtaSystem::build().unwrap();
+    let lts = Lts::build(study.system().clone(), study.definitions(), 100_000).unwrap();
+    // The composed update cycle is small and finite; pin the order of
+    // magnitude so regressions in the composition rules are caught.
+    assert!(lts.state_count() >= 4, "{}", lts.state_count());
+    assert!(lts.state_count() <= 64, "{}", lts.state_count());
+    assert!(lts.transition_count() >= lts.state_count() - 1);
+}
+
+#[test]
+fn component_models_refine_into_the_system() {
+    // Each component's contribution is visible in the composed traces.
+    let study = OtaSystem::build().unwrap();
+    let lts = Lts::build(study.system().clone(), study.definitions(), 100_000).unwrap();
+    let full_cycle = study.comm_events().unwrap();
+    assert!(csp::traces::has_trace(&lts, &full_cycle));
+    // But no response can precede its request.
+    let rpt_first = [study.event("send.rptSw").unwrap()];
+    assert!(!csp::traces::has_trace(&lts, &rpt_first));
+}
+
+#[test]
+fn system_is_divergence_free_and_deterministic() {
+    let study = OtaSystem::build().unwrap();
+    let checker = Checker::new();
+    assert!(checker
+        .divergence_free(study.system(), study.definitions())
+        .unwrap()
+        .is_pass());
+    assert!(checker
+        .deterministic(study.system(), study.definitions())
+        .unwrap()
+        .is_pass());
+}
+
+#[test]
+fn buffered_network_variant_also_completes_the_cycle() {
+    let db = auto_csp::ota::messages::database();
+    let out = SystemBuilder::new()
+        .database(db)
+        .buffered(2)
+        .node(NodeSpec::gateway(
+            "VMG",
+            capl::parse(sources::VMG_CAPL).unwrap(),
+        ))
+        .node(NodeSpec::ecu("ECU", capl::parse(sources::ECU_CAPL).unwrap()))
+        .build()
+        .unwrap();
+    let loaded = cspm::Script::parse(&out.script).unwrap().load().unwrap();
+    let system = loaded.process("SYSTEM").unwrap().clone();
+    let lts = Lts::build(system, loaded.definitions(), 1_000_000).unwrap();
+    let step = |n: &str| loaded.alphabet().lookup(n).unwrap();
+    let cycle = [
+        "rec.reqSw",
+        "recd.reqSw",
+        "send.rptSw",
+        "sendd.rptSw",
+        "rec.reqApp",
+        "recd.reqApp",
+        "send.rptUpd",
+        "sendd.rptUpd",
+    ]
+    .map(step);
+    assert!(csp::traces::has_trace(&lts, &cycle));
+}
+
+#[test]
+fn three_node_composition_with_the_update_server() {
+    // §VIII-A: composite models beyond two nodes. Server and ECU share the
+    // ECU orientation; their message sets are disjoint, so alphabetised
+    // composition keeps the hops separate.
+    let db = auto_csp::ota::messages::database();
+    let out = SystemBuilder::new()
+        .database(db)
+        .node(NodeSpec::gateway(
+            "VMG",
+            capl::parse(sources::VMG_FULL_CAPL).unwrap(),
+        ))
+        .node(NodeSpec::ecu("ECU", capl::parse(sources::ECU_CAPL).unwrap()))
+        .node(NodeSpec::ecu(
+            "Server",
+            capl::parse(sources::SERVER_CAPL).unwrap(),
+        ))
+        .build()
+        .unwrap();
+    let loaded = cspm::Script::parse(&out.script)
+        .unwrap_or_else(|e| panic!("{e}\n{}", out.script))
+        .load()
+        .unwrap_or_else(|e| panic!("{e}\n{}", out.script));
+    let system = loaded.process("SYSTEM").unwrap().clone();
+    let lts = Lts::build(system, loaded.definitions(), 1_000_000).unwrap();
+    let step = |n: &str| {
+        loaded
+            .alphabet()
+            .lookup(n)
+            .unwrap_or_else(|| panic!("missing event {n} in\n{}", out.script))
+    };
+    // The full X.1373 loop: check → update → inventory → apply → report.
+    let full_loop = [
+        "rec.update_check",
+        "send.update",
+        "rec.reqSw",
+        "send.rptSw",
+        "rec.reqApp",
+        "send.rptUpd",
+        "rec.update_report",
+    ]
+    .map(step);
+    assert!(csp::traces::has_trace(&lts, &full_loop));
+}
