@@ -36,11 +36,19 @@ fn sync_vs_buffered(c: &mut Criterion) {
 
     group.bench_function("synchronous", |b| {
         let (system, defs) = build(None);
-        b.iter(|| csp::Lts::build(system.clone(), &defs, 2_000_000).unwrap().state_count())
+        b.iter(|| {
+            csp::Lts::build(system.clone(), &defs, 2_000_000)
+                .unwrap()
+                .state_count()
+        });
     });
     group.bench_function("buffered_2", |b| {
         let (system, defs) = build(Some(2));
-        b.iter(|| csp::Lts::build(system.clone(), &defs, 2_000_000).unwrap().state_count())
+        b.iter(|| {
+            csp::Lts::build(system.clone(), &defs, 2_000_000)
+                .unwrap()
+                .state_count()
+        });
     });
     group.finish();
 }
@@ -66,7 +74,7 @@ fn finitisation_bound(c: &mut Criterion) {
                 csp::Lts::build(entry, loaded.definitions(), 1_000_000)
                     .unwrap()
                     .state_count()
-            })
+            });
         });
     }
     group.finish();
@@ -90,16 +98,21 @@ fn pass_vs_fail_checks(c: &mut Criterion) {
     let checker = Checker::new();
 
     c.bench_function("ablation/check_pass", |b| {
-        b.iter(|| checker.trace_refinement(&spec, &good, &defs).unwrap())
+        b.iter(|| checker.trace_refinement(&spec, &good, &defs).unwrap());
     });
     c.bench_function("ablation/check_fail_with_counterexample", |b| {
         b.iter(|| {
             let v = checker.trace_refinement(&spec, &bad, &defs).unwrap();
             assert!(!v.is_pass());
             v
-        })
+        });
     });
 }
 
-criterion_group!(benches, sync_vs_buffered, finitisation_bound, pass_vs_fail_checks);
+criterion_group!(
+    benches,
+    sync_vs_buffered,
+    finitisation_bound,
+    pass_vs_fail_checks
+);
 criterion_main!(benches);

@@ -11,10 +11,10 @@ fn stage_benchmarks(c: &mut Criterion) {
     let dbc_src = ota::messages::NETWORK_DBC;
 
     c.bench_function("fig1/parse_capl", |b| {
-        b.iter(|| capl::parse(black_box(capl_src)).unwrap())
+        b.iter(|| capl::parse(black_box(capl_src)).unwrap());
     });
     c.bench_function("fig1/parse_dbc", |b| {
-        b.iter(|| candb::parse(black_box(dbc_src)).unwrap())
+        b.iter(|| candb::parse(black_box(dbc_src)).unwrap());
     });
     c.bench_function("fig1/translate", |b| {
         let program = capl::parse(capl_src).unwrap();
@@ -24,7 +24,7 @@ fn stage_benchmarks(c: &mut Criterion) {
                 .with_database(db.clone())
                 .translate(black_box(&program))
                 .unwrap()
-        })
+        });
     });
     c.bench_function("fig1/elaborate_cspm", |b| {
         let program = capl::parse(capl_src).unwrap();
@@ -36,11 +36,11 @@ fn stage_benchmarks(c: &mut Criterion) {
                 .unwrap()
                 .load()
                 .unwrap()
-        })
+        });
     });
     c.bench_function("fig1/end_to_end", |b| {
         let pipeline = Pipeline::new(TranslateConfig::ecu("ECU"));
-        b.iter(|| pipeline.run(black_box(capl_src), Some(dbc_src)).unwrap())
+        b.iter(|| pipeline.run(black_box(capl_src), Some(dbc_src)).unwrap());
     });
 }
 
@@ -52,7 +52,7 @@ fn scaling_with_program_size(c: &mut Criterion) {
         let dbc = bench::synthetic_dbc(n);
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             let pipeline = Pipeline::new(TranslateConfig::ecu("ECU"));
-            b.iter(|| pipeline.run(black_box(&src), Some(&dbc)).unwrap())
+            b.iter(|| pipeline.run(black_box(&src), Some(&dbc)).unwrap());
         });
     }
     group.finish();

@@ -11,7 +11,7 @@ use translator::{NodeSpec, SystemBuilder};
 
 fn compose_and_explore(c: &mut Criterion) {
     c.bench_function("fig2/compose_system_model", |b| {
-        b.iter(|| OtaSystem::build().unwrap())
+        b.iter(|| OtaSystem::build().unwrap());
     });
 
     let study = OtaSystem::build().unwrap();
@@ -23,7 +23,7 @@ fn compose_and_explore(c: &mut Criterion) {
                 100_000,
             )
             .unwrap()
-        })
+        });
     });
     c.bench_function("fig2/divergence_free", |b| {
         let checker = Checker::new();
@@ -31,7 +31,7 @@ fn compose_and_explore(c: &mut Criterion) {
             checker
                 .divergence_free(black_box(study.system()), study.definitions())
                 .unwrap()
-        })
+        });
     });
     c.bench_function("fig2/deterministic", |b| {
         let checker = Checker::new();
@@ -39,7 +39,7 @@ fn compose_and_explore(c: &mut Criterion) {
             checker
                 .deterministic(black_box(study.system()), study.definitions())
                 .unwrap()
-        })
+        });
     });
 }
 
@@ -70,7 +70,7 @@ fn buffered_network_model(c: &mut Criterion) {
                     csp::Lts::build(system, loaded.definitions(), 2_000_000)
                         .unwrap()
                         .state_count()
-                })
+                });
             },
         );
     }

@@ -27,7 +27,7 @@ fn fig3(c: &mut Criterion) {
             Translator::new(TranslateConfig::ecu("ECU"))
                 .translate(black_box(&program))
                 .unwrap()
-        })
+        });
     });
 
     c.bench_function("fig3/generate_and_verify_golden", |b| {
@@ -41,7 +41,7 @@ fn fig3(c: &mut Criterion) {
                 .unwrap();
             assert_eq!(out.script, golden);
             out
-        })
+        });
     });
 
     c.bench_function("fig3/roundtrip_through_cspm", |b| {
@@ -53,20 +53,18 @@ fn fig3(c: &mut Criterion) {
                 .unwrap()
                 .load()
                 .unwrap()
-        })
+        });
     });
 
     c.bench_function("fig3/template_render", |b| {
-        let t = sttpl::Template::parse(
-            "$msgs:{m | ON_$m$ = rec.$m$ -> SKIP}; separator=\"\\n\"$",
-        )
-        .unwrap();
+        let t = sttpl::Template::parse("$msgs:{m | ON_$m$ = rec.$m$ -> SKIP}; separator=\"\\n\"$")
+            .unwrap();
         let mut ctx = sttpl::Value::map();
         ctx.set(
             "msgs",
             sttpl::Value::from_iter(["reqSw", "rptSw", "reqApp", "rptUpd"]),
         );
-        b.iter(|| t.render(black_box(&ctx)).unwrap())
+        b.iter(|| t.render(black_box(&ctx)).unwrap());
     });
 }
 

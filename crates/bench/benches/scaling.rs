@@ -28,7 +28,7 @@ fn component_scaling(c: &mut Criterion) {
                 let verdict = checker.trace_refinement(&run, &system, &defs).unwrap();
                 assert!(verdict.is_pass());
                 verdict
-            })
+            });
         });
     }
     group.finish();
@@ -48,11 +48,10 @@ fn intruder_scaling(c: &mut Criterion) {
                     builder = builder.message(n);
                 }
                 let intruder = builder.build(&mut ab, &mut defs);
-                let lts =
-                    csp::Lts::build(intruder.process().clone(), &defs, 1 << 20).unwrap();
+                let lts = csp::Lts::build(intruder.process().clone(), &defs, 1 << 20).unwrap();
                 assert_eq!(lts.state_count(), 1 << m);
                 lts.state_count()
-            })
+            });
         });
     }
     group.finish();
@@ -71,7 +70,7 @@ fn parallel_vs_serial(c: &mut Criterion) {
     let mut group = c.benchmark_group("scaling/parallelism");
     group.sample_size(10);
     group.bench_function("serial", |b| {
-        b.iter(|| checker.trace_refinement(&run, &system, &defs).unwrap())
+        b.iter(|| checker.trace_refinement(&run, &system, &defs).unwrap());
     });
     for threads in [2usize, 4, 8] {
         group.bench_with_input(
@@ -81,7 +80,7 @@ fn parallel_vs_serial(c: &mut Criterion) {
                 b.iter(|| {
                     fdrlite::parallel::trace_refinement(&checker, &run, &system, &defs, threads)
                         .unwrap()
-                })
+                });
             },
         );
     }
@@ -98,7 +97,7 @@ fn nspk_check(c: &mut Criterion) {
             let results = loaded.check(&Checker::new()).unwrap();
             assert!(!results[0].verdict.is_pass());
             results
-        })
+        });
     });
     group.finish();
 }
@@ -134,7 +133,7 @@ fn normalisation_cost(c: &mut Criterion) {
     let checker = Checker::new();
     let lts = checker.compile(&spec, &defs).unwrap();
     c.bench_function("scaling/normalise_nondeterministic_spec", |b| {
-        b.iter(|| checker.normalise(&lts).unwrap().node_count())
+        b.iter(|| checker.normalise(&lts).unwrap().node_count());
     });
 
     let _ = EventSet::empty();

@@ -14,12 +14,18 @@ const ROWS: &[(&str, &str)] = &[
     ("output", "P = d!3 -> e!4 -> STOP"),
     ("sequential", "P = (a -> SKIP) ; (b -> SKIP) ; c -> STOP"),
     ("external_choice", "P = a -> STOP [] b -> STOP [] c -> STOP"),
-    ("internal_choice", "P = a -> STOP |~| b -> STOP |~| c -> STOP"),
+    (
+        "internal_choice",
+        "P = a -> STOP |~| b -> STOP |~| c -> STOP",
+    ),
     (
         "alphabetised_parallel",
         "P = (a -> b -> STOP) [| {| a |} |] (a -> c -> STOP)",
     ),
-    ("interleaving", "P = (a -> STOP) ||| (b -> STOP) ||| (c -> STOP)"),
+    (
+        "interleaving",
+        "P = (a -> STOP) ||| (b -> STOP) ||| (c -> STOP)",
+    ),
 ];
 
 fn per_operator(c: &mut Criterion) {
@@ -32,14 +38,14 @@ fn per_operator(c: &mut Criterion) {
                     .unwrap()
                     .load()
                     .unwrap()
-            })
+            });
         });
 
         let loaded = cspm::Script::parse(&src).unwrap().load().unwrap();
         let p = loaded.process("P").unwrap().clone();
         let defs = loaded.definitions().clone();
         c.bench_function(&format!("table1/explore/{name}"), |b| {
-            b.iter(|| csp::Lts::build(black_box(p.clone()), &defs, 100_000).unwrap())
+            b.iter(|| csp::Lts::build(black_box(p.clone()), &defs, 100_000).unwrap());
         });
     }
 }
@@ -60,7 +66,7 @@ fn trace_law_checks(c: &mut Criterion) {
             let t2 = csp::laws::bounded_traces(&p2, &defs, 8, 10_000).unwrap();
             let tb = csp::laws::bounded_traces(&both, &defs, 8, 10_000).unwrap();
             assert_eq!(tb.len(), t1.union(&t2).count());
-        })
+        });
     });
 }
 

@@ -8,7 +8,7 @@ use std::hint::black_box;
 
 fn database_and_signals(c: &mut Criterion) {
     c.bench_function("table2/parse_network_dbc", |b| {
-        b.iter(|| candb::parse(black_box(ota::messages::NETWORK_DBC)).unwrap())
+        b.iter(|| candb::parse(black_box(ota::messages::NETWORK_DBC)).unwrap());
     });
 
     let db = ota::messages::database();
@@ -21,7 +21,7 @@ fn database_and_signals(c: &mut Criterion) {
                 sig.encode(&mut payload, black_box(v));
                 assert_eq!(sig.decode(&payload), v);
             }
-        })
+        });
     });
 }
 
@@ -42,7 +42,7 @@ fn simulated_exchange(c: &mut Criterion) {
                 4
             );
             sim
-        })
+        });
     });
 
     c.bench_function("table2/simulate_periodic_1s", |b| {
@@ -53,17 +53,15 @@ fn simulated_exchange(c: &mut Criterion) {
              on timer t { output(m); setTimer(t, 1); }",
         )
         .unwrap();
-        let receiver = capl::parse(
-            "variables { int n = 0; } on message reqSw { n = n + 1; }",
-        )
-        .unwrap();
+        let receiver =
+            capl::parse("variables { int n = 0; } on message reqSw { n = n + 1; }").unwrap();
         b.iter(|| {
             let mut sim = Simulation::new(Some(ota::messages::database()));
             sim.add_node("VMG", sender.clone()).unwrap();
             sim.add_node("ECU", receiver.clone()).unwrap();
             sim.run_for(1_000_000).unwrap();
             sim.trace().len()
-        })
+        });
     });
 }
 
@@ -77,9 +75,14 @@ fn model_side(c: &mut Criterion) {
                 }
             }
             ab
-        })
+        });
     });
 }
 
-criterion_group!(benches, database_and_signals, simulated_exchange, model_side);
+criterion_group!(
+    benches,
+    database_and_signals,
+    simulated_exchange,
+    model_side
+);
 criterion_main!(benches);

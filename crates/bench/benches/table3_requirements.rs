@@ -18,7 +18,7 @@ fn honest_requirements(c: &mut Criterion) {
                     .unwrap();
                 assert!(verdict.is_pass());
                 verdict
-            })
+            });
         });
     }
 
@@ -28,7 +28,7 @@ fn honest_requirements(c: &mut Criterion) {
             checker
                 .trace_refinement(&sp02.spec, &sp02.scoped_system, study.definitions())
                 .unwrap()
-        })
+        });
     });
 }
 
@@ -57,7 +57,7 @@ fn attacked_requirements(c: &mut Criterion) {
                 };
                 assert!(!verdict.is_pass());
                 verdict
-            })
+            });
         });
     }
 }
@@ -67,16 +67,21 @@ fn r05_mac_models(c: &mut Criterion) {
     let mut group = c.benchmark_group("table3/R05");
     group.sample_size(10);
     group.bench_function("mac_verifying", |b| {
-        b.iter(|| secured::check_script(secured::MAC_SCRIPT, &checker).unwrap())
+        b.iter(|| secured::check_script(secured::MAC_SCRIPT, &checker).unwrap());
     });
     group.bench_function("no_verification", |b| {
-        b.iter(|| secured::check_script(secured::INSECURE_SCRIPT, &checker).unwrap())
+        b.iter(|| secured::check_script(secured::INSECURE_SCRIPT, &checker).unwrap());
     });
     group.bench_function("signatures", |b| {
-        b.iter(|| secured::check_script(secured::SIGNATURE_SCRIPT, &checker).unwrap())
+        b.iter(|| secured::check_script(secured::SIGNATURE_SCRIPT, &checker).unwrap());
     });
     group.finish();
 }
 
-criterion_group!(benches, honest_requirements, attacked_requirements, r05_mac_models);
+criterion_group!(
+    benches,
+    honest_requirements,
+    attacked_requirements,
+    r05_mac_models
+);
 criterion_main!(benches);

@@ -74,8 +74,7 @@ mod tests {
     fn synthetic_capl_parses_and_translates() {
         let src = synthetic_capl(4);
         let dbc = synthetic_dbc(4);
-        let pipeline =
-            translator::Pipeline::new(translator::TranslateConfig::ecu("ECU"));
+        let pipeline = translator::Pipeline::new(translator::TranslateConfig::ecu("ECU"));
         let out = pipeline.run(&src, Some(&dbc)).unwrap();
         assert!(out.loaded.process("ECU_INIT").is_some(), "{}", out.script);
     }

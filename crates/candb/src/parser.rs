@@ -165,9 +165,7 @@ fn parse_signal(rest: &str) -> Result<Signal, String> {
     };
 
     let factor_offset = parts.next().ok_or("missing (factor,offset)")?;
-    let fo = factor_offset
-        .trim_start_matches('(')
-        .trim_end_matches(')');
+    let fo = factor_offset.trim_start_matches('(').trim_end_matches(')');
     let (f, o) = fo
         .split_once(',')
         .ok_or_else(|| "bad (factor,offset)".to_owned())?;
@@ -182,11 +180,7 @@ fn parse_signal(rest: &str) -> Result<Signal, String> {
     let min: f64 = mn.parse().map_err(|_| "bad min".to_owned())?;
     let max: f64 = mx.parse().map_err(|_| "bad max".to_owned())?;
 
-    let unit = parts
-        .next()
-        .unwrap_or("\"\"")
-        .trim_matches('"')
-        .to_owned();
+    let unit = parts.next().unwrap_or("\"\"").trim_matches('"').to_owned();
     let receivers: Vec<String> = parts
         .next()
         .unwrap_or_default()
@@ -236,7 +230,10 @@ fn parse_val(rest: &str, db: &mut Database) -> Result<(), String> {
         let (num, rest2) = remaining
             .split_once(' ')
             .ok_or_else(|| "dangling VAL_ value".to_owned())?;
-        let raw: i64 = num.trim().parse().map_err(|_| "bad VAL_ value".to_owned())?;
+        let raw: i64 = num
+            .trim()
+            .parse()
+            .map_err(|_| "bad VAL_ value".to_owned())?;
         let rest2 = rest2.trim_start();
         if !rest2.starts_with('"') {
             return Err("VAL_ label must be quoted".into());

@@ -120,7 +120,7 @@ const MAX_STEPS: usize = 200_000;
 impl NodeState {
     /// Initialise a node: resolve `message` variables against the database
     /// and zero-initialise scalars and arrays.
-    pub fn new(
+    pub(crate) fn new(
         name: &str,
         program: Program,
         db: Option<&Database>,
@@ -147,14 +147,14 @@ impl NodeState {
     }
 
     /// Read a global (for tests and assertions).
-    pub fn global(&self, name: &str) -> Option<&CaplValue> {
+    pub(crate) fn global(&self, name: &str) -> Option<&CaplValue> {
         self.globals.get(name)
     }
 
     /// Run the handler for `event`, if any, returning its effects.
     /// `sysvars` is the simulation-wide environment/system variable store
     /// shared by `getValue`/`putValue`.
-    pub fn fire(
+    pub(crate) fn fire(
         &mut self,
         event: &EventKind,
         this: Option<MsgObject>,
@@ -235,9 +235,7 @@ fn resolve_msg(r: &MsgRef, db: Option<&Database>) -> Result<MsgObject, RuntimeEr
             let name = db
                 .and_then(|d| d.message_by_id(*id))
                 .map(|m| m.name.clone());
-            let dlc = db
-                .and_then(|d| d.message_by_id(*id))
-                .map_or(8, |m| m.dlc);
+            let dlc = db.and_then(|d| d.message_by_id(*id)).map_or(8, |m| m.dlc);
             Ok(MsgObject {
                 id: *id,
                 name,
@@ -440,9 +438,11 @@ impl Exec<'_> {
             Expr::Index { array, index } => {
                 let idx = self.expr(index)?.as_int()? as usize;
                 match self.expr(array)? {
-                    CaplValue::Array(items) => items.get(idx).copied().map(CaplValue::Int).ok_or_else(
-                        || RuntimeError::new(format!("array index {idx} out of bounds")),
-                    ),
+                    CaplValue::Array(items) => {
+                        items.get(idx).copied().map(CaplValue::Int).ok_or_else(|| {
+                            RuntimeError::new(format!("array index {idx} out of bounds"))
+                        })
+                    }
                     CaplValue::Msg(m) => m
                         .payload
                         .get(idx)
@@ -573,12 +573,7 @@ impl Exec<'_> {
         Ok(CaplValue::Int(s.decode(&msg.payload)))
     }
 
-    fn signal_set(
-        &mut self,
-        object: &Expr,
-        signal: &str,
-        raw: i64,
-    ) -> Result<(), RuntimeError> {
+    fn signal_set(&mut self, object: &Expr, signal: &str, raw: i64) -> Result<(), RuntimeError> {
         let Expr::Ident(name) = object else {
             return Err(RuntimeError::new(
                 "signal assignment must target a message variable",
@@ -722,9 +717,7 @@ impl Exec<'_> {
                     return Err(RuntimeError::new("getValue(sysvar) takes 1 arg"));
                 };
                 let key = self.sysvar_key(name_arg)?;
-                Ok(CaplValue::Int(
-                    self.sysvars.get(&key).copied().unwrap_or(0),
-                ))
+                Ok(CaplValue::Int(self.sysvars.get(&key).copied().unwrap_or(0)))
             }
             "putValue" => {
                 let [name_arg, value] = args else {
@@ -852,10 +845,7 @@ fn format_write(fmt: &str, values: &[CaplValue]) -> String {
             }
             Some('x') => {
                 if let Some(v) = values.get(vi) {
-                    out.push_str(
-                        &v.as_int()
-                            .map_or_else(|_| "?".into(), |n| format!("{n:x}")),
-                    );
+                    out.push_str(&v.as_int().map_or_else(|_| "?".into(), |n| format!("{n:x}")));
                 }
                 vi += 1;
             }
@@ -1026,7 +1016,14 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(7);
         let mut sysvars = HashMap::new();
         let err = n
-            .fire(&EventKind::Start, None, Some(&db()), &mut rng, 0, &mut sysvars)
+            .fire(
+                &EventKind::Start,
+                None,
+                Some(&db()),
+                &mut rng,
+                0,
+                &mut sysvars,
+            )
             .unwrap_err();
         assert!(err.message.contains("budget"));
     }

@@ -163,12 +163,11 @@ impl Simulation {
         if self.nodes.iter().any(|n| n.name == name) {
             return Err(SimError::DuplicateNode(name.to_owned()));
         }
-        let state = NodeState::new(name, program, self.db.as_ref()).map_err(|error| {
-            SimError::Runtime {
+        let state =
+            NodeState::new(name, program, self.db.as_ref()).map_err(|error| SimError::Runtime {
                 node: name.to_owned(),
                 error,
-            }
-        })?;
+            })?;
         self.nodes.push(state);
         Ok(())
     }
@@ -513,8 +512,14 @@ mod tests {
     #[test]
     fn request_response_exchange() {
         let mut sim = sim_with(&[
-            ("VMG", "variables { message reqSw m; } on start { output(m); }"),
-            ("ECU", "variables { message rptSw r; } on message reqSw { output(r); }"),
+            (
+                "VMG",
+                "variables { message reqSw m; } on start { output(m); }",
+            ),
+            (
+                "ECU",
+                "variables { message rptSw r; } on message reqSw { output(r); }",
+            ),
         ]);
         sim.run_for(10_000).unwrap();
         assert_eq!(tx_names(&sim), vec!["reqSw", "rptSw"]);
@@ -573,8 +578,14 @@ mod tests {
             }
         }
         let mut sim = sim_with(&[
-            ("VMG", "variables { message reqSw m; } on start { output(m); }"),
-            ("ECU", "variables { message rptSw r; } on message reqSw { output(r); }"),
+            (
+                "VMG",
+                "variables { message reqSw m; } on start { output(m); }",
+            ),
+            (
+                "ECU",
+                "variables { message rptSw r; } on message reqSw { output(r); }",
+            ),
         ]);
         sim.set_interceptor(Box::new(DropAll));
         sim.run_for(10_000).unwrap();
@@ -597,7 +608,10 @@ mod tests {
             }
         }
         let mut sim = sim_with(&[
-            ("VMG", "variables { message reqSw m; } on start { m.reqType = 1; output(m); }"),
+            (
+                "VMG",
+                "variables { message reqSw m; } on start { m.reqType = 1; output(m); }",
+            ),
             (
                 "ECU",
                 "variables { int seen = 0; } on message reqSw { seen = this.reqType; }",
@@ -672,10 +686,16 @@ mod tests {
     fn deterministic_replay() {
         let build = || {
             let mut sim = sim_with(&[
-                ("VMG", "variables { message reqSw m; msTimer t; }
+                (
+                    "VMG",
+                    "variables { message reqSw m; msTimer t; }
                   on start { setTimer(t, 5); }
-                  on timer t { output(m); setTimer(t, 7); }"),
-                ("ECU", "variables { message rptSw r; } on message reqSw { output(r); }"),
+                  on timer t { output(m); setTimer(t, 7); }",
+                ),
+                (
+                    "ECU",
+                    "variables { message rptSw r; } on message reqSw { output(r); }",
+                ),
             ]);
             sim.run_for(100_000).unwrap();
             tx_names(&sim)
@@ -690,9 +710,7 @@ mod sysvar_tests {
 
     #[test]
     fn get_and_put_value_share_state_across_nodes() {
-        let mut sim = Simulation::new(Some(
-            candb::parse("BU_: A B\nBO_ 100 ping: 8 A").unwrap(),
-        ));
+        let mut sim = Simulation::new(Some(candb::parse("BU_: A B\nBO_ 100 ping: 8 A").unwrap()));
         sim.add_node(
             "A",
             capl::parse(
@@ -725,10 +743,7 @@ mod sysvar_tests {
         sim.set_sysvar("speed", 88);
         sim.add_node(
             "A",
-            capl::parse(
-                "variables { int v = 0; } on start { v = getValue(speed); }",
-            )
-            .unwrap(),
+            capl::parse("variables { int v = 0; } on start { v = getValue(speed); }").unwrap(),
         )
         .unwrap();
         sim.run_for(1_000).unwrap();

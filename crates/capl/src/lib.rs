@@ -45,7 +45,7 @@ mod error;
 mod lexer;
 mod parser;
 pub mod pretty;
-mod symbols;
+pub mod symbols;
 
 pub use error::{CaplError, Pos};
 pub use lexer::{lex, Token, TokenKind};

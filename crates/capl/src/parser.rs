@@ -9,7 +9,7 @@ use crate::lexer::{Token, TokenKind};
 /// # Errors
 ///
 /// [`CaplError::Parse`] on the first syntax error.
-pub fn parse_program(tokens: &[Token]) -> Result<Program, CaplError> {
+pub(crate) fn parse_program(tokens: &[Token]) -> Result<Program, CaplError> {
     let mut p = Parser { tokens, i: 0 };
     let mut program = Program::default();
     while !p.at_eof() {
@@ -761,7 +761,10 @@ mod tests {
     #[test]
     fn message_variable_declarations() {
         let p = parse(ECU_EXAMPLE);
-        assert_eq!(p.variables[0].ty, Type::Message(MsgRef::Name("reqSw".into())));
+        assert_eq!(
+            p.variables[0].ty,
+            Type::Message(MsgRef::Name("reqSw".into()))
+        );
         assert_eq!(p.variables[3].init, Some(Expr::Int(0)));
     }
 
@@ -801,7 +804,10 @@ mod tests {
                 }
             }",
         );
-        let Stmt::For { init, cond, step, .. } = &p.functions[0].body.stmts[1] else {
+        let Stmt::For {
+            init, cond, step, ..
+        } = &p.functions[0].body.stmts[1]
+        else {
             panic!();
         };
         assert!(init.is_some());
@@ -845,7 +851,10 @@ mod tests {
         let Stmt::Expr(Expr::Assign { value, .. }) = &p.functions[0].body.stmts[0] else {
             panic!();
         };
-        assert!(matches!(value.as_ref(), Expr::Binary { op: BinOp::And, .. }));
+        assert!(matches!(
+            value.as_ref(),
+            Expr::Binary { op: BinOp::And, .. }
+        ));
     }
 
     #[test]

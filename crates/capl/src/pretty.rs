@@ -232,7 +232,9 @@ pub fn expr(e: &Expr) -> String {
         Expr::Char(c) => format!("'{c}'"),
         Expr::Str(s) => format!(
             "\"{}\"",
-            s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+            s.replace('\\', "\\\\")
+                .replace('"', "\\\"")
+                .replace('\n', "\\n")
         ),
         Expr::Ident(n) => n.clone(),
         Expr::This => "this".into(),

@@ -1,28 +1,40 @@
 //! Symbol table construction and semantic diagnostics for CAPL programs.
+//!
+//! Diagnostics use the workspace-wide [`diag`] currency: each finding carries
+//! a stable `CAPL0xx` code, a severity and a best-effort source span, so the
+//! CLI and the `lint` crate can render and gate them uniformly.
 
 use std::collections::{HashMap, HashSet};
+
+use diag::{Code, Span};
+pub use diag::{Diagnostic, Severity};
 
 use crate::ast::*;
 use crate::error::Pos;
 
-/// Diagnostic severity.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Severity {
-    /// A definite error (e.g. undeclared variable).
-    Error,
-    /// A likely mistake (e.g. timer never set).
-    Warning,
-}
+/// `CAPL001` — a global variable is declared more than once.
+pub const DUPLICATE_GLOBAL: Code = Code("CAPL001");
+/// `CAPL002` — a name is used but never declared.
+pub const UNDECLARED_NAME: Code = Code("CAPL002");
+/// `CAPL003` — two handlers react to the same event.
+pub const DUPLICATE_HANDLER: Code = Code("CAPL003");
+/// `CAPL004` — `on timer t` where `t` is declared but not a timer.
+pub const NOT_A_TIMER: Code = Code("CAPL004");
+/// `CAPL005` — `on timer t` where `t` is not declared at all.
+pub const UNDECLARED_TIMER: Code = Code("CAPL005");
+/// `CAPL006` — `setTimer`/`cancelTimer` applied to a non-timer.
+pub const TIMER_CALL_ON_NON_TIMER: Code = Code("CAPL006");
+/// `CAPL007` — call to a function that is neither user-defined nor built in.
+pub const UNKNOWN_FUNCTION: Code = Code("CAPL007");
+/// `CAPL008` — `output()` of a name that is not a declared message variable.
+pub const UNDECLARED_MESSAGE: Code = Code("CAPL008");
+/// `CAPL009` — a timer has a handler but is never set, so it never fires.
+pub const TIMER_NEVER_SET: Code = Code("CAPL009");
 
-/// A semantic diagnostic.
-#[derive(Debug, Clone, PartialEq)]
-pub struct Diagnostic {
-    /// How severe the issue is.
-    pub severity: Severity,
-    /// Where it was detected (best effort).
-    pub pos: Pos,
-    /// Description.
-    pub message: String,
+/// Convert a CAPL source position into a diagnostic span covering `len`
+/// characters.
+pub fn span_at(pos: Pos, len: usize) -> Span {
+    Span::new(pos.line, pos.col, len.max(1) as u32)
 }
 
 /// The result of analysing a program: global symbols plus diagnostics.
@@ -75,11 +87,11 @@ pub fn analyze(program: &Program) -> SymbolReport {
             .insert(v.name.clone(), v.ty.clone())
             .is_some()
         {
-            report.diagnostics.push(Diagnostic {
-                severity: Severity::Error,
-                pos: v.pos,
-                message: format!("global `{}` declared twice", v.name),
-            });
+            report.diagnostics.push(Diagnostic::error(
+                DUPLICATE_GLOBAL,
+                span_at(v.pos, v.name.len()),
+                format!("global `{}` declared twice", v.name),
+            ));
         }
     }
 
@@ -87,11 +99,14 @@ pub fn analyze(program: &Program) -> SymbolReport {
     let mut seen_events: Vec<&EventKind> = Vec::new();
     for h in &program.handlers {
         if seen_events.contains(&&h.event) {
-            report.diagnostics.push(Diagnostic {
-                severity: Severity::Error,
-                pos: h.pos,
-                message: format!("duplicate handler for {:?}", h.event),
-            });
+            report.diagnostics.push(
+                Diagnostic::error(
+                    DUPLICATE_HANDLER,
+                    span_at(h.pos, 2),
+                    format!("duplicate handler for {:?}", h.event),
+                )
+                .with_note("only the first handler for an event is reachable"),
+            );
         }
         seen_events.push(&h.event);
     }
@@ -101,16 +116,16 @@ pub fn analyze(program: &Program) -> SymbolReport {
         if let EventKind::Timer(t) = &h.event {
             match report.globals.get(t) {
                 Some(Type::MsTimer | Type::Timer) => {}
-                Some(_) => report.diagnostics.push(Diagnostic {
-                    severity: Severity::Error,
-                    pos: h.pos,
-                    message: format!("`{t}` is not a timer variable"),
-                }),
-                None => report.diagnostics.push(Diagnostic {
-                    severity: Severity::Error,
-                    pos: h.pos,
-                    message: format!("timer `{t}` is not declared"),
-                }),
+                Some(_) => report.diagnostics.push(Diagnostic::error(
+                    NOT_A_TIMER,
+                    span_at(h.pos, 2),
+                    format!("`{t}` is not a timer variable"),
+                )),
+                None => report.diagnostics.push(Diagnostic::error(
+                    UNDECLARED_TIMER,
+                    span_at(h.pos, 2),
+                    format!("timer `{t}` is not declared"),
+                )),
             }
         }
     }
@@ -139,11 +154,14 @@ pub fn analyze(program: &Program) -> SymbolReport {
     for h in &program.handlers {
         if let EventKind::Timer(t) = &h.event {
             if !set_timers.contains(t) {
-                report.diagnostics.push(Diagnostic {
-                    severity: Severity::Warning,
-                    pos: h.pos,
-                    message: format!("timer `{t}` has a handler but is never set"),
-                });
+                report.diagnostics.push(
+                    Diagnostic::warning(
+                        TIMER_NEVER_SET,
+                        span_at(h.pos, 2),
+                        format!("timer `{t}` has a handler but is never set"),
+                    )
+                    .with_note("arm it with `setTimer` or the handler never runs"),
+                );
             }
         }
     }
@@ -180,12 +198,9 @@ impl<'a> Scope<'a> {
         self.locals.iter().any(|(n, _)| n == name) || self.globals.contains_key(name)
     }
 
-    fn error(&mut self, message: String) {
-        self.diagnostics.push(Diagnostic {
-            severity: Severity::Error,
-            pos: self.pos,
-            message,
-        });
+    fn error(&mut self, code: Code, message: String) {
+        self.diagnostics
+            .push(Diagnostic::error(code, span_at(self.pos, 2), message));
     }
 
     fn walk_block(&mut self, block: &Block) {
@@ -260,7 +275,7 @@ impl<'a> Scope<'a> {
             Expr::Int(_) | Expr::Float(_) | Expr::Char(_) | Expr::Str(_) | Expr::This => {}
             Expr::Ident(name) => {
                 if !self.known(name) {
-                    self.error(format!("`{name}` is not declared"));
+                    self.error(UNDECLARED_NAME, format!("`{name}` is not declared"));
                 }
             }
             Expr::Member { object, .. } => self.walk_expr(object),
@@ -277,7 +292,10 @@ impl<'a> Scope<'a> {
                                     self.set_timers.insert(t.clone());
                                 }
                             }
-                            _ => self.error(format!("`{t}` is not a declared timer")),
+                            _ => self.error(
+                                TIMER_CALL_ON_NON_TIMER,
+                                format!("`{t}` is not a declared timer"),
+                            ),
                         }
                     }
                     for a in args.iter().skip(1) {
@@ -294,13 +312,13 @@ impl<'a> Scope<'a> {
                             // Symbolic database names are allowed; this is
                             // only a warning because no database is attached
                             // at this stage.
-                            self.diagnostics.push(Diagnostic {
-                                severity: Severity::Warning,
-                                pos: self.pos,
-                                message: format!(
+                            self.diagnostics.push(Diagnostic::warning(
+                                UNDECLARED_MESSAGE,
+                                span_at(self.pos, 2),
+                                format!(
                                     "`{m}` is not a declared message variable; assuming it is a database message name"
                                 ),
-                            });
+                            ));
                         }
                     }
                     for a in args.iter().skip(1) {
@@ -309,7 +327,10 @@ impl<'a> Scope<'a> {
                     return;
                 }
                 if !BUILTINS.contains(&name.as_str()) && !self.functions.contains(name.as_str()) {
-                    self.error(format!("call to unknown function `{name}`"));
+                    self.error(
+                        UNKNOWN_FUNCTION,
+                        format!("call to unknown function `{name}`"),
+                    );
                 }
                 for a in args {
                     self.walk_expr(a);
@@ -352,24 +373,28 @@ mod tests {
     fn undeclared_variable_is_an_error() {
         let r = report("on start { ghost = 1; }");
         assert!(r.errors().any(|d| d.message.contains("ghost")));
+        assert!(r.errors().any(|d| d.code == UNDECLARED_NAME));
     }
 
     #[test]
     fn duplicate_global_is_an_error() {
         let r = report("variables { int x; int x; }");
         assert!(r.errors().any(|d| d.message.contains("declared twice")));
+        assert!(r.errors().any(|d| d.code == DUPLICATE_GLOBAL));
     }
 
     #[test]
     fn duplicate_handler_is_an_error() {
         let r = report("on start { } on start { }");
         assert!(r.errors().any(|d| d.message.contains("duplicate handler")));
+        assert!(r.errors().any(|d| d.code == DUPLICATE_HANDLER));
     }
 
     #[test]
     fn undeclared_timer_handler_is_an_error() {
         let r = report("on timer t { }");
         assert!(r.errors().any(|d| d.message.contains("not declared")));
+        assert!(r.errors().any(|d| d.code == UNDECLARED_TIMER));
     }
 
     #[test]
@@ -385,13 +410,17 @@ mod tests {
     #[test]
     fn set_timer_on_non_timer_is_an_error() {
         let r = report("variables { int t; } on start { setTimer(t, 5); }");
-        assert!(r.errors().any(|d| d.message.contains("not a declared timer")));
+        assert!(r
+            .errors()
+            .any(|d| d.message.contains("not a declared timer")));
+        assert!(r.errors().any(|d| d.code == TIMER_CALL_ON_NON_TIMER));
     }
 
     #[test]
     fn unknown_function_is_an_error() {
         let r = report("on start { launchMissiles(); }");
         assert!(r.errors().any(|d| d.message.contains("launchMissiles")));
+        assert!(r.errors().any(|d| d.code == UNKNOWN_FUNCTION));
     }
 
     #[test]
@@ -425,5 +454,12 @@ mod tests {
         let r = report("variables { int n = 0; }");
         assert_eq!(r.global("n"), Some(&Type::Int));
         assert_eq!(r.global("m"), None);
+    }
+
+    #[test]
+    fn diagnostics_carry_spans_from_source() {
+        let r = report("variables {\n  int x;\n  int x;\n}");
+        let dup = r.errors().find(|d| d.code == DUPLICATE_GLOBAL).unwrap();
+        assert_eq!(dup.span.line, 3, "{dup:?}");
     }
 }

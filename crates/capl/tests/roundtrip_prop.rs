@@ -9,9 +9,33 @@ fn ident() -> impl Strategy<Value = String> {
     // Avoid keywords and type names.
     "[a-z][a-zA-Z0-9_]{0,6}".prop_filter("keyword", |s| {
         ![
-            "on", "if", "else", "while", "for", "switch", "case", "default", "return", "break",
-            "continue", "int", "long", "byte", "word", "dword", "char", "float", "double",
-            "message", "msTimer", "timer", "void", "this", "includes", "variables", "output",
+            "on",
+            "if",
+            "else",
+            "while",
+            "for",
+            "switch",
+            "case",
+            "default",
+            "return",
+            "break",
+            "continue",
+            "int",
+            "long",
+            "byte",
+            "word",
+            "dword",
+            "char",
+            "float",
+            "double",
+            "message",
+            "msTimer",
+            "timer",
+            "void",
+            "this",
+            "includes",
+            "variables",
+            "output",
             "start",
         ]
         .contains(&s.as_str())
@@ -98,23 +122,21 @@ fn arb_stmt(depth: u32) -> BoxedStrategy<Stmt> {
         Just(Stmt::Break),
         Just(Stmt::Continue),
         proptest::option::of(arb_expr(1)).prop_map(Stmt::Return),
-        (scalar_type(), ident(), proptest::option::of(arb_expr(1))).prop_map(
-            |(ty, name, init)| Stmt::VarDecl(VarDecl {
+        (scalar_type(), ident(), proptest::option::of(arb_expr(1))).prop_map(|(ty, name, init)| {
+            Stmt::VarDecl(VarDecl {
                 ty,
                 name,
                 array: None,
                 init,
                 pos: capl::Pos::default(),
             })
-        ),
+        }),
     ];
     leaf.prop_recursive(depth, 12, 2, |inner| {
-        let blk = proptest::collection::vec(inner.clone(), 0..3)
-            .prop_map(|stmts| Block { stmts });
+        let blk = proptest::collection::vec(inner.clone(), 0..3).prop_map(|stmts| Block { stmts });
         prop_oneof![
-            (arb_expr(1), blk.clone(), proptest::option::of(blk.clone())).prop_map(
-                |(cond, then, els)| Stmt::If { cond, then, els }
-            ),
+            (arb_expr(1), blk.clone(), proptest::option::of(blk.clone()))
+                .prop_map(|(cond, then, els)| Stmt::If { cond, then, els }),
             (arb_expr(1), blk.clone()).prop_map(|(cond, body)| Stmt::While { cond, body }),
             blk.prop_map(Stmt::Block),
         ]

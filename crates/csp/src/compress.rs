@@ -32,6 +32,9 @@ pub struct Compressed {
 /// is the class of the original initial state. Process terms on quotient
 /// states are taken from an arbitrary class representative.
 pub fn quotient_bisim(lts: &Lts) -> Compressed {
+    // Re-blocking key: (old block, signature).
+    type SigKey<'a> = (usize, &'a BTreeSet<(Label, usize)>);
+
     let n = lts.state_count();
     // Start with one block: all states together.
     let mut block_of: Vec<usize> = vec![0; n];
@@ -49,7 +52,6 @@ pub fn quotient_bisim(lts: &Lts) -> Compressed {
             signatures.push(sig);
         }
         // Re-block by (old block, signature).
-        type SigKey<'a> = (usize, &'a BTreeSet<(Label, usize)>);
         let mut index: HashMap<SigKey<'_>, usize> = HashMap::new();
         let mut next_block_of = vec![0usize; n];
         let mut next_count = 0usize;
@@ -84,7 +86,7 @@ pub fn quotient_bisim(lts: &Lts) -> Compressed {
     let mut renumber: Vec<Option<usize>> = vec![None; block_count];
     renumber[init_block] = Some(0);
     let mut next = 1usize;
-    for slot in renumber.iter_mut() {
+    for slot in &mut renumber {
         if slot.is_none() {
             *slot = Some(next);
             next += 1;

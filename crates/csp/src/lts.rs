@@ -94,10 +94,7 @@ impl Lts {
     ///
     /// Panics if `states` and `transitions` have different lengths or are
     /// empty.
-    pub(crate) fn from_parts(
-        states: Vec<Process>,
-        transitions: Vec<Vec<(Label, StateId)>>,
-    ) -> Lts {
+    pub(crate) fn from_parts(states: Vec<Process>, transitions: Vec<Vec<(Label, StateId)>>) -> Lts {
         assert_eq!(states.len(), transitions.len());
         assert!(!states.is_empty());
         Lts {
@@ -218,7 +215,7 @@ mod tests {
 
     #[test]
     fn state_limit_is_enforced() {
-        let mut defs = Definitions::new();
+        let defs = Definitions::new();
         // A chain of 10 distinct prefix states.
         let p = Process::prefix_chain((0..10).map(e), Process::Stop);
         let err = Lts::build(p, &defs, 5).unwrap_err();

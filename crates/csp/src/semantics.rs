@@ -165,10 +165,9 @@ fn transitions_at(
                 // operator (`P = (a -> P) \ A`) reaches a fixed point
                 // instead of growing a new layer per unfolding.
                 let next = match succ {
-                    Process::Hide(inner, inner_hidden) => Process::Hide(
-                        inner,
-                        Arc::new(hidden.union(&inner_hidden)),
-                    ),
+                    Process::Hide(inner, inner_hidden) => {
+                        Process::Hide(inner, Arc::new(hidden.union(&inner_hidden)))
+                    }
                     other => Process::Hide(Arc::new(other), hidden.clone()),
                 };
                 out.push((new_label, next));
@@ -188,10 +187,9 @@ fn transitions_at(
                 };
                 // Collapse nested renaming (inner first, then outer).
                 let next = match succ {
-                    Process::Rename(inner, inner_map) => Process::Rename(
-                        inner,
-                        Arc::new(inner_map.then(map)),
-                    ),
+                    Process::Rename(inner, inner_map) => {
+                        Process::Rename(inner, Arc::new(inner_map.then(map)))
+                    }
                     other => Process::Rename(Arc::new(other), map.clone()),
                 };
                 out.push((new_label, next));
@@ -204,19 +202,13 @@ fn transitions_at(
                 if label.is_tick() {
                     out.push((Label::Tick, Process::Omega));
                 } else {
-                    out.push((
-                        label,
-                        Process::Interrupt(Arc::new(succ), right.clone()),
-                    ));
+                    out.push((label, Process::Interrupt(Arc::new(succ), right.clone())));
                 }
             }
             for (label, succ) in transitions_at(right, defs, depth)? {
                 if label.is_tau() {
                     // τ on the interrupting side does not resolve it.
-                    out.push((
-                        Label::Tau,
-                        Process::Interrupt(left.clone(), Arc::new(succ)),
-                    ));
+                    out.push((Label::Tau, Process::Interrupt(left.clone(), Arc::new(succ))));
                 } else {
                     out.push((label, succ));
                 }
@@ -227,10 +219,9 @@ fn transitions_at(
             let mut out = Vec::new();
             for (label, succ) in transitions_at(left, defs, depth)? {
                 match label {
-                    Label::Tau => out.push((
-                        Label::Tau,
-                        Process::Timeout(Arc::new(succ), right.clone()),
-                    )),
+                    Label::Tau => {
+                        out.push((Label::Tau, Process::Timeout(Arc::new(succ), right.clone())));
+                    }
                     // A visible action (or ✓) of P resolves in P's favour.
                     other => out.push((other, succ)),
                 }
@@ -256,7 +247,11 @@ mod tests {
     }
 
     fn labels(p: &Process, defs: &Definitions) -> Vec<Label> {
-        transitions(p, defs).unwrap().into_iter().map(|(l, _)| l).collect()
+        transitions(p, defs)
+            .unwrap()
+            .into_iter()
+            .map(|(l, _)| l)
+            .collect()
     }
 
     #[test]

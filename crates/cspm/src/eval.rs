@@ -14,9 +14,7 @@ use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 
 use csp::{Alphabet, DefId, Definitions, EventId, EventSet, Process, RenameMap};
 
-use crate::ast::{
-    BinOp, Ctor, Decl, Expr, EventPattern, FieldPat, Module, ReplOp, TypeExpr, UnOp,
-};
+use crate::ast::{BinOp, Ctor, Decl, EventPattern, Expr, FieldPat, Module, ReplOp, TypeExpr, UnOp};
 use crate::error::CspmError;
 
 /// A CSPm runtime value.
@@ -139,8 +137,14 @@ impl Ord for Value {
             (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
             (Value::Data(n1, f1), Value::Data(n2, f2)) => n1.cmp(n2).then_with(|| f1.cmp(f2)),
             (
-                Value::CtorRef { name: n1, arity: a1 },
-                Value::CtorRef { name: n2, arity: a2 },
+                Value::CtorRef {
+                    name: n1,
+                    arity: a1,
+                },
+                Value::CtorRef {
+                    name: n2,
+                    arity: a2,
+                },
             ) => n1.cmp(n2).then_with(|| a1.cmp(a2)),
             (Value::Set(a), Value::Set(b)) => a.cmp(b),
             (Value::Seq(a), Value::Seq(b)) => a.cmp(b),
@@ -150,9 +154,7 @@ impl Ord for Value {
             // Processes are ordered by their (structural) debug rendering;
             // sets of processes are not supported as data, this keeps the
             // ordering total.
-            (Value::Process(a), Value::Process(b)) => {
-                format!("{a:?}").cmp(&format!("{b:?}"))
-            }
+            (Value::Process(a), Value::Process(b)) => format!("{a:?}").cmp(&format!("{b:?}")),
             (a, b) => variant_rank(a).cmp(&variant_rank(b)),
         }
     }
@@ -222,7 +224,11 @@ impl Evaluator {
                     }
                 }
                 Decl::Datatype { name, ctors } => {
-                    if ev.datatypes_raw.insert(name.clone(), ctors.clone()).is_some() {
+                    if ev
+                        .datatypes_raw
+                        .insert(name.clone(), ctors.clone())
+                        .is_some()
+                    {
                         return Err(CspmError::eval(format!("datatype `{name}` redeclared")));
                     }
                     for c in ctors {
@@ -1382,7 +1388,9 @@ mod tests {
              channel d : {0..2}\n\
              P = c?x -> d!x -> STOP",
         );
-        let Value::Process(p) = &named["P"] else { panic!() };
+        let Value::Process(p) = &named["P"] else {
+            panic!()
+        };
         let lts = csp::Lts::build(p.clone(), &ev.defs, 1000).unwrap();
         // initial state offers c.0, c.1, c.2
         assert_eq!(lts.edges(lts.initial()).len(), 3);
@@ -1394,7 +1402,9 @@ mod tests {
             "channel c : {0..5}\n\
              P = c?x:{0..1} -> STOP",
         );
-        let Value::Process(p) = &named["P"] else { panic!() };
+        let Value::Process(p) = &named["P"] else {
+            panic!()
+        };
         let lts = csp::Lts::build(p.clone(), &ev.defs, 1000).unwrap();
         assert_eq!(lts.edges(lts.initial()).len(), 2);
     }
@@ -1406,7 +1416,9 @@ mod tests {
              P(n) = n < 3 & c.n -> P(n + 1)\n\
              Q = P(0)",
         );
-        let Value::Process(p) = &named["Q"] else { panic!() };
+        let Value::Process(p) = &named["Q"] else {
+            panic!()
+        };
         let lts = csp::Lts::build(p.clone(), &ev.defs, 1000).unwrap();
         // c.0 c.1 c.2 then STOP
         assert_eq!(lts.state_count(), 4);
@@ -1421,7 +1433,9 @@ mod tests {
              P(n) = n >= 0 & c.0 -> P(n - 1)\n\
              Q = P(0)",
         );
-        let Value::Process(p) = &named["Q"] else { panic!() };
+        let Value::Process(p) = &named["Q"] else {
+            panic!()
+        };
         let lts = csp::Lts::build(p.clone(), &ev.defs, 1000).unwrap();
         // Var(Q) --c.0--> Var(P(-1)) which is STOP-like (guard false).
         assert_eq!(lts.state_count(), 2);
@@ -1452,11 +1466,15 @@ mod tests {
              P = comm.Msg1.alice -> STOP\n\
              Q = comm?p -> STOP",
         );
-        let Value::Process(p) = &named["P"] else { panic!() };
+        let Value::Process(p) = &named["P"] else {
+            panic!()
+        };
         let lts = csp::Lts::build(p.clone(), &ev.defs, 100).unwrap();
         assert_eq!(lts.edges(lts.initial()).len(), 1);
         assert!(ev.alphabet.lookup("comm.Msg1.alice").is_some());
-        let Value::Process(q) = &named["Q"] else { panic!() };
+        let Value::Process(q) = &named["Q"] else {
+            panic!()
+        };
         let lts = csp::Lts::build(q.clone(), &ev.defs, 100).unwrap();
         // Msg1.alice, Msg1.bob, Done
         assert_eq!(lts.edges(lts.initial()).len(), 3);
@@ -1483,7 +1501,9 @@ mod tests {
              ECU = send?m -> rec.rptSw -> ECU\n\
              SYSTEM = VMG [| {| send, rec |} |] ECU",
         );
-        let Value::Process(p) = &named["SYSTEM"] else { panic!() };
+        let Value::Process(p) = &named["SYSTEM"] else {
+            panic!()
+        };
         let lts = csp::Lts::build(p.clone(), &ev.defs, 1000).unwrap();
         // Var(SYSTEM), the mid-exchange state, and the recursive
         // Parallel(Var VMG, Var ECU) state.
@@ -1497,7 +1517,9 @@ mod tests {
             "channel c : {0..3}\n\
              P = [] x : {0..3} @ c.x -> STOP",
         );
-        let Value::Process(p) = &named["P"] else { panic!() };
+        let Value::Process(p) = &named["P"] else {
+            panic!()
+        };
         let lts = csp::Lts::build(p.clone(), &ev.defs, 100).unwrap();
         assert_eq!(lts.edges(lts.initial()).len(), 4);
     }
@@ -1510,7 +1532,9 @@ mod tests {
              P = c.0 -> d -> STOP\n\
              Q = P \\ {| c |}",
         );
-        let Value::Process(q) = &named["Q"] else { panic!() };
+        let Value::Process(q) = &named["Q"] else {
+            panic!()
+        };
         let lts = csp::Lts::build(q.clone(), &ev.defs, 100).unwrap();
         let edges = lts.edges(lts.initial());
         assert!(edges[0].0.is_tau());
@@ -1523,7 +1547,9 @@ mod tests {
              P = c.0 -> STOP\n\
              Q = P [[ c.0 <- d.1 ]]",
         );
-        let Value::Process(q) = &named["Q"] else { panic!() };
+        let Value::Process(q) = &named["Q"] else {
+            panic!()
+        };
         let lts = csp::Lts::build(q.clone(), &ev.defs, 100).unwrap();
         let (label, _) = lts.edges(lts.initial())[0];
         assert_eq!(ev.alphabet.name(label.event().unwrap()), "d.1");
@@ -1536,7 +1562,9 @@ mod tests {
              P = c.0 -> c.1 -> STOP\n\
              Q = P [[ c <- d ]]",
         );
-        let Value::Process(q) = &named["Q"] else { panic!() };
+        let Value::Process(q) = &named["Q"] else {
+            panic!()
+        };
         let lts = csp::Lts::build(q.clone(), &ev.defs, 100).unwrap();
         let (label, _) = lts.edges(lts.initial())[0];
         assert_eq!(ev.alphabet.name(label.event().unwrap()), "d.0");
@@ -1592,7 +1620,9 @@ mod tests {
             "channel a, b\n\
              P = (a -> SKIP) ; b -> STOP",
         );
-        let Value::Process(p) = &named["P"] else { panic!() };
+        let Value::Process(p) = &named["P"] else {
+            panic!()
+        };
         let lts = csp::Lts::build(p.clone(), &ev.defs, 100).unwrap();
         // a, tau (tick of SKIP converted), b
         let a = ev.alphabet.lookup("a").unwrap();
@@ -1607,7 +1637,9 @@ mod tests {
              P = a -> Q\n\
              Q = b -> P",
         );
-        let Value::Process(p) = &named["P"] else { panic!() };
+        let Value::Process(p) = &named["P"] else {
+            panic!()
+        };
         let lts = csp::Lts::build(p.clone(), &ev.defs, 100).unwrap();
         assert_eq!(lts.state_count(), 2);
     }
@@ -1684,7 +1716,9 @@ mod interrupt_timeout_tests {
             "channel a, b, k\n\
              P = (a -> b -> STOP) /\\ (k -> STOP)",
         );
-        let Value::Process(p) = &named["P"] else { panic!() };
+        let Value::Process(p) = &named["P"] else {
+            panic!()
+        };
         let lts = csp::Lts::build(p.clone(), &ev.defs, 1000).unwrap();
         let a = ev.alphabet.lookup("a").unwrap();
         let b = ev.alphabet.lookup("b").unwrap();
@@ -1700,7 +1734,9 @@ mod interrupt_timeout_tests {
             "channel a, b\n\
              P = (a -> STOP) [> (b -> STOP)",
         );
-        let Value::Process(p) = &named["P"] else { panic!() };
+        let Value::Process(p) = &named["P"] else {
+            panic!()
+        };
         let lts = csp::Lts::build(p.clone(), &ev.defs, 1000).unwrap();
         let a = ev.alphabet.lookup("a").unwrap();
         let b = ev.alphabet.lookup("b").unwrap();
@@ -1712,7 +1748,9 @@ mod interrupt_timeout_tests {
     fn precedence_prefix_binds_tighter_than_interrupt() {
         // a -> STOP /\ k -> STOP must parse as (a->STOP) /\ (k->STOP).
         let (ev, named) = load("channel a, k\nP = a -> STOP /\\ k -> STOP");
-        let Value::Process(p) = &named["P"] else { panic!() };
+        let Value::Process(p) = &named["P"] else {
+            panic!()
+        };
         let lts = csp::Lts::build(p.clone(), &ev.defs, 1000).unwrap();
         let k = ev.alphabet.lookup("k").unwrap();
         assert!(csp::traces::has_trace(&lts, &[k]));

@@ -169,7 +169,7 @@ impl<'a> Cursor<'a> {
 ///
 /// Returns [`CspmError::Lex`] on an unexpected character or unterminated
 /// block comment.
-pub fn lex(source: &str) -> Result<Vec<Token>, CspmError> {
+pub(crate) fn lex(source: &str) -> Result<Vec<Token>, CspmError> {
     let mut cur = Cursor::new(source);
     let mut out = Vec::new();
     loop {
@@ -589,7 +589,11 @@ mod fd_token_tests {
 
     #[test]
     fn fd_refinement_token() {
-        let ks: Vec<TokenKind> = lex("P [FD= Q").unwrap().into_iter().map(|t| t.kind).collect();
+        let ks: Vec<TokenKind> = lex("P [FD= Q")
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect();
         assert_eq!(ks[1], TokenKind::RefinesFailuresDivergences);
     }
 }

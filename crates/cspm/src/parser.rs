@@ -26,7 +26,7 @@ use crate::lexer::{Token, TokenKind};
 /// # Errors
 ///
 /// [`CspmError::Parse`] on the first syntax error.
-pub fn parse_module(tokens: &[Token]) -> Result<Module, CspmError> {
+pub(crate) fn parse_module(tokens: &[Token]) -> Result<Module, CspmError> {
     let mut p = Parser { tokens, i: 0 };
     let mut decls = Vec::new();
     while !p.at_eof() {
@@ -721,9 +721,7 @@ impl<'a> Parser<'a> {
             match f {
                 FieldPat::Dot(e) | FieldPat::Output(e) => values.push(e),
                 FieldPat::Input { var, .. } => {
-                    return self.err(format!(
-                        "input `?{var}` is only allowed in an event prefix"
-                    ));
+                    return self.err(format!("input `?{var}` is only allowed in an event prefix"));
                 }
             }
         }
@@ -921,9 +919,13 @@ mod tests {
         let Expr::Prefix { event, .. } = e else {
             panic!();
         };
-        assert!(
-            matches!(&event.fields[0], FieldPat::Input { restrict: Some(_), .. })
-        );
+        assert!(matches!(
+            &event.fields[0],
+            FieldPat::Input {
+                restrict: Some(_),
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -973,7 +975,9 @@ mod tests {
     fn dotted_value_expression() {
         let e = parse_expr("{ Msg1.a.b }");
         let Expr::SetLit(items) = e else { panic!() };
-        assert!(matches!(&items[0], Expr::Dotted { name, fields } if name == "Msg1" && fields.len() == 2));
+        assert!(
+            matches!(&items[0], Expr::Dotted { name, fields } if name == "Msg1" && fields.len() == 2)
+        );
     }
 
     #[test]
@@ -981,19 +985,18 @@ mod tests {
         let e = parse_expr("<1, 2>");
         assert!(matches!(e, Expr::SeqLit(ref v) if v.len() == 2));
         let e = parse_expr("x < 2");
-        assert!(matches!(
-            e,
-            Expr::Binary {
-                op: BinOp::Lt,
-                ..
-            }
-        ));
+        assert!(matches!(e, Expr::Binary { op: BinOp::Lt, .. }));
     }
 
     #[test]
     fn arithmetic_precedence() {
         let e = parse_expr("1 + 2 * 3");
-        let Expr::Binary { op: BinOp::Add, rhs, .. } = e else {
+        let Expr::Binary {
+            op: BinOp::Add,
+            rhs,
+            ..
+        } = e
+        else {
             panic!();
         };
         assert!(matches!(*rhs, Expr::Binary { op: BinOp::Mul, .. }));

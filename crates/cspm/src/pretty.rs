@@ -23,13 +23,7 @@ pub fn decl(d: &Decl) -> String {
             let mut s = format!("channel {}", names.join(", "));
             if !fields.is_empty() {
                 s.push_str(" : ");
-                s.push_str(
-                    &fields
-                        .iter()
-                        .map(type_expr)
-                        .collect::<Vec<_>>()
-                        .join("."),
-                );
+                s.push_str(&fields.iter().map(type_expr).collect::<Vec<_>>().join("."));
             }
             s
         }

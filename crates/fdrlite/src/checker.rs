@@ -567,7 +567,9 @@ mod tests {
     fn unexpected_termination_is_a_trace_violation() {
         let defs = Definitions::new();
         let spec = Process::prefix(e(0), Process::Stop);
-        let v = checker().trace_refinement(&spec, &Process::Skip, &defs).unwrap();
+        let v = checker()
+            .trace_refinement(&spec, &Process::Skip, &defs)
+            .unwrap();
         assert_eq!(
             v.counterexample().unwrap().kind(),
             &FailureKind::TraceViolation { event: None }
@@ -593,10 +595,7 @@ mod tests {
             .is_pass());
         let v = checker().failures_refinement(&spec, &impl_, &defs).unwrap();
         let cex = v.counterexample().expect("⊑F must fail");
-        assert!(matches!(
-            cex.kind(),
-            FailureKind::RefusalViolation { .. }
-        ));
+        assert!(matches!(cex.kind(), FailureKind::RefusalViolation { .. }));
         assert!(cex.trace().is_empty());
     }
 
@@ -607,7 +606,10 @@ mod tests {
             Process::prefix(e(0), Process::Stop),
             Process::prefix(e(1), Process::Stop),
         );
-        assert!(checker().failures_refinement(&p, &p, &defs).unwrap().is_pass());
+        assert!(checker()
+            .failures_refinement(&p, &p, &defs)
+            .unwrap()
+            .is_pass());
     }
 
     #[test]
@@ -767,10 +769,7 @@ mod fd_and_compression_tests {
         );
         let spec = Process::prefix(
             e(0),
-            Process::external_choice(
-                Process::prefix(e(0), Process::Stop),
-                Process::Stop,
-            ),
+            Process::external_choice(Process::prefix(e(0), Process::Stop), Process::Stop),
         );
         let plain = Checker::new().trace_refinement(&spec, &imp, &defs).unwrap();
         let mut b = CheckerBuilder::new();

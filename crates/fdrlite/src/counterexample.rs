@@ -111,7 +111,10 @@ impl fmt::Display for CounterexampleDisplay<'_> {
                 )
             }
             FailureKind::TraceViolation { event: None } => {
-                write!(f, ", the implementation terminates but the specification forbids ✓")
+                write!(
+                    f,
+                    ", the implementation terminates but the specification forbids ✓"
+                )
             }
             FailureKind::RefusalViolation {
                 accepted,

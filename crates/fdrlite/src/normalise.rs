@@ -231,11 +231,7 @@ fn minimal_acceptances(mut accs: Vec<Acceptance>) -> Vec<Acceptance> {
     accs.dedup();
     let keep: Vec<bool> = accs
         .iter()
-        .map(|a| {
-            !accs
-                .iter()
-                .any(|b| b != a && b.is_subset(a))
-        })
+        .map(|a| !accs.iter().any(|b| b != a && b.is_subset(a)))
         .collect();
     accs.into_iter()
         .zip(keep)
@@ -336,6 +332,9 @@ mod tests {
         let p = Process::prefix_chain((0..20).map(e), Process::Stop);
         let lts = Lts::build(p, &Definitions::new(), 1_000).unwrap();
         let err = NormalisedLts::build(&lts, 3).unwrap_err();
-        assert!(matches!(err, CheckError::NormalisationExceeded { limit: 3 }));
+        assert!(matches!(
+            err,
+            CheckError::NormalisationExceeded { limit: 3 }
+        ));
     }
 }

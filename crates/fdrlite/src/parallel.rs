@@ -150,9 +150,7 @@ mod tests {
         let defs = Definitions::new();
         let n = 7;
         let components: Vec<Process> = (0..n)
-            .map(|i| {
-                Process::prefix(e(2 * i), Process::prefix(e(2 * i + 1), Process::Stop))
-            })
+            .map(|i| Process::prefix(e(2 * i), Process::prefix(e(2 * i + 1), Process::Stop)))
             .collect();
         let impl_ = Process::interleave_all(components);
         let mut specdefs = Definitions::new();

@@ -66,18 +66,10 @@ pub fn request_response_with_noise(
     let idle = defs.declare(&format!("{name}_idle"));
     let busy = defs.declare(&format!("{name}_busy"));
     let mut idle_branches = vec![Process::prefix(request, Process::var(busy))];
-    idle_branches.extend(
-        other
-            .iter()
-            .map(|e| Process::prefix(e, Process::var(idle))),
-    );
+    idle_branches.extend(other.iter().map(|e| Process::prefix(e, Process::var(idle))));
     defs.define(idle, Process::external_choice_all(idle_branches));
     let mut busy_branches = vec![Process::prefix(response, Process::var(idle))];
-    busy_branches.extend(
-        other
-            .iter()
-            .map(|e| Process::prefix(e, Process::var(busy))),
-    );
+    busy_branches.extend(other.iter().map(|e| Process::prefix(e, Process::var(busy))));
     defs.define(busy, Process::external_choice_all(busy_branches));
     Process::var(idle)
 }
@@ -156,7 +148,9 @@ mod tests {
         let forbidden = EventSet::singleton(e(2));
         let spec = never(&mut defs, "NEVER", &universe, &forbidden);
         let impl_ = Process::prefix_chain([e(0), e(2)], Process::Stop);
-        let v = Checker::new().trace_refinement(&spec, &impl_, &defs).unwrap();
+        let v = Checker::new()
+            .trace_refinement(&spec, &impl_, &defs)
+            .unwrap();
         assert_eq!(
             v.counterexample().unwrap().kind(),
             &FailureKind::TraceViolation { event: Some(e(2)) }
@@ -174,7 +168,10 @@ mod tests {
         );
         let c = Checker::new();
         assert!(c.trace_refinement(&spec, &impl_, &defs).unwrap().is_pass());
-        assert!(c.failures_refinement(&spec, &impl_, &defs).unwrap().is_pass());
+        assert!(c
+            .failures_refinement(&spec, &impl_, &defs)
+            .unwrap()
+            .is_pass());
     }
 
     #[test]
@@ -182,7 +179,9 @@ mod tests {
         let mut defs = Definitions::new();
         let spec = request_response(&mut defs, "SP02", e(0), e(1));
         let impl_ = Process::prefix_chain([e(0), e(1), e(1)], Process::Stop);
-        let v = Checker::new().trace_refinement(&spec, &impl_, &defs).unwrap();
+        let v = Checker::new()
+            .trace_refinement(&spec, &impl_, &defs)
+            .unwrap();
         assert!(!v.is_pass());
     }
 
@@ -307,7 +306,10 @@ mod timed_tests {
         let s = spec(&mut defs, 2);
         // req, tock, rsp — one tock used of two.
         let ok = Process::prefix_chain([e(0), e(2), e(1)], Process::Stop);
-        assert!(Checker::new().trace_refinement(&s, &ok, &defs).unwrap().is_pass());
+        assert!(Checker::new()
+            .trace_refinement(&s, &ok, &defs)
+            .unwrap()
+            .is_pass());
     }
 
     #[test]
@@ -356,7 +358,8 @@ mod timed_tests {
         assert!(
             v.is_pass(),
             "{:?}",
-            v.counterexample().map(|c| c.display(loaded.alphabet()).to_string())
+            v.counterexample()
+                .map(|c| c.display(loaded.alphabet()).to_string())
         );
     }
 }

@@ -1,0 +1,732 @@
+//! CAPL program lints beyond the frontend's symbol pass.
+//!
+//! [`lint_program`] re-reports everything `capl::analyze` finds (the
+//! `CAPL001`–`CAPL009` symbol diagnostics) and layers on:
+//!
+//! - `CAPL010` — timers armed with `setTimer` that have no `on timer` handler,
+//! - `CAPL011` — conservative use-before-initialisation dataflow over locals,
+//! - `CAPL012` — dead stores (locals assigned but never read),
+//! - `CAPL013` — statements unreachable after `return`/`break`/`continue`.
+//!
+//! The dataflow is a straight-line abstract interpretation with three-point
+//! states (`No`/`Maybe`/`Yes`) joined at control-flow merges; anything merged
+//! becomes `Maybe`, which never fires, so the pass errs towards silence.
+
+use std::collections::{HashMap, HashSet};
+
+use capl::ast::{Block, EventKind, Expr, Program, Stmt, Type, VarDecl};
+use capl::symbols::span_at;
+use capl::Pos;
+use diag::Diagnostic;
+
+use crate::codes;
+
+/// All CAPL lints for `program`: the symbol pass plus the dataflow lints.
+pub fn lint_program(program: &Program) -> Vec<Diagnostic> {
+    let mut out = capl::analyze(program).diagnostics().to_vec();
+    timer_pairing(program, &mut out);
+    for h in &program.handlers {
+        body_lints(&h.body, &[], h.pos, &mut out);
+    }
+    for f in &program.functions {
+        body_lints(&f.body, &f.params, f.pos, &mut out);
+    }
+    out
+}
+
+/// `CAPL010`: a timer armed somewhere but with no `on timer` handler never
+/// does anything when it expires.
+fn timer_pairing(program: &Program, out: &mut Vec<Diagnostic>) {
+    let timer_decls: HashMap<&str, &VarDecl> = program
+        .variables
+        .iter()
+        .filter(|v| matches!(v.ty, Type::MsTimer | Type::Timer))
+        .map(|v| (v.name.as_str(), v))
+        .collect();
+    let handled: HashSet<&str> = program
+        .handlers
+        .iter()
+        .filter_map(|h| match &h.event {
+            EventKind::Timer(t) => Some(t.as_str()),
+            _ => None,
+        })
+        .collect();
+
+    let mut armed: Vec<&str> = Vec::new();
+    let mut collect = |e: &Expr| {
+        if let Expr::Call { name, args } = e {
+            if name == "setTimer" {
+                if let Some(Expr::Ident(t)) = args.first() {
+                    if let Some(v) = timer_decls.get(t.as_str()) {
+                        armed.push_unique(&v.name);
+                    }
+                }
+            }
+        }
+    };
+    for h in &program.handlers {
+        visit_exprs(&h.body, &mut collect);
+    }
+    for f in &program.functions {
+        visit_exprs(&f.body, &mut collect);
+    }
+
+    for t in armed {
+        if !handled.contains(t) {
+            let v = timer_decls[t];
+            out.push(
+                Diagnostic::warning(
+                    codes::TIMER_WITHOUT_HANDLER,
+                    span_at(v.pos, v.name.len()),
+                    format!("timer `{t}` is set but has no `on timer {t}` handler"),
+                )
+                .with_note("the expiry event is silently dropped"),
+            );
+        }
+    }
+}
+
+trait PushUnique<'a> {
+    fn push_unique(&mut self, item: &'a str);
+}
+
+impl<'a> PushUnique<'a> for Vec<&'a str> {
+    fn push_unique(&mut self, item: &'a str) {
+        if !self.contains(&item) {
+            self.push(item);
+        }
+    }
+}
+
+/// Apply `f` to every expression in `block`, recursively.
+pub(crate) fn visit_exprs(block: &Block, f: &mut impl FnMut(&Expr)) {
+    for s in &block.stmts {
+        visit_stmt_exprs(s, f);
+    }
+}
+
+fn visit_stmt_exprs(s: &Stmt, f: &mut impl FnMut(&Expr)) {
+    match s {
+        Stmt::VarDecl(v) => {
+            if let Some(init) = &v.init {
+                visit_expr(init, f);
+            }
+        }
+        Stmt::Expr(e) => visit_expr(e, f),
+        Stmt::If { cond, then, els } => {
+            visit_expr(cond, f);
+            visit_exprs(then, f);
+            if let Some(e) = els {
+                visit_exprs(e, f);
+            }
+        }
+        Stmt::While { cond, body } => {
+            visit_expr(cond, f);
+            visit_exprs(body, f);
+        }
+        Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+        } => {
+            if let Some(i) = init {
+                visit_stmt_exprs(i, f);
+            }
+            if let Some(c) = cond {
+                visit_expr(c, f);
+            }
+            if let Some(st) = step {
+                visit_expr(st, f);
+            }
+            visit_exprs(body, f);
+        }
+        Stmt::Switch {
+            scrutinee,
+            cases,
+            default,
+        } => {
+            visit_expr(scrutinee, f);
+            for (k, b) in cases {
+                visit_expr(k, f);
+                visit_exprs(b, f);
+            }
+            if let Some(d) = default {
+                visit_exprs(d, f);
+            }
+        }
+        Stmt::Return(Some(e)) => visit_expr(e, f),
+        Stmt::Return(None) | Stmt::Break | Stmt::Continue => {}
+        Stmt::Block(b) => visit_exprs(b, f),
+    }
+}
+
+fn visit_expr(e: &Expr, f: &mut impl FnMut(&Expr)) {
+    f(e);
+    match e {
+        Expr::Member { object, .. } => visit_expr(object, f),
+        Expr::Index { array, index } => {
+            visit_expr(array, f);
+            visit_expr(index, f);
+        }
+        Expr::Call { args, .. } => {
+            for a in args {
+                visit_expr(a, f);
+            }
+        }
+        Expr::Unary { expr, .. } => visit_expr(expr, f),
+        Expr::Binary { lhs, rhs, .. } => {
+            visit_expr(lhs, f);
+            visit_expr(rhs, f);
+        }
+        Expr::Assign { target, value } => {
+            visit_expr(target, f);
+            visit_expr(value, f);
+        }
+        _ => {}
+    }
+}
+
+/// Per-body lints: use-before-init, dead stores, unreachable statements.
+fn body_lints(body: &Block, params: &[(Type, String)], anchor: Pos, out: &mut Vec<Diagnostic>) {
+    // Use-before-init dataflow.
+    let mut flow = Flow {
+        locals: Vec::new(),
+        decl_pos: HashMap::new(),
+        reported: HashSet::new(),
+        out,
+    };
+    for (_, name) in params {
+        flow.locals.push((name.clone(), Init::Yes));
+    }
+    flow.walk_block(body);
+
+    dead_stores(body, out);
+    unreachable_stmts(body, anchor, out);
+}
+
+/// `CAPL012`: locals that are written (initialised or assigned) but whose
+/// value is never read anywhere in the body. Counting is name-based and
+/// whole-body, so loops and shadowing can only suppress findings, never
+/// invent them.
+fn dead_stores(body: &Block, out: &mut Vec<Diagnostic>) {
+    struct Usage {
+        decl: Option<Pos>,
+        written: bool,
+        read: bool,
+    }
+    fn scan_block(b: &Block, usage: &mut HashMap<String, Usage>) {
+        for s in &b.stmts {
+            scan_stmt(s, usage);
+        }
+    }
+    fn scan_stmt(s: &Stmt, usage: &mut HashMap<String, Usage>) {
+        match s {
+            Stmt::VarDecl(v) => {
+                if let Some(init) = &v.init {
+                    scan_read(init, usage);
+                }
+                let entry = usage.entry(v.name.clone()).or_insert(Usage {
+                    decl: None,
+                    written: false,
+                    read: false,
+                });
+                entry.decl.get_or_insert(v.pos);
+                entry.written |= v.init.is_some();
+            }
+            Stmt::Expr(e) => scan_read(e, usage),
+            Stmt::If { cond, then, els } => {
+                scan_read(cond, usage);
+                scan_block(then, usage);
+                if let Some(e) = els {
+                    scan_block(e, usage);
+                }
+            }
+            Stmt::While { cond, body } => {
+                scan_read(cond, usage);
+                scan_block(body, usage);
+            }
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                if let Some(i) = init {
+                    scan_stmt(i, usage);
+                }
+                if let Some(c) = cond {
+                    scan_read(c, usage);
+                }
+                if let Some(st) = step {
+                    scan_read(st, usage);
+                }
+                scan_block(body, usage);
+            }
+            Stmt::Switch {
+                scrutinee,
+                cases,
+                default,
+            } => {
+                scan_read(scrutinee, usage);
+                for (k, b) in cases {
+                    scan_read(k, usage);
+                    scan_block(b, usage);
+                }
+                if let Some(d) = default {
+                    scan_block(d, usage);
+                }
+            }
+            Stmt::Return(Some(e)) => scan_read(e, usage),
+            Stmt::Return(None) | Stmt::Break | Stmt::Continue => {}
+            Stmt::Block(b) => scan_block(b, usage),
+        }
+    }
+    /// Mark reads within `e`; a plain identifier assignment target is a write.
+    fn scan_read(e: &Expr, usage: &mut HashMap<String, Usage>) {
+        match e {
+            Expr::Assign { target, value } => {
+                scan_read(value, usage);
+                match &**target {
+                    Expr::Ident(x) => {
+                        if let Some(u) = usage.get_mut(x) {
+                            u.written = true;
+                        }
+                    }
+                    other => scan_read(other, usage),
+                }
+            }
+            Expr::Ident(x) => {
+                if let Some(u) = usage.get_mut(x) {
+                    u.read = true;
+                }
+            }
+            Expr::Member { object, .. } => scan_read(object, usage),
+            Expr::Index { array, index } => {
+                scan_read(array, usage);
+                scan_read(index, usage);
+            }
+            Expr::Call { args, .. } => {
+                for a in args {
+                    scan_read(a, usage);
+                }
+            }
+            Expr::Unary { expr, .. } => scan_read(expr, usage),
+            Expr::Binary { lhs, rhs, .. } => {
+                scan_read(lhs, usage);
+                scan_read(rhs, usage);
+            }
+            _ => {}
+        }
+    }
+
+    let mut usage: HashMap<String, Usage> = HashMap::new();
+    scan_block(body, &mut usage);
+    let mut findings: Vec<(&String, &Usage)> =
+        usage.iter().filter(|(_, u)| u.written && !u.read).collect();
+    findings.sort_by_key(|(name, _)| name.as_str());
+    for (name, u) in findings {
+        let pos = u.decl.unwrap_or_default();
+        out.push(
+            Diagnostic::warning(
+                codes::DEAD_STORE,
+                span_at(pos, name.len()),
+                format!("value of local `{name}` is never read"),
+            )
+            .with_note("remove the variable or the stores into it"),
+        );
+    }
+}
+
+/// `CAPL013`: statements following an unconditional `return`, `break` or
+/// `continue` in the same block never execute.
+fn unreachable_stmts(body: &Block, anchor: Pos, out: &mut Vec<Diagnostic>) {
+    fn terminates(s: &Stmt) -> bool {
+        match s {
+            Stmt::Return(_) | Stmt::Break | Stmt::Continue => true,
+            Stmt::Block(b) => block_terminates(b),
+            Stmt::If {
+                then, els: Some(e), ..
+            } => block_terminates(then) && block_terminates(e),
+            _ => false,
+        }
+    }
+    fn block_terminates(b: &Block) -> bool {
+        b.stmts.iter().any(terminates)
+    }
+    fn walk(b: &Block, anchor: Pos, out: &mut Vec<Diagnostic>) {
+        if let Some(i) = b.stmts.iter().position(terminates) {
+            if i + 1 < b.stmts.len() {
+                out.push(Diagnostic::warning(
+                    codes::UNREACHABLE_CODE,
+                    span_at(anchor, 2),
+                    format!(
+                        "unreachable statement{}: control flow cannot pass the preceding exit",
+                        if b.stmts.len() - i > 2 { "s" } else { "" }
+                    ),
+                ));
+            }
+        }
+        for s in &b.stmts {
+            match s {
+                Stmt::If { then, els, .. } => {
+                    walk(then, anchor, out);
+                    if let Some(e) = els {
+                        walk(e, anchor, out);
+                    }
+                }
+                Stmt::While { body, .. } | Stmt::For { body, .. } => walk(body, anchor, out),
+                Stmt::Switch { cases, default, .. } => {
+                    for (_, cb) in cases {
+                        walk(cb, anchor, out);
+                    }
+                    if let Some(d) = default {
+                        walk(d, anchor, out);
+                    }
+                }
+                Stmt::Block(nested) => walk(nested, anchor, out),
+                _ => {}
+            }
+        }
+    }
+    walk(body, anchor, out);
+}
+
+/// Three-point initialisation state for one local.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Init {
+    /// Definitely unassigned.
+    No,
+    /// Assigned on some paths only.
+    Maybe,
+    /// Definitely assigned.
+    Yes,
+}
+
+fn join(a: Init, b: Init) -> Init {
+    if a == b {
+        a
+    } else {
+        Init::Maybe
+    }
+}
+
+struct Flow<'a> {
+    /// Stack of in-scope locals (innermost last; lookup scans backwards).
+    locals: Vec<(String, Init)>,
+    decl_pos: HashMap<String, Pos>,
+    reported: HashSet<String>,
+    out: &'a mut Vec<Diagnostic>,
+}
+
+impl Flow<'_> {
+    fn states(&self) -> Vec<Init> {
+        self.locals.iter().map(|(_, s)| *s).collect()
+    }
+
+    fn set_states(&mut self, states: &[Init]) {
+        for ((_, s), new) in self.locals.iter_mut().zip(states) {
+            *s = *new;
+        }
+    }
+
+    fn set_yes(&mut self, name: &str) {
+        if let Some((_, s)) = self.locals.iter_mut().rev().find(|(n, _)| n == name) {
+            *s = Init::Yes;
+        }
+    }
+
+    fn walk_block(&mut self, b: &Block) {
+        let depth = self.locals.len();
+        for s in &b.stmts {
+            self.walk_stmt(s);
+        }
+        self.locals.truncate(depth);
+    }
+
+    fn walk_stmt(&mut self, s: &Stmt) {
+        match s {
+            Stmt::VarDecl(v) => {
+                if let Some(init) = &v.init {
+                    self.read_expr(init);
+                }
+                // Timers, message objects and arrays are usable as declared;
+                // only bare scalars start life unassigned.
+                let scalar = matches!(
+                    v.ty,
+                    Type::Int
+                        | Type::Long
+                        | Type::Byte
+                        | Type::Word
+                        | Type::Dword
+                        | Type::Char
+                        | Type::Float
+                );
+                let state = if v.init.is_some() || v.array.is_some() || !scalar {
+                    Init::Yes
+                } else {
+                    Init::No
+                };
+                self.decl_pos.entry(v.name.clone()).or_insert(v.pos);
+                self.locals.push((v.name.clone(), state));
+            }
+            Stmt::Expr(e) => self.read_expr(e),
+            Stmt::If { cond, then, els } => {
+                self.read_expr(cond);
+                let base = self.states();
+                self.walk_block(then);
+                let after_then = self.states();
+                self.set_states(&base);
+                if let Some(e) = els {
+                    self.walk_block(e);
+                }
+                let after_else = self.states();
+                let merged: Vec<Init> = after_then
+                    .iter()
+                    .zip(&after_else)
+                    .map(|(a, b)| join(*a, *b))
+                    .collect();
+                self.set_states(&merged);
+            }
+            Stmt::While { cond, body } => {
+                self.read_expr(cond);
+                let base = self.states();
+                self.walk_block(body);
+                let after = self.states();
+                let merged: Vec<Init> =
+                    base.iter().zip(&after).map(|(a, b)| join(*a, *b)).collect();
+                self.set_states(&merged);
+            }
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                let depth = self.locals.len();
+                if let Some(i) = init {
+                    self.walk_stmt(i);
+                }
+                if let Some(c) = cond {
+                    self.read_expr(c);
+                }
+                let base = self.states();
+                self.walk_block(body);
+                if let Some(st) = step {
+                    self.read_expr(st);
+                }
+                let after = self.states();
+                let merged: Vec<Init> =
+                    base.iter().zip(&after).map(|(a, b)| join(*a, *b)).collect();
+                self.set_states(&merged);
+                self.locals.truncate(depth);
+            }
+            Stmt::Switch {
+                scrutinee,
+                cases,
+                default,
+            } => {
+                self.read_expr(scrutinee);
+                let base = self.states();
+                let mut merged = match default {
+                    // Without a default arm, the fall-through path keeps the
+                    // pre-switch states.
+                    None => base.clone(),
+                    Some(d) => {
+                        self.walk_block(d);
+                        let out = self.states();
+                        self.set_states(&base);
+                        out
+                    }
+                };
+                for (k, b) in cases {
+                    self.read_expr(k);
+                    self.walk_block(b);
+                    let arm = self.states();
+                    self.set_states(&base);
+                    merged = merged.iter().zip(&arm).map(|(a, b)| join(*a, *b)).collect();
+                }
+                self.set_states(&merged);
+            }
+            Stmt::Return(Some(e)) => self.read_expr(e),
+            Stmt::Return(None) | Stmt::Break | Stmt::Continue => {}
+            Stmt::Block(b) => self.walk_block(b),
+        }
+    }
+
+    fn read_expr(&mut self, e: &Expr) {
+        match e {
+            Expr::Assign { target, value } => {
+                self.read_expr(value);
+                match &**target {
+                    Expr::Ident(x) => self.set_yes(x),
+                    other => self.read_expr(other),
+                }
+            }
+            Expr::Ident(x) => {
+                let state = self
+                    .locals
+                    .iter()
+                    .rev()
+                    .find(|(n, _)| n == x)
+                    .map(|(_, s)| *s);
+                if state == Some(Init::No) && self.reported.insert(x.clone()) {
+                    let pos = self.decl_pos.get(x).copied().unwrap_or_default();
+                    self.out.push(
+                        Diagnostic::warning(
+                            codes::USE_BEFORE_INIT,
+                            span_at(pos, x.len()),
+                            format!("local `{x}` may be read before it is assigned"),
+                        )
+                        .with_note("give it an initialiser or assign it on every path first"),
+                    );
+                }
+            }
+            Expr::Member { object, .. } => self.read_expr(object),
+            Expr::Index { array, index } => {
+                self.read_expr(array);
+                self.read_expr(index);
+            }
+            Expr::Call { args, .. } => {
+                for a in args {
+                    self.read_expr(a);
+                }
+            }
+            Expr::Unary { expr, .. } => self.read_expr(expr),
+            Expr::Binary { lhs, rhs, .. } => {
+                self.read_expr(lhs);
+                self.read_expr(rhs);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diag::Code;
+
+    fn lints(src: &str) -> Vec<Diagnostic> {
+        lint_program(&capl::parse(src).unwrap())
+    }
+
+    fn has(diags: &[Diagnostic], code: Code) -> bool {
+        diags.iter().any(|d| d.code == code)
+    }
+
+    #[test]
+    fn timer_set_without_handler_is_flagged() {
+        let d = lints("variables { msTimer t; } on start { setTimer(t, 100); }");
+        assert!(has(&d, codes::TIMER_WITHOUT_HANDLER), "{d:?}");
+    }
+
+    #[test]
+    fn timer_with_handler_is_clean() {
+        let d = lints(
+            "variables { msTimer t; }
+             on start { setTimer(t, 100); }
+             on timer t { }",
+        );
+        assert!(!has(&d, codes::TIMER_WITHOUT_HANDLER), "{d:?}");
+    }
+
+    #[test]
+    fn use_before_init_straight_line() {
+        let d = lints("void f() { int x; int y; y = x + 1; write(\"%d\", y); }");
+        assert!(has(&d, codes::USE_BEFORE_INIT), "{d:?}");
+    }
+
+    #[test]
+    fn init_on_both_branches_is_clean() {
+        let d = lints(
+            "void f(int c) {
+                int x;
+                if (c > 0) { x = 1; } else { x = 2; }
+                write(\"%d\", x);
+             }",
+        );
+        assert!(!has(&d, codes::USE_BEFORE_INIT), "{d:?}");
+    }
+
+    #[test]
+    fn init_on_one_branch_stays_silent() {
+        // Maybe-states never fire: the lint is conservative.
+        let d = lints(
+            "void f(int c) {
+                int x;
+                if (c > 0) { x = 1; }
+                write(\"%d\", x);
+             }",
+        );
+        assert!(!has(&d, codes::USE_BEFORE_INIT), "{d:?}");
+    }
+
+    #[test]
+    fn initialised_declaration_is_clean() {
+        let d = lints("void f() { int x = 3; write(\"%d\", x); }");
+        assert!(!has(&d, codes::USE_BEFORE_INIT), "{d:?}");
+    }
+
+    #[test]
+    fn dead_store_is_flagged() {
+        let d = lints("void f() { int x; x = 5; }");
+        assert!(has(&d, codes::DEAD_STORE), "{d:?}");
+    }
+
+    #[test]
+    fn read_store_is_clean() {
+        let d = lints("void f() { int x; x = 5; write(\"%d\", x); }");
+        assert!(!has(&d, codes::DEAD_STORE), "{d:?}");
+    }
+
+    #[test]
+    fn self_increment_counts_as_read() {
+        // `x = x + 1` reads x, so it is not a dead store.
+        let d = lints("void f() { int x = 0; x = x + 1; }");
+        assert!(!has(&d, codes::DEAD_STORE), "{d:?}");
+    }
+
+    #[test]
+    fn unreachable_after_return_is_flagged() {
+        let d = lints("int f() { return 1; write(\"no\"); }");
+        assert!(has(&d, codes::UNREACHABLE_CODE), "{d:?}");
+    }
+
+    #[test]
+    fn trailing_return_is_clean() {
+        let d = lints("int f() { write(\"yes\"); return 1; }");
+        assert!(!has(&d, codes::UNREACHABLE_CODE), "{d:?}");
+    }
+
+    #[test]
+    fn unreachable_after_exhaustive_if_is_flagged() {
+        let d = lints(
+            "int f(int c) {
+                if (c > 0) { return 1; } else { return 2; }
+                return 3;
+             }",
+        );
+        assert!(has(&d, codes::UNREACHABLE_CODE), "{d:?}");
+    }
+
+    #[test]
+    fn loop_assignment_then_use_is_clean() {
+        let d = lints(
+            "void f(int n) {
+                int acc = 0;
+                int i;
+                for (i = 0; i < n; i = i + 1) { acc = acc + i; }
+                write(\"%d\", acc);
+             }",
+        );
+        assert!(!has(&d, codes::USE_BEFORE_INIT), "{d:?}");
+        assert!(!has(&d, codes::DEAD_STORE), "{d:?}");
+    }
+
+    #[test]
+    fn symbol_pass_diagnostics_flow_through() {
+        let d = lints("on start { ghost = 1; }");
+        assert!(has(&d, capl::symbols::UNDECLARED_NAME), "{d:?}");
+    }
+}

@@ -1,0 +1,121 @@
+//! The complete catalogue of stable lint codes.
+//!
+//! Codes are namespaced per pipeline stage — `CAPL0xx` for CAPL program
+//! analysis, `DBC1xx` for CAN-database hygiene and CAPL ↔ `.dbc`
+//! cross-validation, `CSP2xx` for CSPm structural analysis. Codes are never
+//! renumbered once published in `docs/LINTS.md`; retired codes are not
+//! reused.
+
+use diag::Code;
+
+// CAPL frontend diagnostics live with the symbol pass; re-export them here so
+// the catalogue is complete from one module.
+pub use capl::symbols::{
+    DUPLICATE_GLOBAL, DUPLICATE_HANDLER, NOT_A_TIMER, TIMER_CALL_ON_NON_TIMER, TIMER_NEVER_SET,
+    UNDECLARED_MESSAGE, UNDECLARED_NAME, UNDECLARED_TIMER, UNKNOWN_FUNCTION,
+};
+
+/// `CAPL000` — the CAPL source failed to lex or parse.
+pub const CAPL_PARSE_ERROR: Code = Code("CAPL000");
+/// `DBC100` — the CAN database failed to parse.
+pub const DBC_PARSE_ERROR: Code = Code("DBC100");
+/// `CSP200` — the CSPm script failed to lex or parse.
+pub const CSP_PARSE_ERROR: Code = Code("CSP200");
+
+/// `CAPL010` — a timer is armed with `setTimer` but has no `on timer` handler.
+pub const TIMER_WITHOUT_HANDLER: Code = Code("CAPL010");
+/// `CAPL011` — a local variable may be read before it is first assigned.
+pub const USE_BEFORE_INIT: Code = Code("CAPL011");
+/// `CAPL012` — a local variable is assigned but its value is never read.
+pub const DEAD_STORE: Code = Code("CAPL012");
+/// `CAPL013` — statements after `return`/`break`/`continue` can never run.
+pub const UNREACHABLE_CODE: Code = Code("CAPL013");
+
+/// `DBC101` — a CAPL message reference names a message absent from the `.dbc`.
+pub const UNKNOWN_DB_MESSAGE: Code = Code("DBC101");
+/// `DBC102` — a CAPL message reference uses a raw CAN id absent from the `.dbc`.
+pub const UNKNOWN_DB_ID: Code = Code("DBC102");
+/// `DBC103` — two `on message` handlers resolve to the same database message.
+pub const HANDLER_COLLISION: Code = Code("DBC103");
+/// `DBC104` — a database message declares a DLC larger than 8 bytes.
+pub const DLC_TOO_LARGE: Code = Code("DBC104");
+/// `DBC105` — two signals of one message occupy overlapping bits.
+pub const SIGNAL_OVERLAP: Code = Code("DBC105");
+/// `DBC106` — a signal extends beyond the bits implied by the message DLC.
+pub const SIGNAL_PAST_DLC: Code = Code("DBC106");
+/// `DBC107` — two database messages share a CAN identifier.
+pub const DUPLICATE_DB_ID: Code = Code("DBC107");
+/// `DBC108` — CAPL accesses a signal that the resolved message does not carry.
+pub const UNKNOWN_SIGNAL: Code = Code("DBC108");
+
+/// `CSP201` — a synchronised event only one side of a parallel can perform.
+pub const SYNC_ONE_SIDED: Code = Code("CSP201");
+/// `CSP202` — a process can recurse without performing an event first.
+pub const UNGUARDED_RECURSION: Code = Code("CSP202");
+/// `CSP203` — a definition is unreachable from every assertion.
+pub const UNREACHABLE_DEFINITION: Code = Code("CSP203");
+/// `CSP204` — a synchronised event neither side of a parallel can perform.
+pub const SYNC_DEAD_EVENT: Code = Code("CSP204");
+
+/// Every published code with a one-line summary, in catalogue order.
+///
+/// `docs/LINTS.md` is generated from the same material; a unit test keeps the
+/// two in sync by checking the codes listed there.
+pub const CATALOGUE: &[(Code, &str)] = &[
+    (CAPL_PARSE_ERROR, "CAPL source failed to parse"),
+    (DBC_PARSE_ERROR, "CAN database failed to parse"),
+    (CSP_PARSE_ERROR, "CSPm script failed to parse"),
+    (DUPLICATE_GLOBAL, "global variable declared twice"),
+    (UNDECLARED_NAME, "use of an undeclared name"),
+    (DUPLICATE_HANDLER, "duplicate handler for one event"),
+    (NOT_A_TIMER, "`on timer` over a non-timer variable"),
+    (UNDECLARED_TIMER, "`on timer` over an undeclared name"),
+    (
+        TIMER_CALL_ON_NON_TIMER,
+        "setTimer/cancelTimer on a non-timer",
+    ),
+    (UNKNOWN_FUNCTION, "call to an unknown function"),
+    (UNDECLARED_MESSAGE, "output() of an undeclared message"),
+    (
+        TIMER_NEVER_SET,
+        "timer handler exists but timer is never set",
+    ),
+    (TIMER_WITHOUT_HANDLER, "timer is set but has no handler"),
+    (USE_BEFORE_INIT, "local possibly read before initialisation"),
+    (DEAD_STORE, "local assigned but never read"),
+    (UNREACHABLE_CODE, "statement after return/break/continue"),
+    (UNKNOWN_DB_MESSAGE, "message name missing from the database"),
+    (UNKNOWN_DB_ID, "raw CAN id missing from the database"),
+    (HANDLER_COLLISION, "two handlers match one database message"),
+    (DLC_TOO_LARGE, "message DLC exceeds 8 bytes"),
+    (SIGNAL_OVERLAP, "signals occupy overlapping bits"),
+    (SIGNAL_PAST_DLC, "signal extends beyond the message DLC"),
+    (DUPLICATE_DB_ID, "two messages share one CAN id"),
+    (UNKNOWN_SIGNAL, "access to a signal the message lacks"),
+    (SYNC_ONE_SIDED, "synchronised event only one side performs"),
+    (UNGUARDED_RECURSION, "recursion with no intervening event"),
+    (
+        UNREACHABLE_DEFINITION,
+        "definition unreachable from assertions",
+    ),
+    (SYNC_DEAD_EVENT, "synchronised event neither side performs"),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn catalogue_codes_are_unique_and_well_formed() {
+        let mut seen = HashSet::new();
+        for (code, summary) in CATALOGUE {
+            assert!(seen.insert(code.0), "duplicate code {code}");
+            assert!(!summary.is_empty());
+            let ok = code.0.starts_with("CAPL")
+                || code.0.starts_with("DBC")
+                || code.0.starts_with("CSP");
+            assert!(ok, "code {code} outside the allocated namespaces");
+        }
+    }
+}

@@ -1,0 +1,690 @@
+//! Structural analysis of CSPm modules, before any LTS is built.
+//!
+//! Three families of checks, all purely syntactic and conservative:
+//!
+//! - `CSP201`/`CSP204` — alphabet coverage of parallel compositions: an event
+//!   in the synchronisation set that only one side (or neither side) can ever
+//!   perform blocks the interface forever.
+//! - `CSP202` — unguarded recursion: a process that can reach itself without
+//!   performing an event first can unwind forever (divergence risk).
+//! - `CSP203` — definitions unreachable from every assertion (only reported
+//!   when the module has assertions, so plain libraries stay quiet).
+//!
+//! Whenever a construct defeats the syntactic approximation (renaming,
+//! hiding, computed sync sets), the affected check bails out silently rather
+//! than risk a false positive.
+
+use std::collections::{HashMap, HashSet};
+
+use cspm::ast::{Assertion, Decl, Expr, Module};
+use diag::{Diagnostic, Span};
+
+use crate::codes;
+
+/// One process definition as the linter sees it.
+struct Def<'a> {
+    params: &'a [String],
+    body: &'a Expr,
+    span: Span,
+}
+
+struct Ctx<'a> {
+    defs: HashMap<&'a str, Def<'a>>,
+    channels: HashSet<&'a str>,
+}
+
+/// All CSPm structural lints for `module`.
+pub fn lint_module(module: &Module) -> Vec<Diagnostic> {
+    let mut ctx = Ctx {
+        defs: HashMap::new(),
+        channels: HashSet::new(),
+    };
+    for d in &module.decls {
+        match d {
+            Decl::Channel { names, .. } => {
+                ctx.channels.extend(names.iter().map(String::as_str));
+            }
+            Decl::Definition {
+                name,
+                params,
+                body,
+                pos,
+                ..
+            } => {
+                ctx.defs.insert(
+                    name,
+                    Def {
+                        params,
+                        body,
+                        span: Span::new(pos.line, pos.col, name.len().max(1) as u32),
+                    },
+                );
+            }
+            _ => {}
+        }
+    }
+
+    let mut out = Vec::new();
+    alphabet_coverage(module, &ctx, &mut out);
+    unguarded_recursion(&ctx, &mut out);
+    unreachable_definitions(module, &ctx, &mut out);
+    out
+}
+
+// ---------------------------------------------------------------------------
+// CSP201 / CSP204: alphabet coverage of parallel compositions.
+// ---------------------------------------------------------------------------
+
+fn alphabet_coverage(module: &Module, ctx: &Ctx<'_>, out: &mut Vec<Diagnostic>) {
+    let mut memo: HashMap<&str, Option<HashSet<&str>>> = HashMap::new();
+    for d in &module.decls {
+        match d {
+            Decl::Definition {
+                body, name, pos, ..
+            } => {
+                let span = Span::new(pos.line, pos.col, name.len().max(1) as u32);
+                visit_parallels(body, ctx, span, &mut memo, out);
+            }
+            Decl::Assert(a) => {
+                let (lhs, rhs) = match a {
+                    Assertion::Refinement { spec, impl_, .. } => (spec, Some(impl_)),
+                    Assertion::Property { process, .. } => (process, None),
+                };
+                visit_parallels(lhs, ctx, Span::unknown(), &mut memo, out);
+                if let Some(r) = rhs {
+                    visit_parallels(r, ctx, Span::unknown(), &mut memo, out);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+fn visit_parallels<'a>(
+    e: &'a Expr,
+    ctx: &Ctx<'a>,
+    anchor: Span,
+    memo: &mut HashMap<&'a str, Option<HashSet<&'a str>>>,
+    out: &mut Vec<Diagnostic>,
+) {
+    if let Expr::Parallel { left, sync, right } = e {
+        check_parallel(left, sync, right, ctx, anchor, memo, out);
+    }
+    each_child(e, &mut |c| visit_parallels(c, ctx, anchor, memo, out));
+}
+
+#[allow(clippy::too_many_arguments)]
+fn check_parallel<'a>(
+    left: &'a Expr,
+    sync: &'a Expr,
+    right: &'a Expr,
+    ctx: &Ctx<'a>,
+    anchor: Span,
+    memo: &mut HashMap<&'a str, Option<HashSet<&'a str>>>,
+    out: &mut Vec<Diagnostic>,
+) {
+    let Some(sync_chans) = sync_channels(sync, ctx) else {
+        return;
+    };
+    let mut in_progress = HashSet::new();
+    let Some(left_alpha) = alphabet(left, ctx, memo, &mut in_progress) else {
+        return;
+    };
+    in_progress.clear();
+    let Some(right_alpha) = alphabet(right, ctx, memo, &mut in_progress) else {
+        return;
+    };
+
+    for chan in sync_chans {
+        let l = left_alpha.contains(chan);
+        let r = right_alpha.contains(chan);
+        if l && r {
+            continue;
+        }
+        if l != r {
+            let (can, cannot) = if l {
+                ("left", "right")
+            } else {
+                ("right", "left")
+            };
+            out.push(
+                Diagnostic::warning(
+                    codes::SYNC_ONE_SIDED,
+                    anchor,
+                    format!(
+                        "channel `{chan}` is in the synchronisation set but only the {can} side \
+                         of the parallel can perform it"
+                    ),
+                )
+                .with_note(format!(
+                    "the {cannot} side never offers `{chan}`, so every `{chan}` event \
+                     deadlocks the composition"
+                )),
+            );
+        } else {
+            out.push(Diagnostic::warning(
+                codes::SYNC_DEAD_EVENT,
+                anchor,
+                format!(
+                    "channel `{chan}` is in the synchronisation set but neither side of the \
+                     parallel ever performs it"
+                ),
+            ));
+        }
+    }
+}
+
+/// The channel names a synchronisation-set expression denotes, or `None` if
+/// the set is computed in a way this syntactic pass cannot resolve.
+fn sync_channels<'a>(set: &'a Expr, ctx: &Ctx<'a>) -> Option<Vec<&'a str>> {
+    match set {
+        Expr::Productions(pats) => {
+            let mut chans = Vec::new();
+            for p in pats {
+                if !ctx.channels.contains(p.channel.as_str()) {
+                    return None;
+                }
+                push_unique(&mut chans, p.channel.as_str());
+            }
+            Some(chans)
+        }
+        Expr::SetLit(items) => {
+            let mut chans = Vec::new();
+            for item in items {
+                let name = match item {
+                    Expr::Name(n) => n.as_str(),
+                    Expr::Dotted { name, .. } => name.as_str(),
+                    _ => return None,
+                };
+                if !ctx.channels.contains(name) {
+                    return None;
+                }
+                push_unique(&mut chans, name);
+            }
+            Some(chans)
+        }
+        // A named constant set: resolve through its (parameterless) definition.
+        Expr::Name(n) => {
+            let def = ctx.defs.get(n.as_str())?;
+            if def.params.is_empty() {
+                sync_channels(def.body, ctx)
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+fn push_unique<'a>(v: &mut Vec<&'a str>, s: &'a str) {
+    if !v.contains(&s) {
+        v.push(s);
+    }
+}
+
+/// The set of channels a process expression can ever perform, following
+/// definition references; `None` when renaming/hiding defeats the
+/// approximation.
+fn alphabet<'a>(
+    e: &'a Expr,
+    ctx: &Ctx<'a>,
+    memo: &mut HashMap<&'a str, Option<HashSet<&'a str>>>,
+    in_progress: &mut HashSet<&'a str>,
+) -> Option<HashSet<&'a str>> {
+    match e {
+        Expr::Stop | Expr::Skip => Some(HashSet::new()),
+        Expr::Prefix { event, body } => {
+            let mut a = alphabet(body, ctx, memo, in_progress)?;
+            if ctx.channels.contains(event.channel.as_str()) {
+                a.insert(event.channel.as_str());
+            }
+            a.into()
+        }
+        Expr::Guard { body, .. } => alphabet(body, ctx, memo, in_progress),
+        Expr::ExtChoice(a, b)
+        | Expr::IntChoice(a, b)
+        | Expr::Seq(a, b)
+        | Expr::Interleave(a, b)
+        | Expr::Interrupt(a, b)
+        | Expr::Timeout(a, b) => {
+            let mut s = alphabet(a, ctx, memo, in_progress)?;
+            s.extend(alphabet(b, ctx, memo, in_progress)?);
+            Some(s)
+        }
+        Expr::Parallel { left, right, .. } => {
+            let mut s = alphabet(left, ctx, memo, in_progress)?;
+            s.extend(alphabet(right, ctx, memo, in_progress)?);
+            Some(s)
+        }
+        // Hiding removes events and renaming rewrites them; both defeat the
+        // purely syntactic alphabet, so bail out.
+        Expr::Hide { .. } | Expr::Rename { .. } => None,
+        Expr::Replicated { body, .. } => alphabet(body, ctx, memo, in_progress),
+        Expr::If { then, els, .. } => {
+            let mut s = alphabet(then, ctx, memo, in_progress)?;
+            s.extend(alphabet(els, ctx, memo, in_progress)?);
+            Some(s)
+        }
+        Expr::Let { body, .. } => alphabet(body, ctx, memo, in_progress),
+        Expr::Name(n) | Expr::Call { name: n, .. } => {
+            let name = n.as_str();
+            let Some(def) = ctx.defs.get(name) else {
+                // Unknown name: a parameter or local — contributes nothing.
+                return Some(HashSet::new());
+            };
+            if let Some(cached) = memo.get(name) {
+                return cached.clone();
+            }
+            if !in_progress.insert(name) {
+                // Recursive knot: the fixpoint contribution is already being
+                // accumulated higher up the stack.
+                return Some(HashSet::new());
+            }
+            let result = alphabet(def.body, ctx, memo, in_progress);
+            in_progress.remove(name);
+            memo.insert(name, result.clone());
+            result
+        }
+        // Value-level expressions perform no events.
+        _ => Some(HashSet::new()),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CSP202: unguarded recursion.
+// ---------------------------------------------------------------------------
+
+fn unguarded_recursion(ctx: &Ctx<'_>, out: &mut Vec<Diagnostic>) {
+    // Edges: definition -> definitions reachable without passing a prefix.
+    let mut edges: HashMap<&str, Vec<&str>> = HashMap::new();
+    for (name, def) in &ctx.defs {
+        let mut succ = Vec::new();
+        let mut shadow: Vec<&str> = def.params.iter().map(String::as_str).collect();
+        unguarded_succ(def.body, ctx, &mut shadow, &mut succ);
+        edges.insert(name, succ);
+    }
+
+    let mut names: Vec<&str> = ctx.defs.keys().copied().collect();
+    names.sort_unstable();
+    for name in names {
+        if reaches(name, name, &edges, &mut HashSet::new()) {
+            out.push(
+                Diagnostic::warning(
+                    codes::UNGUARDED_RECURSION,
+                    ctx.defs[name].span,
+                    format!("process `{name}` can recurse without performing an event first"),
+                )
+                .with_note("unguarded recursion lets the process unwind forever (divergence)"),
+            );
+        }
+    }
+}
+
+fn reaches<'a>(
+    from: &'a str,
+    target: &str,
+    edges: &HashMap<&'a str, Vec<&'a str>>,
+    visited: &mut HashSet<&'a str>,
+) -> bool {
+    let Some(succ) = edges.get(from) else {
+        return false;
+    };
+    for s in succ {
+        if *s == target {
+            return true;
+        }
+        if visited.insert(s) && reaches(s, target, edges, visited) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Names of definitions reachable from `e` without passing through an event
+/// prefix. `shadow` holds locally-bound names that must not be mistaken for
+/// definitions.
+fn unguarded_succ<'a>(
+    e: &'a Expr,
+    ctx: &Ctx<'a>,
+    shadow: &mut Vec<&'a str>,
+    out: &mut Vec<&'a str>,
+) {
+    match e {
+        // Everything beyond a prefix is guarded by its event.
+        Expr::Prefix { .. } => {}
+        Expr::Name(n) | Expr::Call { name: n, .. } => {
+            let name = n.as_str();
+            if ctx.defs.contains_key(name) && !shadow.contains(&name) && !out.contains(&name) {
+                out.push(name);
+            }
+        }
+        Expr::Guard { body, .. } => unguarded_succ(body, ctx, shadow, out),
+        Expr::ExtChoice(a, b)
+        | Expr::IntChoice(a, b)
+        | Expr::Interleave(a, b)
+        | Expr::Interrupt(a, b)
+        | Expr::Timeout(a, b) => {
+            unguarded_succ(a, ctx, shadow, out);
+            unguarded_succ(b, ctx, shadow, out);
+        }
+        Expr::Seq(a, b) => {
+            unguarded_succ(a, ctx, shadow, out);
+            if terminates_silently(a) {
+                unguarded_succ(b, ctx, shadow, out);
+            }
+        }
+        Expr::Parallel { left, right, .. } => {
+            unguarded_succ(left, ctx, shadow, out);
+            unguarded_succ(right, ctx, shadow, out);
+        }
+        Expr::Hide { process, .. } => unguarded_succ(process, ctx, shadow, out),
+        Expr::Rename { process, .. } => unguarded_succ(process, ctx, shadow, out),
+        Expr::Replicated { var, body, .. } => {
+            shadow.push(var);
+            unguarded_succ(body, ctx, shadow, out);
+            shadow.pop();
+        }
+        Expr::If { then, els, .. } => {
+            unguarded_succ(then, ctx, shadow, out);
+            unguarded_succ(els, ctx, shadow, out);
+        }
+        Expr::Let { bindings, body } => {
+            let depth = shadow.len();
+            for (name, _) in bindings {
+                shadow.push(name);
+            }
+            unguarded_succ(body, ctx, shadow, out);
+            shadow.truncate(depth);
+        }
+        _ => {}
+    }
+}
+
+/// Whether `e` can terminate (reach `SKIP`) without performing any event —
+/// purely syntactic, erring towards `false`.
+fn terminates_silently(e: &Expr) -> bool {
+    match e {
+        Expr::Skip => true,
+        Expr::Seq(a, b) => terminates_silently(a) && terminates_silently(b),
+        Expr::ExtChoice(a, b) | Expr::IntChoice(a, b) | Expr::Timeout(a, b) => {
+            terminates_silently(a) || terminates_silently(b)
+        }
+        Expr::If { then, els, .. } => terminates_silently(then) || terminates_silently(els),
+        Expr::Guard { body, .. } => terminates_silently(body),
+        Expr::Let { body, .. } => terminates_silently(body),
+        _ => false,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CSP203: definitions unreachable from every assertion.
+// ---------------------------------------------------------------------------
+
+fn unreachable_definitions(module: &Module, ctx: &Ctx<'_>, out: &mut Vec<Diagnostic>) {
+    let mut roots: Vec<&str> = Vec::new();
+    let mut saw_assert = false;
+    for d in &module.decls {
+        if let Decl::Assert(a) = d {
+            saw_assert = true;
+            let exprs: Vec<&Expr> = match a {
+                Assertion::Refinement { spec, impl_, .. } => vec![spec, impl_],
+                Assertion::Property { process, .. } => vec![process],
+            };
+            for e in exprs {
+                collect_names(e, &mut |n| {
+                    if ctx.defs.contains_key(n) && !roots.contains(&n) {
+                        roots.push(n);
+                    }
+                });
+            }
+        }
+    }
+    // A module without assertions is a library; reachability is meaningless.
+    if !saw_assert {
+        return;
+    }
+
+    let mut reachable: HashSet<&str> = HashSet::new();
+    let mut queue = roots;
+    while let Some(name) = queue.pop() {
+        if !reachable.insert(name) {
+            continue;
+        }
+        if let Some(def) = ctx.defs.get(name) {
+            collect_names(def.body, &mut |n| {
+                if ctx.defs.contains_key(n) && !reachable.contains(n) {
+                    queue.push(n);
+                }
+            });
+        }
+    }
+
+    let mut names: Vec<&str> = ctx.defs.keys().copied().collect();
+    names.sort_unstable();
+    for name in names {
+        if !reachable.contains(name) {
+            out.push(Diagnostic::warning(
+                codes::UNREACHABLE_DEFINITION,
+                ctx.defs[name].span,
+                format!("definition `{name}` is not reachable from any assertion"),
+            ));
+        }
+    }
+}
+
+/// Apply `f` to every name referenced anywhere in `e` (including calls).
+fn collect_names<'a>(e: &'a Expr, f: &mut impl FnMut(&'a str)) {
+    if let Expr::Name(n) | Expr::Call { name: n, .. } = e {
+        f(n);
+    }
+    each_child(e, &mut |c| collect_names(c, f));
+}
+
+/// Apply `f` to each direct child expression of `e`.
+fn each_child<'a>(e: &'a Expr, f: &mut impl FnMut(&'a Expr)) {
+    match e {
+        Expr::Call { args, .. } => args.iter().for_each(f),
+        Expr::Dotted { fields, .. } => fields.iter().for_each(f),
+        Expr::SetLit(items) | Expr::SeqLit(items) | Expr::Tuple(items) => {
+            items.iter().for_each(f);
+        }
+        Expr::SetComprehension {
+            head,
+            binders,
+            guards,
+        } => {
+            f(head);
+            binders.iter().for_each(|(_, b)| f(b));
+            guards.iter().for_each(f);
+        }
+        Expr::RangeSet { lo, hi } => {
+            f(lo);
+            f(hi);
+        }
+        Expr::Unary { expr, .. } => f(expr),
+        Expr::Binary { lhs, rhs, .. } => {
+            f(lhs);
+            f(rhs);
+        }
+        Expr::If { cond, then, els } => {
+            f(cond);
+            f(then);
+            f(els);
+        }
+        Expr::Let { bindings, body } => {
+            bindings.iter().for_each(|(_, b)| f(b));
+            f(body);
+        }
+        Expr::Prefix { event, body } => {
+            for field in &event.fields {
+                match field {
+                    cspm::ast::FieldPat::Dot(e) | cspm::ast::FieldPat::Output(e) => f(e),
+                    cspm::ast::FieldPat::Input {
+                        restrict: Some(e), ..
+                    } => f(e),
+                    cspm::ast::FieldPat::Input { restrict: None, .. } => {}
+                }
+            }
+            f(body);
+        }
+        Expr::Guard { cond, body } => {
+            f(cond);
+            f(body);
+        }
+        Expr::ExtChoice(a, b)
+        | Expr::IntChoice(a, b)
+        | Expr::Seq(a, b)
+        | Expr::Interleave(a, b)
+        | Expr::Interrupt(a, b)
+        | Expr::Timeout(a, b) => {
+            f(a);
+            f(b);
+        }
+        Expr::Parallel { left, sync, right } => {
+            f(left);
+            f(sync);
+            f(right);
+        }
+        Expr::Hide { process, set } => {
+            f(process);
+            f(set);
+        }
+        Expr::Rename { process, .. } => f(process),
+        Expr::Replicated { set, body, .. } => {
+            f(set);
+            f(body);
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diag::Code;
+
+    fn lints(src: &str) -> Vec<Diagnostic> {
+        let script = cspm::Script::parse(src).expect("fixture parses");
+        lint_module(script.module())
+    }
+
+    fn has(diags: &[Diagnostic], code: Code) -> bool {
+        diags.iter().any(|d| d.code == code)
+    }
+
+    #[test]
+    fn one_sided_sync_is_flagged() {
+        let d = lints(
+            "channel a, b, c\n\
+             P = a -> P\n\
+             Q = b -> Q\n\
+             SYS = P [| {a, c} |] Q\n",
+        );
+        // `a` is performed only by P, `c` by neither.
+        assert!(has(&d, codes::SYNC_ONE_SIDED), "{d:?}");
+        assert!(has(&d, codes::SYNC_DEAD_EVENT), "{d:?}");
+    }
+
+    #[test]
+    fn covered_sync_is_clean() {
+        let d = lints(
+            "channel a, b\n\
+             P = a -> b -> P\n\
+             Q = a -> b -> Q\n\
+             SYS = P [| {a, b} |] Q\n",
+        );
+        assert!(!has(&d, codes::SYNC_ONE_SIDED), "{d:?}");
+        assert!(!has(&d, codes::SYNC_DEAD_EVENT), "{d:?}");
+    }
+
+    #[test]
+    fn renamed_side_bails_out() {
+        let d = lints(
+            "channel a, b\n\
+             P = a -> P\n\
+             Q = b -> Q\n\
+             SYS = P [[ a <- b ]] [| {b} |] Q\n",
+        );
+        assert!(!has(&d, codes::SYNC_ONE_SIDED), "{d:?}");
+    }
+
+    #[test]
+    fn unguarded_recursion_is_flagged() {
+        let d = lints("channel a\nP = P [] a -> STOP\n");
+        assert!(has(&d, codes::UNGUARDED_RECURSION), "{d:?}");
+    }
+
+    #[test]
+    fn mutual_unguarded_recursion_is_flagged() {
+        let d = lints("channel a\nP = Q\nQ = P [] a -> STOP\n");
+        let hits = d
+            .iter()
+            .filter(|x| x.code == codes::UNGUARDED_RECURSION)
+            .count();
+        assert_eq!(hits, 2, "{d:?}");
+    }
+
+    #[test]
+    fn guarded_recursion_is_clean() {
+        let d = lints("channel a\nP = a -> P\n");
+        assert!(!has(&d, codes::UNGUARDED_RECURSION), "{d:?}");
+    }
+
+    #[test]
+    fn skip_seq_recursion_is_flagged() {
+        let d = lints("channel a\nP = SKIP ; P\n");
+        assert!(has(&d, codes::UNGUARDED_RECURSION), "{d:?}");
+    }
+
+    #[test]
+    fn event_seq_recursion_is_clean() {
+        let d = lints("channel a\nP = (a -> SKIP) ; P\n");
+        assert!(!has(&d, codes::UNGUARDED_RECURSION), "{d:?}");
+    }
+
+    #[test]
+    fn unreachable_definition_is_flagged() {
+        let d = lints(
+            "channel a, b\n\
+             P = a -> P\n\
+             ORPHAN = b -> ORPHAN\n\
+             assert P :[deadlock free]\n",
+        );
+        assert!(has(&d, codes::UNREACHABLE_DEFINITION), "{d:?}");
+        let hit = d
+            .iter()
+            .find(|x| x.code == codes::UNREACHABLE_DEFINITION)
+            .unwrap();
+        assert!(hit.message.contains("ORPHAN"), "{d:?}");
+    }
+
+    #[test]
+    fn module_without_assertions_reports_no_reachability() {
+        let d = lints("channel a\nP = a -> P\nORPHAN = a -> ORPHAN\n");
+        assert!(!has(&d, codes::UNREACHABLE_DEFINITION), "{d:?}");
+    }
+
+    #[test]
+    fn reachability_follows_references() {
+        let d = lints(
+            "channel a\n\
+             HELPER = a -> HELPER\n\
+             P = HELPER\n\
+             assert P :[deadlock free]\n",
+        );
+        assert!(!has(&d, codes::UNREACHABLE_DEFINITION), "{d:?}");
+    }
+
+    #[test]
+    fn productions_sync_set_is_resolved() {
+        let d = lints(
+            "channel rec : {0..1}\n\
+             channel send : {0..1}\n\
+             P = rec?x -> send!x -> P\n\
+             Q = rec!0 -> Q\n\
+             SYS = P [| {| rec, send |} |] Q\n",
+        );
+        // `send` is synchronised but only P performs it.
+        assert!(has(&d, codes::SYNC_ONE_SIDED), "{d:?}");
+    }
+}

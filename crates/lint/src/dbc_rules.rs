@@ -1,0 +1,449 @@
+//! CAN-database hygiene and CAPL ↔ `.dbc` cross-validation.
+//!
+//! [`lint_database`] checks a parsed `.dbc` on its own: oversized DLCs,
+//! signals that overlap or run past the payload, duplicate identifiers.
+//! [`cross_check`] validates a CAPL program against the database it will run
+//! on: every `message` declaration, `on message` handler and `output()` of a
+//! symbolic name must resolve to a database message, handlers must not
+//! collide on one message, and signal accesses must name real signals.
+//!
+//! Database findings carry no source span (the data model keeps no
+//! positions); cross-check findings anchor in the CAPL source.
+
+use std::collections::HashMap;
+
+use candb::{ByteOrder, Database, Message, Signal};
+use capl::ast::{EventKind, Expr, MsgRef, Program, Type};
+use capl::symbols::span_at;
+use diag::{Diagnostic, Span};
+
+use crate::codes;
+
+/// Message selectors CAPL exposes on every message object, besides signals.
+const MESSAGE_SELECTORS: &[&str] = &["id", "dlc", "dir", "can", "time", "rtr"];
+
+/// Hygiene lints over the database itself.
+pub fn lint_database(db: &Database) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+
+    let mut by_id: HashMap<u32, &str> = HashMap::new();
+    let mut by_name: HashMap<&str, u32> = HashMap::new();
+    for m in &db.messages {
+        if let Some(first) = by_id.insert(m.id, &m.name) {
+            out.push(Diagnostic::error(
+                codes::DUPLICATE_DB_ID,
+                Span::unknown(),
+                format!(
+                    "messages `{first}` and `{}` share CAN id 0x{:x}",
+                    m.name, m.id
+                ),
+            ));
+        }
+        if by_name.insert(&m.name, m.id).is_some() {
+            out.push(Diagnostic::error(
+                codes::DUPLICATE_DB_ID,
+                Span::unknown(),
+                format!("message `{}` is defined more than once", m.name),
+            ));
+        }
+
+        if m.dlc > 8 {
+            out.push(
+                Diagnostic::error(
+                    codes::DLC_TOO_LARGE,
+                    Span::unknown(),
+                    format!(
+                        "message `{}` declares DLC {} (classic CAN caps at 8)",
+                        m.name, m.dlc
+                    ),
+                )
+                .with_note(
+                    "frames longer than 8 bytes need CAN FD, which this model does not cover",
+                ),
+            );
+        }
+
+        lint_signals(m, &mut out);
+    }
+
+    out
+}
+
+/// The absolute payload bit positions a signal occupies, following the same
+/// numbering the codec uses for each byte order.
+fn occupied_bits(sig: &Signal) -> Vec<usize> {
+    let mut bits = Vec::with_capacity(sig.length as usize);
+    match sig.byte_order {
+        ByteOrder::LittleEndian => {
+            for i in 0..sig.length as usize {
+                bits.push(sig.start_bit as usize + i);
+            }
+        }
+        ByteOrder::BigEndian => {
+            // Sawtooth: start bit is the MSB, stepping down within each byte.
+            let mut byte = sig.start_bit as usize / 8;
+            let mut bit = sig.start_bit as usize % 8;
+            for _ in 0..sig.length {
+                bits.push(byte * 8 + bit);
+                if bit == 0 {
+                    byte += 1;
+                    bit = 7;
+                } else {
+                    bit -= 1;
+                }
+            }
+        }
+    }
+    bits
+}
+
+fn lint_signals(m: &Message, out: &mut Vec<Diagnostic>) {
+    let payload_bits = m.dlc * 8;
+    let mut occupancy: HashMap<usize, &str> = HashMap::new();
+    for sig in &m.signals {
+        let bits = occupied_bits(sig);
+        if bits.iter().any(|&b| b >= payload_bits) {
+            out.push(Diagnostic::error(
+                codes::SIGNAL_PAST_DLC,
+                Span::unknown(),
+                format!(
+                    "signal `{}.{}` extends beyond the {}-byte payload (bits {}..={} of {})",
+                    m.name,
+                    sig.name,
+                    m.dlc,
+                    bits.iter().min().copied().unwrap_or(0),
+                    bits.iter().max().copied().unwrap_or(0),
+                    payload_bits
+                ),
+            ));
+        }
+        let mut clashed = false;
+        for &b in &bits {
+            if let Some(other) = occupancy.insert(b, &sig.name) {
+                if other != sig.name && !clashed {
+                    clashed = true;
+                    out.push(Diagnostic::error(
+                        codes::SIGNAL_OVERLAP,
+                        Span::unknown(),
+                        format!(
+                            "signals `{}.{}` and `{}.{other}` occupy overlapping bits",
+                            m.name, sig.name, m.name
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Cross-validate `program` against `db`.
+pub fn cross_check(program: &Program, db: &Database) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+
+    // Resolve every declared message variable to its database message.
+    let mut var_msgs: HashMap<&str, Option<&Message>> = HashMap::new();
+    for v in &program.variables {
+        if let Type::Message(mref) = &v.ty {
+            let resolved = match mref {
+                MsgRef::Name(n) => {
+                    let m = db.message_by_name(n);
+                    if m.is_none() {
+                        out.push(unknown_name(n, span_at(v.pos, v.name.len()), db));
+                    }
+                    m
+                }
+                MsgRef::Id(id) => {
+                    let m = db.message_by_id(*id);
+                    if m.is_none() {
+                        out.push(unknown_id(*id, span_at(v.pos, v.name.len())));
+                    }
+                    m
+                }
+                MsgRef::Any => None,
+            };
+            var_msgs.insert(v.name.as_str(), resolved);
+        }
+    }
+
+    // Handlers: each must resolve, and no two may resolve to one message.
+    let mut handled: HashMap<u32, &MsgRef> = HashMap::new();
+    for h in &program.handlers {
+        let EventKind::Message(mref) = &h.event else {
+            continue;
+        };
+        let resolved = match mref {
+            // A handler may name either a database message or a declared
+            // message variable (which aliases one).
+            MsgRef::Name(n) => match var_msgs.get(n.as_str()) {
+                Some(via_var) => *via_var,
+                None => {
+                    let m = db.message_by_name(n);
+                    if m.is_none() {
+                        out.push(unknown_name(n, span_at(h.pos, 2), db));
+                    }
+                    m
+                }
+            },
+            MsgRef::Id(id) => {
+                let m = db.message_by_id(*id);
+                if m.is_none() {
+                    out.push(unknown_id(*id, span_at(h.pos, 2)));
+                }
+                m
+            }
+            MsgRef::Any => None,
+        };
+        if let Some(m) = resolved {
+            if let Some(first) = handled.insert(m.id, mref) {
+                out.push(
+                    Diagnostic::error(
+                        codes::HANDLER_COLLISION,
+                        span_at(h.pos, 2),
+                        format!(
+                            "handler `on message {}` matches database message `{}` already \
+                             handled by `on message {}`",
+                            msg_ref_text(mref),
+                            m.name,
+                            msg_ref_text(first)
+                        ),
+                    )
+                    .with_note("only one handler per CAN message ever runs"),
+                );
+            }
+        }
+    }
+
+    // Body checks: output() of unresolvable symbolic names, unknown signals.
+    for h in &program.handlers {
+        let this_msg = match &h.event {
+            EventKind::Message(MsgRef::Name(n)) => match var_msgs.get(n.as_str()) {
+                Some(via_var) => *via_var,
+                None => db.message_by_name(n),
+            },
+            EventKind::Message(MsgRef::Id(id)) => db.message_by_id(*id),
+            _ => None,
+        };
+        let anchor = span_at(h.pos, 2);
+        let mut check = |e: &Expr| check_expr(e, this_msg, &var_msgs, db, anchor, &mut out);
+        crate::capl_rules::visit_exprs(&h.body, &mut check);
+    }
+    for f in &program.functions {
+        let anchor = span_at(f.pos, 2);
+        let mut check = |e: &Expr| check_expr(e, None, &var_msgs, db, anchor, &mut out);
+        crate::capl_rules::visit_exprs(&f.body, &mut check);
+    }
+
+    out
+}
+
+fn check_expr(
+    e: &Expr,
+    this_msg: Option<&Message>,
+    var_msgs: &HashMap<&str, Option<&Message>>,
+    db: &Database,
+    anchor: Span,
+    out: &mut Vec<Diagnostic>,
+) {
+    match e {
+        // `output(name)` of a bare symbolic name must exist in the database.
+        Expr::Call { name, args } if name == "output" => {
+            if let Some(Expr::Ident(m)) = args.first() {
+                if !var_msgs.contains_key(m.as_str()) && db.message_by_name(m).is_none() {
+                    out.push(unknown_name(m, anchor, db));
+                }
+            }
+        }
+        // Signal access on `this` or on a resolved message variable.
+        Expr::Member { object, member } => {
+            let target = match &**object {
+                Expr::This => this_msg,
+                Expr::Ident(v) => var_msgs.get(v.as_str()).copied().flatten(),
+                _ => None,
+            };
+            if let Some(m) = target {
+                if m.signal(member).is_none() && !MESSAGE_SELECTORS.contains(&member.as_str()) {
+                    let mut d = Diagnostic::warning(
+                        codes::UNKNOWN_SIGNAL,
+                        anchor,
+                        format!("message `{}` has no signal `{member}`", m.name),
+                    );
+                    if let Some(close) = nearest(member, m.signals.iter().map(|s| s.name.as_str()))
+                    {
+                        d = d.with_note(format!("did you mean `{close}`?"));
+                    }
+                    out.push(d);
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
+fn unknown_name(name: &str, span: Span, db: &Database) -> Diagnostic {
+    let mut d = Diagnostic::error(
+        codes::UNKNOWN_DB_MESSAGE,
+        span,
+        format!("message `{name}` is not defined in the database"),
+    );
+    if let Some(close) = nearest(name, db.messages.iter().map(|m| m.name.as_str())) {
+        d = d.with_note(format!("did you mean `{close}`?"));
+    }
+    d
+}
+
+/// Render a handler's message reference the way it appears in source.
+fn msg_ref_text(mref: &MsgRef) -> String {
+    match mref {
+        MsgRef::Name(n) => n.clone(),
+        MsgRef::Id(id) => format!("0x{id:x}"),
+        MsgRef::Any => "*".to_owned(),
+    }
+}
+
+fn unknown_id(id: u32, span: Span) -> Diagnostic {
+    Diagnostic::error(
+        codes::UNKNOWN_DB_ID,
+        span,
+        format!("CAN id 0x{id:x} is not defined in the database"),
+    )
+}
+
+/// The candidate within edit distance 2 of `name`, if any (for suggestions).
+fn nearest<'a>(name: &str, candidates: impl Iterator<Item = &'a str>) -> Option<&'a str> {
+    candidates
+        .map(|c| (edit_distance(name, c), c))
+        .filter(|(d, _)| *d > 0 && *d <= 2)
+        .min_by_key(|(d, _)| *d)
+        .map(|(_, c)| c)
+}
+
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0; b.len() + 1];
+    for (i, ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diag::Code;
+
+    const DBC: &str = "BU_: ECU VMG\nBO_ 100 reqSw: 2 VMG\n SG_ cmd : 0|8@1+ (1,0) [0|255] \"\" ECU\nBO_ 101 rptSw: 2 ECU\n SG_ state : 0|8@1+ (1,0) [0|255] \"\" VMG\n";
+
+    fn db() -> Database {
+        candb::parse(DBC).unwrap()
+    }
+
+    fn cross(src: &str) -> Vec<Diagnostic> {
+        cross_check(&capl::parse(src).unwrap(), &db())
+    }
+
+    fn has(diags: &[Diagnostic], code: Code) -> bool {
+        diags.iter().any(|d| d.code == code)
+    }
+
+    #[test]
+    fn clean_program_cross_checks_clean() {
+        let d = cross(
+            "variables { message reqSw a; message rptSw b; }
+             on message reqSw { output(b); }",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn unknown_message_name_is_an_error() {
+        let d = cross("variables { message reqSws a; }");
+        assert!(has(&d, codes::UNKNOWN_DB_MESSAGE), "{d:?}");
+        // The typo is close to a real message, so a suggestion is attached.
+        assert!(d[0].notes.iter().any(|n| n.contains("reqSw")), "{d:?}");
+    }
+
+    #[test]
+    fn unknown_raw_id_is_an_error() {
+        let d = cross("variables { message 0x999 a; }");
+        assert!(has(&d, codes::UNKNOWN_DB_ID), "{d:?}");
+    }
+
+    #[test]
+    fn handler_for_unknown_message_is_an_error() {
+        let d = cross("on message bogus { }");
+        assert!(has(&d, codes::UNKNOWN_DB_MESSAGE), "{d:?}");
+    }
+
+    #[test]
+    fn colliding_handlers_are_an_error() {
+        let d = cross(
+            "on message reqSw { }
+             on message 100 { }",
+        );
+        assert!(has(&d, codes::HANDLER_COLLISION), "{d:?}");
+    }
+
+    #[test]
+    fn output_of_unknown_symbolic_name_is_an_error() {
+        let d = cross("on start { output(phantom); }");
+        assert!(has(&d, codes::UNKNOWN_DB_MESSAGE), "{d:?}");
+    }
+
+    #[test]
+    fn unknown_signal_access_is_a_warning() {
+        let d = cross(
+            "variables { message reqSw a; }
+             on message reqSw { a.cmdd = 1; }",
+        );
+        assert!(has(&d, codes::UNKNOWN_SIGNAL), "{d:?}");
+    }
+
+    #[test]
+    fn this_signal_access_resolves_through_handler() {
+        let d = cross("on message reqSw { write(\"%d\", this.cmd); }");
+        assert!(d.is_empty(), "{d:?}");
+        let d = cross("on message reqSw { write(\"%d\", this.nosig); }");
+        assert!(has(&d, codes::UNKNOWN_SIGNAL), "{d:?}");
+    }
+
+    #[test]
+    fn selector_access_is_clean() {
+        let d = cross("variables { message reqSw a; } on start { write(\"%d\", a.dlc); }");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn db_hygiene_flags_defects() {
+        let mut database = db();
+        database.messages[0].dlc = 9;
+        database.messages[1].id = 100;
+        database.messages[1].signals[0].length = 64;
+        let d = lint_database(&database);
+        assert!(has(&d, codes::DLC_TOO_LARGE), "{d:?}");
+        assert!(has(&d, codes::DUPLICATE_DB_ID), "{d:?}");
+        assert!(has(&d, codes::SIGNAL_PAST_DLC), "{d:?}");
+    }
+
+    #[test]
+    fn overlapping_signals_are_flagged() {
+        let mut database = db();
+        let mut extra = database.messages[0].signals[0].clone();
+        extra.name = "cmd2".into();
+        extra.start_bit = 4;
+        database.messages[0].signals.push(extra);
+        let d = lint_database(&database);
+        assert!(has(&d, codes::SIGNAL_OVERLAP), "{d:?}");
+    }
+
+    #[test]
+    fn clean_database_is_clean() {
+        assert!(lint_database(&db()).is_empty());
+    }
+}

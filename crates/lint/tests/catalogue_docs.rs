@@ -1,0 +1,38 @@
+//! Keeps `docs/LINTS.md` in sync with the published code catalogue.
+
+const LINTS_MD: &str = include_str!(concat!(env!("CARGO_MANIFEST_DIR"), "/../../docs/LINTS.md"));
+
+#[test]
+fn every_published_code_is_documented() {
+    let missing: Vec<&str> = lint::codes::CATALOGUE
+        .iter()
+        .map(|(code, _)| code.0)
+        .filter(|code| !LINTS_MD.contains(code))
+        .collect();
+    assert!(
+        missing.is_empty(),
+        "codes missing from docs/LINTS.md: {missing:?}"
+    );
+}
+
+#[test]
+fn documentation_mentions_no_unpublished_codes() {
+    // Any CAPL/DBC/CSP-prefixed number in the docs must be in the catalogue.
+    let published: Vec<&str> = lint::codes::CATALOGUE.iter().map(|(c, _)| c.0).collect();
+    let mut stale = Vec::new();
+    for (prefix, digits) in [("CAPL", 3), ("DBC", 3), ("CSP", 3)] {
+        let mut rest = LINTS_MD;
+        while let Some(at) = rest.find(prefix) {
+            let tail = &rest[at + prefix.len()..];
+            let num: String = tail.chars().take_while(char::is_ascii_digit).collect();
+            if num.len() == digits {
+                let code = format!("{prefix}{num}");
+                if !published.contains(&code.as_str()) && !stale.contains(&code) {
+                    stale.push(code);
+                }
+            }
+            rest = &rest[at + prefix.len()..];
+        }
+    }
+    assert!(stale.is_empty(), "undocumented codes referenced: {stale:?}");
+}

@@ -1,0 +1,180 @@
+//! Property: linting any parser-accepted CAPL program never panics, and the
+//! findings it produces always render and serialise cleanly.
+//!
+//! The generator mirrors `capl/tests/roundtrip_prop.rs`: build a random AST,
+//! pretty-print it, and re-parse — everything the parser accepts goes through
+//! the full lint stack (symbol pass, dataflow, database cross-checks).
+
+use capl::ast::*;
+use proptest::prelude::*;
+
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z][a-zA-Z0-9_]{0,6}".prop_filter("keyword", |s| {
+        ![
+            "on",
+            "if",
+            "else",
+            "while",
+            "for",
+            "switch",
+            "case",
+            "default",
+            "return",
+            "break",
+            "continue",
+            "int",
+            "long",
+            "byte",
+            "word",
+            "dword",
+            "char",
+            "float",
+            "double",
+            "message",
+            "msTimer",
+            "timer",
+            "void",
+            "this",
+            "includes",
+            "variables",
+            "output",
+            "start",
+        ]
+        .contains(&s.as_str())
+    })
+}
+
+fn scalar_type() -> impl Strategy<Value = Type> {
+    prop_oneof![
+        Just(Type::Int),
+        Just(Type::Long),
+        Just(Type::Byte),
+        Just(Type::Word),
+        Just(Type::Dword),
+        Just(Type::Char),
+    ]
+}
+
+fn arb_expr(depth: u32) -> BoxedStrategy<Expr> {
+    let leaf = prop_oneof![
+        (0i64..1000).prop_map(Expr::Int),
+        ident().prop_map(Expr::Ident),
+        Just(Expr::This),
+        "[ -~&&[^\"\\\\%']]{0,8}".prop_map(Expr::Str),
+    ];
+    leaf.prop_recursive(depth, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| Expr::Binary {
+                op: BinOp::Add,
+                lhs: Box::new(l),
+                rhs: Box::new(r),
+            }),
+            (inner.clone(), ident()).prop_map(|(o, m)| Expr::Member {
+                object: Box::new(o),
+                member: m,
+            }),
+            (ident(), proptest::collection::vec(inner.clone(), 0..3))
+                .prop_map(|(name, args)| Expr::Call { name, args }),
+            (ident(), inner.clone()).prop_map(|(v, idx)| Expr::Index {
+                array: Box::new(Expr::Ident(v)),
+                index: Box::new(idx),
+            }),
+        ]
+    })
+    .boxed()
+}
+
+fn arb_stmt(depth: u32) -> BoxedStrategy<Stmt> {
+    let leaf = prop_oneof![
+        (ident(), arb_expr(2)).prop_map(|(v, e)| Stmt::Expr(Expr::Assign {
+            target: Box::new(Expr::Ident(v)),
+            value: Box::new(e),
+        })),
+        (ident(), proptest::collection::vec(arb_expr(1), 0..3))
+            .prop_map(|(name, args)| Stmt::Expr(Expr::Call { name, args })),
+        Just(Stmt::Break),
+        Just(Stmt::Continue),
+        proptest::option::of(arb_expr(1)).prop_map(Stmt::Return),
+        (scalar_type(), ident(), proptest::option::of(arb_expr(1))).prop_map(|(ty, name, init)| {
+            Stmt::VarDecl(VarDecl {
+                ty,
+                name,
+                array: None,
+                init,
+                pos: capl::Pos::default(),
+            })
+        }),
+    ];
+    leaf.prop_recursive(depth, 12, 2, |inner| {
+        let blk = proptest::collection::vec(inner.clone(), 0..3).prop_map(|stmts| Block { stmts });
+        prop_oneof![
+            (arb_expr(1), blk.clone(), proptest::option::of(blk.clone()))
+                .prop_map(|(cond, then, els)| Stmt::If { cond, then, els }),
+            (arb_expr(1), blk.clone()).prop_map(|(cond, body)| Stmt::While { cond, body }),
+            blk.prop_map(Stmt::Block),
+        ]
+    })
+    .boxed()
+}
+
+fn arb_program() -> impl Strategy<Value = Program> {
+    (
+        proptest::collection::vec(
+            (scalar_type(), ident(), proptest::option::of(arb_expr(1))),
+            0..4,
+        ),
+        proptest::collection::vec(arb_stmt(2), 0..4),
+        proptest::collection::vec(arb_stmt(2), 0..4),
+    )
+        .prop_map(|(vars, start_body, msg_body)| Program {
+            includes: vec![],
+            variables: vars
+                .into_iter()
+                .map(|(ty, name, init)| VarDecl {
+                    ty,
+                    name,
+                    array: None,
+                    init,
+                    pos: capl::Pos::default(),
+                })
+                .collect(),
+            handlers: vec![
+                EventHandler {
+                    event: EventKind::Start,
+                    body: Block { stmts: start_body },
+                    pos: capl::Pos::default(),
+                },
+                EventHandler {
+                    event: EventKind::Message(MsgRef::Name("reqSw".to_owned())),
+                    body: Block { stmts: msg_body },
+                    pos: capl::Pos::default(),
+                },
+            ],
+            functions: vec![],
+        })
+}
+
+const DBC: &str = "BU_: VMG ECU\nBO_ 256 reqSw: 8 VMG\n SG_ x : 0|8@1+ (1,0) [0|255] \"\" ECU\n";
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn linting_parser_accepted_programs_never_panics(program in arb_program()) {
+        let printed = capl::pretty::program(&program);
+        // Only parser-accepted programs are in scope; generated ASTs that the
+        // printer cannot round-trip are skipped, not failures.
+        let Ok(reparsed) = capl::parse(&printed) else { return Ok(()) };
+
+        let db = candb::parse(DBC).expect("fixture database parses");
+        let mut diags = lint::lint_program(&reparsed);
+        diags.extend(lint::cross_check(&reparsed, &db));
+
+        // Every finding renders against the real source and serialises.
+        for d in &diags {
+            let rendered = d.render("prop.can", &printed);
+            prop_assert!(rendered.starts_with(d.severity.label()), "{rendered}");
+            prop_assert!(!d.to_json("prop.can").is_empty());
+        }
+    }
+}

@@ -250,12 +250,8 @@ pub fn attack_feasible(
         .collect::<Result<_, _>>()?;
     let composed = Process::parallel(actions, system, monitor);
     let universe = alphabet.universe();
-    let spec = fdrlite::properties::never(
-        defs,
-        "NO_ATTACK",
-        &universe,
-        &EventSet::singleton(success),
-    );
+    let spec =
+        fdrlite::properties::never(defs, "NO_ATTACK", &universe, &EventSet::singleton(success));
     let verdict = fdrlite::Checker::new()
         .trace_refinement(&spec, &composed, study.definitions())
         .map_err(|e| BuildError::Missing(e.to_string()))?;

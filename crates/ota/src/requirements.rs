@@ -70,9 +70,8 @@ pub fn all(study: &mut OtaSystem) -> Result<Vec<Requirement>, BuildError> {
     // R02: every inventory request is answered by exactly one software list
     // response before the next request; other update traffic may interleave.
     let noise02: EventSet = [req_app, rpt_upd].into_iter().collect();
-    let spec02 = fdrlite::properties::request_response_with_noise(
-        defs, "R02", req_sw, rpt_sw, &noise02,
-    );
+    let spec02 =
+        fdrlite::properties::request_response_with_noise(defs, "R02", req_sw, rpt_sw, &noise02);
     out.push(Requirement {
         id: "R02",
         text: "On receipt of software inventory request, the ECU shall send a software list response message.",
@@ -101,9 +100,8 @@ pub fn all(study: &mut OtaSystem) -> Result<Vec<Requirement>, BuildError> {
     // R04: once applied, the result message follows — exactly one per
     // request.
     let noise04: EventSet = [req_sw, rpt_sw].into_iter().collect();
-    let spec04 = fdrlite::properties::request_response_with_noise(
-        defs, "R04", req_app, rpt_upd, &noise04,
-    );
+    let spec04 =
+        fdrlite::properties::request_response_with_noise(defs, "R04", req_app, rpt_upd, &noise04);
     out.push(Requirement {
         id: "R04",
         text: "On completion of update module installation, the ECU shall send software update result message to the VMG.",
@@ -187,11 +185,9 @@ mod tests {
         // In the composed system the VMG (not yet ready for a second
         // report) would mask the fault; the paper's aim is component-level
         // checking, so R02 is checked against the ECU model alone.
-        let mut study = OtaSystem::build_with(
-            crate::sources::VMG_CAPL,
-            crate::sources::FAULTY_ECU_CAPL,
-        )
-        .unwrap();
+        let mut study =
+            OtaSystem::build_with(crate::sources::VMG_CAPL, crate::sources::FAULTY_ECU_CAPL)
+                .unwrap();
         let reqs = all(&mut study).unwrap();
         let r02 = reqs.iter().find(|r| r.id == "R02").unwrap();
         let verdict = Checker::new()

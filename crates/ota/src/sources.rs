@@ -184,9 +184,11 @@ mod tests {
     #[test]
     fn full_loop_runs_with_server() {
         let mut sim = canoe_sim::Simulation::new(Some(crate::messages::database()));
-        sim.add_node("VMG", capl::parse(VMG_FULL_CAPL).unwrap()).unwrap();
+        sim.add_node("VMG", capl::parse(VMG_FULL_CAPL).unwrap())
+            .unwrap();
         sim.add_node("ECU", capl::parse(ECU_CAPL).unwrap()).unwrap();
-        sim.add_node("Server", capl::parse(SERVER_CAPL).unwrap()).unwrap();
+        sim.add_node("Server", capl::parse(SERVER_CAPL).unwrap())
+            .unwrap();
         sim.run_for(100_000).unwrap();
         assert_eq!(
             sim.node_global("Server", "reportsSeen").unwrap(),

@@ -96,10 +96,9 @@ impl AttackTree {
                 }
                 acc
             }
-            AttackTree::Choice(children) => children
-                .iter()
-                .flat_map(|c| c.sequences())
-                .collect(),
+            AttackTree::Choice(children) => {
+                children.iter().flat_map(AttackTree::sequences).collect()
+            }
         }
     }
 
@@ -110,17 +109,16 @@ impl AttackTree {
         match self {
             AttackTree::Leaf(a) => Process::prefix(alphabet.intern(a), Process::Skip),
             AttackTree::Seq(children) => {
-                let parts: Vec<Process> =
-                    children.iter().map(|c| c.to_process(alphabet)).collect();
+                let parts: Vec<Process> = children.iter().map(|c| c.to_process(alphabet)).collect();
                 let mut iter = parts.into_iter().rev();
                 match iter.next() {
                     None => Process::Skip,
                     Some(last) => iter.fold(last, |acc, p| Process::seq(p, acc)),
                 }
             }
-            AttackTree::Par(children) => Process::interleave_all(
-                children.iter().map(|c| c.to_process(alphabet)).collect(),
-            ),
+            AttackTree::Par(children) => {
+                Process::interleave_all(children.iter().map(|c| c.to_process(alphabet)).collect())
+            }
             AttackTree::Choice(children) => Process::external_choice_all(
                 children.iter().map(|c| c.to_process(alphabet)).collect(),
             ),
@@ -139,10 +137,7 @@ impl AttackTree {
     ) -> Process {
         let success = alphabet.intern(success_event);
         let attack = self.to_process(alphabet);
-        let done = defs.add(
-            "ATTACK_DONE",
-            Process::prefix(success, Process::Stop),
-        );
+        let done = defs.add("ATTACK_DONE", Process::prefix(success, Process::Stop));
         Process::seq(attack, Process::var(done))
     }
 }
@@ -179,7 +174,7 @@ mod tests {
     }
 
     fn s(items: &[&str]) -> Vec<String> {
-        items.iter().map(|s| s.to_string()).collect()
+        items.iter().map(std::string::ToString::to_string).collect()
     }
 
     #[test]
@@ -274,7 +269,13 @@ mod tests {
             AttackTree::leaf("probe"),
             AttackTree::Choice(vec![AttackTree::leaf("spoof"), AttackTree::leaf("probe")]),
         ]);
-        assert_eq!(t.actions(), ["probe", "spoof"].iter().map(|s| s.to_string()).collect());
+        assert_eq!(
+            t.actions(),
+            ["probe", "spoof"]
+                .iter()
+                .map(std::string::ToString::to_string)
+                .collect()
+        );
     }
 
     #[test]

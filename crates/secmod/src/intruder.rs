@@ -282,11 +282,8 @@ mod tests {
         let (ab, defs, intruder) = setup();
         let net = ab.lookup("net.reqSw").unwrap();
         let sender = Process::prefix(net, Process::prefix(net, Process::Stop));
-        let system = Process::parallel(
-            EventSet::singleton(net),
-            sender,
-            intruder.process().clone(),
-        );
+        let system =
+            Process::parallel(EventSet::singleton(net), sender, intruder.process().clone());
         let lts = Lts::build(system, &defs, 10_000).unwrap();
         assert!(csp::traces::has_trace(&lts, &[net, net]));
     }

@@ -93,13 +93,7 @@ mod tests {
     fn confidentiality_rejects_leak() {
         let mut ab = Alphabet::new();
         let mut defs = Definitions::new();
-        let spec = confidentiality(
-            &mut ab,
-            &mut defs,
-            "CONF",
-            &["send.rptSw"],
-            &["leak.key"],
-        );
+        let spec = confidentiality(&mut ab, &mut defs, "CONF", &["send.rptSw"], &["leak.key"]);
         let rpt = ab.lookup("send.rptSw").unwrap();
         let leak = ab.lookup("leak.key").unwrap();
         let good = Process::prefix_chain([rpt, rpt], Process::Stop);

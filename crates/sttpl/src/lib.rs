@@ -320,9 +320,7 @@ impl TplParser {
                 let opts = opts.trim();
                 let sep = opts
                     .strip_prefix("separator=")
-                    .ok_or_else(|| {
-                        TemplateError::Parse(format!("unknown option `{opts}`"))
-                    })?
+                    .ok_or_else(|| TemplateError::Parse(format!("unknown option `{opts}`")))?
                     .trim()
                     .trim_matches('"')
                     .to_owned();
@@ -471,16 +469,12 @@ mod tests {
     #[test]
     fn list_with_separator() {
         let t = Template::parse("datatype MsgT = $msgs; separator=\" | \"$").unwrap();
-        assert_eq!(
-            t.render(&ctx()).unwrap(),
-            "datatype MsgT = reqSw | rptSw"
-        );
+        assert_eq!(t.render(&ctx()).unwrap(), "datatype MsgT = reqSw | rptSw");
     }
 
     #[test]
     fn lambda_over_maps() {
-        let t =
-            Template::parse("$messages:{m | $m.name$/$m.id$}; separator=\", \"$").unwrap();
+        let t = Template::parse("$messages:{m | $m.name$/$m.id$}; separator=\", \"$").unwrap();
         assert_eq!(t.render(&ctx()).unwrap(), "reqSw/100, rptSw/101");
     }
 
@@ -509,10 +503,7 @@ mod tests {
     #[test]
     fn missing_attribute_in_substitution_errors() {
         let t = Template::parse("$ghost$").unwrap();
-        assert!(matches!(
-            t.render(&ctx()),
-            Err(TemplateError::Render(_))
-        ));
+        assert!(matches!(t.render(&ctx()), Err(TemplateError::Render(_))));
     }
 
     #[test]
@@ -550,6 +541,9 @@ mod tests {
         )
         .unwrap();
         let out = t.render(&ctx()).unwrap();
-        assert_eq!(out, "ON_reqSw = rec.reqSw -> SKIP\nON_rptSw = rec.rptSw -> SKIP");
+        assert_eq!(
+            out,
+            "ON_reqSw = rec.reqSw -> SKIP\nON_rptSw = rec.rptSw -> SKIP"
+        );
     }
 }

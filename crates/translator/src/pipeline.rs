@@ -7,6 +7,7 @@ use std::time::Instant;
 
 use capl::Diagnostic;
 use cspm::LoadedScript;
+use lint::LintReport;
 
 use crate::translate::{TranslateConfig, TranslationReport, Translator};
 
@@ -41,6 +42,8 @@ impl std::error::Error for PipelineError {}
 pub struct StageTimings {
     /// CAPL (and database) parsing.
     pub parse_us: u64,
+    /// Static analysis (CAPL lints, database cross-checks, CSPm lints).
+    pub lint_us: u64,
     /// Model extraction.
     pub translate_us: u64,
     /// CSPm parsing and elaboration.
@@ -58,6 +61,12 @@ pub struct PipelineOutput {
     pub report: TranslationReport,
     /// Semantic diagnostics from the CAPL frontend.
     pub diagnostics: Vec<Diagnostic>,
+    /// Static-analysis findings for every stage: the CAPL lints (a superset
+    /// of [`PipelineOutput::diagnostics`], plus dataflow and database
+    /// cross-checks), database hygiene, and structural lints over the
+    /// *generated* CSPm model. Lints never abort the pipeline — gating is the
+    /// caller's policy decision.
+    pub lints: LintReport,
     /// The elaborated script, ready for checking.
     pub loaded: LoadedScript,
     /// Per-stage timings.
@@ -95,6 +104,14 @@ impl Pipeline {
         let diagnostics = capl::analyze(&program).diagnostics().to_vec();
         let parse_us = t0.elapsed().as_micros() as u64;
 
+        let tl = Instant::now();
+        let mut lints = LintReport::for_capl(lint::lint_program(&program));
+        if let Some(db) = &db {
+            lints.capl.extend(lint::cross_check(&program, db));
+            lints.dbc = lint::lint_database(db);
+        }
+        let front_lint_us = tl.elapsed().as_micros() as u64;
+
         let t1 = Instant::now();
         let mut translator = Translator::new(self.config.clone());
         if let Some(db) = db {
@@ -106,27 +123,31 @@ impl Pipeline {
         let translate_us = t1.elapsed().as_micros() as u64;
 
         let t2 = Instant::now();
-        let loaded = cspm::Script::parse(&output.script)
-            .and_then(|s| s.load())
-            .map_err(PipelineError::Cspm)?;
-        let elaborate_us = t2.elapsed().as_micros() as u64;
+        let script = cspm::Script::parse(&output.script).map_err(PipelineError::Cspm)?;
+        let cspm_parse_us = t2.elapsed().as_micros() as u64;
+        let tl2 = Instant::now();
+        lints.csp = lint::lint_module(script.module());
+        let lint_us = front_lint_us + tl2.elapsed().as_micros() as u64;
+        let t3 = Instant::now();
+        let loaded = script.load().map_err(PipelineError::Cspm)?;
+        let elaborate_us = cspm_parse_us + t3.elapsed().as_micros() as u64;
 
         Ok(PipelineOutput {
             script: output.script,
             entry: output.entry,
             report: output.report,
             diagnostics,
+            lints,
             loaded,
             timings: StageTimings {
                 parse_us,
+                lint_us,
                 translate_us,
                 elaborate_us,
             },
         })
     }
 }
-
-
 
 #[cfg(test)]
 mod tests {
@@ -150,7 +171,10 @@ BO_ 101 rptSw: 8 ECU
         let pipeline = Pipeline::new(TranslateConfig::ecu("ECU"));
         let out = pipeline.run(ECU_SRC, Some(DBC_SRC)).unwrap();
         assert!(out.loaded.process("ECU").is_some());
-        assert!(out.diagnostics.iter().all(|d| d.severity != capl::Severity::Error));
+        assert!(out
+            .diagnostics
+            .iter()
+            .all(|d| d.severity != capl::Severity::Error));
     }
 
     #[test]
@@ -167,6 +191,25 @@ BO_ 101 rptSw: 8 ECU
             .run(ECU_SRC, Some(" SG_ broken : nonsense"))
             .unwrap_err();
         assert!(matches!(err, PipelineError::Dbc(_)));
+    }
+
+    #[test]
+    fn pipeline_collects_lints() {
+        let pipeline = Pipeline::new(TranslateConfig::ecu("ECU"));
+        let src = "variables { message reqSw msgReq; message rptSw msgRpt; }
+                   on message reqSw { int x; x = 5; output(msgRpt); }";
+        let out = pipeline.run(src, Some(DBC_SRC)).unwrap();
+        assert!(
+            out.lints
+                .capl
+                .iter()
+                .any(|d| d.code == lint::codes::DEAD_STORE),
+            "{:?}",
+            out.lints
+        );
+        // The clean fixture produces no error-severity findings anywhere.
+        let out = pipeline.run(ECU_SRC, Some(DBC_SRC)).unwrap();
+        assert_eq!(out.lints.error_count(), 0, "{:?}", out.lints);
     }
 
     #[test]

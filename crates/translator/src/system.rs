@@ -194,9 +194,8 @@ impl SystemBuilder {
                 let mut left_alpha = format!("ALPHA_{}", names[0]);
                 for (i, entry) in entries.iter().enumerate().skip(1) {
                     let right_alpha = format!("ALPHA_{}", names[i]);
-                    composed = format!(
-                        "({composed} [| inter({left_alpha}, {right_alpha}) |] {entry})"
-                    );
+                    composed =
+                        format!("({composed} [| inter({left_alpha}, {right_alpha}) |] {entry})");
                     left_alpha = format!("union({left_alpha}, {right_alpha})");
                 }
                 format!("{} = {composed}", self.system_name)

@@ -4,9 +4,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 use candb::Database;
-use capl::ast::{
-    BinOp, Block, EventKind, Expr, MsgRef, Program, Stmt, Type, UnOp,
-};
+use capl::ast::{BinOp, Block, EventKind, Expr, MsgRef, Program, Stmt, Type, UnOp};
 use sttpl::{Template, Value as TplValue};
 
 /// How a node's events map onto the shared bus channels.
@@ -167,7 +165,7 @@ pub(crate) struct NodeAlphabet {
 
 impl NodeAlphabet {
     /// Render as a CSPm set expression.
-    pub fn to_cspm(&self) -> String {
+    pub(crate) fn to_cspm(&self) -> String {
         let prods = if self.patterns.is_empty() {
             None
         } else {
@@ -441,7 +439,9 @@ impl Translator {
             {
                 self.note(
                     AbstractionKind::SignalPayload,
-                    format!("multiple payload signals configured for `{message}`; keeping `{signal}`"),
+                    format!(
+                        "multiple payload signals configured for `{message}`; keeping `{signal}`"
+                    ),
                 );
             }
         }
@@ -589,7 +589,12 @@ impl Translator {
             .map(|p| {
                 (
                     p.clone(),
-                    Sym::Expr(self.init_values.get(p).cloned().unwrap_or_else(|| "0".into())),
+                    Sym::Expr(
+                        self.init_values
+                            .get(p)
+                            .cloned()
+                            .unwrap_or_else(|| "0".into()),
+                    ),
                 )
             })
             .collect()
@@ -621,13 +626,7 @@ impl Translator {
 
     // ---- statement translation ---------------------------------------------
 
-    fn tr_stmts(
-        &mut self,
-        program: &Program,
-        stmts: &[Stmt],
-        env: Env,
-        k: Cont<'_>,
-    ) -> TrResult {
+    fn tr_stmts(&mut self, program: &Program, stmts: &[Stmt], env: Env, k: Cont<'_>) -> TrResult {
         let Some((first, rest)) = stmts.split_first() else {
             return k(self, env);
         };
@@ -649,8 +648,7 @@ impl Translator {
             }
             Stmt::If { cond, then, els } => {
                 let cond_text = self.tr_cond(cond, &env);
-                let then_text =
-                    self.tr_stmts(program, &then.stmts, env.clone(), k_rest)?;
+                let then_text = self.tr_stmts(program, &then.stmts, env.clone(), k_rest)?;
                 let else_text = match els {
                     Some(b) => self.tr_stmts(program, &b.stmts, env.clone(), k_rest)?,
                     None => k_rest(self, env.clone())?,
@@ -706,7 +704,7 @@ impl Translator {
                         }
                         match default {
                             Some(d) => {
-                                arms.push(self.tr_stmts(program, &d.stmts, env.clone(), k_rest)?)
+                                arms.push(self.tr_stmts(program, &d.stmts, env.clone(), k_rest)?);
                             }
                             None => arms.push(k_rest(self, env.clone())?),
                         }
@@ -765,7 +763,9 @@ impl Translator {
             Expr::Call { name, args } => match name.as_str() {
                 "output" => {
                     let Some(arg) = args.first() else {
-                        return Err(TranslateError::Unsupported("output() without argument".into()));
+                        return Err(TranslateError::Unsupported(
+                            "output() without argument".into(),
+                        ));
                     };
                     let Some(msg) = self.output_msg_name(arg) else {
                         return Err(TranslateError::Unsupported(
@@ -786,10 +786,9 @@ impl Translator {
                         let value = env.get(&var_key).cloned();
                         let rest = k(self, env)?;
                         return Ok(match value {
-                            Some(Sym::Expr(text)) => format!(
-                                "{}.{msg}.({text}) -> {rest}",
-                                self.config.output_channel
-                            ),
+                            Some(Sym::Expr(text)) => {
+                                format!("{}.{msg}.({text}) -> {rest}", self.config.output_channel)
+                            }
                             _ => {
                                 self.fresh_counter += 1;
                                 if value.is_none() {
@@ -811,8 +810,7 @@ impl Translator {
                     Ok(format!("{}.{msg} -> {rest}", self.config.output_channel))
                 }
                 "setTimer" => {
-                    if let (true, Some(Expr::Ident(t))) = (self.config.model_timers, args.first())
-                    {
+                    if let (true, Some(Expr::Ident(t))) = (self.config.model_timers, args.first()) {
                         if self.report.timers.iter().any(|x| x == t) {
                             env.insert(armed_name(t), Sym::Expr("1".to_owned()));
                         }
@@ -820,8 +818,7 @@ impl Translator {
                     k(self, env)
                 }
                 "cancelTimer" => {
-                    if let (true, Some(Expr::Ident(t))) = (self.config.model_timers, args.first())
-                    {
+                    if let (true, Some(Expr::Ident(t))) = (self.config.model_timers, args.first()) {
                         if self.report.timers.iter().any(|x| x == t) {
                             env.insert(armed_name(t), Sym::Expr("0".to_owned()));
                         }
@@ -829,7 +826,10 @@ impl Translator {
                     k(self, env)
                 }
                 "write" => {
-                    self.note(AbstractionKind::IgnoredBuiltin, "`write` has no model effect");
+                    self.note(
+                        AbstractionKind::IgnoredBuiltin,
+                        "`write` has no model effect",
+                    );
                     k(self, env)
                 }
                 _ => {
@@ -854,25 +854,23 @@ impl Translator {
             },
             Expr::Assign { target, value } => {
                 match target.as_ref() {
-                    Expr::Ident(v) if env.contains_key(v) => {
-                        match self.tr_expr(value, &env) {
-                            Some(text) => {
-                                let bounded = if self.params.contains(v) {
-                                    format!("sat({text})")
-                                } else {
-                                    text
-                                };
-                                env.insert(v.clone(), Sym::Expr(bounded));
-                            }
-                            None => {
-                                self.note(
-                                    AbstractionKind::HavocAssignment,
-                                    format!("`{v}` assigned an untranslatable value; havocked"),
-                                );
-                                env.insert(v.clone(), Sym::Havoc);
-                            }
+                    Expr::Ident(v) if env.contains_key(v) => match self.tr_expr(value, &env) {
+                        Some(text) => {
+                            let bounded = if self.params.contains(v) {
+                                format!("sat({text})")
+                            } else {
+                                text
+                            };
+                            env.insert(v.clone(), Sym::Expr(bounded));
                         }
-                    }
+                        None => {
+                            self.note(
+                                AbstractionKind::HavocAssignment,
+                                format!("`{v}` assigned an untranslatable value; havocked"),
+                            );
+                            env.insert(v.clone(), Sym::Havoc);
+                        }
+                    },
                     Expr::Member { object, member } => {
                         let configured = match object.as_ref() {
                             Expr::Ident(v) => self
@@ -884,18 +882,20 @@ impl Translator {
                             _ => None,
                         };
                         match configured {
-                            Some(key) => match self.tr_expr(value, &env) {
-                                Some(text) => {
-                                    env.insert(key, Sym::Expr(format!("sat({text})")));
-                                }
-                                None => {
-                                    env.insert(key, Sym::Havoc);
-                                    self.note(
+                            Some(key) => {
+                                match self.tr_expr(value, &env) {
+                                    Some(text) => {
+                                        env.insert(key, Sym::Expr(format!("sat({text})")));
+                                    }
+                                    None => {
+                                        env.insert(key, Sym::Havoc);
+                                        self.note(
                                         AbstractionKind::HavocAssignment,
                                         format!("payload `{member}` assigned an untranslatable value"),
                                     );
+                                    }
                                 }
-                            },
+                            }
                             None => {
                                 self.note(
                                     AbstractionKind::SignalPayload,
@@ -945,10 +945,12 @@ impl Translator {
         let unrollable = (|| {
             let Some(init) = init else { return None };
             let (var, from) = match init.as_ref() {
-                Stmt::Expr(Expr::Assign { target, value }) => match (target.as_ref(), value.as_ref()) {
-                    (Expr::Ident(v), Expr::Int(n)) => (v.clone(), *n),
-                    _ => return None,
-                },
+                Stmt::Expr(Expr::Assign { target, value }) => {
+                    match (target.as_ref(), value.as_ref()) {
+                        (Expr::Ident(v), Expr::Int(n)) => (v.clone(), *n),
+                        _ => return None,
+                    }
+                }
                 Stmt::VarDecl(v) => match &v.init {
                     Some(Expr::Int(n)) => (v.name.clone(), *n),
                     _ => return None,
@@ -1005,6 +1007,7 @@ impl Translator {
 
         // Unroll: translate body iterations in sequence via nested
         // continuations built from the back.
+        #[allow(clippy::items_after_statements, clippy::too_many_arguments)]
         fn unroll(
             s: &mut Translator,
             program: &Program,
@@ -1052,7 +1055,10 @@ impl Translator {
                 },
                 _ => None,
             },
-            Expr::Unary { op: UnOp::Neg, expr } => Some(format!("(-{})", self.tr_expr(expr, env)?)),
+            Expr::Unary {
+                op: UnOp::Neg,
+                expr,
+            } => Some(format!("(-{})", self.tr_expr(expr, env)?)),
             Expr::Binary { op, lhs, rhs } => {
                 let op_text = match op {
                     BinOp::Add => "+",
@@ -1103,23 +1109,20 @@ impl Translator {
                 )),
                 _ => Some(format!("{} != 0", self.tr_expr(e, env)?)),
             },
-            Expr::Unary { op: UnOp::Not, expr } => {
-                Some(format!("not ({})", self.tr_cond(expr, env)?))
-            }
+            Expr::Unary {
+                op: UnOp::Not,
+                expr,
+            } => Some(format!("not ({})", self.tr_cond(expr, env)?)),
             other => Some(format!("{} != 0", self.tr_expr(other, env)?)),
         }
     }
-
 }
 
 // ---- rendering -----------------------------------------------------------
 
 /// Render a script from translation parts. Shared between single-node
 /// translation and multi-node system composition.
-pub(crate) fn render_script(
-    config: &TranslateConfig,
-    parts: &TranslationParts,
-) -> TrResult {
+pub(crate) fn render_script(config: &TranslateConfig, parts: &TranslationParts) -> TrResult {
     const SCRIPT_TPL: &str = "-- CSPm implementation model, automatically extracted from CAPL\n\
          -- source by the auto-csp model extractor.\n\
          $if(messages)$datatype $datatype$ = $messages; separator=\" | \"$\n\
@@ -1307,7 +1310,8 @@ mod tests {
         );
         assert!(out.script.contains("channel tock"), "{}", out.script);
         assert!(
-            out.script.contains("armed_t == 1 & tock -> send.rptSw -> ECU(1)"),
+            out.script
+                .contains("armed_t == 1 & tock -> send.rptSw -> ECU(1)"),
             "{}",
             out.script
         );
@@ -1322,11 +1326,7 @@ mod tests {
              on message reqSw { cancelTimer(t); }
              on timer t { }",
         );
-        assert!(
-            out.script.contains("rec.reqSw -> ECU(0)"),
-            "{}",
-            out.script
-        );
+        assert!(out.script.contains("rec.reqSw -> ECU(0)"), "{}", out.script);
     }
 
     #[test]
@@ -1396,7 +1396,11 @@ mod tests {
             "variables { message rptSw b; }
              on message * { output(b); }",
         );
-        assert!(out.script.contains("rec?m_any -> send.rptSw"), "{}", out.script);
+        assert!(
+            out.script.contains("rec?m_any -> send.rptSw"),
+            "{}",
+            out.script
+        );
         let loaded = cspm::Script::parse(&out.script).unwrap().load().unwrap();
         assert!(loaded.process("ECU").is_some());
     }
@@ -1408,7 +1412,11 @@ mod tests {
              on key 'u' { output(a); }",
         );
         assert!(out.script.contains("channel key_u"), "{}", out.script);
-        assert!(out.script.contains("key_u -> send.reqSw -> ECU"), "{}", out.script);
+        assert!(
+            out.script.contains("key_u -> send.reqSw -> ECU"),
+            "{}",
+            out.script
+        );
     }
 
     #[test]
@@ -1422,29 +1430,41 @@ mod tests {
         let out = Translator::new(TranslateConfig::gateway("VMG"))
             .translate(&program)
             .unwrap();
-        assert!(out.script.contains("VMG = send.rptSw -> rec.reqSw -> VMG"), "{}", out.script);
-        assert!(out.script.contains("VMG_INIT = rec.reqSw -> VMG"), "{}", out.script);
+        assert!(
+            out.script.contains("VMG = send.rptSw -> rec.reqSw -> VMG"),
+            "{}",
+            out.script
+        );
+        assert!(
+            out.script.contains("VMG_INIT = rec.reqSw -> VMG"),
+            "{}",
+            out.script
+        );
     }
 
     #[test]
     fn database_contributes_message_names() {
-        let db = candb::parse(
-            "BU_: A B\nBO_ 100 reqSw: 8 A\nBO_ 101 rptSw: 8 B\nBO_ 102 extra: 8 A",
-        )
-        .unwrap();
+        let db =
+            candb::parse("BU_: A B\nBO_ 100 reqSw: 8 A\nBO_ 101 rptSw: 8 B\nBO_ 102 extra: 8 A")
+                .unwrap();
         let program = capl::parse("on message 100 { output(101); }").unwrap();
         // Numeric output targets are not idents, so use a variables-based
         // program instead for output; ids resolve for the selector.
-        let program2 = capl::parse(
-            "variables { message 101 rpt; } on message 100 { output(rpt); }",
-        )
-        .unwrap();
+        let program2 =
+            capl::parse("variables { message 101 rpt; } on message 100 { output(rpt); }").unwrap();
         let _ = program;
         let mut cfg = TranslateConfig::ecu("ECU");
         cfg.include_db_messages = true;
-        let out = Translator::new(cfg).with_database(db).translate(&program2).unwrap();
+        let out = Translator::new(cfg)
+            .with_database(db)
+            .translate(&program2)
+            .unwrap();
         assert!(out.script.contains("extra"), "{}", out.script);
-        assert!(out.script.contains("rec.reqSw -> send.rptSw -> ECU"), "{}", out.script);
+        assert!(
+            out.script.contains("rec.reqSw -> send.rptSw -> ECU"),
+            "{}",
+            out.script
+        );
     }
 
     #[test]
@@ -1453,7 +1473,11 @@ mod tests {
             "variables { message reqSw a; int n = 0; }
              on message reqSw { n = this.reqType; }",
         );
-        assert!(out.script.contains("|~| n : StateT @ ECU(n)"), "{}", out.script);
+        assert!(
+            out.script.contains("|~| n : StateT @ ECU(n)"),
+            "{}",
+            out.script
+        );
         let loaded = cspm::Script::parse(&out.script).unwrap().load().unwrap();
         assert!(loaded.process("ECU_INIT").is_some());
     }
@@ -1489,15 +1513,15 @@ mod signal_tests {
             &[("reqSw", "reqType")],
         );
         assert!(
-            out.script.contains("rec.reqSw?v_reqType -> (if v_reqType == 1"),
+            out.script
+                .contains("rec.reqSw?v_reqType -> (if v_reqType == 1"),
             "{}",
             out.script
         );
         assert!(out.script.contains("reqSw.StateT"), "{}", out.script);
         // The condition is now modelled, not abstracted.
         assert!(
-            !out
-                .report
+            !out.report
                 .abstractions
                 .iter()
                 .any(|a| a.kind == AbstractionKind::NondeterministicCondition),

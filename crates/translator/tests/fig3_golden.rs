@@ -72,6 +72,10 @@ fn full_ecu_keeps_the_fig3_shape() {
         "  [] rec.reqApp -> send.rptUpd -> ECU(sat((updatesApplied + 1)))",
         "ECU_INIT = ECU(0)",
     ] {
-        assert!(out.script.contains(line), "missing `{line}` in:\n{}", out.script);
+        assert!(
+            out.script.contains(line),
+            "missing `{line}` in:\n{}",
+            out.script
+        );
     }
 }

@@ -17,11 +17,7 @@ use translator::{NodeSpec, SystemBuilder};
 /// VMG-sent message is therefore the shared event `rec.m`, and an ECU-sent
 /// one is `send.m`. Receive entries are the same shared event and are
 /// skipped to avoid double counting.
-fn model_events(
-    sim: &Simulation,
-    db: &candb::Database,
-    alphabet: &csp::Alphabet,
-) -> Vec<EventId> {
+fn model_events(sim: &Simulation, db: &candb::Database, alphabet: &csp::Alphabet) -> Vec<EventId> {
     let mut out = Vec::new();
     for entry in sim.trace() {
         if let TraceEvent::Transmit { node, message, .. } = &entry.event {
@@ -187,7 +183,10 @@ fn stateful_counter_program_is_contained() {
         .unwrap();
     let loaded = cspm::Script::parse(&out.script).unwrap().load().unwrap();
     let system = loaded.process("SYSTEM").unwrap().clone();
-    let tock = loaded.alphabet().lookup("tock").expect("timer model emits tock");
+    let tock = loaded
+        .alphabet()
+        .lookup("tock")
+        .expect("timer model emits tock");
     let hidden = csp::EventSet::singleton(tock);
     let lts = csp::Lts::build(
         csp::Process::hide(system, hidden),

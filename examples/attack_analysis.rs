@@ -90,10 +90,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let verdict = checker.trace_refinement(&no_attack, &composed, &defs)?;
         match verdict.counterexample() {
             None => println!("\n{name}: attack NOT possible (NO_ATTACK holds)"),
-            Some(cex) => println!(
-                "\n{name}: attack succeeds — {}",
-                cex.display(&alphabet)
-            ),
+            Some(cex) => println!("\n{name}: attack succeeds — {}", cex.display(&alphabet)),
         }
     }
     Ok(())

@@ -74,7 +74,10 @@ ECU0 = ECU(0)
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let checker = Checker::new();
-    for (label, ecu) in [("static-seed ECU", STATIC_ECU), ("fresh-seed ECU", FRESH_ECU)] {
+    for (label, ecu) in [
+        ("static-seed ECU", STATIC_ECU),
+        ("fresh-seed ECU", FRESH_ECU),
+    ] {
         let source = model(ecu);
         let loaded = Script::parse(&source)?.load()?;
         let results = loaded.check(&checker)?;

@@ -27,8 +27,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     sim.run_for(100_000)?;
     println!("== simulated CAN bus trace (Fig. 2 network) ==");
     for entry in sim.trace() {
-        if let canoe_sim::TraceEvent::Transmit { node, message, id, .. } = &entry.event {
-            println!("  {:>7} µs  {node:>4} → bus  {message} (0x{id:x})", entry.time_us);
+        if let canoe_sim::TraceEvent::Transmit {
+            node, message, id, ..
+        } = &entry.event
+        {
+            println!(
+                "  {:>7} µs  {node:>4} → bus  {message} (0x{id:x})",
+                entry.time_us
+            );
         }
     }
     let sim_us = t.elapsed().as_micros();
@@ -112,6 +118,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  check honest system (FDR sub) {honest_us:>8} µs");
     println!("  check attack scenarios        {attacks_us:>8} µs");
     println!("  check R05 MAC models          {r05_us:>8} µs");
-    println!("  total                         {:>8} µs", t_total.elapsed().as_micros());
+    println!(
+        "  total                         {:>8} µs",
+        t_total.elapsed().as_micros()
+    );
     Ok(())
 }

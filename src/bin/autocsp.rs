@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! autocsp translate <app.can> [--dbc net.dbc] [--node ECU] [--gateway] [-o out.csp]
+//! autocsp lint <file>... [--dbc net.dbc] [--format json] [--deny-warnings]
 //! autocsp check <model.csp>
 //! autocsp compose <gateway.can> <ecu.can> [--dbc net.dbc] [--buffered N] [-o out.csp]
 //! autocsp simulate <node.can>... [--dbc net.dbc] [--for-ms N]
@@ -10,6 +11,7 @@
 use std::fs;
 use std::process::ExitCode;
 
+use diag::{Diagnostic, Severity, Span};
 use fdrlite::Checker;
 use translator::{NodeSpec, Pipeline, SystemBuilder, TranslateConfig};
 
@@ -17,9 +19,14 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("translate") => translate(&args[1..]),
+        Some("lint") => lint_cmd(&args[1..]),
         Some("check") => check(&args[1..]),
         Some("compose") => compose(&args[1..]),
         Some("simulate") => simulate(&args[1..]),
+        Some("--version" | "-V" | "version") => {
+            println!("autocsp {}", env!("CARGO_PKG_VERSION"));
+            Ok(())
+        }
         Some("--help" | "-h" | "help") | None => {
             print!("{USAGE}");
             Ok(())
@@ -41,8 +48,15 @@ autocsp — security checking of automotive ECUs with formal CSP models
 USAGE:
   autocsp translate <app.can> [--dbc <net.dbc>] [--node <NAME>] [--gateway] [-o <out.csp>]
       Extract a CSPm implementation model from a CAPL application.
+      Lint findings print to stderr; error-severity findings abort.
 
-  autocsp check <model.csp>
+  autocsp lint <file>... [--dbc <net.dbc>] [--format <text|json>] [--deny-warnings]
+      Statically analyse CAPL (`.can`) and CSPm (`.csp`/`.cspm`) files.
+      With `--dbc`, also checks database hygiene and CAPL/database
+      consistency. Exits non-zero on errors (or warnings, under
+      `--deny-warnings`).
+
+  autocsp check <model.csp> [--deny-warnings]
       Run every `assert` in a CSPm script through the refinement checker.
 
   autocsp compose <gateway.can> <ecu.can> [--dbc <net.dbc>] [--buffered <N>] [-o <out.csp>]
@@ -50,6 +64,9 @@ USAGE:
 
   autocsp simulate <node.can>... [--dbc <net.dbc>] [--for-ms <N>]
       Run CAPL applications on the simulated CAN bus and print the trace.
+
+  autocsp --version
+      Print the toolchain version.
 ";
 
 struct Flags {
@@ -60,6 +77,14 @@ struct Flags {
     buffered: Option<usize>,
     output: Option<String>,
     for_ms: u64,
+    format: OutputFormat,
+    deny_warnings: bool,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum OutputFormat {
+    Text,
+    Json,
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
@@ -71,6 +96,8 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         buffered: None,
         output: None,
         for_ms: 1_000,
+        format: OutputFormat::Text,
+        deny_warnings: false,
     };
     let mut i = 0;
     let value = |args: &[String], i: &mut usize, flag: &str| -> Result<String, String> {
@@ -89,14 +116,22 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                     value(args, &mut i, "--buffered")?
                         .parse()
                         .map_err(|_| "`--buffered` needs a number".to_owned())?,
-                )
+                );
             }
             "-o" | "--output" => flags.output = Some(value(args, &mut i, "-o")?),
             "--for-ms" => {
                 flags.for_ms = value(args, &mut i, "--for-ms")?
                     .parse()
-                    .map_err(|_| "`--for-ms` needs a number".to_owned())?
+                    .map_err(|_| "`--for-ms` needs a number".to_owned())?;
             }
+            "--format" => {
+                flags.format = match value(args, &mut i, "--format")?.as_str() {
+                    "text" => OutputFormat::Text,
+                    "json" => OutputFormat::Json,
+                    other => return Err(format!("unknown format `{other}` (use text or json)")),
+                }
+            }
+            "--deny-warnings" => flags.deny_warnings = true,
             other if other.starts_with('-') => return Err(format!("unknown flag `{other}`")),
             other => flags.positional.push(other.to_owned()),
         }
@@ -131,6 +166,42 @@ fn node_name_from(path: &str, fallback: &str) -> String {
         .unwrap_or_else(|| fallback.to_owned())
 }
 
+/// One file's findings, ready for rendering in either output format.
+struct FileFindings {
+    file: String,
+    source: String,
+    diagnostics: Vec<Diagnostic>,
+}
+
+/// Print findings (text to stderr) and apply the gating policy: errors always
+/// fail; warnings fail under `--deny-warnings`.
+fn gate(findings: &[FileFindings], deny_warnings: bool) -> Result<(), String> {
+    for f in findings {
+        for d in &f.diagnostics {
+            eprint!("{}", d.render(&f.file, &f.source));
+        }
+    }
+    let errors = count(findings, Severity::Error);
+    let warnings = count(findings, Severity::Warning);
+    if errors > 0 {
+        Err(format!("{errors} lint error(s)"))
+    } else if deny_warnings && warnings > 0 {
+        Err(format!(
+            "{warnings} lint warning(s) denied (--deny-warnings)"
+        ))
+    } else {
+        Ok(())
+    }
+}
+
+fn count(findings: &[FileFindings], severity: Severity) -> usize {
+    findings
+        .iter()
+        .flat_map(|f| &f.diagnostics)
+        .filter(|d| d.severity == severity)
+        .count()
+}
+
 fn translate(args: &[String]) -> Result<(), String> {
     let flags = parse_flags(args)?;
     let [source_path] = flags.positional.as_slice() else {
@@ -151,13 +222,140 @@ fn translate(args: &[String]) -> Result<(), String> {
     let out = pipeline
         .run(&source, dbc.as_deref())
         .map_err(|e| e.to_string())?;
-    for d in &out.diagnostics {
-        eprintln!("{source_path}:{}: {:?}: {}", d.pos, d.severity, d.message);
-    }
+    let findings = [
+        FileFindings {
+            file: source_path.clone(),
+            source,
+            diagnostics: out.lints.capl.clone(),
+        },
+        FileFindings {
+            file: flags.dbc.clone().unwrap_or_default(),
+            source: dbc.unwrap_or_default(),
+            diagnostics: out.lints.dbc.clone(),
+        },
+        FileFindings {
+            file: format!("<generated {name} model>"),
+            source: out.script.clone(),
+            diagnostics: out.lints.csp.clone(),
+        },
+    ];
+    gate(&findings, flags.deny_warnings)?;
     for a in &out.report.abstractions {
         eprintln!("abstraction [{:?}] {}", a.kind, a.detail);
     }
     emit(&flags.output, &out.script)
+}
+
+fn lint_cmd(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    if flags.positional.is_empty() && flags.dbc.is_none() {
+        return Err("lint needs at least one file (`.can`, `.csp`/`.cspm`, or --dbc)".into());
+    }
+
+    // Parse the database first: `.can` files cross-check against it.
+    let mut findings: Vec<FileFindings> = Vec::new();
+    let mut db = None;
+    if let Some(dbc_path) = &flags.dbc {
+        let source = read(dbc_path)?;
+        let diagnostics = match candb::parse(&source) {
+            Ok(parsed) => {
+                let d = lint::lint_database(&parsed);
+                db = Some(parsed);
+                d
+            }
+            Err(e) => vec![Diagnostic::error(
+                lint::codes::DBC_PARSE_ERROR,
+                Span::point(e.line as u32, 1),
+                e.to_string(),
+            )],
+        };
+        findings.push(FileFindings {
+            file: dbc_path.clone(),
+            source,
+            diagnostics,
+        });
+    }
+
+    for path in &flags.positional {
+        let source = read(path)?;
+        let diagnostics = if path.ends_with(".csp") || path.ends_with(".cspm") {
+            match cspm::Script::parse(&source) {
+                Ok(script) => lint::lint_module(script.module()),
+                Err(e) => vec![cspm_parse_diagnostic(&e)],
+            }
+        } else {
+            match capl::parse(&source) {
+                Ok(program) => {
+                    let mut d = lint::lint_program(&program);
+                    if let Some(db) = &db {
+                        d.extend(lint::cross_check(&program, db));
+                    }
+                    d
+                }
+                Err(e) => {
+                    let pos = match &e {
+                        capl::CaplError::Lex { pos, .. } | capl::CaplError::Parse { pos, .. } => {
+                            *pos
+                        }
+                    };
+                    vec![Diagnostic::error(
+                        lint::codes::CAPL_PARSE_ERROR,
+                        Span::point(pos.line, pos.col),
+                        e.to_string(),
+                    )]
+                }
+            }
+        };
+        findings.push(FileFindings {
+            file: path.clone(),
+            source,
+            diagnostics,
+        });
+    }
+
+    let errors = count(&findings, Severity::Error);
+    let warnings = count(&findings, Severity::Warning);
+
+    match flags.format {
+        OutputFormat::Text => {
+            for f in &findings {
+                for d in &f.diagnostics {
+                    print!("{}", d.render(&f.file, &f.source));
+                }
+            }
+            println!("{errors} error(s), {warnings} warning(s)");
+        }
+        OutputFormat::Json => {
+            let items: Vec<String> = findings
+                .iter()
+                .flat_map(|f| f.diagnostics.iter().map(|d| d.to_json(&f.file)))
+                .collect();
+            println!(
+                "{{\"diagnostics\":[{}],\"errors\":{errors},\"warnings\":{warnings}}}",
+                items.join(",")
+            );
+        }
+    }
+
+    if errors > 0 {
+        Err(format!("{errors} lint error(s)"))
+    } else if flags.deny_warnings && warnings > 0 {
+        Err(format!(
+            "{warnings} lint warning(s) denied (--deny-warnings)"
+        ))
+    } else {
+        Ok(())
+    }
+}
+
+fn cspm_parse_diagnostic(e: &cspm::CspmError) -> Diagnostic {
+    let span = match e {
+        cspm::CspmError::Lex { pos, .. } | cspm::CspmError::Parse { pos, .. } => {
+            Span::point(pos.line, pos.col)
+        }
+        _ => Span::unknown(),
+    };
+    Diagnostic::error(lint::codes::CSP_PARSE_ERROR, span, e.to_string())
 }
 
 fn check(args: &[String]) -> Result<(), String> {
@@ -166,9 +364,14 @@ fn check(args: &[String]) -> Result<(), String> {
         return Err("check needs exactly one CSPm file".into());
     };
     let source = read(script_path)?;
-    let loaded = cspm::Script::parse(&source)
-        .and_then(|s| s.load())
-        .map_err(|e| e.to_string())?;
+    let script = cspm::Script::parse(&source).map_err(|e| e.to_string())?;
+    let findings = [FileFindings {
+        file: script_path.clone(),
+        source: source.clone(),
+        diagnostics: lint::lint_module(script.module()),
+    }];
+    gate(&findings, flags.deny_warnings)?;
+    let loaded = script.load().map_err(|e| e.to_string())?;
     if loaded.assertions().is_empty() {
         return Err("script contains no `assert` declarations".into());
     }
@@ -196,16 +399,40 @@ fn compose(args: &[String]) -> Result<(), String> {
     let [gateway_path, ecu_path] = flags.positional.as_slice() else {
         return Err("compose needs a gateway CAPL file and an ECU CAPL file".into());
     };
-    let gateway = capl::parse(&read(gateway_path)?).map_err(|e| e.to_string())?;
-    let ecu = capl::parse(&read(ecu_path)?).map_err(|e| e.to_string())?;
+    let db = flags
+        .dbc
+        .as_deref()
+        .map(|p| candb::parse(&read(p)?).map_err(|e| e.to_string()))
+        .transpose()?;
+
+    let mut findings = Vec::new();
+    let mut programs = Vec::new();
+    for path in [gateway_path, ecu_path] {
+        let source = read(path)?;
+        let program = capl::parse(&source).map_err(|e| e.to_string())?;
+        let mut diagnostics = lint::lint_program(&program);
+        if let Some(db) = &db {
+            diagnostics.extend(lint::cross_check(&program, db));
+        }
+        findings.push(FileFindings {
+            file: path.clone(),
+            source,
+            diagnostics,
+        });
+        programs.push(program);
+    }
+    gate(&findings, flags.deny_warnings)?;
+
+    let ecu = programs.pop().expect("two programs parsed");
+    let gateway = programs.pop().expect("two programs parsed");
     let mut builder = SystemBuilder::new()
         .node(NodeSpec::gateway(
             &node_name_from(gateway_path, "VMG"),
             gateway,
         ))
         .node(NodeSpec::ecu(&node_name_from(ecu_path, "ECU"), ecu));
-    if let Some(dbc_path) = &flags.dbc {
-        builder = builder.database(candb::parse(&read(dbc_path)?).map_err(|e| e.to_string())?);
+    if let Some(db) = db {
+        builder = builder.database(db);
     }
     if let Some(capacity) = flags.buffered {
         builder = builder.buffered(capacity);
@@ -230,12 +457,15 @@ fn simulate(args: &[String]) -> Result<(), String> {
         sim.add_node(&node_name_from(path, "NODE"), program)
             .map_err(|e| e.to_string())?;
     }
-    sim.run_for(flags.for_ms * 1_000).map_err(|e| e.to_string())?;
+    sim.run_for(flags.for_ms * 1_000)
+        .map_err(|e| e.to_string())?;
     for entry in sim.trace() {
         use canoe_sim::TraceEvent::*;
         let text = match &entry.event {
             Queued { node, message, .. } => format!("{node:>8}  queued    {message}"),
-            Transmit { node, message, id, .. } => {
+            Transmit {
+                node, message, id, ..
+            } => {
                 format!("{node:>8}  transmit  {message} (0x{id:x})")
             }
             Receive { node, message, .. } => format!("{node:>8}  receive   {message}"),

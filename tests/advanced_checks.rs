@@ -20,7 +20,12 @@ fn compression_preserves_every_table_iii_verdict() {
         let v2 = compressed
             .trace_refinement(&req.spec, &req.scoped_system, study.definitions())
             .unwrap();
-        assert_eq!(v1.is_pass(), v2.is_pass(), "{} differs under compression", req.id);
+        assert_eq!(
+            v1.is_pass(),
+            v2.is_pass(),
+            "{} differs under compression",
+            req.id
+        );
     }
 }
 
@@ -95,10 +100,8 @@ fn interrupt_models_an_ecu_reset() {
     let comm: csp::EventSet = study.comm_events().unwrap().into_iter().collect();
     let (alphabet, defs) = study.parts_mut();
     let reset = alphabet.intern("ecu.reset");
-    let interruptible = csp::Process::interrupt(
-        ecu,
-        csp::Process::prefix(reset, csp::Process::Stop),
-    );
+    let interruptible =
+        csp::Process::interrupt(ecu, csp::Process::prefix(reset, csp::Process::Stop));
     // Spec: any comm traffic until a reset, then silence.
     let universe = comm.union(&csp::EventSet::singleton(reset));
     let spec = {
@@ -119,7 +122,8 @@ fn interrupt_models_an_ecu_reset() {
     assert!(
         v.is_pass(),
         "{:?}",
-        v.counterexample().map(|c| c.display(study.alphabet()).to_string())
+        v.counterexample()
+            .map(|c| c.display(study.alphabet()).to_string())
     );
     // And the reset really can cut the exchange short.
     let lts = csp::Lts::build(interruptible, study.definitions(), 100_000).unwrap();

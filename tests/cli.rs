@@ -38,9 +38,16 @@ fn translate_prints_the_model() {
         .arg(dir.join("net.dbc"))
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
-    assert!(stdout.contains("ECU = rec.reqSw -> send.rptSw -> ECU"), "{stdout}");
+    assert!(
+        stdout.contains("ECU = rec.reqSw -> send.rptSw -> ECU"),
+        "{stdout}"
+    );
 }
 
 #[test]
@@ -57,7 +64,11 @@ fn compose_then_check_passes() {
         .arg(&model)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     let mut script = fs::read_to_string(&model).unwrap();
     script.push_str("\nassert SYSTEM :[divergence free]\n");
@@ -67,7 +78,11 @@ fn compose_then_check_passes() {
         .args(["check", model.to_str().unwrap()])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(String::from_utf8_lossy(&out.stdout).contains("PASS"));
 }
 
@@ -102,7 +117,11 @@ fn simulate_prints_the_trace() {
         .args(["--for-ms", "50"])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("transmit  reqSw"), "{stdout}");
     assert!(stdout.contains("transmit  rptSw"), "{stdout}");

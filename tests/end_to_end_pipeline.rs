@@ -86,6 +86,7 @@ fn stage_timings_are_reported_for_the_toolchain() {
 
 #[test]
 fn translation_report_documents_every_abstraction() {
+    use translator::AbstractionKind::*;
     let src = "
         variables { message reqSw a; message rptSw b; int n = 0; }
         on message reqSw {
@@ -96,7 +97,6 @@ fn translation_report_documents_every_abstraction() {
     ";
     let pipeline = Pipeline::new(TranslateConfig::ecu("ECU"));
     let out = pipeline.run(src, Some(messages::NETWORK_DBC)).unwrap();
-    use translator::AbstractionKind::*;
     let kinds: Vec<_> = out.report.abstractions.iter().map(|a| a.kind).collect();
     assert!(kinds.contains(&NondeterministicCondition), "{kinds:?}");
     assert!(kinds.contains(&HavocAssignment), "{kinds:?}");

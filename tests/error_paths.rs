@@ -61,12 +61,10 @@ fn checker_bounds_come_back_as_errors_not_panics() {
     let mut b = CheckerBuilder::new();
     b.max_states(3);
     let checker = b.build();
-    let mut defs = csp::Definitions::new();
-    let chain = csp::Process::prefix_chain(
-        (0..10).map(csp::EventId::from_index),
-        csp::Process::Stop,
-    );
-    let err = checker.compile(&chain, &mut defs).unwrap_err();
+    let defs = csp::Definitions::new();
+    let chain =
+        csp::Process::prefix_chain((0..10).map(csp::EventId::from_index), csp::Process::Stop);
+    let err = checker.compile(&chain, &defs).unwrap_err();
     assert!(err.to_string().contains("state space"), "{err}");
 }
 
@@ -145,10 +143,7 @@ fn normalisation_bound_is_reported() {
     b.max_norm_nodes(2);
     let checker = b.build();
     let defs = csp::Definitions::new();
-    let spec = csp::Process::prefix_chain(
-        (0..6).map(csp::EventId::from_index),
-        csp::Process::Stop,
-    );
+    let spec = csp::Process::prefix_chain((0..6).map(csp::EventId::from_index), csp::Process::Stop);
     let err = checker
         .trace_refinement(&spec, &spec.clone(), &defs)
         .unwrap_err();

@@ -1,0 +1,395 @@
+//! Golden tests for rendered lint diagnostics and end-to-end acceptance of
+//! `autocsp lint` over the seeded-defect fixtures in `examples/lint/`.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn autocsp() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_autocsp"))
+}
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("examples/lint")
+        .join(name)
+}
+
+// ---------------------------------------------------------------------------
+// Golden rendering: the exact text a finding produces, excerpt and caret
+// included, is part of the tool's contract.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn dead_store_renders_with_excerpt_and_caret() {
+    let source = "on start {\n  int unused;\n  unused = 7;\n}\n";
+    let program = capl::parse(source).unwrap();
+    let diags = lint::lint_program(&program);
+    let dead = diags
+        .iter()
+        .find(|d| d.code == lint::codes::DEAD_STORE)
+        .expect("dead store reported");
+    let rendered = dead.render("app.can", source);
+    let expected = "\
+warning[CAPL012]: value of local `unused` is never read
+  --> app.can:2:3
+  |
+2 |   int unused;
+  |   ^^^^^^
+  note: remove the variable or the stores into it
+";
+    assert_eq!(rendered, expected);
+}
+
+#[test]
+fn one_sided_sync_renders_with_deadlock_note() {
+    let source = "channel a, b\nP = a -> P\nQ = b -> Q\nSYS = P [| {a} |] Q\n";
+    let script = cspm::Script::parse(source).unwrap();
+    let diags = lint::lint_module(script.module());
+    let sync = diags
+        .iter()
+        .find(|d| d.code == lint::codes::SYNC_ONE_SIDED)
+        .expect("one-sided sync reported");
+    let rendered = sync.render("model.csp", source);
+    let expected = "\
+warning[CSP201]: channel `a` is in the synchronisation set but only the left side of the parallel can perform it
+  --> model.csp:4:1
+  |
+4 | SYS = P [| {a} |] Q
+  | ^^^
+  note: the right side never offers `a`, so every `a` event deadlocks the composition
+";
+    assert_eq!(rendered, expected);
+}
+
+#[test]
+fn cross_check_mismatch_renders_against_the_capl_source() {
+    let source = "variables {\n  message bogusCmd m;\n}\non message bogusCmd { output(m); }\n";
+    let dbc = "BU_: ECU\nBO_ 256 reqSw: 8 ECU\n SG_ x : 0|8@1+ (1,0) [0|255] \"\" ECU\n";
+    let program = capl::parse(source).unwrap();
+    let db = candb::parse(dbc).unwrap();
+    let diags = lint::cross_check(&program, &db);
+    let miss = diags
+        .iter()
+        .find(|d| d.code == lint::codes::UNKNOWN_DB_MESSAGE)
+        .expect("unknown database message reported");
+    assert_eq!(miss.severity, lint::Severity::Error);
+    assert_eq!((miss.span.line, miss.span.col), (2, 3));
+    let rendered = miss.render("app.can", source);
+    assert!(rendered.contains("error[DBC101]"), "{rendered}");
+    assert!(rendered.contains("message bogusCmd m;"), "{rendered}");
+}
+
+#[test]
+fn seeded_defect_fixtures_have_stable_codes_and_spans() {
+    let capl_src = std::fs::read_to_string(fixture("defective.can")).unwrap();
+    let dbc_src = std::fs::read_to_string(fixture("net.dbc")).unwrap();
+    let csp_src = std::fs::read_to_string(fixture("onesided.csp")).unwrap();
+
+    let program = capl::parse(&capl_src).unwrap();
+    let db = candb::parse(&dbc_src).unwrap();
+    let mut diags = lint::lint_program(&program);
+    diags.extend(lint::cross_check(&program, &db));
+
+    let code_at = |code: lint::Code| {
+        diags
+            .iter()
+            .find(|d| d.code == code)
+            .unwrap_or_else(|| panic!("{code:?} not reported: {diags:?}"))
+    };
+    // Undeclared message used by output() — the acceptance finding.
+    assert_eq!(code_at(lint::codes::UNDECLARED_MESSAGE).span.line, 11);
+    // Cross-check mismatch points at the declaration of the bogus message.
+    assert_eq!(code_at(lint::codes::UNKNOWN_DB_MESSAGE).span.line, 6);
+    // Dataflow findings anchor at the declarations they concern.
+    assert_eq!(code_at(lint::codes::USE_BEFORE_INIT).span.line, 12);
+    assert_eq!(code_at(lint::codes::DEAD_STORE).span.line, 13);
+    assert_eq!(code_at(lint::codes::TIMER_WITHOUT_HANDLER).span.line, 7);
+
+    let script = cspm::Script::parse(&csp_src).unwrap();
+    let csp_diags = lint::lint_module(script.module());
+    let sided: Vec<_> = csp_diags
+        .iter()
+        .filter(|d| d.code == lint::codes::SYNC_ONE_SIDED)
+        .collect();
+    assert_eq!(sided.len(), 2, "{csp_diags:?}");
+    assert!(sided.iter().all(|d| d.span.line == 9), "{sided:?}");
+}
+
+// ---------------------------------------------------------------------------
+// CLI acceptance: one invocation surfaces a CAPL finding, a database
+// cross-check mismatch, and a CSP alphabet-coverage warning; exit codes and
+// JSON output behave as documented.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn lint_cli_reports_all_three_classes_and_fails() {
+    let out = autocsp()
+        .arg("lint")
+        .arg(fixture("defective.can"))
+        .arg(fixture("onesided.csp"))
+        .arg("--dbc")
+        .arg(fixture("net.dbc"))
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "defects must fail the lint run");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("warning[CAPL008]"), "{stdout}");
+    assert!(stdout.contains("error[DBC101]"), "{stdout}");
+    assert!(stdout.contains("warning[CSP201]"), "{stdout}");
+    assert!(stdout.contains("deadlock"), "{stdout}");
+}
+
+#[test]
+fn lint_cli_emits_valid_json() {
+    let out = autocsp()
+        .arg("lint")
+        .arg(fixture("defective.can"))
+        .arg(fixture("onesided.csp"))
+        .arg("--dbc")
+        .arg(fixture("net.dbc"))
+        .args(["--format", "json"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let value = json::parse(stdout.trim()).unwrap_or_else(|e| panic!("{e}: {stdout}"));
+    let json::Value::Object(top) = value else {
+        panic!("top level is not an object: {stdout}")
+    };
+    let keys: Vec<_> = top.iter().map(|(k, _)| k.as_str()).collect();
+    assert_eq!(keys, ["diagnostics", "errors", "warnings"]);
+    let json::Value::Array(diags) = &top[0].1 else {
+        panic!("diagnostics is not an array")
+    };
+    let codes: Vec<&str> = diags
+        .iter()
+        .filter_map(|d| match d {
+            json::Value::Object(fields) => fields.iter().find_map(|(k, v)| match (k.as_str(), v) {
+                ("code", json::Value::String(s)) => Some(s.as_str()),
+                _ => None,
+            }),
+            _ => None,
+        })
+        .collect();
+    assert!(codes.contains(&"CAPL008"), "{codes:?}");
+    assert!(codes.contains(&"DBC101"), "{codes:?}");
+    assert!(codes.contains(&"CSP201"), "{codes:?}");
+}
+
+#[test]
+fn lint_cli_clean_fixtures_pass_deny_warnings() {
+    let out = autocsp()
+        .arg("lint")
+        .arg(fixture("clean.can"))
+        .arg(fixture("clean.csp"))
+        .arg("--dbc")
+        .arg(fixture("net.dbc"))
+        .arg("--deny-warnings")
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}
+
+#[test]
+fn lint_cli_deny_warnings_escalates_warnings() {
+    let dir = std::env::temp_dir().join(format!("autocsp-lint-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let warn_only = dir.join("warn.can");
+    std::fs::write(&warn_only, "on start { int unused; unused = 7; }\n").unwrap();
+
+    let out = autocsp().arg("lint").arg(&warn_only).output().unwrap();
+    assert!(out.status.success(), "warnings alone must not fail");
+
+    let out = autocsp()
+        .arg("lint")
+        .arg(&warn_only)
+        .arg("--deny-warnings")
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "--deny-warnings must escalate");
+}
+
+#[test]
+fn lint_cli_surfaces_parse_errors_as_diagnostics() {
+    let dir = std::env::temp_dir().join(format!("autocsp-lint-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let broken = dir.join("broken.can");
+    std::fs::write(&broken, "on message { ???").unwrap();
+    let out = autocsp().arg("lint").arg(&broken).output().unwrap();
+    assert!(!out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("error[CAPL000]"), "{stdout}");
+}
+
+/// A minimal recursive-descent JSON reader, enough to *validate* the CLI's
+/// `--format json` output and pull fields out of it. Kept local to the test:
+/// the workspace deliberately has no JSON dependency.
+mod json {
+    #[derive(Debug)]
+    pub(crate) enum Value {
+        Object(Vec<(String, Value)>),
+        Array(Vec<Value>),
+        String(String),
+        // Parsed for validation; the tests only inspect strings.
+        #[allow(dead_code)]
+        Number(f64),
+        #[allow(dead_code)]
+        Bool(bool),
+        Null,
+    }
+
+    pub(crate) fn parse(text: &str) -> Result<Value, String> {
+        let mut p = Parser {
+            chars: text.char_indices().peekable(),
+            text,
+        };
+        let v = p.value()?;
+        p.skip_ws();
+        match p.chars.next() {
+            None => Ok(v),
+            Some((i, c)) => Err(format!("trailing `{c}` at byte {i}")),
+        }
+    }
+
+    struct Parser<'a> {
+        chars: std::iter::Peekable<std::str::CharIndices<'a>>,
+        text: &'a str,
+    }
+
+    impl Parser<'_> {
+        fn skip_ws(&mut self) {
+            while matches!(self.chars.peek(), Some((_, c)) if c.is_ascii_whitespace()) {
+                self.chars.next();
+            }
+        }
+
+        fn expect(&mut self, want: char) -> Result<(), String> {
+            self.skip_ws();
+            match self.chars.next() {
+                Some((_, c)) if c == want => Ok(()),
+                other => Err(format!("expected `{want}`, got {other:?}")),
+            }
+        }
+
+        fn value(&mut self) -> Result<Value, String> {
+            self.skip_ws();
+            match self.chars.peek().copied() {
+                Some((_, '{')) => self.object(),
+                Some((_, '[')) => self.array(),
+                Some((_, '"')) => Ok(Value::String(self.string()?)),
+                Some((_, 't')) => self.keyword("true", Value::Bool(true)),
+                Some((_, 'f')) => self.keyword("false", Value::Bool(false)),
+                Some((_, 'n')) => self.keyword("null", Value::Null),
+                Some((_, c)) if c == '-' || c.is_ascii_digit() => self.number(),
+                other => Err(format!("unexpected {other:?}")),
+            }
+        }
+
+        fn object(&mut self) -> Result<Value, String> {
+            self.expect('{')?;
+            let mut fields = Vec::new();
+            self.skip_ws();
+            if matches!(self.chars.peek(), Some((_, '}'))) {
+                self.chars.next();
+                return Ok(Value::Object(fields));
+            }
+            loop {
+                self.skip_ws();
+                let key = self.string()?;
+                self.expect(':')?;
+                fields.push((key, self.value()?));
+                self.skip_ws();
+                match self.chars.next() {
+                    Some((_, ',')) => continue,
+                    Some((_, '}')) => return Ok(Value::Object(fields)),
+                    other => return Err(format!("expected `,` or `}}`, got {other:?}")),
+                }
+            }
+        }
+
+        fn array(&mut self) -> Result<Value, String> {
+            self.expect('[')?;
+            let mut items = Vec::new();
+            self.skip_ws();
+            if matches!(self.chars.peek(), Some((_, ']'))) {
+                self.chars.next();
+                return Ok(Value::Array(items));
+            }
+            loop {
+                items.push(self.value()?);
+                self.skip_ws();
+                match self.chars.next() {
+                    Some((_, ',')) => continue,
+                    Some((_, ']')) => return Ok(Value::Array(items)),
+                    other => return Err(format!("expected `,` or `]`, got {other:?}")),
+                }
+            }
+        }
+
+        fn string(&mut self) -> Result<String, String> {
+            self.expect('"')?;
+            let mut out = String::new();
+            loop {
+                match self.chars.next() {
+                    Some((_, '"')) => return Ok(out),
+                    Some((_, '\\')) => match self.chars.next() {
+                        Some((_, '"')) => out.push('"'),
+                        Some((_, '\\')) => out.push('\\'),
+                        Some((_, '/')) => out.push('/'),
+                        Some((_, 'n')) => out.push('\n'),
+                        Some((_, 'r')) => out.push('\r'),
+                        Some((_, 't')) => out.push('\t'),
+                        Some((_, 'b')) => out.push('\u{8}'),
+                        Some((_, 'f')) => out.push('\u{c}'),
+                        Some((_, 'u')) => {
+                            let mut code = 0u32;
+                            for _ in 0..4 {
+                                let (_, c) = self.chars.next().ok_or("truncated \\u escape")?;
+                                code = code * 16
+                                    + c.to_digit(16).ok_or_else(|| format!("bad hex `{c}`"))?;
+                            }
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        other => return Err(format!("bad escape {other:?}")),
+                    },
+                    Some((_, c)) if (c as u32) < 0x20 => {
+                        return Err(format!("raw control character {:#x} in string", c as u32))
+                    }
+                    Some((_, c)) => out.push(c),
+                    None => return Err("unterminated string".into()),
+                }
+            }
+        }
+
+        fn number(&mut self) -> Result<Value, String> {
+            let start = self.chars.peek().map_or(self.text.len(), |(i, _)| *i);
+            let mut end = start;
+            while let Some((i, c)) = self.chars.peek().copied() {
+                if c == '-' || c == '+' || c == '.' || c == 'e' || c == 'E' || c.is_ascii_digit() {
+                    end = i + c.len_utf8();
+                    self.chars.next();
+                } else {
+                    break;
+                }
+            }
+            self.text[start..end]
+                .parse()
+                .map(Value::Number)
+                .map_err(|e| format!("bad number: {e}"))
+        }
+
+        fn keyword(&mut self, word: &str, value: Value) -> Result<Value, String> {
+            for want in word.chars() {
+                match self.chars.next() {
+                    Some((_, c)) if c == want => {}
+                    other => return Err(format!("expected `{word}`, got {other:?}")),
+                }
+            }
+            Ok(value)
+        }
+    }
+}

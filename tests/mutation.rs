@@ -186,10 +186,7 @@ fn silent_apply_mutant_is_equivalent_at_message_granularity() {
     // limitation of message-granular models (§VII-B of the paper); the
     // signal-aware translation (`TranslateConfig::signal_fields`) is the
     // remedy when the counter is reflected in a payload.
-    let mutant = ota::sources::ECU_CAPL.replace(
-        "updatesApplied = updatesApplied + 1;",
-        "",
-    );
+    let mutant = ota::sources::ECU_CAPL.replace("updatesApplied = updatesApplied + 1;", "");
     assert_ne!(mutant, ota::sources::ECU_CAPL, "mutation must apply");
     let mut model = extract(&mutant);
     assert!(killed_by(&mut model).is_empty(), "equivalent mutant");

@@ -67,7 +67,10 @@ fn buffered_network_variant_also_completes_the_cycle() {
             "VMG",
             capl::parse(sources::VMG_CAPL).unwrap(),
         ))
-        .node(NodeSpec::ecu("ECU", capl::parse(sources::ECU_CAPL).unwrap()))
+        .node(NodeSpec::ecu(
+            "ECU",
+            capl::parse(sources::ECU_CAPL).unwrap(),
+        ))
         .build()
         .unwrap();
     let loaded = cspm::Script::parse(&out.script).unwrap().load().unwrap();
@@ -100,7 +103,10 @@ fn three_node_composition_with_the_update_server() {
             "VMG",
             capl::parse(sources::VMG_FULL_CAPL).unwrap(),
         ))
-        .node(NodeSpec::ecu("ECU", capl::parse(sources::ECU_CAPL).unwrap()))
+        .node(NodeSpec::ecu(
+            "ECU",
+            capl::parse(sources::ECU_CAPL).unwrap(),
+        ))
         .node(NodeSpec::ecu(
             "Server",
             capl::parse(sources::SERVER_CAPL).unwrap(),

@@ -18,10 +18,8 @@ fn arb_process(depth: u32) -> BoxedStrategy<Process> {
         prop_oneof![
             ((0u32..4), inner.clone())
                 .prop_map(|(e, p)| Process::prefix(EventId::from_index(e as usize), p)),
-            (inner.clone(), inner.clone())
-                .prop_map(|(p, q)| Process::external_choice(p, q)),
-            (inner.clone(), inner.clone())
-                .prop_map(|(p, q)| Process::internal_choice(p, q)),
+            (inner.clone(), inner.clone()).prop_map(|(p, q)| Process::external_choice(p, q)),
+            (inner.clone(), inner.clone()).prop_map(|(p, q)| Process::internal_choice(p, q)),
             (inner.clone(), inner.clone()).prop_map(|(p, q)| Process::seq(p, q)),
             (inner.clone(), inner.clone()).prop_map(|(p, q)| Process::interleave(p, q)),
             ((0u32..4), inner.clone(), inner.clone()).prop_map(|(e, p, q)| {

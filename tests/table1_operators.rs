@@ -83,7 +83,9 @@ fn sequential_composition_law() {
     let ts = traces(&format!("{HEADER}P = (a -> SKIP) ; b -> STOP"), 5);
     assert!(ts.contains(&vec!["a".to_owned(), "b".to_owned()]));
     // ✓ of the first component is internalised, not visible.
-    assert!(!ts.iter().any(|t| t.contains(&"✓".to_owned()) && t.len() > 1));
+    assert!(!ts
+        .iter()
+        .any(|t| t.contains(&"✓".to_owned()) && t.len() > 1));
 }
 
 #[test]
@@ -113,7 +115,8 @@ fn internal_and_external_choice_differ_in_failures() {
     let (pi, di, _) = load(int);
     let c = auto_csp::fdrlite::Checker::new();
     // Same definitions table is not shared; check each within its own.
-    assert!(c.trace_refinement(&pe, &pi, &di).is_err() || true);
+    // Cross-table refinement may error; it must not panic.
+    let _ = c.trace_refinement(&pe, &pi, &di);
     // ⊑F: external is refined by external, not by internal.
     let v = c.failures_refinement(&pe, &pe, &de).unwrap();
     assert!(v.is_pass());
@@ -123,9 +126,7 @@ fn internal_and_external_choice_differ_in_failures() {
 
 #[test]
 fn alphabetised_parallel_synchronises() {
-    let src = format!(
-        "{HEADER}P = (a -> b -> STOP) [| {{| a |}} |] (a -> c -> STOP)"
-    );
+    let src = format!("{HEADER}P = (a -> b -> STOP) [| {{| a |}} |] (a -> c -> STOP)");
     let ts = traces(&src, 5);
     // a happens once (synchronised), then b and c interleave.
     assert!(ts.contains(&vec!["a".to_owned(), "b".to_owned(), "c".to_owned()]));

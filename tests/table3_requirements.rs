@@ -79,9 +79,9 @@ fn every_attack_violates_its_requirement_with_a_counterexample() {
     );
     for sc in &scenarios {
         let verdict = run(&sc.requirement, &study);
-        let cex = verdict.counterexample().unwrap_or_else(|| {
-            panic!("{:?} should violate {}", sc.kind, sc.requirement.id)
-        });
+        let cex = verdict
+            .counterexample()
+            .unwrap_or_else(|| panic!("{:?} should violate {}", sc.kind, sc.requirement.id));
         // The counterexample renders with real event names — the feedback
         // loop of Fig. 1.
         let shown = cex.display(study.alphabet()).to_string();
@@ -106,8 +106,7 @@ fn replay_counterexample_contains_the_duplicate_delivery() {
     // The witness contains a duplicated delivery: some message was
     // delivered to the ECU more often than the VMG sent it.
     let replayed = ["reqSw", "reqApp"].iter().any(|m| {
-        shown.matches(&format!("dlv.{m}")).count()
-            > shown.matches(&format!("rec.{m}")).count()
+        shown.matches(&format!("dlv.{m}")).count() > shown.matches(&format!("rec.{m}")).count()
     });
     assert!(replayed, "{shown}");
 }

@@ -1,0 +1,28 @@
+//! Option strategies (`proptest::option::of`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// The strategy returned by [`of`].
+#[derive(Clone)]
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn gen(&self, rng: &mut TestRng) -> Option<S::Value> {
+        // Bias towards Some, matching proptest's default 3:1 ratio.
+        if rng.below(4) == 0 {
+            None
+        } else {
+            Some(self.inner.gen(rng))
+        }
+    }
+}
+
+/// `None` a quarter of the time, otherwise `Some` of the inner strategy.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}

@@ -1,0 +1,199 @@
+//! A tiny regex-shaped generator for string strategies.
+//!
+//! Supports the pattern subset this workspace's tests use: literal
+//! characters, character classes with ranges (`[a-z0-9_]`), class
+//! subtraction (`[ -~&&[^"\\]]`), escapes, and `{m}` / `{m,n}` repetition.
+//! Anything else panics — these patterns are developer-written test inputs,
+//! not user data.
+
+use crate::test_runner::TestRng;
+
+/// Generate one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let atoms = parse(pattern);
+    let mut out = String::new();
+    for atom in &atoms {
+        let (lo, hi) = atom.repeat;
+        let n = if lo == hi {
+            lo
+        } else {
+            lo + rng.below(hi - lo + 1)
+        };
+        for _ in 0..n {
+            assert!(
+                !atom.chars.is_empty(),
+                "string pattern `{pattern}`: empty character class"
+            );
+            out.push(atom.chars[rng.below(atom.chars.len())]);
+        }
+    }
+    out
+}
+
+struct Atom {
+    /// The candidate characters.
+    chars: Vec<char>,
+    /// `(min, max)` repetitions, inclusive.
+    repeat: (usize, usize),
+}
+
+fn parse(pattern: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let candidates = match chars[i] {
+            '[' => {
+                let (set, next) = parse_class(pattern, &chars, i + 1);
+                i = next;
+                set
+            }
+            '\\' => {
+                i += 2;
+                vec![unescape(chars[i - 1])]
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        let repeat = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .map(|p| i + p)
+                .unwrap_or_else(|| panic!("string pattern `{pattern}`: unclosed {{"));
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("bad repetition bound"),
+                    hi.trim().parse().expect("bad repetition bound"),
+                ),
+                None => {
+                    let n = body.trim().parse().expect("bad repetition bound");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        atoms.push(Atom {
+            chars: candidates,
+            repeat,
+        });
+    }
+    atoms
+}
+
+/// Parse a `[...]` class starting after the `[`; returns the candidate set
+/// and the index just past the closing `]`.
+fn parse_class(pattern: &str, chars: &[char], mut i: usize) -> (Vec<char>, usize) {
+    let mut include = Vec::new();
+    let mut exclude = Vec::new();
+    let mut negated_sub = false;
+    loop {
+        assert!(i < chars.len(), "string pattern `{pattern}`: unclosed [");
+        match chars[i] {
+            ']' => {
+                i += 1;
+                break;
+            }
+            '&' if chars.get(i + 1) == Some(&'&') => {
+                // `&&[^...]`: subtraction of the following negated class.
+                assert_eq!(
+                    (chars.get(i + 2), chars.get(i + 3)),
+                    (Some(&'['), Some(&'^')),
+                    "string pattern `{pattern}`: only `&&[^...]` subtraction is supported"
+                );
+                let (sub, next) = parse_class(pattern, chars, i + 4);
+                exclude = sub;
+                negated_sub = true;
+                i = next;
+                // The subtracted class's `]` closed it; expect the outer `]`.
+                assert_eq!(
+                    chars.get(i),
+                    Some(&']'),
+                    "string pattern `{pattern}`: expected ] after subtraction"
+                );
+                i += 1;
+                break;
+            }
+            _ => {
+                let c = if chars[i] == '\\' {
+                    i += 2;
+                    unescape(chars[i - 1])
+                } else {
+                    i += 1;
+                    chars[i - 1]
+                };
+                // Range `c-d` (a `-` right before `]` is a literal).
+                if chars.get(i) == Some(&'-') && chars.get(i + 1).is_some_and(|&d| d != ']') {
+                    let d = if chars[i + 1] == '\\' {
+                        i += 3;
+                        unescape(chars[i - 1])
+                    } else {
+                        i += 2;
+                        chars[i - 1]
+                    };
+                    for v in c as u32..=d as u32 {
+                        include.push(char::from_u32(v).expect("bad class range"));
+                    }
+                } else {
+                    include.push(c);
+                }
+            }
+        }
+    }
+    if negated_sub {
+        include.retain(|c| !exclude.contains(c));
+    }
+    (include, i)
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        'r' => '\r',
+        't' => '\t',
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn identifier_pattern() {
+        let mut rng = TestRng::deterministic("identifier_pattern");
+        for _ in 0..200 {
+            let s = "[a-z][a-zA-Z0-9_]{0,6}".gen(&mut rng);
+            assert!(!s.is_empty() && s.len() <= 7, "{s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            assert!(s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn printable_with_subtraction() {
+        let mut rng = TestRng::deterministic("printable_with_subtraction");
+        for _ in 0..200 {
+            let s = "[ -~&&[^\"\\\\%']]{0,8}".gen(&mut rng);
+            assert!(s.len() <= 8);
+            for c in s.chars() {
+                assert!((' '..='~').contains(&c), "{s:?}");
+                assert!(!"\"\\%'".contains(c), "{s:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_repetition() {
+        let mut rng = TestRng::deterministic("fixed_repetition");
+        let s = "[01]{4}x".gen(&mut rng);
+        assert_eq!(s.len(), 5);
+        assert!(s.ends_with('x'));
+    }
+}

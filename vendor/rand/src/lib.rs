@@ -1,0 +1,121 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! Implements the small API surface the workspace actually uses: a seedable
+//! [`rngs::SmallRng`] and [`Rng::gen_range`] over integer ranges. The
+//! generator is a fixed xorshift64* — deterministic across platforms, which
+//! is exactly what the discrete-event simulator wants from a seeded run.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+/// Seedable random number generators (stand-in for `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Construct a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be uniformly sampled from a `Range` by [`Rng::gen_range`].
+pub trait SampleUniform: Copy {
+    /// Sample uniformly from `[low, high)` using `next` as entropy source.
+    fn sample(low: Self, high: Self, next: u64) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample(low: Self, high: Self, next: u64) -> Self {
+                debug_assert!(low < high, "gen_range called with empty range");
+                let span = (high as i128 - low as i128) as u128;
+                let offset = (u128::from(next) % span) as i128;
+                (low as i128 + offset) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// The user-facing generator trait (stand-in for `rand::Rng`).
+pub trait Rng {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform sample from the half-open integer range.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        let next = self.next_u64();
+        T::sample(range.start, range.end, next)
+    }
+
+    /// A bernoulli draw with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        (self.next_u64() as f64 / u64::MAX as f64) < p
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// A small, fast, deterministic generator (xorshift64*).
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        state: u64,
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // splitmix64 step so nearby seeds diverge immediately.
+            let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            SmallRng {
+                state: (z ^ (z >> 31)) | 1,
+            }
+        }
+    }
+
+    impl Rng for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let mut x = self.state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.state = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seeded_runs_are_deterministic() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = rng.gen_range(0i64..7);
+            assert!((0..7).contains(&v));
+            let u = rng.gen_range(5u32..6);
+            assert_eq!(u, 5);
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SmallRng::seed_from_u64(0);
+        let mut b = SmallRng::seed_from_u64(1);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+}

@@ -1,0 +1,17 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its data types as a
+//! forward-compatibility marker but never serialises anything, so this
+//! stand-in only needs to make those derives compile: it re-exports the
+//! no-op derive macros and declares empty marker traits of the same names.
+
+#![forbid(unsafe_code)]
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait matching `serde::ser::Serialize` in name only.
+pub trait Serialize {}
+
+/// Marker trait matching `serde::de::Deserialize` in name only.
+pub trait Deserialize<'de> {}
