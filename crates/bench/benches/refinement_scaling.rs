@@ -1,0 +1,259 @@
+//! Refinement-engine scaling on the OTA X.1373 model — the benchmark
+//! behind the CI perf gate.
+//!
+//! The workload interleaves `k` independent copies of the paper's
+//! VMG ∥ ECU update dialogue (5 states each, so the product has `5^k`
+//! pairs) and checks it against a `RUN` specification, which forces a
+//! full exploration. A second, failing workload adds a rogue component
+//! whose event the specification forbids, to time parallel
+//! counterexample reconstruction and to assert the parallel engine's
+//! witness agrees with the serial one at every thread count.
+//!
+//! Knobs (environment variables):
+//!
+//! * `REFINEMENT_BENCH_QUICK=1` — shrink to a smoke-test size.
+//! * `REFINEMENT_BENCH_SCALE=k` — number of interleaved copies
+//!   (default 7; quick mode 5).
+//! * `REFINEMENT_BENCH_THREADS=1,2,4,8` — thread counts to sweep.
+//! * `REFINEMENT_BENCH_REPS=n` — repetitions per point (min is kept).
+//! * `REFINEMENT_BENCH_OUT=path` — where to write the JSON report
+//!   (default `BENCH_refinement.json` in the working directory).
+//! * `REFINEMENT_BENCH_MAX_RATIO=r` — perf gate: fail (exit 2) if
+//!   `wall(max threads) / wall(1 thread)` exceeds `r`. Unset = no gate,
+//!   which is the right default on single-core builders.
+//!
+//! Run directly: `cargo bench -p bench --bench refinement_scaling`.
+
+use std::env;
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use csp::{Definitions, EventSet, Process};
+use fdrlite::{parallel, CheckStats, Checker, Verdict};
+use ota::system::OtaSystem;
+
+struct Workload {
+    defs: Definitions,
+    spec: Process,
+    impl_: Process,
+    /// Expected product size for the passing variant, `None` for failing.
+    expect_pairs: Option<u64>,
+}
+
+/// `k` interleaved copies of the OTA update dialogue against `RUN` over
+/// its communication alphabet; passes, exploring all `5^k` pairs.
+fn passing_workload(scale: u32) -> Workload {
+    let system = OtaSystem::build().expect("OTA model builds");
+    let comm: EventSet = system.comm_set().expect("communication alphabet");
+    let mut defs = system.definitions().clone();
+    let copies: Vec<Process> = (0..scale).map(|_| system.system().clone()).collect();
+    let impl_ = Process::interleave_all(copies);
+    let spec = fdrlite::properties::run(&mut defs, "BENCH_RUN", &comm);
+    Workload {
+        defs,
+        spec,
+        impl_,
+        expect_pairs: Some(5u64.pow(scale)),
+    }
+}
+
+/// The passing workload plus a rogue component that injects an event the
+/// specification forbids; fails with a short witness inside a large
+/// product, timing parallel counterexample reconstruction.
+fn failing_workload(scale: u32) -> Workload {
+    let mut system = OtaSystem::build().expect("OTA model builds");
+    let comm: EventSet = system.comm_set().expect("communication alphabet");
+    let first = comm.iter().next().expect("non-empty alphabet");
+    let (ab, defs_mut) = system.parts_mut();
+    let forged = ab.intern("send.forgedReport");
+    let _ = defs_mut;
+    let mut defs = system.definitions().clone();
+    let mut copies: Vec<Process> = (0..scale).map(|_| system.system().clone()).collect();
+    copies.push(Process::prefix(
+        first,
+        Process::prefix(forged, Process::Stop),
+    ));
+    let impl_ = Process::interleave_all(copies);
+    let spec = fdrlite::properties::run(&mut defs, "BENCH_RUN", &comm);
+    Workload {
+        defs,
+        spec,
+        impl_,
+        expect_pairs: None,
+    }
+}
+
+struct Point {
+    threads: usize,
+    wall_us_min: u128,
+    wall_us_mean: u128,
+    stats: CheckStats,
+    pass: bool,
+    cex_len: Option<usize>,
+}
+
+/// Run `workload` at `threads` for `reps` repetitions; keep the fastest.
+fn measure(workload: &Workload, threads: usize, reps: u32) -> Point {
+    let checker = Checker::new();
+    let spec_lts = checker
+        .compile(&workload.spec, &workload.defs)
+        .expect("spec compiles");
+    let norm = checker.normalise(&spec_lts).expect("spec normalises");
+    let impl_lts = checker
+        .compile(&workload.impl_, &workload.defs)
+        .expect("impl compiles");
+
+    let mut best: Option<(u128, Verdict, CheckStats)> = None;
+    let mut total_us: u128 = 0;
+    for _ in 0..reps {
+        let started = Instant::now();
+        let (verdict, stats) = parallel::refine_product(&checker, &norm, &impl_lts, threads)
+            .expect("refinement succeeds");
+        let wall = started.elapsed().as_micros();
+        total_us += wall;
+        if best.as_ref().is_none_or(|(b, _, _)| wall < *b) {
+            best = Some((wall, verdict, stats));
+        }
+    }
+    let (wall_us_min, verdict, stats) = best.expect("at least one repetition");
+    if let Some(expect) = workload.expect_pairs {
+        assert_eq!(
+            stats.pairs_discovered, expect,
+            "passing workload must explore the full product"
+        );
+    }
+    Point {
+        threads,
+        wall_us_min,
+        wall_us_mean: total_us / u128::from(reps.max(1)),
+        cex_len: verdict.counterexample().map(|c| c.trace().len()),
+        pass: verdict.is_pass(),
+        stats,
+    }
+}
+
+fn env_u32(name: &str, default: u32) -> u32 {
+    env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() -> ExitCode {
+    // `cargo bench` passes harness flags such as `--bench`; this binary
+    // is configured entirely through the environment, so ignore argv.
+    let quick = env::var("REFINEMENT_BENCH_QUICK").is_ok_and(|v| v != "0");
+    let scale = env_u32("REFINEMENT_BENCH_SCALE", if quick { 5 } else { 7 });
+    let reps = env_u32("REFINEMENT_BENCH_REPS", if quick { 2 } else { 3 });
+    let threads: Vec<usize> = env::var("REFINEMENT_BENCH_THREADS")
+        .unwrap_or_else(|_| "1,2,4,8".to_owned())
+        .split(',')
+        .filter_map(|t| t.trim().parse().ok())
+        .collect();
+    let out_path =
+        env::var("REFINEMENT_BENCH_OUT").unwrap_or_else(|_| "BENCH_refinement.json".to_owned());
+
+    eprintln!(
+        "refinement_scaling: scale={scale} (5^{scale} pairs), reps={reps}, threads={threads:?}"
+    );
+
+    let passing = passing_workload(scale);
+    let pass_points: Vec<Point> = threads
+        .iter()
+        .map(|&t| {
+            let p = measure(&passing, t, reps);
+            assert!(p.pass, "passing workload must pass at {t} threads");
+            eprintln!(
+                "  pass  threads={:<2} wall={:>9} µs  ({})",
+                t, p.wall_us_min, p.stats
+            );
+            p
+        })
+        .collect();
+
+    let failing = failing_workload(scale);
+    let fail_points: Vec<Point> = threads
+        .iter()
+        .map(|&t| {
+            let p = measure(&failing, t, reps);
+            assert!(!p.pass, "failing workload must fail at {t} threads");
+            eprintln!(
+                "  fail  threads={:<2} wall={:>9} µs  cex_len={:?}",
+                t, p.wall_us_min, p.cex_len
+            );
+            p
+        })
+        .collect();
+
+    // Acceptance: every thread count reports the same verdict and the same
+    // counterexample length as the serial engine.
+    let cex_lens: Vec<Option<usize>> = fail_points.iter().map(|p| p.cex_len).collect();
+    let cex_agree = cex_lens.windows(2).all(|w| w[0] == w[1]);
+    assert!(cex_agree, "counterexample lengths diverged: {cex_lens:?}");
+
+    let base = pass_points.iter().find(|p| p.threads == 1);
+    let peak = pass_points.iter().max_by_key(|p| p.threads);
+    let ratio = match (base, peak) {
+        (Some(b), Some(p)) if b.wall_us_min > 0 && p.threads > 1 => {
+            Some(p.wall_us_min as f64 / b.wall_us_min as f64)
+        }
+        _ => None,
+    };
+
+    let mut json = String::new();
+    let _ = write!(
+        json,
+        "{{\"bench\":\"refinement_scaling\",\"quick\":{quick},\"scale\":{scale},\
+         \"pairs\":{},\"reps\":{reps},\"cex_agree\":{cex_agree}",
+        5u64.pow(scale)
+    );
+    if let Some(r) = ratio {
+        let _ = write!(json, ",\"peak_over_serial_ratio\":{r:.4}");
+    }
+    for (key, points) in [("pass", &pass_points), ("fail", &fail_points)] {
+        let _ = write!(json, ",\"{key}\":[");
+        for (i, p) in points.iter().enumerate() {
+            if i > 0 {
+                json.push(',');
+            }
+            let _ = write!(
+                json,
+                "{{\"threads\":{},\"wall_us_min\":{},\"wall_us_mean\":{},\
+                 \"cex_len\":{},\"stats\":{}}}",
+                p.threads,
+                p.wall_us_min,
+                p.wall_us_mean,
+                p.cex_len
+                    .map_or_else(|| "null".to_owned(), |l| l.to_string()),
+                p.stats.to_json()
+            );
+        }
+        json.push(']');
+    }
+    json.push_str("}\n");
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("cannot write `{out_path}`: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote {out_path}");
+
+    if let Some(max_ratio) = env::var("REFINEMENT_BENCH_MAX_RATIO")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+    {
+        match ratio {
+            Some(r) if r > max_ratio => {
+                eprintln!(
+                    "PERF GATE FAILED: {} threads ran {r:.2}x the 1-thread wall \
+                     (limit {max_ratio:.2}x)",
+                    peak.map_or(0, |p| p.threads)
+                );
+                return ExitCode::from(2);
+            }
+            Some(r) => eprintln!("perf gate ok: ratio {r:.2}x ≤ {max_ratio:.2}x"),
+            None => eprintln!("perf gate skipped: need a 1-thread baseline and a >1-thread point"),
+        }
+    }
+    ExitCode::SUCCESS
+}

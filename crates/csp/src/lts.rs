@@ -189,6 +189,62 @@ impl Lts {
         }
         processed < n
     }
+
+    /// The maximum out-degree over all states — the natural per-task work
+    /// bound for parallel exploration.
+    pub fn max_out_degree(&self) -> usize {
+        self.transitions.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Flatten the transition lists into a compact CSR (compressed sparse
+    /// row) snapshot for concurrent read-only traversal.
+    ///
+    /// The per-state `Vec`s of an [`Lts`] are already shareable across
+    /// threads, but each is its own allocation; the CSR form packs every
+    /// edge into one contiguous array, which keeps a multi-worker product
+    /// exploration on warm cache lines instead of chasing pointers.
+    pub fn to_csr(&self) -> CsrEdges {
+        let mut offsets = Vec::with_capacity(self.transitions.len() + 1);
+        let mut edges = Vec::with_capacity(self.transition_count());
+        offsets.push(0u32);
+        for row in &self.transitions {
+            edges.extend_from_slice(row);
+            offsets.push(edges.len() as u32);
+        }
+        CsrEdges { offsets, edges }
+    }
+}
+
+/// A flat, read-only snapshot of an [`Lts`]'s transition relation in CSR
+/// form: one contiguous edge array plus per-state offsets.
+///
+/// `CsrEdges` is `Send + Sync` and carries no interior mutability, so any
+/// number of worker threads can traverse it concurrently without
+/// synchronisation. Built by [`Lts::to_csr`].
+#[derive(Debug, Clone)]
+pub struct CsrEdges {
+    offsets: Vec<u32>,
+    edges: Vec<(Label, StateId)>,
+}
+
+impl CsrEdges {
+    /// The outgoing edges of `id`, sorted by `(label, target)` as in the
+    /// source [`Lts`].
+    pub fn edges(&self, id: StateId) -> &[(Label, StateId)] {
+        let lo = self.offsets[id.index()] as usize;
+        let hi = self.offsets[id.index() + 1] as usize;
+        &self.edges[lo..hi]
+    }
+
+    /// Number of states.
+    pub fn state_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
 }
 
 #[cfg(test)]
@@ -276,5 +332,29 @@ mod tests {
         ]);
         let lts = Lts::build(p, &defs, 100).unwrap();
         assert_eq!(lts.edges(lts.initial()).len(), 1);
+    }
+
+    #[test]
+    fn csr_view_matches_edge_lists() {
+        let defs = Definitions::new();
+        let p = Process::interleave(
+            Process::prefix(e(0), Process::prefix(e(1), Process::Stop)),
+            Process::prefix(e(2), Process::Stop),
+        );
+        let lts = Lts::build(p, &defs, 100).unwrap();
+        let csr = lts.to_csr();
+        assert_eq!(csr.state_count(), lts.state_count());
+        assert_eq!(csr.edge_count(), lts.transition_count());
+        for s in lts.state_ids() {
+            assert_eq!(csr.edges(s), lts.edges(s));
+        }
+        assert!(lts.max_out_degree() >= 1);
+    }
+
+    #[test]
+    fn lts_and_csr_are_shareable_across_threads() {
+        fn assert_sync_send<T: Sync + Send>() {}
+        assert_sync_send::<Lts>();
+        assert_sync_send::<CsrEdges>();
     }
 }

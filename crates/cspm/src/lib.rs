@@ -47,7 +47,7 @@ mod script;
 pub use error::CspmError;
 pub use eval::Value;
 pub use lexer::{Token, TokenKind};
-pub use script::{AssertionResult, LoadedScript, Script};
+pub use script::{AssertionResult, CheckOptions, LoadedScript, Script};
 
 /// Parse CSPm source text into an AST.
 ///

@@ -3,7 +3,7 @@
 use std::collections::BTreeMap;
 
 use csp::{Alphabet, Definitions, Process};
-use fdrlite::{Checker, Verdict};
+use fdrlite::{CheckStats, Checker, Verdict};
 
 use crate::ast::{Assertion, Decl, Module, PropKind, RefModel};
 use crate::error::CspmError;
@@ -140,6 +140,31 @@ pub struct AssertionResult {
     pub description: String,
     /// Pass, or fail with counterexample.
     pub verdict: Verdict,
+    /// Exploration statistics, when requested via
+    /// [`CheckOptions::collect_stats`]. Only trace-refinement assertions
+    /// produce stats today; other checks leave this `None`.
+    pub stats: Option<CheckStats>,
+}
+
+/// Options controlling how [`LoadedScript::check_with`] runs assertions.
+#[derive(Debug, Clone)]
+pub struct CheckOptions {
+    /// Worker threads for trace-refinement assertions. `1` (the default)
+    /// uses the serial engine; anything larger routes through
+    /// [`fdrlite::parallel`]. Verdicts and counterexamples are identical
+    /// either way — the parallel engine's witness recovery is canonical.
+    pub threads: usize,
+    /// Collect [`CheckStats`] for assertions that support it.
+    pub collect_stats: bool,
+}
+
+impl Default for CheckOptions {
+    fn default() -> Self {
+        CheckOptions {
+            threads: 1,
+            collect_stats: false,
+        }
+    }
 }
 
 impl LoadedScript {
@@ -173,17 +198,50 @@ impl LoadedScript {
         &self.assertions
     }
 
-    /// Run every assertion through `checker`, in script order.
+    /// Run every assertion through `checker`, in script order, with the
+    /// default [`CheckOptions`] (serial, no stats).
     ///
     /// # Errors
     ///
     /// [`CspmError::Check`] when the checker hits a state-space bound.
     pub fn check(&self, checker: &Checker) -> Result<Vec<AssertionResult>, CspmError> {
+        self.check_with(checker, &CheckOptions::default())
+    }
+
+    /// Run every assertion through `checker` with explicit [`CheckOptions`]
+    /// (thread count, stats collection), in script order.
+    ///
+    /// # Errors
+    ///
+    /// [`CspmError::Check`] when the checker hits a state-space bound or a
+    /// parallel worker fails.
+    pub fn check_with(
+        &self,
+        checker: &Checker,
+        options: &CheckOptions,
+    ) -> Result<Vec<AssertionResult>, CspmError> {
         let mut out = Vec::with_capacity(self.assertions.len());
         for a in &self.assertions {
+            let mut stats = None;
             let verdict = match &a.kind {
                 ResolvedCheck::Refinement { model, spec, impl_ } => match model {
-                    RefModel::Traces => checker.trace_refinement(spec, impl_, &self.defs)?,
+                    RefModel::Traces => {
+                        let (verdict, s) = if options.threads > 1 {
+                            fdrlite::parallel::trace_refinement_with_stats(
+                                checker,
+                                spec,
+                                impl_,
+                                &self.defs,
+                                options.threads,
+                            )?
+                        } else {
+                            checker.trace_refinement_with_stats(spec, impl_, &self.defs)?
+                        };
+                        if options.collect_stats {
+                            stats = Some(s);
+                        }
+                        verdict
+                    }
                     RefModel::Failures => checker.failures_refinement(spec, impl_, &self.defs)?,
                     RefModel::FailuresDivergences => {
                         checker.failures_divergences_refinement(spec, impl_, &self.defs)?
@@ -198,6 +256,7 @@ impl LoadedScript {
             out.push(AssertionResult {
                 description: a.description.clone(),
                 verdict,
+                stats,
             });
         }
         Ok(out)
@@ -241,6 +300,34 @@ mod tests {
         let cex = results[0].verdict.counterexample().expect("must fail");
         let shown = cex.display(loaded.alphabet()).to_string();
         assert!(shown.contains("send.rptSw"), "{shown}");
+    }
+
+    #[test]
+    fn check_with_parallel_and_stats_matches_serial() {
+        let src = "
+            datatype MsgT = reqSw | rptSw
+            channel send, rec : MsgT
+            SP02 = rec.reqSw -> send.rptSw -> SP02
+            ROGUE = rec.reqSw -> send.rptSw -> send.rptSw -> STOP
+            assert SP02 [T= ROGUE
+            assert SP02 :[deadlock free]
+        ";
+        let loaded = Script::parse(src).unwrap().load().unwrap();
+        let serial = loaded.check(&Checker::new()).unwrap();
+        let options = CheckOptions {
+            threads: 4,
+            collect_stats: true,
+        };
+        let parallel = loaded.check_with(&Checker::new(), &options).unwrap();
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.verdict, p.verdict, "{}", s.description);
+            assert!(s.stats.is_none());
+        }
+        let stats = parallel[0].stats.as_ref().expect("refinement stats");
+        assert_eq!(stats.threads, 4);
+        assert!(stats.pairs_discovered > 0);
+        assert!(parallel[1].stats.is_none(), "property checks have no stats");
     }
 
     #[test]

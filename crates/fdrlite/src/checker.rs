@@ -1,13 +1,22 @@
 //! The checking engine: refinement by product exploration of the
 //! implementation against the normalised specification.
+//!
+//! The product walk is a 0-1 breadth-first search: `τ` edges cost 0 and
+//! visible edges cost 1, so states are expanded in order of *visible trace
+//! length* and the first violation found carries a minimum-length
+//! counterexample. The parallel engine ([`crate::parallel`]) maintains the
+//! same metric, which is what makes its verdicts and witness lengths agree
+//! with the serial checker by construction.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
+use std::time::Instant;
 
 use csp::{Definitions, EventId, Label, Lts, Process, StateId, Trace, TraceEvent};
 
 use crate::counterexample::{Counterexample, FailureKind, Verdict};
 use crate::error::CheckError;
 use crate::normalise::{Acceptance, NormNodeId, NormalisedLts};
+use crate::stats::CheckStats;
 
 /// Configures and builds a [`Checker`].
 #[derive(Debug, Clone)]
@@ -100,6 +109,16 @@ impl Checker {
         self.max_states
     }
 
+    /// Bound on specification normal-form nodes.
+    pub fn max_norm_nodes(&self) -> usize {
+        self.max_norm_nodes
+    }
+
+    /// Bound on explored (implementation state, spec node) pairs.
+    pub fn max_product(&self) -> usize {
+        self.max_product
+    }
+
     /// Compile a process to its explicit LTS (FDR's "explicate"), applying
     /// strong-bisimulation compression when enabled.
     ///
@@ -186,6 +205,9 @@ impl Checker {
     /// specification. Useful when one spec is checked against many
     /// implementations (or vice versa).
     ///
+    /// A failing verdict carries a counterexample of minimum visible-trace
+    /// length (states are explored in 0-1 BFS order).
+    ///
     /// # Errors
     ///
     /// [`CheckError::ProductExceeded`] if the product grows past its bound.
@@ -195,76 +217,51 @@ impl Checker {
         impl_lts: &Lts,
         model: RefinementModel,
     ) -> Result<Verdict, CheckError> {
-        let mut visited: HashMap<(StateId, NormNodeId), u32> = HashMap::new();
-        let mut order: Vec<(StateId, NormNodeId)> = Vec::new();
-        // (parent index, visible event on the edge from the parent)
-        let mut parents: Vec<(u32, Option<EventId>)> = Vec::new();
+        let mut stats = CheckStats::default();
+        refine_zero_one(spec, impl_lts, model, self.max_product, None, &mut stats)
+    }
 
-        let root = (impl_lts.initial(), spec.initial());
-        visited.insert(root, 0);
-        order.push(root);
-        parents.push((0, None));
+    /// Like [`Checker::refine`], also returning the exploration's
+    /// [`CheckStats`].
+    ///
+    /// # Errors
+    ///
+    /// [`CheckError::ProductExceeded`] if the product grows past its bound.
+    pub fn refine_with_stats(
+        &self,
+        spec: &NormalisedLts,
+        impl_lts: &Lts,
+        model: RefinementModel,
+    ) -> Result<(Verdict, CheckStats), CheckError> {
+        let start = Instant::now();
+        let mut stats = CheckStats {
+            threads: 1,
+            shards: 1,
+            ..CheckStats::default()
+        };
+        let verdict = refine_zero_one(spec, impl_lts, model, self.max_product, None, &mut stats)?;
+        stats.shard_peak = stats.pairs_discovered;
+        stats.wall = start.elapsed();
+        stats.cpu_busy = stats.wall;
+        Ok((verdict, stats))
+    }
 
-        let mut frontier = 0usize;
-        while frontier < order.len() {
-            let (s, n) = order[frontier];
-            let idx = frontier as u32;
-
-            if model == RefinementModel::Failures {
-                if let Some(kind) = failure_violation(impl_lts, spec, s, n) {
-                    return Ok(Verdict::Fail(Counterexample::new(
-                        rebuild_trace(&order, &parents, idx),
-                        kind,
-                    )));
-                }
-            }
-
-            for &(label, target) in impl_lts.edges(s) {
-                match label {
-                    Label::Tau => {
-                        push_pair(
-                            (target, n),
-                            idx,
-                            None,
-                            &mut visited,
-                            &mut order,
-                            &mut parents,
-                            self.max_product,
-                        )?;
-                    }
-                    Label::Event(e) => match spec.after(n, e) {
-                        Some(n2) => {
-                            push_pair(
-                                (target, n2),
-                                idx,
-                                Some(e),
-                                &mut visited,
-                                &mut order,
-                                &mut parents,
-                                self.max_product,
-                            )?;
-                        }
-                        None => {
-                            return Ok(Verdict::Fail(Counterexample::new(
-                                rebuild_trace(&order, &parents, idx),
-                                FailureKind::TraceViolation { event: Some(e) },
-                            )));
-                        }
-                    },
-                    Label::Tick => {
-                        if !spec.allows_tick(n) {
-                            return Ok(Verdict::Fail(Counterexample::new(
-                                rebuild_trace(&order, &parents, idx),
-                                FailureKind::TraceViolation { event: None },
-                            )));
-                        }
-                        // Nothing to explore after successful termination.
-                    }
-                }
-            }
-            frontier += 1;
-        }
-        Ok(Verdict::Pass)
+    /// Like [`Checker::trace_refinement`], also returning the exploration's
+    /// [`CheckStats`] (compilation and normalisation are not counted).
+    ///
+    /// # Errors
+    ///
+    /// Compilation or exploration exceeded its bound.
+    pub fn trace_refinement_with_stats(
+        &self,
+        spec: &Process,
+        impl_: &Process,
+        defs: &Definitions,
+    ) -> Result<(Verdict, CheckStats), CheckError> {
+        let spec_lts = self.compile(spec, defs)?;
+        let norm = self.normalise(&spec_lts)?;
+        let impl_lts = self.compile(impl_, defs)?;
+        self.refine_with_stats(&norm, &impl_lts, RefinementModel::Traces)
     }
 
     /// Is `p` deadlock free? A deadlock is a reachable state with no
@@ -414,44 +411,171 @@ fn failure_violation(
     }
 }
 
-#[allow(clippy::too_many_arguments)]
-fn push_pair(
+/// One discovered product pair in the 0-1 BFS arena. Improvements append a
+/// fresh node and repoint the pair's map entry, so parent chains of
+/// already-recorded nodes stay immutable.
+struct ProductNode {
     pair: (StateId, NormNodeId),
+    vlen: u32,
     parent: u32,
     label: Option<EventId>,
-    visited: &mut HashMap<(StateId, NormNodeId), u32>,
-    order: &mut Vec<(StateId, NormNodeId)>,
-    parents: &mut Vec<(u32, Option<EventId>)>,
-    max_product: usize,
-) -> Result<(), CheckError> {
-    if visited.contains_key(&pair) {
-        return Ok(());
-    }
-    if order.len() >= max_product {
-        return Err(CheckError::ProductExceeded { limit: max_product });
-    }
-    visited.insert(pair, order.len() as u32);
-    order.push(pair);
-    parents.push((parent, label));
-    Ok(())
 }
 
-fn rebuild_trace(
-    order: &[(StateId, NormNodeId)],
-    parents: &[(u32, Option<EventId>)],
-    mut idx: u32,
-) -> Trace {
-    let mut events: Vec<TraceEvent> = Vec::new();
-    while idx != 0 {
-        let (parent, label) = parents[idx as usize];
-        if let Some(e) = label {
-            events.push(TraceEvent::Event(e));
-        }
-        idx = parent;
+/// The mutable state of a serial 0-1 BFS product exploration.
+struct Explorer {
+    nodes: Vec<ProductNode>,
+    /// Current best arena node per pair.
+    current: HashMap<(StateId, NormNodeId), u32>,
+    deque: VecDeque<u32>,
+    max_product: usize,
+    /// Hard cap on visible trace length; children beyond it are not queued.
+    bound: Option<u32>,
+}
+
+impl Explorer {
+    fn new(root: (StateId, NormNodeId), max_product: usize, bound: Option<u32>) -> Explorer {
+        let mut ex = Explorer {
+            nodes: Vec::new(),
+            current: HashMap::new(),
+            deque: VecDeque::new(),
+            max_product,
+            bound,
+        };
+        ex.nodes.push(ProductNode {
+            pair: root,
+            vlen: 0,
+            parent: 0,
+            label: None,
+        });
+        ex.current.insert(root, 0);
+        ex.deque.push_back(0);
+        ex
     }
-    let _ = order;
-    events.reverse();
-    events.into_iter().collect()
+
+    /// Offer a child pair at visible depth `vlen`; queue it when it is new
+    /// or improves on the best known depth (τ edges go to the front of the
+    /// deque, visible edges to the back — the 0-1 BFS discipline).
+    fn relax(
+        &mut self,
+        child: (StateId, NormNodeId),
+        vlen: u32,
+        parent: u32,
+        label: Option<EventId>,
+        stats: &mut CheckStats,
+    ) -> Result<(), CheckError> {
+        if self.bound.is_some_and(|b| vlen > b) {
+            return Ok(());
+        }
+        if let Some(&known) = self.current.get(&child) {
+            if vlen >= self.nodes[known as usize].vlen {
+                return Ok(());
+            }
+        } else {
+            if self.current.len() >= self.max_product {
+                return Err(CheckError::ProductExceeded {
+                    limit: self.max_product,
+                });
+            }
+            stats.pairs_discovered += 1;
+        }
+        let idx = self.nodes.len() as u32;
+        self.nodes.push(ProductNode {
+            pair: child,
+            vlen,
+            parent,
+            label,
+        });
+        self.current.insert(child, idx);
+        if label.is_none() {
+            self.deque.push_front(idx);
+        } else {
+            self.deque.push_back(idx);
+        }
+        stats.frontier_peak = stats.frontier_peak.max(self.deque.len() as u64);
+        Ok(())
+    }
+
+    /// The visible trace leading to arena node `idx`.
+    fn trace_to(&self, mut idx: u32) -> Trace {
+        let mut events: Vec<TraceEvent> = Vec::new();
+        while idx != 0 {
+            let node = &self.nodes[idx as usize];
+            if let Some(e) = node.label {
+                events.push(TraceEvent::Event(e));
+            }
+            idx = node.parent;
+        }
+        events.reverse();
+        events.into_iter().collect()
+    }
+}
+
+/// Serial product exploration in 0-1 BFS order (`τ` = 0, visible = 1), so
+/// the first violation found has minimum visible-trace length.
+///
+/// With `bound: Some(l)`, exploration never queues a pair beyond visible
+/// depth `l`. When a violation at depth ≤ `l` is known to exist (the
+/// parallel engine's canonical witness recovery), this bounds the walk to
+/// the ≤ `l` sphere of the product without changing which violation is
+/// found first — the expansion order of in-bound nodes is identical to the
+/// unbounded walk's.
+pub(crate) fn refine_zero_one(
+    spec: &NormalisedLts,
+    impl_lts: &Lts,
+    model: RefinementModel,
+    max_product: usize,
+    bound: Option<u32>,
+    stats: &mut CheckStats,
+) -> Result<Verdict, CheckError> {
+    let root = (impl_lts.initial(), spec.initial());
+    let mut ex = Explorer::new(root, max_product, bound);
+    stats.pairs_discovered += 1;
+
+    while let Some(idx) = ex.deque.pop_front() {
+        let node = &ex.nodes[idx as usize];
+        let (pair, vlen) = (node.pair, node.vlen);
+        if ex.current.get(&pair) != Some(&idx) {
+            continue; // superseded by a shorter path
+        }
+        stats.expansions += 1;
+        let (s, n) = pair;
+
+        if model == RefinementModel::Failures {
+            if let Some(kind) = failure_violation(impl_lts, spec, s, n) {
+                return Ok(Verdict::Fail(Counterexample::new(ex.trace_to(idx), kind)));
+            }
+        }
+
+        for &(label, target) in impl_lts.edges(s) {
+            stats.transitions += 1;
+            match label {
+                Label::Tau => {
+                    ex.relax((target, n), vlen, idx, None, stats)?;
+                }
+                Label::Event(e) => match spec.after(n, e) {
+                    Some(n2) => {
+                        ex.relax((target, n2), vlen + 1, idx, Some(e), stats)?;
+                    }
+                    None => {
+                        return Ok(Verdict::Fail(Counterexample::new(
+                            ex.trace_to(idx),
+                            FailureKind::TraceViolation { event: Some(e) },
+                        )));
+                    }
+                },
+                Label::Tick => {
+                    if !spec.allows_tick(n) {
+                        return Ok(Verdict::Fail(Counterexample::new(
+                            ex.trace_to(idx),
+                            FailureKind::TraceViolation { event: None },
+                        )));
+                    }
+                    // Nothing to explore after successful termination.
+                }
+            }
+        }
+    }
+    Ok(Verdict::Pass)
 }
 
 fn rebuild_norm_trace(

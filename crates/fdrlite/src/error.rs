@@ -20,6 +20,13 @@ pub enum CheckError {
         /// The bound that was exceeded.
         limit: usize,
     },
+    /// An internal engine failure — a worker thread of the parallel checker
+    /// panicked. The check's outcome is unknown; the process itself keeps
+    /// running.
+    Internal {
+        /// The worker's panic message.
+        message: String,
+    },
 }
 
 impl fmt::Display for CheckError {
@@ -31,6 +38,9 @@ impl fmt::Display for CheckError {
             }
             CheckError::ProductExceeded { limit } => {
                 write!(f, "product exploration exceeded {limit} state pairs")
+            }
+            CheckError::Internal { message } => {
+                write!(f, "internal checker error: {message}")
             }
         }
     }

@@ -53,6 +53,7 @@ mod checker;
 mod counterexample;
 mod error;
 mod normalise;
+mod stats;
 
 pub mod parallel;
 pub mod properties;
@@ -61,3 +62,4 @@ pub use checker::{Checker, CheckerBuilder, RefinementModel};
 pub use counterexample::{Counterexample, FailureKind, Verdict};
 pub use error::CheckError;
 pub use normalise::{Acceptance, NormNodeId, NormalisedLts};
+pub use stats::CheckStats;

@@ -1,34 +1,75 @@
-//! Multi-threaded refinement checking.
+//! Multi-threaded refinement checking: a work-stealing product exploration.
 //!
 //! The paper (§VII-A) points at FDR's grid/cloud support as the route to
-//! checking at automotive scale. This module provides the single-machine
-//! analogue: a level-synchronised parallel breadth-first product exploration
-//! using `crossbeam` scoped threads.
+//! checking at automotive scale. This module is the single-machine
+//! analogue, built from three pieces:
 //!
-//! The parallel pass only decides *whether* the refinement holds; when it
-//! finds a violation the (cheap, and now known-failing) serial exploration is
-//! re-run to reconstruct the shortest counterexample trace. This keeps the
-//! hot path free of parent bookkeeping.
+//! * **Per-worker deques with stealing.** Every worker owns a LIFO deque
+//!   ([`crossbeam::deque::Worker`]); when it runs dry it steals batches
+//!   from the global injector or a sibling's deque, so stragglers never
+//!   idle at a level barrier (the previous engine was level-synchronised
+//!   and serialised the visited-set merge between levels).
+//! * **A sharded visited set.** Discovered `(impl state, spec node)` pairs
+//!   live in `N` lock-striped shards keyed by a hash of the pair, each
+//!   padded to its own cache line. A worker touches exactly one shard per
+//!   discovered edge, so contention falls off with the shard count. Each
+//!   shard records the best known *visible depth* of its pairs and admits
+//!   re-expansion when a strictly shorter path is found, which keeps the
+//!   shortest-witness metric exact without global synchronisation.
+//! * **Parent recording during the pass.** Every worker appends discovered
+//!   nodes to a private arena with a parent pointer `(worker, index)` and
+//!   the visible event on the discovering edge. A violation therefore
+//!   yields a witness directly — there is no known-failing full serial
+//!   re-exploration as in the previous engine. The engine then re-walks
+//!   the product *bounded to the recorded minimum depth* with the serial
+//!   0-1 BFS, which canonicalises the witness: verdicts **and**
+//!   counterexample traces are identical to [`Checker::refine`] and
+//!   deterministic across runs and thread counts. The re-walk touches only
+//!   the ≤ `L` sphere of the product (where `L` is the witness length the
+//!   parallel pass already proved minimal), so a shallow violation in a
+//!   huge model costs a shallow walk, not a second full exploration.
+//!
+//! Termination uses a global pending-task counter: workers exit when every
+//! deque is empty and no task is in flight. A worker panic is converted
+//! into [`CheckError::Internal`] instead of aborting the process.
+//!
+//! One caveat is inherent to racing the product bound: when the product
+//! has *more* reachable pairs than [`Checker::max_product`] **and** also
+//! contains a violation, the engine may deterministically report either
+//! the violation or [`CheckError::ProductExceeded`] depending on discovery
+//! order. Within the bound, results are exact and deterministic.
 
-use std::collections::HashSet;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+use std::sync::{Mutex, PoisonError};
+use std::time::{Duration, Instant};
 
-use csp::{Definitions, Label, Lts, Process, StateId};
+use crossbeam::deque::{Injector, Steal, Stealer, Worker};
+use crossbeam::utils::{Backoff, CachePadded};
+use csp::{CsrEdges, Definitions, EventId, Label, Lts, Process, StateId, Trace, TraceEvent};
 
-use crate::checker::{Checker, RefinementModel};
+use crate::checker::{refine_zero_one, Checker, RefinementModel};
 use crate::counterexample::Verdict;
 use crate::error::CheckError;
 use crate::normalise::{NormNodeId, NormalisedLts};
+use crate::stats::CheckStats;
+
+type Pair = (StateId, NormNodeId);
+
+/// Most workers the engine will spawn (worker ids are packed into a `u16`).
+const MAX_THREADS: usize = 256;
 
 /// Check `spec ⊑T impl_` using `threads` worker threads.
 ///
-/// Semantically identical to [`Checker::trace_refinement`]; the verdict and
-/// counterexample (if any) are the same.
+/// Semantically identical to [`Checker::trace_refinement`]: the verdict and
+/// the counterexample (trace *and* failure kind) are the same, for any
+/// thread count, on every run.
 ///
 /// # Errors
 ///
 /// Propagates compilation/normalisation failures and bound violations from
-/// the underlying checker.
+/// the underlying checker; a worker panic surfaces as
+/// [`CheckError::Internal`].
 pub fn trace_refinement(
     checker: &Checker,
     spec: &Process,
@@ -36,83 +77,537 @@ pub fn trace_refinement(
     defs: &Definitions,
     threads: usize,
 ) -> Result<Verdict, CheckError> {
+    trace_refinement_with_stats(checker, spec, impl_, defs, threads).map(|(v, _)| v)
+}
+
+/// Like [`trace_refinement`], also returning the exploration's
+/// [`CheckStats`] (compilation and normalisation are not counted).
+///
+/// # Errors
+///
+/// As for [`trace_refinement`].
+pub fn trace_refinement_with_stats(
+    checker: &Checker,
+    spec: &Process,
+    impl_: &Process,
+    defs: &Definitions,
+    threads: usize,
+) -> Result<(Verdict, CheckStats), CheckError> {
     let spec_lts = checker.compile(spec, defs)?;
     let norm = checker.normalise(&spec_lts)?;
     let impl_lts = checker.compile(impl_, defs)?;
-
-    if !violates(&norm, &impl_lts, threads.max(1)) {
-        return Ok(Verdict::Pass);
-    }
-    // A violation exists: rerun serially to extract the shortest witness.
-    checker.refine(&norm, &impl_lts, RefinementModel::Traces)
+    refine_product(checker, &norm, &impl_lts, threads)
 }
 
-/// Parallel decision procedure: does the implementation escape the spec?
-fn violates(norm: &NormalisedLts, impl_lts: &Lts, threads: usize) -> bool {
-    let found = AtomicBool::new(false);
-    let mut visited: HashSet<(StateId, NormNodeId)> = HashSet::new();
-    let root = (impl_lts.initial(), norm.initial());
-    visited.insert(root);
-    let mut frontier: Vec<(StateId, NormNodeId)> = vec![root];
+/// Parallel trace refinement of a pre-compiled implementation against a
+/// pre-normalised specification — the engine core, exposed for callers
+/// (such as the benchmark harness) that amortise compilation across runs.
+///
+/// # Errors
+///
+/// [`CheckError::ProductExceeded`] if the product grows past the checker's
+/// bound; [`CheckError::Internal`] if a worker panics.
+pub fn refine_product(
+    checker: &Checker,
+    norm: &NormalisedLts,
+    impl_lts: &Lts,
+    threads: usize,
+) -> Result<(Verdict, CheckStats), CheckError> {
+    let start = Instant::now();
+    let threads = threads.clamp(1, MAX_THREADS);
+    let csr = impl_lts.to_csr();
+    let (raw, mut stats) = explore(
+        norm,
+        &csr,
+        impl_lts.initial(),
+        threads,
+        checker.max_product(),
+    )?;
 
-    while !frontier.is_empty() && !found.load(Ordering::Relaxed) {
-        let chunk_size = frontier.len().div_ceil(threads);
-        let mut results: Vec<Vec<(StateId, NormNodeId)>> = Vec::new();
-        crossbeam::scope(|scope| {
-            let mut handles = Vec::new();
-            for chunk in frontier.chunks(chunk_size) {
-                let found = &found;
-                handles.push(scope.spawn(move |_| {
-                    let mut next: Vec<(StateId, NormNodeId)> = Vec::new();
-                    for &(s, n) in chunk {
-                        if found.load(Ordering::Relaxed) {
-                            break;
-                        }
-                        for &(label, target) in impl_lts.edges(s) {
-                            match label {
-                                Label::Tau => next.push((target, n)),
-                                Label::Event(e) => match norm.after(n, e) {
-                                    Some(n2) => next.push((target, n2)),
-                                    None => {
-                                        found.store(true, Ordering::Relaxed);
-                                        return next;
-                                    }
-                                },
-                                Label::Tick => {
-                                    if !norm.allows_tick(n) {
-                                        found.store(true, Ordering::Relaxed);
-                                        return next;
-                                    }
-                                }
-                            }
-                        }
-                    }
-                    next
-                }));
-            }
-            for h in handles {
-                results.push(h.join().expect("worker thread panicked"));
-            }
-        })
-        .expect("crossbeam scope failed");
+    let verdict = match raw {
+        None => Verdict::Pass,
+        Some(witness) => {
+            // Canonical witness recovery: re-walk the ≤ L sphere with the
+            // serial 0-1 BFS. The parallel pass proved L minimal, so the
+            // walk must find a violation, finds it without ever expanding
+            // past depth L, and returns the exact verdict the serial
+            // checker would.
+            let mut rewalk = CheckStats::default();
+            let bounded = refine_zero_one(
+                norm,
+                impl_lts,
+                RefinementModel::Traces,
+                checker.max_product(),
+                Some(witness.vlen),
+                &mut rewalk,
+            )?;
+            stats.rewalk_expansions = rewalk.expansions;
+            debug_assert_eq!(
+                witness.trace.len(),
+                match &bounded {
+                    Verdict::Fail(cex) => cex.trace().len(),
+                    Verdict::Pass => usize::MAX,
+                },
+                "recorded and canonical witness lengths must agree"
+            );
+            bounded
+        }
+    };
+    stats.wall = start.elapsed();
+    Ok((verdict, stats))
+}
 
-        if found.load(Ordering::Relaxed) {
-            return true;
+/// A violation as recorded by the parallel pass: the witness rebuilt from
+/// the per-worker parent arenas, plus its visible depth.
+struct RecordedWitness {
+    trace: Trace,
+    vlen: u32,
+}
+
+/// One node of a worker's parent arena. `parent == self` marks the root.
+#[derive(Clone, Copy)]
+struct NodeRec {
+    parent: NodeRef,
+    label: Option<EventId>,
+}
+
+/// Cross-arena node address.
+#[derive(Clone, Copy, PartialEq, Eq)]
+struct NodeRef {
+    worker: u16,
+    idx: u32,
+}
+
+/// A unit of work: one product pair to expand, with its visible depth and
+/// its arena address (for parent chains). Self-contained, so stolen tasks
+/// never read another worker's arena.
+#[derive(Clone, Copy)]
+struct Task {
+    s: StateId,
+    n: NormNodeId,
+    vlen: u32,
+    node: NodeRef,
+}
+
+/// The best violation seen so far.
+#[derive(Clone, Copy)]
+struct Candidate {
+    vlen: u32,
+    node: NodeRef,
+}
+
+/// State shared by all workers.
+struct Shared {
+    shards: Vec<CachePadded<Mutex<HashMap<Pair, u32>>>>,
+    shard_mask: usize,
+    injector: Injector<Task>,
+    stealers: Vec<Stealer<Task>>,
+    /// Tasks queued or in flight; 0 ⇔ exploration is complete.
+    pending: AtomicUsize,
+    /// Distinct pairs discovered (for the product bound).
+    discovered: AtomicUsize,
+    /// Visible depth of the best violation found so far (`u32::MAX` while
+    /// none); doubles as the pruning bound — no witness shorter than the
+    /// best can pass through a pair at depth ≥ best.
+    best: AtomicU32,
+    candidate: Mutex<Option<Candidate>>,
+    /// Product bound tripped: abandon the run.
+    overflow: AtomicBool,
+    /// A sibling panicked: abandon the run instead of spinning forever on
+    /// its undrained pending count.
+    panicked: AtomicBool,
+    max_product: usize,
+}
+
+fn shard_of(pair: Pair, mask: usize) -> usize {
+    let x = pair.0.index() as u64;
+    let y = pair.1.index() as u64;
+    let h = (x.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ y.wrapping_mul(0xA24B_AED4_963E_E407))
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    ((h >> 32) as usize) & mask
+}
+
+fn lock_shard(shard: &Mutex<HashMap<Pair, u32>>) -> std::sync::MutexGuard<'_, HashMap<Pair, u32>> {
+    shard.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Per-worker counters, merged into [`CheckStats`] after the join.
+#[derive(Default)]
+struct WorkerStats {
+    expansions: u64,
+    transitions: u64,
+    steals: u64,
+    frontier_peak: u64,
+    busy: Duration,
+}
+
+/// Arms on entry; disarmed on orderly exit. If the worker unwinds instead,
+/// `Drop` flips the shared flag so siblings stop waiting for its pending
+/// tasks.
+struct PanicGuard<'a> {
+    shared: &'a Shared,
+    armed: bool,
+}
+
+impl Drop for PanicGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.shared.panicked.store(true, Ordering::Relaxed);
         }
-        let mut next_frontier = Vec::new();
-        for pair in results.into_iter().flatten() {
-            if visited.insert(pair) {
-                next_frontier.push(pair);
-            }
-        }
-        frontier = next_frontier;
     }
-    found.load(Ordering::Relaxed)
+}
+
+/// The parallel decision pass. Returns the recorded witness (from parent
+/// arenas) when a violation exists, `None` when the refinement holds.
+fn explore(
+    norm: &NormalisedLts,
+    csr: &CsrEdges,
+    impl_initial: StateId,
+    threads: usize,
+    max_product: usize,
+) -> Result<(Option<RecordedWitness>, CheckStats), CheckError> {
+    let shard_count = (threads.next_power_of_two() * 16).clamp(16, 512);
+    let shards: Vec<CachePadded<Mutex<HashMap<Pair, u32>>>> = (0..shard_count)
+        .map(|_| CachePadded::new(Mutex::new(HashMap::new())))
+        .collect();
+
+    let locals: Vec<Worker<Task>> = (0..threads).map(|_| Worker::new_lifo()).collect();
+    let stealers: Vec<Stealer<Task>> = locals.iter().map(Worker::stealer).collect();
+
+    let shared = Shared {
+        shards,
+        shard_mask: shard_count - 1,
+        injector: Injector::new(),
+        stealers,
+        pending: AtomicUsize::new(0),
+        discovered: AtomicUsize::new(0),
+        best: AtomicU32::new(u32::MAX),
+        candidate: Mutex::new(None),
+        overflow: AtomicBool::new(false),
+        panicked: AtomicBool::new(false),
+        max_product,
+    };
+
+    // Seed: the root pair lives in worker 0's arena at index 0 and is
+    // published through the injector so whichever worker starts first
+    // claims it.
+    let root = (impl_initial, norm.initial());
+    let root_ref = NodeRef { worker: 0, idx: 0 };
+    lock_shard(&shared.shards[shard_of(root, shared.shard_mask)]).insert(root, 0);
+    shared.discovered.store(1, Ordering::Relaxed);
+    shared.pending.store(1, Ordering::Relaxed);
+    shared.injector.push(Task {
+        s: root.0,
+        n: root.1,
+        vlen: 0,
+        node: root_ref,
+    });
+
+    let mut arenas: Vec<Vec<NodeRec>> = Vec::with_capacity(threads);
+    let mut merged = WorkerStats::default();
+    let mut panic_message: Option<String> = None;
+
+    crossbeam::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for (me, local) in locals.into_iter().enumerate() {
+            let shared = &shared;
+            let root_arena = (me == 0).then(|| {
+                vec![NodeRec {
+                    parent: root_ref,
+                    label: None,
+                }]
+            });
+            handles.push(scope.spawn(move |_| {
+                let mut ctx = WorkerCtx {
+                    me: me as u16,
+                    local,
+                    arena: root_arena.unwrap_or_default(),
+                    shared,
+                    norm,
+                    csr,
+                    stats: WorkerStats::default(),
+                };
+                ctx.run();
+                (ctx.arena, ctx.stats)
+            }));
+        }
+        for handle in handles {
+            match handle.join() {
+                Ok((arena, stats)) => {
+                    merged.expansions += stats.expansions;
+                    merged.transitions += stats.transitions;
+                    merged.steals += stats.steals;
+                    merged.frontier_peak = merged.frontier_peak.max(stats.frontier_peak);
+                    merged.busy += stats.busy;
+                    arenas.push(arena);
+                }
+                Err(payload) => {
+                    panic_message.get_or_insert_with(|| panic_text(payload.as_ref()));
+                    // Keep arena indexing consistent for the survivors.
+                    arenas.push(Vec::new());
+                }
+            }
+        }
+    })
+    .map_err(|payload| CheckError::Internal {
+        message: panic_text(payload.as_ref()),
+    })?;
+
+    if let Some(message) = panic_message {
+        return Err(CheckError::Internal { message });
+    }
+    if shared.overflow.load(Ordering::Relaxed) {
+        return Err(CheckError::ProductExceeded { limit: max_product });
+    }
+
+    let mut stats = CheckStats {
+        threads,
+        shards: shard_count,
+        pairs_discovered: shared.discovered.load(Ordering::Relaxed) as u64,
+        expansions: merged.expansions,
+        transitions: merged.transitions,
+        frontier_peak: merged.frontier_peak,
+        steals: merged.steals,
+        shard_peak: 0,
+        rewalk_expansions: 0,
+        wall: Duration::ZERO,
+        cpu_busy: merged.busy,
+    };
+    for shard in &shared.shards {
+        stats.shard_peak = stats.shard_peak.max(lock_shard(shard).len() as u64);
+    }
+
+    let witness = shared
+        .candidate
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .map(|candidate| {
+            let trace = recorded_trace(&arenas, candidate.node);
+            debug_assert_eq!(trace.len() as u32, candidate.vlen);
+            RecordedWitness {
+                trace,
+                vlen: candidate.vlen,
+            }
+        });
+    Ok((witness, stats))
+}
+
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("worker thread panicked: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("worker thread panicked: {s}")
+    } else {
+        "worker thread panicked".to_owned()
+    }
+}
+
+/// Rebuild the visible trace of `node` from the per-worker parent arenas.
+fn recorded_trace(arenas: &[Vec<NodeRec>], mut node: NodeRef) -> Trace {
+    let mut events: Vec<TraceEvent> = Vec::new();
+    loop {
+        let rec = arenas[node.worker as usize][node.idx as usize];
+        if let Some(e) = rec.label {
+            events.push(TraceEvent::Event(e));
+        }
+        if rec.parent == node {
+            break;
+        }
+        node = rec.parent;
+    }
+    events.reverse();
+    events.into_iter().collect()
+}
+
+/// One worker's execution context.
+struct WorkerCtx<'a> {
+    me: u16,
+    local: Worker<Task>,
+    arena: Vec<NodeRec>,
+    shared: &'a Shared,
+    norm: &'a NormalisedLts,
+    csr: &'a CsrEdges,
+    stats: WorkerStats,
+}
+
+impl WorkerCtx<'_> {
+    fn run(&mut self) {
+        let started = Instant::now();
+        let mut idle = Duration::ZERO;
+        let backoff = Backoff::new();
+        let mut guard = PanicGuard {
+            shared: self.shared,
+            armed: true,
+        };
+        loop {
+            if self.shared.overflow.load(Ordering::Relaxed)
+                || self.shared.panicked.load(Ordering::Relaxed)
+            {
+                break;
+            }
+            match self.find_task() {
+                Some(task) => {
+                    backoff.reset();
+                    self.process(task);
+                    self.shared.pending.fetch_sub(1, Ordering::Release);
+                }
+                None => {
+                    if self.shared.pending.load(Ordering::Acquire) == 0 {
+                        break;
+                    }
+                    let waiting = Instant::now();
+                    backoff.snooze();
+                    idle += waiting.elapsed();
+                }
+            }
+        }
+        guard.armed = false;
+        drop(guard);
+        self.stats.busy = started.elapsed().saturating_sub(idle);
+    }
+
+    /// Pop local work, or steal a batch from the injector / a sibling.
+    fn find_task(&mut self) -> Option<Task> {
+        if let Some(task) = self.local.pop() {
+            return Some(task);
+        }
+        loop {
+            let mut retry = false;
+            match self.shared.injector.steal_batch_and_pop(&self.local) {
+                Steal::Success(task) => {
+                    self.stats.steals += 1;
+                    return Some(task);
+                }
+                Steal::Retry => retry = true,
+                Steal::Empty => {}
+            }
+            let n = self.shared.stealers.len();
+            for k in 1..n {
+                let victim = (self.me as usize + k) % n;
+                match self.shared.stealers[victim].steal_batch_and_pop(&self.local) {
+                    Steal::Success(task) => {
+                        self.stats.steals += 1;
+                        return Some(task);
+                    }
+                    Steal::Retry => retry = true,
+                    Steal::Empty => {}
+                }
+            }
+            if !retry {
+                return None;
+            }
+        }
+    }
+
+    /// Expand one product pair: scan its implementation edges, offer the
+    /// successors, record any violation.
+    fn process(&mut self, task: Task) {
+        // No witness shorter than the current best can pass through here.
+        if task.vlen >= self.shared.best.load(Ordering::Relaxed) {
+            return;
+        }
+        // Superseded by a shorter path to the same pair? Skip the stale
+        // expansion; the improved task is (or was) queued separately.
+        let pair = (task.s, task.n);
+        {
+            let shard = &self.shared.shards[shard_of(pair, self.shared.shard_mask)];
+            if lock_shard(shard).get(&pair).is_some_and(|&d| d < task.vlen) {
+                return;
+            }
+        }
+        self.stats.expansions += 1;
+        for &(label, target) in self.csr.edges(task.s) {
+            self.stats.transitions += 1;
+            match label {
+                Label::Tau => self.offer(target, task.n, task.vlen, None, task.node),
+                Label::Event(e) => match self.norm.after(task.n, e) {
+                    Some(n2) => self.offer(target, n2, task.vlen + 1, Some(e), task.node),
+                    None => self.record_violation(task.vlen, task.node),
+                },
+                Label::Tick => {
+                    if !self.norm.allows_tick(task.n) {
+                        self.record_violation(task.vlen, task.node);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Offer a successor pair at visible depth `vlen`: insert or improve
+    /// its shard entry, append a parent record, and queue a task.
+    fn offer(
+        &mut self,
+        s: StateId,
+        n: NormNodeId,
+        vlen: u32,
+        label: Option<EventId>,
+        parent: NodeRef,
+    ) {
+        if vlen >= self.shared.best.load(Ordering::Relaxed) {
+            return; // cannot lead to a shorter witness than the best known
+        }
+        let pair = (s, n);
+        {
+            let shard = &self.shared.shards[shard_of(pair, self.shared.shard_mask)];
+            let mut map = lock_shard(shard);
+            match map.entry(pair) {
+                std::collections::hash_map::Entry::Occupied(mut entry) => {
+                    if *entry.get() <= vlen {
+                        return;
+                    }
+                    entry.insert(vlen); // shorter path: re-expand
+                }
+                std::collections::hash_map::Entry::Vacant(entry) => {
+                    let count = self.shared.discovered.fetch_add(1, Ordering::Relaxed) + 1;
+                    if count > self.shared.max_product {
+                        self.shared.overflow.store(true, Ordering::Relaxed);
+                        return;
+                    }
+                    entry.insert(vlen);
+                }
+            }
+        }
+        let node = NodeRef {
+            worker: self.me,
+            idx: self.arena.len() as u32,
+        };
+        self.arena.push(NodeRec { parent, label });
+        let pending = self.shared.pending.fetch_add(1, Ordering::Release) + 1;
+        self.stats.frontier_peak = self.stats.frontier_peak.max(pending as u64);
+        self.local.push(Task { s, n, vlen, node });
+    }
+
+    /// Record a violation at visible depth `vlen` and tighten the pruning
+    /// bound.
+    fn record_violation(&self, vlen: u32, node: NodeRef) {
+        let mut current = self.shared.best.load(Ordering::Relaxed);
+        while vlen < current {
+            match self.shared.best.compare_exchange_weak(
+                current,
+                vlen,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(observed) => current = observed,
+            }
+        }
+        let mut slot = self
+            .shared
+            .candidate
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        match *slot {
+            Some(existing) if existing.vlen <= vlen => {}
+            _ => *slot = Some(Candidate { vlen, node }),
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::counterexample::FailureKind;
     use csp::EventId;
 
     fn e(n: u32) -> EventId {
@@ -147,7 +642,6 @@ mod tests {
     #[test]
     fn large_interleaving_checked_in_parallel() {
         // n independent two-event components: state space 3^n.
-        let defs = Definitions::new();
         let n = 7;
         let components: Vec<Process> = (0..n)
             .map(|i| Process::prefix(e(2 * i), Process::prefix(e(2 * i + 1), Process::Stop)))
@@ -156,11 +650,112 @@ mod tests {
         let mut specdefs = Definitions::new();
         let universe: csp::EventSet = (0..2 * n).map(e).collect();
         let spec = crate::properties::run(&mut specdefs, "RUN", &universe);
-        // Merge: spec defs live in their own table; combine both.
-        // (run() only touches specdefs, impl_ uses none.)
-        let _ = defs;
         let c = Checker::new();
-        let v = trace_refinement(&c, &spec, &impl_, &specdefs, 4).unwrap();
+        let (v, stats) = trace_refinement_with_stats(&c, &spec, &impl_, &specdefs, 4).unwrap();
         assert!(v.is_pass());
+        assert_eq!(stats.threads, 4);
+        assert_eq!(stats.pairs_discovered, 3u64.pow(7));
+        assert!(stats.expansions >= stats.pairs_discovered);
+        assert!(stats.rewalk_expansions == 0, "no re-walk on pass");
+    }
+
+    #[test]
+    fn witness_is_canonical_across_thread_counts() {
+        // An interleaving with a violation reachable along many schedules:
+        // every thread count must report the identical counterexample.
+        let honest: Vec<Process> = (0..4)
+            .map(|i| Process::prefix(e(2 * i), Process::prefix(e(2 * i + 1), Process::Stop)))
+            .collect();
+        let rogue = Process::prefix(
+            e(0),
+            Process::prefix(e(2), Process::prefix(e(99), Process::Stop)),
+        );
+        let mut parts = honest;
+        parts.push(rogue);
+        let impl_ = Process::interleave_all(parts);
+        let mut specdefs = Definitions::new();
+        let universe: csp::EventSet = (0..8).map(e).collect();
+        let spec = crate::properties::run(&mut specdefs, "RUN", &universe);
+
+        let c = Checker::new();
+        let serial = c.trace_refinement(&spec, &impl_, &specdefs).unwrap();
+        let serial_cex = serial.counterexample().expect("violation expected");
+        assert_eq!(
+            serial_cex.kind(),
+            &FailureKind::TraceViolation { event: Some(e(99)) }
+        );
+        for threads in [1usize, 2, 3, 4, 8] {
+            let par = trace_refinement(&c, &spec, &impl_, &specdefs, threads).unwrap();
+            assert_eq!(par, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn recorded_witness_matches_canonical_length() {
+        let defs = Definitions::new();
+        let spec = Process::prefix(e(0), Process::prefix(e(1), Process::Stop));
+        let impl_ = Process::prefix(
+            e(0),
+            Process::prefix(e(1), Process::prefix(e(2), Process::Stop)),
+        );
+        let c = Checker::new();
+        let spec_lts = c.compile(&spec, &defs).unwrap();
+        let norm = c.normalise(&spec_lts).unwrap();
+        let impl_lts = c.compile(&impl_, &defs).unwrap();
+        let csr = impl_lts.to_csr();
+        let (witness, _) = explore(&norm, &csr, impl_lts.initial(), 4, 1_000_000).unwrap();
+        let witness = witness.expect("violation expected");
+        assert_eq!(witness.vlen, 2);
+        assert_eq!(witness.trace.len(), 2);
+
+        let (verdict, stats) = refine_product(&c, &norm, &impl_lts, 4).unwrap();
+        let cex = verdict.counterexample().expect("violation expected");
+        assert_eq!(cex.trace().len(), 2);
+        assert!(stats.rewalk_expansions > 0);
+    }
+
+    #[test]
+    fn product_bound_is_enforced_in_parallel() {
+        let defs = Definitions::new();
+        let mut b = crate::checker::CheckerBuilder::new();
+        b.max_product(4);
+        let c = b.build();
+        let spec = Process::prefix_chain((0..10).map(e), Process::Stop);
+        let err = trace_refinement(&c, &spec, &spec.clone(), &defs, 4).unwrap_err();
+        assert_eq!(err, CheckError::ProductExceeded { limit: 4 });
+    }
+
+    #[test]
+    fn worker_panics_become_internal_errors() {
+        // Exercise the same join-and-translate path the engine uses.
+        let outcome: Result<(), CheckError> = crossbeam::scope(|scope| {
+            let handle = scope.spawn(|_| -> () { panic!("injected fault") });
+            match handle.join() {
+                Ok(value) => Ok(value),
+                Err(payload) => Err(CheckError::Internal {
+                    message: panic_text(payload.as_ref()),
+                }),
+            }
+        })
+        .expect("scope itself survives a joined worker panic");
+        let err = outcome.unwrap_err();
+        assert_eq!(
+            err,
+            CheckError::Internal {
+                message: "worker thread panicked: injected fault".to_owned()
+            }
+        );
+        assert!(err.to_string().contains("injected fault"));
+    }
+
+    #[test]
+    fn stats_json_round_trips_engine_fields() {
+        let defs = Definitions::new();
+        let spec = Process::prefix(e(0), Process::Stop);
+        let c = Checker::new();
+        let (_, stats) = trace_refinement_with_stats(&c, &spec, &spec.clone(), &defs, 2).unwrap();
+        let json = stats.to_json();
+        assert!(json.contains("\"threads\":2"), "{json}");
+        assert!(json.contains("\"shards\":"), "{json}");
     }
 }

@@ -1,0 +1,169 @@
+//! Observability for refinement runs: counters and timings collected by the
+//! serial and parallel engines, printable for humans (`autocsp check
+//! --stats`) and serialisable as JSON for the benchmark harness.
+
+use std::fmt;
+use std::time::Duration;
+
+/// Counters and timings from one product exploration.
+///
+/// Every field is filled by both engines; fields that only make sense for
+/// the work-stealing engine (`steals`, `shard_peak`) stay zero / one on the
+/// serial path. Counter semantics:
+///
+/// * `pairs_discovered` — distinct `(impl state, spec node)` pairs inserted
+///   into the visited set (the memory-side cost);
+/// * `expansions` — tasks processed, *including* re-expansions after a
+///   shorter path to an already-known pair is found (the CPU-side cost);
+/// * `transitions` — product edges traversed;
+/// * `frontier_peak` — maximum number of pending tasks observed;
+/// * `steals` — successful steal operations (victim deques + injector);
+/// * `rewalk_expansions` — expansions spent by the bounded canonical
+///   re-walk that recovers a deterministic shortest counterexample (zero
+///   when the check passes).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CheckStats {
+    /// Worker threads used (1 for the serial engine).
+    pub threads: usize,
+    /// Visited-set shards (1 for the serial engine).
+    pub shards: usize,
+    /// Distinct product pairs discovered.
+    pub pairs_discovered: u64,
+    /// Tasks expanded, including shorter-path re-expansions.
+    pub expansions: u64,
+    /// Product transitions traversed.
+    pub transitions: u64,
+    /// Peak number of pending tasks.
+    pub frontier_peak: u64,
+    /// Successful steals (work-stealing engine only).
+    pub steals: u64,
+    /// Largest shard of the visited set, in pairs.
+    pub shard_peak: u64,
+    /// Expansions spent recovering the canonical counterexample.
+    pub rewalk_expansions: u64,
+    /// Wall-clock time of the exploration (including witness recovery).
+    pub wall: Duration,
+    /// Aggregate busy time across workers (≈ CPU time; excludes idle
+    /// spinning while waiting for work).
+    pub cpu_busy: Duration,
+}
+
+impl CheckStats {
+    /// Exploration throughput in expanded states per second of wall time.
+    pub fn states_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.expansions as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Mean shard occupancy (pairs per shard).
+    pub fn shard_mean(&self) -> f64 {
+        if self.shards == 0 {
+            0.0
+        } else {
+            self.pairs_discovered as f64 / self.shards as f64
+        }
+    }
+
+    /// Render as a single JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"threads\":{},\"shards\":{},\"pairs_discovered\":{},\"expansions\":{},\
+             \"transitions\":{},\"frontier_peak\":{},\"steals\":{},\"shard_peak\":{},\
+             \"rewalk_expansions\":{},\"wall_us\":{},\"cpu_busy_us\":{},\"states_per_sec\":{:.1}}}",
+            self.threads,
+            self.shards,
+            self.pairs_discovered,
+            self.expansions,
+            self.transitions,
+            self.frontier_peak,
+            self.steals,
+            self.shard_peak,
+            self.rewalk_expansions,
+            self.wall.as_micros(),
+            self.cpu_busy.as_micros(),
+            self.states_per_sec(),
+        )
+    }
+}
+
+impl fmt::Display for CheckStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} states ({:.0}/s), {} transitions, frontier peak {}, \
+             {} steals, {} shards (peak {}), rewalk {}, \
+             wall {:.3} ms, cpu {:.3} ms, {} thread(s)",
+            self.expansions,
+            self.states_per_sec(),
+            self.transitions,
+            self.frontier_peak,
+            self.steals,
+            self.shards,
+            self.shard_peak,
+            self.rewalk_expansions,
+            self.wall.as_secs_f64() * 1e3,
+            self.cpu_busy.as_secs_f64() * 1e3,
+            self.threads,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_is_well_formed_and_complete() {
+        let stats = CheckStats {
+            threads: 4,
+            shards: 64,
+            pairs_discovered: 100,
+            expansions: 120,
+            transitions: 300,
+            frontier_peak: 40,
+            steals: 7,
+            shard_peak: 5,
+            rewalk_expansions: 3,
+            wall: Duration::from_micros(2_500),
+            cpu_busy: Duration::from_micros(9_000),
+        };
+        let json = stats.to_json();
+        for key in [
+            "\"threads\":4",
+            "\"shards\":64",
+            "\"pairs_discovered\":100",
+            "\"expansions\":120",
+            "\"transitions\":300",
+            "\"frontier_peak\":40",
+            "\"steals\":7",
+            "\"shard_peak\":5",
+            "\"rewalk_expansions\":3",
+            "\"wall_us\":2500",
+            "\"cpu_busy_us\":9000",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert_eq!(json.matches('{').count(), 1);
+    }
+
+    #[test]
+    fn throughput_handles_zero_wall() {
+        let stats = CheckStats::default();
+        assert_eq!(stats.states_per_sec(), 0.0);
+        assert_eq!(stats.shard_mean(), 0.0);
+        let display = format!(
+            "{}",
+            CheckStats {
+                expansions: 10,
+                wall: Duration::from_millis(1),
+                ..CheckStats::default()
+            }
+        );
+        assert!(display.contains("10 states"), "{display}");
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based equivalence of the serial and work-stealing refinement
+//! engines: for randomly generated spec/impl process pairs and every
+//! thread count from 1 to 8, `parallel::trace_refinement` must return the
+//! **identical** verdict — including the exact counterexample trace, not
+//! just its length — as `Checker::trace_refinement`.
+
+use csp::{Definitions, EventId, EventSet, Process};
+use fdrlite::{parallel, CheckError, Checker};
+use proptest::prelude::*;
+
+fn e(n: usize) -> EventId {
+    EventId::from_index(n)
+}
+
+/// A random finite process over a 4-event alphabet, exercising prefixing,
+/// both choices, sequencing, interleaving, synchronised parallel, and
+/// hiding (hiding introduces τ edges, the weight-0 case of the engines'
+/// 0-1 BFS).
+fn arb_process(depth: u32) -> BoxedStrategy<Process> {
+    let leaf = prop_oneof![
+        Just(Process::Stop),
+        Just(Process::Skip),
+        (0usize..4).prop_map(|i| Process::prefix(e(i), Process::Stop)),
+    ];
+    leaf.prop_recursive(depth, 24, 2, |inner| {
+        prop_oneof![
+            ((0usize..4), inner.clone()).prop_map(|(i, p)| Process::prefix(e(i), p)),
+            (inner.clone(), inner.clone()).prop_map(|(p, q)| Process::external_choice(p, q)),
+            (inner.clone(), inner.clone()).prop_map(|(p, q)| Process::internal_choice(p, q)),
+            (inner.clone(), inner.clone()).prop_map(|(p, q)| Process::seq(p, q)),
+            (inner.clone(), inner.clone()).prop_map(|(p, q)| Process::interleave(p, q)),
+            (
+                inner.clone(),
+                inner.clone(),
+                proptest::collection::vec(0usize..4, 0..3)
+            )
+                .prop_map(|(p, q, sync)| {
+                    let sync: EventSet = sync.into_iter().map(e).collect();
+                    Process::parallel(sync, p, q)
+                }),
+            (inner, proptest::collection::vec(0usize..4, 1..3)).prop_map(|(p, hide)| {
+                let hidden: EventSet = hide.into_iter().map(e).collect();
+                Process::hide(p, hidden)
+            }),
+        ]
+    })
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn parallel_engine_matches_serial_verbatim(
+        spec in arb_process(3),
+        impl_ in arb_process(4),
+    ) {
+        let defs = Definitions::new();
+        let checker = Checker::new();
+        let serial = checker.trace_refinement(&spec, &impl_, &defs);
+        for threads in 1..=8usize {
+            let parallel = parallel::trace_refinement(&checker, &spec, &impl_, &defs, threads);
+            match (&serial, &parallel) {
+                (Ok(s), Ok(p)) => {
+                    prop_assert_eq!(s, p);
+                    if let (Some(sc), Some(pc)) = (s.counterexample(), p.counterexample()) {
+                        prop_assert_eq!(sc.trace().len(), pc.trace().len());
+                    }
+                }
+                (Err(se), Err(pe)) => prop_assert_eq!(se, pe),
+                (s, p) => prop_assert!(
+                    false,
+                    "engines disagree at {} threads: serial={:?} parallel={:?}",
+                    threads, s, p
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_product_agrees_or_both_overflow(
+        impl_ in arb_process(4),
+    ) {
+        // With a tight product bound, both engines must raise the same
+        // `ProductExceeded` — or, when a violation and the bound race,
+        // the parallel engine may legitimately find the violation the
+        // serial engine reports (and vice versa); verdicts that do come
+        // back must still be identical.
+        let defs = Definitions::new();
+        let mut builder = fdrlite::CheckerBuilder::new();
+        builder.max_product(8);
+        let checker = builder.build();
+        let spec = Process::prefix(e(0), Process::Stop);
+        let serial = checker.trace_refinement(&spec, &impl_, &defs);
+        let parallel = parallel::trace_refinement(&checker, &spec, &impl_, &defs, 4);
+        match (&serial, &parallel) {
+            (Ok(s), Ok(p)) => prop_assert_eq!(s, p),
+            (Err(CheckError::ProductExceeded { limit: a }),
+             Err(CheckError::ProductExceeded { limit: b })) => prop_assert_eq!(a, b),
+            (Ok(v), Err(CheckError::ProductExceeded { .. }))
+            | (Err(CheckError::ProductExceeded { .. }), Ok(v)) => {
+                // Documented race: only legal when a violation exists.
+                prop_assert!(!v.is_pass(), "bound/verdict race requires a violation");
+            }
+            (s, p) => prop_assert!(
+                false,
+                "unexpected outcome pair: serial={:?} parallel={:?}", s, p
+            ),
+        }
+    }
+}

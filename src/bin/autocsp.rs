@@ -3,7 +3,7 @@
 //! ```text
 //! autocsp translate <app.can> [--dbc net.dbc] [--node ECU] [--gateway] [-o out.csp]
 //! autocsp lint <file>... [--dbc net.dbc] [--format json] [--deny-warnings]
-//! autocsp check <model.csp>
+//! autocsp check <model.csp> [--threads N] [--stats] [--stats-json out.json]
 //! autocsp compose <gateway.can> <ecu.can> [--dbc net.dbc] [--buffered N] [-o out.csp]
 //! autocsp simulate <node.can>... [--dbc net.dbc] [--for-ms N]
 //! ```
@@ -56,8 +56,14 @@ USAGE:
       consistency. Exits non-zero on errors (or warnings, under
       `--deny-warnings`).
 
-  autocsp check <model.csp> [--deny-warnings]
+  autocsp check <model.csp> [--deny-warnings] [--threads <N>] [--stats]
+                [--stats-json <out.json>]
       Run every `assert` in a CSPm script through the refinement checker.
+      `--threads N` (alias `-j`) checks trace refinements with the
+      work-stealing parallel engine; verdicts and counterexamples are
+      identical to the serial engine for any N. `--stats` prints per-
+      assertion exploration statistics to stderr; `--stats-json` writes
+      them to a file as JSON.
 
   autocsp compose <gateway.can> <ecu.can> [--dbc <net.dbc>] [--buffered <N>] [-o <out.csp>]
       Translate both nodes and compose SYSTEM = GATEWAY ∥ ECU.
@@ -79,6 +85,9 @@ struct Flags {
     for_ms: u64,
     format: OutputFormat,
     deny_warnings: bool,
+    threads: usize,
+    stats: bool,
+    stats_json: Option<String>,
 }
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -98,6 +107,9 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         for_ms: 1_000,
         format: OutputFormat::Text,
         deny_warnings: false,
+        threads: 1,
+        stats: false,
+        stats_json: None,
     };
     let mut i = 0;
     let value = |args: &[String], i: &mut usize, flag: &str| -> Result<String, String> {
@@ -132,6 +144,15 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                 }
             }
             "--deny-warnings" => flags.deny_warnings = true,
+            "--threads" | "-j" => {
+                flags.threads = value(args, &mut i, "--threads")?
+                    .parse()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| "`--threads` needs a number ≥ 1".to_owned())?;
+            }
+            "--stats" => flags.stats = true,
+            "--stats-json" => flags.stats_json = Some(value(args, &mut i, "--stats-json")?),
             other if other.starts_with('-') => return Err(format!("unknown flag `{other}`")),
             other => flags.positional.push(other.to_owned()),
         }
@@ -375,7 +396,13 @@ fn check(args: &[String]) -> Result<(), String> {
     if loaded.assertions().is_empty() {
         return Err("script contains no `assert` declarations".into());
     }
-    let results = loaded.check(&Checker::new()).map_err(|e| e.to_string())?;
+    let options = cspm::CheckOptions {
+        threads: flags.threads,
+        collect_stats: flags.stats || flags.stats_json.is_some(),
+    };
+    let results = loaded
+        .check_with(&Checker::new(), &options)
+        .map_err(|e| e.to_string())?;
     let mut failures = 0;
     for r in &results {
         match r.verdict.counterexample() {
@@ -386,6 +413,30 @@ fn check(args: &[String]) -> Result<(), String> {
                 println!("  {}", cex.display(loaded.alphabet()));
             }
         }
+        if flags.stats {
+            if let Some(stats) = &r.stats {
+                eprintln!("  stats: {stats}");
+            }
+        }
+    }
+    if let Some(path) = &flags.stats_json {
+        let lines: Vec<String> = results
+            .iter()
+            .map(|r| {
+                let stats = r
+                    .stats
+                    .as_ref()
+                    .map_or_else(|| "null".to_owned(), fdrlite::CheckStats::to_json);
+                format!(
+                    "{{\"assertion\":{:?},\"pass\":{},\"stats\":{stats}}}",
+                    r.description,
+                    r.verdict.is_pass()
+                )
+            })
+            .collect();
+        fs::write(path, format!("[{}]\n", lines.join(",")))
+            .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        eprintln!("wrote {path}");
     }
     if failures > 0 {
         Err(format!("{failures} assertion(s) failed"))

@@ -1,0 +1,348 @@
+//! Work-stealing deques (stand-in for `crossbeam-deque`).
+//!
+//! A [`Worker`] is an owner-side queue; [`Stealer`] handles clone freely and
+//! take work from the opposite ("cold") end; an [`Injector`] is a shared
+//! global FIFO used to seed work and absorb overflow. Steal operations
+//! return [`Steal`], mirroring the real crate so callers can retry on
+//! contention.
+//!
+//! The implementation is a mutex-guarded ring buffer instead of a lock-free
+//! Chase–Lev deque (no `unsafe` in this workspace). Owner operations and
+//! steals therefore serialise per queue, which is still far finer-grained
+//! than a single global queue: contention is spread across one lock per
+//! worker.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// The result of a steal attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// The queue was empty at the time of the attempt.
+    Empty,
+    /// One task was stolen.
+    Success(T),
+    /// The operation lost a race and should be retried.
+    Retry,
+}
+
+impl<T> Steal<T> {
+    /// The stolen task, if the attempt succeeded.
+    pub fn success(self) -> Option<T> {
+        match self {
+            Steal::Success(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Did the attempt find the queue empty?
+    pub fn is_empty(&self) -> bool {
+        matches!(self, Steal::Empty)
+    }
+
+    /// Did the attempt steal a task?
+    pub fn is_success(&self) -> bool {
+        matches!(self, Steal::Success(_))
+    }
+
+    /// Should the attempt be retried?
+    pub fn is_retry(&self) -> bool {
+        matches!(self, Steal::Retry)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Flavor {
+    Fifo,
+    Lifo,
+}
+
+#[derive(Debug)]
+struct Queue<T> {
+    items: Mutex<VecDeque<T>>,
+}
+
+impl<T> Queue<T> {
+    fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+        // A panicking worker must not wedge its siblings: recover the data
+        // and let the panic surface at join time instead.
+        self.items.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// The owner side of a work-stealing deque.
+///
+/// `Worker` is `Send` (it can be moved into its thread) and hands out
+/// [`Stealer`]s for every other thread.
+#[derive(Debug)]
+pub struct Worker<T> {
+    queue: Arc<Queue<T>>,
+    flavor: Flavor,
+}
+
+impl<T> Worker<T> {
+    /// A FIFO worker: `pop` takes the oldest task (queue discipline).
+    pub fn new_fifo() -> Worker<T> {
+        Worker {
+            queue: Arc::new(Queue {
+                items: Mutex::new(VecDeque::new()),
+            }),
+            flavor: Flavor::Fifo,
+        }
+    }
+
+    /// A LIFO worker: `pop` takes the newest task (stack discipline, the
+    /// cache-friendly choice for graph exploration).
+    pub fn new_lifo() -> Worker<T> {
+        Worker {
+            queue: Arc::new(Queue {
+                items: Mutex::new(VecDeque::new()),
+            }),
+            flavor: Flavor::Lifo,
+        }
+    }
+
+    /// A stealer handle onto this worker's queue.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer {
+            queue: Arc::clone(&self.queue),
+        }
+    }
+
+    /// Push a task onto the owner end.
+    pub fn push(&self, task: T) {
+        self.queue.lock().push_back(task);
+    }
+
+    /// Pop a task from the owner end.
+    pub fn pop(&self) -> Option<T> {
+        let mut q = self.queue.lock();
+        match self.flavor {
+            Flavor::Fifo => q.pop_front(),
+            Flavor::Lifo => q.pop_back(),
+        }
+    }
+
+    /// Number of queued tasks (a racy snapshot, as in the real crate).
+    pub fn len(&self) -> usize {
+        self.queue.lock().len()
+    }
+
+    /// Whether the queue is empty (racy snapshot).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A handle for stealing tasks from another thread's [`Worker`].
+#[derive(Debug)]
+pub struct Stealer<T> {
+    queue: Arc<Queue<T>>,
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer {
+            queue: Arc::clone(&self.queue),
+        }
+    }
+}
+
+impl<T> Stealer<T> {
+    /// Steal one task from the cold (front) end.
+    pub fn steal(&self) -> Steal<T> {
+        match self.queue.lock().pop_front() {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Steal up to half of the queue into `dest`, returning one task
+    /// directly. This is the amortisation that keeps stragglers from
+    /// stealing one task at a time.
+    pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+        let batch: Vec<T> = {
+            let mut src = self.queue.lock();
+            let n = src.len();
+            if n == 0 {
+                return Steal::Empty;
+            }
+            let take = (n / 2).max(1);
+            src.drain(..take).collect()
+        };
+        let mut batch = batch.into_iter();
+        let first = batch.next().expect("batch holds at least one task");
+        let mut dst = dest.queue.lock();
+        dst.extend(batch);
+        Steal::Success(first)
+    }
+
+    /// Number of stealable tasks (racy snapshot).
+    pub fn len(&self) -> usize {
+        self.queue.lock().len()
+    }
+
+    /// Whether the queue is empty (racy snapshot).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A shared FIFO queue every thread may push to and steal from; used to
+/// seed the initial work and to absorb overflow.
+#[derive(Debug, Default)]
+pub struct Injector<T> {
+    queue: Queue<T>,
+}
+
+impl<T> Default for Queue<T> {
+    fn default() -> Self {
+        Queue {
+            items: Mutex::new(VecDeque::new()),
+        }
+    }
+}
+
+impl<T> Injector<T> {
+    /// An empty injector.
+    pub fn new() -> Injector<T> {
+        Injector {
+            queue: Queue::default(),
+        }
+    }
+
+    /// Push a task onto the back.
+    pub fn push(&self, task: T) {
+        self.queue.lock().push_back(task);
+    }
+
+    /// Steal one task from the front.
+    pub fn steal(&self) -> Steal<T> {
+        match self.queue.lock().pop_front() {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Steal up to half of the queue into `dest`, returning one task.
+    pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+        let batch: Vec<T> = {
+            let mut src = self.queue.lock();
+            let n = src.len();
+            if n == 0 {
+                return Steal::Empty;
+            }
+            let take = (n / 2).max(1);
+            src.drain(..take).collect()
+        };
+        let mut batch = batch.into_iter();
+        let first = batch.next().expect("batch holds at least one task");
+        let mut dst = dest.queue.lock();
+        dst.extend(batch);
+        Steal::Success(first)
+    }
+
+    /// Number of queued tasks (racy snapshot).
+    pub fn len(&self) -> usize {
+        self.queue.lock().len()
+    }
+
+    /// Whether the queue is empty (racy snapshot).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_owner_pops_newest_stealers_take_oldest() {
+        let w: Worker<u32> = Worker::new_lifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(w.pop(), Some(3));
+        assert_eq!(s.steal(), Steal::Success(1));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(s.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn fifo_owner_pops_oldest() {
+        let w: Worker<u32> = Worker::new_fifo();
+        w.push(1);
+        w.push(2);
+        assert_eq!(w.pop(), Some(1));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn batch_steal_moves_half() {
+        let victim: Worker<u32> = Worker::new_lifo();
+        for i in 0..10 {
+            victim.push(i);
+        }
+        let thief: Worker<u32> = Worker::new_lifo();
+        let got = victim.stealer().steal_batch_and_pop(&thief);
+        assert_eq!(got, Steal::Success(0));
+        assert_eq!(thief.len(), 4);
+        assert_eq!(victim.len(), 5);
+    }
+
+    #[test]
+    fn injector_seeds_workers() {
+        let inj: Injector<u32> = Injector::new();
+        inj.push(7);
+        inj.push(8);
+        let w: Worker<u32> = Worker::new_lifo();
+        assert_eq!(inj.steal_batch_and_pop(&w), Steal::Success(7));
+        assert_eq!(inj.steal(), Steal::Success(8));
+        assert!(inj.steal().is_empty());
+    }
+
+    #[test]
+    fn steal_accessors() {
+        let s: Steal<u32> = Steal::Success(1);
+        assert!(s.is_success());
+        assert_eq!(s.success(), Some(1));
+        assert!(Steal::<u32>::Empty.is_empty());
+        assert!(Steal::<u32>::Retry.is_retry());
+        assert_eq!(Steal::<u32>::Retry.success(), None);
+    }
+
+    #[test]
+    fn concurrent_producers_and_thieves_conserve_tasks() {
+        let w: Worker<u64> = Worker::new_lifo();
+        for i in 0..1000 {
+            w.push(i);
+        }
+        let total: u64 = crate::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let s = w.stealer();
+                    scope.spawn(move |_| {
+                        let local: Worker<u64> = Worker::new_lifo();
+                        let mut sum = 0u64;
+                        loop {
+                            let next = local
+                                .pop()
+                                .or_else(|| s.steal_batch_and_pop(&local).success());
+                            match next {
+                                Some(v) => sum += v,
+                                None => break,
+                            }
+                        }
+                        sum
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 1000 * 999 / 2);
+    }
+}

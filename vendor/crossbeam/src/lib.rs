@@ -1,93 +1,21 @@
-//! Offline stand-in for `crossbeam`, implementing the `scope` API the
-//! workspace uses on top of `std::thread::scope` (stable since Rust 1.63).
+//! Offline stand-in for `crossbeam`, implementing the subsets of the
+//! `crossbeam` API this workspace uses:
 //!
-//! Differences from real crossbeam are deliberate simplifications: a panic in
-//! a worker propagates out of `scope` (std semantics) instead of being
-//! collected, so the `Result` returned here is always `Ok`. Callers that
-//! `.expect()` the result — the only pattern in this repository — behave
-//! identically.
+//! * [`scope`] / [`thread`] — scoped threads over `std::thread::scope`;
+//! * [`deque`] — work-stealing deques (`Worker`, `Stealer`, `Injector`,
+//!   `Steal`), the substrate of the parallel refinement engine;
+//! * [`utils`] — [`utils::CachePadded`] and [`utils::Backoff`].
+//!
+//! The deques are lock-based rather than lock-free (the real crate's
+//! Chase–Lev deque needs `unsafe`, which this workspace forbids), but they
+//! preserve crossbeam's API shape and semantics — LIFO/FIFO owner access,
+//! stealing from the cold end, batched steals — so swapping the real crate
+//! back in is a `Cargo.toml` change, not a code change.
 
 #![forbid(unsafe_code)]
 
-use std::any::Any;
-use std::thread;
+pub mod deque;
+pub mod thread;
+pub mod utils;
 
-/// A scope handle that can spawn borrowing threads (stand-in for
-/// `crossbeam::thread::Scope`).
-pub struct Scope<'scope, 'env> {
-    inner: &'scope thread::Scope<'scope, 'env>,
-}
-
-/// Handle to join a scoped worker (stand-in for `ScopedJoinHandle`).
-pub struct ScopedJoinHandle<'scope, T> {
-    inner: thread::ScopedJoinHandle<'scope, T>,
-}
-
-impl<'scope, T> ScopedJoinHandle<'scope, T> {
-    /// Wait for the worker and return its result.
-    ///
-    /// # Errors
-    ///
-    /// Returns the worker's panic payload if it panicked.
-    pub fn join(self) -> thread::Result<T> {
-        self.inner.join()
-    }
-}
-
-impl<'scope, 'env> Scope<'scope, 'env> {
-    /// Spawn a worker inside the scope. As in crossbeam, the closure receives
-    /// the scope itself so workers can spawn nested workers.
-    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
-    where
-        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
-        T: Send + 'scope,
-    {
-        let inner = self.inner;
-        ScopedJoinHandle {
-            inner: inner.spawn(move || f(&Scope { inner })),
-        }
-    }
-}
-
-/// Create a scope in which spawned threads may borrow from the caller's
-/// stack. All workers are joined before `scope` returns.
-///
-/// # Errors
-///
-/// Always `Ok` in this stand-in; the `Result` exists for signature
-/// compatibility with crossbeam.
-pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
-where
-    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
-{
-    Ok(thread::scope(|s| f(&Scope { inner: s })))
-}
-
-#[cfg(test)]
-mod tests {
-    #[test]
-    fn scoped_workers_borrow_and_join() {
-        let data = [1, 2, 3, 4];
-        let total: i32 = super::scope(|scope| {
-            let handles: Vec<_> = data
-                .chunks(2)
-                .map(|chunk| scope.spawn(move |_| chunk.iter().sum::<i32>()))
-                .collect();
-            handles.into_iter().map(|h| h.join().unwrap()).sum()
-        })
-        .unwrap();
-        assert_eq!(total, 10);
-    }
-
-    #[test]
-    fn nested_spawns_work() {
-        let n = super::scope(|scope| {
-            scope
-                .spawn(|inner| inner.spawn(|_| 21).join().unwrap() * 2)
-                .join()
-                .unwrap()
-        })
-        .unwrap();
-        assert_eq!(n, 42);
-    }
-}
+pub use thread::{scope, Scope, ScopedJoinHandle};

@@ -1,0 +1,91 @@
+//! Scoped threads (stand-in for `crossbeam::thread`), implemented on top of
+//! `std::thread::scope` (stable since Rust 1.63).
+//!
+//! Differences from real crossbeam are deliberate simplifications: a panic
+//! that escapes the scope closure propagates (std semantics) instead of
+//! being collected, so the `Result` returned here is always `Ok`. Panics in
+//! *workers* are still reported through [`ScopedJoinHandle::join`], exactly
+//! as in crossbeam.
+
+use std::any::Any;
+use std::thread;
+
+/// A scope handle that can spawn borrowing threads (stand-in for
+/// `crossbeam::thread::Scope`).
+pub struct Scope<'scope, 'env> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+/// Handle to join a scoped worker (stand-in for `ScopedJoinHandle`).
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    /// Wait for the worker and return its result.
+    ///
+    /// # Errors
+    ///
+    /// Returns the worker's panic payload if it panicked.
+    pub fn join(self) -> thread::Result<T> {
+        self.inner.join()
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a worker inside the scope. As in crossbeam, the closure receives
+    /// the scope itself so workers can spawn nested workers.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        ScopedJoinHandle {
+            inner: inner.spawn(move || f(&Scope { inner })),
+        }
+    }
+}
+
+/// Create a scope in which spawned threads may borrow from the caller's
+/// stack. All workers are joined before `scope` returns.
+///
+/// # Errors
+///
+/// Always `Ok` in this stand-in; the `Result` exists for signature
+/// compatibility with crossbeam.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_workers_borrow_and_join() {
+        let data = [1, 2, 3, 4];
+        let total: i32 = super::scope(|scope| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|chunk| scope.spawn(move |_| chunk.iter().sum::<i32>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn nested_spawns_work() {
+        let n = super::scope(|scope| {
+            scope
+                .spawn(|inner| inner.spawn(|_| 21).join().unwrap() * 2)
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(n, 42);
+    }
+}

@@ -1,0 +1,131 @@
+//! Concurrency utilities (stand-in for `crossbeam-utils`).
+
+use std::cell::Cell;
+use std::ops::{Deref, DerefMut};
+
+/// Pads and aligns a value to (at least) a cache-line boundary so that
+/// adjacent values in an array do not false-share a line. 128 bytes covers
+/// the spatial-prefetcher pairing on modern x86 as well as common ARM
+/// configurations.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+#[repr(align(128))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    /// Pad `value`.
+    pub const fn new(value: T) -> CachePadded<T> {
+        CachePadded { value }
+    }
+
+    /// Unwrap the padded value.
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> Deref for CachePadded<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+impl<T> From<T> for CachePadded<T> {
+    fn from(value: T) -> Self {
+        CachePadded::new(value)
+    }
+}
+
+const SPIN_LIMIT: u32 = 6;
+const YIELD_LIMIT: u32 = 10;
+
+/// Exponential backoff for spin loops: spin briefly first, then start
+/// yielding to the scheduler, and report when blocking would be better.
+#[derive(Debug, Default)]
+pub struct Backoff {
+    step: Cell<u32>,
+}
+
+impl Backoff {
+    /// A fresh backoff counter.
+    pub fn new() -> Backoff {
+        Backoff::default()
+    }
+
+    /// Reset to the initial (pure-spin) state.
+    pub fn reset(&self) {
+        self.step.set(0);
+    }
+
+    /// Back off after a failed compare-and-swap style retry: spin only.
+    pub fn spin(&self) {
+        let step = self.step.get().min(SPIN_LIMIT);
+        for _ in 0..1u32 << step {
+            std::hint::spin_loop();
+        }
+        if self.step.get() <= SPIN_LIMIT {
+            self.step.set(self.step.get() + 1);
+        }
+    }
+
+    /// Back off while waiting for another thread to make progress: spin
+    /// first, then yield the timeslice.
+    pub fn snooze(&self) {
+        let step = self.step.get();
+        if step <= SPIN_LIMIT {
+            for _ in 0..1u32 << step {
+                std::hint::spin_loop();
+            }
+        } else {
+            std::thread::yield_now();
+        }
+        if step <= YIELD_LIMIT {
+            self.step.set(step + 1);
+        }
+    }
+
+    /// Whether backing off further is pointless and the caller should park
+    /// or re-check its exit condition.
+    pub fn is_completed(&self) -> bool {
+        self.step.get() > YIELD_LIMIT
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_padded_is_transparent_and_aligned() {
+        let mut p = CachePadded::new(41u64);
+        *p += 1;
+        assert_eq!(*p, 42);
+        assert_eq!(p.into_inner(), 42);
+        assert!(std::mem::align_of::<CachePadded<u8>>() >= 128);
+        let q: CachePadded<u8> = 5u8.into();
+        assert_eq!(*q, 5);
+    }
+
+    #[test]
+    fn backoff_completes_after_yield_limit() {
+        let b = Backoff::new();
+        assert!(!b.is_completed());
+        for _ in 0..=YIELD_LIMIT {
+            b.snooze();
+        }
+        assert!(b.is_completed());
+        b.reset();
+        assert!(!b.is_completed());
+        b.spin();
+        assert!(!b.is_completed());
+    }
+}
