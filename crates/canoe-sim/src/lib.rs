@@ -56,5 +56,5 @@ mod trace;
 
 pub use frame::Frame;
 pub use interp::{CaplValue, RuntimeError};
-pub use sim::{Interceptor, PassThrough, SimError, Simulation};
+pub use sim::{Delivery, FaultRecord, Interceptor, PassThrough, SimError, Simulation};
 pub use trace::{TraceEntry, TraceEvent};

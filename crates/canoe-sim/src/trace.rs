@@ -60,6 +60,29 @@ pub enum TraceEvent {
         /// The affected CAN identifier.
         id: u32,
     },
+    /// A frame entered the bus queue from outside the modelled network
+    /// ([`crate::Simulation::inject_frame`]), as opposed to a node's
+    /// `output()`. The later bus grant still appears as a
+    /// [`TraceEvent::Transmit`] from `<external>`.
+    Injected {
+        /// Message name (from the database) or `id_0x…` if unknown.
+        message: String,
+        /// CAN identifier.
+        id: u32,
+        /// Payload.
+        payload: [u8; 8],
+    },
+    /// A named fault acted on the bus — the tagged record a fault-injection
+    /// interceptor emits through [`crate::Interceptor::drain_fault_log`],
+    /// and the marker for scheduled node outages.
+    Fault {
+        /// The fault's name (from its plan entry).
+        fault: String,
+        /// What the fault did (dropped, corrupted, delayed …).
+        action: String,
+        /// The affected CAN identifier (0 when not frame-related).
+        id: u32,
+    },
 }
 
 impl TraceEvent {
@@ -83,6 +106,14 @@ impl TraceEvent {
     pub fn receive_name(&self) -> Option<&str> {
         match self {
             TraceEvent::Receive { message, .. } => Some(message),
+            _ => None,
+        }
+    }
+
+    /// The fault name if this is a tagged fault record.
+    pub fn fault_name(&self) -> Option<&str> {
+        match self {
+            TraceEvent::Fault { fault, .. } => Some(fault),
             _ => None,
         }
     }

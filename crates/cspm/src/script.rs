@@ -152,10 +152,20 @@ pub struct CheckOptions {
     /// Worker threads for trace-refinement assertions. `1` (the default)
     /// uses the serial engine; anything larger routes through
     /// [`fdrlite::parallel`]. Verdicts and counterexamples are identical
-    /// either way — the parallel engine's witness recovery is canonical.
+    /// either way — the parallel engine's witness recovery is canonical —
+    /// *except* when a budget below is exhausted mid-run (see
+    /// [`fdrlite::CheckOptions`]).
     pub threads: usize,
     /// Collect [`CheckStats`] for assertions that support it.
     pub collect_stats: bool,
+    /// Stop a refinement assertion after exploring this many product
+    /// states, yielding [`Verdict::Inconclusive`]. `None` (default) is
+    /// unbounded. Property assertions (`deadlock free`, …) are not
+    /// budgeted — they are linear in the implementation LTS.
+    pub max_states: Option<u64>,
+    /// Stop a refinement assertion after roughly this much wall-clock
+    /// time (milliseconds), yielding [`Verdict::Inconclusive`].
+    pub max_wall_ms: Option<u64>,
 }
 
 impl Default for CheckOptions {
@@ -163,6 +173,18 @@ impl Default for CheckOptions {
         CheckOptions {
             threads: 1,
             collect_stats: false,
+            max_states: None,
+            max_wall_ms: None,
+        }
+    }
+}
+
+impl CheckOptions {
+    /// The fdrlite-level budget equivalent of these options.
+    fn budget(&self) -> fdrlite::CheckOptions {
+        fdrlite::CheckOptions {
+            max_states: self.max_states,
+            max_wall_ms: self.max_wall_ms,
         }
     }
 }
@@ -227,24 +249,46 @@ impl LoadedScript {
                 ResolvedCheck::Refinement { model, spec, impl_ } => match model {
                     RefModel::Traces => {
                         let (verdict, s) = if options.threads > 1 {
-                            fdrlite::parallel::trace_refinement_with_stats(
+                            fdrlite::parallel::trace_refinement_with_options(
                                 checker,
                                 spec,
                                 impl_,
                                 &self.defs,
                                 options.threads,
+                                &options.budget(),
                             )?
                         } else {
-                            checker.trace_refinement_with_stats(spec, impl_, &self.defs)?
+                            checker.trace_refinement_with_options(
+                                spec,
+                                impl_,
+                                &self.defs,
+                                &options.budget(),
+                            )?
                         };
                         if options.collect_stats {
                             stats = Some(s);
                         }
                         verdict
                     }
-                    RefModel::Failures => checker.failures_refinement(spec, impl_, &self.defs)?,
+                    RefModel::Failures => {
+                        checker
+                            .failures_refinement_with_options(
+                                spec,
+                                impl_,
+                                &self.defs,
+                                &options.budget(),
+                            )?
+                            .0
+                    }
                     RefModel::FailuresDivergences => {
-                        checker.failures_divergences_refinement(spec, impl_, &self.defs)?
+                        checker
+                            .failures_divergences_refinement_with_options(
+                                spec,
+                                impl_,
+                                &self.defs,
+                                &options.budget(),
+                            )?
+                            .0
                     }
                 },
                 ResolvedCheck::Property { process, property } => match property {
@@ -317,6 +361,7 @@ mod tests {
         let options = CheckOptions {
             threads: 4,
             collect_stats: true,
+            ..CheckOptions::default()
         };
         let parallel = loaded.check_with(&Checker::new(), &options).unwrap();
         assert_eq!(serial.len(), parallel.len());
@@ -328,6 +373,31 @@ mod tests {
         assert_eq!(stats.threads, 4);
         assert!(stats.pairs_discovered > 0);
         assert!(parallel[1].stats.is_none(), "property checks have no stats");
+    }
+
+    #[test]
+    fn budgets_degrade_assertions_to_inconclusive() {
+        let src = "
+            datatype MsgT = reqSw | rptSw
+            channel send, rec : MsgT
+            SP02 = rec.reqSw -> send.rptSw -> SP02
+            ECU  = rec.reqSw -> send.rptSw -> ECU
+            assert SP02 [T= ECU
+            assert SP02 [F= ECU
+        ";
+        let loaded = Script::parse(src).unwrap().load().unwrap();
+        let options = CheckOptions {
+            max_states: Some(1),
+            ..CheckOptions::default()
+        };
+        let results = loaded.check_with(&Checker::new(), &options).unwrap();
+        for r in &results {
+            let inc = r
+                .verdict
+                .inconclusive()
+                .unwrap_or_else(|| panic!("expected inconclusive: {}", r.description));
+            assert!(inc.states_explored >= 1);
+        }
     }
 
     #[test]

@@ -1,0 +1,23 @@
+//! Stable `SIM3xx` diagnostic codes for fault-plan analysis.
+//!
+//! The `SIM` namespace covers the fault-injection subsystem: plan parsing
+//! and plan ↔ `.dbc` cross-validation. Like every other code namespace (see
+//! `lint::codes`), codes are never renumbered once published in
+//! `docs/LINTS.md`; retired codes are not reused.
+
+use diag::Code;
+
+/// `SIM300` — the fault plan failed to parse.
+pub const PLAN_PARSE_ERROR: Code = Code("SIM300");
+/// `SIM301` — a plan references a frame id absent from the `.dbc`.
+pub const UNKNOWN_FRAME_ID: Code = Code("SIM301");
+/// `SIM302` — two bus-off faults have overlapping time windows.
+pub const BUS_OFF_OVERLAP: Code = Code("SIM302");
+/// `SIM303` — a trigger probability is outside `[0, 1]`.
+pub const PROBABILITY_RANGE: Code = Code("SIM303");
+/// `SIM304` — a time window is empty (`start >= end`), so the fault is inert.
+pub const EMPTY_WINDOW: Code = Code("SIM304");
+/// `SIM305` — a node-crash fault names a node absent from the `.dbc`.
+pub const UNKNOWN_NODE: Code = Code("SIM305");
+/// `SIM306` — a corruption byte offset is beyond the 8-byte CAN payload.
+pub const CORRUPT_BYTE_RANGE: Code = Code("SIM306");

@@ -1,0 +1,420 @@
+//! The fault-injection engine: a seeded [`Interceptor`] executing a
+//! [`FaultPlan`] against every frame on the simulated bus.
+
+use canoe_sim::{Delivery, FaultRecord, Frame, Interceptor, SimError, Simulation};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::plan::{FaultKind, FaultPlan, FaultSpec};
+
+/// Per-fault runtime state.
+#[derive(Debug, Clone)]
+struct FaultState {
+    spec: FaultSpec,
+    /// Matching frames seen so far (drives `every_nth`).
+    seen: u64,
+    /// Times the fault has fired (drives `max_fires`).
+    fires: u64,
+    /// The last matching frame, for `replay`.
+    recorded: Option<Frame>,
+}
+
+impl FaultState {
+    /// Whether the trigger fires for `frame` at `time_us`. The probability
+    /// draw happens last so that deterministic conditions never consume
+    /// random numbers — a plan with `probability` unset consumes none.
+    fn triggers(&mut self, frame: &Frame, time_us: u64, rng: &mut SmallRng) -> bool {
+        let t = &self.spec.trigger;
+        if let Some((from, until)) = t.window {
+            if time_us < from || time_us >= until {
+                return false;
+            }
+        }
+        if let Some(id) = t.match_id {
+            if frame.id != id {
+                return false;
+            }
+        }
+        self.seen += 1;
+        if let Some(n) = t.every_nth {
+            if n == 0 || !self.seen.is_multiple_of(n) {
+                return false;
+            }
+        }
+        if let Some(max) = t.max_fires {
+            if self.fires >= max {
+                return false;
+            }
+        }
+        if let Some(p) = t.probability {
+            if !rng.gen_bool(p.clamp(0.0, 1.0)) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// A deterministic, seeded fault-injection interceptor.
+///
+/// Faults apply to each intercepted frame in plan order; every activation is
+/// tagged into the simulation trace as a [`canoe_sim::TraceEvent::Fault`]
+/// record carrying the fault's name. All randomness (probabilistic triggers,
+/// delay jitter) comes from one [`SmallRng`] seeded by the simulation — same
+/// plan, same seed, same CAPL programs ⇒ byte-identical trace.
+///
+/// `node_crash` faults are *not* executed here (a crash is not a per-frame
+/// transformation); [`apply_plan`] turns them into scheduled outages.
+#[derive(Debug)]
+pub struct FaultEngine {
+    states: Vec<FaultState>,
+    rng: SmallRng,
+    log: Vec<FaultRecord>,
+}
+
+impl FaultEngine {
+    /// Build an engine from a plan. Node-crash faults are skipped (see
+    /// [`apply_plan`]); everything else becomes per-frame state.
+    pub fn from_plan(plan: &FaultPlan) -> FaultEngine {
+        let states = plan
+            .faults
+            .iter()
+            .filter(|f| !matches!(f.kind, FaultKind::NodeCrash { .. }))
+            .map(|spec| FaultState {
+                spec: spec.clone(),
+                seen: 0,
+                fires: 0,
+                recorded: None,
+            })
+            .collect();
+        FaultEngine {
+            states,
+            rng: SmallRng::seed_from_u64(plan.seed.unwrap_or(0)),
+            log: Vec::new(),
+        }
+    }
+
+    fn record(&mut self, fault: &str, action: String, id: u32) {
+        self.log.push(FaultRecord {
+            fault: fault.to_string(),
+            action,
+            id,
+        });
+    }
+}
+
+impl Interceptor for FaultEngine {
+    fn on_frame(&mut self, frame: &Frame, time_us: u64) -> Vec<Frame> {
+        // The simulation always calls `on_frame_timed`; this fallback keeps
+        // the trait contract for direct callers but loses delays.
+        self.on_frame_timed(frame, time_us)
+            .into_iter()
+            .map(|d| d.frame)
+            .collect()
+    }
+
+    fn on_frame_timed(&mut self, frame: &Frame, time_us: u64) -> Vec<Delivery> {
+        // `original` is the in-flight frame (transformed in place);
+        // `extras` are additional deliveries (duplicates, replays, spoofs).
+        let mut original = Some(Delivery::immediate(frame.clone()));
+        let mut extras: Vec<Delivery> = Vec::new();
+
+        for i in 0..self.states.len() {
+            // Split the borrow: the state is moved out and back so the RNG
+            // and log can be borrowed mutably alongside it.
+            let mut state = self.states[i].clone();
+
+            // Replay faults record every matching frame, fired or not, so a
+            // later trigger replays the most recent observation.
+            if matches!(state.spec.kind, FaultKind::Replay { .. }) {
+                let id_ok = state.spec.trigger.match_id.is_none_or(|id| id == frame.id);
+                if id_ok {
+                    state.recorded = Some(frame.clone());
+                }
+            }
+
+            if !state.triggers(frame, time_us, &mut self.rng) {
+                self.states[i] = state;
+                continue;
+            }
+            state.fires += 1;
+
+            let name = state.spec.name.clone();
+            match &state.spec.kind {
+                FaultKind::Drop => {
+                    if original.take().is_some() {
+                        self.record(&name, "dropped".to_string(), frame.id);
+                    }
+                }
+                FaultKind::BusOff => {
+                    let squelched = usize::from(original.is_some()) + extras.len();
+                    if squelched > 0 {
+                        original = None;
+                        extras.clear();
+                        self.record(
+                            &name,
+                            format!("bus off: squelched {squelched} delivery(s)"),
+                            frame.id,
+                        );
+                    }
+                }
+                FaultKind::Corrupt { byte, xor } => {
+                    if let Some(o) = original.as_mut() {
+                        if *byte < 8 {
+                            o.frame.payload[*byte] ^= xor;
+                            self.record(
+                                &name,
+                                format!("corrupted byte {byte} (xor {xor:#04x})"),
+                                frame.id,
+                            );
+                        }
+                    }
+                }
+                FaultKind::Delay {
+                    delay_us,
+                    jitter_us,
+                } => {
+                    if let Some(o) = original.as_mut() {
+                        let jitter = if *jitter_us > 0 {
+                            self.rng.gen_range(0..jitter_us + 1)
+                        } else {
+                            0
+                        };
+                        o.delay_us += delay_us + jitter;
+                        self.record(
+                            &name,
+                            format!("delayed by {} us", delay_us + jitter),
+                            frame.id,
+                        );
+                    }
+                }
+                FaultKind::Duplicate { copies } => {
+                    if let Some(o) = original.as_ref() {
+                        for _ in 0..*copies {
+                            extras.push(o.clone());
+                        }
+                        self.record(&name, format!("duplicated x{copies}"), frame.id);
+                    }
+                }
+                FaultKind::Replay { delay_us } => {
+                    if let Some(rec) = state.recorded.clone() {
+                        let id = rec.id;
+                        extras.push(Delivery {
+                            frame: rec,
+                            delay_us: *delay_us,
+                            from_external: true,
+                        });
+                        self.record(&name, format!("replayed after {delay_us} us"), id);
+                    }
+                }
+                FaultKind::Spoof { id, payload, dlc } => {
+                    extras.push(Delivery {
+                        frame: Frame {
+                            id: *id,
+                            dlc: (*dlc).min(8),
+                            payload: *payload,
+                        },
+                        delay_us: 0,
+                        from_external: true,
+                    });
+                    self.record(&name, format!("spoofed frame {id} (0x{id:X})"), *id);
+                }
+                FaultKind::NodeCrash { .. } => {} // handled by apply_plan
+            }
+            self.states[i] = state;
+        }
+
+        original.into_iter().chain(extras).collect()
+    }
+
+    fn set_seed(&mut self, seed: u64) {
+        self.rng = SmallRng::seed_from_u64(seed);
+    }
+
+    fn drain_fault_log(&mut self) -> Vec<FaultRecord> {
+        std::mem::take(&mut self.log)
+    }
+}
+
+/// Install a plan on a simulation: seed it, mount the [`FaultEngine`] and
+/// schedule every `node_crash` fault as a node outage.
+///
+/// The seed precedence is `seed_override` (e.g. `autocsp simulate --seed`),
+/// then the plan's `[plan] seed`, then the simulation's default. Errors
+/// surface only from outage scheduling (unknown node names).
+pub fn apply_plan(
+    sim: &mut Simulation,
+    plan: &FaultPlan,
+    seed_override: Option<u64>,
+) -> Result<(), SimError> {
+    if let Some(seed) = seed_override.or(plan.seed) {
+        sim.set_seed(seed);
+    }
+    for fault in &plan.faults {
+        if let FaultKind::NodeCrash {
+            node,
+            from_us,
+            until_us,
+        } = &fault.kind
+        {
+            sim.schedule_outage(node, *from_us, *until_us)?;
+        }
+    }
+    sim.set_interceptor(Box::new(FaultEngine::from_plan(plan)));
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::FaultPlan;
+
+    fn plan(body: &str) -> FaultPlan {
+        FaultPlan::parse(&format!("[plan]\nname = \"t\"\n{body}")).expect("plan parses")
+    }
+
+    fn frame(id: u32) -> Frame {
+        Frame::new(id, 8)
+    }
+
+    #[test]
+    fn drop_removes_the_original() {
+        let p = plan("[[fault]]\nname = \"d\"\nkind = \"drop\"\nmatch_id = 5\n");
+        let mut e = FaultEngine::from_plan(&p);
+        assert!(e.on_frame_timed(&frame(5), 0).is_empty());
+        assert_eq!(e.on_frame_timed(&frame(6), 0).len(), 1);
+        let log = e.drain_fault_log();
+        assert_eq!(log.len(), 1);
+        assert_eq!(log[0].fault, "d");
+        assert_eq!(log[0].action, "dropped");
+    }
+
+    #[test]
+    fn every_nth_counts_matching_frames_only() {
+        let p = plan("[[fault]]\nname = \"d\"\nkind = \"drop\"\nmatch_id = 5\nevery_nth = 2\n");
+        let mut e = FaultEngine::from_plan(&p);
+        assert_eq!(e.on_frame_timed(&frame(5), 0).len(), 1); // 1st match: kept
+        assert_eq!(e.on_frame_timed(&frame(9), 0).len(), 1); // non-match
+        assert!(e.on_frame_timed(&frame(5), 0).is_empty()); // 2nd match: dropped
+        assert_eq!(e.on_frame_timed(&frame(5), 0).len(), 1); // 3rd match: kept
+    }
+
+    #[test]
+    fn corrupt_flips_the_requested_byte() {
+        let p = plan("[[fault]]\nname = \"c\"\nkind = \"corrupt\"\nbyte = 2\nxor = 0x0F\n");
+        let mut e = FaultEngine::from_plan(&p);
+        let mut f = frame(1);
+        f.payload[2] = 0xF0;
+        let out = e.on_frame_timed(&f, 0);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].frame.payload[2], 0xFF);
+        assert_eq!(out[0].delay_us, 0);
+    }
+
+    #[test]
+    fn delay_with_jitter_is_deterministic_per_seed() {
+        let p = plan(
+            "seed = 9\n[[fault]]\nname = \"j\"\nkind = \"delay\"\ndelay_us = 100\njitter_us = 50\n",
+        );
+        let run = |p: &FaultPlan| {
+            let mut e = FaultEngine::from_plan(p);
+            (0..10)
+                .map(|i| e.on_frame_timed(&frame(i), 0)[0].delay_us)
+                .collect::<Vec<_>>()
+        };
+        let a = run(&p);
+        let b = run(&p);
+        assert_eq!(a, b, "same seed must give identical jitter");
+        assert!(a.iter().all(|&d| (100..=150).contains(&d)), "{a:?}");
+    }
+
+    #[test]
+    fn duplicate_adds_copies() {
+        let p = plan("[[fault]]\nname = \"2x\"\nkind = \"duplicate\"\ncopies = 2\n");
+        let mut e = FaultEngine::from_plan(&p);
+        let out = e.on_frame_timed(&frame(7), 0);
+        assert_eq!(out.len(), 3);
+        assert!(out.iter().all(|d| d.frame.id == 7 && !d.from_external));
+    }
+
+    #[test]
+    fn replay_redelivers_the_recorded_frame_externally() {
+        let p = plan(
+            "[[fault]]\nname = \"r\"\nkind = \"replay\"\nmatch_id = 257\n\
+             every_nth = 2\ndelay_us = 500\nmax_fires = 1\n",
+        );
+        let mut e = FaultEngine::from_plan(&p);
+        let mut first = frame(257);
+        first.payload[0] = 0xAA;
+        assert_eq!(e.on_frame_timed(&first, 0).len(), 1); // recorded, not fired
+        let mut second = frame(257);
+        second.payload[0] = 0xBB;
+        let out = e.on_frame_timed(&second, 10);
+        assert_eq!(out.len(), 2);
+        assert!(!out[0].from_external);
+        assert!(out[1].from_external);
+        assert_eq!(out[1].frame.payload[0], 0xBB, "replays the latest match");
+        assert_eq!(out[1].delay_us, 500);
+        // max_fires = 1: the third frame passes untouched.
+        assert_eq!(e.on_frame_timed(&frame(257), 20).len(), 1);
+    }
+
+    #[test]
+    fn spoof_forges_an_external_frame() {
+        let p = plan(
+            "[[fault]]\nname = \"s\"\nkind = \"spoof\"\nid = 99\npayload = [1, 2]\nevery_nth = 2\n",
+        );
+        let mut e = FaultEngine::from_plan(&p);
+        assert_eq!(e.on_frame_timed(&frame(1), 0).len(), 1);
+        let out = e.on_frame_timed(&frame(1), 0);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[1].frame.id, 99);
+        assert_eq!(out[1].frame.payload[1], 2);
+        assert!(out[1].from_external);
+    }
+
+    #[test]
+    fn bus_off_window_squelches_everything() {
+        let p = plan(
+            "[[fault]]\nname = \"2x\"\nkind = \"duplicate\"\ncopies = 1\n\
+             [[fault]]\nname = \"off\"\nkind = \"bus_off\"\nwindow = [100, 200]\n",
+        );
+        let mut e = FaultEngine::from_plan(&p);
+        assert_eq!(e.on_frame_timed(&frame(1), 50).len(), 2); // before window
+        assert!(e.on_frame_timed(&frame(1), 150).is_empty()); // inside
+        assert_eq!(e.on_frame_timed(&frame(1), 200).len(), 2); // after (exclusive)
+    }
+
+    #[test]
+    fn set_seed_overrides_the_plan_seed() {
+        let p = plan("seed = 1\n[[fault]]\nname = \"p\"\nkind = \"drop\"\nprobability = 0.5\n");
+        let run = |seed: Option<u64>| {
+            let mut e = FaultEngine::from_plan(&p);
+            if let Some(s) = seed {
+                e.set_seed(s);
+            }
+            (0..64)
+                .map(|i| !e.on_frame_timed(&frame(i), 0).is_empty())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(Some(2)), run(Some(2)));
+        assert_ne!(
+            run(Some(2)),
+            run(Some(3)),
+            "different seeds should pick different frames"
+        );
+    }
+
+    #[test]
+    fn zero_active_faults_pass_everything_unchanged() {
+        let p = plan("");
+        let mut e = FaultEngine::from_plan(&p);
+        let f = frame(42);
+        let out = e.on_frame_timed(&f, 123);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].frame, f);
+        assert_eq!(out[0].delay_us, 0);
+        assert!(!out[0].from_external);
+        assert!(e.drain_fault_log().is_empty());
+    }
+}

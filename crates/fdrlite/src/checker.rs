@@ -9,14 +9,101 @@
 //! with the serial checker by construction.
 
 use std::collections::{HashMap, VecDeque};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use csp::{Definitions, EventId, Label, Lts, Process, StateId, Trace, TraceEvent};
 
-use crate::counterexample::{Counterexample, FailureKind, Verdict};
+use crate::counterexample::{BudgetReason, Counterexample, FailureKind, Inconclusive, Verdict};
 use crate::error::CheckError;
 use crate::normalise::{Acceptance, NormNodeId, NormalisedLts};
 use crate::stats::CheckStats;
+
+/// Resource budgets for a refinement exploration.
+///
+/// Unlike the hard caps of [`CheckerBuilder`] (which abort with a
+/// [`CheckError`]), budgets degrade gracefully: when one is exhausted the
+/// check returns [`Verdict::Inconclusive`] with the exploration statistics
+/// gathered so far. A violation found *before* the budget runs out is still
+/// reported as a conclusive [`Verdict::Fail`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CheckOptions {
+    /// Stop after discovering this many product states (`None` = unbounded).
+    pub max_states: Option<u64>,
+    /// Stop after this much wall-clock time (`None` = unbounded).
+    pub max_wall_ms: Option<u64>,
+}
+
+impl CheckOptions {
+    /// No budgets: explore until done or a hard cap aborts.
+    pub const UNBOUNDED: CheckOptions = CheckOptions {
+        max_states: None,
+        max_wall_ms: None,
+    };
+
+    /// Is any budget configured?
+    pub fn is_bounded(&self) -> bool {
+        self.max_states.is_some() || self.max_wall_ms.is_some()
+    }
+}
+
+/// A running budget: [`CheckOptions`] with the wall-clock deadline resolved
+/// against a start instant. Shared by the serial and parallel engines.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Budget {
+    max_states: Option<u64>,
+    wall: Option<(Instant, u64)>,
+}
+
+impl Budget {
+    /// Start the clock on `options` now.
+    pub(crate) fn start(options: &CheckOptions) -> Budget {
+        Budget {
+            max_states: options.max_states,
+            wall: options
+                .max_wall_ms
+                .map(|ms| (Instant::now() + Duration::from_millis(ms), ms)),
+        }
+    }
+
+    pub(crate) fn unbounded() -> Budget {
+        Budget {
+            max_states: None,
+            wall: None,
+        }
+    }
+
+    /// Is the state budget exhausted with `discovered` states known?
+    pub(crate) fn states_exceeded(&self, discovered: u64) -> Option<BudgetReason> {
+        match self.max_states {
+            Some(limit) if discovered >= limit => Some(BudgetReason::States { limit }),
+            _ => None,
+        }
+    }
+
+    /// Has the wall-clock deadline passed? Consults `Instant::now`; callers
+    /// should rate-limit this off their hot path.
+    pub(crate) fn wall_exceeded(&self) -> Option<BudgetReason> {
+        match self.wall {
+            Some((deadline, limit_ms)) if Instant::now() >= deadline => {
+                Some(BudgetReason::Wall { limit_ms })
+            }
+            _ => None,
+        }
+    }
+
+    /// Which budget (if any) is exhausted with `discovered` states known?
+    /// `Instant::now` is only consulted every 1024th call (by `ticks`) to
+    /// keep the check off the hot path.
+    pub(crate) fn exceeded(&self, discovered: u64, ticks: u64) -> Option<BudgetReason> {
+        if let Some(reason) = self.states_exceeded(discovered) {
+            return Some(reason);
+        }
+        if ticks & 1023 == 0 {
+            return self.wall_exceeded();
+        }
+        None
+    }
+}
 
 /// Configures and builds a [`Checker`].
 #[derive(Debug, Clone)]
@@ -218,7 +305,15 @@ impl Checker {
         model: RefinementModel,
     ) -> Result<Verdict, CheckError> {
         let mut stats = CheckStats::default();
-        refine_zero_one(spec, impl_lts, model, self.max_product, None, &mut stats)
+        refine_zero_one(
+            spec,
+            impl_lts,
+            model,
+            self.max_product,
+            None,
+            &Budget::unbounded(),
+            &mut stats,
+        )
     }
 
     /// Like [`Checker::refine`], also returning the exploration's
@@ -233,13 +328,40 @@ impl Checker {
         impl_lts: &Lts,
         model: RefinementModel,
     ) -> Result<(Verdict, CheckStats), CheckError> {
+        self.refine_with_options(spec, impl_lts, model, &CheckOptions::UNBOUNDED)
+    }
+
+    /// Like [`Checker::refine_with_stats`], under the resource budgets of
+    /// `options`. Exhausting a budget yields [`Verdict::Inconclusive`]
+    /// (stats attached), never a panic or an unbounded run.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckError::ProductExceeded`] if the product grows past its hard
+    /// bound before any budget is reached.
+    pub fn refine_with_options(
+        &self,
+        spec: &NormalisedLts,
+        impl_lts: &Lts,
+        model: RefinementModel,
+        options: &CheckOptions,
+    ) -> Result<(Verdict, CheckStats), CheckError> {
         let start = Instant::now();
         let mut stats = CheckStats {
             threads: 1,
             shards: 1,
             ..CheckStats::default()
         };
-        let verdict = refine_zero_one(spec, impl_lts, model, self.max_product, None, &mut stats)?;
+        let budget = Budget::start(options);
+        let verdict = refine_zero_one(
+            spec,
+            impl_lts,
+            model,
+            self.max_product,
+            None,
+            &budget,
+            &mut stats,
+        )?;
         stats.shard_peak = stats.pairs_discovered;
         stats.wall = start.elapsed();
         stats.cpu_busy = stats.wall;
@@ -258,10 +380,67 @@ impl Checker {
         impl_: &Process,
         defs: &Definitions,
     ) -> Result<(Verdict, CheckStats), CheckError> {
+        self.trace_refinement_with_options(spec, impl_, defs, &CheckOptions::UNBOUNDED)
+    }
+
+    /// Like [`Checker::trace_refinement_with_stats`], under the resource
+    /// budgets of `options` (see [`CheckOptions`]).
+    ///
+    /// # Errors
+    ///
+    /// Compilation or exploration exceeded a hard bound.
+    pub fn trace_refinement_with_options(
+        &self,
+        spec: &Process,
+        impl_: &Process,
+        defs: &Definitions,
+        options: &CheckOptions,
+    ) -> Result<(Verdict, CheckStats), CheckError> {
         let spec_lts = self.compile(spec, defs)?;
         let norm = self.normalise(&spec_lts)?;
         let impl_lts = self.compile(impl_, defs)?;
-        self.refine_with_stats(&norm, &impl_lts, RefinementModel::Traces)
+        self.refine_with_options(&norm, &impl_lts, RefinementModel::Traces, options)
+    }
+
+    /// Like [`Checker::failures_refinement`], under the resource budgets of
+    /// `options` (see [`CheckOptions`]).
+    ///
+    /// # Errors
+    ///
+    /// Compilation or exploration exceeded a hard bound.
+    pub fn failures_refinement_with_options(
+        &self,
+        spec: &Process,
+        impl_: &Process,
+        defs: &Definitions,
+        options: &CheckOptions,
+    ) -> Result<(Verdict, CheckStats), CheckError> {
+        let spec_lts = self.compile(spec, defs)?;
+        let norm = self.normalise(&spec_lts)?;
+        let impl_lts = self.compile(impl_, defs)?;
+        self.refine_with_options(&norm, &impl_lts, RefinementModel::Failures, options)
+    }
+
+    /// Like [`Checker::failures_divergences_refinement`], under the resource
+    /// budgets of `options`. The divergence phase runs unbudgeted (it is
+    /// linear in the implementation LTS); the failures phase honours the
+    /// budgets.
+    ///
+    /// # Errors
+    ///
+    /// Compilation or exploration exceeded a hard bound.
+    pub fn failures_divergences_refinement_with_options(
+        &self,
+        spec: &Process,
+        impl_: &Process,
+        defs: &Definitions,
+        options: &CheckOptions,
+    ) -> Result<(Verdict, CheckStats), CheckError> {
+        let divergence = self.divergence_free(impl_, defs)?;
+        if !divergence.is_pass() {
+            return Ok((divergence, CheckStats::default()));
+        }
+        self.failures_refinement_with_options(spec, impl_, defs, options)
     }
 
     /// Is `p` deadlock free? A deadlock is a reachable state with no
@@ -525,6 +704,7 @@ pub(crate) fn refine_zero_one(
     model: RefinementModel,
     max_product: usize,
     bound: Option<u32>,
+    budget: &Budget,
     stats: &mut CheckStats,
 ) -> Result<Verdict, CheckError> {
     let root = (impl_lts.initial(), spec.initial());
@@ -532,6 +712,12 @@ pub(crate) fn refine_zero_one(
     stats.pairs_discovered += 1;
 
     while let Some(idx) = ex.deque.pop_front() {
+        if let Some(reason) = budget.exceeded(stats.pairs_discovered, stats.expansions) {
+            return Ok(Verdict::Inconclusive(Inconclusive {
+                states_explored: stats.pairs_discovered,
+                reason,
+            }));
+        }
         let node = &ex.nodes[idx as usize];
         let (pair, vlen) = (node.pair, node.vlen);
         if ex.current.get(&pair) != Some(&idx) {
@@ -824,6 +1010,99 @@ mod tests {
             .trace_refinement(&spec, &spec.clone(), &defs)
             .unwrap_err();
         assert!(matches!(err, CheckError::ProductExceeded { limit: 2 }));
+    }
+
+    #[test]
+    fn serial_state_budget_degrades_to_inconclusive() {
+        let defs = Definitions::new();
+        let spec = Process::prefix_chain((0..100).map(e), Process::Stop);
+        let options = CheckOptions {
+            max_states: Some(10),
+            max_wall_ms: None,
+        };
+        let (v, stats) = checker()
+            .trace_refinement_with_options(&spec, &spec.clone(), &defs, &options)
+            .unwrap();
+        let inc = v.inconclusive().expect("must be inconclusive");
+        assert_eq!(
+            inc.reason,
+            crate::counterexample::BudgetReason::States { limit: 10 }
+        );
+        assert_eq!(inc.states_explored, stats.pairs_discovered);
+        assert!(stats.pairs_discovered >= 10);
+        assert!(stats.pairs_discovered < 101);
+    }
+
+    #[test]
+    fn serial_zero_wall_budget_degrades_to_inconclusive() {
+        let defs = Definitions::new();
+        let spec = Process::prefix_chain((0..100).map(e), Process::Stop);
+        let options = CheckOptions {
+            max_states: None,
+            max_wall_ms: Some(0),
+        };
+        let (v, _) = checker()
+            .trace_refinement_with_options(&spec, &spec.clone(), &defs, &options)
+            .unwrap();
+        assert!(
+            matches!(
+                v,
+                Verdict::Inconclusive(Inconclusive {
+                    reason: BudgetReason::Wall { limit_ms: 0 },
+                    ..
+                })
+            ),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn serial_violation_found_within_budget_stays_conclusive() {
+        let defs = Definitions::new();
+        let spec = Process::prefix(e(0), Process::Stop);
+        let impl_ = Process::prefix(e(0), Process::prefix(e(1), Process::Stop));
+        let options = CheckOptions {
+            max_states: Some(100),
+            max_wall_ms: None,
+        };
+        let (v, _) = checker()
+            .trace_refinement_with_options(&spec, &impl_, &defs, &options)
+            .unwrap();
+        assert!(v.counterexample().is_some(), "{v:?}");
+    }
+
+    #[test]
+    fn unbounded_options_change_nothing() {
+        let defs = Definitions::new();
+        let p = Process::prefix(e(0), Process::prefix(e(1), Process::Stop));
+        assert!(!CheckOptions::UNBOUNDED.is_bounded());
+        let (v, _) = checker()
+            .trace_refinement_with_options(&p, &p.clone(), &defs, &CheckOptions::UNBOUNDED)
+            .unwrap();
+        assert!(v.is_pass());
+        let opts = CheckOptions {
+            max_states: Some(1),
+            ..CheckOptions::default()
+        };
+        assert!(opts.is_bounded());
+    }
+
+    #[test]
+    fn budgeted_failures_refinement_is_inconclusive_not_failing() {
+        let defs = Definitions::new();
+        let spec = Process::prefix_chain((0..50).map(e), Process::Stop);
+        let options = CheckOptions {
+            max_states: Some(5),
+            max_wall_ms: None,
+        };
+        let (v, _) = checker()
+            .failures_refinement_with_options(&spec, &spec.clone(), &defs, &options)
+            .unwrap();
+        assert!(v.is_inconclusive(), "{v:?}");
+        let (fd, _) = checker()
+            .failures_divergences_refinement_with_options(&spec, &spec.clone(), &defs, &options)
+            .unwrap();
+        assert!(fd.is_inconclusive(), "{fd:?}");
     }
 
     #[test]

@@ -3,26 +3,92 @@
 use csp::{Alphabet, EventId, Trace};
 use std::fmt;
 
-/// The outcome of a check: either it holds, or a witness refutes it.
+/// The outcome of a check: it holds, a witness refutes it, or a resource
+/// budget ran out before either could be established.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Verdict {
     /// The property holds.
     Pass,
     /// The property fails; the counterexample explains why.
     Fail(Counterexample),
+    /// A resource budget ([`crate::CheckOptions`]) was exhausted before the
+    /// check could conclude. Neither a proof nor a counterexample exists:
+    /// the states explored so far contained no violation, but unexplored
+    /// states might.
+    Inconclusive(Inconclusive),
 }
 
 impl Verdict {
-    /// Did the check pass?
+    /// Did the check pass? `false` for both [`Verdict::Fail`] and
+    /// [`Verdict::Inconclusive`].
     pub fn is_pass(&self) -> bool {
         matches!(self, Verdict::Pass)
+    }
+
+    /// Did the check run out of budget before concluding?
+    pub fn is_inconclusive(&self) -> bool {
+        matches!(self, Verdict::Inconclusive(_))
     }
 
     /// The counterexample, if the check failed.
     pub fn counterexample(&self) -> Option<&Counterexample> {
         match self {
-            Verdict::Pass => None,
+            Verdict::Pass | Verdict::Inconclusive(_) => None,
             Verdict::Fail(c) => Some(c),
+        }
+    }
+
+    /// Budget-exhaustion details, if the check was inconclusive.
+    pub fn inconclusive(&self) -> Option<&Inconclusive> {
+        match self {
+            Verdict::Inconclusive(i) => Some(i),
+            _ => None,
+        }
+    }
+}
+
+/// Details attached to [`Verdict::Inconclusive`]: how far the exploration
+/// got and which budget stopped it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Inconclusive {
+    /// Product states explored before the budget ran out.
+    pub states_explored: u64,
+    /// Which budget was exhausted.
+    pub reason: BudgetReason,
+}
+
+impl fmt::Display for Inconclusive {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} after exploring {} states",
+            self.reason, self.states_explored
+        )
+    }
+}
+
+/// Which [`crate::CheckOptions`] budget stopped an exploration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BudgetReason {
+    /// `max_states` was reached.
+    States {
+        /// The configured state budget.
+        limit: u64,
+    },
+    /// `max_wall_ms` elapsed.
+    Wall {
+        /// The configured wall-clock budget in milliseconds.
+        limit_ms: u64,
+    },
+}
+
+impl fmt::Display for BudgetReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BudgetReason::States { limit } => write!(f, "state budget ({limit}) exhausted"),
+            BudgetReason::Wall { limit_ms } => {
+                write!(f, "wall-clock budget ({limit_ms} ms) exhausted")
+            }
         }
     }
 }
@@ -158,6 +224,27 @@ mod tests {
         let v = Verdict::Fail(cex.clone());
         assert!(!v.is_pass());
         assert_eq!(v.counterexample(), Some(&cex));
+    }
+
+    #[test]
+    fn inconclusive_verdict_accessors() {
+        let v = Verdict::Inconclusive(Inconclusive {
+            states_explored: 1234,
+            reason: BudgetReason::States { limit: 1000 },
+        });
+        assert!(!v.is_pass());
+        assert!(v.is_inconclusive());
+        assert!(v.counterexample().is_none());
+        let i = v.inconclusive().expect("details");
+        assert_eq!(i.states_explored, 1234);
+        let text = i.to_string();
+        assert!(text.contains("state budget (1000)"), "{text}");
+        assert!(text.contains("1234 states"), "{text}");
+        let wall = Inconclusive {
+            states_explored: 9,
+            reason: BudgetReason::Wall { limit_ms: 50 },
+        };
+        assert!(wall.to_string().contains("50 ms"), "{wall}");
     }
 
     #[test]

@@ -41,7 +41,7 @@
 //!     Verdict::Fail(cex) => {
 //!         assert_eq!(cex.trace().display(&ab).to_string(), "⟨rec.reqSw, send.rptSw⟩");
 //!     }
-//!     Verdict::Pass => panic!("the unsolicited report must be caught"),
+//!     other => panic!("the unsolicited report must be caught, got {other:?}"),
 //! }
 //! # Ok::<(), fdrlite::CheckError>(())
 //! ```
@@ -58,8 +58,8 @@ mod stats;
 pub mod parallel;
 pub mod properties;
 
-pub use checker::{Checker, CheckerBuilder, RefinementModel};
-pub use counterexample::{Counterexample, FailureKind, Verdict};
+pub use checker::{CheckOptions, Checker, CheckerBuilder, RefinementModel};
+pub use counterexample::{BudgetReason, Counterexample, FailureKind, Inconclusive, Verdict};
 pub use error::CheckError;
 pub use normalise::{Acceptance, NormNodeId, NormalisedLts};
 pub use stats::CheckStats;

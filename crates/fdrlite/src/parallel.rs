@@ -48,8 +48,8 @@ use crossbeam::deque::{Injector, Steal, Stealer, Worker};
 use crossbeam::utils::{Backoff, CachePadded};
 use csp::{CsrEdges, Definitions, EventId, Label, Lts, Process, StateId, Trace, TraceEvent};
 
-use crate::checker::{refine_zero_one, Checker, RefinementModel};
-use crate::counterexample::Verdict;
+use crate::checker::{refine_zero_one, Budget, CheckOptions, Checker, RefinementModel};
+use crate::counterexample::{BudgetReason, Inconclusive, Verdict};
 use crate::error::CheckError;
 use crate::normalise::{NormNodeId, NormalisedLts};
 use crate::stats::CheckStats;
@@ -93,10 +93,37 @@ pub fn trace_refinement_with_stats(
     defs: &Definitions,
     threads: usize,
 ) -> Result<(Verdict, CheckStats), CheckError> {
+    trace_refinement_with_options(
+        checker,
+        spec,
+        impl_,
+        defs,
+        threads,
+        &CheckOptions::UNBOUNDED,
+    )
+}
+
+/// Like [`trace_refinement_with_stats`], under the resource budgets of
+/// `options` (see [`CheckOptions`]). Exhausting a budget yields
+/// [`Verdict::Inconclusive`]; a violation discovered before exhaustion is
+/// still recovered and reported as a conclusive [`Verdict::Fail`] whenever
+/// the canonical re-walk also fits in a fresh instance of the same budget.
+///
+/// # Errors
+///
+/// As for [`trace_refinement`].
+pub fn trace_refinement_with_options(
+    checker: &Checker,
+    spec: &Process,
+    impl_: &Process,
+    defs: &Definitions,
+    threads: usize,
+    options: &CheckOptions,
+) -> Result<(Verdict, CheckStats), CheckError> {
     let spec_lts = checker.compile(spec, defs)?;
     let norm = checker.normalise(&spec_lts)?;
     let impl_lts = checker.compile(impl_, defs)?;
-    refine_product(checker, &norm, &impl_lts, threads)
+    refine_product_with_options(checker, &norm, &impl_lts, threads, options)
 }
 
 /// Parallel trace refinement of a pre-compiled implementation against a
@@ -113,25 +140,70 @@ pub fn refine_product(
     impl_lts: &Lts,
     threads: usize,
 ) -> Result<(Verdict, CheckStats), CheckError> {
+    refine_product_with_options(checker, norm, impl_lts, threads, &CheckOptions::UNBOUNDED)
+}
+
+/// Like [`refine_product`], under the resource budgets of `options`.
+///
+/// When a budget is exhausted mid-pass:
+///
+/// * with no violation recorded, the verdict is [`Verdict::Inconclusive`];
+/// * with a violation recorded, the canonical re-walk runs under a *fresh*
+///   instance of the same budget — if it completes, the conclusive
+///   [`Verdict::Fail`] is returned (a found counterexample is sound
+///   regardless of how much of the product was explored); if it too runs
+///   out, the verdict degrades to [`Verdict::Inconclusive`].
+///
+/// Determinism across runs and thread counts is only guaranteed for
+/// unbudgeted checks: a wall-clock budget observes real time, and a state
+/// budget races discovery order between workers.
+///
+/// # Errors
+///
+/// [`CheckError::ProductExceeded`] if the product grows past the checker's
+/// bound; [`CheckError::Internal`] if a worker panics.
+pub fn refine_product_with_options(
+    checker: &Checker,
+    norm: &NormalisedLts,
+    impl_lts: &Lts,
+    threads: usize,
+    options: &CheckOptions,
+) -> Result<(Verdict, CheckStats), CheckError> {
     let start = Instant::now();
     let threads = threads.clamp(1, MAX_THREADS);
     let csr = impl_lts.to_csr();
-    let (raw, mut stats) = explore(
+    let budget = Budget::start(options);
+    let outcome = explore(
         norm,
         &csr,
         impl_lts.initial(),
         threads,
         checker.max_product(),
+        &budget,
     )?;
+    let (raw, exhausted, mut stats) = outcome;
 
     let verdict = match raw {
-        None => Verdict::Pass,
+        None => match exhausted {
+            Some(reason) => Verdict::Inconclusive(Inconclusive {
+                states_explored: stats.pairs_discovered,
+                reason,
+            }),
+            None => Verdict::Pass,
+        },
         Some(witness) => {
             // Canonical witness recovery: re-walk the ≤ L sphere with the
-            // serial 0-1 BFS. The parallel pass proved L minimal, so the
-            // walk must find a violation, finds it without ever expanding
-            // past depth L, and returns the exact verdict the serial
-            // checker would.
+            // serial 0-1 BFS. On a complete pass L is proved minimal, so
+            // the walk must find a violation, finds it without ever
+            // expanding past depth L, and returns the exact verdict the
+            // serial checker would. On a budget-cut pass the re-walk runs
+            // under a fresh budget of its own and may itself come back
+            // inconclusive.
+            let rewalk_budget = if exhausted.is_some() {
+                Budget::start(options)
+            } else {
+                Budget::unbounded()
+            };
             let mut rewalk = CheckStats::default();
             let bounded = refine_zero_one(
                 norm,
@@ -139,18 +211,26 @@ pub fn refine_product(
                 RefinementModel::Traces,
                 checker.max_product(),
                 Some(witness.vlen),
+                &rewalk_budget,
                 &mut rewalk,
             )?;
             stats.rewalk_expansions = rewalk.expansions;
-            debug_assert_eq!(
-                witness.trace.len(),
-                match &bounded {
-                    Verdict::Fail(cex) => cex.trace().len(),
-                    Verdict::Pass => usize::MAX,
-                },
+            debug_assert!(
+                exhausted.is_some()
+                    || witness.trace.len()
+                        == match &bounded {
+                            Verdict::Fail(cex) => cex.trace().len(),
+                            _ => usize::MAX,
+                        },
                 "recorded and canonical witness lengths must agree"
             );
-            bounded
+            match bounded {
+                Verdict::Pass => Verdict::Inconclusive(Inconclusive {
+                    states_explored: stats.pairs_discovered,
+                    reason: exhausted.expect("bounded re-walk can only pass after a budget cut"),
+                }),
+                other => other,
+            }
         }
     };
     stats.wall = start.elapsed();
@@ -213,10 +293,28 @@ struct Shared {
     candidate: Mutex<Option<Candidate>>,
     /// Product bound tripped: abandon the run.
     overflow: AtomicBool,
+    /// A resource budget ran out: wind down and report
+    /// [`Verdict::Inconclusive`] (unless a violation was already found).
+    budget_hit: AtomicBool,
+    /// Which budget ran out first.
+    budget_reason: Mutex<Option<BudgetReason>>,
     /// A sibling panicked: abandon the run instead of spinning forever on
     /// its undrained pending count.
     panicked: AtomicBool,
     max_product: usize,
+    budget: Budget,
+}
+
+impl Shared {
+    /// Record budget exhaustion (first reason wins) and signal wind-down.
+    fn exhaust(&self, reason: BudgetReason) {
+        let mut slot = self
+            .budget_reason
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        slot.get_or_insert(reason);
+        self.budget_hit.store(true, Ordering::Relaxed);
+    }
 }
 
 fn shard_of(pair: Pair, mask: usize) -> usize {
@@ -265,7 +363,8 @@ fn explore(
     impl_initial: StateId,
     threads: usize,
     max_product: usize,
-) -> Result<(Option<RecordedWitness>, CheckStats), CheckError> {
+    budget: &Budget,
+) -> Result<(Option<RecordedWitness>, Option<BudgetReason>, CheckStats), CheckError> {
     let shard_count = (threads.next_power_of_two() * 16).clamp(16, 512);
     let shards: Vec<CachePadded<Mutex<HashMap<Pair, u32>>>> = (0..shard_count)
         .map(|_| CachePadded::new(Mutex::new(HashMap::new())))
@@ -284,8 +383,11 @@ fn explore(
         best: AtomicU32::new(u32::MAX),
         candidate: Mutex::new(None),
         overflow: AtomicBool::new(false),
+        budget_hit: AtomicBool::new(false),
+        budget_reason: Mutex::new(None),
         panicked: AtomicBool::new(false),
         max_product,
+        budget: *budget,
     };
 
     // Seed: the root pair lives in worker 0's arena at index 0 and is
@@ -359,6 +461,10 @@ fn explore(
     if shared.overflow.load(Ordering::Relaxed) {
         return Err(CheckError::ProductExceeded { limit: max_product });
     }
+    let exhausted = *shared
+        .budget_reason
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner);
 
     let mut stats = CheckStats {
         threads,
@@ -389,7 +495,7 @@ fn explore(
                 vlen: candidate.vlen,
             }
         });
-    Ok((witness, stats))
+    Ok((witness, exhausted, stats))
 }
 
 fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
@@ -434,6 +540,7 @@ impl WorkerCtx<'_> {
     fn run(&mut self) {
         let started = Instant::now();
         let mut idle = Duration::ZERO;
+        let mut processed: u64 = 0;
         let backoff = Backoff::new();
         let mut guard = PanicGuard {
             shared: self.shared,
@@ -441,13 +548,23 @@ impl WorkerCtx<'_> {
         };
         loop {
             if self.shared.overflow.load(Ordering::Relaxed)
+                || self.shared.budget_hit.load(Ordering::Relaxed)
                 || self.shared.panicked.load(Ordering::Relaxed)
             {
                 break;
             }
+            // Wall-clock budget: sampled every 256th task to stay off the
+            // hot path (each worker samples independently).
+            if processed & 255 == 0 {
+                if let Some(reason) = self.shared.budget.wall_exceeded() {
+                    self.shared.exhaust(reason);
+                    break;
+                }
+            }
             match self.find_task() {
                 Some(task) => {
                     backoff.reset();
+                    processed += 1;
                     self.process(task);
                     self.shared.pending.fetch_sub(1, Ordering::Release);
                 }
@@ -561,6 +678,10 @@ impl WorkerCtx<'_> {
                     let count = self.shared.discovered.fetch_add(1, Ordering::Relaxed) + 1;
                     if count > self.shared.max_product {
                         self.shared.overflow.store(true, Ordering::Relaxed);
+                        return;
+                    }
+                    if let Some(reason) = self.shared.budget.states_exceeded(count as u64) {
+                        self.shared.exhaust(reason);
                         return;
                     }
                     entry.insert(vlen);
@@ -703,7 +824,16 @@ mod tests {
         let norm = c.normalise(&spec_lts).unwrap();
         let impl_lts = c.compile(&impl_, &defs).unwrap();
         let csr = impl_lts.to_csr();
-        let (witness, _) = explore(&norm, &csr, impl_lts.initial(), 4, 1_000_000).unwrap();
+        let (witness, exhausted, _) = explore(
+            &norm,
+            &csr,
+            impl_lts.initial(),
+            4,
+            1_000_000,
+            &Budget::unbounded(),
+        )
+        .unwrap();
+        assert!(exhausted.is_none());
         let witness = witness.expect("violation expected");
         assert_eq!(witness.vlen, 2);
         assert_eq!(witness.trace.len(), 2);
@@ -746,6 +876,74 @@ mod tests {
             }
         );
         assert!(err.to_string().contains("injected fault"));
+    }
+
+    #[test]
+    fn state_budget_degrades_to_inconclusive() {
+        // 3^9 product states against a budget of 100: the pass cannot
+        // finish, and there is no violation to fall back on.
+        let n = 9;
+        let components: Vec<Process> = (0..n)
+            .map(|i| Process::prefix(e(2 * i), Process::prefix(e(2 * i + 1), Process::Stop)))
+            .collect();
+        let impl_ = Process::interleave_all(components);
+        let mut specdefs = Definitions::new();
+        let universe: csp::EventSet = (0..2 * n).map(e).collect();
+        let spec = crate::properties::run(&mut specdefs, "RUN", &universe);
+        let c = Checker::new();
+        let options = CheckOptions {
+            max_states: Some(100),
+            max_wall_ms: None,
+        };
+        let (v, stats) =
+            trace_refinement_with_options(&c, &spec, &impl_, &specdefs, 4, &options).unwrap();
+        let inc = v.inconclusive().expect("must be inconclusive");
+        assert_eq!(inc.reason, BudgetReason::States { limit: 100 });
+        assert!(inc.states_explored >= 100);
+        assert!(stats.pairs_discovered < 3u64.pow(9));
+    }
+
+    #[test]
+    fn zero_wall_budget_degrades_to_inconclusive() {
+        let n = 9;
+        let components: Vec<Process> = (0..n)
+            .map(|i| Process::prefix(e(2 * i), Process::prefix(e(2 * i + 1), Process::Stop)))
+            .collect();
+        let impl_ = Process::interleave_all(components);
+        let mut specdefs = Definitions::new();
+        let universe: csp::EventSet = (0..2 * n).map(e).collect();
+        let spec = crate::properties::run(&mut specdefs, "RUN", &universe);
+        let c = Checker::new();
+        let options = CheckOptions {
+            max_states: None,
+            max_wall_ms: Some(0),
+        };
+        let (v, _) =
+            trace_refinement_with_options(&c, &spec, &impl_, &specdefs, 2, &options).unwrap();
+        match v {
+            Verdict::Inconclusive(inc) => {
+                assert_eq!(inc.reason, BudgetReason::Wall { limit_ms: 0 });
+            }
+            other => panic!("expected inconclusive, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn violation_found_within_budget_stays_conclusive() {
+        // The violation sits one event deep; even a tight state budget
+        // leaves room to find and recover it.
+        let defs = Definitions::new();
+        let spec = Process::prefix(e(0), Process::Stop);
+        let impl_ = Process::prefix(e(0), Process::prefix(e(1), Process::Stop));
+        let c = Checker::new();
+        let options = CheckOptions {
+            max_states: Some(1_000),
+            max_wall_ms: None,
+        };
+        let (v, _) = trace_refinement_with_options(&c, &spec, &impl_, &defs, 4, &options).unwrap();
+        let serial = c.trace_refinement(&spec, &impl_, &defs).unwrap();
+        assert_eq!(v, serial);
+        assert!(v.counterexample().is_some());
     }
 
     #[test]

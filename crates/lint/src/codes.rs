@@ -2,9 +2,10 @@
 //!
 //! Codes are namespaced per pipeline stage — `CAPL0xx` for CAPL program
 //! analysis, `DBC1xx` for CAN-database hygiene and CAPL ↔ `.dbc`
-//! cross-validation, `CSP2xx` for CSPm structural analysis. Codes are never
-//! renumbered once published in `docs/LINTS.md`; retired codes are not
-//! reused.
+//! cross-validation, `CSP2xx` for CSPm structural analysis, `SIM3xx` for
+//! fault-plan validation (defined in [`faults::codes`], re-exported here).
+//! Codes are never renumbered once published in `docs/LINTS.md`; retired
+//! codes are not reused.
 
 use diag::Code;
 
@@ -13,6 +14,13 @@ use diag::Code;
 pub use capl::symbols::{
     DUPLICATE_GLOBAL, DUPLICATE_HANDLER, NOT_A_TIMER, TIMER_CALL_ON_NON_TIMER, TIMER_NEVER_SET,
     UNDECLARED_MESSAGE, UNDECLARED_NAME, UNDECLARED_TIMER, UNKNOWN_FUNCTION,
+};
+
+// Fault-plan diagnostics live with the `faults` crate (which emits them);
+// re-export them so the catalogue is complete from one module.
+pub use faults::codes::{
+    BUS_OFF_OVERLAP, CORRUPT_BYTE_RANGE, EMPTY_WINDOW, PLAN_PARSE_ERROR, PROBABILITY_RANGE,
+    UNKNOWN_FRAME_ID, UNKNOWN_NODE,
 };
 
 /// `CAPL000` — the CAPL source failed to lex or parse.
@@ -99,6 +107,19 @@ pub const CATALOGUE: &[(Code, &str)] = &[
         "definition unreachable from assertions",
     ),
     (SYNC_DEAD_EVENT, "synchronised event neither side performs"),
+    (PLAN_PARSE_ERROR, "fault plan failed to parse"),
+    (
+        UNKNOWN_FRAME_ID,
+        "fault plan frame id missing from the database",
+    ),
+    (BUS_OFF_OVERLAP, "overlapping bus-off windows"),
+    (PROBABILITY_RANGE, "trigger probability outside [0, 1]"),
+    (EMPTY_WINDOW, "empty time window makes the fault inert"),
+    (UNKNOWN_NODE, "fault plan node missing from the database"),
+    (
+        CORRUPT_BYTE_RANGE,
+        "corruption offset beyond the CAN payload",
+    ),
 ];
 
 #[cfg(test)]
@@ -114,6 +135,7 @@ mod tests {
             assert!(!summary.is_empty());
             let ok = code.0.starts_with("CAPL")
                 || code.0.starts_with("DBC")
+                || code.0.starts_with("SIM")
                 || code.0.starts_with("CSP");
             assert!(ok, "code {code} outside the allocated namespaces");
         }

@@ -17,10 +17,11 @@ fn every_published_code_is_documented() {
 
 #[test]
 fn documentation_mentions_no_unpublished_codes() {
-    // Any CAPL/DBC/CSP-prefixed number in the docs must be in the catalogue.
+    // Any CAPL/DBC/CSP/SIM-prefixed number in the docs must be in the
+    // catalogue.
     let published: Vec<&str> = lint::codes::CATALOGUE.iter().map(|(c, _)| c.0).collect();
     let mut stale = Vec::new();
-    for (prefix, digits) in [("CAPL", 3), ("DBC", 3), ("CSP", 3)] {
+    for (prefix, digits) in [("CAPL", 3), ("DBC", 3), ("CSP", 3), ("SIM", 3)] {
         let mut rest = LINTS_MD;
         while let Some(at) = rest.find(prefix) {
             let tail = &rest[at + prefix.len()..];

@@ -62,6 +62,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 cex.display(out.loaded.alphabet())
             );
         }
+        fdrlite::Verdict::Inconclusive(inc) => {
+            println!("assert SP02 [T= ECU  ...  INCONCLUSIVE ({inc})");
+        }
     }
     Ok(())
 }

@@ -2,18 +2,27 @@
 //!
 //! ```text
 //! autocsp translate <app.can> [--dbc net.dbc] [--node ECU] [--gateway] [-o out.csp]
-//! autocsp lint <file>... [--dbc net.dbc] [--format json] [--deny-warnings]
-//! autocsp check <model.csp> [--threads N] [--stats] [--stats-json out.json]
+//! autocsp lint <file>... [--dbc net.dbc] [--faults plan.toml] [--format json] [--deny-warnings]
+//! autocsp check <model.csp> [--threads N] [--max-states N] [--timeout-ms N]
+//!               [--stats] [--stats-json out.json] [--cex-json out.json]
 //! autocsp compose <gateway.can> <ecu.can> [--dbc net.dbc] [--buffered N] [-o out.csp]
 //! autocsp simulate <node.can>... [--dbc net.dbc] [--for-ms N]
+//!                  [--faults plan.toml] [--seed N] [--conformance model.csp]
+//! autocsp replay <cex.json> <node.can>... [--dbc net.dbc] [--node NAME]
 //! ```
 
 use std::fs;
 use std::process::ExitCode;
 
 use diag::{Diagnostic, Severity, Span};
+use faults::conformance::ConformanceVerdict;
+use faults::{lint_plan, FaultPlan};
 use fdrlite::Checker;
 use translator::{NodeSpec, Pipeline, SystemBuilder, TranslateConfig};
+
+/// Exit code for runs where at least one check was cut short by a resource
+/// budget and nothing outright failed: neither success (0) nor refutation (1).
+const EXIT_INCONCLUSIVE: u8 = 3;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -23,18 +32,19 @@ fn main() -> ExitCode {
         Some("check") => check(&args[1..]),
         Some("compose") => compose(&args[1..]),
         Some("simulate") => simulate(&args[1..]),
+        Some("replay") => replay_cmd(&args[1..]),
         Some("--version" | "-V" | "version") => {
             println!("autocsp {}", env!("CARGO_PKG_VERSION"));
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         Some("--help" | "-h" | "help") | None => {
             print!("{USAGE}");
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         Some(other) => Err(format!("unknown subcommand `{other}`\n{USAGE}")),
     };
     match result {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(message) => {
             eprintln!("error: {message}");
             ExitCode::FAILURE
@@ -50,26 +60,46 @@ USAGE:
       Extract a CSPm implementation model from a CAPL application.
       Lint findings print to stderr; error-severity findings abort.
 
-  autocsp lint <file>... [--dbc <net.dbc>] [--format <text|json>] [--deny-warnings]
-      Statically analyse CAPL (`.can`) and CSPm (`.csp`/`.cspm`) files.
-      With `--dbc`, also checks database hygiene and CAPL/database
-      consistency. Exits non-zero on errors (or warnings, under
+  autocsp lint <file>... [--dbc <net.dbc>] [--faults <plan>] [--format <text|json>]
+               [--deny-warnings]
+      Statically analyse CAPL (`.can`), CSPm (`.csp`/`.cspm`) and fault-plan
+      (`--faults`) files. With `--dbc`, also checks database hygiene,
+      CAPL/database consistency and fault-plan frame ids and node names
+      (SIM3xx codes). Exits non-zero on errors (or warnings, under
       `--deny-warnings`).
 
   autocsp check <model.csp> [--deny-warnings] [--threads <N>] [--stats]
-                [--stats-json <out.json>]
+                [--max-states <N>] [--timeout-ms <N>]
+                [--stats-json <out.json>] [--cex-json <out.json>]
       Run every `assert` in a CSPm script through the refinement checker.
       `--threads N` (alias `-j`) checks trace refinements with the
       work-stealing parallel engine; verdicts and counterexamples are
-      identical to the serial engine for any N. `--stats` prints per-
-      assertion exploration statistics to stderr; `--stats-json` writes
-      them to a file as JSON.
+      identical to the serial engine for any N. `--max-states` / `--timeout-ms`
+      bound each refinement assertion; a budgeted-out assertion reports
+      INCONCLUSIVE, and a run with inconclusive results (and no failures)
+      exits with code 3. `--stats` prints per-assertion exploration
+      statistics to stderr; `--stats-json` writes them to a file as JSON.
+      `--cex-json` writes the first counterexample as JSON for
+      `autocsp replay`.
 
   autocsp compose <gateway.can> <ecu.can> [--dbc <net.dbc>] [--buffered <N>] [-o <out.csp>]
       Translate both nodes and compose SYSTEM = GATEWAY ∥ ECU.
 
   autocsp simulate <node.can>... [--dbc <net.dbc>] [--for-ms <N>]
+                   [--faults <plan>] [--seed <N>] [--conformance <model.csp>]
       Run CAPL applications on the simulated CAN bus and print the trace.
+      `--faults` installs a fault-injection plan (deterministic: same plan,
+      same seed, same trace); `--seed` overrides the plan seed. With
+      `--conformance`, the observed trace is lifted through the plan's
+      [[map]] rules and checked to be a trace of the model's spec process;
+      nonconformance exits with code 1.
+
+  autocsp replay <cex.json> <node.can>... [--dbc <net.dbc>] [--node <NAME>]
+                 [--stimulus <chan>] [--expect <chan>] [--gap-us <N>]
+      Re-drive a saved counterexample (from `check --cex-json`) through the
+      simulator: stimulus events are injected as frames, and the node under
+      test (`--node`, default: first CAPL file's name) must transmit the
+      expected responses. Exits 0 when the violation reproduces on the bus.
 
   autocsp --version
       Print the toolchain version.
@@ -88,6 +118,15 @@ struct Flags {
     threads: usize,
     stats: bool,
     stats_json: Option<String>,
+    max_states: Option<u64>,
+    timeout_ms: Option<u64>,
+    cex_json: Option<String>,
+    faults: Option<String>,
+    seed: Option<u64>,
+    conformance: Option<String>,
+    stimulus: Vec<String>,
+    expect: Vec<String>,
+    gap_us: u64,
 }
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -110,6 +149,15 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         threads: 1,
         stats: false,
         stats_json: None,
+        max_states: None,
+        timeout_ms: None,
+        cex_json: None,
+        faults: None,
+        seed: None,
+        conformance: None,
+        stimulus: Vec::new(),
+        expect: Vec::new(),
+        gap_us: 10_000,
     };
     let mut i = 0;
     let value = |args: &[String], i: &mut usize, flag: &str| -> Result<String, String> {
@@ -153,6 +201,37 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             }
             "--stats" => flags.stats = true,
             "--stats-json" => flags.stats_json = Some(value(args, &mut i, "--stats-json")?),
+            "--max-states" => {
+                flags.max_states = Some(
+                    value(args, &mut i, "--max-states")?
+                        .parse()
+                        .map_err(|_| "`--max-states` needs a number".to_owned())?,
+                );
+            }
+            "--timeout-ms" => {
+                flags.timeout_ms = Some(
+                    value(args, &mut i, "--timeout-ms")?
+                        .parse()
+                        .map_err(|_| "`--timeout-ms` needs a number".to_owned())?,
+                );
+            }
+            "--cex-json" => flags.cex_json = Some(value(args, &mut i, "--cex-json")?),
+            "--faults" => flags.faults = Some(value(args, &mut i, "--faults")?),
+            "--seed" => {
+                flags.seed = Some(
+                    value(args, &mut i, "--seed")?
+                        .parse()
+                        .map_err(|_| "`--seed` needs a number".to_owned())?,
+                );
+            }
+            "--conformance" => flags.conformance = Some(value(args, &mut i, "--conformance")?),
+            "--stimulus" => flags.stimulus.push(value(args, &mut i, "--stimulus")?),
+            "--expect" => flags.expect.push(value(args, &mut i, "--expect")?),
+            "--gap-us" => {
+                flags.gap_us = value(args, &mut i, "--gap-us")?
+                    .parse()
+                    .map_err(|_| "`--gap-us` needs a number".to_owned())?;
+            }
             other if other.starts_with('-') => return Err(format!("unknown flag `{other}`")),
             other => flags.positional.push(other.to_owned()),
         }
@@ -223,7 +302,7 @@ fn count(findings: &[FileFindings], severity: Severity) -> usize {
         .count()
 }
 
-fn translate(args: &[String]) -> Result<(), String> {
+fn translate(args: &[String]) -> Result<ExitCode, String> {
     let flags = parse_flags(args)?;
     let [source_path] = flags.positional.as_slice() else {
         return Err("translate needs exactly one CAPL file".into());
@@ -264,13 +343,16 @@ fn translate(args: &[String]) -> Result<(), String> {
     for a in &out.report.abstractions {
         eprintln!("abstraction [{:?}] {}", a.kind, a.detail);
     }
-    emit(&flags.output, &out.script)
+    emit(&flags.output, &out.script)?;
+    Ok(ExitCode::SUCCESS)
 }
 
-fn lint_cmd(args: &[String]) -> Result<(), String> {
+fn lint_cmd(args: &[String]) -> Result<ExitCode, String> {
     let flags = parse_flags(args)?;
-    if flags.positional.is_empty() && flags.dbc.is_none() {
-        return Err("lint needs at least one file (`.can`, `.csp`/`.cspm`, or --dbc)".into());
+    if flags.positional.is_empty() && flags.dbc.is_none() && flags.faults.is_none() {
+        return Err(
+            "lint needs at least one file (`.can`, `.csp`/`.cspm`, `--faults`, or --dbc)".into(),
+        );
     }
 
     // Parse the database first: `.can` files cross-check against it.
@@ -334,6 +416,19 @@ fn lint_cmd(args: &[String]) -> Result<(), String> {
         });
     }
 
+    if let Some(plan_path) = &flags.faults {
+        let source = read(plan_path)?;
+        let diagnostics = match FaultPlan::parse(&source) {
+            Ok(plan) => lint_plan(&plan, db.as_ref()),
+            Err(parse_errors) => parse_errors,
+        };
+        findings.push(FileFindings {
+            file: plan_path.clone(),
+            source,
+            diagnostics,
+        });
+    }
+
     let errors = count(&findings, Severity::Error);
     let warnings = count(&findings, Severity::Warning);
 
@@ -365,7 +460,7 @@ fn lint_cmd(args: &[String]) -> Result<(), String> {
             "{warnings} lint warning(s) denied (--deny-warnings)"
         ))
     } else {
-        Ok(())
+        Ok(ExitCode::SUCCESS)
     }
 }
 
@@ -379,7 +474,7 @@ fn cspm_parse_diagnostic(e: &cspm::CspmError) -> Diagnostic {
     Diagnostic::error(lint::codes::CSP_PARSE_ERROR, span, e.to_string())
 }
 
-fn check(args: &[String]) -> Result<(), String> {
+fn check(args: &[String]) -> Result<ExitCode, String> {
     let flags = parse_flags(args)?;
     let [script_path] = flags.positional.as_slice() else {
         return Err("check needs exactly one CSPm file".into());
@@ -399,19 +494,37 @@ fn check(args: &[String]) -> Result<(), String> {
     let options = cspm::CheckOptions {
         threads: flags.threads,
         collect_stats: flags.stats || flags.stats_json.is_some(),
+        max_states: flags.max_states,
+        max_wall_ms: flags.timeout_ms,
     };
     let results = loaded
         .check_with(&Checker::new(), &options)
         .map_err(|e| e.to_string())?;
     let mut failures = 0;
+    let mut inconclusive = 0;
+    let mut cex_written = false;
     for r in &results {
-        match r.verdict.counterexample() {
-            None => println!("assert {}  ...  PASS", r.description),
-            Some(cex) => {
-                failures += 1;
-                println!("assert {}  ...  FAIL", r.description);
-                println!("  {}", cex.display(loaded.alphabet()));
+        if let Some(cex) = r.verdict.counterexample() {
+            failures += 1;
+            println!("assert {}  ...  FAIL", r.description);
+            println!("  {}", cex.display(loaded.alphabet()));
+            if let Some(path) = &flags.cex_json {
+                if !cex_written {
+                    let json = faults::replay::counterexample_to_json(
+                        &r.description,
+                        cex,
+                        loaded.alphabet(),
+                    );
+                    fs::write(path, json).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+                    eprintln!("wrote {path}");
+                    cex_written = true;
+                }
             }
+        } else if let Some(inc) = r.verdict.inconclusive() {
+            inconclusive += 1;
+            println!("assert {}  ...  INCONCLUSIVE ({inc})", r.description);
+        } else {
+            println!("assert {}  ...  PASS", r.description);
         }
         if flags.stats {
             if let Some(stats) = &r.stats {
@@ -428,9 +541,10 @@ fn check(args: &[String]) -> Result<(), String> {
                     .as_ref()
                     .map_or_else(|| "null".to_owned(), fdrlite::CheckStats::to_json);
                 format!(
-                    "{{\"assertion\":{:?},\"pass\":{},\"stats\":{stats}}}",
+                    "{{\"assertion\":{:?},\"pass\":{},\"inconclusive\":{},\"stats\":{stats}}}",
                     r.description,
-                    r.verdict.is_pass()
+                    r.verdict.is_pass(),
+                    r.verdict.is_inconclusive()
                 )
             })
             .collect();
@@ -440,12 +554,15 @@ fn check(args: &[String]) -> Result<(), String> {
     }
     if failures > 0 {
         Err(format!("{failures} assertion(s) failed"))
+    } else if inconclusive > 0 {
+        eprintln!("{inconclusive} assertion(s) inconclusive (budget exhausted)");
+        Ok(ExitCode::from(EXIT_INCONCLUSIVE))
     } else {
-        Ok(())
+        Ok(ExitCode::SUCCESS)
     }
 }
 
-fn compose(args: &[String]) -> Result<(), String> {
+fn compose(args: &[String]) -> Result<ExitCode, String> {
     let flags = parse_flags(args)?;
     let [gateway_path, ecu_path] = flags.positional.as_slice() else {
         return Err("compose needs a gateway CAPL file and an ECU CAPL file".into());
@@ -489,10 +606,39 @@ fn compose(args: &[String]) -> Result<(), String> {
         builder = builder.buffered(capacity);
     }
     let out = builder.build().map_err(|e| e.to_string())?;
-    emit(&flags.output, &out.script)
+    emit(&flags.output, &out.script)?;
+    Ok(ExitCode::SUCCESS)
 }
 
-fn simulate(args: &[String]) -> Result<(), String> {
+/// Parse and validate a fault plan: parse errors and error-severity lints
+/// (cross-checked against `db` when present) are fatal; warnings render to
+/// stderr.
+fn load_fault_plan(path: &str, db: Option<&candb::Database>) -> Result<FaultPlan, String> {
+    let source = read(path)?;
+    let plan = match FaultPlan::parse(&source) {
+        Ok(plan) => plan,
+        Err(parse_errors) => {
+            for d in &parse_errors {
+                eprint!("{}", d.render(path, &source));
+            }
+            return Err(format!("{} fault-plan error(s)", parse_errors.len()));
+        }
+    };
+    let findings = lint_plan(&plan, db);
+    for d in &findings {
+        eprint!("{}", d.render(path, &source));
+    }
+    let errors = findings
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+    if errors > 0 {
+        return Err(format!("{errors} fault-plan error(s)"));
+    }
+    Ok(plan)
+}
+
+fn simulate(args: &[String]) -> Result<ExitCode, String> {
     let flags = parse_flags(args)?;
     if flags.positional.is_empty() {
         return Err("simulate needs at least one CAPL file".into());
@@ -502,11 +648,27 @@ fn simulate(args: &[String]) -> Result<(), String> {
         .as_deref()
         .map(|p| candb::parse(&read(p)?).map_err(|e| e.to_string()))
         .transpose()?;
+    let plan = flags
+        .faults
+        .as_deref()
+        .map(|p| load_fault_plan(p, db.as_ref()))
+        .transpose()?;
+
     let mut sim = canoe_sim::Simulation::new(db);
     for path in &flags.positional {
         let program = capl::parse(&read(path)?).map_err(|e| e.to_string())?;
         sim.add_node(&node_name_from(path, "NODE"), program)
             .map_err(|e| e.to_string())?;
+    }
+    match &plan {
+        Some(plan) => {
+            faults::apply_plan(&mut sim, plan, flags.seed).map_err(|e| e.to_string())?;
+        }
+        None => {
+            if let Some(seed) = flags.seed {
+                sim.set_seed(seed);
+            }
+        }
     }
     sim.run_for(flags.for_ms * 1_000)
         .map_err(|e| e.to_string())?;
@@ -523,8 +685,121 @@ fn simulate(args: &[String]) -> Result<(), String> {
             Log { node, text } => format!("{node:>8}  log       {text}"),
             TimerFired { node, timer } => format!("{node:>8}  timer     {timer}"),
             Intercepted { action, id } => format!("{:>8}  intercept {action} (0x{id:x})", "<mitm>"),
+            Injected { message, id, .. } => {
+                format!("{:>8}  inject    {message} (0x{id:x})", "<extern>")
+            }
+            Fault { fault, action, id } => {
+                format!("{:>8}  fault     [{fault}] {action} (0x{id:x})", "<fault>")
+            }
         };
         println!("{:>9} µs  {text}", entry.time_us);
     }
-    Ok(())
+
+    if let Some(model_path) = &flags.conformance {
+        let Some(plan) = &plan else {
+            return Err("`--conformance` needs `--faults` (the plan's [[map]] rules)".into());
+        };
+        let Some(conf) = &plan.conformance else {
+            return Err(format!(
+                "fault plan `{}` has no [conformance] section",
+                plan.name
+            ));
+        };
+        let model_source = read(model_path)?;
+        let loaded = cspm::Script::parse(&model_source)
+            .map_err(|e| e.to_string())?
+            .load()
+            .map_err(|e| e.to_string())?;
+        let report =
+            faults::conformance::check_conformance(&loaded, conf, sim.trace(), &Checker::new())
+                .map_err(|e| e.to_string())?;
+        eprintln!(
+            "conformance: lifted {} event(s): ⟨{}⟩",
+            report.events.len(),
+            report.events.join(", ")
+        );
+        match &report.verdict {
+            ConformanceVerdict::Conformant => {
+                println!("conformance {} [T= ⟨trace⟩  ...  PASS", report.spec);
+            }
+            ConformanceVerdict::UnknownEvent { event, index } => {
+                println!("conformance {} [T= ⟨trace⟩  ...  FAIL", report.spec);
+                return Err(format!(
+                    "trace event #{index} `{event}` is not in the model's alphabet"
+                ));
+            }
+            ConformanceVerdict::Refuted(cex) => {
+                println!("conformance {} [T= ⟨trace⟩  ...  FAIL", report.spec);
+                println!("  {}", cex.display(loaded.alphabet()));
+                return Err("simulated trace is not a trace of the model".into());
+            }
+            ConformanceVerdict::Inconclusive(inc) => {
+                println!(
+                    "conformance {} [T= ⟨trace⟩  ...  INCONCLUSIVE ({inc})",
+                    report.spec
+                );
+                return Ok(ExitCode::from(EXIT_INCONCLUSIVE));
+            }
+        }
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn replay_cmd(args: &[String]) -> Result<ExitCode, String> {
+    let flags = parse_flags(args)?;
+    let Some((cex_path, node_paths)) = flags.positional.split_first() else {
+        return Err("replay needs a counterexample JSON file and at least one CAPL file".into());
+    };
+    if node_paths.is_empty() {
+        return Err("replay needs at least one CAPL file (the node under test)".into());
+    }
+    let file = faults::replay::ReplayFile::parse(&read(cex_path)?).map_err(|e| e.to_string())?;
+    let db = flags
+        .dbc
+        .as_deref()
+        .map(|p| candb::parse(&read(p)?).map_err(|e| e.to_string()))
+        .transpose()?
+        .ok_or("replay needs `--dbc` to map events onto frames")?;
+
+    let mut sim = canoe_sim::Simulation::new(Some(db.clone()));
+    let mut first_node = None;
+    for path in node_paths {
+        let program = capl::parse(&read(path)?).map_err(|e| e.to_string())?;
+        let name = node_name_from(path, "NODE");
+        first_node.get_or_insert_with(|| name.clone());
+        sim.add_node(&name, program).map_err(|e| e.to_string())?;
+    }
+    if let Some(seed) = flags.seed {
+        sim.set_seed(seed);
+    }
+
+    let mut config = faults::replay::ReplayConfig::for_node(
+        &flags
+            .node
+            .or(first_node)
+            .ok_or("replay could not determine the node under test")?,
+    );
+    if !flags.stimulus.is_empty() {
+        config.stimulus_prefixes = flags.stimulus.clone();
+    }
+    if !flags.expect.is_empty() {
+        config.expect_prefixes = flags.expect.clone();
+    }
+    config.gap_us = flags.gap_us;
+
+    eprintln!("replaying `{}` ({})", file.assertion, file.kind);
+    let outcome =
+        faults::replay::replay(&mut sim, &db, &file.events, &config).map_err(|e| e.to_string())?;
+    println!(
+        "injected ⟨{}⟩, expected ⟨{}⟩, observed ⟨{}⟩",
+        outcome.injected.join(", "),
+        outcome.expected.join(", "),
+        outcome.observed.join(", ")
+    );
+    if outcome.reproduced {
+        println!("violation REPRODUCED on the simulated bus");
+        Ok(ExitCode::SUCCESS)
+    } else {
+        Err("violation did not reproduce".into())
+    }
 }

@@ -20,6 +20,9 @@
 //!   extractor.
 //! * [`secmod`] — Dolev-Yao intruders, attack trees and security property
 //!   builders.
+//! * [`faults`] — deterministic, seeded fault injection for the simulated
+//!   bus: declarative fault plans, trace→CSP-event lifting, conformance
+//!   checking against CSPm models and counterexample replay.
 //! * [`ota`] — the ITU-T X.1373 over-the-air software update case study.
 //!
 //! See `DESIGN.md` for the full system inventory and `EXPERIMENTS.md` for the
@@ -30,6 +33,7 @@ pub use canoe_sim;
 pub use capl;
 pub use csp;
 pub use cspm;
+pub use faults;
 pub use fdrlite;
 pub use ota;
 pub use secmod;

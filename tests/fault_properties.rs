@@ -1,0 +1,144 @@
+//! Property tests for the fault-injection engine's two boundary laws:
+//!
+//! * a plan with **zero active faults** is observationally equivalent to
+//!   the default [`PassThrough`](auto_csp::canoe_sim::PassThrough)
+//!   interceptor — byte-identical traces across random CAPL networks,
+//!   seeds and run lengths (both for an empty plan and for a plan whose
+//!   only fault is gated by an empty trigger window);
+//! * a **drop-all** plan delivers nothing: no `on message` handler ever
+//!   runs, however chatty the network is.
+
+use auto_csp::canoe_sim::{Simulation, TraceEvent};
+use auto_csp::faults::{apply_plan, FaultPlan};
+use auto_csp::{candb, capl};
+use proptest::prelude::*;
+
+const NET_DBC: &str = include_str!("../examples/faults/net.dbc");
+
+/// A small two-node CAPL network, parameterised so different inputs give
+/// genuinely different bus schedules: the gateway fires `reqSw` from a
+/// timer `repeats` times with period `period_ms`, and the responder
+/// answers each with `rptSw` (and optionally chains a `rptUpd`).
+fn capl_network(period_ms: u32, repeats: u32, chatty: bool) -> (String, String) {
+    let gateway = format!(
+        "variables {{ message reqSw req; msTimer tick; int fired = 0; }}\n\
+         on start {{ output(req); setTimer(tick, {period_ms}); }}\n\
+         on timer tick {{\n\
+           fired = fired + 1;\n\
+           output(req);\n\
+           if (fired < {repeats}) {{ setTimer(tick, {period_ms}); }}\n\
+         }}\n"
+    );
+    let chain = if chatty {
+        "variables { message rptSw rpt; message rptUpd upd; }\n\
+         on message reqSw { output(rpt); output(upd); }\n"
+    } else {
+        "variables { message rptSw rpt; }\n\
+         on message reqSw { output(rpt); }\n"
+    };
+    (gateway, chain.to_string())
+}
+
+fn build_sim(gateway: &str, responder: &str) -> Simulation {
+    let db = candb::parse(NET_DBC).expect("example database parses");
+    let mut sim = Simulation::new(Some(db));
+    sim.add_node("GW", capl::parse(gateway).expect("gateway parses"))
+        .unwrap();
+    sim.add_node("RSP", capl::parse(responder).expect("responder parses"))
+        .unwrap();
+    sim
+}
+
+/// A plan with no `[[fault]]` entries at all.
+const EMPTY_PLAN: &str = "[plan]\nname = \"empty\"\n";
+
+/// A plan whose only fault can never fire: its window is empty. (The
+/// linter flags this as SIM304 — which is exactly the point: an inert
+/// fault must also be a *harmless* one.)
+const INERT_PLAN: &str = "[plan]\n\
+                          name = \"inert\"\n\
+                          [[fault]]\n\
+                          name = \"never\"\n\
+                          kind = \"drop\"\n\
+                          window = [5000, 5000]\n";
+
+/// Drop every frame unconditionally.
+const DROP_ALL_PLAN: &str = "[plan]\n\
+                             name = \"blackout\"\n\
+                             [[fault]]\n\
+                             name = \"jam\"\n\
+                             kind = \"drop\"\n";
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Zero active faults ⇒ trace-identical to `PassThrough`, whatever the
+    /// program shape, seed or run length.
+    #[test]
+    fn zero_active_faults_is_passthrough(
+        period_ms in 1u32..8,
+        repeats in 1u32..5,
+        chatty in any::<bool>(),
+        seed in any::<u64>(),
+        run_ms in 20u64..80,
+    ) {
+        let (gw, rsp) = capl_network(period_ms, repeats, chatty);
+
+        // Reference: the simulator's default PassThrough interceptor.
+        let mut reference = build_sim(&gw, &rsp);
+        reference.set_seed(seed);
+        reference.run_for(run_ms * 1000).unwrap();
+
+        for plan_src in [EMPTY_PLAN, INERT_PLAN] {
+            let plan = FaultPlan::parse(plan_src).unwrap();
+            let mut faulted = build_sim(&gw, &rsp);
+            apply_plan(&mut faulted, &plan, Some(seed)).unwrap();
+            faulted.run_for(run_ms * 1000).unwrap();
+            prop_assert_eq!(reference.trace(), faulted.trace());
+        }
+    }
+
+    /// A drop-all plan delivers nothing: frames are transmitted (the bus
+    /// grant happens before interception) but no node ever receives one.
+    #[test]
+    fn drop_all_delivers_nothing(
+        period_ms in 1u32..8,
+        repeats in 1u32..5,
+        chatty in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let (gw, rsp) = capl_network(period_ms, repeats, chatty);
+        let mut sim = build_sim(&gw, &rsp);
+        apply_plan(&mut sim, &FaultPlan::parse(DROP_ALL_PLAN).unwrap(), Some(seed)).unwrap();
+        sim.run_for(80_000).unwrap();
+
+        let receives = sim
+            .trace()
+            .iter()
+            .filter(|e| matches!(e.event, TraceEvent::Receive { .. }))
+            .count();
+        prop_assert_eq!(receives, 0);
+
+        // The responder can only ever act on a received frame, so it must
+        // transmit nothing at all.
+        let responder_tx = sim
+            .trace()
+            .iter()
+            .filter(|e| matches!(&e.event, TraceEvent::Transmit { node, .. } if node == "RSP"))
+            .count();
+        prop_assert_eq!(responder_tx, 0);
+
+        // And every frame the gateway put on the bus was logged as dropped.
+        let drops = sim
+            .trace()
+            .iter()
+            .filter(|e| e.event.fault_name() == Some("jam"))
+            .count();
+        let transmits = sim
+            .trace()
+            .iter()
+            .filter(|e| matches!(e.event, TraceEvent::Transmit { .. }))
+            .count();
+        prop_assert_eq!(drops, transmits);
+    }
+}
