@@ -133,6 +133,54 @@ fn measure(workload: &Workload, threads: usize, reps: u32) -> Point {
     }
 }
 
+struct StoreProbe {
+    cold_compile_us: u128,
+    warm_compile_us: u128,
+    cold_explore_us: u128,
+    warm_explore_us: u128,
+    cold_misses: u64,
+    warm_hits: u64,
+    warm_misses: u64,
+    verdicts_agree: bool,
+}
+
+/// Run the workload twice through one [`fdrlite::ModelStore`]: the cold run
+/// compiles everything, the warm run must be served entirely from cache
+/// (zero misses, near-zero compile wall) with a verbatim-equal verdict.
+fn probe_store(workload: &Workload, threads: usize) -> StoreProbe {
+    let checker = Checker::new();
+    let store = fdrlite::ModelStore::new();
+    let options = fdrlite::CheckOptions::UNBOUNDED;
+    let run = || {
+        store
+            .trace_refinement(
+                &checker,
+                &workload.spec,
+                &workload.impl_,
+                &workload.defs,
+                threads,
+                &options,
+            )
+            .expect("store refinement succeeds")
+    };
+    let (cold_verdict, cold) = run();
+    let (warm_verdict, warm) = run();
+    let probe = StoreProbe {
+        cold_compile_us: cold.compile_wall.as_micros(),
+        warm_compile_us: warm.compile_wall.as_micros(),
+        cold_explore_us: cold.explore_wall.as_micros(),
+        warm_explore_us: warm.explore_wall.as_micros(),
+        cold_misses: cold.store_misses,
+        warm_hits: warm.store_hits,
+        warm_misses: warm.store_misses,
+        verdicts_agree: cold_verdict == warm_verdict,
+    };
+    assert!(probe.verdicts_agree, "warm verdict must equal cold");
+    assert!(probe.warm_hits > 0, "warm run must hit the store");
+    assert_eq!(probe.warm_misses, 0, "warm run must compile nothing");
+    probe
+}
+
 fn env_u32(name: &str, default: u32) -> u32 {
     env::var(name)
         .ok()
@@ -192,6 +240,12 @@ fn main() -> ExitCode {
     let cex_agree = cex_lens.windows(2).all(|w| w[0] == w[1]);
     assert!(cex_agree, "counterexample lengths diverged: {cex_lens:?}");
 
+    let store = probe_store(&passing, threads.iter().copied().max().unwrap_or(1));
+    eprintln!(
+        "  store cold compile={} µs ({} misses), warm compile={} µs ({} hits)",
+        store.cold_compile_us, store.cold_misses, store.warm_compile_us, store.warm_hits
+    );
+
     let base = pass_points.iter().find(|p| p.threads == 1);
     let peak = pass_points.iter().max_by_key(|p| p.threads);
     let ratio = match (base, peak) {
@@ -211,6 +265,20 @@ fn main() -> ExitCode {
     if let Some(r) = ratio {
         let _ = write!(json, ",\"peak_over_serial_ratio\":{r:.4}");
     }
+    let _ = write!(
+        json,
+        ",\"store\":{{\"cold_compile_us\":{},\"warm_compile_us\":{},\
+         \"cold_explore_us\":{},\"warm_explore_us\":{},\"cold_misses\":{},\
+         \"warm_hits\":{},\"warm_misses\":{},\"verdicts_agree\":{}}}",
+        store.cold_compile_us,
+        store.warm_compile_us,
+        store.cold_explore_us,
+        store.warm_explore_us,
+        store.cold_misses,
+        store.warm_hits,
+        store.warm_misses,
+        store.verdicts_agree
+    );
     for (key, points) in [("pass", &pass_points), ("fail", &fail_points)] {
         let _ = write!(json, ",\"{key}\":[");
         for (i, p) in points.iter().enumerate() {

@@ -20,6 +20,8 @@ pub enum CspError {
     UnguardedRecursion {
         /// Unfold depth at which the rules gave up.
         depth: usize,
+        /// Name of the definition whose unfolding exceeded the depth bound.
+        name: String,
     },
 }
 
@@ -32,8 +34,11 @@ impl fmt::Display for CspError {
             CspError::UndefinedProcess { name } => {
                 write!(f, "process `{name}` was declared but never defined")
             }
-            CspError::UnguardedRecursion { depth } => {
-                write!(f, "unguarded recursion: no event after {depth} unfoldings")
+            CspError::UnguardedRecursion { depth, name } => {
+                write!(
+                    f,
+                    "unguarded recursion in `{name}`: no event after {depth} unfoldings"
+                )
             }
         }
     }

@@ -54,10 +54,12 @@ pub mod dot;
 pub mod laws;
 pub mod lts;
 pub mod semantics;
+pub mod term;
 pub mod traces;
 
 pub use alphabet::{Alphabet, EventId, EventSet, Label, RenameMap};
 pub use error::CspError;
 pub use lts::{CsrEdges, Lts, StateId};
 pub use process::{DefId, Definitions, Process};
+pub use term::{Term, TermArena, TermId};
 pub use traces::{Trace, TraceEvent};

@@ -5,7 +5,7 @@ use std::collections::HashMap;
 use crate::alphabet::Label;
 use crate::error::CspError;
 use crate::process::{Definitions, Process};
-use crate::semantics::transitions;
+use crate::term::{TermArena, TermId};
 
 /// Index of a state within an [`Lts`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -26,8 +26,10 @@ impl StateId {
 /// An explicit labelled transition system: the reachable state graph of a
 /// process term.
 ///
-/// States are deduplicated by the structural equality of their process terms,
-/// which is the miniature equivalent of FDR's *explicate* compilation step.
+/// States are deduplicated by hash-consed [`TermId`]s — structurally equal
+/// terms intern to the same id, so the visited-set lookup is a single word
+/// comparison instead of a deep tree hash. This is the miniature equivalent
+/// of FDR's *explicate* compilation step.
 #[derive(Debug, Clone)]
 pub struct Lts {
     states: Vec<Process>,
@@ -44,30 +46,53 @@ impl Lts {
     ///   states are reachable.
     /// * Any error from the firing rules (undefined or unguarded recursion).
     pub fn build(root: Process, defs: &Definitions, max_states: usize) -> Result<Lts, CspError> {
-        let mut states: Vec<Process> = Vec::new();
-        let mut index: HashMap<Process, StateId> = HashMap::new();
+        let mut arena = TermArena::new();
+        let root = arena.intern(&root);
+        Lts::build_in(&mut arena, root, defs, max_states)
+    }
+
+    /// Explore the reachable states of an already-interned term, sharing
+    /// `arena`'s hash-consed structure (and its memoised definition bodies)
+    /// with any previous builds against the same [`Definitions`] table.
+    ///
+    /// This is the entry point for callers that compile many related
+    /// processes — repeated assertions over one script, conformance checks
+    /// of many traces against one spec — where re-interning from scratch
+    /// would redo the structural work the arena exists to amortise.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Lts::build`].
+    pub fn build_in(
+        arena: &mut TermArena,
+        root: TermId,
+        defs: &Definitions,
+        max_states: usize,
+    ) -> Result<Lts, CspError> {
+        let mut ids: Vec<TermId> = Vec::new();
+        let mut index: HashMap<TermId, StateId> = HashMap::new();
         let mut out: Vec<Vec<(Label, StateId)>> = Vec::new();
 
         let initial = StateId(0);
-        index.insert(root.clone(), initial);
-        states.push(root);
+        index.insert(root, initial);
+        ids.push(root);
         out.push(Vec::new());
 
         let mut frontier = 0usize;
-        while frontier < states.len() {
-            let current = states[frontier].clone();
-            let succs = transitions(&current, defs)?;
+        while frontier < ids.len() {
+            let current = ids[frontier];
+            let succs = arena.transitions(current, defs)?;
             let mut edges = Vec::with_capacity(succs.len());
             for (label, succ) in succs {
                 let id = match index.get(&succ) {
                     Some(&id) => id,
                     None => {
-                        if states.len() >= max_states {
+                        if ids.len() >= max_states {
                             return Err(CspError::StateSpaceExceeded { limit: max_states });
                         }
-                        let id = StateId(states.len() as u32);
-                        index.insert(succ.clone(), id);
-                        states.push(succ);
+                        let id = StateId(ids.len() as u32);
+                        index.insert(succ, id);
+                        ids.push(succ);
                         out.push(Vec::new());
                         id
                     }
@@ -80,6 +105,10 @@ impl Lts {
             frontier += 1;
         }
 
+        let states = ids
+            .into_iter()
+            .map(|t| arena.process_of(t).as_ref().clone())
+            .collect();
         Ok(Lts {
             states,
             transitions: out,

@@ -25,7 +25,7 @@ use std::sync::Arc;
 
 /// Maximum number of `Var` unfoldings along one derivation before recursion
 /// is deemed unguarded (e.g. `P = P` or `P = P [] Q`).
-const MAX_UNFOLD_DEPTH: usize = 128;
+pub(crate) const MAX_UNFOLD_DEPTH: usize = 128;
 
 /// Compute all single-step transitions of `p`.
 ///
@@ -43,9 +43,6 @@ fn transitions_at(
     defs: &Definitions,
     depth: usize,
 ) -> Result<Vec<(Label, Process)>, CspError> {
-    if depth > MAX_UNFOLD_DEPTH {
-        return Err(CspError::UnguardedRecursion { depth });
-    }
     match p {
         Process::Stop | Process::Omega => Ok(Vec::new()),
         Process::Skip => Ok(vec![(Label::Tick, Process::Omega)]),
@@ -231,6 +228,15 @@ fn transitions_at(
             Ok(out)
         }
         Process::Var(d) => {
+            // The check lives here (not at the top of the function) so the
+            // error can name the definition whose unfolding never reached
+            // an event.
+            if depth >= MAX_UNFOLD_DEPTH {
+                return Err(CspError::UnguardedRecursion {
+                    depth,
+                    name: defs.name(*d).to_owned(),
+                });
+            }
             let body = defs.body(*d)?;
             transitions_at(body, defs, depth + 1)
         }
@@ -413,6 +419,25 @@ mod tests {
         defs.define(d, Process::var(d));
         let err = transitions(&Process::var(d), &defs).unwrap_err();
         assert!(matches!(err, CspError::UnguardedRecursion { .. }));
+    }
+
+    #[test]
+    fn unguarded_recursion_names_the_definition() {
+        // Mutual recursion `LOOP = BACK`, `BACK = LOOP`: the error names the
+        // definition at the depth limit, and the rendered diagnostic carries it.
+        let mut defs = Definitions::new();
+        let a = defs.declare("LOOP");
+        let b = defs.declare("BACK");
+        defs.define(a, Process::var(b));
+        defs.define(b, Process::var(a));
+        let err = transitions(&Process::var(a), &defs).unwrap_err();
+        let CspError::UnguardedRecursion { name, depth } = &err else {
+            panic!("expected UnguardedRecursion, got {err:?}");
+        };
+        assert!(name == "LOOP" || name == "BACK", "unexpected name {name}");
+        assert_eq!(*depth, 128);
+        let rendered = err.to_string();
+        assert!(rendered.contains(name.as_str()), "{rendered}");
     }
 
     #[test]

@@ -1,0 +1,146 @@
+//! Property-based equivalence of the hash-consed term arena and the
+//! process-tree semantics: for randomly generated processes, the arena's
+//! id-based firing rules must produce the same transitions, in the same
+//! order, as [`csp::semantics::transitions`], and [`csp::Lts::build`]
+//! (which runs on the arena) must match a reference BFS driven by the tree
+//! semantics state for state and edge for edge.
+
+use std::collections::HashMap;
+
+use csp::{semantics, Definitions, EventId, EventSet, Label, Lts, Process, RenameMap, TermArena};
+use proptest::prelude::*;
+
+fn e(n: usize) -> EventId {
+    EventId::from_index(n)
+}
+
+/// A random finite process over a 4-event alphabet, covering every operator
+/// the arena mirrors: prefixing, both choices, sequencing, interleaving,
+/// synchronised parallel, hiding, renaming, interrupt and timeout.
+fn arb_process(depth: u32) -> BoxedStrategy<Process> {
+    let leaf = prop_oneof![
+        Just(Process::Stop),
+        Just(Process::Skip),
+        (0usize..4).prop_map(|i| Process::prefix(e(i), Process::Stop)),
+    ];
+    leaf.prop_recursive(depth, 24, 2, |inner| {
+        prop_oneof![
+            ((0usize..4), inner.clone()).prop_map(|(i, p)| Process::prefix(e(i), p)),
+            (inner.clone(), inner.clone()).prop_map(|(p, q)| Process::external_choice(p, q)),
+            (inner.clone(), inner.clone()).prop_map(|(p, q)| Process::internal_choice(p, q)),
+            (inner.clone(), inner.clone()).prop_map(|(p, q)| Process::seq(p, q)),
+            (inner.clone(), inner.clone()).prop_map(|(p, q)| Process::interrupt(p, q)),
+            (inner.clone(), inner.clone()).prop_map(|(p, q)| Process::timeout(p, q)),
+            (
+                inner.clone(),
+                inner.clone(),
+                proptest::collection::vec(0usize..4, 0..3)
+            )
+                .prop_map(|(p, q, sync)| {
+                    let sync: EventSet = sync.into_iter().map(e).collect();
+                    Process::parallel(sync, p, q)
+                }),
+            (inner.clone(), proptest::collection::vec(0usize..4, 1..3)).prop_map(|(p, hide)| {
+                let hidden: EventSet = hide.into_iter().map(e).collect();
+                Process::hide(p, hidden)
+            }),
+            (
+                inner,
+                proptest::collection::vec((0usize..4, 0usize..4), 1..3)
+            )
+                .prop_map(|(p, pairs)| {
+                    let mut map = RenameMap::new();
+                    for (from, to) in pairs {
+                        map.insert(e(from), e(to));
+                    }
+                    Process::rename(p, map)
+                }),
+        ]
+    })
+    .boxed()
+}
+
+/// Reference LTS construction driven purely by the tree semantics: BFS with
+/// the visited set keyed on structural [`Process`] equality, edges sorted
+/// and deduplicated exactly as [`Lts::build`] does.
+fn reference_lts(root: &Process, defs: &Definitions) -> (Vec<Process>, Vec<Vec<(Label, usize)>>) {
+    let mut states: Vec<Process> = vec![root.clone()];
+    let mut index: HashMap<Process, usize> = HashMap::new();
+    index.insert(root.clone(), 0);
+    let mut out: Vec<Vec<(Label, usize)>> = vec![Vec::new()];
+
+    let mut frontier = 0usize;
+    while frontier < states.len() {
+        let succs = semantics::transitions(&states[frontier].clone(), defs).expect("finite");
+        let mut edges = Vec::with_capacity(succs.len());
+        for (label, succ) in succs {
+            let id = match index.get(&succ) {
+                Some(&id) => id,
+                None => {
+                    let id = states.len();
+                    index.insert(succ.clone(), id);
+                    states.push(succ);
+                    out.push(Vec::new());
+                    id
+                }
+            };
+            edges.push((label, id));
+        }
+        edges.sort_unstable_by_key(|a| (a.0, a.1));
+        edges.dedup();
+        out[frontier] = edges;
+        frontier += 1;
+    }
+    (states, out)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn arena_transitions_match_tree_semantics_in_order(p in arb_process(4)) {
+        let defs = Definitions::new();
+        let tree = semantics::transitions(&p, &defs).expect("finite process");
+
+        let mut arena = TermArena::new();
+        let id = arena.intern(&p);
+        let arena_succs = arena.transitions(id, &defs).expect("finite process");
+
+        prop_assert_eq!(tree.len(), arena_succs.len());
+        for ((tl, tp), (al, at)) in tree.iter().zip(&arena_succs) {
+            prop_assert_eq!(tl, al);
+            let materialised = arena.process_of(*at);
+            prop_assert_eq!(tp, materialised.as_ref());
+        }
+    }
+
+    #[test]
+    fn interning_round_trips_the_process(p in arb_process(4)) {
+        let mut arena = TermArena::new();
+        let id = arena.intern(&p);
+        let materialised = arena.process_of(id);
+        prop_assert_eq!(materialised.as_ref(), &p);
+        // Re-interning the materialised process lands on the same id.
+        let back = materialised.as_ref().clone();
+        prop_assert_eq!(arena.intern(&back), id);
+    }
+
+    #[test]
+    fn lts_build_matches_reference_bfs(p in arb_process(4)) {
+        let defs = Definitions::new();
+        let (ref_states, ref_edges) = reference_lts(&p, &defs);
+        let lts = Lts::build(p, &defs, 100_000).expect("finite process");
+
+        prop_assert_eq!(lts.state_count(), ref_states.len());
+        for (i, expected) in ref_states.iter().enumerate() {
+            let s = csp::StateId::from_index(i);
+            prop_assert_eq!(lts.state(s), expected);
+            let got: Vec<(Label, usize)> = lts
+                .edges(s)
+                .iter()
+                .map(|&(l, t)| (l, t.index()))
+                .collect();
+            prop_assert_eq!(&got, &ref_edges[i]);
+        }
+    }
+}

@@ -3,7 +3,7 @@
 use std::collections::BTreeMap;
 
 use csp::{Alphabet, Definitions, Process};
-use fdrlite::{CheckStats, Checker, Verdict};
+use fdrlite::{CheckStats, Checker, ModelStore, Verdict};
 
 use crate::ast::{Assertion, Decl, Module, PropKind, RefModel};
 use crate::error::CspmError;
@@ -141,8 +141,10 @@ pub struct AssertionResult {
     /// Pass, or fail with counterexample.
     pub verdict: Verdict,
     /// Exploration statistics, when requested via
-    /// [`CheckOptions::collect_stats`]. Only trace-refinement assertions
-    /// produce stats today; other checks leave this `None`.
+    /// [`CheckOptions::collect_stats`]. Every refinement assertion (`[T=`,
+    /// `[F=`, `[FD=`) produces stats, including the compile/explore wall
+    /// split and model-store hit/miss counters; property assertions
+    /// (`deadlock free`, …) leave this `None`.
     pub stats: Option<CheckStats>,
 }
 
@@ -233,6 +235,12 @@ impl LoadedScript {
     /// Run every assertion through `checker` with explicit [`CheckOptions`]
     /// (thread count, stats collection), in script order.
     ///
+    /// Compiled models are shared across the assertions through a private
+    /// [`ModelStore`], so a process named by several assertions compiles
+    /// once. Use [`LoadedScript::check_with_store`] to share the store
+    /// across calls too (e.g. between a check run and conformance checks
+    /// over the same script).
+    ///
     /// # Errors
     ///
     /// [`CspmError::Check`] when the checker hits a state-space bound or a
@@ -242,59 +250,65 @@ impl LoadedScript {
         checker: &Checker,
         options: &CheckOptions,
     ) -> Result<Vec<AssertionResult>, CspmError> {
+        self.check_with_store(checker, options, &ModelStore::new())
+    }
+
+    /// Like [`LoadedScript::check_with`], compiling every process through
+    /// `store`. The store must be dedicated to this script's definitions
+    /// table (see [`ModelStore`]'s caching contract); pass a store that has
+    /// already seen this script's processes and the run skips their
+    /// recompilation entirely.
+    ///
+    /// # Errors
+    ///
+    /// [`CspmError::Check`] when the checker hits a state-space bound or a
+    /// parallel worker fails.
+    pub fn check_with_store(
+        &self,
+        checker: &Checker,
+        options: &CheckOptions,
+        store: &ModelStore,
+    ) -> Result<Vec<AssertionResult>, CspmError> {
         let mut out = Vec::with_capacity(self.assertions.len());
         for a in &self.assertions {
             let mut stats = None;
             let verdict = match &a.kind {
-                ResolvedCheck::Refinement { model, spec, impl_ } => match model {
-                    RefModel::Traces => {
-                        let (verdict, s) = if options.threads > 1 {
-                            fdrlite::parallel::trace_refinement_with_options(
-                                checker,
-                                spec,
-                                impl_,
-                                &self.defs,
-                                options.threads,
-                                &options.budget(),
-                            )?
-                        } else {
-                            checker.trace_refinement_with_options(
-                                spec,
-                                impl_,
-                                &self.defs,
-                                &options.budget(),
-                            )?
-                        };
-                        if options.collect_stats {
-                            stats = Some(s);
-                        }
-                        verdict
+                ResolvedCheck::Refinement { model, spec, impl_ } => {
+                    let (verdict, s) = match model {
+                        RefModel::Traces => store.trace_refinement(
+                            checker,
+                            spec,
+                            impl_,
+                            &self.defs,
+                            options.threads,
+                            &options.budget(),
+                        )?,
+                        RefModel::Failures => store.failures_refinement(
+                            checker,
+                            spec,
+                            impl_,
+                            &self.defs,
+                            &options.budget(),
+                        )?,
+                        RefModel::FailuresDivergences => store.failures_divergences_refinement(
+                            checker,
+                            spec,
+                            impl_,
+                            &self.defs,
+                            &options.budget(),
+                        )?,
+                    };
+                    if options.collect_stats {
+                        stats = Some(s);
                     }
-                    RefModel::Failures => {
-                        checker
-                            .failures_refinement_with_options(
-                                spec,
-                                impl_,
-                                &self.defs,
-                                &options.budget(),
-                            )?
-                            .0
-                    }
-                    RefModel::FailuresDivergences => {
-                        checker
-                            .failures_divergences_refinement_with_options(
-                                spec,
-                                impl_,
-                                &self.defs,
-                                &options.budget(),
-                            )?
-                            .0
-                    }
-                },
+                    verdict
+                }
                 ResolvedCheck::Property { process, property } => match property {
-                    PropKind::DeadlockFree => checker.deadlock_free(process, &self.defs)?,
-                    PropKind::DivergenceFree => checker.divergence_free(process, &self.defs)?,
-                    PropKind::Deterministic => checker.deterministic(process, &self.defs)?,
+                    PropKind::DeadlockFree => store.deadlock_free(checker, process, &self.defs)?,
+                    PropKind::DivergenceFree => {
+                        store.divergence_free(checker, process, &self.defs)?
+                    }
+                    PropKind::Deterministic => store.deterministic(checker, process, &self.defs)?,
                 },
             };
             out.push(AssertionResult {
@@ -397,6 +411,73 @@ mod tests {
                 .inconclusive()
                 .unwrap_or_else(|| panic!("expected inconclusive: {}", r.description));
             assert!(inc.states_explored >= 1);
+        }
+    }
+
+    #[test]
+    fn stats_recorded_for_all_refinement_models() {
+        let src = "
+            datatype MsgT = reqSw | rptSw
+            channel send, rec : MsgT
+            SP02 = rec.reqSw -> send.rptSw -> SP02
+            ECU  = rec.reqSw -> send.rptSw -> ECU
+            assert SP02 [T= ECU
+            assert SP02 [F= ECU
+            assert SP02 [FD= ECU
+            assert ECU :[deadlock free]
+        ";
+        let loaded = Script::parse(src).unwrap().load().unwrap();
+        let options = CheckOptions {
+            collect_stats: true,
+            ..CheckOptions::default()
+        };
+        let results = loaded.check_with(&Checker::new(), &options).unwrap();
+        for r in &results[..3] {
+            let stats = r
+                .stats
+                .as_ref()
+                .unwrap_or_else(|| panic!("missing stats: {}", r.description));
+            assert!(stats.pairs_discovered > 0, "{}", r.description);
+        }
+        assert!(results[3].stats.is_none(), "property checks have no stats");
+        // SP02 and ECU recur across assertions, so later ones must be
+        // served from the shared model store.
+        let fd = results[2].stats.as_ref().unwrap();
+        assert!(fd.store_hits > 0, "{fd:?}");
+        assert_eq!(fd.store_misses, 0, "{fd:?}");
+    }
+
+    #[test]
+    fn warm_store_run_is_verbatim_equal_to_cold() {
+        let src = "
+            datatype MsgT = reqSw | rptSw
+            channel send, rec : MsgT
+            SP02 = rec.reqSw -> send.rptSw -> SP02
+            ROGUE = rec.reqSw -> send.rptSw -> send.rptSw -> STOP
+            assert SP02 [T= ROGUE
+            assert SP02 [F= ROGUE
+            assert SP02 :[deterministic]
+        ";
+        let loaded = Script::parse(src).unwrap().load().unwrap();
+        let checker = Checker::new();
+        let store = fdrlite::ModelStore::new();
+        for threads in [1usize, 8] {
+            let options = CheckOptions {
+                threads,
+                collect_stats: true,
+                ..CheckOptions::default()
+            };
+            let cold = loaded.check_with(&checker, &options).unwrap();
+            let warm1 = loaded.check_with_store(&checker, &options, &store).unwrap();
+            let warm2 = loaded.check_with_store(&checker, &options, &store).unwrap();
+            for ((c, w1), w2) in cold.iter().zip(&warm1).zip(&warm2) {
+                assert_eq!(c.verdict, w1.verdict, "{}", c.description);
+                assert_eq!(w1.verdict, w2.verdict, "{}", w1.description);
+            }
+            // The second pass over the shared store recompiles nothing.
+            let rerun = warm2[0].stats.as_ref().unwrap();
+            assert_eq!(rerun.store_misses, 0, "{rerun:?}");
+            assert!(rerun.store_hits > 0, "{rerun:?}");
         }
     }
 

@@ -19,7 +19,7 @@
 use canoe_sim::{TraceEntry, TraceEvent};
 use csp::Process;
 use cspm::LoadedScript;
-use fdrlite::{CheckError, Checker, Counterexample, Verdict};
+use fdrlite::{CheckError, CheckOptions, Checker, Counterexample, ModelStore, Verdict};
 use std::fmt;
 
 use crate::plan::{ConformanceSpec, MapOn, MapRule};
@@ -138,8 +138,23 @@ pub fn check_conformance(
     trace: &[TraceEntry],
     checker: &Checker,
 ) -> Result<ConformanceReport, ConformanceError> {
+    check_conformance_with(loaded, conf, trace, checker, &ModelStore::new())
+}
+
+/// Like [`check_conformance`], compiling through a shared [`ModelStore`].
+///
+/// A fault campaign checks many traces against one specification; with a
+/// shared store the spec compiles and normalises once, and every further
+/// trace only pays for its own (linear) trace process.
+pub fn check_conformance_with(
+    loaded: &LoadedScript,
+    conf: &ConformanceSpec,
+    trace: &[TraceEntry],
+    checker: &Checker,
+    store: &ModelStore,
+) -> Result<ConformanceReport, ConformanceError> {
     let events = lift_trace(trace, &conf.rules);
-    check_lifted(loaded, &conf.spec, &events, checker)
+    check_lifted_with(loaded, &conf.spec, &events, checker, store)
 }
 
 /// Check an already-lifted event sequence against a specification process.
@@ -148,6 +163,17 @@ pub fn check_lifted(
     spec_name: &str,
     events: &[String],
     checker: &Checker,
+) -> Result<ConformanceReport, ConformanceError> {
+    check_lifted_with(loaded, spec_name, events, checker, &ModelStore::new())
+}
+
+/// Like [`check_lifted`], compiling through a shared [`ModelStore`].
+pub fn check_lifted_with(
+    loaded: &LoadedScript,
+    spec_name: &str,
+    events: &[String],
+    checker: &Checker,
+    store: &ModelStore,
 ) -> Result<ConformanceReport, ConformanceError> {
     let spec = loaded
         .process(spec_name)
@@ -171,7 +197,14 @@ pub fn check_lifted(
     }
 
     let trace_process = Process::prefix_chain(ids, Process::Stop);
-    let verdict = checker.trace_refinement(spec, &trace_process, loaded.definitions())?;
+    let (verdict, _) = store.trace_refinement(
+        checker,
+        spec,
+        &trace_process,
+        loaded.definitions(),
+        1,
+        &CheckOptions::UNBOUNDED,
+    )?;
     Ok(ConformanceReport {
         spec: spec_name.to_string(),
         events: events.to_vec(),
@@ -278,6 +311,31 @@ SPEC = rec.req -> send.rpt -> SPEC
                 index: 1
             }
         );
+    }
+
+    #[test]
+    fn shared_store_reuses_the_spec_across_traces() {
+        let loaded = loaded(MODEL);
+        let checker = Checker::new();
+        let store = ModelStore::new();
+        let traces: [&[&str]; 3] = [
+            &["rec.req"],
+            &["rec.req", "send.rpt"],
+            &["rec.req", "send.rpt", "send.rpt"],
+        ];
+        let mut verdicts = Vec::new();
+        for events in traces {
+            let events: Vec<String> = events.iter().map(ToString::to_string).collect();
+            let fresh = check_lifted(&loaded, "SPEC", &events, &checker).unwrap();
+            let shared = check_lifted_with(&loaded, "SPEC", &events, &checker, &store).unwrap();
+            assert_eq!(fresh.verdict, shared.verdict);
+            verdicts.push(shared.verdict);
+        }
+        assert!(verdicts[0].is_conformant() && verdicts[1].is_conformant());
+        assert!(!verdicts[2].is_conformant());
+        // The spec compiled and normalised once; the two later traces hit
+        // its cached normal form.
+        assert_eq!(store.hits(), 2, "misses {}", store.misses());
     }
 
     #[test]

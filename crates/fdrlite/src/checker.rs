@@ -206,6 +206,11 @@ impl Checker {
         self.max_product
     }
 
+    /// Whether compiled processes are bisimulation-compressed.
+    pub fn compress(&self) -> bool {
+        self.compress
+    }
+
     /// Compile a process to its explicit LTS (FDR's "explicate"), applying
     /// strong-bisimulation compression when enabled.
     ///
@@ -365,6 +370,7 @@ impl Checker {
         stats.shard_peak = stats.pairs_discovered;
         stats.wall = start.elapsed();
         stats.cpu_busy = stats.wall;
+        stats.explore_wall = stats.wall;
         Ok((verdict, stats))
     }
 
@@ -396,10 +402,15 @@ impl Checker {
         defs: &Definitions,
         options: &CheckOptions,
     ) -> Result<(Verdict, CheckStats), CheckError> {
+        let compile_start = Instant::now();
         let spec_lts = self.compile(spec, defs)?;
         let norm = self.normalise(&spec_lts)?;
         let impl_lts = self.compile(impl_, defs)?;
-        self.refine_with_options(&norm, &impl_lts, RefinementModel::Traces, options)
+        let compile_wall = compile_start.elapsed();
+        let (verdict, mut stats) =
+            self.refine_with_options(&norm, &impl_lts, RefinementModel::Traces, options)?;
+        stats.compile_wall = compile_wall;
+        Ok((verdict, stats))
     }
 
     /// Like [`Checker::failures_refinement`], under the resource budgets of
@@ -415,10 +426,15 @@ impl Checker {
         defs: &Definitions,
         options: &CheckOptions,
     ) -> Result<(Verdict, CheckStats), CheckError> {
+        let compile_start = Instant::now();
         let spec_lts = self.compile(spec, defs)?;
         let norm = self.normalise(&spec_lts)?;
         let impl_lts = self.compile(impl_, defs)?;
-        self.refine_with_options(&norm, &impl_lts, RefinementModel::Failures, options)
+        let compile_wall = compile_start.elapsed();
+        let (verdict, mut stats) =
+            self.refine_with_options(&norm, &impl_lts, RefinementModel::Failures, options)?;
+        stats.compile_wall = compile_wall;
+        Ok((verdict, stats))
     }
 
     /// Like [`Checker::failures_divergences_refinement`], under the resource
@@ -451,16 +467,22 @@ impl Checker {
     /// Compilation exceeded its bound.
     pub fn deadlock_free(&self, p: &Process, defs: &Definitions) -> Result<Verdict, CheckError> {
         let lts = self.compile(p, defs)?;
-        let reach = Reachability::explore(&lts);
+        Ok(self.deadlock_free_compiled(&lts))
+    }
+
+    /// [`Checker::deadlock_free`] over an already-compiled LTS (e.g. one
+    /// served by a [`crate::ModelStore`]).
+    pub fn deadlock_free_compiled(&self, lts: &Lts) -> Verdict {
+        let reach = Reachability::explore(lts);
         for (idx, &s) in reach.order.iter().enumerate() {
             if lts.is_terminal(s) && !matches!(lts.state(s), Process::Omega) {
-                return Ok(Verdict::Fail(Counterexample::new(
+                return Verdict::Fail(Counterexample::new(
                     reach.trace_to(idx),
                     FailureKind::Deadlock,
-                )));
+                ));
             }
         }
-        Ok(Verdict::Pass)
+        Verdict::Pass
     }
 
     /// Is `p` divergence free (no reachable τ-loop)?
@@ -470,17 +492,23 @@ impl Checker {
     /// Compilation exceeded its bound.
     pub fn divergence_free(&self, p: &Process, defs: &Definitions) -> Result<Verdict, CheckError> {
         let lts = self.compile(p, defs)?;
-        let divergent = crate::normalise::divergent_states_of(&lts);
-        let reach = Reachability::explore(&lts);
+        Ok(self.divergence_free_compiled(&lts))
+    }
+
+    /// [`Checker::divergence_free`] over an already-compiled LTS (e.g. one
+    /// served by a [`crate::ModelStore`]).
+    pub fn divergence_free_compiled(&self, lts: &Lts) -> Verdict {
+        let divergent = crate::normalise::divergent_states_of(lts);
+        let reach = Reachability::explore(lts);
         for (idx, &s) in reach.order.iter().enumerate() {
             if divergent[s.index()] {
-                return Ok(Verdict::Fail(Counterexample::new(
+                return Verdict::Fail(Counterexample::new(
                     reach.trace_to(idx),
                     FailureKind::Divergence,
-                )));
+                ));
             }
         }
-        Ok(Verdict::Pass)
+        Verdict::Pass
     }
 
     /// Is `p` deterministic? After every trace, no event may be both
@@ -493,7 +521,13 @@ impl Checker {
     pub fn deterministic(&self, p: &Process, defs: &Definitions) -> Result<Verdict, CheckError> {
         let lts = self.compile(p, defs)?;
         let norm = self.normalise(&lts)?;
+        Ok(self.deterministic_compiled(&norm))
+    }
 
+    /// [`Checker::deterministic`] over an already-normalised LTS (e.g. one
+    /// served by a [`crate::ModelStore`]). The check runs entirely on the
+    /// normal form.
+    pub fn deterministic_compiled(&self, norm: &NormalisedLts) -> Verdict {
         // BFS over the normal form with parent tracking for witness traces.
         let mut parents: Vec<(u32, Option<EventId>)> = vec![(0, None)];
         let mut order: Vec<NormNodeId> = vec![norm.initial()];
@@ -506,10 +540,10 @@ impl Checker {
             let idx = frontier as u32;
 
             if norm.divergent(node) {
-                return Ok(Verdict::Fail(Counterexample::new(
+                return Verdict::Fail(Counterexample::new(
                     rebuild_norm_trace(&order, &parents, idx),
                     FailureKind::Divergence,
-                )));
+                ));
             }
             for e in norm.enabled(node) {
                 let refusable = norm
@@ -517,10 +551,10 @@ impl Checker {
                     .iter()
                     .any(|a: &Acceptance| !a.events.contains(e));
                 if refusable {
-                    return Ok(Verdict::Fail(Counterexample::new(
+                    return Verdict::Fail(Counterexample::new(
                         rebuild_norm_trace(&order, &parents, idx),
                         FailureKind::Nondeterminism { event: e },
-                    )));
+                    ));
                 }
             }
 
@@ -534,7 +568,7 @@ impl Checker {
             }
             frontier += 1;
         }
-        Ok(Verdict::Pass)
+        Verdict::Pass
     }
 }
 

@@ -54,6 +54,7 @@ mod counterexample;
 mod error;
 mod normalise;
 mod stats;
+mod store;
 
 pub mod parallel;
 pub mod properties;
@@ -63,3 +64,4 @@ pub use counterexample::{BudgetReason, Counterexample, FailureKind, Inconclusive
 pub use error::CheckError;
 pub use normalise::{Acceptance, NormNodeId, NormalisedLts};
 pub use stats::CheckStats;
+pub use store::{CompiledModel, ModelStore};

@@ -53,6 +53,7 @@ use crate::counterexample::{BudgetReason, Inconclusive, Verdict};
 use crate::error::CheckError;
 use crate::normalise::{NormNodeId, NormalisedLts};
 use crate::stats::CheckStats;
+use crate::store::CompiledModel;
 
 type Pair = (StateId, NormNodeId);
 
@@ -120,10 +121,15 @@ pub fn trace_refinement_with_options(
     threads: usize,
     options: &CheckOptions,
 ) -> Result<(Verdict, CheckStats), CheckError> {
+    let compile_start = Instant::now();
     let spec_lts = checker.compile(spec, defs)?;
     let norm = checker.normalise(&spec_lts)?;
     let impl_lts = checker.compile(impl_, defs)?;
-    refine_product_with_options(checker, &norm, &impl_lts, threads, options)
+    let compile_wall = compile_start.elapsed();
+    let (verdict, mut stats) =
+        refine_product_with_options(checker, &norm, &impl_lts, threads, options)?;
+    stats.compile_wall = compile_wall;
+    Ok((verdict, stats))
 }
 
 /// Parallel trace refinement of a pre-compiled implementation against a
@@ -169,13 +175,41 @@ pub fn refine_product_with_options(
     threads: usize,
     options: &CheckOptions,
 ) -> Result<(Verdict, CheckStats), CheckError> {
+    let csr = impl_lts.to_csr();
+    refine_csr_with_options(checker, norm, impl_lts, &csr, threads, options)
+}
+
+/// Like [`refine_product_with_options`], over a [`CompiledModel`] from a
+/// [`crate::ModelStore`] — the model's prebuilt CSR snapshot is traversed
+/// directly instead of being reflattened per call.
+///
+/// # Errors
+///
+/// As for [`refine_product_with_options`].
+pub fn refine_compiled_with_options(
+    checker: &Checker,
+    norm: &NormalisedLts,
+    model: &CompiledModel,
+    threads: usize,
+    options: &CheckOptions,
+) -> Result<(Verdict, CheckStats), CheckError> {
+    refine_csr_with_options(checker, norm, model.lts(), model.csr(), threads, options)
+}
+
+fn refine_csr_with_options(
+    checker: &Checker,
+    norm: &NormalisedLts,
+    impl_lts: &Lts,
+    csr: &CsrEdges,
+    threads: usize,
+    options: &CheckOptions,
+) -> Result<(Verdict, CheckStats), CheckError> {
     let start = Instant::now();
     let threads = threads.clamp(1, MAX_THREADS);
-    let csr = impl_lts.to_csr();
     let budget = Budget::start(options);
     let outcome = explore(
         norm,
-        &csr,
+        csr,
         impl_lts.initial(),
         threads,
         checker.max_product(),
@@ -234,6 +268,7 @@ pub fn refine_product_with_options(
         }
     };
     stats.wall = start.elapsed();
+    stats.explore_wall = stats.wall;
     Ok((verdict, stats))
 }
 
@@ -478,6 +513,7 @@ fn explore(
         rewalk_expansions: 0,
         wall: Duration::ZERO,
         cpu_busy: merged.busy,
+        ..CheckStats::default()
     };
     for shard in &shared.shards {
         stats.shard_peak = stats.shard_peak.max(lock_shard(shard).len() as u64);

@@ -5,6 +5,12 @@
 //! produce the standard shapes used there and in the CSP security literature
 //! (Ryan & Schneider): `RUN`, `CHAOS`, request–response, never-occurs and
 //! precedence properties.
+//!
+//! The builders only construct specification *processes*; when they are
+//! checked repeatedly (e.g. one property against many implementations, or
+//! several assertions naming the same property in a CSPm script) the
+//! compile/normalise work is shared through [`crate::ModelStore`], which
+//! caches by hash-consed term identity — see `docs/ARCHITECTURE.md`.
 
 use csp::{DefId, Definitions, EventId, EventSet, Process};
 

@@ -21,6 +21,15 @@ use std::time::Duration;
 /// * `rewalk_expansions` — expansions spent by the bounded canonical
 ///   re-walk that recovers a deterministic shortest counterexample (zero
 ///   when the check passes).
+///
+/// End-to-end entry points (`trace_refinement_with_options` and friends,
+/// and every check routed through a [`crate::ModelStore`]) additionally
+/// split their wall time into `compile_wall` (explication + normalisation,
+/// near zero on a store hit) and `explore_wall` (the product walk,
+/// including witness recovery), and report how many compiled artifacts the
+/// store served from cache (`store_hits`) versus built fresh
+/// (`store_misses`). Engine-level entry points that take pre-compiled
+/// artifacts leave `compile_wall` and the store counters at zero.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CheckStats {
     /// Worker threads used (1 for the serial engine).
@@ -41,11 +50,21 @@ pub struct CheckStats {
     pub shard_peak: u64,
     /// Expansions spent recovering the canonical counterexample.
     pub rewalk_expansions: u64,
+    /// Compiled artifacts served from the model store's cache.
+    pub store_hits: u64,
+    /// Compiled artifacts the model store had to build fresh.
+    pub store_misses: u64,
     /// Wall-clock time of the exploration (including witness recovery).
     pub wall: Duration,
     /// Aggregate busy time across workers (≈ CPU time; excludes idle
     /// spinning while waiting for work).
     pub cpu_busy: Duration,
+    /// Wall-clock time spent compiling and normalising (zero when every
+    /// artifact came pre-compiled or from a warm store).
+    pub compile_wall: Duration,
+    /// Wall-clock time of the product exploration alone (equals `wall` for
+    /// engine-level runs).
+    pub explore_wall: Duration,
 }
 
 impl CheckStats {
@@ -73,7 +92,8 @@ impl CheckStats {
         format!(
             "{{\"threads\":{},\"shards\":{},\"pairs_discovered\":{},\"expansions\":{},\
              \"transitions\":{},\"frontier_peak\":{},\"steals\":{},\"shard_peak\":{},\
-             \"rewalk_expansions\":{},\"wall_us\":{},\"cpu_busy_us\":{},\"states_per_sec\":{:.1}}}",
+             \"rewalk_expansions\":{},\"store_hits\":{},\"store_misses\":{},\"wall_us\":{},\
+             \"cpu_busy_us\":{},\"compile_us\":{},\"explore_us\":{},\"states_per_sec\":{:.1}}}",
             self.threads,
             self.shards,
             self.pairs_discovered,
@@ -83,8 +103,12 @@ impl CheckStats {
             self.steals,
             self.shard_peak,
             self.rewalk_expansions,
+            self.store_hits,
+            self.store_misses,
             self.wall.as_micros(),
             self.cpu_busy.as_micros(),
+            self.compile_wall.as_micros(),
+            self.explore_wall.as_micros(),
             self.states_per_sec(),
         )
     }
@@ -96,7 +120,8 @@ impl fmt::Display for CheckStats {
             f,
             "{} states ({:.0}/s), {} transitions, frontier peak {}, \
              {} steals, {} shards (peak {}), rewalk {}, \
-             wall {:.3} ms, cpu {:.3} ms, {} thread(s)",
+             wall {:.3} ms (compile {:.3} + explore {:.3}), cpu {:.3} ms, \
+             store {}/{} hit, {} thread(s)",
             self.expansions,
             self.states_per_sec(),
             self.transitions,
@@ -106,7 +131,11 @@ impl fmt::Display for CheckStats {
             self.shard_peak,
             self.rewalk_expansions,
             self.wall.as_secs_f64() * 1e3,
+            self.compile_wall.as_secs_f64() * 1e3,
+            self.explore_wall.as_secs_f64() * 1e3,
             self.cpu_busy.as_secs_f64() * 1e3,
+            self.store_hits,
+            self.store_hits + self.store_misses,
             self.threads,
         )
     }
@@ -128,8 +157,12 @@ mod tests {
             steals: 7,
             shard_peak: 5,
             rewalk_expansions: 3,
+            store_hits: 2,
+            store_misses: 1,
             wall: Duration::from_micros(2_500),
             cpu_busy: Duration::from_micros(9_000),
+            compile_wall: Duration::from_micros(400),
+            explore_wall: Duration::from_micros(2_100),
         };
         let json = stats.to_json();
         for key in [
@@ -142,8 +175,12 @@ mod tests {
             "\"steals\":7",
             "\"shard_peak\":5",
             "\"rewalk_expansions\":3",
+            "\"store_hits\":2",
+            "\"store_misses\":1",
             "\"wall_us\":2500",
             "\"cpu_busy_us\":9000",
+            "\"compile_us\":400",
+            "\"explore_us\":2100",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }

@@ -1,0 +1,575 @@
+//! A content-addressed store of compiled models, shared across the whole
+//! checking stack.
+//!
+//! Every end-to-end check starts the same way: explicate the process tree
+//! into an [`Lts`], snapshot it as CSR for the parallel engine, and (for
+//! specifications) normalise it. Before this store existed each entry point
+//! redid that work per call, so a script with five assertions over one
+//! `SYSTEM` compiled `SYSTEM` five times. A [`ModelStore`] interns every
+//! process into one hash-consed [`TermArena`] and caches the compiled
+//! artifacts under their term id plus the [`Checker`] bounds that shaped
+//! them, so structurally equal processes checked under equal bounds compile
+//! exactly once.
+//!
+//! The store is a pure cache: every verdict, counterexample and witness
+//! trace produced through it is bit-identical to the corresponding direct
+//! [`Checker`] / [`crate::parallel`] call, at any thread count. What changes
+//! is only the [`CheckStats`] cost split — warm runs report near-zero
+//! `compile_wall` and nonzero `store_hits`.
+//!
+//! # One store per definitions table
+//!
+//! The arena memoises definition bodies by [`csp::DefId`], so a store is
+//! valid for exactly **one** [`Definitions`] table — the same contract as
+//! [`TermArena`]. Create one store per loaded script (or per standalone
+//! table) and share it across that script's assertions, conformance traces
+//! and property constructions.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use csp::{CsrEdges, Definitions, Lts, Process, TermArena, TermId};
+
+use crate::checker::{CheckOptions, Checker, RefinementModel};
+use crate::counterexample::Verdict;
+use crate::error::CheckError;
+use crate::normalise::NormalisedLts;
+use crate::parallel;
+use crate::stats::CheckStats;
+
+/// A compiled process: its explicit [`Lts`] together with the CSR snapshot
+/// the work-stealing engine traverses.
+///
+/// Produced (and cached) by [`ModelStore::compile`]; handed to the engines
+/// behind an `Arc` so concurrent checks share one allocation.
+#[derive(Debug)]
+pub struct CompiledModel {
+    lts: Lts,
+    csr: CsrEdges,
+}
+
+impl CompiledModel {
+    /// The explicit transition system.
+    pub fn lts(&self) -> &Lts {
+        &self.lts
+    }
+
+    /// The flat CSR snapshot of the transition relation.
+    pub fn csr(&self) -> &CsrEdges {
+        &self.csr
+    }
+}
+
+/// Cache key for a compiled model: the interned term plus every checker
+/// bound that shapes the compiled artifact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct CompileKey {
+    term: TermId,
+    max_states: usize,
+    compress: bool,
+}
+
+impl CompileKey {
+    fn new(term: TermId, checker: &Checker) -> CompileKey {
+        CompileKey {
+            term,
+            max_states: checker.max_states(),
+            compress: checker.compress(),
+        }
+    }
+}
+
+/// Cache key for a normalised specification: the compile key plus the
+/// normalisation bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct NormKey {
+    compile: CompileKey,
+    max_norm_nodes: usize,
+}
+
+/// Everything behind the store's mutex: the shared arena and both caches.
+#[derive(Default)]
+struct StoreInner {
+    arena: TermArena,
+    compiled: HashMap<CompileKey, Arc<CompiledModel>>,
+    normalised: HashMap<NormKey, Arc<NormalisedLts>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl StoreInner {
+    fn compile(
+        &mut self,
+        checker: &Checker,
+        p: &Process,
+        defs: &Definitions,
+    ) -> Result<Arc<CompiledModel>, CheckError> {
+        let term = self.arena.intern(p);
+        let key = CompileKey::new(term, checker);
+        if let Some(model) = self.compiled.get(&key) {
+            self.hits += 1;
+            return Ok(Arc::clone(model));
+        }
+        self.misses += 1;
+        let lts = Lts::build_in(&mut self.arena, term, defs, checker.max_states())?;
+        let lts = if checker.compress() {
+            csp::compress::quotient_bisim(&lts).lts
+        } else {
+            lts
+        };
+        let csr = lts.to_csr();
+        let model = Arc::new(CompiledModel { lts, csr });
+        self.compiled.insert(key, Arc::clone(&model));
+        Ok(model)
+    }
+
+    fn normalised(
+        &mut self,
+        checker: &Checker,
+        p: &Process,
+        defs: &Definitions,
+    ) -> Result<Arc<NormalisedLts>, CheckError> {
+        let term = self.arena.intern(p);
+        let key = NormKey {
+            compile: CompileKey::new(term, checker),
+            max_norm_nodes: checker.max_norm_nodes(),
+        };
+        if let Some(norm) = self.normalised.get(&key) {
+            self.hits += 1;
+            return Ok(Arc::clone(norm));
+        }
+        let model = self.compile(checker, p, defs)?;
+        self.misses += 1;
+        let norm = Arc::new(NormalisedLts::build(model.lts(), checker.max_norm_nodes())?);
+        self.normalised.insert(key, Arc::clone(&norm));
+        Ok(norm)
+    }
+}
+
+/// A shared, content-addressed cache of compiled (and normalised) models.
+///
+/// See the module docs above for the caching contract. The store is
+/// `Send + Sync`; a mutex guards the arena and both caches, but the engines
+/// run outside the lock — only interning and cache lookups serialise.
+pub struct ModelStore {
+    inner: Mutex<StoreInner>,
+}
+
+impl Default for ModelStore {
+    fn default() -> Self {
+        ModelStore::new()
+    }
+}
+
+impl ModelStore {
+    /// An empty store.
+    pub fn new() -> ModelStore {
+        ModelStore {
+            inner: Mutex::new(StoreInner::default()),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, StoreInner> {
+        self.inner.lock().expect("model store poisoned")
+    }
+
+    /// Artifacts served from cache so far (compiled models and normal
+    /// forms both count).
+    pub fn hits(&self) -> u64 {
+        self.lock().hits
+    }
+
+    /// Artifacts built fresh so far.
+    pub fn misses(&self) -> u64 {
+        self.lock().misses
+    }
+
+    fn counters(&self) -> (u64, u64) {
+        let inner = self.lock();
+        (inner.hits, inner.misses)
+    }
+
+    /// Compile `p` (explicate + optional compression + CSR snapshot),
+    /// served from cache when an equal term was already compiled under
+    /// equal bounds.
+    ///
+    /// # Errors
+    ///
+    /// Propagates state-space and recursion errors from the core semantics.
+    pub fn compile(
+        &self,
+        checker: &Checker,
+        p: &Process,
+        defs: &Definitions,
+    ) -> Result<Arc<CompiledModel>, CheckError> {
+        self.lock().compile(checker, p, defs)
+    }
+
+    /// Normalise `p` for use as a specification, compiling it through the
+    /// cache first.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ModelStore::compile`], plus
+    /// [`CheckError::NormalisationExceeded`].
+    pub fn normalised(
+        &self,
+        checker: &Checker,
+        p: &Process,
+        defs: &Definitions,
+    ) -> Result<Arc<NormalisedLts>, CheckError> {
+        self.lock().normalised(checker, p, defs)
+    }
+
+    /// Check `spec ⊑T impl_` through the store. With `threads > 1` the
+    /// product exploration runs on [`parallel`]'s work-stealing engine over
+    /// the cached CSR snapshot; the verdict and counterexample are
+    /// bit-identical either way.
+    ///
+    /// The returned [`CheckStats`] carry the compile/explore wall split and
+    /// the store hit/miss deltas of this call.
+    ///
+    /// # Errors
+    ///
+    /// Compilation or exploration exceeded a hard bound.
+    pub fn trace_refinement(
+        &self,
+        checker: &Checker,
+        spec: &Process,
+        impl_: &Process,
+        defs: &Definitions,
+        threads: usize,
+        options: &CheckOptions,
+    ) -> Result<(Verdict, CheckStats), CheckError> {
+        self.refinement(
+            checker,
+            spec,
+            impl_,
+            defs,
+            threads,
+            RefinementModel::Traces,
+            options,
+        )
+    }
+
+    /// Check `spec ⊑F impl_` through the store (serial engine; the
+    /// stable-failures walk is not parallelised).
+    ///
+    /// # Errors
+    ///
+    /// Compilation or exploration exceeded a hard bound.
+    pub fn failures_refinement(
+        &self,
+        checker: &Checker,
+        spec: &Process,
+        impl_: &Process,
+        defs: &Definitions,
+        options: &CheckOptions,
+    ) -> Result<(Verdict, CheckStats), CheckError> {
+        self.refinement(
+            checker,
+            spec,
+            impl_,
+            defs,
+            1,
+            RefinementModel::Failures,
+            options,
+        )
+    }
+
+    /// Check `spec ⊑FD impl_` through the store: divergence-freedom of the
+    /// implementation first (over the cached compile), then stable-failures
+    /// refinement reusing that same compiled model.
+    ///
+    /// # Errors
+    ///
+    /// Compilation or exploration exceeded a hard bound.
+    pub fn failures_divergences_refinement(
+        &self,
+        checker: &Checker,
+        spec: &Process,
+        impl_: &Process,
+        defs: &Definitions,
+        options: &CheckOptions,
+    ) -> Result<(Verdict, CheckStats), CheckError> {
+        let (hits0, misses0) = self.counters();
+        let compile_start = Instant::now();
+        let impl_m = self.compile(checker, impl_, defs)?;
+        let divergence = checker.divergence_free_compiled(impl_m.lts());
+        if !divergence.is_pass() {
+            let (hits1, misses1) = self.counters();
+            let stats = CheckStats {
+                compile_wall: compile_start.elapsed(),
+                store_hits: hits1 - hits0,
+                store_misses: misses1 - misses0,
+                ..CheckStats::default()
+            };
+            return Ok((divergence, stats));
+        }
+        let norm = self.normalised(checker, spec, defs)?;
+        let compile_wall = compile_start.elapsed();
+        let (verdict, mut stats) =
+            checker.refine_with_options(&norm, impl_m.lts(), RefinementModel::Failures, options)?;
+        stats.compile_wall = compile_wall;
+        let (hits1, misses1) = self.counters();
+        stats.store_hits = hits1 - hits0;
+        stats.store_misses = misses1 - misses0;
+        Ok((verdict, stats))
+    }
+
+    /// Is `p` deadlock free? Compiles through the cache, then runs
+    /// [`Checker::deadlock_free_compiled`].
+    ///
+    /// # Errors
+    ///
+    /// Compilation exceeded its bound.
+    pub fn deadlock_free(
+        &self,
+        checker: &Checker,
+        p: &Process,
+        defs: &Definitions,
+    ) -> Result<Verdict, CheckError> {
+        Ok(checker.deadlock_free_compiled(self.compile(checker, p, defs)?.lts()))
+    }
+
+    /// Is `p` divergence free? Compiles through the cache, then runs
+    /// [`Checker::divergence_free_compiled`].
+    ///
+    /// # Errors
+    ///
+    /// Compilation exceeded its bound.
+    pub fn divergence_free(
+        &self,
+        checker: &Checker,
+        p: &Process,
+        defs: &Definitions,
+    ) -> Result<Verdict, CheckError> {
+        Ok(checker.divergence_free_compiled(self.compile(checker, p, defs)?.lts()))
+    }
+
+    /// Is `p` deterministic? Normalises through the cache, then runs
+    /// [`Checker::deterministic_compiled`].
+    ///
+    /// # Errors
+    ///
+    /// Compilation or normalisation exceeded its bound.
+    pub fn deterministic(
+        &self,
+        checker: &Checker,
+        p: &Process,
+        defs: &Definitions,
+    ) -> Result<Verdict, CheckError> {
+        let norm = self.normalised(checker, p, defs)?;
+        Ok(checker.deterministic_compiled(&norm))
+    }
+
+    /// Refinement of a cached spec normal form against a cached impl
+    /// compile; the engines run outside the store lock.
+    #[allow(clippy::too_many_arguments)]
+    fn refinement(
+        &self,
+        checker: &Checker,
+        spec: &Process,
+        impl_: &Process,
+        defs: &Definitions,
+        threads: usize,
+        model: RefinementModel,
+        options: &CheckOptions,
+    ) -> Result<(Verdict, CheckStats), CheckError> {
+        let (hits0, misses0) = self.counters();
+        let compile_start = Instant::now();
+        let (norm, impl_m) = {
+            let mut inner = self.lock();
+            let norm = inner.normalised(checker, spec, defs)?;
+            let impl_m = inner.compile(checker, impl_, defs)?;
+            (norm, impl_m)
+        };
+        let compile_wall = compile_start.elapsed();
+        let (verdict, mut stats) = if threads > 1 && model == RefinementModel::Traces {
+            parallel::refine_compiled_with_options(checker, &norm, &impl_m, threads, options)?
+        } else {
+            checker.refine_with_options(&norm, impl_m.lts(), model, options)?
+        };
+        stats.compile_wall = compile_wall;
+        let (hits1, misses1) = self.counters();
+        stats.store_hits = hits1 - hits0;
+        stats.store_misses = misses1 - misses0;
+        Ok((verdict, stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counterexample::FailureKind;
+    use csp::{EventId, EventSet};
+
+    fn e(n: u32) -> EventId {
+        EventId::from_index(n as usize)
+    }
+
+    #[test]
+    fn repeated_compiles_hit_the_cache() {
+        let checker = Checker::new();
+        let store = ModelStore::new();
+        let defs = Definitions::new();
+        let p = Process::prefix(e(0), Process::prefix(e(1), Process::Stop));
+
+        let a = store.compile(&checker, &p, &defs).unwrap();
+        assert_eq!(store.hits(), 0);
+        assert_eq!(store.misses(), 1);
+
+        let b = store.compile(&checker, &p.clone(), &defs).unwrap();
+        assert_eq!(store.hits(), 1);
+        assert_eq!(store.misses(), 1);
+        assert!(Arc::ptr_eq(&a, &b), "cache must return the same allocation");
+    }
+
+    #[test]
+    fn different_bounds_compile_separately() {
+        let store = ModelStore::new();
+        let defs = Definitions::new();
+        let p = Process::prefix(e(0), Process::Stop);
+
+        let loose = Checker::new();
+        let mut b = crate::CheckerBuilder::new();
+        b.max_states(10);
+        let tight = b.build();
+
+        store.compile(&loose, &p, &defs).unwrap();
+        store.compile(&tight, &p, &defs).unwrap();
+        assert_eq!(store.misses(), 2, "distinct bounds must not share a slot");
+        assert_eq!(store.hits(), 0);
+    }
+
+    #[test]
+    fn store_verdicts_match_direct_checker() {
+        let checker = Checker::new();
+        let store = ModelStore::new();
+        let defs = Definitions::new();
+        let spec = Process::prefix(e(0), Process::Stop);
+        let impl_ = Process::prefix(e(0), Process::prefix(e(1), Process::Stop));
+
+        let direct = checker.trace_refinement(&spec, &impl_, &defs).unwrap();
+        let (via_store, stats) = store
+            .trace_refinement(&checker, &spec, &impl_, &defs, 1, &CheckOptions::UNBOUNDED)
+            .unwrap();
+        assert_eq!(direct, via_store);
+        assert_eq!(
+            via_store.counterexample().unwrap().kind(),
+            &FailureKind::TraceViolation { event: Some(e(1)) }
+        );
+        assert_eq!(stats.store_misses, 3, "spec lts + spec norm + impl lts");
+        assert_eq!(stats.store_hits, 0);
+
+        // Warm re-check: same verdict, everything served from cache.
+        let (warm, warm_stats) = store
+            .trace_refinement(
+                &checker,
+                &spec.clone(),
+                &impl_.clone(),
+                &defs,
+                1,
+                &CheckOptions::UNBOUNDED,
+            )
+            .unwrap();
+        assert_eq!(warm, via_store);
+        assert_eq!(warm_stats.store_hits, 2, "norm + impl compile");
+        assert_eq!(warm_stats.store_misses, 0);
+    }
+
+    #[test]
+    fn parallel_path_matches_serial_through_the_store() {
+        let checker = Checker::new();
+        let store = ModelStore::new();
+        let defs = Definitions::new();
+        let spec = Process::prefix(e(0), Process::Stop);
+        let impl_ = Process::prefix(e(0), Process::prefix(e(1), Process::Stop));
+
+        let (serial, _) = store
+            .trace_refinement(&checker, &spec, &impl_, &defs, 1, &CheckOptions::UNBOUNDED)
+            .unwrap();
+        let (par, _) = store
+            .trace_refinement(&checker, &spec, &impl_, &defs, 4, &CheckOptions::UNBOUNDED)
+            .unwrap();
+        assert_eq!(serial, par);
+    }
+
+    #[test]
+    fn fd_check_reuses_the_impl_compile() {
+        let checker = Checker::new();
+        let store = ModelStore::new();
+        let defs = Definitions::new();
+        let p = Process::prefix(e(0), Process::Stop);
+
+        let direct = checker
+            .failures_divergences_refinement(&p, &p, &defs)
+            .unwrap();
+        let (via_store, stats) = store
+            .failures_divergences_refinement(&checker, &p, &p, &defs, &CheckOptions::UNBOUNDED)
+            .unwrap();
+        assert_eq!(direct, via_store);
+        // The impl compile is reused when the spec (equal term here) is
+        // normalised: one lts miss, one norm miss, one compile hit.
+        assert_eq!(stats.store_misses, 2);
+        assert_eq!(stats.store_hits, 1);
+    }
+
+    #[test]
+    fn fd_divergent_impl_fails_with_stats() {
+        let checker = Checker::new();
+        let store = ModelStore::new();
+        let mut defs = Definitions::new();
+        let d = defs.declare("P");
+        defs.define(d, Process::prefix(e(0), Process::var(d)));
+        let divergent = Process::hide(Process::var(d), EventSet::singleton(e(0)));
+
+        let (v, stats) = store
+            .failures_divergences_refinement(
+                &checker,
+                &Process::Stop,
+                &divergent,
+                &defs,
+                &CheckOptions::UNBOUNDED,
+            )
+            .unwrap();
+        assert_eq!(v.counterexample().unwrap().kind(), &FailureKind::Divergence);
+        assert_eq!(stats.store_misses, 1, "only the impl was compiled");
+    }
+
+    #[test]
+    fn property_checks_match_direct_checker_and_cache() {
+        let checker = Checker::new();
+        let store = ModelStore::new();
+        let defs = Definitions::new();
+        let p = Process::external_choice(
+            Process::prefix(e(0), Process::Stop),
+            Process::prefix(e(1), Process::Stop),
+        );
+
+        assert_eq!(
+            store.deadlock_free(&checker, &p, &defs).unwrap(),
+            checker.deadlock_free(&p, &defs).unwrap()
+        );
+        assert_eq!(
+            store.divergence_free(&checker, &p, &defs).unwrap(),
+            checker.divergence_free(&p, &defs).unwrap()
+        );
+        assert_eq!(
+            store.deterministic(&checker, &p, &defs).unwrap(),
+            checker.deterministic(&p, &defs).unwrap()
+        );
+        // deadlock: 1 miss; divergence: 1 hit; deterministic: norm miss +
+        // compile hit.
+        assert_eq!(store.misses(), 2);
+        assert_eq!(store.hits(), 2);
+    }
+
+    #[test]
+    fn store_is_shareable_across_threads() {
+        fn assert_sync_send<T: Sync + Send>() {}
+        assert_sync_send::<ModelStore>();
+        assert_sync_send::<CompiledModel>();
+    }
+}

@@ -497,8 +497,9 @@ fn check(args: &[String]) -> Result<ExitCode, String> {
         max_states: flags.max_states,
         max_wall_ms: flags.timeout_ms,
     };
+    let store = fdrlite::ModelStore::new();
     let results = loaded
-        .check_with(&Checker::new(), &options)
+        .check_with_store(&Checker::new(), &options, &store)
         .map_err(|e| e.to_string())?;
     let mut failures = 0;
     let mut inconclusive = 0;
@@ -531,6 +532,14 @@ fn check(args: &[String]) -> Result<ExitCode, String> {
                 eprintln!("  stats: {stats}");
             }
         }
+    }
+    if flags.stats {
+        eprintln!(
+            "model store: {} hit(s), {} miss(es) across {} assertion(s)",
+            store.hits(),
+            store.misses(),
+            results.len()
+        );
     }
     if let Some(path) = &flags.stats_json {
         let lines: Vec<String> = results
@@ -710,9 +719,15 @@ fn simulate(args: &[String]) -> Result<ExitCode, String> {
             .map_err(|e| e.to_string())?
             .load()
             .map_err(|e| e.to_string())?;
-        let report =
-            faults::conformance::check_conformance(&loaded, conf, sim.trace(), &Checker::new())
-                .map_err(|e| e.to_string())?;
+        let store = fdrlite::ModelStore::new();
+        let report = faults::conformance::check_conformance_with(
+            &loaded,
+            conf,
+            sim.trace(),
+            &Checker::new(),
+            &store,
+        )
+        .map_err(|e| e.to_string())?;
         eprintln!(
             "conformance: lifted {} event(s): ⟨{}⟩",
             report.events.len(),
