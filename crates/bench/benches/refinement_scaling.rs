@@ -27,6 +27,7 @@
 use std::env;
 use std::fmt::Write as _;
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Instant;
 
 use csp::{Definitions, EventSet, Process};
@@ -181,6 +182,63 @@ fn probe_store(workload: &Workload, threads: usize) -> StoreProbe {
     probe
 }
 
+struct DiskProbe {
+    cold_compile_us: u128,
+    warm_compile_us: u128,
+    cold_disk_misses: u64,
+    warm_disk_hits: u64,
+    warm_disk_misses: u64,
+    verdicts_agree: bool,
+}
+
+/// Run the workload through two *fresh* [`fdrlite::ModelStore`]s sharing
+/// one on-disk cache: the second store starts with an empty in-process
+/// cache, so everything it serves cheaply must come from disk — the
+/// cross-invocation analogue of [`probe_store`]. The warm run must be
+/// served entirely from disk (zero disk misses) with a verbatim verdict.
+fn probe_disk(workload: &Workload, threads: usize) -> DiskProbe {
+    let dir = env::temp_dir().join(format!("fdrlite-bench-disk-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let checker = Checker::new();
+    let options = fdrlite::CheckOptions::UNBOUNDED;
+    let run = |cache: &Arc<fdrlite::PersistentCache>| {
+        let store = fdrlite::ModelStore::new();
+        store.set_persist(fdrlite::PersistConfig {
+            cache: Arc::clone(cache),
+            checkpoint_every: None,
+            resume: fdrlite::ResumePolicy::Off,
+        });
+        store
+            .trace_refinement(
+                &checker,
+                &workload.spec,
+                &workload.impl_,
+                &workload.defs,
+                threads,
+                &options,
+            )
+            .expect("disk-backed refinement succeeds")
+    };
+    let cold_cache = Arc::new(fdrlite::PersistentCache::open(&dir).expect("cache opens"));
+    let (cold_verdict, cold) = run(&cold_cache);
+    let cold_disk_misses = cold_cache.disk_misses();
+    let warm_cache = Arc::new(fdrlite::PersistentCache::open(&dir).expect("cache reopens"));
+    let (warm_verdict, warm) = run(&warm_cache);
+    let probe = DiskProbe {
+        cold_compile_us: cold.compile_wall.as_micros(),
+        warm_compile_us: warm.compile_wall.as_micros(),
+        cold_disk_misses,
+        warm_disk_hits: warm_cache.disk_hits(),
+        warm_disk_misses: warm_cache.disk_misses(),
+        verdicts_agree: cold_verdict == warm_verdict,
+    };
+    let _ = std::fs::remove_dir_all(&dir);
+    assert!(probe.verdicts_agree, "disk-warm verdict must equal cold");
+    assert!(probe.warm_disk_hits > 0, "warm run must hit the disk cache");
+    assert_eq!(probe.warm_disk_misses, 0, "warm run must compile nothing");
+    probe
+}
+
 fn env_u32(name: &str, default: u32) -> u32 {
     env::var(name)
         .ok()
@@ -246,6 +304,12 @@ fn main() -> ExitCode {
         store.cold_compile_us, store.cold_misses, store.warm_compile_us, store.warm_hits
     );
 
+    let disk = probe_disk(&passing, 1);
+    eprintln!(
+        "  disk  cold compile={} µs ({} misses), warm compile={} µs ({} hits)",
+        disk.cold_compile_us, disk.cold_disk_misses, disk.warm_compile_us, disk.warm_disk_hits
+    );
+
     let base = pass_points.iter().find(|p| p.threads == 1);
     let peak = pass_points.iter().max_by_key(|p| p.threads);
     let ratio = match (base, peak) {
@@ -278,6 +342,18 @@ fn main() -> ExitCode {
         store.warm_hits,
         store.warm_misses,
         store.verdicts_agree
+    );
+    let _ = write!(
+        json,
+        ",\"disk\":{{\"cold_compile_us\":{},\"warm_compile_us\":{},\
+         \"cold_disk_misses\":{},\"warm_disk_hits\":{},\"warm_disk_misses\":{},\
+         \"verdicts_agree\":{}}}",
+        disk.cold_compile_us,
+        disk.warm_compile_us,
+        disk.cold_disk_misses,
+        disk.warm_disk_hits,
+        disk.warm_disk_misses,
+        disk.verdicts_agree
     );
     for (key, points) in [("pass", &pass_points), ("fail", &fail_points)] {
         let _ = write!(json, ",\"{key}\":[");

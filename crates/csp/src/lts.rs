@@ -117,13 +117,14 @@ impl Lts {
     }
 
     /// Assemble an LTS directly from states and transition lists (used by
-    /// compression). State 0 is the initial state.
+    /// compression and by cache deserialisation). State 0 is the initial
+    /// state.
     ///
     /// # Panics
     ///
     /// Panics if `states` and `transitions` have different lengths or are
     /// empty.
-    pub(crate) fn from_parts(states: Vec<Process>, transitions: Vec<Vec<(Label, StateId)>>) -> Lts {
+    pub fn from_parts(states: Vec<Process>, transitions: Vec<Vec<(Label, StateId)>>) -> Lts {
         assert_eq!(states.len(), transitions.len());
         assert!(!states.is_empty());
         Lts {

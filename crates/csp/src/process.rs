@@ -297,6 +297,11 @@ impl Definitions {
         self.names.len()
     }
 
+    /// Iterate over all declared definition handles, in declaration order.
+    pub fn ids(&self) -> impl Iterator<Item = DefId> {
+        (0..self.names.len() as u32).map(DefId)
+    }
+
     /// Whether any definitions exist.
     pub fn is_empty(&self) -> bool {
         self.names.is_empty()

@@ -259,6 +259,14 @@ impl LoadedScript {
     /// already seen this script's processes and the run skips their
     /// recompilation entirely.
     ///
+    /// A store configured with [`fdrlite::PersistConfig`] (via
+    /// `ModelStore::set_persist`) extends both behaviours across process
+    /// lifetimes: compiled models are served from the on-disk cache, and a
+    /// budget-exhausted refinement assertion writes a checkpoint and carries
+    /// a resume token in its [`Verdict::Inconclusive`] — re-checking with a
+    /// matching resume policy continues to a verdict bit-identical to an
+    /// uninterrupted run.
+    ///
     /// # Errors
     ///
     /// [`CspmError::Check`] when the checker hits a state-space bound or a

@@ -18,7 +18,11 @@
 //! * [`conformance`] — lifts the simulated trace to CSP events via the
 //!   plan's `[[map]]` rules and checks `SPEC ⊑T ⟨trace⟩` with [`fdrlite`];
 //! * [`replay`] — serialises an [`fdrlite`] counterexample to JSON and
-//!   re-drives it through the simulator to reproduce the violation.
+//!   re-drives it through the simulator to reproduce the violation;
+//! * [`storage`] — seeded storage faults ([`StorageFaultEngine`]: torn
+//!   writes, truncation, bit flips, stale versions, dropped writes)
+//!   against the persistent model store's write path, validating that
+//!   corruption degrades to a recompile, never a wrong verdict.
 //!
 //! # Example
 //!
@@ -51,8 +55,10 @@ pub mod conformance;
 mod engine;
 mod plan;
 pub mod replay;
+pub mod storage;
 
 pub use engine::{apply_plan, FaultEngine};
 pub use plan::{
     lint_plan, ConformanceSpec, FaultKind, FaultPlan, FaultSpec, MapOn, MapRule, Trigger,
 };
+pub use storage::{apply_storage_fault, StorageFaultEngine, StorageFaultKind, ALL_STORAGE_FAULTS};

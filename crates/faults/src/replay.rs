@@ -277,6 +277,19 @@ pub struct ReplayOutcome {
     pub reproduced: bool,
 }
 
+impl ReplayOutcome {
+    /// Whether the replay could decide anything at all. A counterexample
+    /// whose events map onto no expected response channel injects stimuli
+    /// but observes nothing: `reproduced` is then vacuously true, and the
+    /// run is inconclusive rather than a reproduction. Callers (the
+    /// `autocsp replay` exit-code contract) report such runs as
+    /// INCONCLUSIVE, exit code 3 — the same code budget-exhausted checks
+    /// use.
+    pub fn is_conclusive(&self) -> bool {
+        !self.expected.is_empty()
+    }
+}
+
 /// Re-drive a counterexample's events through a prepared simulation.
 ///
 /// The simulation should contain the node under test (and only the nodes

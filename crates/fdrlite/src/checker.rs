@@ -16,6 +16,7 @@ use csp::{Definitions, EventId, Label, Lts, Process, StateId, Trace, TraceEvent}
 use crate::counterexample::{BudgetReason, Counterexample, FailureKind, Inconclusive, Verdict};
 use crate::error::CheckError;
 use crate::normalise::{Acceptance, NormNodeId, NormalisedLts};
+use crate::persist::{CkptNode, SerialFrontier};
 use crate::stats::CheckStats;
 
 /// Resource budgets for a refinement exploration.
@@ -92,16 +93,26 @@ impl Budget {
     }
 
     /// Which budget (if any) is exhausted with `discovered` states known?
-    /// `Instant::now` is only consulted every 1024th call (by `ticks`) to
-    /// keep the check off the hot path.
-    pub(crate) fn exceeded(&self, discovered: u64, ticks: u64) -> Option<BudgetReason> {
+    ///
+    /// The wall clock is consulted on **every** call when a wall budget is
+    /// configured (an `Instant::now` is ~25 ns — noise next to a state
+    /// expansion), so wall-budget overshoot is bounded by a single state.
+    /// Unbounded runs never touch the clock.
+    pub(crate) fn exceeded(&self, discovered: u64) -> Option<BudgetReason> {
         if let Some(reason) = self.states_exceeded(discovered) {
             return Some(reason);
         }
-        if ticks & 1023 == 0 {
-            return self.wall_exceeded();
+        self.wall_exceeded()
+    }
+
+    /// How far past the wall deadline the clock is right now (zero when no
+    /// wall budget is set or the deadline has not passed). Sampled at the
+    /// moment a budget trips to surface the overshoot in [`CheckStats`].
+    pub(crate) fn wall_overshoot(&self) -> Duration {
+        match self.wall {
+            Some((deadline, _)) => Instant::now().saturating_duration_since(deadline),
+            None => Duration::ZERO,
         }
-        None
     }
 }
 
@@ -351,6 +362,22 @@ impl Checker {
         model: RefinementModel,
         options: &CheckOptions,
     ) -> Result<(Verdict, CheckStats), CheckError> {
+        self.refine_with_options_resumable(spec, impl_lts, model, options, None)
+            .map(|(verdict, _, stats)| (verdict, stats))
+    }
+
+    /// [`Checker::refine_with_options`] with checkpoint/resume: pass
+    /// `resume` to continue an interrupted exploration, and receive the
+    /// continuation frontier alongside any [`Verdict::Inconclusive`]. See
+    /// [`refine_zero_one_resumable`] for the exact-continuation contract.
+    pub(crate) fn refine_with_options_resumable(
+        &self,
+        spec: &NormalisedLts,
+        impl_lts: &Lts,
+        model: RefinementModel,
+        options: &CheckOptions,
+        resume: Option<&SerialFrontier>,
+    ) -> Result<(Verdict, Option<SerialFrontier>, CheckStats), CheckError> {
         let start = Instant::now();
         let mut stats = CheckStats {
             threads: 1,
@@ -358,7 +385,7 @@ impl Checker {
             ..CheckStats::default()
         };
         let budget = Budget::start(options);
-        let verdict = refine_zero_one(
+        let (verdict, frontier) = refine_zero_one_resumable(
             spec,
             impl_lts,
             model,
@@ -366,12 +393,13 @@ impl Checker {
             None,
             &budget,
             &mut stats,
+            resume,
         )?;
         stats.shard_peak = stats.pairs_discovered;
         stats.wall = start.elapsed();
         stats.cpu_busy = stats.wall;
         stats.explore_wall = stats.wall;
-        Ok((verdict, stats))
+        Ok((verdict, frontier, stats))
     }
 
     /// Like [`Checker::trace_refinement`], also returning the exploration's
@@ -708,6 +736,66 @@ impl Explorer {
         Ok(())
     }
 
+    /// Snapshot the exploration into a [`SerialFrontier`] checkpoint. The
+    /// cumulative stats counters travel with the frontier so a resumed run
+    /// reports totals as if it had never stopped.
+    fn capture(&self, stats: &CheckStats) -> SerialFrontier {
+        SerialFrontier {
+            nodes: self
+                .nodes
+                .iter()
+                .map(|n| CkptNode {
+                    s: n.pair.0.index() as u32,
+                    n: n.pair.1.index() as u32,
+                    vlen: n.vlen,
+                    parent: n.parent,
+                    label: n.label,
+                })
+                .collect(),
+            deque: self.deque.iter().copied().collect(),
+            pairs_discovered: stats.pairs_discovered,
+            expansions: stats.expansions,
+            transitions: stats.transitions,
+            frontier_peak: stats.frontier_peak,
+        }
+    }
+
+    /// Rebuild an exploration from a checkpoint. The pair map is replayed in
+    /// arena order under [`Explorer::relax`]'s exact insert-or-improve rule,
+    /// so each pair ends up pointing at the same arena node it did when the
+    /// frontier was captured and the stale-entry checks behave identically.
+    fn restore(f: &SerialFrontier, max_product: usize, bound: Option<u32>) -> Explorer {
+        let mut ex = Explorer {
+            nodes: Vec::with_capacity(f.nodes.len()),
+            current: HashMap::with_capacity(f.nodes.len()),
+            deque: f.deque.iter().copied().collect(),
+            max_product,
+            bound,
+        };
+        for n in &f.nodes {
+            ex.nodes.push(ProductNode {
+                pair: (
+                    StateId::from_index(n.s as usize),
+                    NormNodeId::from_index(n.n as usize),
+                ),
+                vlen: n.vlen,
+                parent: n.parent,
+                label: n.label,
+            });
+        }
+        for idx in 0..ex.nodes.len() {
+            let (pair, vlen) = (ex.nodes[idx].pair, ex.nodes[idx].vlen);
+            let improves = match ex.current.get(&pair) {
+                None => true,
+                Some(&known) => vlen < ex.nodes[known as usize].vlen,
+            };
+            if improves {
+                ex.current.insert(pair, idx as u32);
+            }
+        }
+        ex
+    }
+
     /// The visible trace leading to arena node `idx`.
     fn trace_to(&self, mut idx: u32) -> Trace {
         let mut events: Vec<TraceEvent> = Vec::new();
@@ -741,17 +829,72 @@ pub(crate) fn refine_zero_one(
     budget: &Budget,
     stats: &mut CheckStats,
 ) -> Result<Verdict, CheckError> {
-    let root = (impl_lts.initial(), spec.initial());
-    let mut ex = Explorer::new(root, max_product, bound);
-    stats.pairs_discovered += 1;
+    refine_zero_one_resumable(
+        spec,
+        impl_lts,
+        model,
+        max_product,
+        bound,
+        budget,
+        stats,
+        None,
+    )
+    .map(|(verdict, _)| verdict)
+}
 
-    while let Some(idx) = ex.deque.pop_front() {
-        if let Some(reason) = budget.exceeded(stats.pairs_discovered, stats.expansions) {
-            return Ok(Verdict::Inconclusive(Inconclusive {
-                states_explored: stats.pairs_discovered,
-                reason,
-            }));
+/// [`refine_zero_one`] with checkpoint/resume: pass `resume` to continue an
+/// interrupted exploration, and receive the continuation frontier alongside
+/// any `Inconclusive` verdict.
+///
+/// The frontier is an *exact* continuation — node arena, pair map and deque
+/// order are restored verbatim — so interrupt + resume reaches a verdict
+/// (including the counterexample trace and the final state count)
+/// bit-identical to an uninterrupted run. Callers must validate the
+/// frontier against these exact models first
+/// ([`SerialFrontier::validate`]).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn refine_zero_one_resumable(
+    spec: &NormalisedLts,
+    impl_lts: &Lts,
+    model: RefinementModel,
+    max_product: usize,
+    bound: Option<u32>,
+    budget: &Budget,
+    stats: &mut CheckStats,
+    resume: Option<&SerialFrontier>,
+) -> Result<(Verdict, Option<SerialFrontier>), CheckError> {
+    let mut ex = match resume {
+        Some(frontier) => {
+            stats.pairs_discovered = frontier.pairs_discovered;
+            stats.expansions = frontier.expansions;
+            stats.transitions = frontier.transitions;
+            stats.frontier_peak = stats.frontier_peak.max(frontier.frontier_peak);
+            Explorer::restore(frontier, max_product, bound)
         }
+        None => {
+            let root = (impl_lts.initial(), spec.initial());
+            stats.pairs_discovered += 1;
+            Explorer::new(root, max_product, bound)
+        }
+    };
+
+    loop {
+        if ex.deque.is_empty() {
+            break;
+        }
+        // Budget check before the pop (same stats as the post-pop check the
+        // engine used to do, so trip points are unchanged) — the pending
+        // node stays in the deque and the frontier remains a complete
+        // continuation.
+        if let Some(reason) = budget.exceeded(stats.pairs_discovered) {
+            stats.wall_overshoot = budget.wall_overshoot();
+            let frontier = ex.capture(stats);
+            return Ok((
+                Verdict::Inconclusive(Inconclusive::new(stats.pairs_discovered, reason)),
+                Some(frontier),
+            ));
+        }
+        let idx = ex.deque.pop_front().expect("deque checked non-empty");
         let node = &ex.nodes[idx as usize];
         let (pair, vlen) = (node.pair, node.vlen);
         if ex.current.get(&pair) != Some(&idx) {
@@ -762,7 +905,10 @@ pub(crate) fn refine_zero_one(
 
         if model == RefinementModel::Failures {
             if let Some(kind) = failure_violation(impl_lts, spec, s, n) {
-                return Ok(Verdict::Fail(Counterexample::new(ex.trace_to(idx), kind)));
+                return Ok((
+                    Verdict::Fail(Counterexample::new(ex.trace_to(idx), kind)),
+                    None,
+                ));
             }
         }
 
@@ -777,25 +923,31 @@ pub(crate) fn refine_zero_one(
                         ex.relax((target, n2), vlen + 1, idx, Some(e), stats)?;
                     }
                     None => {
-                        return Ok(Verdict::Fail(Counterexample::new(
-                            ex.trace_to(idx),
-                            FailureKind::TraceViolation { event: Some(e) },
-                        )));
+                        return Ok((
+                            Verdict::Fail(Counterexample::new(
+                                ex.trace_to(idx),
+                                FailureKind::TraceViolation { event: Some(e) },
+                            )),
+                            None,
+                        ));
                     }
                 },
                 Label::Tick => {
                     if !spec.allows_tick(n) {
-                        return Ok(Verdict::Fail(Counterexample::new(
-                            ex.trace_to(idx),
-                            FailureKind::TraceViolation { event: None },
-                        )));
+                        return Ok((
+                            Verdict::Fail(Counterexample::new(
+                                ex.trace_to(idx),
+                                FailureKind::TraceViolation { event: None },
+                            )),
+                            None,
+                        ));
                     }
                     // Nothing to explore after successful termination.
                 }
             }
         }
     }
-    Ok(Verdict::Pass)
+    Ok((Verdict::Pass, None))
 }
 
 fn rebuild_norm_trace(

@@ -55,6 +55,23 @@ pub struct Inconclusive {
     pub states_explored: u64,
     /// Which budget was exhausted.
     pub reason: BudgetReason,
+    /// Resume token for `autocsp check --resume`, present when a persistent
+    /// cache was attached and a checkpoint was written. The token is a
+    /// deterministic function of the check's identity (model hashes,
+    /// semantic model, compile bounds, engine class), so re-running the
+    /// same check yields the same token.
+    pub resume: Option<String>,
+}
+
+impl Inconclusive {
+    /// Budget-exhaustion details with no resume checkpoint attached.
+    pub fn new(states_explored: u64, reason: BudgetReason) -> Inconclusive {
+        Inconclusive {
+            states_explored,
+            reason,
+            resume: None,
+        }
+    }
 }
 
 impl fmt::Display for Inconclusive {
@@ -228,10 +245,10 @@ mod tests {
 
     #[test]
     fn inconclusive_verdict_accessors() {
-        let v = Verdict::Inconclusive(Inconclusive {
-            states_explored: 1234,
-            reason: BudgetReason::States { limit: 1000 },
-        });
+        let v = Verdict::Inconclusive(Inconclusive::new(
+            1234,
+            BudgetReason::States { limit: 1000 },
+        ));
         assert!(!v.is_pass());
         assert!(v.is_inconclusive());
         assert!(v.counterexample().is_none());
@@ -240,10 +257,7 @@ mod tests {
         let text = i.to_string();
         assert!(text.contains("state budget (1000)"), "{text}");
         assert!(text.contains("1234 states"), "{text}");
-        let wall = Inconclusive {
-            states_explored: 9,
-            reason: BudgetReason::Wall { limit_ms: 50 },
-        };
+        let wall = Inconclusive::new(9, BudgetReason::Wall { limit_ms: 50 });
         assert!(wall.to_string().contains("50 ms"), "{wall}");
     }
 

@@ -57,11 +57,13 @@ mod stats;
 mod store;
 
 pub mod parallel;
+pub mod persist;
 pub mod properties;
 
 pub use checker::{CheckOptions, Checker, CheckerBuilder, RefinementModel};
 pub use counterexample::{BudgetReason, Counterexample, FailureKind, Inconclusive, Verdict};
 pub use error::CheckError;
 pub use normalise::{Acceptance, NormNodeId, NormalisedLts};
+pub use persist::{CheckId, PersistConfig, PersistentCache, ResumePolicy, StorageFaultHook};
 pub use stats::CheckStats;
 pub use store::{CompiledModel, ModelStore};

@@ -26,6 +26,11 @@ impl NormNodeId {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// Rebuild an id from a raw index (cache/checkpoint deserialisation).
+    pub(crate) fn from_index(index: usize) -> NormNodeId {
+        NormNodeId(index as u32)
+    }
 }
 
 /// The initials of one stable state: the visible events it offers plus
@@ -46,11 +51,11 @@ impl Acceptance {
 }
 
 #[derive(Debug, Clone)]
-struct NormNode {
-    after: BTreeMap<EventId, NormNodeId>,
-    allows_tick: bool,
-    acceptances: Vec<Acceptance>,
-    divergent: bool,
+pub(crate) struct NormNode {
+    pub(crate) after: BTreeMap<EventId, NormNodeId>,
+    pub(crate) allows_tick: bool,
+    pub(crate) acceptances: Vec<Acceptance>,
+    pub(crate) divergent: bool,
 }
 
 /// A normalised (deterministic) view of an [`Lts`], used as the
@@ -186,6 +191,18 @@ impl NormalisedLts {
     /// All visible events enabled at this node.
     pub fn enabled(&self, node: NormNodeId) -> impl Iterator<Item = EventId> + '_ {
         self.nodes[node.index()].after.keys().copied()
+    }
+
+    /// Raw node table (cache serialisation).
+    pub(crate) fn raw_nodes(&self) -> &[NormNode] {
+        &self.nodes
+    }
+
+    /// Rebuild from a raw node table (cache deserialisation). The caller is
+    /// responsible for the table's internal consistency; `persist` validates
+    /// every index bound before calling this.
+    pub(crate) fn from_raw_nodes(nodes: Vec<NormNode>) -> NormalisedLts {
+        NormalisedLts { nodes }
     }
 }
 

@@ -52,6 +52,7 @@ use crate::checker::{refine_zero_one, Budget, CheckOptions, Checker, RefinementM
 use crate::counterexample::{BudgetReason, Inconclusive, Verdict};
 use crate::error::CheckError;
 use crate::normalise::{NormNodeId, NormalisedLts};
+use crate::persist::ParallelFrontier;
 use crate::stats::CheckStats;
 use crate::store::CompiledModel;
 
@@ -193,7 +194,38 @@ pub fn refine_compiled_with_options(
     threads: usize,
     options: &CheckOptions,
 ) -> Result<(Verdict, CheckStats), CheckError> {
-    refine_csr_with_options(checker, norm, model.lts(), model.csr(), threads, options)
+    refine_compiled_resumable(checker, norm, model, threads, options, None)
+        .map(|(verdict, _, stats)| (verdict, stats))
+}
+
+/// [`refine_compiled_with_options`] with checkpoint/resume: pass `resume`
+/// to continue an interrupted exploration, and receive the continuation
+/// frontier alongside any [`Verdict::Inconclusive`].
+///
+/// Unlike the serial engine's exact continuation, a parallel frontier keeps
+/// only the merged visited set, the outstanding tasks and the best recorded
+/// witness depth — the verdict and counterexample are nevertheless exact,
+/// because every conclusive [`Verdict::Fail`] is produced by the canonical
+/// bounded serial re-walk, never by the racing pass itself. Callers must
+/// validate the frontier against these exact models first
+/// ([`ParallelFrontier::validate`]).
+pub(crate) fn refine_compiled_resumable(
+    checker: &Checker,
+    norm: &NormalisedLts,
+    model: &CompiledModel,
+    threads: usize,
+    options: &CheckOptions,
+    resume: Option<&ParallelFrontier>,
+) -> Result<(Verdict, Option<ParallelFrontier>, CheckStats), CheckError> {
+    refine_csr_resumable(
+        checker,
+        norm,
+        model.lts(),
+        model.csr(),
+        threads,
+        options,
+        resume,
+    )
 }
 
 fn refine_csr_with_options(
@@ -204,6 +236,20 @@ fn refine_csr_with_options(
     threads: usize,
     options: &CheckOptions,
 ) -> Result<(Verdict, CheckStats), CheckError> {
+    refine_csr_resumable(checker, norm, impl_lts, csr, threads, options, None)
+        .map(|(verdict, _, stats)| (verdict, stats))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn refine_csr_resumable(
+    checker: &Checker,
+    norm: &NormalisedLts,
+    impl_lts: &Lts,
+    csr: &CsrEdges,
+    threads: usize,
+    options: &CheckOptions,
+    resume: Option<&ParallelFrontier>,
+) -> Result<(Verdict, Option<ParallelFrontier>, CheckStats), CheckError> {
     let start = Instant::now();
     let threads = threads.clamp(1, MAX_THREADS);
     let budget = Budget::start(options);
@@ -214,16 +260,20 @@ fn refine_csr_with_options(
         threads,
         checker.max_product(),
         &budget,
+        resume,
     )?;
-    let (raw, exhausted, mut stats) = outcome;
+    let (raw, exhausted, frontier, mut stats) = outcome;
+    if exhausted.is_some() {
+        stats.wall_overshoot = budget.wall_overshoot();
+    }
 
-    let verdict = match raw {
+    let (verdict, frontier) = match raw {
         None => match exhausted {
-            Some(reason) => Verdict::Inconclusive(Inconclusive {
-                states_explored: stats.pairs_discovered,
-                reason,
-            }),
-            None => Verdict::Pass,
+            Some(reason) => (
+                Verdict::Inconclusive(Inconclusive::new(stats.pairs_discovered, reason)),
+                frontier,
+            ),
+            None => (Verdict::Pass, None),
         },
         Some(witness) => {
             // Canonical witness recovery: re-walk the ≤ L sphere with the
@@ -249,8 +299,12 @@ fn refine_csr_with_options(
                 &mut rewalk,
             )?;
             stats.rewalk_expansions = rewalk.expansions;
+            // A resumed run's arenas only reach back to the resume point,
+            // so the recorded trace can be a suffix of the real witness —
+            // the depth is still exact, which is all the re-walk needs.
             debug_assert!(
-                exhausted.is_some()
+                resume.is_some()
+                    || exhausted.is_some()
                     || witness.trace.len()
                         == match &bounded {
                             Verdict::Fail(cex) => cex.trace().len(),
@@ -259,17 +313,20 @@ fn refine_csr_with_options(
                 "recorded and canonical witness lengths must agree"
             );
             match bounded {
-                Verdict::Pass => Verdict::Inconclusive(Inconclusive {
-                    states_explored: stats.pairs_discovered,
-                    reason: exhausted.expect("bounded re-walk can only pass after a budget cut"),
-                }),
-                other => other,
+                Verdict::Pass => (
+                    Verdict::Inconclusive(Inconclusive::new(
+                        stats.pairs_discovered,
+                        exhausted.expect("bounded re-walk can only pass after a budget cut"),
+                    )),
+                    frontier,
+                ),
+                other => (other, None),
             }
         }
     };
     stats.wall = start.elapsed();
     stats.explore_wall = stats.wall;
-    Ok((verdict, stats))
+    Ok((verdict, frontier, stats))
 }
 
 /// A violation as recorded by the parallel pass: the witness rebuilt from
@@ -391,7 +448,9 @@ impl Drop for PanicGuard<'_> {
 }
 
 /// The parallel decision pass. Returns the recorded witness (from parent
-/// arenas) when a violation exists, `None` when the refinement holds.
+/// arenas) when a violation exists, `None` when the refinement holds, plus
+/// a continuation frontier whenever a budget cut the pass short.
+#[allow(clippy::type_complexity)]
 fn explore(
     norm: &NormalisedLts,
     csr: &CsrEdges,
@@ -399,7 +458,16 @@ fn explore(
     threads: usize,
     max_product: usize,
     budget: &Budget,
-) -> Result<(Option<RecordedWitness>, Option<BudgetReason>, CheckStats), CheckError> {
+    resume: Option<&ParallelFrontier>,
+) -> Result<
+    (
+        Option<RecordedWitness>,
+        Option<BudgetReason>,
+        Option<ParallelFrontier>,
+        CheckStats,
+    ),
+    CheckError,
+> {
     let shard_count = (threads.next_power_of_two() * 16).clamp(16, 512);
     let shards: Vec<CachePadded<Mutex<HashMap<Pair, u32>>>> = (0..shard_count)
         .map(|_| CachePadded::new(Mutex::new(HashMap::new())))
@@ -425,58 +493,110 @@ fn explore(
         budget: *budget,
     };
 
-    // Seed: the root pair lives in worker 0's arena at index 0 and is
-    // published through the injector so whichever worker starts first
-    // claims it.
+    // Seed. On a fresh run the root pair lives in worker 0's arena at
+    // index 0 and is published through the injector so whichever worker
+    // starts first claims it. On a resumed run the checkpoint's visited
+    // set repopulates the shards and every outstanding task is republished
+    // through the injector with a fresh arena root in worker 0's arena
+    // (parent chains before the interrupt are gone; only witness *depths*
+    // must survive, and they travel inside the tasks).
     let root = (impl_initial, norm.initial());
-    let root_ref = NodeRef { worker: 0, idx: 0 };
-    lock_shard(&shared.shards[shard_of(root, shared.shard_mask)]).insert(root, 0);
-    shared.discovered.store(1, Ordering::Relaxed);
-    shared.pending.store(1, Ordering::Relaxed);
-    shared.injector.push(Task {
-        s: root.0,
-        n: root.1,
-        vlen: 0,
-        node: root_ref,
-    });
+    let mut worker0_arena: Vec<NodeRec> = Vec::new();
+    match resume {
+        Some(f) => {
+            for &(s, n, vlen) in &f.visited {
+                let pair = (
+                    StateId::from_index(s as usize),
+                    NormNodeId::from_index(n as usize),
+                );
+                lock_shard(&shared.shards[shard_of(pair, shared.shard_mask)]).insert(pair, vlen);
+            }
+            shared
+                .discovered
+                .store(f.discovered as usize, Ordering::Relaxed);
+            shared.best.store(f.best, Ordering::Relaxed);
+            shared.pending.store(f.frontier.len(), Ordering::Relaxed);
+            for &(s, n, vlen) in &f.frontier {
+                let node = NodeRef {
+                    worker: 0,
+                    idx: worker0_arena.len() as u32,
+                };
+                worker0_arena.push(NodeRec {
+                    parent: node,
+                    label: None,
+                });
+                shared.injector.push(Task {
+                    s: StateId::from_index(s as usize),
+                    n: NormNodeId::from_index(n as usize),
+                    vlen,
+                    node,
+                });
+            }
+        }
+        None => {
+            let root_ref = NodeRef { worker: 0, idx: 0 };
+            lock_shard(&shared.shards[shard_of(root, shared.shard_mask)]).insert(root, 0);
+            shared.discovered.store(1, Ordering::Relaxed);
+            shared.pending.store(1, Ordering::Relaxed);
+            shared.injector.push(Task {
+                s: root.0,
+                n: root.1,
+                vlen: 0,
+                node: root_ref,
+            });
+            worker0_arena.push(NodeRec {
+                parent: root_ref,
+                label: None,
+            });
+        }
+    }
 
     let mut arenas: Vec<Vec<NodeRec>> = Vec::with_capacity(threads);
     let mut merged = WorkerStats::default();
+    let mut leftover_tasks: Vec<Task> = Vec::new();
     let mut panic_message: Option<String> = None;
 
     crossbeam::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
+        let mut worker0_arena = Some(worker0_arena);
         for (me, local) in locals.into_iter().enumerate() {
             let shared = &shared;
-            let root_arena = (me == 0).then(|| {
-                vec![NodeRec {
-                    parent: root_ref,
-                    label: None,
-                }]
-            });
+            let arena = if me == 0 {
+                worker0_arena.take().expect("worker 0 arena seeded once")
+            } else {
+                Vec::new()
+            };
             handles.push(scope.spawn(move |_| {
                 let mut ctx = WorkerCtx {
                     me: me as u16,
                     local,
-                    arena: root_arena.unwrap_or_default(),
+                    arena,
                     shared,
                     norm,
                     csr,
                     stats: WorkerStats::default(),
                 };
                 ctx.run();
-                (ctx.arena, ctx.stats)
+                // Drain what this worker never got to: on a budget exit
+                // the local deque still holds queued tasks that belong in
+                // the checkpoint frontier (empty on normal completion).
+                let mut leftovers: Vec<Task> = Vec::new();
+                while let Some(task) = ctx.local.pop() {
+                    leftovers.push(task);
+                }
+                (ctx.arena, ctx.stats, leftovers)
             }));
         }
         for handle in handles {
             match handle.join() {
-                Ok((arena, stats)) => {
+                Ok((arena, stats, leftovers)) => {
                     merged.expansions += stats.expansions;
                     merged.transitions += stats.transitions;
                     merged.steals += stats.steals;
                     merged.frontier_peak = merged.frontier_peak.max(stats.frontier_peak);
                     merged.busy += stats.busy;
                     arenas.push(arena);
+                    leftover_tasks.extend(leftovers);
                 }
                 Err(payload) => {
                     panic_message.get_or_insert_with(|| panic_text(payload.as_ref()));
@@ -501,14 +621,18 @@ fn explore(
         .lock()
         .unwrap_or_else(PoisonError::into_inner);
 
+    // Counters accumulate across interrupt/resume so the final stats read
+    // as if the run had never stopped.
     let mut stats = CheckStats {
         threads,
         shards: shard_count,
         pairs_discovered: shared.discovered.load(Ordering::Relaxed) as u64,
-        expansions: merged.expansions,
-        transitions: merged.transitions,
-        frontier_peak: merged.frontier_peak,
-        steals: merged.steals,
+        expansions: merged.expansions + resume.map_or(0, |f| f.expansions),
+        transitions: merged.transitions + resume.map_or(0, |f| f.transitions),
+        frontier_peak: merged
+            .frontier_peak
+            .max(resume.map_or(0, |f| f.frontier_peak)),
+        steals: merged.steals + resume.map_or(0, |f| f.steals),
         shard_peak: 0,
         rewalk_expansions: 0,
         wall: Duration::ZERO,
@@ -519,19 +643,70 @@ fn explore(
         stats.shard_peak = stats.shard_peak.max(lock_shard(shard).len() as u64);
     }
 
+    // Capture the continuation frontier on a budget exit: every task still
+    // queued in a worker deque or the injector, plus the merged visited
+    // set. Sorted so the checkpoint bytes are stable for a given cut.
+    let frontier = exhausted.is_some().then(|| {
+        let mut tasks: Vec<(u32, u32, u32)> = leftover_tasks
+            .iter()
+            .map(|t| (t.s.index() as u32, t.n.index() as u32, t.vlen))
+            .collect();
+        loop {
+            match shared.injector.steal() {
+                Steal::Success(task) => {
+                    tasks.push((task.s.index() as u32, task.n.index() as u32, task.vlen));
+                }
+                Steal::Retry => {}
+                Steal::Empty => break,
+            }
+        }
+        tasks.sort_unstable();
+        let mut visited: Vec<(u32, u32, u32)> = Vec::with_capacity(stats.pairs_discovered as usize);
+        for shard in &shared.shards {
+            visited.extend(
+                lock_shard(shard)
+                    .iter()
+                    .map(|(&(s, n), &vlen)| (s.index() as u32, n.index() as u32, vlen)),
+            );
+        }
+        visited.sort_unstable();
+        ParallelFrontier {
+            visited,
+            frontier: tasks,
+            discovered: stats.pairs_discovered,
+            best: shared.best.load(Ordering::Relaxed),
+            expansions: stats.expansions,
+            transitions: stats.transitions,
+            steals: stats.steals,
+            frontier_peak: stats.frontier_peak,
+        }
+    });
+
     let witness = shared
         .candidate
         .lock()
         .unwrap_or_else(PoisonError::into_inner)
         .map(|candidate| {
             let trace = recorded_trace(&arenas, candidate.node);
-            debug_assert_eq!(trace.len() as u32, candidate.vlen);
+            // Resumed arenas only reach back to the resume point, so the
+            // rebuilt trace can be a suffix; its depth is still exact.
+            debug_assert!(resume.is_some() || trace.len() as u32 == candidate.vlen);
             RecordedWitness {
                 trace,
                 vlen: candidate.vlen,
             }
+        })
+        .or_else(|| {
+            // A violation recorded before the interrupt survives only as
+            // the seeded pruning bound; resurrect it so the canonical
+            // re-walk still runs and the verdict stays conclusive.
+            let best = shared.best.load(Ordering::Relaxed);
+            (best != u32::MAX).then(|| RecordedWitness {
+                trace: Trace::empty(),
+                vlen: best,
+            })
         });
-    Ok((witness, exhausted, stats))
+    Ok((witness, exhausted, frontier, stats))
 }
 
 fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
@@ -599,6 +774,17 @@ impl WorkerCtx<'_> {
             }
             match self.find_task() {
                 Some(task) => {
+                    // State budget: checked between tasks, so an expansion
+                    // is atomic — a task either fully expands (all its
+                    // successors offered) or goes back in the deque for the
+                    // checkpoint frontier. A mid-expansion cut would leave
+                    // a half-offered task that no resume could finish.
+                    let count = self.shared.discovered.load(Ordering::Relaxed) as u64;
+                    if let Some(reason) = self.shared.budget.states_exceeded(count) {
+                        self.shared.exhaust(reason);
+                        self.local.push(task);
+                        break;
+                    }
                     backoff.reset();
                     processed += 1;
                     self.process(task);
@@ -714,10 +900,6 @@ impl WorkerCtx<'_> {
                     let count = self.shared.discovered.fetch_add(1, Ordering::Relaxed) + 1;
                     if count > self.shared.max_product {
                         self.shared.overflow.store(true, Ordering::Relaxed);
-                        return;
-                    }
-                    if let Some(reason) = self.shared.budget.states_exceeded(count as u64) {
-                        self.shared.exhaust(reason);
                         return;
                     }
                     entry.insert(vlen);
@@ -860,16 +1042,18 @@ mod tests {
         let norm = c.normalise(&spec_lts).unwrap();
         let impl_lts = c.compile(&impl_, &defs).unwrap();
         let csr = impl_lts.to_csr();
-        let (witness, exhausted, _) = explore(
+        let (witness, exhausted, frontier, _) = explore(
             &norm,
             &csr,
             impl_lts.initial(),
             4,
             1_000_000,
             &Budget::unbounded(),
+            None,
         )
         .unwrap();
         assert!(exhausted.is_none());
+        assert!(frontier.is_none());
         let witness = witness.expect("violation expected");
         assert_eq!(witness.vlen, 2);
         assert_eq!(witness.trace.len(), 2);

@@ -1,0 +1,1900 @@
+//! Crash-safe on-disk persistence for the checking stack.
+//!
+//! Two durable artifact families live here:
+//!
+//! 1. **Model cache** — compiled [`Lts`]s and normalised specifications,
+//!    content-addressed by a 128-bit structural hash of the process term
+//!    (plus the definitions table) together with every checker bound that
+//!    shaped the artifact. Entries are written atomically
+//!    (temp-file + rename), carry a versioned header with the full key
+//!    echoed back, and end in a FNV-1a checksum over everything before it.
+//!    Any integrity failure — torn write, truncation, bit flip, stale
+//!    version — quarantines the entry, records a [`diag::Diagnostic`]
+//!    warning, and falls back to recompiling. A corrupt cache can cost
+//!    time, never correctness.
+//!
+//! 2. **Checkpoints** — the frontier of an interrupted refinement check
+//!    (serial BFS or work-stealing parallel exploration), keyed by a
+//!    deterministic *check id* derived from both model hashes, the
+//!    semantic model, the compile bounds and the engine class. A resumed
+//!    run continues to a verdict bit-identical to an uninterrupted one;
+//!    see `docs/PERSISTENCE.md` for the exact guarantees.
+//!
+//! Concurrent `autocsp` invocations may share one cache directory: writers
+//! take an advisory exclusive lock on `store.lock` around
+//! write + eviction, readers stay lock-free (rename atomicity means a
+//! reader sees either the old complete entry or the new complete entry,
+//! and the checksum rejects anything else).
+//!
+//! Only the *transition structure* of an [`Lts`] is persisted, plus a
+//! per-state Ω flag; every other state term is rehydrated as a
+//! placeholder. This is sound because Ω-ness is the only state-term
+//! property any checking path reads (deadlock detection and the `✓`
+//! handling in refinement) — the CSR snapshot, normalisation and both
+//! engines consume edges only.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::fs::{self, File};
+use std::io::ErrorKind;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use csp::{Definitions, EventId, Label, Lts, Process, StateId};
+use diag::{Code, Diagnostic, Span};
+
+use crate::checker::RefinementModel;
+use crate::normalise::{NormNode, NormNodeId, NormalisedLts};
+
+/// `STO401` — a cache entry failed its checksum or structural validation
+/// and was quarantined; the model was recompiled.
+pub const CORRUPT_ENTRY: Code = Code("STO401");
+/// `STO402` — a cache entry carries an unknown magic/format version and
+/// was quarantined (stale tool version or foreign file).
+pub const STALE_VERSION: Code = Code("STO402");
+/// `STO403` — a cache I/O operation failed; the run degraded to
+/// compiling (or checking) without the cache.
+pub const CACHE_IO: Code = Code("STO403");
+/// `STO404` — entries were evicted to keep the cache under its size cap.
+pub const EVICTED: Code = Code("STO404");
+/// `STO405` — a checkpoint was rejected (corrupt, version-mismatched or
+/// keyed to a different check); the run restarted from scratch.
+pub const BAD_CHECKPOINT: Code = Code("STO405");
+
+const MAGIC_MODEL: &[u8; 8] = b"FDRLMDL\x01";
+const MAGIC_NORM: &[u8; 8] = b"FDRLNRM\x01";
+const MAGIC_CKPT: &[u8; 8] = b"FDRLCKP\x01";
+const FORMAT_VERSION: u32 = 1;
+
+/// Default cache capacity: 256 MiB of `.bin` payload.
+pub const DEFAULT_CAPACITY: u64 = 256 << 20;
+
+// ---------------------------------------------------------------------------
+// Hashing
+// ---------------------------------------------------------------------------
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x100_0000_01b3;
+const MIX: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// FNV-1a over a byte slice; the trailing checksum of every entry.
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h = (h ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// A 128-bit structural hash: two independently mixed accumulators.
+///
+/// 64 bits of structural hash would make an accidental collision — and
+/// with it a *wrong verdict served from cache* — merely improbable;
+/// 128 bits makes it negligible.
+struct Hasher128 {
+    a: u64,
+    b: u64,
+}
+
+impl Hasher128 {
+    fn new() -> Hasher128 {
+        Hasher128 {
+            a: FNV_OFFSET,
+            b: 0x9ae1_6a3b_2f90_404f,
+        }
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.a = (self.a ^ u64::from(v)).wrapping_mul(FNV_PRIME);
+        self.b = (self.b ^ u64::from(v).wrapping_mul(MIX))
+            .rotate_left(29)
+            .wrapping_mul(FNV_PRIME);
+    }
+
+    fn u32(&mut self, v: u32) {
+        for byte in v.to_le_bytes() {
+            self.u8(byte);
+        }
+    }
+
+    fn u64(&mut self, v: u64) {
+        for byte in v.to_le_bytes() {
+            self.u8(byte);
+        }
+    }
+
+    fn h128(&mut self, v: [u64; 2]) {
+        self.u64(v[0]);
+        self.u64(v[1]);
+    }
+
+    fn finish(self) -> [u64; 2] {
+        // A final avalanche so short inputs still differ in every bit.
+        let mut a = self.a ^ self.b.rotate_left(31);
+        a ^= a >> 33;
+        a = a.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        a ^= a >> 33;
+        let mut b = self.b ^ self.a.rotate_left(17);
+        b ^= b >> 29;
+        b = b.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+        b ^= b >> 32;
+        [a, b]
+    }
+}
+
+/// The 128-bit content address of a process term under a definitions table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ModelHash(pub(crate) [u64; 2]);
+
+impl ModelHash {
+    /// 32-hex-digit rendering, used in cache file names and tokens.
+    pub fn to_hex(self) -> String {
+        format!("{:016x}{:016x}", self.0[0], self.0[1])
+    }
+}
+
+impl fmt::Display for ModelHash {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+/// Structural content hash of `p` together with the full definitions table
+/// (recursion bodies are part of a term's meaning).
+///
+/// Shared subtrees (`Arc` children) are memoised by pointer, so the walk is
+/// linear in the number of distinct nodes. Event and definition identity is
+/// hashed by *index*: two scripts that intern the same structure over the
+/// same indices denote the same transition system, whatever the events are
+/// named.
+pub fn content_hash(p: &Process, defs: &Definitions) -> ModelHash {
+    let mut memo: HashMap<usize, [u64; 2]> = HashMap::new();
+    let top = subtree_hash(p, &mut memo);
+    let mut h = Hasher128::new();
+    h.h128(top);
+    h.u32(defs.len() as u32);
+    for id in defs.ids() {
+        match defs.body(id) {
+            Ok(body) => {
+                h.u8(1);
+                let child = child_hash(body, &mut memo);
+                h.h128(child);
+            }
+            Err(_) => h.u8(0),
+        }
+    }
+    ModelHash(h.finish())
+}
+
+fn child_hash(p: &Arc<Process>, memo: &mut HashMap<usize, [u64; 2]>) -> [u64; 2] {
+    let key = Arc::as_ptr(p) as usize;
+    if let Some(&h) = memo.get(&key) {
+        return h;
+    }
+    let h = subtree_hash(p, memo);
+    memo.insert(key, h);
+    h
+}
+
+fn subtree_hash(p: &Process, memo: &mut HashMap<usize, [u64; 2]>) -> [u64; 2] {
+    let mut h = Hasher128::new();
+    match p {
+        Process::Stop => h.u8(0),
+        Process::Skip => h.u8(1),
+        Process::Omega => h.u8(2),
+        Process::Prefix(e, q) => {
+            h.u8(3);
+            h.u32(e.index() as u32);
+            let c = child_hash(q, memo);
+            h.h128(c);
+        }
+        Process::ExternalChoice(children) => {
+            h.u8(4);
+            h.u32(children.len() as u32);
+            for c in children {
+                let ch = child_hash(c, memo);
+                h.h128(ch);
+            }
+        }
+        Process::InternalChoice(children) => {
+            h.u8(5);
+            h.u32(children.len() as u32);
+            for c in children {
+                let ch = child_hash(c, memo);
+                h.h128(ch);
+            }
+        }
+        Process::Seq(a, b) => {
+            h.u8(6);
+            let ha = child_hash(a, memo);
+            h.h128(ha);
+            let hb = child_hash(b, memo);
+            h.h128(hb);
+        }
+        Process::Parallel { sync, left, right } => {
+            h.u8(7);
+            h.u32(sync.len() as u32);
+            for e in sync.iter() {
+                h.u32(e.index() as u32);
+            }
+            let hl = child_hash(left, memo);
+            h.h128(hl);
+            let hr = child_hash(right, memo);
+            h.h128(hr);
+        }
+        Process::Hide(q, set) => {
+            h.u8(8);
+            h.u32(set.len() as u32);
+            for e in set.iter() {
+                h.u32(e.index() as u32);
+            }
+            let c = child_hash(q, memo);
+            h.h128(c);
+        }
+        Process::Rename(q, map) => {
+            h.u8(9);
+            let pairs: Vec<(EventId, EventId)> = map.iter().collect();
+            h.u32(pairs.len() as u32);
+            for (from, to) in pairs {
+                h.u32(from.index() as u32);
+                h.u32(to.index() as u32);
+            }
+            let c = child_hash(q, memo);
+            h.h128(c);
+        }
+        Process::Interrupt(a, b) => {
+            h.u8(10);
+            let ha = child_hash(a, memo);
+            h.h128(ha);
+            let hb = child_hash(b, memo);
+            h.h128(hb);
+        }
+        Process::Timeout(a, b) => {
+            h.u8(11);
+            let ha = child_hash(a, memo);
+            h.h128(ha);
+            let hb = child_hash(b, memo);
+            h.h128(hb);
+        }
+        Process::Var(d) => {
+            h.u8(12);
+            h.u32(d.index() as u32);
+        }
+    }
+    h.finish()
+}
+
+// ---------------------------------------------------------------------------
+// Codec
+// ---------------------------------------------------------------------------
+
+/// Why an entry was rejected; the message is surfaced in the diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum EntryError {
+    /// Checksum/bounds/structure failure: quarantine under [`CORRUPT_ENTRY`].
+    Corrupt(&'static str),
+    /// Unknown magic or format version: quarantine under [`STALE_VERSION`].
+    Version,
+}
+
+type DecResult<T> = Result<T, EntryError>;
+
+fn corrupt<T>(why: &'static str) -> DecResult<T> {
+    Err(EntryError::Corrupt(why))
+}
+
+/// Little-endian append-only encoder.
+struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    fn new(magic: &[u8; 8]) -> Enc {
+        let mut buf = Vec::with_capacity(256);
+        buf.extend_from_slice(magic);
+        buf.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        Enc { buf }
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append the trailing checksum and return the finished entry.
+    fn finish(mut self) -> Vec<u8> {
+        let sum = fnv1a64(&self.buf);
+        self.buf.extend_from_slice(&sum.to_le_bytes());
+        self.buf
+    }
+}
+
+/// Bounds-checked little-endian decoder over a checksum-verified slice.
+struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    /// Verify the trailing checksum and the magic/version header, then
+    /// return a decoder positioned after the header.
+    fn open(bytes: &'a [u8], magic: &[u8; 8]) -> DecResult<Dec<'a>> {
+        if bytes.len() < 8 + 4 + 8 {
+            return corrupt("entry truncated below header size");
+        }
+        let (body, sum) = bytes.split_at(bytes.len() - 8);
+        let expect = u64::from_le_bytes(sum.try_into().expect("8-byte slice"));
+        if fnv1a64(body) != expect {
+            return corrupt("checksum mismatch");
+        }
+        if &body[..8] != magic {
+            return Err(EntryError::Version);
+        }
+        let version = u32::from_le_bytes(body[8..12].try_into().expect("4-byte slice"));
+        if version != FORMAT_VERSION {
+            return Err(EntryError::Version);
+        }
+        Ok(Dec { buf: body, pos: 12 })
+    }
+
+    fn u8(&mut self) -> DecResult<u8> {
+        let Some(&v) = self.buf.get(self.pos) else {
+            return corrupt("unexpected end of entry");
+        };
+        self.pos += 1;
+        Ok(v)
+    }
+
+    fn u32(&mut self) -> DecResult<u32> {
+        let Some(raw) = self.buf.get(self.pos..self.pos + 4) else {
+            return corrupt("unexpected end of entry");
+        };
+        self.pos += 4;
+        Ok(u32::from_le_bytes(raw.try_into().expect("4-byte slice")))
+    }
+
+    fn u64(&mut self) -> DecResult<u64> {
+        let Some(raw) = self.buf.get(self.pos..self.pos + 8) else {
+            return corrupt("unexpected end of entry");
+        };
+        self.pos += 8;
+        Ok(u64::from_le_bytes(raw.try_into().expect("8-byte slice")))
+    }
+
+    /// A length prefix that must leave at least `min_per_item` bytes per
+    /// item in the remaining input (rejects absurd lengths early).
+    fn len(&mut self, min_per_item: usize) -> DecResult<usize> {
+        let n = self.u32()? as usize;
+        if n.saturating_mul(min_per_item) > self.buf.len() - self.pos {
+            return corrupt("length prefix exceeds entry size");
+        }
+        Ok(n)
+    }
+
+    fn done(&self) -> DecResult<()> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            corrupt("trailing bytes after payload")
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Keys
+// ---------------------------------------------------------------------------
+
+/// Disk key of a compiled model: content hash + every bound that shaped it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) struct ModelKey {
+    pub hash: ModelHash,
+    pub max_states: u64,
+    pub compress: bool,
+}
+
+impl ModelKey {
+    fn file_name(&self) -> String {
+        format!(
+            "m-{}-{:x}-{}.bin",
+            self.hash.to_hex(),
+            self.max_states,
+            u8::from(self.compress)
+        )
+    }
+
+    fn encode(&self, enc: &mut Enc) {
+        enc.u64(self.hash.0[0]);
+        enc.u64(self.hash.0[1]);
+        enc.u64(self.max_states);
+        enc.u8(u8::from(self.compress));
+    }
+
+    fn check_echo(&self, dec: &mut Dec<'_>) -> DecResult<()> {
+        let echo = ModelKey {
+            hash: ModelHash([dec.u64()?, dec.u64()?]),
+            max_states: dec.u64()?,
+            compress: match dec.u8()? {
+                0 => false,
+                1 => true,
+                _ => return corrupt("compress flag out of range"),
+            },
+        };
+        if echo == *self {
+            Ok(())
+        } else {
+            corrupt("key echo does not match requested key")
+        }
+    }
+}
+
+/// Disk key of a normalised specification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) struct NormDiskKey {
+    pub model: ModelKey,
+    pub max_norm_nodes: u64,
+}
+
+impl NormDiskKey {
+    fn file_name(&self) -> String {
+        format!(
+            "n-{}-{:x}-{}-{:x}.bin",
+            self.model.hash.to_hex(),
+            self.model.max_states,
+            u8::from(self.model.compress),
+            self.max_norm_nodes
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// LTS / normal-form payloads
+// ---------------------------------------------------------------------------
+
+fn encode_lts(enc: &mut Enc, lts: &Lts) {
+    let n = lts.state_count();
+    enc.u32(n as u32);
+    let mut omega = vec![0u8; n.div_ceil(8)];
+    for s in lts.state_ids() {
+        if matches!(lts.state(s), Process::Omega) {
+            omega[s.index() / 8] |= 1 << (s.index() % 8);
+        }
+    }
+    enc.buf.extend_from_slice(&omega);
+    for s in lts.state_ids() {
+        let edges = lts.edges(s);
+        enc.u32(edges.len() as u32);
+        for &(label, target) in edges {
+            match label {
+                Label::Tau => enc.u8(0),
+                Label::Tick => enc.u8(1),
+                Label::Event(e) => {
+                    enc.u8(2);
+                    enc.u32(e.index() as u32);
+                }
+            }
+            enc.u32(target.index() as u32);
+        }
+    }
+}
+
+fn decode_lts(dec: &mut Dec<'_>) -> DecResult<Lts> {
+    let n = dec.len(1)?;
+    if n == 0 {
+        return corrupt("empty state table");
+    }
+    let mut omega = vec![false; n];
+    for chunk in 0..n.div_ceil(8) {
+        let byte = dec.u8()?;
+        for bit in 0..8 {
+            let idx = chunk * 8 + bit;
+            if idx < n {
+                omega[idx] = byte & (1 << bit) != 0;
+            } else if byte & (1 << bit) != 0 {
+                return corrupt("omega bitset has bits past the state count");
+            }
+        }
+    }
+    let mut transitions: Vec<Vec<(Label, StateId)>> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let e = dec.len(5)?;
+        let mut edges: Vec<(Label, StateId)> = Vec::with_capacity(e);
+        for _ in 0..e {
+            let label = match dec.u8()? {
+                0 => Label::Tau,
+                1 => Label::Tick,
+                2 => Label::Event(EventId::from_index(dec.u32()? as usize)),
+                _ => return corrupt("unknown edge label tag"),
+            };
+            let target = dec.u32()? as usize;
+            if target >= n {
+                return corrupt("edge target out of range");
+            }
+            edges.push((label, StateId::from_index(target)));
+        }
+        if !edges.windows(2).all(|w| w[0] < w[1]) {
+            return corrupt("edge list not strictly sorted");
+        }
+        transitions.push(edges);
+    }
+    let states: Vec<Process> = omega
+        .into_iter()
+        // Only Ω-ness is observable through the checking API; every other
+        // state term is a placeholder (see the module docs).
+        .map(|is_omega| {
+            if is_omega {
+                Process::Omega
+            } else {
+                Process::Stop
+            }
+        })
+        .collect();
+    Ok(Lts::from_parts(states, transitions))
+}
+
+fn encode_norm(enc: &mut Enc, norm: &NormalisedLts) {
+    let nodes = norm.raw_nodes();
+    enc.u32(nodes.len() as u32);
+    for node in nodes {
+        enc.u32(node.after.len() as u32);
+        for (&event, &target) in &node.after {
+            enc.u32(event.index() as u32);
+            enc.u32(target.index() as u32);
+        }
+        enc.u8(u8::from(node.allows_tick));
+        enc.u8(u8::from(node.divergent));
+        enc.u32(node.acceptances.len() as u32);
+        for acc in &node.acceptances {
+            enc.u8(u8::from(acc.tick));
+            enc.u32(acc.events.len() as u32);
+            for e in acc.events.iter() {
+                enc.u32(e.index() as u32);
+            }
+        }
+    }
+}
+
+fn decode_norm(dec: &mut Dec<'_>) -> DecResult<NormalisedLts> {
+    use crate::normalise::Acceptance;
+    let n = dec.len(1)?;
+    if n == 0 {
+        return corrupt("empty normal form");
+    }
+    let mut nodes: Vec<NormNode> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let after_len = dec.len(8)?;
+        let mut after = std::collections::BTreeMap::new();
+        let mut prev: Option<u32> = None;
+        for _ in 0..after_len {
+            let event = dec.u32()?;
+            if prev.is_some_and(|p| p >= event) {
+                return corrupt("after-map events not strictly sorted");
+            }
+            prev = Some(event);
+            let target = dec.u32()? as usize;
+            if target >= n {
+                return corrupt("after-map target out of range");
+            }
+            after.insert(
+                EventId::from_index(event as usize),
+                NormNodeId::from_index(target),
+            );
+        }
+        let allows_tick = match dec.u8()? {
+            0 => false,
+            1 => true,
+            _ => return corrupt("tick flag out of range"),
+        };
+        let divergent = match dec.u8()? {
+            0 => false,
+            1 => true,
+            _ => return corrupt("divergence flag out of range"),
+        };
+        let acc_len = dec.len(5)?;
+        let mut acceptances: Vec<Acceptance> = Vec::with_capacity(acc_len);
+        for _ in 0..acc_len {
+            let tick = match dec.u8()? {
+                0 => false,
+                1 => true,
+                _ => return corrupt("acceptance tick flag out of range"),
+            };
+            let ev_len = dec.len(4)?;
+            let mut events: Vec<EventId> = Vec::with_capacity(ev_len);
+            let mut prev: Option<u32> = None;
+            for _ in 0..ev_len {
+                let e = dec.u32()?;
+                if prev.is_some_and(|p| p >= e) {
+                    return corrupt("acceptance events not strictly sorted");
+                }
+                prev = Some(e);
+                events.push(EventId::from_index(e as usize));
+            }
+            acceptances.push(Acceptance {
+                events: events.into_iter().collect(),
+                tick,
+            });
+        }
+        nodes.push(NormNode {
+            after,
+            allows_tick,
+            acceptances,
+            divergent,
+        });
+    }
+    Ok(NormalisedLts::from_raw_nodes(nodes))
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoints
+// ---------------------------------------------------------------------------
+
+/// Identity of one refinement check: both content hashes, the semantic
+/// model, the compile bounds and the engine class. Deliberately excludes
+/// the *budget* (`max_states` / `max_wall_ms` of [`crate::CheckOptions`])
+/// so a run interrupted under one budget can resume under another.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CheckId(pub(crate) [u64; 2]);
+
+impl CheckId {
+    /// The resume token carried in `Verdict::Inconclusive`.
+    pub fn token(&self) -> String {
+        format!("{:016x}{:016x}", self.0[0], self.0[1])
+    }
+
+    /// Parse a token back into an id (32 hex digits).
+    pub fn from_token(token: &str) -> Option<CheckId> {
+        if token.len() != 32 || !token.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return None;
+        }
+        let a = u64::from_str_radix(&token[..16], 16).ok()?;
+        let b = u64::from_str_radix(&token[16..], 16).ok()?;
+        Some(CheckId([a, b]))
+    }
+}
+
+impl fmt::Display for CheckId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.token())
+    }
+}
+
+/// Everything that determines a check's identity (see [`CheckId`]).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct CheckIdParts {
+    pub spec: ModelHash,
+    pub impl_: ModelHash,
+    pub model: RefinementModel,
+    pub max_states: u64,
+    pub max_norm_nodes: u64,
+    pub max_product: u64,
+    pub compress: bool,
+    pub parallel: bool,
+}
+
+impl CheckIdParts {
+    pub(crate) fn id(&self) -> CheckId {
+        let mut h = Hasher128::new();
+        h.h128(self.spec.0);
+        h.h128(self.impl_.0);
+        h.u8(match self.model {
+            RefinementModel::Traces => 0,
+            RefinementModel::Failures => 1,
+        });
+        h.u64(self.max_states);
+        h.u64(self.max_norm_nodes);
+        h.u64(self.max_product);
+        h.u8(u8::from(self.compress));
+        h.u8(u8::from(self.parallel));
+        CheckId(h.finish())
+    }
+}
+
+/// One node of the serial explorer's parent-pointer table. `label` is the
+/// visible event on the edge from the parent (`None` for τ edges and the
+/// root), exactly as the explorer records it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct CkptNode {
+    pub s: u32,
+    pub n: u32,
+    pub vlen: u32,
+    pub parent: u32,
+    pub label: Option<EventId>,
+}
+
+/// The complete continuation state of an interrupted serial 0-1 BFS.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct SerialFrontier {
+    /// Full node table (pair, visible depth, parent pointer, edge label).
+    pub nodes: Vec<CkptNode>,
+    /// Pending node indices, front to back, exactly as the deque stood.
+    pub deque: Vec<u32>,
+    pub pairs_discovered: u64,
+    pub expansions: u64,
+    pub transitions: u64,
+    pub frontier_peak: u64,
+}
+
+impl SerialFrontier {
+    /// Structural validity against the models the resume will run over.
+    pub(crate) fn validate(&self, impl_states: usize, norm_nodes: usize) -> bool {
+        let n = self.nodes.len() as u32;
+        !self.nodes.is_empty()
+            && self.nodes.iter().all(|node| {
+                (node.s as usize) < impl_states && (node.n as usize) < norm_nodes && node.parent < n
+            })
+            && self.deque.iter().all(|&idx| idx < n)
+    }
+}
+
+/// The continuation state of an interrupted parallel exploration: the
+/// merged visited set, the outstanding tasks, and the best violation
+/// depth seen so far (`u32::MAX` when none).
+///
+/// No parent pointers are persisted: the canonical counterexample is
+/// always recovered by a depth-bounded serial re-walk, which needs only
+/// `best`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct ParallelFrontier {
+    /// `(impl state, spec node, best visible depth)` for every visited pair.
+    pub visited: Vec<(u32, u32, u32)>,
+    /// `(impl state, spec node, visible depth)` for every pending task.
+    pub frontier: Vec<(u32, u32, u32)>,
+    pub discovered: u64,
+    pub best: u32,
+    pub expansions: u64,
+    pub transitions: u64,
+    pub steals: u64,
+    pub frontier_peak: u64,
+}
+
+impl ParallelFrontier {
+    /// Structural validity against the models the resume will run over.
+    pub(crate) fn validate(&self, impl_states: usize, norm_nodes: usize) -> bool {
+        let ok =
+            |&(s, n, _): &(u32, u32, u32)| (s as usize) < impl_states && (n as usize) < norm_nodes;
+        !self.visited.is_empty() && self.visited.iter().all(ok) && self.frontier.iter().all(ok)
+    }
+}
+
+/// Engine-specific continuation data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum EngineFrontier {
+    Serial(SerialFrontier),
+    Parallel(ParallelFrontier),
+}
+
+/// A durable checkpoint: check identity plus the engine frontier.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Checkpoint {
+    pub id: CheckId,
+    pub model: RefinementModel,
+    pub frontier: EngineFrontier,
+}
+
+fn encode_checkpoint(ckpt: &Checkpoint) -> Vec<u8> {
+    let mut enc = Enc::new(MAGIC_CKPT);
+    enc.u64(ckpt.id.0[0]);
+    enc.u64(ckpt.id.0[1]);
+    enc.u8(match ckpt.model {
+        RefinementModel::Traces => 0,
+        RefinementModel::Failures => 1,
+    });
+    match &ckpt.frontier {
+        EngineFrontier::Serial(f) => {
+            enc.u8(1);
+            enc.u32(f.nodes.len() as u32);
+            for node in &f.nodes {
+                enc.u32(node.s);
+                enc.u32(node.n);
+                enc.u32(node.vlen);
+                enc.u32(node.parent);
+                match node.label {
+                    None => enc.u8(0),
+                    Some(e) => {
+                        enc.u8(1);
+                        enc.u32(e.index() as u32);
+                    }
+                }
+            }
+            enc.u32(f.deque.len() as u32);
+            for &idx in &f.deque {
+                enc.u32(idx);
+            }
+            enc.u64(f.pairs_discovered);
+            enc.u64(f.expansions);
+            enc.u64(f.transitions);
+            enc.u64(f.frontier_peak);
+        }
+        EngineFrontier::Parallel(f) => {
+            enc.u8(2);
+            enc.u32(f.visited.len() as u32);
+            for &(s, n, d) in &f.visited {
+                enc.u32(s);
+                enc.u32(n);
+                enc.u32(d);
+            }
+            enc.u32(f.frontier.len() as u32);
+            for &(s, n, v) in &f.frontier {
+                enc.u32(s);
+                enc.u32(n);
+                enc.u32(v);
+            }
+            enc.u64(f.discovered);
+            enc.u32(f.best);
+            enc.u64(f.expansions);
+            enc.u64(f.transitions);
+            enc.u64(f.steals);
+            enc.u64(f.frontier_peak);
+        }
+    }
+    enc.finish()
+}
+
+fn decode_checkpoint(bytes: &[u8], want: CheckId) -> DecResult<Checkpoint> {
+    let mut dec = Dec::open(bytes, MAGIC_CKPT)?;
+    let id = CheckId([dec.u64()?, dec.u64()?]);
+    if id != want {
+        return corrupt("checkpoint is keyed to a different check");
+    }
+    let model = match dec.u8()? {
+        0 => RefinementModel::Traces,
+        1 => RefinementModel::Failures,
+        _ => return corrupt("unknown refinement model tag"),
+    };
+    let frontier = match dec.u8()? {
+        1 => {
+            let n = dec.len(17)?;
+            let mut nodes = Vec::with_capacity(n);
+            for _ in 0..n {
+                let (s, nn, vlen, parent) = (dec.u32()?, dec.u32()?, dec.u32()?, dec.u32()?);
+                let label = match dec.u8()? {
+                    0 => None,
+                    1 => Some(EventId::from_index(dec.u32()? as usize)),
+                    _ => return corrupt("unknown node label tag"),
+                };
+                nodes.push(CkptNode {
+                    s,
+                    n: nn,
+                    vlen,
+                    parent,
+                    label,
+                });
+            }
+            let d = dec.len(4)?;
+            let mut deque = Vec::with_capacity(d);
+            for _ in 0..d {
+                let idx = dec.u32()?;
+                if idx as usize >= nodes.len() {
+                    return corrupt("deque index out of range");
+                }
+                deque.push(idx);
+            }
+            let f = SerialFrontier {
+                nodes,
+                deque,
+                pairs_discovered: dec.u64()?,
+                expansions: dec.u64()?,
+                transitions: dec.u64()?,
+                frontier_peak: dec.u64()?,
+            };
+            if f.nodes
+                .iter()
+                .any(|node| node.parent as usize >= f.nodes.len())
+            {
+                return corrupt("parent pointer out of range");
+            }
+            EngineFrontier::Serial(f)
+        }
+        2 => {
+            let v = dec.len(12)?;
+            let mut visited = Vec::with_capacity(v);
+            for _ in 0..v {
+                visited.push((dec.u32()?, dec.u32()?, dec.u32()?));
+            }
+            let fr = dec.len(12)?;
+            let mut frontier = Vec::with_capacity(fr);
+            for _ in 0..fr {
+                frontier.push((dec.u32()?, dec.u32()?, dec.u32()?));
+            }
+            EngineFrontier::Parallel(ParallelFrontier {
+                visited,
+                frontier,
+                discovered: dec.u64()?,
+                best: dec.u32()?,
+                expansions: dec.u64()?,
+                transitions: dec.u64()?,
+                steals: dec.u64()?,
+                frontier_peak: dec.u64()?,
+            })
+        }
+        _ => return corrupt("unknown engine tag"),
+    };
+    dec.done()?;
+    Ok(Checkpoint {
+        id,
+        model,
+        frontier,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Persistence configuration
+// ---------------------------------------------------------------------------
+
+/// How a [`crate::ModelStore`] treats existing checkpoints when a check
+/// starts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResumePolicy {
+    /// Never resume; existing checkpoints are left alone.
+    Off,
+    /// Resume any check that has a valid checkpoint on disk.
+    Auto,
+    /// Resume only the check whose identity matches this token
+    /// (`autocsp check --resume <token>`); every other check runs fresh.
+    Token(CheckId),
+}
+
+/// Persistence configuration attached to a [`crate::ModelStore`]: where
+/// artifacts and checkpoints live, how often to checkpoint, and whether to
+/// resume.
+#[derive(Clone)]
+pub struct PersistConfig {
+    /// The on-disk cache backing the store.
+    pub cache: Arc<PersistentCache>,
+    /// Write a checkpoint every this many newly discovered product states
+    /// during long refinements, so an interrupted process loses at most one
+    /// segment of work. `None` checkpoints only when a budget runs out.
+    pub checkpoint_every: Option<u64>,
+    /// Checkpoint-resume policy for this run.
+    pub resume: ResumePolicy,
+}
+
+impl fmt::Debug for PersistConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PersistConfig")
+            .field("cache", &self.cache.root())
+            .field("checkpoint_every", &self.checkpoint_every)
+            .field("resume", &self.resume)
+            .finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Storage-fault hook
+// ---------------------------------------------------------------------------
+
+/// Interception point for deterministic storage-fault injection
+/// (`crates/faults`). The hook sees every encoded entry immediately before
+/// it is written.
+///
+/// Return `false` to suppress the write entirely (simulating a crash
+/// before the rename); return `true` to proceed with the (possibly
+/// mutated) bytes. Mutations model torn writes, truncation, bit flips and
+/// stale-version headers — all of which the load path must reject or
+/// survive.
+pub trait StorageFaultHook: Send + Sync {
+    /// Possibly corrupt `bytes` for the entry `name`; `false` drops the
+    /// write on the floor.
+    fn corrupt(&self, name: &str, bytes: &mut Vec<u8>) -> bool;
+}
+
+// ---------------------------------------------------------------------------
+// The cache
+// ---------------------------------------------------------------------------
+
+/// A crash-safe, size-capped, content-addressed cache directory.
+///
+/// See the module docs for the format and concurrency story. All methods
+/// are infallible from the caller's point of view: any I/O or integrity
+/// problem degrades to a miss (plus a diagnostic), never an error or a
+/// wrong artifact.
+pub struct PersistentCache {
+    root: PathBuf,
+    max_bytes: u64,
+    hook: Mutex<Option<Arc<dyn StorageFaultHook>>>,
+    diags: Mutex<Vec<Diagnostic>>,
+    disk_hits: AtomicU64,
+    disk_misses: AtomicU64,
+    quarantined: AtomicU64,
+    evicted: AtomicU64,
+}
+
+impl fmt::Debug for PersistentCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PersistentCache")
+            .field("root", &self.root)
+            .field("max_bytes", &self.max_bytes)
+            .finish_non_exhaustive()
+    }
+}
+
+impl PersistentCache {
+    /// Open (creating if needed) a cache directory with the
+    /// [`DEFAULT_CAPACITY`] size cap.
+    ///
+    /// # Errors
+    ///
+    /// Only directory creation can fail; everything after open degrades
+    /// gracefully instead of erroring.
+    pub fn open(dir: impl AsRef<Path>) -> std::io::Result<PersistentCache> {
+        PersistentCache::with_capacity(dir, DEFAULT_CAPACITY)
+    }
+
+    /// Open with an explicit size cap in bytes.
+    ///
+    /// # Errors
+    ///
+    /// Only directory creation can fail.
+    pub fn with_capacity(
+        dir: impl AsRef<Path>,
+        max_bytes: u64,
+    ) -> std::io::Result<PersistentCache> {
+        let root = dir.as_ref().to_path_buf();
+        fs::create_dir_all(root.join("quarantine"))?;
+        fs::create_dir_all(root.join("checkpoints"))?;
+        Ok(PersistentCache {
+            root,
+            max_bytes,
+            hook: Mutex::new(None),
+            diags: Mutex::new(Vec::new()),
+            disk_hits: AtomicU64::new(0),
+            disk_misses: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
+        })
+    }
+
+    /// The cache directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Install a storage-fault interception hook (testing/fault-injection).
+    pub fn set_fault_hook(&self, hook: Arc<dyn StorageFaultHook>) {
+        *self.hook.lock().expect("hook lock poisoned") = Some(hook);
+    }
+
+    /// Drain the diagnostics accumulated since the last call.
+    pub fn take_diagnostics(&self) -> Vec<Diagnostic> {
+        std::mem::take(&mut *self.diags.lock().expect("diag lock poisoned"))
+    }
+
+    /// Entries served from disk so far.
+    pub fn disk_hits(&self) -> u64 {
+        self.disk_hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that fell through to a recompile so far.
+    pub fn disk_misses(&self) -> u64 {
+        self.disk_misses.load(Ordering::Relaxed)
+    }
+
+    /// Entries quarantined after integrity failures so far.
+    pub fn quarantined(&self) -> u64 {
+        self.quarantined.load(Ordering::Relaxed)
+    }
+
+    /// Entries evicted by the size cap so far.
+    pub fn evicted(&self) -> u64 {
+        self.evicted.load(Ordering::Relaxed)
+    }
+
+    fn push_diag(&self, d: Diagnostic) {
+        self.diags.lock().expect("diag lock poisoned").push(d);
+    }
+
+    /// Advisory exclusive lock held for the duration of the returned guard
+    /// (released on drop). `None` if locking itself fails — the caller
+    /// proceeds unlocked rather than failing the run.
+    fn lock_exclusive(&self) -> Option<File> {
+        let path = self.root.join("store.lock");
+        let file = File::create(&path).ok()?;
+        match file.lock() {
+            Ok(()) => Some(file),
+            Err(_) => None,
+        }
+    }
+
+    /// Stamp `name`'s LRU sidecar with the current wall-clock micros.
+    fn touch(&self, name: &str) {
+        let stamp = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| u64::try_from(d.as_micros()).unwrap_or(u64::MAX))
+            .unwrap_or(0);
+        let _ = fs::write(self.root.join(format!("{name}.used")), stamp.to_le_bytes());
+    }
+
+    fn used_stamp(&self, name: &str) -> u64 {
+        fs::read(self.root.join(format!("{name}.used")))
+            .ok()
+            .and_then(|b| b.try_into().ok().map(u64::from_le_bytes))
+            .unwrap_or(0)
+    }
+
+    /// Atomically write `bytes` to `rel` (under the store lock), then
+    /// enforce the size cap. The fault hook sees the bytes first.
+    fn write_entry(&self, rel: &str, mut bytes: Vec<u8>) {
+        let hook = self.hook.lock().expect("hook lock poisoned").clone();
+        if let Some(hook) = hook {
+            if !hook.corrupt(rel, &mut bytes) {
+                return; // injected crash before the write ever happened
+            }
+        }
+        let _guard = self.lock_exclusive();
+        let final_path = self.root.join(rel);
+        let tmp_path = self.root.join(format!(
+            ".tmp-{}-{}",
+            std::process::id(),
+            rel.replace('/', "_")
+        ));
+        let written =
+            fs::write(&tmp_path, &bytes).and_then(|()| fs::rename(&tmp_path, &final_path));
+        match written {
+            Ok(()) => {
+                if !rel.contains('/') {
+                    self.touch(rel);
+                    self.enforce_capacity(rel);
+                }
+            }
+            Err(e) => {
+                let _ = fs::remove_file(&tmp_path);
+                self.push_diag(
+                    Diagnostic::warning(
+                        CACHE_IO,
+                        Span::unknown(),
+                        format!("failed to write cache entry `{rel}`: {e}"),
+                    )
+                    .with_note("the run continues without persisting this artifact"),
+                );
+            }
+        }
+    }
+
+    /// Evict least-recently-used `.bin` entries until the cache is under
+    /// its size cap. `protect` (the entry just written) is never evicted.
+    pub(crate) fn enforce_capacity(&self, protect: &str) {
+        let Ok(dir) = fs::read_dir(&self.root) else {
+            return;
+        };
+        let mut entries: Vec<(String, u64)> = Vec::new();
+        let mut total: u64 = 0;
+        for entry in dir.flatten() {
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if !name.ends_with(".bin") || !(name.starts_with("m-") || name.starts_with("n-")) {
+                continue;
+            }
+            let size = entry.metadata().map_or(0, |m| m.len());
+            total += size;
+            entries.push((name, size));
+        }
+        if total <= self.max_bytes {
+            return;
+        }
+        entries.sort_by_key(|(name, _)| (self.used_stamp(name), name.clone()));
+        let mut removed = 0u64;
+        for (name, size) in entries {
+            if total <= self.max_bytes {
+                break;
+            }
+            if name == protect {
+                continue;
+            }
+            if fs::remove_file(self.root.join(&name)).is_ok() {
+                let _ = fs::remove_file(self.root.join(format!("{name}.used")));
+                total -= size;
+                removed += 1;
+            }
+        }
+        if removed > 0 {
+            self.evicted.fetch_add(removed, Ordering::Relaxed);
+            self.push_diag(Diagnostic::info(
+                EVICTED,
+                Span::unknown(),
+                format!(
+                    "evicted {removed} cache entr{} to stay under the size cap",
+                    if removed == 1 { "y" } else { "ies" }
+                ),
+            ));
+        }
+    }
+
+    /// Move a bad entry out of the lookup path and record why.
+    fn quarantine(&self, name: &str, err: EntryError) {
+        let from = self.root.join(name);
+        let to = self.root.join("quarantine").join(name);
+        if fs::rename(&from, &to).is_err() {
+            let _ = fs::remove_file(&from);
+        }
+        let _ = fs::remove_file(self.root.join(format!("{name}.used")));
+        self.quarantined.fetch_add(1, Ordering::Relaxed);
+        let (code, why) = match err {
+            EntryError::Corrupt(why) => (CORRUPT_ENTRY, why),
+            EntryError::Version => (STALE_VERSION, "unknown magic or format version"),
+        };
+        self.push_diag(
+            Diagnostic::warning(
+                code,
+                Span::unknown(),
+                format!("quarantined cache entry `{name}`: {why}"),
+            )
+            .with_note(
+                "the model was recompiled; delete the quarantine directory to reclaim space",
+            ),
+        );
+    }
+
+    fn read_entry(&self, name: &str) -> Option<Vec<u8>> {
+        match fs::read(self.root.join(name)) {
+            Ok(bytes) => Some(bytes),
+            Err(e) if e.kind() == ErrorKind::NotFound => None,
+            Err(e) => {
+                self.push_diag(Diagnostic::warning(
+                    CACHE_IO,
+                    Span::unknown(),
+                    format!("failed to read cache entry `{name}`: {e}"),
+                ));
+                None
+            }
+        }
+    }
+
+    /// Load a compiled model, or `None` (after quarantining) on any miss
+    /// or integrity failure.
+    pub(crate) fn load_model(&self, key: &ModelKey) -> Option<Lts> {
+        let name = key.file_name();
+        let Some(bytes) = self.read_entry(&name) else {
+            self.disk_misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        };
+        let decoded = (|| {
+            let mut dec = Dec::open(&bytes, MAGIC_MODEL)?;
+            key.check_echo(&mut dec)?;
+            let lts = decode_lts(&mut dec)?;
+            dec.done()?;
+            Ok(lts)
+        })();
+        match decoded {
+            Ok(lts) => {
+                self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                self.touch(&name);
+                Some(lts)
+            }
+            Err(err) => {
+                self.quarantine(&name, err);
+                self.disk_misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Persist a compiled model (best effort).
+    pub(crate) fn store_model(&self, key: &ModelKey, lts: &Lts) {
+        let mut enc = Enc::new(MAGIC_MODEL);
+        key.encode(&mut enc);
+        encode_lts(&mut enc, lts);
+        self.write_entry(&key.file_name(), enc.finish());
+    }
+
+    /// Load a normalised specification, or `None` on miss/corruption.
+    pub(crate) fn load_norm(&self, key: &NormDiskKey) -> Option<NormalisedLts> {
+        let name = key.file_name();
+        let Some(bytes) = self.read_entry(&name) else {
+            self.disk_misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        };
+        let decoded = (|| {
+            let mut dec = Dec::open(&bytes, MAGIC_NORM)?;
+            key.model.check_echo(&mut dec)?;
+            let norm_bound = dec.u64()?;
+            if norm_bound != key.max_norm_nodes {
+                return corrupt("key echo does not match requested key");
+            }
+            let norm = decode_norm(&mut dec)?;
+            dec.done()?;
+            Ok(norm)
+        })();
+        match decoded {
+            Ok(norm) => {
+                self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                self.touch(&name);
+                Some(norm)
+            }
+            Err(err) => {
+                self.quarantine(&name, err);
+                self.disk_misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Persist a normalised specification (best effort).
+    pub(crate) fn store_norm(&self, key: &NormDiskKey, norm: &NormalisedLts) {
+        let mut enc = Enc::new(MAGIC_NORM);
+        key.model.encode(&mut enc);
+        enc.u64(key.max_norm_nodes);
+        encode_norm(&mut enc, norm);
+        self.write_entry(&key.file_name(), enc.finish());
+    }
+
+    /// Persist a checkpoint under its check id (best effort).
+    pub(crate) fn save_checkpoint(&self, ckpt: &Checkpoint) {
+        let rel = format!("checkpoints/{}.ckpt", ckpt.id.token());
+        self.write_entry(&rel, encode_checkpoint(ckpt));
+    }
+
+    /// Load the checkpoint for `id`, or `None` (with a [`BAD_CHECKPOINT`]
+    /// diagnostic if a file existed but was rejected).
+    pub(crate) fn load_checkpoint(&self, id: CheckId) -> Option<Checkpoint> {
+        let name = format!("{}.ckpt", id.token());
+        let path = self.root.join("checkpoints").join(&name);
+        let bytes = match fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == ErrorKind::NotFound => return None,
+            Err(e) => {
+                self.push_diag(Diagnostic::warning(
+                    CACHE_IO,
+                    Span::unknown(),
+                    format!("failed to read checkpoint `{name}`: {e}"),
+                ));
+                return None;
+            }
+        };
+        match decode_checkpoint(&bytes, id) {
+            Ok(ckpt) => Some(ckpt),
+            Err(err) => {
+                let to = self.root.join("quarantine").join(&name);
+                if fs::rename(&path, &to).is_err() {
+                    let _ = fs::remove_file(&path);
+                }
+                self.quarantined.fetch_add(1, Ordering::Relaxed);
+                let why = match err {
+                    EntryError::Corrupt(why) => why,
+                    EntryError::Version => "unknown magic or format version",
+                };
+                self.push_diag(
+                    Diagnostic::warning(
+                        BAD_CHECKPOINT,
+                        Span::unknown(),
+                        format!("rejected checkpoint `{name}`: {why}"),
+                    )
+                    .with_note("the check restarts from scratch"),
+                );
+                None
+            }
+        }
+    }
+
+    /// Discard a checkpoint that decoded cleanly but does not fit the
+    /// models of the current check (e.g. written by an older script
+    /// revision whose state spaces were shaped differently).
+    pub(crate) fn discard_checkpoint(&self, id: CheckId, why: &str) {
+        let name = format!("{}.ckpt", id.token());
+        let from = self.root.join("checkpoints").join(&name);
+        let to = self.root.join("quarantine").join(&name);
+        if fs::rename(&from, &to).is_err() {
+            let _ = fs::remove_file(&from);
+        }
+        self.quarantined.fetch_add(1, Ordering::Relaxed);
+        self.push_diag(
+            Diagnostic::warning(
+                BAD_CHECKPOINT,
+                Span::unknown(),
+                format!("discarded checkpoint `{name}`: {why}"),
+            )
+            .with_note("the check restarts from scratch"),
+        );
+    }
+
+    /// Remove the checkpoint for `id` (called when a resumed run completes).
+    pub(crate) fn remove_checkpoint(&self, id: CheckId) {
+        let path = self
+            .root
+            .join("checkpoints")
+            .join(format!("{}.ckpt", id.token()));
+        let _ = fs::remove_file(path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csp::EventSet;
+
+    fn e(n: u32) -> EventId {
+        EventId::from_index(n as usize)
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("fdrlite-persist-{}-{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).expect("create temp dir");
+        dir
+    }
+
+    fn sample_lts() -> Lts {
+        // 0 --a--> 1 --tick--> 2(Ω), plus a tau self-ish edge 0 --tau--> 1.
+        Lts::from_parts(
+            vec![Process::Stop, Process::Stop, Process::Omega],
+            vec![
+                vec![
+                    (Label::Tau, StateId::from_index(1)),
+                    (Label::Event(e(0)), StateId::from_index(1)),
+                ],
+                vec![(Label::Tick, StateId::from_index(2))],
+                vec![],
+            ],
+        )
+    }
+
+    fn sample_key() -> ModelKey {
+        ModelKey {
+            hash: ModelHash([0x1234_5678_9abc_def0, 0x0fed_cba9_8765_4321]),
+            max_states: 100_000,
+            compress: false,
+        }
+    }
+
+    fn encode_model_entry(key: &ModelKey, lts: &Lts) -> Vec<u8> {
+        let mut enc = Enc::new(MAGIC_MODEL);
+        key.encode(&mut enc);
+        encode_lts(&mut enc, lts);
+        enc.finish()
+    }
+
+    #[test]
+    fn lts_roundtrips_with_omega_flags_and_exact_edges() {
+        let lts = sample_lts();
+        let cache = PersistentCache::open(tmpdir("roundtrip")).unwrap();
+        let key = sample_key();
+        cache.store_model(&key, &lts);
+        let back = cache.load_model(&key).expect("entry must load");
+        assert_eq!(back.state_count(), lts.state_count());
+        for s in lts.state_ids() {
+            assert_eq!(back.edges(s), lts.edges(s));
+            assert_eq!(
+                matches!(back.state(s), Process::Omega),
+                matches!(lts.state(s), Process::Omega),
+            );
+        }
+        assert_eq!(cache.disk_hits(), 1);
+        assert_eq!(cache.disk_misses(), 0);
+    }
+
+    #[test]
+    fn missing_entry_is_a_clean_miss() {
+        let cache = PersistentCache::open(tmpdir("miss")).unwrap();
+        assert!(cache.load_model(&sample_key()).is_none());
+        assert_eq!(cache.disk_misses(), 1);
+        assert!(
+            cache.take_diagnostics().is_empty(),
+            "a miss is not an error"
+        );
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_rejected_or_harmless() {
+        let lts = sample_lts();
+        let key = sample_key();
+        let good = encode_model_entry(&key, &lts);
+        for pos in 0..good.len() {
+            for bit in 0..8 {
+                let mut bad = good.clone();
+                bad[pos] ^= 1 << bit;
+                let decoded: DecResult<Lts> = (|| {
+                    let mut dec = Dec::open(&bad, MAGIC_MODEL)?;
+                    key.check_echo(&mut dec)?;
+                    let lts = decode_lts(&mut dec)?;
+                    dec.done()?;
+                    Ok(lts)
+                })();
+                assert!(
+                    decoded.is_err(),
+                    "flip at byte {pos} bit {bit} must be caught by the checksum"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn truncations_are_rejected() {
+        let lts = sample_lts();
+        let key = sample_key();
+        let good = encode_model_entry(&key, &lts);
+        for cut in 0..good.len() {
+            let bad = &good[..cut];
+            let decoded = Dec::open(bad, MAGIC_MODEL).and_then(|mut dec| {
+                key.check_echo(&mut dec)?;
+                decode_lts(&mut dec)
+            });
+            assert!(decoded.is_err(), "truncation to {cut} bytes must be caught");
+        }
+    }
+
+    #[test]
+    fn corrupt_file_on_disk_is_quarantined_with_a_diagnostic() {
+        let dir = tmpdir("quarantine");
+        let cache = PersistentCache::open(&dir).unwrap();
+        let key = sample_key();
+        cache.store_model(&key, &sample_lts());
+        let path = dir.join(key.file_name());
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        fs::write(&path, &bytes).unwrap();
+
+        assert!(cache.load_model(&key).is_none(), "corrupt entry must miss");
+        assert!(!path.exists(), "bad entry must leave the lookup path");
+        assert!(dir.join("quarantine").join(key.file_name()).exists());
+        assert_eq!(cache.quarantined(), 1);
+        let diags = cache.take_diagnostics();
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, CORRUPT_ENTRY);
+
+        // And the slot is reusable: a rewrite loads cleanly again.
+        cache.store_model(&key, &sample_lts());
+        assert!(cache.load_model(&key).is_some());
+    }
+
+    #[test]
+    fn stale_version_is_quarantined_under_its_own_code() {
+        let dir = tmpdir("stale");
+        let cache = PersistentCache::open(&dir).unwrap();
+        let key = sample_key();
+        cache.store_model(&key, &sample_lts());
+        let path = dir.join(key.file_name());
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[8] = 0xee; // version field
+        let fixed = {
+            let body_len = bytes.len() - 8;
+            let sum = fnv1a64(&bytes[..body_len]);
+            bytes[body_len..].copy_from_slice(&sum.to_le_bytes());
+            bytes
+        };
+        fs::write(&path, &fixed).unwrap();
+
+        assert!(cache.load_model(&key).is_none());
+        let diags = cache.take_diagnostics();
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, STALE_VERSION);
+    }
+
+    #[test]
+    fn key_echo_rejects_an_entry_renamed_onto_another_key() {
+        let dir = tmpdir("echo");
+        let cache = PersistentCache::open(&dir).unwrap();
+        let key = sample_key();
+        cache.store_model(&key, &sample_lts());
+        let other = ModelKey {
+            max_states: 999,
+            ..key
+        };
+        fs::rename(dir.join(key.file_name()), dir.join(other.file_name())).unwrap();
+        assert!(cache.load_model(&other).is_none(), "echo must catch this");
+        assert_eq!(cache.take_diagnostics()[0].code, CORRUPT_ENTRY);
+    }
+
+    #[test]
+    fn norm_roundtrips_verbatim() {
+        let lts = Lts::from_parts(
+            vec![Process::Stop, Process::Stop, Process::Omega],
+            vec![
+                vec![
+                    (Label::Event(e(0)), StateId::from_index(1)),
+                    (Label::Event(e(2)), StateId::from_index(0)),
+                ],
+                vec![(Label::Tick, StateId::from_index(2))],
+                vec![],
+            ],
+        );
+        let norm = NormalisedLts::build(&lts, 1000).unwrap();
+        let cache = PersistentCache::open(tmpdir("norm")).unwrap();
+        let key = NormDiskKey {
+            model: sample_key(),
+            max_norm_nodes: 1000,
+        };
+        cache.store_norm(&key, &norm);
+        let back = cache.load_norm(&key).expect("norm must load");
+        let mut a = Enc::new(MAGIC_NORM);
+        encode_norm(&mut a, &norm);
+        let mut b = Enc::new(MAGIC_NORM);
+        encode_norm(&mut b, &back);
+        assert_eq!(a.finish(), b.finish(), "norm must re-encode identically");
+    }
+
+    #[test]
+    fn content_hash_is_structural_and_definition_sensitive() {
+        let mut defs = Definitions::new();
+        let d = defs.declare("P");
+        defs.define(d, Process::prefix(e(0), Process::var(d)));
+
+        let p1 = Process::prefix(e(0), Process::var(d));
+        let p2 = Process::prefix(e(0), Process::var(d));
+        assert_eq!(content_hash(&p1, &defs), content_hash(&p2, &defs));
+
+        let p3 = Process::prefix(e(1), Process::var(d));
+        assert_ne!(content_hash(&p1, &defs), content_hash(&p3, &defs));
+
+        // Same term, different recursion body: different meaning.
+        let mut defs2 = Definitions::new();
+        let d2 = defs2.declare("P");
+        defs2.define(d2, Process::prefix(e(1), Process::var(d2)));
+        assert_ne!(content_hash(&p1, &defs), content_hash(&p1, &defs2));
+    }
+
+    #[test]
+    fn content_hash_separates_operators_and_empty_sets() {
+        let defs = Definitions::new();
+        let a = Process::prefix(e(0), Process::Stop);
+        let b = Process::prefix(e(1), Process::Stop);
+        let ext = Process::external_choice(a.clone(), b.clone());
+        let int = Process::internal_choice(a.clone(), b.clone());
+        assert_ne!(content_hash(&ext, &defs), content_hash(&int, &defs));
+
+        let par = Process::parallel(EventSet::empty(), a.clone(), b.clone());
+        let sync = Process::parallel(EventSet::singleton(e(0)), a, b);
+        assert_ne!(content_hash(&par, &defs), content_hash(&sync, &defs));
+    }
+
+    #[test]
+    fn eviction_drops_least_recently_used_first() {
+        let dir = tmpdir("evict");
+        let cache = PersistentCache::with_capacity(&dir, 1).unwrap();
+        let lts = sample_lts();
+        let k1 = ModelKey {
+            hash: ModelHash([1, 1]),
+            max_states: 10,
+            compress: false,
+        };
+        let k2 = ModelKey {
+            hash: ModelHash([2, 2]),
+            max_states: 10,
+            compress: false,
+        };
+        let k3 = ModelKey {
+            hash: ModelHash([3, 3]),
+            max_states: 10,
+            compress: false,
+        };
+        cache.store_model(&k1, &lts);
+        cache.store_model(&k2, &lts);
+        cache.store_model(&k3, &lts);
+        // Force a known LRU order, then enforce: k2 oldest, k1 next, k3 newest.
+        fs::write(
+            dir.join(format!("{}.used", k2.file_name())),
+            1u64.to_le_bytes(),
+        )
+        .unwrap();
+        fs::write(
+            dir.join(format!("{}.used", k1.file_name())),
+            2u64.to_le_bytes(),
+        )
+        .unwrap();
+        fs::write(
+            dir.join(format!("{}.used", k3.file_name())),
+            3u64.to_le_bytes(),
+        )
+        .unwrap();
+        cache.enforce_capacity(&k3.file_name());
+        assert!(!dir.join(k2.file_name()).exists(), "oldest must go first");
+        assert!(
+            dir.join(k3.file_name()).exists(),
+            "the protected newest entry must survive"
+        );
+        assert!(cache.evicted() >= 1);
+    }
+
+    #[test]
+    fn fault_hook_sees_writes_and_can_drop_them() {
+        struct DropAll;
+        impl StorageFaultHook for DropAll {
+            fn corrupt(&self, _name: &str, _bytes: &mut Vec<u8>) -> bool {
+                false
+            }
+        }
+        let dir = tmpdir("hook");
+        let cache = PersistentCache::open(&dir).unwrap();
+        cache.set_fault_hook(Arc::new(DropAll));
+        let key = sample_key();
+        cache.store_model(&key, &sample_lts());
+        assert!(
+            !dir.join(key.file_name()).exists(),
+            "a dropped write must leave no file behind"
+        );
+        assert!(cache.load_model(&key).is_none());
+    }
+
+    #[test]
+    fn checkpoint_roundtrips_both_engines() {
+        let cache = PersistentCache::open(tmpdir("ckpt")).unwrap();
+        let id = CheckId([42, 43]);
+        let serial = Checkpoint {
+            id,
+            model: RefinementModel::Traces,
+            frontier: EngineFrontier::Serial(SerialFrontier {
+                nodes: vec![
+                    CkptNode {
+                        s: 0,
+                        n: 0,
+                        vlen: 0,
+                        parent: 0,
+                        label: None,
+                    },
+                    CkptNode {
+                        s: 1,
+                        n: 0,
+                        vlen: 1,
+                        parent: 0,
+                        label: Some(e(7)),
+                    },
+                ],
+                deque: vec![1],
+                pairs_discovered: 2,
+                expansions: 1,
+                transitions: 3,
+                frontier_peak: 2,
+            }),
+        };
+        cache.save_checkpoint(&serial);
+        assert_eq!(cache.load_checkpoint(id).as_ref(), Some(&serial));
+
+        let id2 = CheckId([7, 9]);
+        let par = Checkpoint {
+            id: id2,
+            model: RefinementModel::Traces,
+            frontier: EngineFrontier::Parallel(ParallelFrontier {
+                visited: vec![(0, 0, 0), (1, 1, 1)],
+                frontier: vec![(1, 1, 1)],
+                discovered: 2,
+                best: u32::MAX,
+                expansions: 5,
+                transitions: 9,
+                steals: 1,
+                frontier_peak: 2,
+            }),
+        };
+        cache.save_checkpoint(&par);
+        assert_eq!(cache.load_checkpoint(id2).as_ref(), Some(&par));
+
+        cache.remove_checkpoint(id);
+        assert!(cache.load_checkpoint(id).is_none());
+        assert!(
+            cache.take_diagnostics().is_empty(),
+            "a removed checkpoint is a clean miss, not an error"
+        );
+    }
+
+    #[test]
+    fn checkpoint_keyed_to_another_check_is_rejected() {
+        let dir = tmpdir("ckpt-key");
+        let cache = PersistentCache::open(&dir).unwrap();
+        let id = CheckId([1, 2]);
+        let ckpt = Checkpoint {
+            id,
+            model: RefinementModel::Traces,
+            frontier: EngineFrontier::Parallel(ParallelFrontier {
+                visited: vec![(0, 0, 0)],
+                frontier: vec![],
+                discovered: 1,
+                best: u32::MAX,
+                expansions: 0,
+                transitions: 0,
+                steals: 0,
+                frontier_peak: 1,
+            }),
+        };
+        cache.save_checkpoint(&ckpt);
+        let other = CheckId([9, 9]);
+        fs::rename(
+            dir.join("checkpoints").join(format!("{}.ckpt", id.token())),
+            dir.join("checkpoints")
+                .join(format!("{}.ckpt", other.token())),
+        )
+        .unwrap();
+        assert!(cache.load_checkpoint(other).is_none());
+        assert_eq!(cache.take_diagnostics()[0].code, BAD_CHECKPOINT);
+    }
+
+    #[test]
+    fn tokens_roundtrip_and_reject_garbage() {
+        let id = CheckId([0xdead_beef, 0x1234]);
+        assert_eq!(CheckId::from_token(&id.token()), Some(id));
+        assert_eq!(CheckId::from_token("nope"), None);
+        assert_eq!(CheckId::from_token(&"z".repeat(32)), None);
+        assert_eq!(CheckId::from_token("../../../../etc/passwd"), None);
+    }
+
+    #[test]
+    fn check_ids_separate_engine_model_and_bounds() {
+        let base = CheckIdParts {
+            spec: ModelHash([1, 2]),
+            impl_: ModelHash([3, 4]),
+            model: RefinementModel::Traces,
+            max_states: 100,
+            max_norm_nodes: 100,
+            max_product: 100,
+            compress: false,
+            parallel: false,
+        };
+        let id = base.id();
+        assert_ne!(
+            id,
+            CheckIdParts {
+                parallel: true,
+                ..base
+            }
+            .id()
+        );
+        assert_ne!(
+            id,
+            CheckIdParts {
+                model: RefinementModel::Failures,
+                ..base
+            }
+            .id()
+        );
+        assert_ne!(
+            id,
+            CheckIdParts {
+                max_states: 101,
+                ..base
+            }
+            .id()
+        );
+        assert_eq!(id, base.id(), "ids must be deterministic");
+    }
+
+    #[test]
+    fn concurrent_writers_do_not_corrupt_each_other() {
+        let dir = tmpdir("concurrent");
+        let lts = sample_lts();
+        let key = sample_key();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let dir = &dir;
+                let lts = &lts;
+                scope.spawn(move || {
+                    let cache = PersistentCache::open(dir).unwrap();
+                    for _ in 0..20 {
+                        cache.store_model(&key, lts);
+                        // Loads may race a rename but must never see torn data.
+                        if let Some(back) = cache.load_model(&key) {
+                            assert_eq!(back.state_count(), 3);
+                        }
+                    }
+                });
+            }
+        });
+        let cache = PersistentCache::open(&dir).unwrap();
+        assert!(cache.load_model(&key).is_some());
+        assert_eq!(cache.quarantined(), 0, "no writer may tear another's entry");
+    }
+}

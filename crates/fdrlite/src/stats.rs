@@ -65,6 +65,11 @@ pub struct CheckStats {
     /// Wall-clock time of the product exploration alone (equals `wall` for
     /// engine-level runs).
     pub explore_wall: Duration,
+    /// How far past the wall-clock deadline the engine ran before stopping
+    /// (zero unless a wall budget tripped). The serial engine checks the
+    /// clock before every expansion, so this is bounded by one state's work;
+    /// the parallel engine samples the clock every 256 tasks per worker.
+    pub wall_overshoot: Duration,
 }
 
 impl CheckStats {
@@ -93,7 +98,8 @@ impl CheckStats {
             "{{\"threads\":{},\"shards\":{},\"pairs_discovered\":{},\"expansions\":{},\
              \"transitions\":{},\"frontier_peak\":{},\"steals\":{},\"shard_peak\":{},\
              \"rewalk_expansions\":{},\"store_hits\":{},\"store_misses\":{},\"wall_us\":{},\
-             \"cpu_busy_us\":{},\"compile_us\":{},\"explore_us\":{},\"states_per_sec\":{:.1}}}",
+             \"cpu_busy_us\":{},\"compile_us\":{},\"explore_us\":{},\"wall_overshoot_us\":{},\
+             \"states_per_sec\":{:.1}}}",
             self.threads,
             self.shards,
             self.pairs_discovered,
@@ -109,6 +115,7 @@ impl CheckStats {
             self.cpu_busy.as_micros(),
             self.compile_wall.as_micros(),
             self.explore_wall.as_micros(),
+            self.wall_overshoot.as_micros(),
             self.states_per_sec(),
         )
     }
@@ -163,6 +170,7 @@ mod tests {
             cpu_busy: Duration::from_micros(9_000),
             compile_wall: Duration::from_micros(400),
             explore_wall: Duration::from_micros(2_100),
+            wall_overshoot: Duration::from_micros(12),
         };
         let json = stats.to_json();
         for key in [
@@ -181,6 +189,7 @@ mod tests {
             "\"cpu_busy_us\":9000",
             "\"compile_us\":400",
             "\"explore_us\":2100",
+            "\"wall_overshoot_us\":12",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }

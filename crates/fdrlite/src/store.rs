@@ -27,15 +27,19 @@
 
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use csp::{CsrEdges, Definitions, Lts, Process, TermArena, TermId};
 
 use crate::checker::{CheckOptions, Checker, RefinementModel};
-use crate::counterexample::Verdict;
+use crate::counterexample::{BudgetReason, Verdict};
 use crate::error::CheckError;
 use crate::normalise::NormalisedLts;
 use crate::parallel;
+use crate::persist::{
+    content_hash, CheckId, CheckIdParts, Checkpoint, EngineFrontier, ModelHash, ModelKey,
+    NormDiskKey, PersistConfig, PersistentCache, ResumePolicy,
+};
 use crate::stats::CheckStats;
 
 /// A compiled process: its explicit [`Lts`] together with the CSR snapshot
@@ -50,6 +54,13 @@ pub struct CompiledModel {
 }
 
 impl CompiledModel {
+    /// Rebuild a compiled model from a deserialised [`Lts`] (disk-cache load
+    /// path); the CSR snapshot is recomputed, never trusted from disk.
+    pub(crate) fn from_lts(lts: Lts) -> CompiledModel {
+        let csr = lts.to_csr();
+        CompiledModel { lts, csr }
+    }
+
     /// The explicit transition system.
     pub fn lts(&self) -> &Lts {
         &self.lts
@@ -88,28 +99,90 @@ struct NormKey {
     max_norm_nodes: usize,
 }
 
-/// Everything behind the store's mutex: the shared arena and both caches.
+/// Everything behind the store's mutex: the shared arena, both in-memory
+/// caches, and the content-hash memo that keys the on-disk cache.
 #[derive(Default)]
 struct StoreInner {
     arena: TermArena,
     compiled: HashMap<CompileKey, Arc<CompiledModel>>,
     normalised: HashMap<NormKey, Arc<NormalisedLts>>,
+    hashes: HashMap<TermId, ModelHash>,
     hits: u64,
     misses: u64,
 }
 
 impl StoreInner {
+    /// The structural content hash of `p`, memoised per interned term.
+    fn model_hash(&mut self, term: TermId, p: &Process, defs: &Definitions) -> ModelHash {
+        if let Some(&hash) = self.hashes.get(&term) {
+            return hash;
+        }
+        let hash = content_hash(p, defs);
+        self.hashes.insert(term, hash);
+        hash
+    }
+
+    fn disk_model_key(
+        &mut self,
+        term: TermId,
+        checker: &Checker,
+        p: &Process,
+        defs: &Definitions,
+    ) -> ModelKey {
+        ModelKey {
+            hash: self.model_hash(term, p, defs),
+            max_states: checker.max_states() as u64,
+            compress: checker.compress(),
+        }
+    }
+
+    fn check_id(
+        &mut self,
+        checker: &Checker,
+        spec: &Process,
+        impl_: &Process,
+        defs: &Definitions,
+        model: RefinementModel,
+        threads: usize,
+    ) -> CheckId {
+        let spec_term = self.arena.intern(spec);
+        let spec_hash = self.model_hash(spec_term, spec, defs);
+        let impl_term = self.arena.intern(impl_);
+        let impl_hash = self.model_hash(impl_term, impl_, defs);
+        CheckIdParts {
+            spec: spec_hash,
+            impl_: impl_hash,
+            model,
+            max_states: checker.max_states() as u64,
+            max_norm_nodes: checker.max_norm_nodes() as u64,
+            max_product: checker.max_product() as u64,
+            compress: checker.compress(),
+            parallel: threads > 1 && model == RefinementModel::Traces,
+        }
+        .id()
+    }
+
     fn compile(
         &mut self,
         checker: &Checker,
         p: &Process,
         defs: &Definitions,
+        disk: Option<&PersistentCache>,
     ) -> Result<Arc<CompiledModel>, CheckError> {
         let term = self.arena.intern(p);
         let key = CompileKey::new(term, checker);
         if let Some(model) = self.compiled.get(&key) {
             self.hits += 1;
             return Ok(Arc::clone(model));
+        }
+        if let Some(cache) = disk {
+            let dkey = self.disk_model_key(term, checker, p, defs);
+            if let Some(lts) = cache.load_model(&dkey) {
+                self.hits += 1;
+                let model = Arc::new(CompiledModel::from_lts(lts));
+                self.compiled.insert(key, Arc::clone(&model));
+                return Ok(model);
+            }
         }
         self.misses += 1;
         let lts = Lts::build_in(&mut self.arena, term, defs, checker.max_states())?;
@@ -118,6 +191,10 @@ impl StoreInner {
         } else {
             lts
         };
+        if let Some(cache) = disk {
+            let dkey = self.disk_model_key(term, checker, p, defs);
+            cache.store_model(&dkey, &lts);
+        }
         let csr = lts.to_csr();
         let model = Arc::new(CompiledModel { lts, csr });
         self.compiled.insert(key, Arc::clone(&model));
@@ -129,6 +206,7 @@ impl StoreInner {
         checker: &Checker,
         p: &Process,
         defs: &Definitions,
+        disk: Option<&PersistentCache>,
     ) -> Result<Arc<NormalisedLts>, CheckError> {
         let term = self.arena.intern(p);
         let key = NormKey {
@@ -139,9 +217,29 @@ impl StoreInner {
             self.hits += 1;
             return Ok(Arc::clone(norm));
         }
-        let model = self.compile(checker, p, defs)?;
+        if let Some(cache) = disk {
+            // A disk-cached normal form skips the spec compile entirely.
+            let dkey = NormDiskKey {
+                model: self.disk_model_key(term, checker, p, defs),
+                max_norm_nodes: checker.max_norm_nodes() as u64,
+            };
+            if let Some(norm) = cache.load_norm(&dkey) {
+                self.hits += 1;
+                let norm = Arc::new(norm);
+                self.normalised.insert(key, Arc::clone(&norm));
+                return Ok(norm);
+            }
+        }
+        let model = self.compile(checker, p, defs, disk)?;
         self.misses += 1;
         let norm = Arc::new(NormalisedLts::build(model.lts(), checker.max_norm_nodes())?);
+        if let Some(cache) = disk {
+            let dkey = NormDiskKey {
+                model: self.disk_model_key(term, checker, p, defs),
+                max_norm_nodes: checker.max_norm_nodes() as u64,
+            };
+            cache.store_norm(&dkey, &norm);
+        }
         self.normalised.insert(key, Arc::clone(&norm));
         Ok(norm)
     }
@@ -154,6 +252,7 @@ impl StoreInner {
 /// run outside the lock — only interning and cache lookups serialise.
 pub struct ModelStore {
     inner: Mutex<StoreInner>,
+    persist: Mutex<Option<PersistConfig>>,
 }
 
 impl Default for ModelStore {
@@ -167,7 +266,34 @@ impl ModelStore {
     pub fn new() -> ModelStore {
         ModelStore {
             inner: Mutex::new(StoreInner::default()),
+            persist: Mutex::new(None),
         }
+    }
+
+    /// An empty store backed by an on-disk cache (no checkpointing, no
+    /// resume — configure those with [`ModelStore::set_persist`]).
+    pub fn with_cache(cache: Arc<PersistentCache>) -> ModelStore {
+        let store = ModelStore::new();
+        store.set_persist(PersistConfig {
+            cache,
+            checkpoint_every: None,
+            resume: ResumePolicy::Off,
+        });
+        store
+    }
+
+    /// Attach (or replace) the persistence configuration: the on-disk
+    /// cache, the checkpoint cadence and the resume policy.
+    pub fn set_persist(&self, cfg: PersistConfig) {
+        *self.persist.lock().expect("persist lock poisoned") = Some(cfg);
+    }
+
+    fn persist_config(&self) -> Option<PersistConfig> {
+        self.persist.lock().expect("persist lock poisoned").clone()
+    }
+
+    fn cache_handle(&self) -> Option<Arc<PersistentCache>> {
+        self.persist_config().map(|cfg| cfg.cache)
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, StoreInner> {
@@ -203,7 +329,8 @@ impl ModelStore {
         p: &Process,
         defs: &Definitions,
     ) -> Result<Arc<CompiledModel>, CheckError> {
-        self.lock().compile(checker, p, defs)
+        let disk = self.cache_handle();
+        self.lock().compile(checker, p, defs, disk.as_deref())
     }
 
     /// Normalise `p` for use as a specification, compiling it through the
@@ -219,7 +346,8 @@ impl ModelStore {
         p: &Process,
         defs: &Definitions,
     ) -> Result<Arc<NormalisedLts>, CheckError> {
-        self.lock().normalised(checker, p, defs)
+        let disk = self.cache_handle();
+        self.lock().normalised(checker, p, defs, disk.as_deref())
     }
 
     /// Check `spec ⊑T impl_` through the store. With `threads > 1` the
@@ -293,9 +421,11 @@ impl ModelStore {
         defs: &Definitions,
         options: &CheckOptions,
     ) -> Result<(Verdict, CheckStats), CheckError> {
+        let persist = self.persist_config();
+        let disk = persist.as_ref().map(|cfg| Arc::clone(&cfg.cache));
         let (hits0, misses0) = self.counters();
         let compile_start = Instant::now();
-        let impl_m = self.compile(checker, impl_, defs)?;
+        let impl_m = self.lock().compile(checker, impl_, defs, disk.as_deref())?;
         let divergence = checker.divergence_free_compiled(impl_m.lts());
         if !divergence.is_pass() {
             let (hits1, misses1) = self.counters();
@@ -307,10 +437,29 @@ impl ModelStore {
             };
             return Ok((divergence, stats));
         }
-        let norm = self.normalised(checker, spec, defs)?;
+        // The divergence phase is linear and re-run fresh on resume; the
+        // stable-failures walk is the part worth checkpointing, and it
+        // shares its check identity with a plain ⊑F of the same models.
+        let (norm, id) = {
+            let mut inner = self.lock();
+            let norm = inner.normalised(checker, spec, defs, disk.as_deref())?;
+            let id = persist
+                .as_ref()
+                .map(|_| inner.check_id(checker, spec, impl_, defs, RefinementModel::Failures, 1));
+            (norm, id)
+        };
         let compile_wall = compile_start.elapsed();
-        let (verdict, mut stats) =
-            checker.refine_with_options(&norm, impl_m.lts(), RefinementModel::Failures, options)?;
+        let (verdict, mut stats) = self.engine_run(
+            checker,
+            &norm,
+            &impl_m,
+            1,
+            RefinementModel::Failures,
+            options,
+            persist
+                .as_ref()
+                .map(|cfg| (cfg, id.expect("id with persist"))),
+        )?;
         stats.compile_wall = compile_wall;
         let (hits1, misses1) = self.counters();
         stats.store_hits = hits1 - hits0;
@@ -377,25 +526,175 @@ impl ModelStore {
         model: RefinementModel,
         options: &CheckOptions,
     ) -> Result<(Verdict, CheckStats), CheckError> {
+        let persist = self.persist_config();
+        let disk = persist.as_ref().map(|cfg| Arc::clone(&cfg.cache));
         let (hits0, misses0) = self.counters();
         let compile_start = Instant::now();
-        let (norm, impl_m) = {
+        let (norm, impl_m, id) = {
             let mut inner = self.lock();
-            let norm = inner.normalised(checker, spec, defs)?;
-            let impl_m = inner.compile(checker, impl_, defs)?;
-            (norm, impl_m)
+            let norm = inner.normalised(checker, spec, defs, disk.as_deref())?;
+            let impl_m = inner.compile(checker, impl_, defs, disk.as_deref())?;
+            let id = persist
+                .as_ref()
+                .map(|_| inner.check_id(checker, spec, impl_, defs, model, threads));
+            (norm, impl_m, id)
         };
         let compile_wall = compile_start.elapsed();
-        let (verdict, mut stats) = if threads > 1 && model == RefinementModel::Traces {
-            parallel::refine_compiled_with_options(checker, &norm, &impl_m, threads, options)?
-        } else {
-            checker.refine_with_options(&norm, impl_m.lts(), model, options)?
-        };
+        let (verdict, mut stats) = self.engine_run(
+            checker,
+            &norm,
+            &impl_m,
+            threads,
+            model,
+            options,
+            persist
+                .as_ref()
+                .map(|cfg| (cfg, id.expect("id with persist"))),
+        )?;
         stats.compile_wall = compile_wall;
         let (hits1, misses1) = self.counters();
         stats.store_hits = hits1 - hits0;
         stats.store_misses = misses1 - misses0;
         Ok((verdict, stats))
+    }
+
+    /// Run the refinement engine (serial or work-stealing) over compiled
+    /// artifacts, with checkpoint/resume when a [`PersistConfig`] is
+    /// attached.
+    ///
+    /// With persistence, a run that exhausts its budget writes a checkpoint
+    /// keyed by the check's [`CheckId`] and carries the resume token in the
+    /// `Inconclusive` verdict; a conclusive verdict removes any checkpoint.
+    /// `checkpoint_every` is implemented by segmenting the *state* budget:
+    /// the engine is driven in slices of that many newly discovered product
+    /// pairs, a checkpoint is written at each slice boundary, and the run
+    /// continues in-process — the serial frontier is an exact continuation
+    /// and the parallel verdict is canonicalised by the bounded re-walk, so
+    /// segmentation never changes a verdict or counterexample.
+    #[allow(clippy::too_many_arguments)]
+    fn engine_run(
+        &self,
+        checker: &Checker,
+        norm: &NormalisedLts,
+        impl_m: &CompiledModel,
+        threads: usize,
+        model: RefinementModel,
+        options: &CheckOptions,
+        persist: Option<(&PersistConfig, CheckId)>,
+    ) -> Result<(Verdict, CheckStats), CheckError> {
+        let parallel_engine = threads > 1 && model == RefinementModel::Traces;
+        let Some((cfg, id)) = persist else {
+            return if parallel_engine {
+                parallel::refine_compiled_with_options(checker, norm, impl_m, threads, options)
+            } else {
+                checker.refine_with_options(norm, impl_m.lts(), model, options)
+            };
+        };
+
+        let cache = &cfg.cache;
+        let want_resume = match cfg.resume {
+            ResumePolicy::Off => false,
+            ResumePolicy::Auto => true,
+            ResumePolicy::Token(token) => token == id,
+        };
+        let mut carried: Option<EngineFrontier> = if want_resume {
+            cache.load_checkpoint(id).and_then(|ckpt| {
+                let states = impl_m.lts().state_count();
+                let nodes = norm.node_count();
+                let fits = ckpt.model == model
+                    && match (&ckpt.frontier, parallel_engine) {
+                        (EngineFrontier::Serial(f), false) => f.validate(states, nodes),
+                        (EngineFrontier::Parallel(f), true) => f.validate(states, nodes),
+                        _ => false,
+                    };
+                if fits {
+                    Some(ckpt.frontier)
+                } else {
+                    cache.discard_checkpoint(id, "frontier does not fit the current models");
+                    None
+                }
+            })
+        } else {
+            None
+        };
+
+        let explore_start = Instant::now();
+        let mut cpu_total = Duration::ZERO;
+        loop {
+            let discovered = match &carried {
+                Some(EngineFrontier::Serial(f)) => f.pairs_discovered,
+                Some(EngineFrontier::Parallel(f)) => f.discovered,
+                None => 0,
+            };
+            // Slice the state budget at the next checkpoint boundary (never
+            // past the caller's real budget).
+            let slice_limit = cfg.checkpoint_every.map(|every| {
+                let target = discovered.saturating_add(every.max(1));
+                options.max_states.map_or(target, |real| real.min(target))
+            });
+            let slice = CheckOptions {
+                max_states: slice_limit.or(options.max_states),
+                max_wall_ms: options.max_wall_ms,
+            };
+            let (verdict, frontier, mut stats) = if parallel_engine {
+                let resume = match &carried {
+                    Some(EngineFrontier::Parallel(f)) => Some(f),
+                    _ => None,
+                };
+                let (v, f, s) = parallel::refine_compiled_resumable(
+                    checker, norm, impl_m, threads, &slice, resume,
+                )?;
+                (v, f.map(EngineFrontier::Parallel), s)
+            } else {
+                let resume = match &carried {
+                    Some(EngineFrontier::Serial(f)) => Some(f),
+                    _ => None,
+                };
+                let (v, f, s) = checker.refine_with_options_resumable(
+                    norm,
+                    impl_m.lts(),
+                    model,
+                    &slice,
+                    resume,
+                )?;
+                (v, f.map(EngineFrontier::Serial), s)
+            };
+            cpu_total += stats.cpu_busy;
+            stats.wall = explore_start.elapsed();
+            stats.explore_wall = stats.wall;
+            stats.cpu_busy = cpu_total;
+
+            match verdict {
+                Verdict::Inconclusive(mut inc) => {
+                    if let Some(frontier) = frontier {
+                        cache.save_checkpoint(&Checkpoint {
+                            id,
+                            model,
+                            frontier: frontier.clone(),
+                        });
+                        // A slice boundary is not the caller's budget: keep
+                        // exploring in-process. Only the caller's own state
+                        // or wall budget surfaces as Inconclusive.
+                        let synthetic = match inc.reason {
+                            BudgetReason::States { limit } => {
+                                slice_limit == Some(limit) && options.max_states != Some(limit)
+                            }
+                            BudgetReason::Wall { .. } => false,
+                        };
+                        if synthetic {
+                            carried = Some(frontier);
+                            continue;
+                        }
+                        inc.resume = Some(id.token());
+                    }
+                    return Ok((Verdict::Inconclusive(inc), stats));
+                }
+                conclusive => {
+                    cache.remove_checkpoint(id);
+                    return Ok((conclusive, stats));
+                }
+            }
+        }
     }
 }
 

@@ -1,0 +1,255 @@
+//! Crash-safe persistence properties.
+//!
+//! 1. Interrupting a refinement at a *random* state budget, then resuming
+//!    from the on-disk checkpoint, must reproduce the uninterrupted run
+//!    verbatim — verdict, counterexample trace and (for the serial engine,
+//!    and for the parallel engine on a pass) the final state count — at
+//!    both 1 and 8 threads.
+//! 2. Corrupting on-disk cache entries (bit flips, truncation, header
+//!    damage) must degrade to a quarantine + recompile, never a wrong
+//!    verdict or a panic. Likewise a corrupted checkpoint must restart the
+//!    check from scratch, not poison it.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use csp::{Definitions, EventId, EventSet, Process};
+use fdrlite::{
+    CheckId, CheckOptions, Checker, ModelStore, PersistConfig, PersistentCache, ResumePolicy,
+};
+use proptest::prelude::*;
+
+fn e(n: usize) -> EventId {
+    EventId::from_index(n)
+}
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A unique scratch directory per test case (proptest shrinks re-enter the
+/// closure, so a fixed name would cross-contaminate runs).
+fn fresh_dir(tag: &str) -> PathBuf {
+    let n = DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("fdrlite-persist-{tag}-{}-{n}", std::process::id()))
+}
+
+/// The same random-process strategy the engine-equivalence suite uses:
+/// prefixing, both choices, sequencing, interleaving, synchronised
+/// parallel and hiding over a 4-event alphabet.
+fn arb_process(depth: u32) -> BoxedStrategy<Process> {
+    let leaf = prop_oneof![
+        Just(Process::Stop),
+        Just(Process::Skip),
+        (0usize..4).prop_map(|i| Process::prefix(e(i), Process::Stop)),
+    ];
+    leaf.prop_recursive(depth, 24, 2, |inner| {
+        prop_oneof![
+            ((0usize..4), inner.clone()).prop_map(|(i, p)| Process::prefix(e(i), p)),
+            (inner.clone(), inner.clone()).prop_map(|(p, q)| Process::external_choice(p, q)),
+            (inner.clone(), inner.clone()).prop_map(|(p, q)| Process::internal_choice(p, q)),
+            (inner.clone(), inner.clone()).prop_map(|(p, q)| Process::seq(p, q)),
+            (inner.clone(), inner.clone()).prop_map(|(p, q)| Process::interleave(p, q)),
+            (
+                inner.clone(),
+                inner.clone(),
+                proptest::collection::vec(0usize..4, 0..3)
+            )
+                .prop_map(|(p, q, sync)| {
+                    let sync: EventSet = sync.into_iter().map(e).collect();
+                    Process::parallel(sync, p, q)
+                }),
+            (inner, proptest::collection::vec(0usize..4, 1..3)).prop_map(|(p, hide)| {
+                let hidden: EventSet = hide.into_iter().map(e).collect();
+                Process::hide(p, hidden)
+            }),
+        ]
+    })
+    .boxed()
+}
+
+fn persisted_store(cache: &Arc<PersistentCache>, resume: ResumePolicy) -> ModelStore {
+    let store = ModelStore::new();
+    store.set_persist(PersistConfig {
+        cache: Arc::clone(cache),
+        checkpoint_every: None,
+        resume,
+    });
+    store
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn interrupt_and_resume_matches_uninterrupted(
+        spec in arb_process(3),
+        impl_ in arb_process(4),
+        cut in 1u64..40,
+    ) {
+        let defs = Definitions::new();
+        let checker = Checker::new();
+        for &threads in &[1usize, 8] {
+            let reference = ModelStore::new().trace_refinement(
+                &checker, &spec, &impl_, &defs, threads, &CheckOptions::UNBOUNDED,
+            );
+            let Ok((ref_verdict, ref_stats)) = reference else {
+                // A hard cap aborted the reference; nothing to resume.
+                continue;
+            };
+
+            let dir = fresh_dir("resume");
+            let cache = Arc::new(PersistentCache::open(&dir).expect("cache opens"));
+            let cut_opts = CheckOptions { max_states: Some(cut), max_wall_ms: None };
+            let (first, _) = persisted_store(&cache, ResumePolicy::Off)
+                .trace_refinement(&checker, &spec, &impl_, &defs, threads, &cut_opts)
+                .expect("budgeted run cannot hit a hard cap the reference missed");
+
+            let (final_verdict, final_stats) = if let Some(inc) = first.inconclusive() {
+                let token = inc.resume.as_deref();
+                prop_assert!(
+                    token.is_some(),
+                    "a budget-cut persistent check must leave a resume token"
+                );
+                let id = CheckId::from_token(token.unwrap()).expect("token parses");
+                persisted_store(&cache, ResumePolicy::Token(id))
+                    .trace_refinement(
+                        &checker, &spec, &impl_, &defs, threads, &CheckOptions::UNBOUNDED,
+                    )
+                    .expect("resumed run cannot hit a hard cap the reference missed")
+            } else {
+                // The check finished before the budget bit; it must already
+                // agree with the reference.
+                persisted_store(&cache, ResumePolicy::Off)
+                    .trace_refinement(
+                        &checker, &spec, &impl_, &defs, threads, &CheckOptions::UNBOUNDED,
+                    )
+                    .expect("warm re-run cannot hit a hard cap the reference missed")
+            };
+
+            prop_assert_eq!(&final_verdict, &ref_verdict);
+            // State counts: exact for the serial engine (the checkpoint is
+            // an exact continuation); the parallel engine's discovery
+            // order races on a fail, so only a pass pins the count (the
+            // full reachable product).
+            if threads == 1 || ref_verdict.is_pass() {
+                prop_assert_eq!(final_stats.pairs_discovered, ref_stats.pairs_discovered);
+            }
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+}
+
+/// Flip a byte, cut a tail, or wreck the header of `path` according to
+/// `mode`/`at`.
+fn damage_file(path: &std::path::Path, mode: u8, at: usize) {
+    let mut bytes = std::fs::read(path).expect("entry readable");
+    if bytes.is_empty() {
+        return;
+    }
+    match mode % 3 {
+        0 => {
+            let i = at % bytes.len();
+            bytes[i] ^= 0x40;
+        }
+        1 => {
+            let keep = at % bytes.len();
+            bytes.truncate(keep);
+        }
+        _ => {
+            let end = bytes.len().min(12);
+            for b in &mut bytes[..end] {
+                *b = b.wrapping_add(1);
+            }
+        }
+    }
+    std::fs::write(path, &bytes).expect("entry writable");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn corrupted_entries_degrade_to_recompile(
+        spec in arb_process(3),
+        impl_ in arb_process(4),
+        mode in 0u8..3,
+        at in 0usize..4096,
+    ) {
+        let defs = Definitions::new();
+        let checker = Checker::new();
+        let Ok((ref_verdict, _)) = ModelStore::new().trace_refinement(
+            &checker, &spec, &impl_, &defs, 1, &CheckOptions::UNBOUNDED,
+        ) else {
+            return Ok(());
+        };
+
+        // Warm the cache, then damage every entry on disk.
+        let dir = fresh_dir("fuzz");
+        let cache = Arc::new(PersistentCache::open(&dir).expect("cache opens"));
+        persisted_store(&cache, ResumePolicy::Off)
+            .trace_refinement(&checker, &spec, &impl_, &defs, 1, &CheckOptions::UNBOUNDED)
+            .expect("cold run succeeds");
+        let mut damaged = 0u64;
+        for entry in std::fs::read_dir(&dir).expect("cache dir listable") {
+            let path = entry.expect("dir entry").path();
+            if path.extension().and_then(|x| x.to_str()) == Some("bin") {
+                damage_file(&path, mode, at);
+                damaged += 1;
+            }
+        }
+        prop_assert!(damaged > 0, "the warm cache must contain entries to damage");
+
+        // A fresh store over the damaged cache must still reach the
+        // reference verdict, quarantining what it rejects.
+        let cache2 = Arc::new(PersistentCache::open(&dir).expect("cache reopens"));
+        let (verdict, _) = persisted_store(&cache2, ResumePolicy::Off)
+            .trace_refinement(&checker, &spec, &impl_, &defs, 1, &CheckOptions::UNBOUNDED)
+            .expect("damaged cache must not abort the check");
+        prop_assert_eq!(&verdict, &ref_verdict);
+        prop_assert!(
+            cache2.quarantined() + cache2.disk_misses() >= damaged,
+            "every damaged entry is either rejected or overwritten, never trusted"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupted_checkpoint_restarts_cleanly(
+        spec in arb_process(3),
+        impl_ in arb_process(4),
+        cut in 1u64..20,
+        mode in 0u8..3,
+        at in 0usize..4096,
+    ) {
+        let defs = Definitions::new();
+        let checker = Checker::new();
+        let Ok((ref_verdict, _)) = ModelStore::new().trace_refinement(
+            &checker, &spec, &impl_, &defs, 1, &CheckOptions::UNBOUNDED,
+        ) else {
+            return Ok(());
+        };
+
+        let dir = fresh_dir("ckpt");
+        let cache = Arc::new(PersistentCache::open(&dir).expect("cache opens"));
+        let cut_opts = CheckOptions { max_states: Some(cut), max_wall_ms: None };
+        let (first, _) = persisted_store(&cache, ResumePolicy::Off)
+            .trace_refinement(&checker, &spec, &impl_, &defs, 1, &cut_opts)
+            .expect("budgeted run succeeds");
+        let Some(token) = first.inconclusive().and_then(|i| i.resume.clone()) else {
+            // Conclusive before the cut: no checkpoint to corrupt.
+            let _ = std::fs::remove_dir_all(&dir);
+            return Ok(());
+        };
+        let ckpt = dir.join("checkpoints").join(format!("{token}.ckpt"));
+        prop_assert!(ckpt.exists(), "the resume token must name a real checkpoint");
+        damage_file(&ckpt, mode, at);
+
+        let id = CheckId::from_token(&token).expect("token parses");
+        let cache2 = Arc::new(PersistentCache::open(&dir).expect("cache reopens"));
+        let (verdict, _) = persisted_store(&cache2, ResumePolicy::Token(id))
+            .trace_refinement(&checker, &spec, &impl_, &defs, 1, &CheckOptions::UNBOUNDED)
+            .expect("resume over a damaged checkpoint must not abort");
+        prop_assert_eq!(&verdict, &ref_verdict);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

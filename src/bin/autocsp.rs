@@ -5,6 +5,8 @@
 //! autocsp lint <file>... [--dbc net.dbc] [--faults plan.toml] [--format json] [--deny-warnings]
 //! autocsp check <model.csp> [--threads N] [--max-states N] [--timeout-ms N]
 //!               [--stats] [--stats-json out.json] [--cex-json out.json]
+//!               [--cache-dir DIR] [--no-cache] [--resume TOKEN|auto]
+//!               [--checkpoint-every N]
 //! autocsp compose <gateway.can> <ecu.can> [--dbc net.dbc] [--buffered N] [-o out.csp]
 //! autocsp simulate <node.can>... [--dbc net.dbc] [--for-ms N]
 //!                  [--faults plan.toml] [--seed N] [--conformance model.csp]
@@ -13,6 +15,7 @@
 
 use std::fs;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use diag::{Diagnostic, Severity, Span};
 use faults::conformance::ConformanceVerdict;
@@ -71,6 +74,8 @@ USAGE:
   autocsp check <model.csp> [--deny-warnings] [--threads <N>] [--stats]
                 [--max-states <N>] [--timeout-ms <N>]
                 [--stats-json <out.json>] [--cex-json <out.json>]
+                [--cache-dir <DIR>] [--no-cache] [--resume <TOKEN|auto>]
+                [--checkpoint-every <N>]
       Run every `assert` in a CSPm script through the refinement checker.
       `--threads N` (alias `-j`) checks trace refinements with the
       work-stealing parallel engine; verdicts and counterexamples are
@@ -81,6 +86,16 @@ USAGE:
       statistics to stderr; `--stats-json` writes them to a file as JSON.
       `--cex-json` writes the first counterexample as JSON for
       `autocsp replay`.
+      `--cache-dir DIR` persists compiled models and checkpoints to a
+      crash-safe on-disk cache (shared safely between concurrent runs; a
+      corrupt entry is quarantined with a warning and recompiled, never
+      trusted). A budgeted-out assertion then also writes a checkpoint and
+      prints a resume token; `--resume TOKEN` (or `--resume auto` to pick
+      up any matching checkpoint) continues it to a verdict bit-identical
+      to an uninterrupted run. `--checkpoint-every N` additionally
+      checkpoints every N explored states, so an interrupted (even
+      SIGKILLed) run loses at most N states of work. `--no-cache` ignores
+      `--cache-dir`.
 
   autocsp compose <gateway.can> <ecu.can> [--dbc <net.dbc>] [--buffered <N>] [-o <out.csp>]
       Translate both nodes and compose SYSTEM = GATEWAY ∥ ECU.
@@ -99,7 +114,9 @@ USAGE:
       Re-drive a saved counterexample (from `check --cex-json`) through the
       simulator: stimulus events are injected as frames, and the node under
       test (`--node`, default: first CAPL file's name) must transmit the
-      expected responses. Exits 0 when the violation reproduces on the bus.
+      expected responses. Exits 0 when the violation reproduces on the bus,
+      1 when it does not, and 3 when the counterexample maps onto no
+      observable responses (inconclusive).
 
   autocsp --version
       Print the toolchain version.
@@ -121,6 +138,10 @@ struct Flags {
     max_states: Option<u64>,
     timeout_ms: Option<u64>,
     cex_json: Option<String>,
+    cache_dir: Option<String>,
+    no_cache: bool,
+    resume: Option<String>,
+    checkpoint_every: Option<u64>,
     faults: Option<String>,
     seed: Option<u64>,
     conformance: Option<String>,
@@ -152,6 +173,10 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         max_states: None,
         timeout_ms: None,
         cex_json: None,
+        cache_dir: None,
+        no_cache: false,
+        resume: None,
+        checkpoint_every: None,
         faults: None,
         seed: None,
         conformance: None,
@@ -216,6 +241,18 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                 );
             }
             "--cex-json" => flags.cex_json = Some(value(args, &mut i, "--cex-json")?),
+            "--cache-dir" => flags.cache_dir = Some(value(args, &mut i, "--cache-dir")?),
+            "--no-cache" => flags.no_cache = true,
+            "--resume" => flags.resume = Some(value(args, &mut i, "--resume")?),
+            "--checkpoint-every" => {
+                flags.checkpoint_every = Some(
+                    value(args, &mut i, "--checkpoint-every")?
+                        .parse()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .ok_or_else(|| "`--checkpoint-every` needs a number ≥ 1".to_owned())?,
+                );
+            }
             "--faults" => flags.faults = Some(value(args, &mut i, "--faults")?),
             "--seed" => {
                 flags.seed = Some(
@@ -498,6 +535,34 @@ fn check(args: &[String]) -> Result<ExitCode, String> {
         max_wall_ms: flags.timeout_ms,
     };
     let store = fdrlite::ModelStore::new();
+    let cache = match (&flags.cache_dir, flags.no_cache) {
+        (Some(dir), false) => {
+            let cache = Arc::new(
+                fdrlite::PersistentCache::open(dir)
+                    .map_err(|e| format!("cannot open cache directory `{dir}`: {e}"))?,
+            );
+            let resume = match flags.resume.as_deref() {
+                None => fdrlite::ResumePolicy::Off,
+                Some("auto") => fdrlite::ResumePolicy::Auto,
+                Some(token) => fdrlite::ResumePolicy::Token(
+                    fdrlite::CheckId::from_token(token)
+                        .ok_or_else(|| format!("invalid resume token `{token}`"))?,
+                ),
+            };
+            store.set_persist(fdrlite::PersistConfig {
+                cache: Arc::clone(&cache),
+                checkpoint_every: flags.checkpoint_every,
+                resume,
+            });
+            Some(cache)
+        }
+        _ => {
+            if flags.resume.is_some() {
+                return Err("`--resume` needs `--cache-dir` (checkpoints live there)".into());
+            }
+            None
+        }
+    };
     let results = loaded
         .check_with_store(&Checker::new(), &options, &store)
         .map_err(|e| e.to_string())?;
@@ -524,6 +589,9 @@ fn check(args: &[String]) -> Result<ExitCode, String> {
         } else if let Some(inc) = r.verdict.inconclusive() {
             inconclusive += 1;
             println!("assert {}  ...  INCONCLUSIVE ({inc})", r.description);
+            if let Some(token) = &inc.resume {
+                println!("  checkpoint saved; continue with `--resume {token}`");
+            }
         } else {
             println!("assert {}  ...  PASS", r.description);
         }
@@ -531,6 +599,21 @@ fn check(args: &[String]) -> Result<ExitCode, String> {
             if let Some(stats) = &r.stats {
                 eprintln!("  stats: {stats}");
             }
+        }
+    }
+    if let Some(cache) = &cache {
+        let root = cache.root().display().to_string();
+        for d in cache.take_diagnostics() {
+            eprint!("{}", d.render(&root, ""));
+        }
+        if flags.stats {
+            eprintln!(
+                "disk cache: {} hit(s), {} miss(es), {} quarantined, {} evicted",
+                cache.disk_hits(),
+                cache.disk_misses(),
+                cache.quarantined(),
+                cache.evicted()
+            );
         }
     }
     if flags.stats {
@@ -811,7 +894,13 @@ fn replay_cmd(args: &[String]) -> Result<ExitCode, String> {
         outcome.expected.join(", "),
         outcome.observed.join(", ")
     );
-    if outcome.reproduced {
+    if !outcome.is_conclusive() {
+        // Uniform exit-code contract: 3 whenever a run can neither confirm
+        // nor refute (same as a budget-exhausted `check` assertion or an
+        // inconclusive `simulate --conformance`).
+        println!("replay INCONCLUSIVE: no expected responses to observe");
+        Ok(ExitCode::from(EXIT_INCONCLUSIVE))
+    } else if outcome.reproduced {
         println!("violation REPRODUCED on the simulated bus");
         Ok(ExitCode::SUCCESS)
     } else {
