@@ -239,6 +239,65 @@ fn probe_disk(workload: &Workload, threads: usize) -> DiskProbe {
     probe
 }
 
+struct AnalysisProbe {
+    wall_us: u128,
+    predicted_states: u64,
+    actual_states: u64,
+    estimate_exact: bool,
+    divergence_free: bool,
+    deadlock_free: bool,
+    warm_wall_us: u128,
+    warm_hits: u64,
+}
+
+/// Time the semantic analysis pass on the workload's implementation — the
+/// same computation `autocsp analyze` and the `check` prelude run — and
+/// validate its accuracy: the compositional state prediction must bound
+/// the states the compile really discovered, and a repeat call must be
+/// served from the store's analysis cache.
+fn probe_analysis(workload: &Workload) -> AnalysisProbe {
+    let checker = Checker::new();
+    let store = fdrlite::ModelStore::new();
+
+    let started = Instant::now();
+    let analysis = store
+        .graph_analysis(&checker, &workload.impl_, &workload.defs)
+        .expect("impl compiles under default bounds");
+    let mut arena = csp::TermArena::new();
+    let root = arena.intern(&workload.impl_);
+    let est = csp::analysis::estimate(&mut arena, root, &workload.defs, 1_000_000);
+    let wall_us = started.elapsed().as_micros();
+
+    let warm_started = Instant::now();
+    let warm = store
+        .graph_analysis(&checker, &workload.impl_, &workload.defs)
+        .expect("warm analysis");
+    let warm_wall_us = warm_started.elapsed().as_micros();
+    assert!(
+        Arc::ptr_eq(&analysis, &warm),
+        "warm analysis must be cached"
+    );
+
+    let probe = AnalysisProbe {
+        wall_us,
+        predicted_states: est.predicted_states(),
+        actual_states: analysis.state_count() as u64,
+        estimate_exact: est.is_exact(),
+        divergence_free: analysis.is_divergence_free(),
+        deadlock_free: analysis.is_deadlock_free(),
+        warm_wall_us,
+        warm_hits: store.analysis_hits(),
+    };
+    assert!(
+        !probe.estimate_exact || probe.predicted_states >= probe.actual_states,
+        "exact prediction {} must bound actual {}",
+        probe.predicted_states,
+        probe.actual_states
+    );
+    assert!(probe.warm_hits > 0, "repeat analysis must hit the cache");
+    probe
+}
+
 fn env_u32(name: &str, default: u32) -> u32 {
     env::var(name)
         .ok()
@@ -310,6 +369,12 @@ fn main() -> ExitCode {
         disk.cold_compile_us, disk.cold_disk_misses, disk.warm_compile_us, disk.warm_disk_hits
     );
 
+    let analysis = probe_analysis(&passing);
+    eprintln!(
+        "  analyze wall={} µs  predicted ≤ {} state(s) vs {} actual, warm={} µs",
+        analysis.wall_us, analysis.predicted_states, analysis.actual_states, analysis.warm_wall_us
+    );
+
     let base = pass_points.iter().find(|p| p.threads == 1);
     let peak = pass_points.iter().max_by_key(|p| p.threads);
     let ratio = match (base, peak) {
@@ -354,6 +419,20 @@ fn main() -> ExitCode {
         disk.warm_disk_hits,
         disk.warm_disk_misses,
         disk.verdicts_agree
+    );
+    let _ = write!(
+        json,
+        ",\"analyze\":{{\"wall_us\":{},\"warm_wall_us\":{},\
+         \"predicted_states\":{},\"actual_states\":{},\"estimate_exact\":{},\
+         \"divergence_free\":{},\"deadlock_free\":{},\"warm_hits\":{}}}",
+        analysis.wall_us,
+        analysis.warm_wall_us,
+        analysis.predicted_states,
+        analysis.actual_states,
+        analysis.estimate_exact,
+        analysis.divergence_free,
+        analysis.deadlock_free,
+        analysis.warm_hits
     );
     for (key, points) in [("pass", &pass_points), ("fail", &fail_points)] {
         let _ = write!(json, ",\"{key}\":[");

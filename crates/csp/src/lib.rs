@@ -48,6 +48,7 @@ mod alphabet;
 mod error;
 mod process;
 
+pub mod analysis;
 pub mod builder;
 pub mod compress;
 pub mod dot;

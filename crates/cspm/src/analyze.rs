@@ -1,0 +1,786 @@
+//! Semantic model analysis over a loaded script.
+//!
+//! Where the syntactic `CSP2xx` lints bail out at the first renaming or
+//! hiding, this module runs the real thing on the *elaborated* model:
+//!
+//! * [`csp::analysis::AlphabetInference`] — an interprocedural fixpoint
+//!   over the hash-consed term arena that flows events through `[[a <- b]]`
+//!   and `\ {…}`, powering the `ANA301`–`ANA304` diagnostics;
+//! * [`csp::analysis::GraphAnalysis`] — a Tarjan SCC pass over each
+//!   compiled assertion operand (cached in the [`ModelStore`], so the
+//!   compile and the classification are shared verbatim with the checks
+//!   that follow), powering `ANA305`/`ANA306`;
+//! * [`csp::analysis::estimate`] — a compositional state-space predictor
+//!   whose bound feeds `ANA307` and the `analyze` report.
+//!
+//! The entry point is [`analyze_script`]; the result carries both the
+//! structured report (per-definition alphabets, per-assertion graph
+//! classifications and predictions) and a deterministically ordered list of
+//! [`Diagnostic`]s ready for `autocsp analyze` / `lint` / `check`.
+
+use std::collections::{HashMap, HashSet};
+
+use csp::analysis::{estimate, AlphaFinding, AlphabetInference, StateEstimate, SyncSide};
+use csp::{Alphabet, EventId, Process, Term, TermArena};
+use diag::{ana, Diagnostic, Span};
+use fdrlite::{Checker, ModelStore};
+
+use crate::ast::{Decl, Module, PropKind, RefModel};
+use crate::script::{LoadedScript, ResolvedCheck};
+
+/// Analysis of one named definition.
+#[derive(Debug, Clone)]
+pub struct DefinitionAnalysis {
+    /// The definition's name (parameterised instances keep their argument
+    /// suffix, e.g. `P(1)`).
+    pub name: String,
+    /// Where the definition lives in the source (unknown for elaborated
+    /// instances with no direct declaration).
+    pub span: Span,
+    /// The inferred may-alphabet, as sorted event names.
+    pub alphabet: Vec<String>,
+    /// Whether any assertion can semantically reach this definition
+    /// (always `true` in a script without assertions).
+    pub reachable: bool,
+}
+
+/// Graph classification of one compiled assertion operand.
+#[derive(Debug, Clone, Copy)]
+pub struct GraphSummary {
+    /// Reachable states.
+    pub states: usize,
+    /// Transitions.
+    pub transitions: usize,
+    /// τ-labelled transitions.
+    pub tau_transitions: usize,
+    /// Strongly connected components of the full graph.
+    pub scc_count: usize,
+    /// States lying on a τ-cycle.
+    pub tau_cycle_states: usize,
+    /// States with an infinite τ-path.
+    pub divergent_states: usize,
+    /// Non-Ω sink states.
+    pub deadlock_states: usize,
+}
+
+impl GraphSummary {
+    /// No reachable state diverges.
+    pub fn divergence_free(&self) -> bool {
+        self.divergent_states == 0
+    }
+
+    /// No reachable state is a non-Ω sink.
+    pub fn deadlock_free(&self) -> bool {
+        self.deadlock_states == 0
+    }
+}
+
+/// Analysis of one assertion operand.
+#[derive(Debug, Clone)]
+pub struct ProcessAnalysis {
+    /// `"spec"`, `"impl"` or `"process"`.
+    pub role: &'static str,
+    /// Graph classification, when the operand compiled within bounds.
+    pub graph: Option<GraphSummary>,
+    /// Why the graph passes were skipped, when they were.
+    pub compile_error: Option<String>,
+    /// Predicted upper bound on reachable states (compositional estimate).
+    pub predicted_states: u64,
+    /// Whether every leaf of the estimate compiled exactly (making the
+    /// prediction a proven bound).
+    pub estimate_exact: bool,
+    /// Compiled leaf components of the decomposition.
+    pub components: usize,
+    /// Parallel compositions crossed by the decomposition.
+    pub parallel_count: usize,
+    /// Total synchronised events across those compositions.
+    pub sync_coupling: usize,
+}
+
+/// Analysis of one assertion.
+#[derive(Debug, Clone)]
+pub struct AssertionAnalysis {
+    /// Human-readable rendering of the assertion.
+    pub description: String,
+    /// Operand analyses (spec then impl for refinements, the single
+    /// process for property assertions).
+    pub processes: Vec<ProcessAnalysis>,
+    /// For refinements: the product of the operands' predicted state
+    /// bounds — a coarse a-priori size of the refinement product walk.
+    pub predicted_product: Option<u64>,
+}
+
+/// Everything [`analyze_script`] learns about one script.
+#[derive(Debug, Clone)]
+pub struct ScriptAnalysis {
+    /// Fixpoint rounds until the definition alphabets stabilised.
+    pub rounds: usize,
+    /// Per-definition results, in declaration order.
+    pub definitions: Vec<DefinitionAnalysis>,
+    /// Per-assertion results, in script order.
+    pub assertions: Vec<AssertionAnalysis>,
+    /// Semantic findings, deterministically ordered (span, then code, then
+    /// message).
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+/// Run every semantic analysis over `loaded`.
+///
+/// `module` supplies source spans for definition-scoped findings (pass the
+/// AST the script was loaded from). Compiles are routed through `store`
+/// under `checker`'s bounds, so a subsequent check run over the same store
+/// reuses both the compiled models and their graph classifications. An
+/// operand that fails to compile (state-space bound, unguarded recursion)
+/// degrades to an `ANA300` warning — analysis never aborts.
+///
+/// `budget_states` is the exploration budget the eventual check would run
+/// under (`--max-states`); operands predicted to exceed it get `ANA307`.
+pub fn analyze_script(
+    module: &Module,
+    loaded: &LoadedScript,
+    checker: &Checker,
+    store: &ModelStore,
+    budget_states: Option<u64>,
+) -> ScriptAnalysis {
+    let defs = loaded.definitions();
+    let alphabet = loaded.alphabet();
+    let mut arena = TermArena::new();
+    let inference = AlphabetInference::infer(&mut arena, defs);
+
+    // Source spans for definition names.
+    let mut spans: HashMap<&str, Span> = HashMap::new();
+    for decl in &module.decls {
+        if let Decl::Definition { name, pos, .. } = decl {
+            spans
+                .entry(name.as_str())
+                .or_insert_with(|| Span::new(pos.line, pos.col, name.len() as u32));
+        }
+    }
+    let span_of = |def_name: &str| -> Span {
+        let base = def_name.split('(').next().unwrap_or(def_name);
+        spans.get(base).copied().unwrap_or_else(Span::unknown)
+    };
+
+    let mut diagnostics = Vec::new();
+    let mut seen_findings: HashSet<AlphaFinding> = HashSet::new();
+
+    // -- Alphabet findings inside definition bodies (ANA301/302/303) ------
+    for d in defs.ids() {
+        let Some(body) = inference.def_body(d) else {
+            continue;
+        };
+        let name = defs.name(d).to_string();
+        for finding in inference.term_findings(&arena, body) {
+            if !seen_findings.insert(finding) {
+                continue;
+            }
+            if dead_in_live_channel_closure(&arena, &inference, alphabet, &finding) {
+                continue;
+            }
+            diagnostics.push(alpha_diagnostic(
+                &finding,
+                alphabet,
+                span_of(&name),
+                &format!("in the definition of `{name}`"),
+            ));
+        }
+    }
+
+    // -- Assertion operand roots --------------------------------------------
+    let mut roots = Vec::new();
+    for a in loaded.assertions() {
+        let operands: Vec<&Process> = match &a.kind {
+            ResolvedCheck::Refinement { spec, impl_, .. } => vec![spec, impl_],
+            ResolvedCheck::Property { process, .. } => vec![process],
+        };
+        for p in operands {
+            let root = arena.intern(p);
+            roots.push(root);
+            // Findings in compositions written inline in the assert itself.
+            for finding in inference.term_findings(&arena, root) {
+                if !seen_findings.insert(finding) {
+                    continue;
+                }
+                if dead_in_live_channel_closure(&arena, &inference, alphabet, &finding) {
+                    continue;
+                }
+                diagnostics.push(alpha_diagnostic(
+                    &finding,
+                    alphabet,
+                    Span::unknown(),
+                    &format!("in `{}`", a.description),
+                ));
+            }
+        }
+    }
+
+    // -- Semantic reachability (ANA304) -------------------------------------
+    let reached = inference.reachable_defs(&arena, &roots);
+    let has_assertions = !loaded.assertions().is_empty();
+    // Aggregate instances by base name: `P(1)` reached counts for `P`.
+    let mut base_reached: HashMap<&str, bool> = HashMap::new();
+    for d in defs.ids() {
+        let base = defs.name(d).split('(').next().unwrap_or("").to_owned();
+        let Some((key, _)) = spans.get_key_value(base.as_str()) else {
+            continue;
+        };
+        let entry = base_reached.entry(key).or_insert(false);
+        *entry |= reached[d.index()];
+    }
+    if has_assertions {
+        let mut unreachable: Vec<&str> = base_reached
+            .iter()
+            .filter(|&(_, &r)| !r)
+            .map(|(&n, _)| n)
+            .collect();
+        unreachable.sort_unstable();
+        for name in unreachable {
+            diagnostics.push(
+                Diagnostic::warning(
+                    ana::UNREACHABLE_DEFINITION,
+                    span_of(name),
+                    format!("definition `{name}` is semantically unreachable from every assertion"),
+                )
+                .with_note(
+                    "reachability follows references through renaming and hiding; \
+                     no assertion can exercise this definition",
+                ),
+            );
+        }
+    }
+
+    // -- Per-definition report ----------------------------------------------
+    let mut definitions = Vec::with_capacity(defs.len());
+    for d in defs.ids() {
+        let name = defs.name(d).to_string();
+        let mut alpha: Vec<String> = inference
+            .def_alphabet(d)
+            .iter()
+            .map(|e| alphabet.name(e).to_string())
+            .collect();
+        alpha.sort_unstable();
+        definitions.push(DefinitionAnalysis {
+            span: span_of(&name),
+            alphabet: alpha,
+            reachable: !has_assertions || reached[d.index()],
+            name,
+        });
+    }
+
+    // -- Per-assertion graph classification and prediction -------------------
+    let mut assertions = Vec::with_capacity(loaded.assertions().len());
+    for a in loaded.assertions() {
+        let (operands, divergence_doomed, deadlock_doomed): (
+            Vec<(&'static str, &Process)>,
+            &[&'static str],
+            &[&'static str],
+        ) = match &a.kind {
+            ResolvedCheck::Refinement { model, spec, impl_ } => (
+                vec![("spec", spec), ("impl", impl_)],
+                // `[FD=` fails outright on a divergent implementation.
+                if *model == RefModel::FailuresDivergences {
+                    &["impl"]
+                } else {
+                    &[]
+                },
+                &[],
+            ),
+            ResolvedCheck::Property { process, property } => (
+                vec![("process", process)],
+                match property {
+                    PropKind::DivergenceFree | PropKind::Deterministic => &["process"],
+                    PropKind::DeadlockFree => &[],
+                },
+                match property {
+                    PropKind::DeadlockFree => &["process"],
+                    _ => &[],
+                },
+            ),
+        };
+
+        let mut processes = Vec::with_capacity(operands.len());
+        for (role, p) in operands {
+            let root = arena.intern(p);
+            let est: StateEstimate = estimate(&mut arena, root, defs, checker.max_states());
+            let (graph, compile_error) = match store.graph_analysis(checker, p, defs) {
+                Ok(g) => (
+                    Some(GraphSummary {
+                        states: g.state_count(),
+                        transitions: g.transition_count(),
+                        tau_transitions: g.tau_transition_count(),
+                        scc_count: g.scc_count(),
+                        tau_cycle_states: g.tau_cycle_states(),
+                        divergent_states: g.divergent_count(),
+                        deadlock_states: g.deadlock_count(),
+                    }),
+                    None,
+                ),
+                Err(e) => (None, Some(e.to_string())),
+            };
+
+            match &graph {
+                Some(g) => {
+                    if divergence_doomed.contains(&role) && !g.divergence_free() {
+                        diagnostics.push(
+                            Diagnostic::warning(
+                                ana::DIVERGENT_PROCESS,
+                                Span::unknown(),
+                                format!(
+                                    "the {role} of `{}` can diverge ({} of {} states have an \
+                                     infinite τ-path); the assertion is guaranteed to fail",
+                                    a.description, g.divergent_states, g.states
+                                ),
+                            )
+                            .with_note(
+                                "divergence was proved by SCC analysis of the compiled graph",
+                            ),
+                        );
+                    }
+                    if deadlock_doomed.contains(&role) && !g.deadlock_free() {
+                        diagnostics.push(
+                            Diagnostic::warning(
+                                ana::DEADLOCK_SINK,
+                                Span::unknown(),
+                                format!(
+                                    "the {role} of `{}` reaches {} deadlock sink(s); the \
+                                     assertion is guaranteed to fail",
+                                    a.description, g.deadlock_states
+                                ),
+                            )
+                            .with_note("a deadlock sink is a reachable non-Ω state with no outgoing transitions"),
+                        );
+                    }
+                }
+                None => {
+                    diagnostics.push(
+                        Diagnostic::warning(
+                            ana::ANALYSIS_SKIPPED,
+                            Span::unknown(),
+                            format!(
+                                "the {role} of `{}` could not be compiled for analysis: {}",
+                                a.description,
+                                compile_error.as_deref().unwrap_or("unknown error"),
+                            ),
+                        )
+                        .with_note(
+                            "graph classification was skipped; alphabet findings still apply",
+                        ),
+                    );
+                }
+            }
+
+            if let Some(budget) = budget_states {
+                if est.predicted_states() > budget {
+                    let qualifier = if est.is_exact() {
+                        "a proven bound"
+                    } else {
+                        "approximate: some components hit the compile cap"
+                    };
+                    diagnostics.push(
+                        Diagnostic::warning(
+                            ana::PREDICTED_OVER_BUDGET,
+                            Span::unknown(),
+                            format!(
+                                "the {role} of `{}` is predicted to reach up to {} states, \
+                                 over the --max-states budget of {budget}",
+                                a.description,
+                                est.predicted_states(),
+                            ),
+                        )
+                        .with_note(format!("the prediction is {qualifier}")),
+                    );
+                }
+            }
+
+            processes.push(ProcessAnalysis {
+                role,
+                graph,
+                compile_error,
+                predicted_states: est.predicted_states(),
+                estimate_exact: est.is_exact(),
+                components: est.components().len(),
+                parallel_count: est.parallel_count(),
+                sync_coupling: est.sync_coupling(),
+            });
+        }
+
+        let predicted_product = match &a.kind {
+            ResolvedCheck::Refinement { .. } => Some(
+                processes
+                    .iter()
+                    .map(|p| p.predicted_states)
+                    .fold(1_u64, u64::saturating_mul),
+            ),
+            ResolvedCheck::Property { .. } => None,
+        };
+        assertions.push(AssertionAnalysis {
+            description: a.description.clone(),
+            processes,
+            predicted_product,
+        });
+    }
+
+    sort_diagnostics(&mut diagnostics);
+    ScriptAnalysis {
+        rounds: inference.rounds(),
+        definitions,
+        assertions,
+        diagnostics,
+    }
+}
+
+/// Order diagnostics deterministically: by span (unknown spans first), then
+/// code, then message. Stable across runs and thread counts by construction
+/// — every input list is derived from declaration/script order.
+pub fn sort_diagnostics(diagnostics: &mut [Diagnostic]) {
+    diagnostics.sort_by(|a, b| {
+        (a.span.line, a.span.col, a.code.0, &a.message).cmp(&(
+            b.span.line,
+            b.span.col,
+            b.code.0,
+            &b.message,
+        ))
+    });
+}
+
+/// Noise policy for `ANA302`: a dead synchronised event whose *channel* is
+/// otherwise live in the same sync set is almost always a channel-closure
+/// sync (`[| {| c |} |]`) over a channel whose remaining values the dialogue
+/// never exchanges — idiomatic CSPm, not a stale set. Report the event only
+/// when every event of its channel in the set is dead too.
+fn dead_in_live_channel_closure(
+    arena: &TermArena,
+    inference: &AlphabetInference,
+    alphabet: &Alphabet,
+    finding: &AlphaFinding,
+) -> bool {
+    let &AlphaFinding::SyncDeadEvent { at, event } = finding else {
+        return false;
+    };
+    let &Term::Parallel { sync, left, right } = arena.term(at) else {
+        return false;
+    };
+    let channel = channel_of(alphabet.name(event));
+    let al = inference.alphabet_of(arena, left);
+    let ar = inference.alphabet_of(arena, right);
+    arena.set(sync).iter().any(|e| {
+        e != event && channel_of(alphabet.name(e)) == channel && al.contains(e) && ar.contains(e)
+    })
+}
+
+/// The channel part of a compound event name (`rec.reqSw` → `rec`).
+fn channel_of(name: &str) -> &str {
+    name.split('.').next().unwrap_or(name)
+}
+
+fn alpha_diagnostic(
+    finding: &AlphaFinding,
+    alphabet: &Alphabet,
+    span: Span,
+    context: &str,
+) -> Diagnostic {
+    let name = |e: EventId| alphabet.name(e).to_string();
+    match *finding {
+        AlphaFinding::SyncOneSided {
+            event, performer, ..
+        } => {
+            let (can, cannot) = match performer {
+                SyncSide::Left => ("left", "right"),
+                SyncSide::Right => ("right", "left"),
+            };
+            Diagnostic::warning(
+                ana::SYNC_ONE_SIDED,
+                span,
+                format!(
+                    "synchronised event `{}` {context} can only ever be performed by the \
+                     {can} side of the parallel; the {cannot} side never offers it",
+                    name(event)
+                ),
+            )
+            .with_note(
+                "the inferred may-alphabets see through renaming and hiding; \
+                 synchronising on this event blocks it forever",
+            )
+        }
+        AlphaFinding::SyncDeadEvent { event, .. } => Diagnostic::warning(
+            ana::SYNC_DEAD_EVENT,
+            span,
+            format!(
+                "synchronised event `{}` {context} can never be performed by either side \
+                 of the parallel",
+                name(event)
+            ),
+        )
+        .with_note("usually a stale synchronisation set; remove the event"),
+        AlphaFinding::HiddenNeverPerformable { event, .. } => Diagnostic::warning(
+            ana::HIDE_DEAD_EVENT,
+            span,
+            format!(
+                "event `{}` {context} is hidden but the process can never perform it",
+                name(event)
+            ),
+        )
+        .with_note("hiding an unperformable event is a no-op; the hide set may be stale"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Script;
+
+    fn analyze(src: &str) -> ScriptAnalysis {
+        let script = Script::parse(src).unwrap();
+        let loaded = script.load().unwrap();
+        analyze_script(
+            script.module(),
+            &loaded,
+            &Checker::new(),
+            &ModelStore::new(),
+            None,
+        )
+    }
+
+    fn codes(analysis: &ScriptAnalysis) -> Vec<&str> {
+        analysis.diagnostics.iter().map(|d| d.code.0).collect()
+    }
+
+    #[test]
+    fn clean_script_has_no_findings() {
+        let a = analyze(
+            "
+            channel req, rpt
+            NODE = req -> rpt -> NODE
+            BUS  = req -> rpt -> BUS
+            SYSTEM = NODE [| {req, rpt} |] BUS
+            assert SYSTEM :[deadlock free]
+            ",
+        );
+        assert!(a.diagnostics.is_empty(), "{:?}", a.diagnostics);
+        assert_eq!(a.assertions.len(), 1);
+        let g = a.assertions[0].processes[0].graph.expect("compiled");
+        assert!(g.deadlock_free());
+        assert!(g.divergence_free());
+    }
+
+    #[test]
+    fn dead_value_of_a_live_channel_closure_is_not_stale() {
+        // `{| rec, send |}` closes over every value of both channels; the
+        // dialogue only ever exchanges `m1`. The unexchanged values are
+        // idiomatic closure slack, not a stale sync set — no ANA302. The
+        // fully-dead channel `aux` in the same set must still be reported.
+        let a = analyze(
+            "
+            datatype MsgT = m1 | m2
+            channel rec, send : MsgT
+            channel aux
+            P = rec.m1 -> send.m1 -> P
+            Q = rec.m1 -> send.m1 -> Q
+            SYSTEM = P [| {| rec, send, aux |} |] Q
+            assert SYSTEM :[deadlock free]
+            ",
+        );
+        let ana302: Vec<&Diagnostic> = a
+            .diagnostics
+            .iter()
+            .filter(|d| d.code.0 == "ANA302")
+            .collect();
+        assert_eq!(ana302.len(), 1, "{:?}", a.diagnostics);
+        assert!(ana302[0].message.contains("`aux`"), "{:?}", ana302[0]);
+        assert!(
+            !a.diagnostics
+                .iter()
+                .any(|d| d.message.contains("rec.m2") || d.message.contains("send.m2")),
+            "{:?}",
+            a.diagnostics
+        );
+    }
+
+    #[test]
+    fn one_sided_sync_is_reported_through_renaming() {
+        // The syntactic CSP201 lint bails on the rename; the semantic
+        // analysis must still see that MONITOR never offers `req`.
+        let a = analyze(
+            "
+            channel req, rpt, tick
+            SENDER = req -> SENDER
+            CLOCK = tick -> CLOCK
+            MONITOR = CLOCK [[ tick <- rpt ]]
+            SYSTEM = SENDER [| {req, rpt} |] MONITOR
+            assert SYSTEM :[deadlock free]
+            ",
+        );
+        let codes = codes(&a);
+        assert!(codes.contains(&"ANA301"), "{codes:?}");
+        // SYSTEM deadlocks immediately (one-sided sync on both events).
+        assert!(codes.contains(&"ANA306"), "{codes:?}");
+    }
+
+    #[test]
+    fn dead_hide_and_unreachable_definition_are_reported() {
+        let a = analyze(
+            "
+            channel a, b, zap
+            P = a -> P
+            Q = (b -> Q) \\ {zap}
+            ORPHAN = a -> STOP
+            assert Q :[deadlock free]
+            ",
+        );
+        let codes = codes(&a);
+        assert!(codes.contains(&"ANA303"), "{codes:?}");
+        assert!(codes.contains(&"ANA304"), "{codes:?}");
+        // ORPHAN's diagnostic points at its definition line.
+        let orphan = a
+            .diagnostics
+            .iter()
+            .find(|d| d.code.0 == "ANA304" && d.message.contains("ORPHAN"))
+            .unwrap();
+        assert!(orphan.span.is_known());
+        // P is also unreachable here.
+        assert_eq!(
+            a.diagnostics
+                .iter()
+                .filter(|d| d.code.0 == "ANA304")
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn divergence_is_flagged_only_under_doomed_assertions() {
+        let src_doomed = "
+            channel a
+            DIV = (a -> DIV) \\ {a}
+            assert DIV :[divergence free]
+            ";
+        let src_fine = "
+            channel a
+            SPEC = a -> SPEC
+            DIV = (a -> DIV) \\ {a}
+            assert SPEC [T= DIV
+            ";
+        assert!(codes(&analyze(src_doomed)).contains(&"ANA305"));
+        assert!(!codes(&analyze(src_fine)).contains(&"ANA305"));
+    }
+
+    #[test]
+    fn fd_refinement_dooms_a_divergent_impl() {
+        let a = analyze(
+            "
+            channel a
+            SPEC = a -> SPEC
+            DIV = (a -> DIV) \\ {a}
+            assert SPEC [FD= DIV
+            ",
+        );
+        let d = a
+            .diagnostics
+            .iter()
+            .find(|d| d.code.0 == "ANA305")
+            .expect("ANA305");
+        assert!(d.message.contains("impl"), "{}", d.message);
+        assert_eq!(a.assertions[0].processes.len(), 2);
+        assert!(a.assertions[0].predicted_product.is_some());
+    }
+
+    #[test]
+    fn stop_under_trace_refinement_stays_silent() {
+        // STOP-terminated models under `[T=` are idiomatic: no ANA306.
+        let a = analyze(
+            "
+            channel a
+            SPEC = a -> SPEC
+            ONCE = a -> STOP
+            assert SPEC [T= ONCE
+            ",
+        );
+        assert!(a.diagnostics.is_empty(), "{:?}", a.diagnostics);
+    }
+
+    #[test]
+    fn compile_failure_degrades_to_ana300() {
+        let src = "
+            channel a, b
+            P = a -> b -> P
+            assert P :[deadlock free]
+            ";
+        let script = Script::parse(src).unwrap();
+        let loaded = script.load().unwrap();
+        let mut builder = fdrlite::CheckerBuilder::new();
+        builder.max_states(1);
+        let tiny = builder.build();
+        let a = analyze_script(script.module(), &loaded, &tiny, &ModelStore::new(), None);
+        let codes: Vec<&str> = a.diagnostics.iter().map(|d| d.code.0).collect();
+        assert!(codes.contains(&"ANA300"), "{codes:?}");
+        assert!(a.assertions[0].processes[0].graph.is_none());
+    }
+
+    #[test]
+    fn predicted_over_budget_fires_against_the_budget() {
+        let a_src = "
+            channel a, b
+            P = a -> b -> P
+            Q = b -> a -> Q
+            SYS = P ||| Q
+            assert SYS :[deadlock free]
+            ";
+        let script = Script::parse(a_src).unwrap();
+        let loaded = script.load().unwrap();
+        let a = analyze_script(
+            script.module(),
+            &loaded,
+            &Checker::new(),
+            &ModelStore::new(),
+            Some(2),
+        );
+        let codes: Vec<&str> = a.diagnostics.iter().map(|d| d.code.0).collect();
+        assert!(codes.contains(&"ANA307"), "{codes:?}");
+        let proc = &a.assertions[0].processes[0];
+        assert!(proc.estimate_exact);
+        assert!(proc.predicted_states > 2);
+        assert_eq!(proc.parallel_count, 1);
+    }
+
+    #[test]
+    fn analysis_is_cached_in_the_store() {
+        let src = "
+            channel a
+            P = a -> P
+            assert P :[deadlock free]
+            ";
+        let script = Script::parse(src).unwrap();
+        let loaded = script.load().unwrap();
+        let checker = Checker::new();
+        let store = ModelStore::new();
+        analyze_script(script.module(), &loaded, &checker, &store, None);
+        assert_eq!(store.analysis_misses(), 1);
+        assert_eq!(store.analysis_hits(), 0);
+        // A check over the same store reuses the classification.
+        loaded
+            .check_with_store(&checker, &crate::CheckOptions::default(), &store)
+            .unwrap();
+        assert_eq!(store.analysis_misses(), 1);
+        assert!(store.analysis_hits() >= 1);
+    }
+
+    #[test]
+    fn diagnostics_are_sorted_and_definitions_reported() {
+        let a = analyze(
+            "
+            channel a, b, zap
+            Z = (b -> Z) \\ {zap}
+            A = (a -> A) \\ {zap}
+            assert Z :[deadlock free]
+            assert A :[deadlock free]
+            ",
+        );
+        let lines: Vec<u32> = a.diagnostics.iter().map(|d| d.span.line).collect();
+        let mut sorted = lines.clone();
+        sorted.sort_unstable();
+        assert_eq!(lines, sorted);
+        let z = a.definitions.iter().find(|d| d.name == "Z").unwrap();
+        assert_eq!(z.alphabet, vec!["b".to_string()]);
+        assert!(z.reachable);
+    }
+}

@@ -14,6 +14,9 @@
 //! | `CAPL0xx` | CAPL program analysis                            |
 //! | `DBC1xx`  | CAN database hygiene and CAPL ↔ `.dbc` checks    |
 //! | `CSP2xx`  | CSPm structural analysis (pre-LTS)               |
+//! | `SIM3xx`  | fault-plan validation and plan ↔ `.dbc` checks   |
+//! | `STO4xx`  | on-disk model-cache integrity (`fdrlite::persist`) |
+//! | `ANA3xx`  | semantic model analysis (`autocsp analyze`, see [`ana`]) |
 //!
 //! Rendering follows the familiar compiler shape:
 //!
@@ -254,6 +257,49 @@ pub fn json_string(s: &str) -> String {
     }
     out.push('"');
     out
+}
+
+/// Stable codes of the `ANA3xx` family: semantic model analysis.
+///
+/// Emitted by the semantic analyzer (`cspm::analyze`, surfaced as
+/// `autocsp analyze` and as gating hooks in `check`/`lint`). Unlike the
+/// syntactic `CSP2xx` lints these are computed on the *elaborated* model —
+/// interprocedural alphabet inference sees through renaming and hiding,
+/// and the graph findings are read off the compiled LTS itself — so every
+/// finding states a semantic certainty ("this event can never happen
+/// here", "this assertion is guaranteed to fail"), never a heuristic.
+///
+/// The constants live here (rather than in `lint`) because the analyzer
+/// sits below the lint crate in the dependency order; `lint::codes`
+/// re-exports them into the catalogue.
+pub mod ana {
+    use crate::Code;
+
+    /// A process could not be analysed (compile error or budget hit); the
+    /// semantic findings for it are incomplete, not absent.
+    pub const ANALYSIS_SKIPPED: Code = Code("ANA300");
+    /// An event in a synchronisation set that only one operand can ever
+    /// perform: the interface blocks it forever.
+    pub const SYNC_ONE_SIDED: Code = Code("ANA301");
+    /// An event in a synchronisation set that neither operand can ever
+    /// perform.
+    pub const SYNC_DEAD_EVENT: Code = Code("ANA302");
+    /// An event that is hidden but never performable by the hidden
+    /// process.
+    pub const HIDE_DEAD_EVENT: Code = Code("ANA303");
+    /// A definition semantically unreachable from every assertion, even
+    /// through renaming and hiding.
+    pub const UNREACHABLE_DEFINITION: Code = Code("ANA304");
+    /// A process under a divergence-sensitive assertion can diverge: the
+    /// assertion is guaranteed to fail.
+    pub const DIVERGENT_PROCESS: Code = Code("ANA305");
+    /// A process under a deadlock-freedom assertion reaches a guaranteed
+    /// deadlock sink: the assertion is guaranteed to fail.
+    pub const DEADLOCK_SINK: Code = Code("ANA306");
+    /// The predicted state-space bound for an assertion exceeds the
+    /// configured exploration budget: the check is expected to come back
+    /// inconclusive.
+    pub const PREDICTED_OVER_BUDGET: Code = Code("ANA307");
 }
 
 #[cfg(test)]

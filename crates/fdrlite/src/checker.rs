@@ -501,9 +501,21 @@ impl Checker {
     /// [`Checker::deadlock_free`] over an already-compiled LTS (e.g. one
     /// served by a [`crate::ModelStore`]).
     pub fn deadlock_free_compiled(&self, lts: &Lts) -> Verdict {
+        let deadlocked: Vec<bool> = lts
+            .state_ids()
+            .map(|s| lts.is_terminal(s) && !matches!(lts.state(s), Process::Omega))
+            .collect();
+        self.deadlock_free_with_flags(lts, &deadlocked)
+    }
+
+    /// [`Checker::deadlock_free_compiled`] with the per-state deadlock
+    /// flags precomputed (e.g. by a cached
+    /// [`csp::analysis::GraphAnalysis`]). The witness search — and
+    /// therefore the verdict and counterexample — is identical.
+    pub fn deadlock_free_with_flags(&self, lts: &Lts, deadlocked: &[bool]) -> Verdict {
         let reach = Reachability::explore(lts);
         for (idx, &s) in reach.order.iter().enumerate() {
-            if lts.is_terminal(s) && !matches!(lts.state(s), Process::Omega) {
+            if deadlocked[s.index()] {
                 return Verdict::Fail(Counterexample::new(
                     reach.trace_to(idx),
                     FailureKind::Deadlock,
@@ -527,6 +539,16 @@ impl Checker {
     /// served by a [`crate::ModelStore`]).
     pub fn divergence_free_compiled(&self, lts: &Lts) -> Verdict {
         let divergent = crate::normalise::divergent_states_of(lts);
+        self.divergence_free_with_flags(lts, &divergent)
+    }
+
+    /// [`Checker::divergence_free_compiled`] with the per-state divergence
+    /// flags precomputed (e.g. by a cached
+    /// [`csp::analysis::GraphAnalysis`], whose divergent set is
+    /// definitionally the same one `divergent_states_of` peels out). The
+    /// witness search — and therefore the verdict and counterexample — is
+    /// identical.
+    pub fn divergence_free_with_flags(&self, lts: &Lts, divergent: &[bool]) -> Verdict {
         let reach = Reachability::explore(lts);
         for (idx, &s) in reach.order.iter().enumerate() {
             if divergent[s.index()] {

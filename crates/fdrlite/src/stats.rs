@@ -54,6 +54,17 @@ pub struct CheckStats {
     pub store_hits: u64,
     /// Compiled artifacts the model store had to build fresh.
     pub store_misses: u64,
+    /// Graph analyses (SCC/divergence/deadlock classifications) served
+    /// from the model store's analysis cache. Zero for checks that never
+    /// consult the analysis (plain `[T=` / `[F=`).
+    pub analysis_hits: u64,
+    /// Graph analyses the store had to compute fresh.
+    pub analysis_misses: u64,
+    /// A-priori upper bound on `pairs_discovered`, predicted before the
+    /// product walk from the compiled component sizes (spec normal-form
+    /// nodes × implementation states). Always ≥ `pairs_discovered`; zero
+    /// when the check never reached the product phase.
+    pub predicted_pairs: u64,
     /// Wall-clock time of the exploration (including witness recovery).
     pub wall: Duration,
     /// Aggregate busy time across workers (≈ CPU time; excludes idle
@@ -97,7 +108,8 @@ impl CheckStats {
         format!(
             "{{\"threads\":{},\"shards\":{},\"pairs_discovered\":{},\"expansions\":{},\
              \"transitions\":{},\"frontier_peak\":{},\"steals\":{},\"shard_peak\":{},\
-             \"rewalk_expansions\":{},\"store_hits\":{},\"store_misses\":{},\"wall_us\":{},\
+             \"rewalk_expansions\":{},\"store_hits\":{},\"store_misses\":{},\
+             \"analysis_hits\":{},\"analysis_misses\":{},\"predicted_pairs\":{},\"wall_us\":{},\
              \"cpu_busy_us\":{},\"compile_us\":{},\"explore_us\":{},\"wall_overshoot_us\":{},\
              \"states_per_sec\":{:.1}}}",
             self.threads,
@@ -111,6 +123,9 @@ impl CheckStats {
             self.rewalk_expansions,
             self.store_hits,
             self.store_misses,
+            self.analysis_hits,
+            self.analysis_misses,
+            self.predicted_pairs,
             self.wall.as_micros(),
             self.cpu_busy.as_micros(),
             self.compile_wall.as_micros(),
@@ -128,7 +143,8 @@ impl fmt::Display for CheckStats {
             "{} states ({:.0}/s), {} transitions, frontier peak {}, \
              {} steals, {} shards (peak {}), rewalk {}, \
              wall {:.3} ms (compile {:.3} + explore {:.3}), cpu {:.3} ms, \
-             store {}/{} hit, {} thread(s)",
+             store {}/{} hit, analysis {}/{} hit, predicted ≤ {} pairs, \
+             {} thread(s)",
             self.expansions,
             self.states_per_sec(),
             self.transitions,
@@ -143,6 +159,9 @@ impl fmt::Display for CheckStats {
             self.cpu_busy.as_secs_f64() * 1e3,
             self.store_hits,
             self.store_hits + self.store_misses,
+            self.analysis_hits,
+            self.analysis_hits + self.analysis_misses,
+            self.predicted_pairs,
             self.threads,
         )
     }
@@ -166,6 +185,9 @@ mod tests {
             rewalk_expansions: 3,
             store_hits: 2,
             store_misses: 1,
+            analysis_hits: 1,
+            analysis_misses: 1,
+            predicted_pairs: 640,
             wall: Duration::from_micros(2_500),
             cpu_busy: Duration::from_micros(9_000),
             compile_wall: Duration::from_micros(400),
@@ -185,6 +207,9 @@ mod tests {
             "\"rewalk_expansions\":3",
             "\"store_hits\":2",
             "\"store_misses\":1",
+            "\"analysis_hits\":1",
+            "\"analysis_misses\":1",
+            "\"predicted_pairs\":640",
             "\"wall_us\":2500",
             "\"cpu_busy_us\":9000",
             "\"compile_us\":400",

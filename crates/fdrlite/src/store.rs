@@ -29,6 +29,7 @@ use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use csp::analysis::GraphAnalysis;
 use csp::{CsrEdges, Definitions, Lts, Process, TermArena, TermId};
 
 use crate::checker::{CheckOptions, Checker, RefinementModel};
@@ -106,9 +107,12 @@ struct StoreInner {
     arena: TermArena,
     compiled: HashMap<CompileKey, Arc<CompiledModel>>,
     normalised: HashMap<NormKey, Arc<NormalisedLts>>,
+    analysed: HashMap<CompileKey, Arc<GraphAnalysis>>,
     hashes: HashMap<TermId, ModelHash>,
     hits: u64,
     misses: u64,
+    analysis_hits: u64,
+    analysis_misses: u64,
 }
 
 impl StoreInner {
@@ -243,6 +247,28 @@ impl StoreInner {
         self.normalised.insert(key, Arc::clone(&norm));
         Ok(norm)
     }
+
+    /// The SCC/divergence/deadlock classification of an already-compiled
+    /// model, cached per [`CompileKey`] so it is computed at most once per
+    /// compiled artifact. The analysis is derived data (always recomputable
+    /// from the compile), so it lives in memory only and keeps its own
+    /// hit/miss counters — the `hits`/`misses` pair stays a pure measure of
+    /// compile/normalise work.
+    fn analysis(&mut self, key: CompileKey, model: &CompiledModel) -> Arc<GraphAnalysis> {
+        if let Some(analysis) = self.analysed.get(&key) {
+            self.analysis_hits += 1;
+            return Arc::clone(analysis);
+        }
+        self.analysis_misses += 1;
+        let lts = model.lts();
+        let omega: Vec<bool> = lts
+            .state_ids()
+            .map(|s| matches!(lts.state(s), Process::Omega))
+            .collect();
+        let analysis = Arc::new(GraphAnalysis::of_csr(model.csr(), &omega));
+        self.analysed.insert(key, Arc::clone(&analysis));
+        analysis
+    }
 }
 
 /// A shared, content-addressed cache of compiled (and normalised) models.
@@ -314,6 +340,44 @@ impl ModelStore {
     fn counters(&self) -> (u64, u64) {
         let inner = self.lock();
         (inner.hits, inner.misses)
+    }
+
+    /// Graph analyses served from cache so far.
+    pub fn analysis_hits(&self) -> u64 {
+        self.lock().analysis_hits
+    }
+
+    /// Graph analyses computed fresh so far.
+    pub fn analysis_misses(&self) -> u64 {
+        self.lock().analysis_misses
+    }
+
+    fn analysis_counters(&self) -> (u64, u64) {
+        let inner = self.lock();
+        (inner.analysis_hits, inner.analysis_misses)
+    }
+
+    /// The SCC/divergence/deadlock classification of `p`'s compiled LTS
+    /// (see [`GraphAnalysis`]), compiled through the cache and itself
+    /// cached per compiled model: one compiled artifact is analysed at
+    /// most once, however many property checks, `[FD=` runs or `analyze`
+    /// passes ask for it.
+    ///
+    /// # Errors
+    ///
+    /// Compilation exceeded its bound.
+    pub fn graph_analysis(
+        &self,
+        checker: &Checker,
+        p: &Process,
+        defs: &Definitions,
+    ) -> Result<Arc<GraphAnalysis>, CheckError> {
+        let disk = self.cache_handle();
+        let mut inner = self.lock();
+        let model = inner.compile(checker, p, defs, disk.as_deref())?;
+        let term = inner.arena.intern(p);
+        let key = CompileKey::new(term, checker);
+        Ok(inner.analysis(key, &model))
     }
 
     /// Compile `p` (explicate + optional compression + CSR snapshot),
@@ -424,15 +488,19 @@ impl ModelStore {
         let persist = self.persist_config();
         let disk = persist.as_ref().map(|cfg| Arc::clone(&cfg.cache));
         let (hits0, misses0) = self.counters();
+        let (ahits0, amisses0) = self.analysis_counters();
         let compile_start = Instant::now();
-        let impl_m = self.lock().compile(checker, impl_, defs, disk.as_deref())?;
-        let divergence = checker.divergence_free_compiled(impl_m.lts());
+        let (impl_m, analysis) = self.compile_and_analyse(checker, impl_, defs)?;
+        let divergence = checker.divergence_free_with_flags(impl_m.lts(), analysis.divergent());
         if !divergence.is_pass() {
             let (hits1, misses1) = self.counters();
+            let (ahits1, amisses1) = self.analysis_counters();
             let stats = CheckStats {
                 compile_wall: compile_start.elapsed(),
                 store_hits: hits1 - hits0,
                 store_misses: misses1 - misses0,
+                analysis_hits: ahits1 - ahits0,
+                analysis_misses: amisses1 - amisses0,
                 ..CheckStats::default()
             };
             return Ok((divergence, stats));
@@ -461,14 +529,20 @@ impl ModelStore {
                 .map(|cfg| (cfg, id.expect("id with persist"))),
         )?;
         stats.compile_wall = compile_wall;
+        stats.predicted_pairs =
+            (norm.node_count() as u64).saturating_mul(impl_m.lts().state_count() as u64);
         let (hits1, misses1) = self.counters();
         stats.store_hits = hits1 - hits0;
         stats.store_misses = misses1 - misses0;
+        let (ahits1, amisses1) = self.analysis_counters();
+        stats.analysis_hits = ahits1 - ahits0;
+        stats.analysis_misses = amisses1 - amisses0;
         Ok((verdict, stats))
     }
 
-    /// Is `p` deadlock free? Compiles through the cache, then runs
-    /// [`Checker::deadlock_free_compiled`].
+    /// Is `p` deadlock free? Compiles through the cache, reads the
+    /// guaranteed-deadlock sinks off the cached [`GraphAnalysis`], then
+    /// runs the checker's witness search over those flags.
     ///
     /// # Errors
     ///
@@ -479,11 +553,14 @@ impl ModelStore {
         p: &Process,
         defs: &Definitions,
     ) -> Result<Verdict, CheckError> {
-        Ok(checker.deadlock_free_compiled(self.compile(checker, p, defs)?.lts()))
+        let (model, analysis) = self.compile_and_analyse(checker, p, defs)?;
+        Ok(checker.deadlock_free_with_flags(model.lts(), analysis.deadlocked()))
     }
 
-    /// Is `p` divergence free? Compiles through the cache, then runs
-    /// [`Checker::divergence_free_compiled`].
+    /// Is `p` divergence free? Compiles through the cache, reads the
+    /// divergent-state set off the cached [`GraphAnalysis`] (the same set
+    /// the direct checker's τ-peel computes), then runs the checker's
+    /// witness search over those flags.
     ///
     /// # Errors
     ///
@@ -494,7 +571,25 @@ impl ModelStore {
         p: &Process,
         defs: &Definitions,
     ) -> Result<Verdict, CheckError> {
-        Ok(checker.divergence_free_compiled(self.compile(checker, p, defs)?.lts()))
+        let (model, analysis) = self.compile_and_analyse(checker, p, defs)?;
+        Ok(checker.divergence_free_with_flags(model.lts(), analysis.divergent()))
+    }
+
+    /// One compile-counter touch, one analysis-counter touch: compile `p`
+    /// through the cache and analyse the result, under a single lock.
+    fn compile_and_analyse(
+        &self,
+        checker: &Checker,
+        p: &Process,
+        defs: &Definitions,
+    ) -> Result<(Arc<CompiledModel>, Arc<GraphAnalysis>), CheckError> {
+        let disk = self.cache_handle();
+        let mut inner = self.lock();
+        let model = inner.compile(checker, p, defs, disk.as_deref())?;
+        let term = inner.arena.intern(p);
+        let key = CompileKey::new(term, checker);
+        let analysis = inner.analysis(key, &model);
+        Ok((model, analysis))
     }
 
     /// Is `p` deterministic? Normalises through the cache, then runs
@@ -552,6 +647,10 @@ impl ModelStore {
                 .map(|cfg| (cfg, id.expect("id with persist"))),
         )?;
         stats.compile_wall = compile_wall;
+        // Sound a-priori bound on the product walk: every explored pair is
+        // (impl state, spec normal-form node).
+        stats.predicted_pairs =
+            (norm.node_count() as u64).saturating_mul(impl_m.lts().state_count() as u64);
         let (hits1, misses1) = self.counters();
         stats.store_hits = hits1 - hits0;
         stats.store_misses = misses1 - misses0;

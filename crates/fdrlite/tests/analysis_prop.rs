@@ -1,0 +1,123 @@
+//! Property-based soundness of the semantic analysis layer against the
+//! checker itself, over randomly generated processes:
+//!
+//! * the cached [`GraphAnalysis`] divergence-freedom verdict must agree
+//!   with a `P [FD= P` self-check through the *direct* checker path (whose
+//!   divergence phase runs the independent `divergent_states_of` sweep,
+//!   not the Tarjan pass under test);
+//! * the compositional state-space estimate, whenever every leaf compiles
+//!   within its cap, must be an upper bound on the states the compile
+//!   actually discovers;
+//! * the a-priori `predicted_pairs` product bound in [`CheckStats`] must
+//!   dominate the pairs a refinement run really explores.
+
+use csp::analysis::estimate;
+use csp::{Definitions, EventId, EventSet, Process, TermArena};
+use fdrlite::{CheckOptions, Checker, ModelStore};
+use proptest::prelude::*;
+
+fn e(n: usize) -> EventId {
+    EventId::from_index(n)
+}
+
+/// A random finite process over a 4-event alphabet (same shape as the
+/// store-equivalence suite, hide included so τ-cycles actually occur).
+fn arb_process(depth: u32) -> BoxedStrategy<Process> {
+    let leaf = prop_oneof![
+        Just(Process::Stop),
+        Just(Process::Skip),
+        (0usize..4).prop_map(|i| Process::prefix(e(i), Process::Stop)),
+    ];
+    leaf.prop_recursive(depth, 24, 2, |inner| {
+        prop_oneof![
+            ((0usize..4), inner.clone()).prop_map(|(i, p)| Process::prefix(e(i), p)),
+            (inner.clone(), inner.clone()).prop_map(|(p, q)| Process::external_choice(p, q)),
+            (inner.clone(), inner.clone()).prop_map(|(p, q)| Process::internal_choice(p, q)),
+            (inner.clone(), inner.clone()).prop_map(|(p, q)| Process::seq(p, q)),
+            (inner.clone(), inner.clone()).prop_map(|(p, q)| Process::interleave(p, q)),
+            (
+                inner.clone(),
+                inner.clone(),
+                proptest::collection::vec(0usize..4, 0..3)
+            )
+                .prop_map(|(p, q, sync)| {
+                    let sync: EventSet = sync.into_iter().map(e).collect();
+                    Process::parallel(sync, p, q)
+                }),
+            (inner, proptest::collection::vec(0usize..4, 1..3)).prop_map(|(p, hide)| {
+                let hidden: EventSet = hide.into_iter().map(e).collect();
+                Process::hide(p, hidden)
+            }),
+        ]
+    })
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn divergence_verdict_agrees_with_fd_self_check(p in arb_process(4)) {
+        let defs = Definitions::new();
+        let checker = Checker::new();
+        let store = ModelStore::new();
+        let analysis = store
+            .graph_analysis(&checker, &p, &defs)
+            .expect("small random models compile under default bounds");
+        // `P [FD= P` holds exactly when P is divergence free: the failures
+        // phase is reflexive, so only the divergence phase (which runs the
+        // independent `divergent_states_of` sweep) can refute it.
+        let self_check = checker
+            .failures_divergences_refinement(&p, &p, &defs)
+            .expect("self-check compiles");
+        prop_assert!(
+            analysis.is_divergence_free() == self_check.is_pass(),
+            "analysis says divergence-free={} but P [FD= P gave {:?}",
+            analysis.is_divergence_free(),
+            self_check
+        );
+    }
+
+    #[test]
+    fn predicted_state_bound_dominates_actual_states(p in arb_process(4)) {
+        let defs = Definitions::new();
+        let checker = Checker::new();
+        let store = ModelStore::new();
+        let actual = store
+            .graph_analysis(&checker, &p, &defs)
+            .expect("small random models compile under default bounds")
+            .state_count() as u64;
+        let mut arena = TermArena::new();
+        let root = arena.intern(&p);
+        let est = estimate(&mut arena, root, &defs, 1_000_000);
+        // Under a 1M-state cap every 4-event toy model compiles fully, so
+        // the estimate is a proven bound and must dominate the real count.
+        prop_assert!(est.is_exact(), "leaf hit the 1M-state cap on a toy model");
+        prop_assert!(
+            est.predicted_states() >= actual,
+            "predicted {} < actual {}",
+            est.predicted_states(),
+            actual
+        );
+    }
+
+    #[test]
+    fn predicted_pairs_dominates_pairs_discovered(
+        spec in arb_process(3),
+        impl_ in arb_process(4),
+    ) {
+        let defs = Definitions::new();
+        let checker = Checker::new();
+        let store = ModelStore::new();
+        if let Ok((_, stats)) = store.trace_refinement(
+            &checker, &spec, &impl_, &defs, 1, &CheckOptions::UNBOUNDED)
+        {
+            prop_assert!(
+                stats.predicted_pairs >= stats.pairs_discovered,
+                "predicted {} < discovered {}",
+                stats.predicted_pairs,
+                stats.pairs_discovered
+            );
+        }
+    }
+}

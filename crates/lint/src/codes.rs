@@ -3,9 +3,10 @@
 //! Codes are namespaced per pipeline stage — `CAPL0xx` for CAPL program
 //! analysis, `DBC1xx` for CAN-database hygiene and CAPL ↔ `.dbc`
 //! cross-validation, `CSP2xx` for CSPm structural analysis, `SIM3xx` for
-//! fault-plan validation (defined in [`faults::codes`], re-exported here).
-//! Codes are never renumbered once published in `docs/LINTS.md`; retired
-//! codes are not reused.
+//! fault-plan validation (defined in [`faults::codes`], re-exported here),
+//! `ANA3xx` for semantic model analysis (defined in [`diag::ana`],
+//! re-exported here). Codes are never renumbered once published in
+//! `docs/LINTS.md`; retired codes are not reused.
 
 use diag::Code;
 
@@ -21,6 +22,15 @@ pub use capl::symbols::{
 pub use faults::codes::{
     BUS_OFF_OVERLAP, CORRUPT_BYTE_RANGE, EMPTY_WINDOW, PLAN_PARSE_ERROR, PROBABILITY_RANGE,
     UNKNOWN_FRAME_ID, UNKNOWN_NODE,
+};
+
+// Semantic-analysis diagnostics live with `diag` (the analyzer in `cspm`
+// emits them and sits below this crate); re-export them so the catalogue is
+// complete from one module.
+pub use diag::ana::{
+    ANALYSIS_SKIPPED, DEADLOCK_SINK, DIVERGENT_PROCESS, HIDE_DEAD_EVENT, PREDICTED_OVER_BUDGET,
+    SYNC_DEAD_EVENT as ANA_SYNC_DEAD_EVENT, SYNC_ONE_SIDED as ANA_SYNC_ONE_SIDED,
+    UNREACHABLE_DEFINITION as ANA_UNREACHABLE_DEFINITION,
 };
 
 /// `CAPL000` — the CAPL source failed to lex or parse.
@@ -120,6 +130,35 @@ pub const CATALOGUE: &[(Code, &str)] = &[
         CORRUPT_BYTE_RANGE,
         "corruption offset beyond the CAN payload",
     ),
+    (
+        ANALYSIS_SKIPPED,
+        "process could not be semantically analysed",
+    ),
+    (
+        ANA_SYNC_ONE_SIDED,
+        "synchronised event only one side can ever perform",
+    ),
+    (
+        ANA_SYNC_DEAD_EVENT,
+        "synchronised event neither side can ever perform",
+    ),
+    (HIDE_DEAD_EVENT, "event hidden but never performable"),
+    (
+        ANA_UNREACHABLE_DEFINITION,
+        "definition semantically unreachable from assertions",
+    ),
+    (
+        DIVERGENT_PROCESS,
+        "process under a divergence-sensitive assertion can diverge",
+    ),
+    (
+        DEADLOCK_SINK,
+        "process under a deadlock-freedom assertion reaches a deadlock sink",
+    ),
+    (
+        PREDICTED_OVER_BUDGET,
+        "predicted state space exceeds the exploration budget",
+    ),
 ];
 
 #[cfg(test)]
@@ -136,7 +175,8 @@ mod tests {
             let ok = code.0.starts_with("CAPL")
                 || code.0.starts_with("DBC")
                 || code.0.starts_with("SIM")
-                || code.0.starts_with("CSP");
+                || code.0.starts_with("CSP")
+                || code.0.starts_with("ANA");
             assert!(ok, "code {code} outside the allocated namespaces");
         }
     }

@@ -3,6 +3,7 @@
 //! ```text
 //! autocsp translate <app.can> [--dbc net.dbc] [--node ECU] [--gateway] [-o out.csp]
 //! autocsp lint <file>... [--dbc net.dbc] [--faults plan.toml] [--format json] [--deny-warnings]
+//! autocsp analyze <model.csp> [--format json] [--deny-warnings] [--max-states N]
 //! autocsp check <model.csp> [--threads N] [--max-states N] [--timeout-ms N]
 //!               [--stats] [--stats-json out.json] [--cex-json out.json]
 //!               [--cache-dir DIR] [--no-cache] [--resume TOKEN|auto]
@@ -32,6 +33,7 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("translate") => translate(&args[1..]),
         Some("lint") => lint_cmd(&args[1..]),
+        Some("analyze") => analyze_cmd(&args[1..]),
         Some("check") => check(&args[1..]),
         Some("compose") => compose(&args[1..]),
         Some("simulate") => simulate(&args[1..]),
@@ -69,6 +71,19 @@ USAGE:
       (`--faults`) files. With `--dbc`, also checks database hygiene,
       CAPL/database consistency and fault-plan frame ids and node names
       (SIM3xx codes). Exits non-zero on errors (or warnings, under
+      `--deny-warnings`).
+
+  autocsp analyze <model.csp> [--format <text|json>] [--deny-warnings]
+                  [--max-states <N>]
+      Semantically analyse a CSPm script without running the checker:
+      interprocedural alphabet inference per definition (through hiding
+      and renaming), τ-cycle/SCC classification per assertion operand
+      (divergence-freedom proofs, guaranteed-deadlock sinks), and a
+      sound predicted state-space bound per operand. With
+      `--max-states <N>`, operands predicted to exceed the budget are
+      flagged (ANA307) before any exploration is spent. Findings use
+      the ANA3xx codes (see docs/LINTS.md); `check` and `lint` run the
+      same pass. Exits non-zero on errors (or warnings, under
       `--deny-warnings`).
 
   autocsp check <model.csp> [--deny-warnings] [--threads <N>] [--stats]
@@ -420,7 +435,24 @@ fn lint_cmd(args: &[String]) -> Result<ExitCode, String> {
         let source = read(path)?;
         let diagnostics = if path.ends_with(".csp") || path.ends_with(".cspm") {
             match cspm::Script::parse(&source) {
-                Ok(script) => lint::lint_module(script.module()),
+                Ok(script) => {
+                    let mut d = lint::lint_module(script.module());
+                    // Semantic pass, when the script also evaluates. A script
+                    // that parses but fails to load keeps its syntactic
+                    // findings; `check` surfaces the load error itself.
+                    if let Ok(loaded) = script.load() {
+                        let store = fdrlite::ModelStore::new();
+                        let analysis = cspm::analyze::analyze_script(
+                            script.module(),
+                            &loaded,
+                            &Checker::new(),
+                            &store,
+                            None,
+                        );
+                        d.extend(analysis.diagnostics);
+                    }
+                    d
+                }
                 Err(e) => vec![cspm_parse_diagnostic(&e)],
             }
         } else {
@@ -466,6 +498,12 @@ fn lint_cmd(args: &[String]) -> Result<ExitCode, String> {
         });
     }
 
+    // Deterministic output: within a file, order by span, then code, then
+    // message. Files keep their command-line order.
+    for f in &mut findings {
+        cspm::analyze::sort_diagnostics(&mut f.diagnostics);
+    }
+
     let errors = count(&findings, Severity::Error);
     let warnings = count(&findings, Severity::Warning);
 
@@ -509,6 +547,214 @@ fn cspm_parse_diagnostic(e: &cspm::CspmError) -> Diagnostic {
         _ => Span::unknown(),
     };
     Diagnostic::error(lint::codes::CSP_PARSE_ERROR, span, e.to_string())
+}
+
+fn analyze_cmd(args: &[String]) -> Result<ExitCode, String> {
+    let flags = parse_flags(args)?;
+    let [script_path] = flags.positional.as_slice() else {
+        return Err("analyze needs exactly one CSPm file".into());
+    };
+    let source = read(script_path)?;
+    let script = match cspm::Script::parse(&source) {
+        Ok(script) => script,
+        Err(e) => {
+            let d = cspm_parse_diagnostic(&e);
+            match flags.format {
+                OutputFormat::Text => {
+                    print!("{}", d.render(script_path, &source));
+                    println!("1 error(s), 0 warning(s)");
+                }
+                OutputFormat::Json => println!(
+                    "{{\"file\":{},\"rounds\":0,\"definitions\":[],\"assertions\":[],\"diagnostics\":[{}],\"errors\":1,\"warnings\":0}}",
+                    diag::json_string(script_path),
+                    d.to_json(script_path)
+                ),
+            }
+            return Err("1 analysis error(s)".into());
+        }
+    };
+    let loaded = script.load().map_err(|e| e.to_string())?;
+    let store = fdrlite::ModelStore::new();
+    let analysis = cspm::analyze::analyze_script(
+        script.module(),
+        &loaded,
+        &Checker::new(),
+        &store,
+        flags.max_states,
+    );
+    let errors = analysis
+        .diagnostics
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+    let warnings = analysis
+        .diagnostics
+        .iter()
+        .filter(|d| d.severity == Severity::Warning)
+        .count();
+    match flags.format {
+        OutputFormat::Text => {
+            render_analysis_text(script_path, &source, &analysis);
+            println!("{errors} error(s), {warnings} warning(s)");
+        }
+        OutputFormat::Json => {
+            println!(
+                "{}",
+                analysis_json(script_path, &analysis, errors, warnings)
+            );
+        }
+    }
+    if errors > 0 {
+        Err(format!("{errors} analysis error(s)"))
+    } else if flags.deny_warnings && warnings > 0 {
+        Err(format!(
+            "{warnings} analysis warning(s) denied (--deny-warnings)"
+        ))
+    } else {
+        Ok(ExitCode::SUCCESS)
+    }
+}
+
+/// Human-readable rendering of a [`cspm::analyze::ScriptAnalysis`].
+fn render_analysis_text(file: &str, source: &str, analysis: &cspm::analyze::ScriptAnalysis) {
+    println!(
+        "{file}: {} definition(s), {} assertion(s), alphabet fixpoint in {} round(s)",
+        analysis.definitions.len(),
+        analysis.assertions.len(),
+        analysis.rounds
+    );
+    for d in &analysis.definitions {
+        let reach = if d.reachable { "" } else { "  [unreachable]" };
+        println!("  {} : {{{}}}{}", d.name, d.alphabet.join(", "), reach);
+    }
+    for a in &analysis.assertions {
+        println!("assert {}", a.description);
+        for p in &a.processes {
+            match (&p.graph, &p.compile_error) {
+                (Some(g), _) => {
+                    let divergence = if g.divergence_free() {
+                        "divergence-free".to_owned()
+                    } else {
+                        format!("DIVERGENT ({} state(s))", g.divergent_states)
+                    };
+                    let deadlock = if g.deadlock_free() {
+                        "deadlock-free".to_owned()
+                    } else {
+                        format!("DEADLOCK ({} sink(s))", g.deadlock_states)
+                    };
+                    let approx = if p.estimate_exact { "" } else { " (approx)" };
+                    println!(
+                        "  {}: {} state(s), {} transition(s) ({} τ), {} SCC(s); {divergence}, {deadlock}; predicted ≤ {} state(s){approx}",
+                        p.role, g.states, g.transitions, g.tau_transitions, g.scc_count,
+                        p.predicted_states
+                    );
+                }
+                (None, Some(err)) => {
+                    println!(
+                        "  {}: analysis skipped ({err}); predicted ≤ {} state(s)",
+                        p.role, p.predicted_states
+                    );
+                }
+                (None, None) => {
+                    println!("  {}: predicted ≤ {} state(s)", p.role, p.predicted_states);
+                }
+            }
+        }
+        if let Some(product) = a.predicted_product {
+            println!("  predicted product ≤ {product} pair(s)");
+        }
+    }
+    for d in &analysis.diagnostics {
+        print!("{}", d.render(file, source));
+    }
+}
+
+/// JSON rendering of a [`cspm::analyze::ScriptAnalysis`], one object per run.
+fn analysis_json(
+    file: &str,
+    analysis: &cspm::analyze::ScriptAnalysis,
+    errors: usize,
+    warnings: usize,
+) -> String {
+    use diag::json_string as js;
+    let definitions: Vec<String> = analysis
+        .definitions
+        .iter()
+        .map(|d| {
+            let alphabet: Vec<String> = d.alphabet.iter().map(|e| js(e)).collect();
+            format!(
+                "{{\"name\":{},\"line\":{},\"col\":{},\"reachable\":{},\"alphabet\":[{}]}}",
+                js(&d.name),
+                d.span.line,
+                d.span.col,
+                d.reachable,
+                alphabet.join(",")
+            )
+        })
+        .collect();
+    let assertions: Vec<String> = analysis
+        .assertions
+        .iter()
+        .map(|a| {
+            let processes: Vec<String> = a
+                .processes
+                .iter()
+                .map(|p| {
+                    let graph = p.graph.as_ref().map_or_else(
+                        || "null".to_owned(),
+                        |g| {
+                            format!(
+                                "{{\"states\":{},\"transitions\":{},\"tau_transitions\":{},\"scc_count\":{},\"tau_cycle_states\":{},\"divergent_states\":{},\"deadlock_states\":{},\"divergence_free\":{},\"deadlock_free\":{}}}",
+                                g.states,
+                                g.transitions,
+                                g.tau_transitions,
+                                g.scc_count,
+                                g.tau_cycle_states,
+                                g.divergent_states,
+                                g.deadlock_states,
+                                g.divergence_free(),
+                                g.deadlock_free()
+                            )
+                        },
+                    );
+                    let compile_error = p
+                        .compile_error
+                        .as_deref()
+                        .map_or_else(|| "null".to_owned(), js);
+                    format!(
+                        "{{\"role\":{},\"graph\":{graph},\"compile_error\":{compile_error},\"predicted_states\":{},\"estimate_exact\":{},\"components\":{},\"parallel_count\":{},\"sync_coupling\":{}}}",
+                        js(p.role),
+                        p.predicted_states,
+                        p.estimate_exact,
+                        p.components,
+                        p.parallel_count,
+                        p.sync_coupling
+                    )
+                })
+                .collect();
+            let product = a
+                .predicted_product
+                .map_or_else(|| "null".to_owned(), |n| n.to_string());
+            format!(
+                "{{\"assertion\":{},\"predicted_product\":{product},\"processes\":[{}]}}",
+                js(&a.description),
+                processes.join(",")
+            )
+        })
+        .collect();
+    let diagnostics: Vec<String> = analysis
+        .diagnostics
+        .iter()
+        .map(|d| d.to_json(file))
+        .collect();
+    format!(
+        "{{\"file\":{},\"rounds\":{},\"definitions\":[{}],\"assertions\":[{}],\"diagnostics\":[{}],\"errors\":{errors},\"warnings\":{warnings}}}",
+        js(file),
+        analysis.rounds,
+        definitions.join(","),
+        assertions.join(","),
+        diagnostics.join(",")
+    )
 }
 
 fn check(args: &[String]) -> Result<ExitCode, String> {
@@ -563,8 +809,24 @@ fn check(args: &[String]) -> Result<ExitCode, String> {
             None
         }
     };
+    // Semantic analysis before exploration: compiles route through `store`
+    // (after the persist config, so on-disk keys match the check's), which
+    // warms both the compile and the graph-classification caches the checker
+    // reuses below. Analysis findings are ANA3xx warnings and follow the
+    // same gating policy as the syntactic lints.
+    let checker = Checker::new();
+    let analysis =
+        cspm::analyze::analyze_script(script.module(), &loaded, &checker, &store, flags.max_states);
+    gate(
+        &[FileFindings {
+            file: script_path.clone(),
+            source: source.clone(),
+            diagnostics: analysis.diagnostics,
+        }],
+        flags.deny_warnings,
+    )?;
     let results = loaded
-        .check_with_store(&Checker::new(), &options, &store)
+        .check_with_store(&checker, &options, &store)
         .map_err(|e| e.to_string())?;
     let mut failures = 0;
     let mut inconclusive = 0;
@@ -618,9 +880,11 @@ fn check(args: &[String]) -> Result<ExitCode, String> {
     }
     if flags.stats {
         eprintln!(
-            "model store: {} hit(s), {} miss(es) across {} assertion(s)",
+            "model store: {} hit(s), {} miss(es); analysis {} hit(s), {} miss(es) across {} assertion(s)",
             store.hits(),
             store.misses(),
+            store.analysis_hits(),
+            store.analysis_misses(),
             results.len()
         );
     }
