@@ -1,0 +1,260 @@
+//! Batch trace-conformance throughput — the probe behind the
+//! `conformance-throughput` CI gate.
+//!
+//! The workload generates a seeded corpus of lifted traces (random walks
+//! over the specification's own normal form, with injected violations and
+//! unknown events), checks it once with the per-trace sequential loop and
+//! once with the batch hypertrace engine at each requested thread count,
+//! asserts the per-trace verdicts agree **verbatim**, and reports
+//! traces/sec plus the trie dedup ratio.
+//!
+//! Knobs (environment variables):
+//!
+//! * `CONFORMANCE_BENCH_QUICK=1` — shrink to a smoke-test size.
+//! * `CONFORMANCE_BENCH_TRACES=n` — corpus size (default 5000; quick 500).
+//! * `CONFORMANCE_BENCH_THREADS=1,8` — thread counts to sweep.
+//! * `CONFORMANCE_BENCH_SEED=n` — corpus RNG seed (default 3405691582).
+//! * `CONFORMANCE_BENCH_OUT=path` — where to write the JSON report
+//!   (default `BENCH_conformance.json` in the working directory).
+//! * `CONFORMANCE_BENCH_MIN_TPS=r` — perf gate: fail (exit 2) if any batch
+//!   point's traces/sec falls below `r`. Unset = no gate, the right
+//!   default on slow shared builders.
+//!
+//! Run directly: `cargo bench -p bench --bench conformance_throughput`.
+
+use std::env;
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use faults::batch::BatchRun;
+use faults::conformance::{check_lifted_with, ConformanceVerdict};
+use fdrlite::{Checker, ModelStore};
+
+/// The paper's OTA update dialogue, made cyclic so the corpus can hold
+/// arbitrarily long conformant sessions (heavy prefix sharing by design:
+/// every honest walk rides the same four-event spine).
+const MODEL: &str = "
+datatype MsgT = reqSw | rptSw | reqApp | rptUpd
+channel rec, send : MsgT
+SPEC = rec.reqSw -> send.rptSw -> UPDATE
+UPDATE = rec.reqApp -> send.rptUpd -> SPEC
+";
+
+/// Event the model does not declare, for unknown-event traces.
+const GHOST: &str = "ghost.evt";
+
+/// Deterministic corpus RNG (splitmix-style LCG): same seed, same corpus,
+/// on every platform — the CI gate depends on reproducibility.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n.max(1) as u64) as usize
+    }
+}
+
+/// A seeded corpus of `count` traces: ~80% random walks of the normal form
+/// (conformant by construction), ~15% walks with one event swapped for a
+/// random alphabet event (mostly refused), ~5% with an unknown name.
+fn generate_corpus(
+    loaded: &cspm::LoadedScript,
+    checker: &Checker,
+    count: usize,
+    seed: u64,
+) -> Vec<Vec<String>> {
+    let store = ModelStore::new();
+    let spec = loaded.process("SPEC").expect("SPEC defined");
+    let norm = store
+        .normalised(checker, spec, loaded.definitions())
+        .expect("SPEC normalises");
+    let alphabet = loaded.alphabet();
+    let names: Vec<&str> = (0..alphabet.len())
+        .map(|i| alphabet.name(csp::EventId::from_index(i)))
+        .collect();
+
+    let mut rng = Lcg(seed | 1);
+    let mut corpus = Vec::with_capacity(count);
+    for _ in 0..count {
+        let length = rng.below(12);
+        let mut node = norm.initial();
+        let mut events: Vec<String> = Vec::with_capacity(length);
+        for _ in 0..length {
+            let enabled: Vec<_> = norm.enabled(node).collect();
+            if enabled.is_empty() {
+                break;
+            }
+            let event = enabled[rng.below(enabled.len())];
+            events.push(alphabet.name(event).to_owned());
+            node = norm.after(node, event).expect("enabled event steps");
+        }
+        match rng.below(20) {
+            0..=2 if !events.is_empty() => {
+                // Swap one event for a random alphabet name; usually refused.
+                let at = rng.below(events.len());
+                events[at] = names[rng.below(names.len())].to_owned();
+            }
+            3 => {
+                let at = rng.below(events.len() + 1);
+                events.insert(at, GHOST.to_owned());
+            }
+            _ => {}
+        }
+        corpus.push(events);
+    }
+    corpus
+}
+
+struct BatchPoint {
+    threads: usize,
+    wall_us: u128,
+    traces_per_sec: f64,
+    stats_json: String,
+    verdicts_agree: bool,
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() -> ExitCode {
+    // `cargo bench` passes harness flags such as `--bench`; this binary
+    // is configured entirely through the environment, so ignore argv.
+    let quick = env::var("CONFORMANCE_BENCH_QUICK").is_ok_and(|v| v != "0");
+    let traces = env_usize("CONFORMANCE_BENCH_TRACES", if quick { 500 } else { 5_000 });
+    let seed = env::var("CONFORMANCE_BENCH_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0xCAFE_BABEu64);
+    let threads: Vec<usize> = env::var("CONFORMANCE_BENCH_THREADS")
+        .unwrap_or_else(|_| "1,8".to_owned())
+        .split(',')
+        .filter_map(|t| t.trim().parse().ok())
+        .collect();
+    let out_path =
+        env::var("CONFORMANCE_BENCH_OUT").unwrap_or_else(|_| "BENCH_conformance.json".to_owned());
+
+    let loaded = cspm::Script::parse(MODEL)
+        .expect("model parses")
+        .load()
+        .expect("model loads");
+    let checker = Checker::new();
+    let corpus = generate_corpus(&loaded, &checker, traces, seed);
+    let total_events: usize = corpus.iter().map(Vec::len).sum();
+    eprintln!(
+        "conformance_throughput: {traces} trace(s), {total_events} event(s), \
+         seed={seed}, threads={threads:?}"
+    );
+
+    // Baseline: the per-trace sequential loop, warm store (the spec still
+    // compiles once; what it pays per trace is the product exploration).
+    let sequential_store = ModelStore::new();
+    let start = Instant::now();
+    let expected: Vec<ConformanceVerdict> = corpus
+        .iter()
+        .map(|trace| {
+            check_lifted_with(&loaded, "SPEC", trace, &checker, &sequential_store)
+                .expect("SPEC resolves")
+                .verdict
+        })
+        .collect();
+    let seq_wall = start.elapsed();
+    let seq_tps = traces as f64 / seq_wall.as_secs_f64().max(1e-9);
+    let conformant = expected
+        .iter()
+        .filter(|v| matches!(v, ConformanceVerdict::Conformant))
+        .count();
+    eprintln!(
+        "  sequential: wall={:>9} µs  ({seq_tps:.0}/s, {conformant}/{traces} conformant)",
+        seq_wall.as_micros()
+    );
+
+    let mut points: Vec<BatchPoint> = Vec::new();
+    let mut dedup_ratio = 1.0f64;
+    for &t in &threads {
+        let store = ModelStore::new();
+        let start = Instant::now();
+        let mut run = BatchRun::new(&loaded, "SPEC", &checker, &store).expect("SPEC resolves");
+        for trace in &corpus {
+            run.push(trace);
+        }
+        let report = run.finish(t);
+        let wall = start.elapsed();
+        let verdicts_agree = report.verdicts == expected;
+        dedup_ratio = report.stats.dedup_ratio;
+        eprintln!(
+            "  batch threads={t:<2} wall={:>9} µs  ({})",
+            wall.as_micros(),
+            report.stats
+        );
+        points.push(BatchPoint {
+            threads: t,
+            wall_us: wall.as_micros(),
+            traces_per_sec: report.stats.traces_per_sec(),
+            stats_json: report.stats.to_json(),
+            verdicts_agree,
+        });
+    }
+
+    let all_agree = points.iter().all(|p| p.verdicts_agree);
+    let min_tps = points
+        .iter()
+        .map(|p| p.traces_per_sec)
+        .fold(f64::INFINITY, f64::min);
+
+    let mut json = String::new();
+    let _ = write!(
+        json,
+        "{{\"bench\":\"conformance_throughput\",\"quick\":{quick},\"traces\":{traces},\
+         \"total_events\":{total_events},\"seed\":{seed},\"dedup_ratio\":{dedup_ratio:.3},\
+         \"verdicts_agree\":{all_agree},\
+         \"sequential\":{{\"wall_us\":{},\"traces_per_sec\":{seq_tps:.1}}},\"batch\":[",
+        seq_wall.as_micros()
+    );
+    for (i, p) in points.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        let _ = write!(
+            json,
+            "{{\"threads\":{},\"wall_us\":{},\"traces_per_sec\":{:.1},\
+             \"verdicts_agree\":{},\"stats\":{}}}",
+            p.threads, p.wall_us, p.traces_per_sec, p.verdicts_agree, p.stats_json
+        );
+    }
+    json.push_str("]}\n");
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("cannot write `{out_path}`: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote {out_path}");
+
+    // Gates. Verdict equivalence is unconditional — a batch engine that is
+    // fast but wrong gates the build no matter how the knobs are set.
+    if !all_agree {
+        eprintln!("GATE: batch verdicts diverged from the sequential loop");
+        return ExitCode::from(2);
+    }
+    if let Some(gate) = env::var("CONFORMANCE_BENCH_MIN_TPS")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+    {
+        if min_tps < gate {
+            eprintln!("GATE: {min_tps:.1} traces/sec < CONFORMANCE_BENCH_MIN_TPS={gate}");
+            return ExitCode::from(2);
+        }
+        eprintln!("gate ok: {min_tps:.1} traces/sec ≥ {gate}");
+    }
+    ExitCode::SUCCESS
+}

@@ -207,6 +207,31 @@ impl LoadedScript {
         self.named_processes.get(name)
     }
 
+    /// Intern a sequence of event names against the script's alphabet.
+    ///
+    /// Stops at the **first** name the alphabet does not contain and returns
+    /// its position and name — the conformance pipeline treats a trace
+    /// performing an event the model cannot even express as the strongest
+    /// possible nonconformance, before any checking is spent.
+    ///
+    /// # Errors
+    ///
+    /// `(index, name)` of the first unknown event name.
+    pub fn event_ids<'e, I>(&self, events: I) -> Result<Vec<csp::EventId>, (usize, &'e str)>
+    where
+        I: IntoIterator<Item = &'e str>,
+    {
+        let events = events.into_iter();
+        let mut ids = Vec::with_capacity(events.size_hint().0);
+        for (index, event) in events.enumerate() {
+            match self.alphabet.lookup(event) {
+                Some(id) => ids.push(id),
+                None => return Err((index, event)),
+            }
+        }
+        Ok(ids)
+    }
+
     /// Names of all zero-parameter process definitions.
     pub fn process_names(&self) -> impl Iterator<Item = &str> {
         self.named_processes.keys().map(String::as_str)

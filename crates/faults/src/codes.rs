@@ -21,3 +21,10 @@ pub const EMPTY_WINDOW: Code = Code("SIM304");
 pub const UNKNOWN_NODE: Code = Code("SIM305");
 /// `SIM306` — a corruption byte offset is beyond the 8-byte CAN payload.
 pub const CORRUPT_BYTE_RANGE: Code = Code("SIM306");
+
+/// `SIM310` — a trace-corpus JSONL line failed to parse and was skipped.
+pub const CORPUS_LINE_MALFORMED: Code = Code("SIM310");
+/// `SIM311` — a corpus trace performs an event the model does not name.
+pub const CORPUS_UNKNOWN_EVENT: Code = Code("SIM311");
+/// `SIM312` — a trace corpus contains no traces at all.
+pub const CORPUS_EMPTY: Code = Code("SIM312");

@@ -179,22 +179,19 @@ pub fn check_lifted_with(
         .process(spec_name)
         .ok_or_else(|| ConformanceError::UnknownSpec(spec_name.to_string()))?;
 
-    let mut ids = Vec::with_capacity(events.len());
-    for (index, event) in events.iter().enumerate() {
-        match loaded.alphabet().lookup(event) {
-            Some(id) => ids.push(id),
-            None => {
-                return Ok(ConformanceReport {
-                    spec: spec_name.to_string(),
-                    events: events.to_vec(),
-                    verdict: ConformanceVerdict::UnknownEvent {
-                        event: event.clone(),
-                        index,
-                    },
-                });
-            }
+    let ids = match loaded.event_ids(events.iter().map(String::as_str)) {
+        Ok(ids) => ids,
+        Err((index, event)) => {
+            return Ok(ConformanceReport {
+                spec: spec_name.to_string(),
+                events: events.to_vec(),
+                verdict: ConformanceVerdict::UnknownEvent {
+                    event: event.to_string(),
+                    index,
+                },
+            });
         }
-    }
+    };
 
     let trace_process = Process::prefix_chain(ids, Process::Stop);
     let (verdict, _) = store.trace_refinement(

@@ -17,6 +17,10 @@
 //!   and schedules any `node_crash` outages;
 //! * [`conformance`] — lifts the simulated trace to CSP events via the
 //!   plan's `[[map]]` rules and checks `SPEC ⊑T ⟨trace⟩` with [`fdrlite`];
+//! * [`batch`] — the high-throughput batch mode of the same check: merges
+//!   a whole corpus of lifted traces into a hypertrace prefix trie and
+//!   checks it in one walk of the spec's normal form, with per-trace
+//!   verdicts verbatim-identical to the per-trace loop;
 //! * [`replay`] — serialises an [`fdrlite`] counterexample to JSON and
 //!   re-drives it through the simulator to reproduce the violation;
 //! * [`storage`] — seeded storage faults ([`StorageFaultEngine`]: torn
@@ -50,6 +54,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod codes;
 pub mod conformance;
 mod engine;

@@ -1,0 +1,108 @@
+//! Property-based equivalence of the batch hypertrace engine and the
+//! per-trace sequential loop: for random corpora over a branching, cyclic
+//! specification the batch verdicts must match
+//! [`faults::conformance::check_lifted_with`] **verbatim** — including
+//! counterexample traces and first-unknown-event reporting — at 1 and 8
+//! threads, and the per-trace verdict must never depend on ingest order.
+
+use faults::batch::BatchRun;
+use faults::conformance::check_lifted_with;
+use fdrlite::{Checker, ModelStore};
+use proptest::prelude::*;
+
+/// Branching and cyclic on purpose: the trie walk must handle loops back
+/// into earlier normal-form nodes and refusals at every depth.
+const MODEL: &str = "
+datatype M = req | rpt | upd
+channel rec, send : M
+SPEC = rec.req -> (send.rpt -> SPEC [] send.upd -> STOP)
+";
+
+/// Pool the random traces draw from: conformant steps, alphabet events the
+/// spec refuses, and one name the model does not declare at all.
+const EVENTS: &[&str] = &["rec.req", "send.rpt", "send.upd", "rec.upd", "ghost.evt"];
+
+fn load() -> cspm::LoadedScript {
+    cspm::Script::parse(MODEL)
+        .expect("model parses")
+        .load()
+        .expect("model loads")
+}
+
+fn arb_trace() -> impl Strategy<Value = Vec<String>> {
+    proptest::collection::vec(
+        (0usize..EVENTS.len()).prop_map(|i| EVENTS[i].to_string()),
+        0..8,
+    )
+}
+
+/// A corpus whose traces carry their original index, shuffled into an
+/// arbitrary ingest order (seeded Fisher–Yates; the vendored proptest has
+/// no `prop_shuffle`).
+fn arb_shuffled_corpus() -> impl Strategy<Value = Vec<(usize, Vec<String>)>> {
+    (proptest::collection::vec(arb_trace(), 0..24), any::<u64>()).prop_map(|(corpus, seed)| {
+        let mut tagged: Vec<_> = corpus.into_iter().enumerate().collect();
+        let mut state = seed | 1;
+        for i in (1..tagged.len()).rev() {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            tagged.swap(i, j);
+        }
+        tagged
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn batch_verdicts_match_the_sequential_loop_verbatim(
+        corpus in proptest::collection::vec(arb_trace(), 0..24),
+    ) {
+        let loaded = load();
+        let checker = Checker::new();
+        let sequential = ModelStore::new();
+        let expected: Vec<_> = corpus
+            .iter()
+            .map(|trace| {
+                check_lifted_with(&loaded, "SPEC", trace, &checker, &sequential)
+                    .expect("spec resolves")
+                    .verdict
+            })
+            .collect();
+        for threads in [1usize, 8] {
+            let store = ModelStore::new();
+            let mut run = BatchRun::new(&loaded, "SPEC", &checker, &store)
+                .expect("spec resolves");
+            for trace in &corpus {
+                run.push(trace);
+            }
+            let report = run.finish(threads);
+            prop_assert_eq!(&report.verdicts, &expected);
+        }
+    }
+
+    #[test]
+    fn ingest_order_never_changes_a_per_trace_verdict(
+        shuffled in arb_shuffled_corpus(),
+    ) {
+        let loaded = load();
+        let checker = Checker::new();
+        let sequential = ModelStore::new();
+        let store = ModelStore::new();
+        let mut run = BatchRun::new(&loaded, "SPEC", &checker, &store)
+            .expect("spec resolves");
+        for (_, trace) in &shuffled {
+            run.push(trace);
+        }
+        let report = run.finish(8);
+        for (slot, (_original_index, trace)) in shuffled.iter().enumerate() {
+            let expected = check_lifted_with(&loaded, "SPEC", trace, &checker, &sequential)
+                .expect("spec resolves")
+                .verdict;
+            prop_assert_eq!(&report.verdicts[slot], &expected);
+        }
+    }
+}

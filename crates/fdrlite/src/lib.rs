@@ -56,6 +56,7 @@ mod normalise;
 mod stats;
 mod store;
 
+pub mod hypertrace;
 pub mod parallel;
 pub mod persist;
 pub mod properties;

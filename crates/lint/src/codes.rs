@@ -20,8 +20,8 @@ pub use capl::symbols::{
 // Fault-plan diagnostics live with the `faults` crate (which emits them);
 // re-export them so the catalogue is complete from one module.
 pub use faults::codes::{
-    BUS_OFF_OVERLAP, CORRUPT_BYTE_RANGE, EMPTY_WINDOW, PLAN_PARSE_ERROR, PROBABILITY_RANGE,
-    UNKNOWN_FRAME_ID, UNKNOWN_NODE,
+    BUS_OFF_OVERLAP, CORPUS_EMPTY, CORPUS_LINE_MALFORMED, CORPUS_UNKNOWN_EVENT, CORRUPT_BYTE_RANGE,
+    EMPTY_WINDOW, PLAN_PARSE_ERROR, PROBABILITY_RANGE, UNKNOWN_FRAME_ID, UNKNOWN_NODE,
 };
 
 // Semantic-analysis diagnostics live with `diag` (the analyzer in `cspm`
@@ -130,6 +130,15 @@ pub const CATALOGUE: &[(Code, &str)] = &[
         CORRUPT_BYTE_RANGE,
         "corruption offset beyond the CAN payload",
     ),
+    (
+        CORPUS_LINE_MALFORMED,
+        "trace-corpus JSONL line failed to parse",
+    ),
+    (
+        CORPUS_UNKNOWN_EVENT,
+        "corpus trace performs an event the model lacks",
+    ),
+    (CORPUS_EMPTY, "trace corpus contains no traces"),
     (
         ANALYSIS_SKIPPED,
         "process could not be semantically analysed",

@@ -11,6 +11,9 @@
 //! autocsp compose <gateway.can> <ecu.can> [--dbc net.dbc] [--buffered N] [-o out.csp]
 //! autocsp simulate <node.can>... [--dbc net.dbc] [--for-ms N]
 //!                  [--faults plan.toml] [--seed N] [--conformance model.csp]
+//! autocsp conform <model.csp> [corpus.jsonl]... [--spec NAME | --faults plan.toml]
+//!                 [--traces-dir DIR] [--stdin] [--threads N] [--stats]
+//!                 [--stats-json out.json] [--format text|json] [--deny-warnings]
 //! autocsp replay <cex.json> <node.can>... [--dbc net.dbc] [--node NAME]
 //! ```
 
@@ -37,6 +40,7 @@ fn main() -> ExitCode {
         Some("check") => check(&args[1..]),
         Some("compose") => compose(&args[1..]),
         Some("simulate") => simulate(&args[1..]),
+        Some("conform") => conform(&args[1..]),
         Some("replay") => replay_cmd(&args[1..]),
         Some("--version" | "-V" | "version") => {
             println!("autocsp {}", env!("CARGO_PKG_VERSION"));
@@ -121,8 +125,25 @@ USAGE:
       `--faults` installs a fault-injection plan (deterministic: same plan,
       same seed, same trace); `--seed` overrides the plan seed. With
       `--conformance`, the observed trace is lifted through the plan's
-      [[map]] rules and checked to be a trace of the model's spec process;
+      [[map]] rules and checked to be a trace of the model's spec process
+      (through the batch engine; `--stats` reports the dedup ratio);
       nonconformance exits with code 1.
+
+  autocsp conform <model.csp> [corpus.jsonl]... [--spec <NAME> | --faults <plan>]
+                  [--traces-dir <DIR>] [--stdin] [--threads <N>] [--stats]
+                  [--stats-json <out.json>] [--format <text|json>]
+                  [--deny-warnings]
+      Batch trace conformance: check every trace of a JSONL corpus against
+      the model's spec process (`--spec`, or the plan's [conformance]
+      spec) in one hypertrace walk — traces merge into a prefix trie, the
+      spec normalises once, and per-trace verdicts are bit-identical to
+      checking each trace alone, at any `--threads` count. Corpora come
+      from positional `.jsonl` files, every `*.jsonl` under `--traces-dir`
+      (sorted by name), and/or `--stdin`; each line is `[\"e1\",\"e2\"]` or
+      `{\"id\":…,\"events\":[…]}`. Corpus-hygiene findings are SIM31x
+      warnings (see docs/LINTS.md). Exits 0 when every trace conforms and
+      1 otherwise; `--stats` prints trie dedup ratio and traces/sec to
+      stderr, `--stats-json` writes them as JSON. See docs/CONFORMANCE.md.
 
   autocsp replay <cex.json> <node.can>... [--dbc <net.dbc>] [--node <NAME>]
                  [--stimulus <chan>] [--expect <chan>] [--gap-us <N>]
@@ -160,6 +181,9 @@ struct Flags {
     faults: Option<String>,
     seed: Option<u64>,
     conformance: Option<String>,
+    spec: Option<String>,
+    traces_dir: Option<String>,
+    stdin: bool,
     stimulus: Vec<String>,
     expect: Vec<String>,
     gap_us: u64,
@@ -195,6 +219,9 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         faults: None,
         seed: None,
         conformance: None,
+        spec: None,
+        traces_dir: None,
+        stdin: false,
         stimulus: Vec::new(),
         expect: Vec::new(),
         gap_us: 10_000,
@@ -277,6 +304,9 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                 );
             }
             "--conformance" => flags.conformance = Some(value(args, &mut i, "--conformance")?),
+            "--spec" => flags.spec = Some(value(args, &mut i, "--spec")?),
+            "--traces-dir" => flags.traces_dir = Some(value(args, &mut i, "--traces-dir")?),
+            "--stdin" => flags.stdin = true,
             "--stimulus" => flags.stimulus.push(value(args, &mut i, "--stimulus")?),
             "--expect" => flags.expect.push(value(args, &mut i, "--expect")?),
             "--gap-us" => {
@@ -1066,21 +1096,23 @@ fn simulate(args: &[String]) -> Result<ExitCode, String> {
             .map_err(|e| e.to_string())?
             .load()
             .map_err(|e| e.to_string())?;
+        // One trace is just a batch of one: route through the batch engine so
+        // `simulate --conformance` and `conform` share one code path (and one
+        // set of stats counters).
         let store = fdrlite::ModelStore::new();
-        let report = faults::conformance::check_conformance_with(
-            &loaded,
-            conf,
-            sim.trace(),
-            &Checker::new(),
-            &store,
-        )
-        .map_err(|e| e.to_string())?;
+        let mut run = faults::batch::BatchRun::new(&loaded, &conf.spec, &Checker::new(), &store)
+            .map_err(|e| e.to_string())?;
+        let (index, events) = run.push_entries(sim.trace(), &conf.rules);
+        let report = run.finish(flags.threads);
         eprintln!(
             "conformance: lifted {} event(s): ⟨{}⟩",
-            report.events.len(),
-            report.events.join(", ")
+            events.len(),
+            events.join(", ")
         );
-        match &report.verdict {
+        if flags.stats {
+            eprintln!("conformance stats: {}", report.stats);
+        }
+        match &report.verdicts[index] {
             ConformanceVerdict::Conformant => {
                 println!("conformance {} [T= ⟨trace⟩  ...  PASS", report.spec);
             }
@@ -1105,6 +1137,244 @@ fn simulate(args: &[String]) -> Result<ExitCode, String> {
         }
     }
     Ok(ExitCode::SUCCESS)
+}
+
+/// Where one ingested trace came from, for labelling verdicts and placing
+/// `SIM311` findings.
+struct TraceOrigin {
+    label: String,
+    file: usize,
+    line: u32,
+}
+
+fn conform(args: &[String]) -> Result<ExitCode, String> {
+    let flags = parse_flags(args)?;
+    let Some((model_path, corpus_paths)) = flags.positional.split_first() else {
+        return Err("conform needs a CSPm model file".into());
+    };
+
+    let spec_name = match (&flags.spec, &flags.faults) {
+        (Some(spec), _) => spec.clone(),
+        (None, Some(plan_path)) => {
+            let plan = load_fault_plan(plan_path, None)?;
+            let conf = plan.conformance.as_ref().ok_or_else(|| {
+                format!("fault plan `{}` has no [conformance] section", plan.name)
+            })?;
+            conf.spec.clone()
+        }
+        (None, None) => {
+            return Err(
+                "conform needs `--spec <NAME>` or `--faults <plan>` (its [conformance] spec)"
+                    .into(),
+            )
+        }
+    };
+
+    // Corpus sources in a deterministic order: positional files (command-line
+    // order), then `--traces-dir` (sorted by file name), then stdin.
+    let mut sources: Vec<(String, String)> = Vec::new();
+    for path in corpus_paths {
+        sources.push((path.clone(), read(path)?));
+    }
+    if let Some(dir) = &flags.traces_dir {
+        let entries =
+            fs::read_dir(dir).map_err(|e| format!("cannot read directory `{dir}`: {e}"))?;
+        let mut paths: Vec<String> = entries
+            .filter_map(Result::ok)
+            .map(|entry| entry.path())
+            .filter(|p| p.extension().is_some_and(|ext| ext == "jsonl"))
+            .filter_map(|p| p.to_str().map(str::to_owned))
+            .collect();
+        paths.sort();
+        for path in paths {
+            let text = read(&path)?;
+            sources.push((path, text));
+        }
+    }
+    if flags.stdin {
+        use std::io::Read as _;
+        let mut text = String::new();
+        std::io::stdin()
+            .read_to_string(&mut text)
+            .map_err(|e| format!("cannot read stdin: {e}"))?;
+        sources.push(("<stdin>".to_owned(), text));
+    }
+    if sources.is_empty() {
+        return Err(
+            "conform needs a corpus: positional `.jsonl` files, `--traces-dir`, or `--stdin`"
+                .into(),
+        );
+    }
+
+    let model_source = read(model_path)?;
+    let loaded = cspm::Script::parse(&model_source)
+        .map_err(|e| e.to_string())?
+        .load()
+        .map_err(|e| e.to_string())?;
+    let checker = Checker::new();
+    let store = fdrlite::ModelStore::new();
+    let mut run = faults::batch::BatchRun::new(&loaded, &spec_name, &checker, &store)
+        .map_err(|e| e.to_string())?;
+
+    // Streaming ingest: each source parses, merges into the trie, and drops
+    // its trace vector before the next is read; only the source text (kept
+    // for rendering findings) and the trie stay resident.
+    let mut origins: Vec<TraceOrigin> = Vec::new();
+    let mut findings: Vec<FileFindings> = Vec::new();
+    for (file_index, (file, text)) in sources.iter().enumerate() {
+        let (traces, diagnostics) = faults::batch::parse_corpus(text);
+        for (line, trace) in traces {
+            let label = trace.id.clone().unwrap_or_else(|| format!("{file}:{line}"));
+            let index = run.push(&trace.events);
+            debug_assert_eq!(index, origins.len());
+            origins.push(TraceOrigin {
+                label,
+                file: file_index,
+                line,
+            });
+        }
+        findings.push(FileFindings {
+            file: file.clone(),
+            source: text.clone(),
+            diagnostics,
+        });
+    }
+    if run.is_empty() {
+        findings[0].diagnostics.push(
+            Diagnostic::warning(
+                faults::codes::CORPUS_EMPTY,
+                Span::point(1, 1),
+                "trace corpus contains no traces",
+            )
+            .with_note("every verdict set over an empty corpus is vacuously conformant"),
+        );
+    }
+
+    let report = run.finish(flags.threads);
+
+    for (i, verdict) in report.verdicts.iter().enumerate() {
+        if let ConformanceVerdict::UnknownEvent { event, index } = verdict {
+            let origin = &origins[i];
+            findings[origin.file].diagnostics.push(Diagnostic::warning(
+                faults::codes::CORPUS_UNKNOWN_EVENT,
+                Span::point(origin.line, 1),
+                format!(
+                    "trace `{}` event #{index} `{event}` is not in the model's alphabet",
+                    origin.label
+                ),
+            ));
+        }
+    }
+    for f in &mut findings {
+        cspm::analyze::sort_diagnostics(&mut f.diagnostics);
+    }
+    for f in &findings {
+        for d in &f.diagnostics {
+            eprint!("{}", d.render(&f.file, &f.source));
+        }
+    }
+    let warnings = count(&findings, Severity::Warning);
+
+    let refuted = report.stats.refuted;
+    let unknown = report.stats.unknown_event;
+    let inconclusive = report
+        .verdicts
+        .iter()
+        .filter(|v| matches!(v, ConformanceVerdict::Inconclusive(_)))
+        .count();
+    let nonconformant = refuted + unknown;
+
+    match flags.format {
+        OutputFormat::Text => {
+            for (i, verdict) in report.verdicts.iter().enumerate() {
+                let label = &origins[i].label;
+                match verdict {
+                    ConformanceVerdict::Conformant => {}
+                    ConformanceVerdict::Refuted(cex) => {
+                        println!("trace {label}  ...  FAIL");
+                        println!("  {}", cex.display(loaded.alphabet()));
+                    }
+                    ConformanceVerdict::UnknownEvent { event, index } => {
+                        println!("trace {label}  ...  FAIL");
+                        println!("  (event #{index} `{event}` is not in the model's alphabet)");
+                    }
+                    ConformanceVerdict::Inconclusive(inc) => {
+                        println!("trace {label}  ...  INCONCLUSIVE ({inc})");
+                    }
+                }
+            }
+            let outcome = if nonconformant > 0 { "FAIL" } else { "PASS" };
+            println!(
+                "conformance {} [T= corpus  ...  {outcome}: {} trace(s), {} conformant, \
+                 {} refuted, {} unknown-event",
+                report.spec, report.stats.traces, report.stats.conformant, refuted, unknown
+            );
+        }
+        OutputFormat::Json => {
+            // Deliberately timing-free: the object is a pure function of the
+            // (model, corpus) pair, so runs at different `--threads` counts —
+            // or on different machines — diff byte-identical.
+            use diag::json_string as js;
+            let verdicts: Vec<String> = report
+                .verdicts
+                .iter()
+                .enumerate()
+                .map(|(i, verdict)| {
+                    let label = js(&origins[i].label);
+                    match verdict {
+                        ConformanceVerdict::Conformant => {
+                            format!("{{\"trace\":{label},\"verdict\":\"conformant\"}}")
+                        }
+                        ConformanceVerdict::Refuted(cex) => format!(
+                            "{{\"trace\":{label},\"verdict\":\"refuted\",\"counterexample\":{}}}",
+                            js(&cex.display(loaded.alphabet()).to_string())
+                        ),
+                        ConformanceVerdict::UnknownEvent { event, index } => format!(
+                            "{{\"trace\":{label},\"verdict\":\"unknown_event\",\
+                             \"event\":{},\"index\":{index}}}",
+                            js(event)
+                        ),
+                        ConformanceVerdict::Inconclusive(inc) => format!(
+                            "{{\"trace\":{label},\"verdict\":\"inconclusive\",\"reason\":{}}}",
+                            js(&inc.to_string())
+                        ),
+                    }
+                })
+                .collect();
+            println!(
+                "{{\"spec\":{},\"traces\":{},\"conformant\":{},\"refuted\":{refuted},\
+                 \"unknown_event\":{unknown},\"verdicts\":[{}]}}",
+                js(&report.spec),
+                report.stats.traces,
+                report.stats.conformant,
+                verdicts.join(",")
+            );
+        }
+    }
+
+    if flags.stats {
+        eprintln!("conformance stats: {}", report.stats);
+    }
+    if let Some(path) = &flags.stats_json {
+        fs::write(path, format!("{}\n", report.stats.to_json()))
+            .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+
+    if nonconformant > 0 {
+        Err(format!(
+            "{nonconformant} of {} trace(s) do not conform to {}",
+            report.stats.traces, report.spec
+        ))
+    } else if inconclusive > 0 {
+        Ok(ExitCode::from(EXIT_INCONCLUSIVE))
+    } else if flags.deny_warnings && warnings > 0 {
+        Err(format!(
+            "{warnings} corpus warning(s) denied (--deny-warnings)"
+        ))
+    } else {
+        Ok(ExitCode::SUCCESS)
+    }
 }
 
 fn replay_cmd(args: &[String]) -> Result<ExitCode, String> {
