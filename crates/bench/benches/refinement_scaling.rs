@@ -21,6 +21,10 @@
 //! * `REFINEMENT_BENCH_MAX_RATIO=r` — perf gate: fail (exit 2) if
 //!   `wall(max threads) / wall(1 thread)` exceeds `r`. Unset = no gate,
 //!   which is the right default on single-core builders.
+//! * `REFINEMENT_BENCH_SUPERVISE_MAX_RATIO=r` — overhead gate for the
+//!   supervised-run probe: fail (exit 2) if running the warm workload
+//!   through `fdrlite::supervisor` (journal + retry machinery) costs more
+//!   than `r`× the bare sequential loop. Unset = no gate.
 //!
 //! Run directly: `cargo bench -p bench --bench refinement_scaling`.
 
@@ -298,6 +302,140 @@ fn probe_analysis(workload: &Workload) -> AnalysisProbe {
     probe
 }
 
+struct SuperviseProbe {
+    jobs: u32,
+    bare_us: u128,
+    supervised_us: u128,
+    /// supervised wall over bare wall — the price of catch_unwind, retry
+    /// accounting and the per-job journal rewrite.
+    overhead_ratio: f64,
+    retries: u64,
+    verdicts_agree: bool,
+}
+
+/// Run `jobs` identical warm checks bare, then through the supervisor with
+/// its full machinery engaged — panic isolation, a journal rewritten after
+/// every job, and a chaos-style transient failure on every other job (with
+/// a zero-delay retry schedule, so the probe times bookkeeping, not
+/// sleeping). The supervised loop must report the same verdicts; the gate
+/// bounds how much its scaffolding may cost.
+fn probe_supervise(workload: &Workload, jobs: u32) -> SuperviseProbe {
+    use fdrlite::supervisor as sup;
+
+    let checker = Checker::new();
+    let store = Arc::new(fdrlite::ModelStore::new());
+    let options = fdrlite::CheckOptions::UNBOUNDED;
+    // Warm the store first: both loops then measure per-check dispatch,
+    // not one-off compilation.
+    let (expected, _) = store
+        .trace_refinement(
+            &checker,
+            &workload.spec,
+            &workload.impl_,
+            &workload.defs,
+            1,
+            &options,
+        )
+        .expect("warm-up refinement succeeds");
+    let expected_pass = expected.is_pass();
+
+    let started = Instant::now();
+    let mut bare_agree = true;
+    for _ in 0..jobs {
+        let (v, _) = store
+            .trace_refinement(
+                &checker,
+                &workload.spec,
+                &workload.impl_,
+                &workload.defs,
+                1,
+                &options,
+            )
+            .expect("bare refinement succeeds");
+        bare_agree &= v == expected;
+    }
+    let bare_us = started.elapsed().as_micros().max(1);
+
+    let dir = env::temp_dir().join(format!("fdrlite-bench-supervise-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("journal dir");
+    let mut diags = Vec::new();
+    let mut journal = sup::Journal::open(dir.join("bench.journal"), 0x1373, &mut diags);
+    let supervisor = sup::Supervisor::new(sup::SupervisorConfig {
+        retry: sup::RetryPolicy {
+            max_attempts: 2,
+            base_delay_ms: 0,
+            max_delay_ms: 0,
+            seed: 7,
+        },
+        run_timeout_ms: None,
+    });
+    let job_list: Vec<sup::Job> = (0..jobs)
+        .map(|i| {
+            let store = Arc::clone(&store);
+            let checker = Checker::new();
+            let spec = workload.spec.clone();
+            let impl_ = workload.impl_.clone();
+            let defs = workload.defs.clone();
+            let exec = move |ctx: &sup::JobCtx| {
+                if i % 2 == 0 && ctx.attempt == 1 {
+                    return Err(sup::JobError::Transient("injected (bench chaos)".into()));
+                }
+                let (v, _) = store
+                    .trace_refinement(
+                        &checker,
+                        &spec,
+                        &impl_,
+                        &defs,
+                        1,
+                        &fdrlite::CheckOptions::UNBOUNDED,
+                    )
+                    .map_err(|e| sup::JobError::Permanent(e.to_string()))?;
+                Ok(sup::JobReport {
+                    status: if v.is_pass() {
+                        sup::JobStatus::Passed
+                    } else {
+                        sup::JobStatus::Refuted
+                    },
+                    lines: Vec::new(),
+                    interrupted: false,
+                })
+            };
+            sup::Job {
+                name: format!("bench-{i}"),
+                key: u64::from(i),
+                exec: Box::new(exec),
+            }
+        })
+        .collect();
+    let started = Instant::now();
+    let outcome = supervisor.run(job_list, &mut journal);
+    let supervised_us = started.elapsed().as_micros().max(1);
+    journal.remove();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let supervised_agree = outcome.jobs.iter().all(|j| {
+        j.status
+            == if expected_pass {
+                sup::JobStatus::Passed
+            } else {
+                sup::JobStatus::Refuted
+            }
+    });
+    let probe = SuperviseProbe {
+        jobs,
+        bare_us,
+        supervised_us,
+        overhead_ratio: supervised_us as f64 / bare_us as f64,
+        retries: outcome.retries,
+        verdicts_agree: bare_agree && supervised_agree && outcome.jobs.len() == jobs as usize,
+    };
+    assert!(probe.verdicts_agree, "supervised verdicts must match bare");
+    assert!(!outcome.any_failed(), "no bench job may fail");
+    assert_eq!(probe.retries, u64::from(jobs.div_ceil(2)), "chaos retries");
+    probe
+}
+
 fn env_u32(name: &str, default: u32) -> u32 {
     env::var(name)
         .ok()
@@ -375,6 +513,16 @@ fn main() -> ExitCode {
         analysis.wall_us, analysis.predicted_states, analysis.actual_states, analysis.warm_wall_us
     );
 
+    let supervise = probe_supervise(&passing, if quick { 20 } else { 50 });
+    eprintln!(
+        "  supervise {} job(s): bare={} µs, supervised={} µs ({:.2}x, {} retries)",
+        supervise.jobs,
+        supervise.bare_us,
+        supervise.supervised_us,
+        supervise.overhead_ratio,
+        supervise.retries
+    );
+
     let base = pass_points.iter().find(|p| p.threads == 1);
     let peak = pass_points.iter().max_by_key(|p| p.threads);
     let ratio = match (base, peak) {
@@ -434,6 +582,17 @@ fn main() -> ExitCode {
         analysis.deadlock_free,
         analysis.warm_hits
     );
+    let _ = write!(
+        json,
+        ",\"supervise\":{{\"jobs\":{},\"bare_us\":{},\"supervised_us\":{},\
+         \"overhead_ratio\":{:.4},\"retries\":{},\"verdicts_agree\":{}}}",
+        supervise.jobs,
+        supervise.bare_us,
+        supervise.supervised_us,
+        supervise.overhead_ratio,
+        supervise.retries,
+        supervise.verdicts_agree
+    );
     for (key, points) in [("pass", &pass_points), ("fail", &fail_points)] {
         let _ = write!(json, ",\"{key}\":[");
         for (i, p) in points.iter().enumerate() {
@@ -477,6 +636,24 @@ fn main() -> ExitCode {
             Some(r) => eprintln!("perf gate ok: ratio {r:.2}x ≤ {max_ratio:.2}x"),
             None => eprintln!("perf gate skipped: need a 1-thread baseline and a >1-thread point"),
         }
+    }
+
+    if let Some(max_ratio) = env::var("REFINEMENT_BENCH_SUPERVISE_MAX_RATIO")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+    {
+        if supervise.overhead_ratio > max_ratio {
+            eprintln!(
+                "SUPERVISE GATE FAILED: the supervisor's retry + journal machinery cost \
+                 {:.2}x the bare checks (limit {max_ratio:.2}x)",
+                supervise.overhead_ratio
+            );
+            return ExitCode::from(2);
+        }
+        eprintln!(
+            "supervise gate ok: {:.2}x ≤ {max_ratio:.2}x",
+            supervise.overhead_ratio
+        );
     }
     ExitCode::SUCCESS
 }

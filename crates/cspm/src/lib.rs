@@ -41,6 +41,7 @@ pub mod ast;
 mod error;
 mod eval;
 mod lexer;
+pub mod manifest;
 mod parser;
 pub mod pretty;
 mod script;

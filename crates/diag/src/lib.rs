@@ -17,6 +17,7 @@
 //! | `SIM3xx`  | fault-plan validation and plan ↔ `.dbc` checks   |
 //! | `STO4xx`  | on-disk model-cache integrity (`fdrlite::persist`) |
 //! | `ANA3xx`  | semantic model analysis (`autocsp analyze`, see [`ana`]) |
+//! | `SUP5xx`  | supervised job runtime (`fdrlite::supervisor`, `autocsp run`) |
 //!
 //! Rendering follows the familiar compiler shape:
 //!

@@ -190,6 +190,62 @@ pub fn apply_storage_fault(
     }
 }
 
+/// A deterministic transient-failure plan for supervised job runs
+/// (`autocsp run`, `fdrlite::supervisor`): a seeded selection of jobs
+/// whose first attempts fail with a *retryable* error.
+///
+/// Selection hashes the job *name* (not its position), so inserting or
+/// reordering manifest jobs does not reshuffle which ones fail — and the
+/// same plan produces the same retries in a disturbed and an undisturbed
+/// run, which is what lets the supervision CI matrix diff their verdicts
+/// byte for byte.
+#[derive(Debug)]
+pub struct TransientJobFaults {
+    seed: u64,
+    transient_attempts: u32,
+    every_nth: u64,
+    injected: AtomicU64,
+}
+
+impl TransientJobFaults {
+    /// A plan that makes every `every_nth`-th job (by seeded name hash)
+    /// fail transiently on its first `transient_attempts` attempts.
+    /// `every_nth == 0` selects no jobs.
+    pub fn new(seed: u64, transient_attempts: u32, every_nth: u64) -> TransientJobFaults {
+        TransientJobFaults {
+            seed,
+            transient_attempts,
+            every_nth,
+            injected: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether this plan selects the job at all.
+    pub fn selects(&self, job_name: &str) -> bool {
+        if self.every_nth == 0 {
+            return false;
+        }
+        let mut keyed = self.seed.to_le_bytes().to_vec();
+        keyed.extend_from_slice(job_name.as_bytes());
+        fnv1a64(&keyed).is_multiple_of(self.every_nth)
+    }
+
+    /// Whether attempt `attempt` (1-based) of `job_name` should fail
+    /// transiently. Records the injection when it does.
+    pub fn should_fail(&self, job_name: &str, attempt: u32) -> bool {
+        let fail = self.selects(job_name) && attempt <= self.transient_attempts;
+        if fail {
+            self.injected.fetch_add(1, Ordering::Relaxed);
+        }
+        fail
+    }
+
+    /// Transient failures injected so far.
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+}
+
 impl StorageFaultHook for StorageFaultEngine {
     fn corrupt(&self, name: &str, bytes: &mut Vec<u8>) -> bool {
         let n = self.seen.fetch_add(1, Ordering::Relaxed) + 1;
@@ -279,6 +335,30 @@ mod tests {
             &mut rng
         ));
         assert!(cut.len() < original.len() && !cut.is_empty());
+    }
+
+    #[test]
+    fn transient_job_plan_is_deterministic_and_attempt_bounded() {
+        let plan = TransientJobFaults::new(99, 2, 3);
+        let other = TransientJobFaults::new(99, 2, 3);
+        let names: Vec<String> = (0..30).map(|i| format!("job-{i}")).collect();
+        let selected: Vec<&String> = names.iter().filter(|n| plan.selects(n)).collect();
+        assert!(!selected.is_empty(), "a 30-job manifest must select some");
+        assert!(selected.len() < names.len(), "…but not all");
+        for name in &names {
+            assert_eq!(
+                plan.selects(name),
+                other.selects(name),
+                "same seed, same plan"
+            );
+        }
+        let victim = selected[0];
+        assert!(plan.should_fail(victim, 1));
+        assert!(plan.should_fail(victim, 2));
+        assert!(!plan.should_fail(victim, 3), "attempt 3 succeeds");
+        assert_eq!(plan.injected(), 2);
+        assert_eq!(TransientJobFaults::new(99, 2, 0).injected(), 0);
+        assert!(!TransientJobFaults::new(99, 2, 0).should_fail(victim, 1));
     }
 
     #[test]

@@ -81,9 +81,16 @@ impl Budget {
         }
     }
 
-    /// Has the wall-clock deadline passed? Consults `Instant::now`; callers
-    /// should rate-limit this off their hot path.
+    /// Has the wall-clock deadline passed — or a process-wide interrupt
+    /// been requested? Consults `Instant::now`; callers should rate-limit
+    /// this off their hot path. The interrupt flag rides the same poll so
+    /// a `SIGTERM` winds an exploration down exactly like an expiring wall
+    /// budget (checkpoint written, resume token attached), even when no
+    /// budget was configured.
     pub(crate) fn wall_exceeded(&self) -> Option<BudgetReason> {
+        if crate::interrupt::interrupt_requested() {
+            return Some(BudgetReason::Interrupted);
+        }
         match self.wall {
             Some((deadline, limit_ms)) if Instant::now() >= deadline => {
                 Some(BudgetReason::Wall { limit_ms })

@@ -97,6 +97,11 @@ pub enum BudgetReason {
         /// The configured wall-clock budget in milliseconds.
         limit_ms: u64,
     },
+    /// A graceful shutdown was requested ([`crate::request_interrupt`],
+    /// e.g. from a `SIGTERM` handler); the exploration wound down at the
+    /// next budget poll and checkpointed its frontier like any other
+    /// budget exhaustion.
+    Interrupted,
 }
 
 impl fmt::Display for BudgetReason {
@@ -106,6 +111,7 @@ impl fmt::Display for BudgetReason {
             BudgetReason::Wall { limit_ms } => {
                 write!(f, "wall-clock budget ({limit_ms} ms) exhausted")
             }
+            BudgetReason::Interrupted => write!(f, "interrupted by shutdown request"),
         }
     }
 }

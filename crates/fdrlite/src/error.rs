@@ -26,6 +26,10 @@ pub enum CheckError {
     Internal {
         /// The worker's panic message.
         message: String,
+        /// Index of the worker thread that panicked, when known (`None`
+        /// when the panic surfaced outside any single worker, e.g. from
+        /// the scope join itself).
+        worker: Option<u16>,
     },
 }
 
@@ -39,9 +43,10 @@ impl fmt::Display for CheckError {
             CheckError::ProductExceeded { limit } => {
                 write!(f, "product exploration exceeded {limit} state pairs")
             }
-            CheckError::Internal { message } => {
-                write!(f, "internal checker error: {message}")
-            }
+            CheckError::Internal { message, worker } => match worker {
+                Some(w) => write!(f, "internal checker error (worker {w}): {message}"),
+                None => write!(f, "internal checker error: {message}"),
+            },
         }
     }
 }

@@ -1,0 +1,36 @@
+//! Cooperative interrupt flag polled by the exploration engines.
+//!
+//! A signal handler (or any other shutdown authority — the CLI installs one
+//! for `SIGTERM`) calls [`request_interrupt`]; both the serial and the
+//! parallel engine observe the flag on their budget-polling path and wind
+//! down exactly as if a wall-clock budget had expired: the check returns
+//! [`Verdict::Inconclusive`](crate::Verdict::Inconclusive) with
+//! [`BudgetReason::Interrupted`](crate::BudgetReason::Interrupted), and —
+//! when a persistent cache is attached — the frontier is checkpointed and a
+//! resume token attached, so `--resume` later continues to a verdict
+//! bit-identical to an uninterrupted run.
+//!
+//! The flag is process-global because signal handlers have no other safe
+//! channel: the handler may only perform async-signal-safe work, and a
+//! relaxed atomic store qualifies.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static INTERRUPTED: AtomicBool = AtomicBool::new(false);
+
+/// Request a graceful wind-down of every in-flight exploration in this
+/// process. Safe to call from a signal handler (a single atomic store).
+pub fn request_interrupt() {
+    INTERRUPTED.store(true, Ordering::Relaxed);
+}
+
+/// Has an interrupt been requested (and not yet cleared)?
+pub fn interrupt_requested() -> bool {
+    INTERRUPTED.load(Ordering::Relaxed)
+}
+
+/// Clear the interrupt flag (tests and long-lived supervisors that survive
+/// the wind-down and want to run further checks).
+pub fn clear_interrupt() {
+    INTERRUPTED.store(false, Ordering::Relaxed);
+}

@@ -52,6 +52,7 @@
 mod checker;
 mod counterexample;
 mod error;
+mod interrupt;
 mod normalise;
 mod stats;
 mod store;
@@ -60,10 +61,12 @@ pub mod hypertrace;
 pub mod parallel;
 pub mod persist;
 pub mod properties;
+pub mod supervisor;
 
 pub use checker::{CheckOptions, Checker, CheckerBuilder, RefinementModel};
 pub use counterexample::{BudgetReason, Counterexample, FailureKind, Inconclusive, Verdict};
 pub use error::CheckError;
+pub use interrupt::{clear_interrupt, interrupt_requested, request_interrupt};
 pub use normalise::{Acceptance, NormNodeId, NormalisedLts};
 pub use persist::{CheckId, PersistConfig, PersistentCache, ResumePolicy, StorageFaultHook};
 pub use stats::CheckStats;

@@ -554,7 +554,7 @@ fn explore(
     let mut arenas: Vec<Vec<NodeRec>> = Vec::with_capacity(threads);
     let mut merged = WorkerStats::default();
     let mut leftover_tasks: Vec<Task> = Vec::new();
-    let mut panic_message: Option<String> = None;
+    let mut panic_message: Option<(u16, String)> = None;
 
     crossbeam::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
@@ -587,7 +587,7 @@ fn explore(
                 (ctx.arena, ctx.stats, leftovers)
             }));
         }
-        for handle in handles {
+        for (me, handle) in handles.into_iter().enumerate() {
             match handle.join() {
                 Ok((arena, stats, leftovers)) => {
                     merged.expansions += stats.expansions;
@@ -599,7 +599,7 @@ fn explore(
                     leftover_tasks.extend(leftovers);
                 }
                 Err(payload) => {
-                    panic_message.get_or_insert_with(|| panic_text(payload.as_ref()));
+                    panic_message.get_or_insert_with(|| (me as u16, panic_text(payload.as_ref())));
                     // Keep arena indexing consistent for the survivors.
                     arenas.push(Vec::new());
                 }
@@ -608,10 +608,14 @@ fn explore(
     })
     .map_err(|payload| CheckError::Internal {
         message: panic_text(payload.as_ref()),
+        worker: None,
     })?;
 
-    if let Some(message) = panic_message {
-        return Err(CheckError::Internal { message });
+    if let Some((worker, message)) = panic_message {
+        return Err(CheckError::Internal {
+            message,
+            worker: Some(worker),
+        });
     }
     if shared.overflow.load(Ordering::Relaxed) {
         return Err(CheckError::ProductExceeded { limit: max_product });
@@ -1084,6 +1088,7 @@ mod tests {
                 Ok(value) => Ok(value),
                 Err(payload) => Err(CheckError::Internal {
                     message: panic_text(payload.as_ref()),
+                    worker: Some(3),
                 }),
             }
         })
@@ -1092,10 +1097,16 @@ mod tests {
         assert_eq!(
             err,
             CheckError::Internal {
-                message: "worker thread panicked: injected fault".to_owned()
+                message: "worker thread panicked: injected fault".to_owned(),
+                worker: Some(3),
             }
         );
-        assert!(err.to_string().contains("injected fault"));
+        // The Display must preserve both the panic payload and the index of
+        // the thread it came from — the CLI prints exactly this string.
+        assert_eq!(
+            err.to_string(),
+            "internal checker error (worker 3): worker thread panicked: injected fault"
+        );
     }
 
     #[test]

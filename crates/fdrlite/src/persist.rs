@@ -21,10 +21,14 @@
 //!    see `docs/PERSISTENCE.md` for the exact guarantees.
 //!
 //! Concurrent `autocsp` invocations may share one cache directory: writers
-//! take an advisory exclusive lock on `store.lock` around
+//! take an advisory exclusive lock — a `store.lock` file created with
+//! `create_new` and stamped with the holder's pid + wall-clock — around
 //! write + eviction, readers stay lock-free (rename atomicity means a
 //! reader sees either the old complete entry or the new complete entry,
-//! and the checksum rejects anything else).
+//! and the checksum rejects anything else). A lock file left behind by a
+//! process that died without dropping its guard is detected as *stale*
+//! (dead pid, or an ancient stamp) and stolen with an [`STALE_LOCK`]
+//! warning, so one crash never wedges every later writer.
 //!
 //! Only the *transition structure* of an [`Lts`] is persisted, plus a
 //! per-state Ω flag; every other state term is rehydrated as a
@@ -35,7 +39,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
-use std::fs::{self, File};
+use std::fs;
 use std::io::ErrorKind;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -62,6 +66,9 @@ pub const EVICTED: Code = Code("STO404");
 /// `STO405` — a checkpoint was rejected (corrupt, version-mismatched or
 /// keyed to a different check); the run restarted from scratch.
 pub const BAD_CHECKPOINT: Code = Code("STO405");
+/// `STO406` — a `store.lock` left behind by a dead (or long-vanished)
+/// process was detected as stale and stolen; writers proceed normally.
+pub const STALE_LOCK: Code = Code("STO406");
 
 const MAGIC_MODEL: &[u8; 8] = b"FDRLMDL\x01";
 const MAGIC_NORM: &[u8; 8] = b"FDRLNRM\x01";
@@ -188,6 +195,29 @@ pub fn content_hash(p: &Process, defs: &Definitions) -> ModelHash {
     ModelHash(h.finish())
 }
 
+/// Content fingerprint of a definitions table alone — the defs-dependent
+/// half of [`content_hash`]. A `Var(i)` term means something different
+/// under every definitions table, so in-memory caches shared across
+/// scripts must key compiled artifacts by this fingerprint as well as by
+/// the interned term: two scripts easily intern structurally identical
+/// terms whose definitions differ.
+pub(crate) fn defs_fingerprint(defs: &Definitions) -> u64 {
+    let mut memo: HashMap<usize, [u64; 2]> = HashMap::new();
+    let mut h = Hasher128::new();
+    h.u32(defs.len() as u32);
+    for id in defs.ids() {
+        match defs.body(id) {
+            Ok(body) => {
+                h.u8(1);
+                let child = child_hash(body, &mut memo);
+                h.h128(child);
+            }
+            Err(_) => h.u8(0),
+        }
+    }
+    h.finish()[0]
+}
+
 fn child_hash(p: &Arc<Process>, memo: &mut HashMap<usize, [u64; 2]>) -> [u64; 2] {
     let key = Arc::as_ptr(p) as usize;
     if let Some(&h) = memo.get(&key) {
@@ -299,39 +329,45 @@ pub(crate) enum EntryError {
     Version,
 }
 
-type DecResult<T> = Result<T, EntryError>;
+pub(crate) type DecResult<T> = Result<T, EntryError>;
 
-fn corrupt<T>(why: &'static str) -> DecResult<T> {
+pub(crate) fn corrupt<T>(why: &'static str) -> DecResult<T> {
     Err(EntryError::Corrupt(why))
 }
 
 /// Little-endian append-only encoder.
-struct Enc {
+pub(crate) struct Enc {
     buf: Vec<u8>,
 }
 
 impl Enc {
-    fn new(magic: &[u8; 8]) -> Enc {
+    pub(crate) fn new(magic: &[u8; 8]) -> Enc {
         let mut buf = Vec::with_capacity(256);
         buf.extend_from_slice(magic);
         buf.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
         Enc { buf }
     }
 
-    fn u8(&mut self, v: u8) {
+    pub(crate) fn u8(&mut self, v: u8) {
         self.buf.push(v);
     }
 
-    fn u32(&mut self, v: u32) {
+    pub(crate) fn u32(&mut self, v: u32) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
-    fn u64(&mut self, v: u64) {
+    pub(crate) fn u64(&mut self, v: u64) {
         self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// A length-prefixed UTF-8 string.
+    pub(crate) fn text(&mut self, s: &str) {
+        self.u32(u32::try_from(s.len()).unwrap_or(u32::MAX));
+        self.buf.extend_from_slice(s.as_bytes());
     }
 
     /// Append the trailing checksum and return the finished entry.
-    fn finish(mut self) -> Vec<u8> {
+    pub(crate) fn finish(mut self) -> Vec<u8> {
         let sum = fnv1a64(&self.buf);
         self.buf.extend_from_slice(&sum.to_le_bytes());
         self.buf
@@ -339,7 +375,7 @@ impl Enc {
 }
 
 /// Bounds-checked little-endian decoder over a checksum-verified slice.
-struct Dec<'a> {
+pub(crate) struct Dec<'a> {
     buf: &'a [u8],
     pos: usize,
 }
@@ -347,7 +383,7 @@ struct Dec<'a> {
 impl<'a> Dec<'a> {
     /// Verify the trailing checksum and the magic/version header, then
     /// return a decoder positioned after the header.
-    fn open(bytes: &'a [u8], magic: &[u8; 8]) -> DecResult<Dec<'a>> {
+    pub(crate) fn open(bytes: &'a [u8], magic: &[u8; 8]) -> DecResult<Dec<'a>> {
         if bytes.len() < 8 + 4 + 8 {
             return corrupt("entry truncated below header size");
         }
@@ -366,7 +402,7 @@ impl<'a> Dec<'a> {
         Ok(Dec { buf: body, pos: 12 })
     }
 
-    fn u8(&mut self) -> DecResult<u8> {
+    pub(crate) fn u8(&mut self) -> DecResult<u8> {
         let Some(&v) = self.buf.get(self.pos) else {
             return corrupt("unexpected end of entry");
         };
@@ -374,7 +410,7 @@ impl<'a> Dec<'a> {
         Ok(v)
     }
 
-    fn u32(&mut self) -> DecResult<u32> {
+    pub(crate) fn u32(&mut self) -> DecResult<u32> {
         let Some(raw) = self.buf.get(self.pos..self.pos + 4) else {
             return corrupt("unexpected end of entry");
         };
@@ -382,7 +418,7 @@ impl<'a> Dec<'a> {
         Ok(u32::from_le_bytes(raw.try_into().expect("4-byte slice")))
     }
 
-    fn u64(&mut self) -> DecResult<u64> {
+    pub(crate) fn u64(&mut self) -> DecResult<u64> {
         let Some(raw) = self.buf.get(self.pos..self.pos + 8) else {
             return corrupt("unexpected end of entry");
         };
@@ -390,9 +426,22 @@ impl<'a> Dec<'a> {
         Ok(u64::from_le_bytes(raw.try_into().expect("8-byte slice")))
     }
 
+    /// A length-prefixed UTF-8 string written by [`Enc::text`].
+    pub(crate) fn text(&mut self) -> DecResult<String> {
+        let n = self.u32()? as usize;
+        let Some(raw) = self.buf.get(self.pos..self.pos + n) else {
+            return corrupt("unexpected end of entry");
+        };
+        self.pos += n;
+        match std::str::from_utf8(raw) {
+            Ok(s) => Ok(s.to_string()),
+            Err(_) => corrupt("string is not valid UTF-8"),
+        }
+    }
+
     /// A length prefix that must leave at least `min_per_item` bytes per
     /// item in the remaining input (rejects absurd lengths early).
-    fn len(&mut self, min_per_item: usize) -> DecResult<usize> {
+    pub(crate) fn len(&mut self, min_per_item: usize) -> DecResult<usize> {
         let n = self.u32()? as usize;
         if n.saturating_mul(min_per_item) > self.buf.len() - self.pos {
             return corrupt("length prefix exceeds entry size");
@@ -400,7 +449,7 @@ impl<'a> Dec<'a> {
         Ok(n)
     }
 
-    fn done(&self) -> DecResult<()> {
+    pub(crate) fn done(&self) -> DecResult<()> {
         if self.pos == self.buf.len() {
             Ok(())
         } else {
@@ -1007,6 +1056,86 @@ pub trait StorageFaultHook: Send + Sync {
 }
 
 // ---------------------------------------------------------------------------
+// Store locking
+// ---------------------------------------------------------------------------
+
+/// Bounded wait for a live `store.lock` holder: attempts × retry sleep.
+const LOCK_ATTEMPTS: u32 = 20;
+const LOCK_RETRY_MS: u64 = 5;
+/// A stamped lock older than this is stale even if its pid looks alive
+/// (pid reuse): writers hold the lock for one write + eviction, never
+/// minutes.
+const STALE_LOCK_MICROS: u64 = 600_000_000;
+/// An unparsable lock file (holder died between `create_new` and the
+/// stamp write) is stale once its mtime is this old.
+const UNSTAMPED_LOCK_MICROS: u64 = 5_000_000;
+
+/// Wall-clock micros since the epoch (0 if the clock is unreadable).
+fn now_micros() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| u64::try_from(d.as_micros()).unwrap_or(u64::MAX))
+        .unwrap_or(0)
+}
+
+/// Is the process with this pid still alive? Answered via `/proc` where
+/// available; `None` when it cannot be determined (non-procfs platforms).
+fn pid_alive(pid: u32) -> Option<bool> {
+    if Path::new("/proc").is_dir() {
+        Some(Path::new(&format!("/proc/{pid}")).exists())
+    } else {
+        None
+    }
+}
+
+/// Decide whether an existing `store.lock` is a leftover from a dead
+/// process (stealable) or held by a live writer (wait for it).
+fn lock_is_stale(path: &Path) -> bool {
+    let content = fs::read_to_string(path).unwrap_or_default();
+    let mut parts = content.split_whitespace();
+    let parsed = match (
+        parts.next().and_then(|p| p.parse::<u32>().ok()),
+        parts.next().and_then(|s| s.parse::<u64>().ok()),
+    ) {
+        (Some(pid), Some(stamp)) => Some((pid, stamp)),
+        _ => None,
+    };
+    match parsed {
+        Some((pid, stamp)) => {
+            let aged = now_micros().saturating_sub(stamp) > STALE_LOCK_MICROS;
+            match pid_alive(pid) {
+                Some(false) => true, // holder is gone — classic stale lock
+                Some(true) => aged,  // alive pid may be reuse; trust the stamp
+                None => aged,
+            }
+        }
+        None => {
+            // No stamp yet: give the creating process a grace period
+            // (measured by mtime) before declaring the file abandoned.
+            let age = fs::metadata(path)
+                .and_then(|m| m.modified())
+                .ok()
+                .and_then(|t| t.duration_since(UNIX_EPOCH).ok())
+                .map_or(0, |d| {
+                    now_micros().saturating_sub(u64::try_from(d.as_micros()).unwrap_or(u64::MAX))
+                });
+            age > UNSTAMPED_LOCK_MICROS
+        }
+    }
+}
+
+/// Holds the advisory store lock; removes `store.lock` on drop.
+struct LockGuard {
+    path: PathBuf,
+}
+
+impl Drop for LockGuard {
+    fn drop(&mut self) {
+        let _ = fs::remove_file(&self.path);
+    }
+}
+
+// ---------------------------------------------------------------------------
 // The cache
 // ---------------------------------------------------------------------------
 
@@ -1025,6 +1154,7 @@ pub struct PersistentCache {
     disk_misses: AtomicU64,
     quarantined: AtomicU64,
     evicted: AtomicU64,
+    locks_stolen: AtomicU64,
 }
 
 impl fmt::Debug for PersistentCache {
@@ -1069,6 +1199,7 @@ impl PersistentCache {
             disk_misses: AtomicU64::new(0),
             quarantined: AtomicU64::new(0),
             evicted: AtomicU64::new(0),
+            locks_stolen: AtomicU64::new(0),
         })
     }
 
@@ -1107,20 +1238,65 @@ impl PersistentCache {
         self.evicted.load(Ordering::Relaxed)
     }
 
+    /// Stale `store.lock` files stolen from dead processes so far.
+    pub fn locks_stolen(&self) -> u64 {
+        self.locks_stolen.load(Ordering::Relaxed)
+    }
+
     fn push_diag(&self, d: Diagnostic) {
         self.diags.lock().expect("diag lock poisoned").push(d);
     }
 
     /// Advisory exclusive lock held for the duration of the returned guard
-    /// (released on drop). `None` if locking itself fails — the caller
-    /// proceeds unlocked rather than failing the run.
-    fn lock_exclusive(&self) -> Option<File> {
+    /// (the lock file is removed on drop). `None` if the lock could not be
+    /// acquired within the bounded wait — the caller proceeds unlocked
+    /// rather than failing the run (writes stay atomic either way; only
+    /// eviction racing gets less polite).
+    ///
+    /// The lock is a `store.lock` file created with `create_new` and
+    /// stamped `"<pid> <micros>"`. A file whose pid is dead, whose stamp
+    /// is older than [`STALE_LOCK_MICROS`], or whose content is garbage
+    /// and unchanged for a while, is *stale* — left behind by a process
+    /// that was killed mid-write — and is stolen with an [`STALE_LOCK`]
+    /// warning.
+    fn lock_exclusive(&self) -> Option<LockGuard> {
         let path = self.root.join("store.lock");
-        let file = File::create(&path).ok()?;
-        match file.lock() {
-            Ok(()) => Some(file),
-            Err(_) => None,
+        for _ in 0..LOCK_ATTEMPTS {
+            match fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&path)
+            {
+                Ok(file) => {
+                    use std::io::Write as _;
+                    let mut file = file;
+                    let _ = write!(file, "{} {}", std::process::id(), now_micros());
+                    return Some(LockGuard { path });
+                }
+                Err(e) if e.kind() == ErrorKind::AlreadyExists => {
+                    if lock_is_stale(&path) {
+                        // Steal: remove and retry immediately. A racing
+                        // stealer losing the remove is harmless — the
+                        // `create_new` above stays the only arbiter.
+                        let _ = fs::remove_file(&path);
+                        self.locks_stolen.fetch_add(1, Ordering::Relaxed);
+                        self.push_diag(
+                            Diagnostic::warning(
+                                STALE_LOCK,
+                                Span::unknown(),
+                                "stale `store.lock` left by a dead process; stealing it"
+                                    .to_string(),
+                            )
+                            .with_note("a previous run was killed while holding the store lock"),
+                        );
+                    } else {
+                        std::thread::sleep(std::time::Duration::from_millis(LOCK_RETRY_MS));
+                    }
+                }
+                Err(_) => return None,
+            }
         }
+        None
     }
 
     /// Stamp `name`'s LRU sidecar with the current wall-clock micros.
@@ -1896,5 +2072,97 @@ mod tests {
         let cache = PersistentCache::open(&dir).unwrap();
         assert!(cache.load_model(&key).is_some());
         assert_eq!(cache.quarantined(), 0, "no writer may tear another's entry");
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn stale_lock_from_dead_process_is_stolen() {
+        let dir = tmpdir("stale-lock");
+        // A process that existed, held the lock, and died: spawn a child,
+        // wait for it, then forge the lock file it "left behind".
+        let child = std::process::Command::new("true")
+            .spawn()
+            .expect("spawn child");
+        let dead_pid = child.id();
+        child.wait_with_output().expect("reap child");
+        fs::write(
+            dir.join("store.lock"),
+            format!("{dead_pid} {}", now_micros()),
+        )
+        .unwrap();
+
+        let cache = PersistentCache::open(&dir).unwrap();
+        cache.store_model(&sample_key(), &sample_lts());
+
+        assert!(
+            cache.load_model(&sample_key()).is_some(),
+            "write went through"
+        );
+        assert_eq!(cache.locks_stolen(), 1);
+        let diags = cache.take_diagnostics();
+        assert!(diags.iter().any(|d| d.code == STALE_LOCK));
+        assert!(
+            !dir.join("store.lock").exists(),
+            "the stolen lock was re-acquired and released cleanly"
+        );
+    }
+
+    #[test]
+    fn live_lock_is_waited_out_not_stolen() {
+        let dir = tmpdir("live-lock");
+        // Our own pid with a fresh stamp: a live holder. The writer must
+        // wait out its bounded retry budget and then degrade to an
+        // unlocked (still atomic) write — never steal.
+        fs::write(
+            dir.join("store.lock"),
+            format!("{} {}", std::process::id(), now_micros()),
+        )
+        .unwrap();
+
+        let cache = PersistentCache::open(&dir).unwrap();
+        cache.store_model(&sample_key(), &sample_lts());
+
+        assert!(
+            cache.load_model(&sample_key()).is_some(),
+            "write degraded, not lost"
+        );
+        assert_eq!(cache.locks_stolen(), 0);
+        assert!(
+            dir.join("store.lock").exists(),
+            "a live holder's lock is left alone"
+        );
+    }
+
+    #[test]
+    fn unstamped_fresh_lock_is_not_stale() {
+        let dir = tmpdir("unstamped-lock");
+        let path = dir.join("store.lock");
+        // Freshly created but not yet stamped (the holder sits between
+        // `create_new` and its first write): within the grace period.
+        fs::write(&path, "").unwrap();
+        assert!(!lock_is_stale(&path));
+        // Garbage content behaves the same as empty.
+        fs::write(&path, "not a pid stamp").unwrap();
+        assert!(!lock_is_stale(&path));
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn dead_pid_lock_classifies_as_stale() {
+        let dir = tmpdir("dead-pid-lock");
+        let path = dir.join("store.lock");
+        let child = std::process::Command::new("true")
+            .spawn()
+            .expect("spawn child");
+        let dead_pid = child.id();
+        child.wait_with_output().expect("reap child");
+        fs::write(&path, format!("{dead_pid} {}", now_micros())).unwrap();
+        assert!(lock_is_stale(&path));
+        // An ancient stamp is stale even with a live pid (pid reuse).
+        fs::write(&path, format!("{} 1", std::process::id())).unwrap();
+        assert!(lock_is_stale(&path));
+        // A live pid with a fresh stamp is not.
+        fs::write(&path, format!("{} {}", std::process::id(), now_micros())).unwrap();
+        assert!(!lock_is_stale(&path));
     }
 }

@@ -17,13 +17,15 @@
 //! is only the [`CheckStats`] cost split — warm runs report near-zero
 //! `compile_wall` and nonzero `store_hits`.
 //!
-//! # One store per definitions table
+//! # Sharing one store across definitions tables
 //!
-//! The arena memoises definition bodies by [`csp::DefId`], so a store is
-//! valid for exactly **one** [`Definitions`] table — the same contract as
-//! [`TermArena`]. Create one store per loaded script (or per standalone
-//! table) and share it across that script's assertions, conformance traces
-//! and property constructions.
+//! A [`TermArena`] memoises definition bodies by [`csp::DefId`], so a
+//! single arena is valid for exactly one [`Definitions`] table. The store
+//! therefore fingerprints every table it sees and keeps **one arena per
+//! table**: structurally identical terms from different scripts land in
+//! different arenas and different cache entries, so a supervised batch
+//! (`autocsp run`) can safely route every script through one shared store
+//! without one script's recursion bodies leaking into another's models.
 
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
@@ -78,14 +80,20 @@ impl CompiledModel {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 struct CompileKey {
     term: TermId,
+    /// Store-local id of the definitions table the term was built under.
+    /// A `Var(i)` term denotes a different process under every table, so
+    /// a store shared across scripts must never serve one script's
+    /// compile for another's structurally identical term.
+    defs: u32,
     max_states: usize,
     compress: bool,
 }
 
 impl CompileKey {
-    fn new(term: TermId, checker: &Checker) -> CompileKey {
+    fn new(term: TermId, defs: u32, checker: &Checker) -> CompileKey {
         CompileKey {
             term,
+            defs,
             max_states: checker.max_states(),
             compress: checker.compress(),
         }
@@ -104,11 +112,16 @@ struct NormKey {
 /// caches, and the content-hash memo that keys the on-disk cache.
 #[derive(Default)]
 struct StoreInner {
-    arena: TermArena,
+    /// One interning arena per registered definitions table (indexed by
+    /// the table's store-local id). An arena memoises definition bodies
+    /// by [`csp::DefId`], so sharing one across tables would let one
+    /// script's recursion bodies leak into another's models.
+    arenas: Vec<TermArena>,
     compiled: HashMap<CompileKey, Arc<CompiledModel>>,
     normalised: HashMap<NormKey, Arc<NormalisedLts>>,
     analysed: HashMap<CompileKey, Arc<GraphAnalysis>>,
-    hashes: HashMap<TermId, ModelHash>,
+    hashes: HashMap<(TermId, u32), ModelHash>,
+    defs_ids: HashMap<u64, u32>,
     hits: u64,
     misses: u64,
     analysis_hits: u64,
@@ -116,13 +129,36 @@ struct StoreInner {
 }
 
 impl StoreInner {
-    /// The structural content hash of `p`, memoised per interned term.
-    fn model_hash(&mut self, term: TermId, p: &Process, defs: &Definitions) -> ModelHash {
-        if let Some(&hash) = self.hashes.get(&term) {
+    /// The store-local id of a definitions table, registered by content
+    /// fingerprint. The first table seen gets id 0, the next distinct one
+    /// id 1, and so on; identical tables share an id, so single-script
+    /// workloads pay one fingerprint per call and cache exactly as before.
+    fn defs_id(&mut self, defs: &Definitions) -> u32 {
+        let fp = crate::persist::defs_fingerprint(defs);
+        if let Some(&id) = self.defs_ids.get(&fp) {
+            return id;
+        }
+        let id = u32::try_from(self.arenas.len()).unwrap_or(u32::MAX);
+        self.defs_ids.insert(fp, id);
+        self.arenas.push(TermArena::new());
+        id
+    }
+
+    /// The structural content hash of `p`, memoised per interned term and
+    /// definitions table (the same term hashes differently under
+    /// different tables — recursion bodies are part of its meaning).
+    fn model_hash(
+        &mut self,
+        term: TermId,
+        defs_id: u32,
+        p: &Process,
+        defs: &Definitions,
+    ) -> ModelHash {
+        if let Some(&hash) = self.hashes.get(&(term, defs_id)) {
             return hash;
         }
         let hash = content_hash(p, defs);
-        self.hashes.insert(term, hash);
+        self.hashes.insert((term, defs_id), hash);
         hash
     }
 
@@ -133,8 +169,9 @@ impl StoreInner {
         p: &Process,
         defs: &Definitions,
     ) -> ModelKey {
+        let defs_id = self.defs_id(defs);
         ModelKey {
-            hash: self.model_hash(term, p, defs),
+            hash: self.model_hash(term, defs_id, p, defs),
             max_states: checker.max_states() as u64,
             compress: checker.compress(),
         }
@@ -149,10 +186,11 @@ impl StoreInner {
         model: RefinementModel,
         threads: usize,
     ) -> CheckId {
-        let spec_term = self.arena.intern(spec);
-        let spec_hash = self.model_hash(spec_term, spec, defs);
-        let impl_term = self.arena.intern(impl_);
-        let impl_hash = self.model_hash(impl_term, impl_, defs);
+        let defs_id = self.defs_id(defs);
+        let spec_term = self.arenas[defs_id as usize].intern(spec);
+        let spec_hash = self.model_hash(spec_term, defs_id, spec, defs);
+        let impl_term = self.arenas[defs_id as usize].intern(impl_);
+        let impl_hash = self.model_hash(impl_term, defs_id, impl_, defs);
         CheckIdParts {
             spec: spec_hash,
             impl_: impl_hash,
@@ -173,8 +211,9 @@ impl StoreInner {
         defs: &Definitions,
         disk: Option<&PersistentCache>,
     ) -> Result<Arc<CompiledModel>, CheckError> {
-        let term = self.arena.intern(p);
-        let key = CompileKey::new(term, checker);
+        let defs_id = self.defs_id(defs);
+        let term = self.arenas[defs_id as usize].intern(p);
+        let key = CompileKey::new(term, defs_id, checker);
         if let Some(model) = self.compiled.get(&key) {
             self.hits += 1;
             return Ok(Arc::clone(model));
@@ -189,7 +228,12 @@ impl StoreInner {
             }
         }
         self.misses += 1;
-        let lts = Lts::build_in(&mut self.arena, term, defs, checker.max_states())?;
+        let lts = Lts::build_in(
+            &mut self.arenas[defs_id as usize],
+            term,
+            defs,
+            checker.max_states(),
+        )?;
         let lts = if checker.compress() {
             csp::compress::quotient_bisim(&lts).lts
         } else {
@@ -212,9 +256,10 @@ impl StoreInner {
         defs: &Definitions,
         disk: Option<&PersistentCache>,
     ) -> Result<Arc<NormalisedLts>, CheckError> {
-        let term = self.arena.intern(p);
+        let defs_id = self.defs_id(defs);
+        let term = self.arenas[defs_id as usize].intern(p);
         let key = NormKey {
-            compile: CompileKey::new(term, checker),
+            compile: CompileKey::new(term, defs_id, checker),
             max_norm_nodes: checker.max_norm_nodes(),
         };
         if let Some(norm) = self.normalised.get(&key) {
@@ -375,8 +420,9 @@ impl ModelStore {
         let disk = self.cache_handle();
         let mut inner = self.lock();
         let model = inner.compile(checker, p, defs, disk.as_deref())?;
-        let term = inner.arena.intern(p);
-        let key = CompileKey::new(term, checker);
+        let defs_id = inner.defs_id(defs);
+        let term = inner.arenas[defs_id as usize].intern(p);
+        let key = CompileKey::new(term, defs_id, checker);
         Ok(inner.analysis(key, &model))
     }
 
@@ -586,8 +632,9 @@ impl ModelStore {
         let disk = self.cache_handle();
         let mut inner = self.lock();
         let model = inner.compile(checker, p, defs, disk.as_deref())?;
-        let term = inner.arena.intern(p);
-        let key = CompileKey::new(term, checker);
+        let defs_id = inner.defs_id(defs);
+        let term = inner.arenas[defs_id as usize].intern(p);
+        let key = CompileKey::new(term, defs_id, checker);
         let analysis = inner.analysis(key, &model);
         Ok((model, analysis))
     }
@@ -778,7 +825,9 @@ impl ModelStore {
                             BudgetReason::States { limit } => {
                                 slice_limit == Some(limit) && options.max_states != Some(limit)
                             }
-                            BudgetReason::Wall { .. } => false,
+                            // A real wall budget or a shutdown request always
+                            // surfaces to the caller (with the resume token).
+                            BudgetReason::Wall { .. } | BudgetReason::Interrupted => false,
                         };
                         if synthetic {
                             carried = Some(frontier);
@@ -839,6 +888,55 @@ mod tests {
         store.compile(&tight, &p, &defs).unwrap();
         assert_eq!(store.misses(), 2, "distinct bounds must not share a slot");
         assert_eq!(store.hits(), 0);
+    }
+
+    #[test]
+    fn shared_store_keeps_definitions_tables_apart() {
+        // Two tables whose DefId(0) bodies differ: `P = a -> STOP` vs
+        // `P = b -> STOP`. The term `Var(0)` is structurally identical in
+        // both scripts, so a defs-blind cache would serve table A's model
+        // for table B and flip its verdict.
+        let checker = Checker::new();
+        let store = ModelStore::new();
+        let spec = Process::prefix(e(0), Process::Stop);
+
+        let mut defs_a = Definitions::new();
+        let pa = defs_a.declare("P");
+        defs_a.define(pa, Process::prefix(e(0), Process::Stop));
+        let mut defs_b = Definitions::new();
+        let pb = defs_b.declare("P");
+        defs_b.define(pb, Process::prefix(e(1), Process::Stop));
+
+        let (a, _) = store
+            .trace_refinement(
+                &checker,
+                &spec,
+                &Process::var(pa),
+                &defs_a,
+                1,
+                &CheckOptions::UNBOUNDED,
+            )
+            .unwrap();
+        assert!(a.is_pass(), "P = a -> STOP refines a -> STOP");
+
+        let (b, _) = store
+            .trace_refinement(
+                &checker,
+                &spec,
+                &Process::var(pb),
+                &defs_b,
+                1,
+                &CheckOptions::UNBOUNDED,
+            )
+            .unwrap();
+        assert!(
+            !b.is_pass(),
+            "P = b -> STOP must refute even though Var(0) was cached for table A"
+        );
+        assert_eq!(
+            b.counterexample().unwrap().kind(),
+            &FailureKind::TraceViolation { event: Some(e(1)) }
+        );
     }
 
     #[test]

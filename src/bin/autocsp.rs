@@ -14,11 +14,16 @@
 //! autocsp conform <model.csp> [corpus.jsonl]... [--spec NAME | --faults plan.toml]
 //!                 [--traces-dir DIR] [--stdin] [--threads N] [--stats]
 //!                 [--stats-json out.json] [--format text|json] [--deny-warnings]
+//! autocsp run <jobs.toml> [--cache-dir DIR] [--resume] [--threads N] [--stats]
+//!             [--storage-faults SEED[:EVERY]] [--force-panic JOB]
 //! autocsp replay <cex.json> <node.can>... [--dbc net.dbc] [--node NAME]
 //! ```
 
+use std::collections::HashMap;
 use std::fs;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::rc::Rc;
 use std::sync::Arc;
 
 use diag::{Diagnostic, Severity, Span};
@@ -31,6 +36,11 @@ use translator::{NodeSpec, Pipeline, SystemBuilder, TranslateConfig};
 /// budget and nothing outright failed: neither success (0) nor refutation (1).
 const EXIT_INCONCLUSIVE: u8 = 3;
 
+/// Exit code for `run` batches where at least one job *failed* — panicked,
+/// exhausted its transient retries, or could not start at all. Distinct from
+/// refutation (1): the infrastructure broke, the properties were not judged.
+const EXIT_INFRA: u8 = 4;
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
@@ -41,6 +51,7 @@ fn main() -> ExitCode {
         Some("compose") => compose(&args[1..]),
         Some("simulate") => simulate(&args[1..]),
         Some("conform") => conform(&args[1..]),
+        Some("run") => run_cmd(&args[1..]),
         Some("replay") => replay_cmd(&args[1..]),
         Some("--version" | "-V" | "version") => {
             println!("autocsp {}", env!("CARGO_PKG_VERSION"));
@@ -145,6 +156,27 @@ USAGE:
       1 otherwise; `--stats` prints trie dedup ratio and traces/sec to
       stderr, `--stats-json` writes them as JSON. See docs/CONFORMANCE.md.
 
+  autocsp run <jobs.toml> [--threads <N>] [--max-states <N>] [--timeout-ms <N>]
+              [--cache-dir <DIR>] [--no-cache] [--resume] [--checkpoint-every <N>]
+              [--spec <NAME>] [--seed <N>] [--stats]
+              [--storage-faults <SEED[:EVERY]>] [--force-panic <JOB>]
+      Run a TOML manifest of check/conform/analyze jobs under the
+      supervised job runtime: each job is panic-isolated (a panicking job
+      reports `failed` with a SUP501 diagnostic; the run continues),
+      transient failures retry on a bounded, seeded exponential backoff,
+      and every terminal verdict is journaled crash-safely. After a crash
+      or kill, `--resume` replays journaled verdicts verbatim and re-runs
+      only unfinished jobs (reusing their per-check checkpoints when
+      `--cache-dir` is set), so the completed run's stdout is
+      byte-identical to an undisturbed one. SIGTERM checkpoints in-flight
+      work and defers the rest. Manifest `[run]` sets defaults
+      (threads/budgets/retries), `[chaos]` injects deterministic transient
+      faults for testing; `--storage-faults` seeds disk-cache fault
+      injection and `--force-panic JOB` panics a named job (both for
+      chaos drills). Exits 4 when any job failed (infrastructure), else 1
+      when any was refuted, else 3 when any is inconclusive or deferred,
+      else 0. See docs/SUPERVISION.md.
+
   autocsp replay <cex.json> <node.can>... [--dbc <net.dbc>] [--node <NAME>]
                  [--stimulus <chan>] [--expect <chan>] [--gap-us <N>]
       Re-drive a saved counterexample (from `check --cex-json`) through the
@@ -187,6 +219,8 @@ struct Flags {
     stimulus: Vec<String>,
     expect: Vec<String>,
     gap_us: u64,
+    storage_faults: Option<String>,
+    force_panic: Option<String>,
 }
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -225,6 +259,8 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         stimulus: Vec::new(),
         expect: Vec::new(),
         gap_us: 10_000,
+        storage_faults: None,
+        force_panic: None,
     };
     let mut i = 0;
     let value = |args: &[String], i: &mut usize, flag: &str| -> Result<String, String> {
@@ -285,7 +321,20 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             "--cex-json" => flags.cex_json = Some(value(args, &mut i, "--cex-json")?),
             "--cache-dir" => flags.cache_dir = Some(value(args, &mut i, "--cache-dir")?),
             "--no-cache" => flags.no_cache = true,
-            "--resume" => flags.resume = Some(value(args, &mut i, "--resume")?),
+            "--resume" => {
+                // The token is optional: a bare `--resume` (or one followed by
+                // another flag / a manifest path) means "resume automatically".
+                let next = args.get(i + 1).map(String::as_str);
+                let takes_value = matches!(
+                    next,
+                    Some(v) if v == "auto" || (v.len() == 32 && v.bytes().all(|b| b.is_ascii_hexdigit()))
+                );
+                if takes_value {
+                    flags.resume = Some(value(args, &mut i, "--resume")?);
+                } else {
+                    flags.resume = Some("auto".to_owned());
+                }
+            }
             "--checkpoint-every" => {
                 flags.checkpoint_every = Some(
                     value(args, &mut i, "--checkpoint-every")?
@@ -314,6 +363,10 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                     .parse()
                     .map_err(|_| "`--gap-us` needs a number".to_owned())?;
             }
+            "--storage-faults" => {
+                flags.storage_faults = Some(value(args, &mut i, "--storage-faults")?);
+            }
+            "--force-panic" => flags.force_panic = Some(value(args, &mut i, "--force-panic")?),
             other if other.starts_with('-') => return Err(format!("unknown flag `{other}`")),
             other => flags.positional.push(other.to_owned()),
         }
@@ -792,6 +845,7 @@ fn check(args: &[String]) -> Result<ExitCode, String> {
     let [script_path] = flags.positional.as_slice() else {
         return Err("check needs exactly one CSPm file".into());
     };
+    install_sigterm_handler();
     let source = read(script_path)?;
     let script = cspm::Script::parse(&source).map_err(|e| e.to_string())?;
     let findings = [FileFindings {
@@ -946,6 +1000,554 @@ fn check(args: &[String]) -> Result<ExitCode, String> {
     } else {
         Ok(ExitCode::SUCCESS)
     }
+}
+
+/// Route `SIGTERM` to the checker's cooperative shutdown flag. The handler
+/// performs a single relaxed atomic store (async-signal-safe); in-flight
+/// exploration notices it at the next budget poll, writes its checkpoint
+/// (when a cache is configured) and reports INCONCLUSIVE with a resume
+/// token instead of dying mid-write.
+#[cfg(unix)]
+fn install_sigterm_handler() {
+    extern "C" fn on_sigterm(_signum: i32) {
+        fdrlite::request_interrupt();
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGTERM, on_sigterm as *const () as usize);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_sigterm_handler() {}
+
+/// A CSPm script loaded once and shared by every job that references it.
+struct ScriptBundle {
+    source: String,
+    script: cspm::Script,
+    loaded: cspm::LoadedScript,
+}
+
+use fdrlite::supervisor::JobExec;
+
+fn load_bundle(path: &Path) -> Result<Rc<ScriptBundle>, String> {
+    let display = path.display();
+    let source = fs::read_to_string(path).map_err(|e| format!("cannot read `{display}`: {e}"))?;
+    let script = cspm::Script::parse(&source).map_err(|e| format!("{display}: {e}"))?;
+    let loaded = script.load().map_err(|e| format!("{display}: {e}"))?;
+    Ok(Rc::new(ScriptBundle {
+        source,
+        script,
+        loaded,
+    }))
+}
+
+/// A job that can never run (unreadable script, bad configuration): fails
+/// permanently with the reason, so the batch reports it instead of dying.
+fn broken_job(why: String) -> JobExec {
+    Box::new(move |_ctx| Err(fdrlite::supervisor::JobError::Permanent(why.clone())))
+}
+
+/// Apply the manifest's `[chaos]` plan: selected jobs fail transiently on
+/// their leading attempts, exercising the supervisor's retry path.
+fn chaos_gate(
+    chaos: &Option<faults::storage::TransientJobFaults>,
+    job: &str,
+    ctx: &fdrlite::supervisor::JobCtx,
+) -> Result<(), fdrlite::supervisor::JobError> {
+    if let Some(plan) = chaos {
+        if plan.should_fail(job, ctx.attempt) {
+            return Err(fdrlite::supervisor::JobError::Transient(
+                "injected transient fault (chaos plan)".to_owned(),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Clamp a job's own wall budget to what is left of the run's budget.
+fn clamp_wall(job_ms: Option<u64>, remaining_ms: Option<u64>) -> Option<u64> {
+    match (job_ms, remaining_ms) {
+        (Some(a), Some(b)) => Some(a.min(b)),
+        (a, b) => a.or(b),
+    }
+}
+
+/// `--storage-faults SEED[:EVERY]` for `run`.
+fn parse_storage_faults(spec: &str) -> Result<(u64, u64), String> {
+    let (seed, every) = match spec.split_once(':') {
+        Some((s, e)) => (s, Some(e)),
+        None => (spec, None),
+    };
+    let seed = seed
+        .parse()
+        .map_err(|_| "`--storage-faults` needs SEED[:EVERY]".to_owned())?;
+    let every = match every {
+        Some(e) => e
+            .parse()
+            .ok()
+            .filter(|&n| n >= 1)
+            .ok_or_else(|| "`--storage-faults` EVERY needs a number ≥ 1".to_owned())?,
+        None => 1,
+    };
+    Ok((seed, every))
+}
+
+/// `*.jsonl` files under a corpus directory, sorted by name, read eagerly so
+/// a job's input is fixed before the supervisor ever calls it.
+fn read_corpus_dir(dir: &Path) -> Result<Vec<(String, String)>, String> {
+    let entries = fs::read_dir(dir)
+        .map_err(|e| format!("cannot read corpus directory `{}`: {e}", dir.display()))?;
+    let mut paths: Vec<PathBuf> = entries
+        .filter_map(Result::ok)
+        .map(|entry| entry.path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "jsonl"))
+        .collect();
+    paths.sort();
+    let mut out = Vec::new();
+    for p in paths {
+        let text =
+            fs::read_to_string(&p).map_err(|e| format!("cannot read `{}`: {e}", p.display()))?;
+        out.push((p.display().to_string(), text));
+    }
+    if out.is_empty() {
+        return Err(format!(
+            "corpus directory `{}` has no `.jsonl` files",
+            dir.display()
+        ));
+    }
+    Ok(out)
+}
+
+#[allow(clippy::too_many_lines)]
+fn run_cmd(args: &[String]) -> Result<ExitCode, String> {
+    use fdrlite::supervisor as sup;
+
+    let flags = parse_flags(args)?;
+    let [manifest_path] = flags.positional.as_slice() else {
+        return Err("run needs exactly one jobs manifest (TOML)".into());
+    };
+    install_sigterm_handler();
+    let manifest_source = read(manifest_path)?;
+    let base_dir = Path::new(manifest_path)
+        .parent()
+        .filter(|p| !p.as_os_str().is_empty())
+        .map_or_else(|| PathBuf::from("."), Path::to_path_buf);
+    let manifest = match cspm::manifest::Manifest::parse(&manifest_source, &base_dir) {
+        Ok(m) => m,
+        Err(e) => {
+            let span = match &e {
+                cspm::CspmError::Parse { pos, .. } | cspm::CspmError::Lex { pos, .. } => {
+                    Span::point(pos.line, pos.col)
+                }
+                _ => Span::unknown(),
+            };
+            let d = Diagnostic::error(sup::MANIFEST_ERROR, span, e.to_string());
+            eprint!("{}", d.render(manifest_path, &manifest_source));
+            return Err(format!("cannot load manifest `{manifest_path}`"));
+        }
+    };
+
+    // One model store (and optional disk cache) shared by every job: jobs
+    // over the same script reuse its compiled and normalised models.
+    let resuming = flags.resume.is_some();
+    let store = Rc::new(fdrlite::ModelStore::new());
+    let cache = match (&flags.cache_dir, flags.no_cache) {
+        (Some(dir), false) => {
+            let cache = Arc::new(
+                fdrlite::PersistentCache::open(dir)
+                    .map_err(|e| format!("cannot open cache directory `{dir}`: {e}"))?,
+            );
+            store.set_persist(fdrlite::PersistConfig {
+                cache: Arc::clone(&cache),
+                checkpoint_every: flags.checkpoint_every,
+                // `run` resumes whole batches; per-check tokens stay internal.
+                resume: if resuming {
+                    fdrlite::ResumePolicy::Auto
+                } else {
+                    fdrlite::ResumePolicy::Off
+                },
+            });
+            Some(cache)
+        }
+        _ => None,
+    };
+    if let Some(spec) = &flags.storage_faults {
+        let Some(cache) = &cache else {
+            return Err(
+                "`--storage-faults` needs `--cache-dir` (the fault hook lives on the cache)".into(),
+            );
+        };
+        let (seed, every) = parse_storage_faults(spec)?;
+        cache.set_fault_hook(Arc::new(faults::storage::StorageFaultEngine::new(
+            seed,
+            &[],
+            every,
+        )));
+    }
+
+    // The journal lives next to the cache when there is one, else next to
+    // the manifest. A fresh (non-`--resume`) run never replays stale
+    // outcomes: any leftover journal is removed first.
+    let journal_path = cache.as_ref().map_or_else(
+        || PathBuf::from(format!("{manifest_path}.journal")),
+        |c| {
+            c.root()
+                .join(format!("jobs-{:016x}.journal", manifest.source_hash()))
+        },
+    );
+    if !resuming {
+        let _ = fs::remove_file(&journal_path);
+    }
+    let mut journal_diags = Vec::new();
+    let mut journal = sup::Journal::open(&journal_path, manifest.source_hash(), &mut journal_diags);
+
+    let chaos = Rc::new(manifest.chaos.map(|c| {
+        faults::storage::TransientJobFaults::new(c.seed, c.transient_attempts, c.every_nth)
+    }));
+    let checker = Rc::new(Checker::new());
+    let mut scripts: HashMap<PathBuf, Result<Rc<ScriptBundle>, String>> = HashMap::new();
+    let mut jobs: Vec<sup::Job> = Vec::new();
+    for (index, spec) in manifest.jobs.iter().enumerate() {
+        let bundle = scripts
+            .entry(spec.script.clone())
+            .or_insert_with(|| load_bundle(&spec.script))
+            .clone();
+        let key = match &bundle {
+            Ok(b) => manifest.job_key(index, &b.source),
+            Err(why) => manifest.job_key(index, why),
+        };
+        let name = spec.name.clone();
+        let force_panic = flags.force_panic.as_deref() == Some(name.as_str());
+        let threads = spec
+            .threads
+            .or(manifest.run.threads)
+            .unwrap_or(flags.threads);
+        let max_states = spec
+            .max_states
+            .or(manifest.run.max_states)
+            .or(flags.max_states);
+        let timeout_ms = spec
+            .timeout_ms
+            .or(manifest.run.timeout_ms)
+            .or(flags.timeout_ms);
+        let chaos = Rc::clone(&chaos);
+        let exec: JobExec = match &bundle {
+            Err(why) => broken_job(why.clone()),
+            Ok(bundle) => match spec.kind {
+                cspm::manifest::JobKind::Check => {
+                    let bundle = Rc::clone(bundle);
+                    let store = Rc::clone(&store);
+                    let checker = Rc::clone(&checker);
+                    let assertion = spec.assertion.clone();
+                    let jn = name.clone();
+                    Box::new(move |ctx| {
+                        chaos_gate(&chaos, &jn, ctx)?;
+                        assert!(!force_panic, "forced panic (--force-panic)");
+                        let options = cspm::CheckOptions {
+                            threads,
+                            collect_stats: false,
+                            max_states,
+                            max_wall_ms: clamp_wall(timeout_ms, ctx.remaining_ms),
+                        };
+                        let results = bundle
+                            .loaded
+                            .check_with_store(&checker, &options, &store)
+                            .map_err(|e| sup::JobError::Permanent(e.to_string()))?;
+                        let mut lines = Vec::new();
+                        let mut refuted = 0_u32;
+                        let mut inconclusive = 0_u32;
+                        let mut matched = 0_u32;
+                        let mut interrupted = false;
+                        for r in &results {
+                            if let Some(filter) = &assertion {
+                                if !r.description.contains(filter.as_str()) {
+                                    continue;
+                                }
+                            }
+                            matched += 1;
+                            if let Some(cex) = r.verdict.counterexample() {
+                                refuted += 1;
+                                lines.push(format!("assert {}  ...  FAIL", r.description));
+                                lines.push(format!("  {}", cex.display(bundle.loaded.alphabet())));
+                            } else if let Some(inc) = r.verdict.inconclusive() {
+                                inconclusive += 1;
+                                // No budget detail on stdout: the line must
+                                // be identical across disturbed runs.
+                                lines.push(format!("assert {}  ...  INCONCLUSIVE", r.description));
+                                if inc.reason == fdrlite::BudgetReason::Interrupted {
+                                    interrupted = true;
+                                }
+                                if let Some(token) = &inc.resume {
+                                    eprintln!(
+                                        "job {jn}: checkpoint saved; continue with `autocsp run --resume` \
+                                         (or `autocsp check --resume {token}`)"
+                                    );
+                                }
+                            } else {
+                                lines.push(format!("assert {}  ...  PASS", r.description));
+                            }
+                        }
+                        if matched == 0 {
+                            return Err(sup::JobError::Permanent(match &assertion {
+                                Some(f) => format!("no assertion matches filter `{f}`"),
+                                None => "script contains no `assert` declarations".to_owned(),
+                            }));
+                        }
+                        let status = if refuted > 0 {
+                            sup::JobStatus::Refuted
+                        } else if inconclusive > 0 {
+                            sup::JobStatus::Inconclusive
+                        } else {
+                            sup::JobStatus::Passed
+                        };
+                        Ok(sup::JobReport {
+                            status,
+                            lines,
+                            interrupted,
+                        })
+                    })
+                }
+                cspm::manifest::JobKind::Conform => {
+                    let spec_name = spec.spec.clone().or_else(|| flags.spec.clone());
+                    let corpus_dir = spec.corpus.clone();
+                    match (spec_name, corpus_dir) {
+                        (Some(spec_name), Some(dir)) => match read_corpus_dir(&dir) {
+                            Err(why) => broken_job(why),
+                            Ok(corpus) => {
+                                let bundle = Rc::clone(bundle);
+                                let store = Rc::clone(&store);
+                                let checker = Rc::clone(&checker);
+                                let jn = name.clone();
+                                Box::new(move |ctx| {
+                                    chaos_gate(&chaos, &jn, ctx)?;
+                                    assert!(!force_panic, "forced panic (--force-panic)");
+                                    let mut run = faults::batch::BatchRun::new(
+                                        &bundle.loaded,
+                                        &spec_name,
+                                        &checker,
+                                        &store,
+                                    )
+                                    .map_err(|e| sup::JobError::Permanent(e.to_string()))?;
+                                    let mut labels = Vec::new();
+                                    for (file, text) in &corpus {
+                                        let (traces, _findings) = faults::batch::parse_corpus(text);
+                                        for (line, trace) in traces {
+                                            let label = trace
+                                                .id
+                                                .clone()
+                                                .unwrap_or_else(|| format!("{file}:{line}"));
+                                            run.push(&trace.events);
+                                            labels.push(label);
+                                        }
+                                    }
+                                    let report = run.finish(threads);
+                                    let mut lines = Vec::new();
+                                    let mut inconclusive = 0_u32;
+                                    let mut interrupted = false;
+                                    for (i, verdict) in report.verdicts.iter().enumerate() {
+                                        let label = &labels[i];
+                                        match verdict {
+                                            ConformanceVerdict::Conformant => {}
+                                            ConformanceVerdict::Refuted(cex) => {
+                                                lines.push(format!("trace {label}  ...  FAIL"));
+                                                lines.push(format!(
+                                                    "  {}",
+                                                    cex.display(bundle.loaded.alphabet())
+                                                ));
+                                            }
+                                            ConformanceVerdict::UnknownEvent { event, index } => {
+                                                lines.push(format!("trace {label}  ...  FAIL"));
+                                                lines.push(format!(
+                                                    "  (event #{index} `{event}` is not in the model's alphabet)"
+                                                ));
+                                            }
+                                            ConformanceVerdict::Inconclusive(inc) => {
+                                                inconclusive += 1;
+                                                lines.push(format!(
+                                                    "trace {label}  ...  INCONCLUSIVE"
+                                                ));
+                                                if inc.reason == fdrlite::BudgetReason::Interrupted
+                                                {
+                                                    interrupted = true;
+                                                }
+                                            }
+                                        }
+                                    }
+                                    let refuted = report.stats.refuted;
+                                    let unknown = report.stats.unknown_event;
+                                    let outcome = if refuted + unknown > 0 {
+                                        "FAIL"
+                                    } else {
+                                        "PASS"
+                                    };
+                                    lines.push(format!(
+                                        "conformance {} [T= corpus  ...  {outcome}: {} trace(s), \
+                                         {} conformant, {refuted} refuted, {unknown} unknown-event",
+                                        report.spec, report.stats.traces, report.stats.conformant
+                                    ));
+                                    let status = if refuted + unknown > 0 {
+                                        sup::JobStatus::Refuted
+                                    } else if inconclusive > 0 {
+                                        sup::JobStatus::Inconclusive
+                                    } else {
+                                        sup::JobStatus::Passed
+                                    };
+                                    Ok(sup::JobReport {
+                                        status,
+                                        lines,
+                                        interrupted,
+                                    })
+                                })
+                            }
+                        },
+                        (None, _) => broken_job(format!(
+                            "conform job `{name}` needs `spec = \"NAME\"` (or `--spec`)"
+                        )),
+                        (_, None) => {
+                            broken_job(format!("conform job `{name}` needs `corpus = \"DIR\"`"))
+                        }
+                    }
+                }
+                cspm::manifest::JobKind::Analyze => {
+                    let bundle = Rc::clone(bundle);
+                    let store = Rc::clone(&store);
+                    let checker = Rc::clone(&checker);
+                    let jn = name.clone();
+                    let script_label = spec.script.display().to_string();
+                    Box::new(move |ctx| {
+                        chaos_gate(&chaos, &jn, ctx)?;
+                        assert!(!force_panic, "forced panic (--force-panic)");
+                        let analysis = cspm::analyze::analyze_script(
+                            bundle.script.module(),
+                            &bundle.loaded,
+                            &checker,
+                            &store,
+                            max_states,
+                        );
+                        let errors = analysis
+                            .diagnostics
+                            .iter()
+                            .filter(|d| d.severity == Severity::Error)
+                            .count();
+                        let warnings = analysis
+                            .diagnostics
+                            .iter()
+                            .filter(|d| d.severity == Severity::Warning)
+                            .count();
+                        for d in &analysis.diagnostics {
+                            eprint!("{}", d.render(&script_label, &bundle.source));
+                        }
+                        let lines = vec![format!(
+                            "analyze {script_label}: {errors} error(s), {warnings} warning(s)"
+                        )];
+                        let status = if errors > 0 {
+                            sup::JobStatus::Refuted
+                        } else {
+                            sup::JobStatus::Passed
+                        };
+                        Ok(sup::JobReport {
+                            status,
+                            lines,
+                            interrupted: false,
+                        })
+                    })
+                }
+            },
+        };
+        jobs.push(sup::Job { name, key, exec });
+    }
+
+    let defaults = sup::RetryPolicy::default();
+    let supervisor = sup::Supervisor::new(sup::SupervisorConfig {
+        retry: sup::RetryPolicy {
+            max_attempts: manifest.run.retries.unwrap_or(defaults.max_attempts).max(1),
+            base_delay_ms: manifest.run.retry_base_ms.unwrap_or(defaults.base_delay_ms),
+            max_delay_ms: manifest.run.retry_max_ms.unwrap_or(defaults.max_delay_ms),
+            seed: manifest.run.retry_seed.or(flags.seed).unwrap_or(0),
+        },
+        run_timeout_ms: manifest.run.run_timeout_ms,
+    });
+    let outcome = supervisor.run(jobs, &mut journal);
+
+    // Diagnostics (SUP5xx, STO4xx) go to stderr; stdout carries only the
+    // deterministic verdict lines so disturbed and undisturbed runs diff
+    // byte-identical.
+    for d in journal_diags.iter().chain(&outcome.diagnostics) {
+        eprint!("{}", d.render(manifest_path, &manifest_source));
+    }
+    if let Some(cache) = &cache {
+        let root = cache.root().display().to_string();
+        for d in cache.take_diagnostics() {
+            eprint!("{}", d.render(&root, ""));
+        }
+        if flags.stats {
+            eprintln!(
+                "disk cache: {} hit(s), {} miss(es), {} quarantined, {} evicted, {} lock(s) stolen",
+                cache.disk_hits(),
+                cache.disk_misses(),
+                cache.quarantined(),
+                cache.evicted(),
+                cache.locks_stolen()
+            );
+        }
+    }
+    if flags.stats {
+        let replayed = outcome.jobs.iter().filter(|j| j.replayed).count();
+        eprintln!(
+            "supervisor: {} job(s), {} replayed from journal, {} transient retry(ies), {} deferred",
+            outcome.jobs.len(),
+            replayed,
+            outcome.retries,
+            outcome.deferred.len()
+        );
+    }
+
+    let mut passed = 0_u32;
+    let mut refuted = 0_u32;
+    let mut inconclusive = 0_u32;
+    let mut failed = 0_u32;
+    for job in &outcome.jobs {
+        for line in &job.lines {
+            println!("{line}");
+        }
+        println!("job {}  ...  {}", job.name, job.status);
+        match job.status {
+            sup::JobStatus::Passed => passed += 1,
+            sup::JobStatus::Refuted => refuted += 1,
+            sup::JobStatus::Inconclusive => inconclusive += 1,
+            sup::JobStatus::Failed => failed += 1,
+        }
+    }
+    println!(
+        "run: {} job(s): {passed} passed, {refuted} refuted, {inconclusive} inconclusive, \
+         {failed} failed",
+        outcome.jobs.len()
+    );
+    if outcome.deferred.is_empty() {
+        journal.remove();
+    } else {
+        eprintln!(
+            "{} job(s) deferred: {}; finish with `autocsp run --resume {manifest_path}`",
+            outcome.deferred.len(),
+            outcome.deferred.join(", ")
+        );
+    }
+
+    if outcome.any_failed() {
+        eprintln!("{failed} job(s) failed (infrastructure)");
+        return Ok(ExitCode::from(EXIT_INFRA));
+    }
+    if outcome.any_refuted() {
+        return Err(format!("{refuted} job(s) refuted"));
+    }
+    if outcome.any_inconclusive() {
+        return Ok(ExitCode::from(EXIT_INCONCLUSIVE));
+    }
+    Ok(ExitCode::SUCCESS)
 }
 
 fn compose(args: &[String]) -> Result<ExitCode, String> {

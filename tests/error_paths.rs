@@ -80,6 +80,27 @@ fn unguarded_recursion_is_reported() {
 }
 
 #[test]
+fn internal_errors_carry_the_panic_message_and_worker() {
+    let with_worker = fdrlite::CheckError::Internal {
+        message: "index out of bounds".to_owned(),
+        worker: Some(3),
+    };
+    let text = with_worker.to_string();
+    assert!(text.contains("internal checker error"), "{text}");
+    assert!(text.contains("worker 3"), "{text}");
+    assert!(text.contains("index out of bounds"), "{text}");
+
+    let from_join = fdrlite::CheckError::Internal {
+        message: "scope join".to_owned(),
+        worker: None,
+    };
+    let text = from_join.to_string();
+    assert!(text.contains("internal checker error"), "{text}");
+    assert!(!text.contains("worker"), "no index when unknown: {text}");
+    assert!(text.contains("scope join"), "{text}");
+}
+
+#[test]
 fn pipeline_surfaces_semantic_diagnostics_without_failing() {
     // Undeclared variables are diagnostics, not hard failures: the model is
     // still produced (the variable is simply absent from the state vector).
