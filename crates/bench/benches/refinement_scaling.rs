@@ -9,6 +9,13 @@
 //! counterexample reconstruction and to assert the parallel engine's
 //! witness agrees with the serial one at every thread count.
 //!
+//! All three semantic models are swept: `[T=` and a `CHAOS`-spec variant
+//! for `[F=`/`[FD=` (everything failures-refines `CHAOS`, so the product
+//! is fully explored), with the rogue workload re-checked in both
+//! failures-family models to pin their counterexamples across thread
+//! counts. A normalisation probe separates the subset-construction wall
+//! (`CheckStats::normalise_wall`) cold vs warm.
+//!
 //! Knobs (environment variables):
 //!
 //! * `REFINEMENT_BENCH_QUICK=1` — shrink to a smoke-test size.
@@ -35,8 +42,26 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use csp::{Definitions, EventSet, Process};
-use fdrlite::{parallel, CheckStats, Checker, Verdict};
+use fdrlite::{CheckStats, Checker, Verdict};
 use ota::system::OtaSystem;
+
+/// Which refinement check a sweep times.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum BenchModel {
+    Traces,
+    Failures,
+    FailuresDivergences,
+}
+
+impl BenchModel {
+    fn tag(self) -> &'static str {
+        match self {
+            BenchModel::Traces => "T",
+            BenchModel::Failures => "F",
+            BenchModel::FailuresDivergences => "FD",
+        }
+    }
+}
 
 struct Workload {
     defs: Definitions,
@@ -55,6 +80,27 @@ fn passing_workload(scale: u32) -> Workload {
     let copies: Vec<Process> = (0..scale).map(|_| system.system().clone()).collect();
     let impl_ = Process::interleave_all(copies);
     let spec = fdrlite::properties::run(&mut defs, "BENCH_RUN", &comm);
+    Workload {
+        defs,
+        spec,
+        impl_,
+        expect_pairs: Some(5u64.pow(scale)),
+    }
+}
+
+/// `k` interleaved copies against `CHAOS` over the communication
+/// alphabet. `CHAOS` is refined by everything in the stable-failures and
+/// FD models (it may refuse anything), so the check passes only after
+/// exploring all `5^k` pairs — the failures-family analogue of
+/// [`passing_workload`]. The OTA dialogue hides nothing, so it is
+/// divergence-free and the `[FD=` divergence phase is a pure pass.
+fn chaos_workload(scale: u32) -> Workload {
+    let system = OtaSystem::build().expect("OTA model builds");
+    let comm: EventSet = system.comm_set().expect("communication alphabet");
+    let mut defs = system.definitions().clone();
+    let copies: Vec<Process> = (0..scale).map(|_| system.system().clone()).collect();
+    let impl_ = Process::interleave_all(copies);
+    let spec = fdrlite::properties::chaos(&mut defs, "BENCH_CHAOS", &comm);
     Workload {
         defs,
         spec,
@@ -98,23 +144,51 @@ struct Point {
     cex_len: Option<usize>,
 }
 
-/// Run `workload` at `threads` for `reps` repetitions; keep the fastest.
-fn measure(workload: &Workload, threads: usize, reps: u32) -> Point {
+/// Run `workload` under `model` at `threads` for `reps` repetitions; keep
+/// the fastest. Each measurement goes through a pre-warmed [`ModelStore`],
+/// so compilation, normalisation and (for `[FD=`) the cached
+/// `GraphAnalysis` divergence bits are off the clock — the sweep times the
+/// product exploration the way `autocsp check --threads` dispatches it.
+fn measure(workload: &Workload, model: BenchModel, threads: usize, reps: u32) -> Point {
     let checker = Checker::new();
-    let spec_lts = checker
-        .compile(&workload.spec, &workload.defs)
-        .expect("spec compiles");
-    let norm = checker.normalise(&spec_lts).expect("spec normalises");
-    let impl_lts = checker
-        .compile(&workload.impl_, &workload.defs)
-        .expect("impl compiles");
+    let store = fdrlite::ModelStore::new();
+    let options = fdrlite::CheckOptions::UNBOUNDED;
+    let run = || -> (Verdict, CheckStats) {
+        let res = match model {
+            BenchModel::Traces => store.trace_refinement(
+                &checker,
+                &workload.spec,
+                &workload.impl_,
+                &workload.defs,
+                threads,
+                &options,
+            ),
+            BenchModel::Failures => store.failures_refinement(
+                &checker,
+                &workload.spec,
+                &workload.impl_,
+                &workload.defs,
+                threads,
+                &options,
+            ),
+            BenchModel::FailuresDivergences => store.failures_divergences_refinement(
+                &checker,
+                &workload.spec,
+                &workload.impl_,
+                &workload.defs,
+                threads,
+                &options,
+            ),
+        };
+        res.expect("refinement succeeds")
+    };
+    let _ = run(); // warm: compile + normalise + analysis now cached
 
     let mut best: Option<(u128, Verdict, CheckStats)> = None;
     let mut total_us: u128 = 0;
     for _ in 0..reps {
         let started = Instant::now();
-        let (verdict, stats) = parallel::refine_product(&checker, &norm, &impl_lts, threads)
-            .expect("refinement succeeds");
+        let (verdict, stats) = run();
         let wall = started.elapsed().as_micros();
         total_us += wall;
         if best.as_ref().is_none_or(|(b, _, _)| wall < *b) {
@@ -186,9 +260,55 @@ fn probe_store(workload: &Workload, threads: usize) -> StoreProbe {
     probe
 }
 
+struct NormProbe {
+    cold_normalise_us: u128,
+    warm_normalise_us: u128,
+    cold_compile_us: u128,
+}
+
+/// Separate the subset-construction wall from the rest of compilation:
+/// a cold `[F=` run pays `CheckStats::normalise_wall` once, and a warm run
+/// through the same store must report it as zero (normal form served from
+/// cache, no rebuild).
+fn probe_normalise(workload: &Workload) -> NormProbe {
+    let checker = Checker::new();
+    let store = fdrlite::ModelStore::new();
+    let options = fdrlite::CheckOptions::UNBOUNDED;
+    let run = || {
+        store
+            .failures_refinement(
+                &checker,
+                &workload.spec,
+                &workload.impl_,
+                &workload.defs,
+                1,
+                &options,
+            )
+            .expect("refinement succeeds")
+    };
+    let (_, cold) = run();
+    let (_, warm) = run();
+    let probe = NormProbe {
+        cold_normalise_us: cold.normalise_wall.as_micros(),
+        warm_normalise_us: warm.normalise_wall.as_micros(),
+        cold_compile_us: cold.compile_wall.as_micros(),
+    };
+    assert!(
+        probe.cold_normalise_us <= probe.cold_compile_us,
+        "normalise_wall is a carve-out of compile_wall"
+    );
+    assert_eq!(
+        probe.warm_normalise_us, 0,
+        "warm run must serve the normal form from cache"
+    );
+    probe
+}
+
 struct DiskProbe {
     cold_compile_us: u128,
     warm_compile_us: u128,
+    cold_normalise_us: u128,
+    warm_normalise_us: u128,
     cold_disk_misses: u64,
     warm_disk_hits: u64,
     warm_disk_misses: u64,
@@ -198,8 +318,10 @@ struct DiskProbe {
 /// Run the workload through two *fresh* [`fdrlite::ModelStore`]s sharing
 /// one on-disk cache: the second store starts with an empty in-process
 /// cache, so everything it serves cheaply must come from disk — the
-/// cross-invocation analogue of [`probe_store`]. The warm run must be
-/// served entirely from disk (zero disk misses) with a verbatim verdict.
+/// cross-invocation analogue of [`probe_store`]. The check runs in the
+/// `[FD=` model so the current-version normal-form encoding round-trips
+/// through disk; the warm run must be served entirely from disk (zero
+/// disk misses, zero normalisation wall) with a verbatim verdict.
 fn probe_disk(workload: &Workload, threads: usize) -> DiskProbe {
     let dir = env::temp_dir().join(format!("fdrlite-bench-disk-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
@@ -213,7 +335,7 @@ fn probe_disk(workload: &Workload, threads: usize) -> DiskProbe {
             resume: fdrlite::ResumePolicy::Off,
         });
         store
-            .trace_refinement(
+            .failures_divergences_refinement(
                 &checker,
                 &workload.spec,
                 &workload.impl_,
@@ -231,6 +353,8 @@ fn probe_disk(workload: &Workload, threads: usize) -> DiskProbe {
     let probe = DiskProbe {
         cold_compile_us: cold.compile_wall.as_micros(),
         warm_compile_us: warm.compile_wall.as_micros(),
+        cold_normalise_us: cold.normalise_wall.as_micros(),
+        warm_normalise_us: warm.normalise_wall.as_micros(),
         cold_disk_misses,
         warm_disk_hits: warm_cache.disk_hits(),
         warm_disk_misses: warm_cache.disk_misses(),
@@ -240,6 +364,10 @@ fn probe_disk(workload: &Workload, threads: usize) -> DiskProbe {
     assert!(probe.verdicts_agree, "disk-warm verdict must equal cold");
     assert!(probe.warm_disk_hits > 0, "warm run must hit the disk cache");
     assert_eq!(probe.warm_disk_misses, 0, "warm run must compile nothing");
+    assert_eq!(
+        probe.warm_normalise_us, 0,
+        "warm run must load the normal form, not rebuild it"
+    );
     probe
 }
 
@@ -461,39 +589,55 @@ fn main() -> ExitCode {
         "refinement_scaling: scale={scale} (5^{scale} pairs), reps={reps}, threads={threads:?}"
     );
 
-    let passing = passing_workload(scale);
-    let pass_points: Vec<Point> = threads
-        .iter()
-        .map(|&t| {
-            let p = measure(&passing, t, reps);
-            assert!(p.pass, "passing workload must pass at {t} threads");
-            eprintln!(
-                "  pass  threads={:<2} wall={:>9} µs  ({})",
-                t, p.wall_us_min, p.stats
-            );
-            p
-        })
-        .collect();
-
-    let failing = failing_workload(scale);
-    let fail_points: Vec<Point> = threads
-        .iter()
-        .map(|&t| {
-            let p = measure(&failing, t, reps);
-            assert!(!p.pass, "failing workload must fail at {t} threads");
-            eprintln!(
-                "  fail  threads={:<2} wall={:>9} µs  cex_len={:?}",
-                t, p.wall_us_min, p.cex_len
-            );
-            p
-        })
-        .collect();
-
+    let sweep = |workload: &Workload, model: BenchModel, expect_pass: bool| -> Vec<Point> {
+        threads
+            .iter()
+            .map(|&t| {
+                let p = measure(workload, model, t, reps);
+                assert_eq!(
+                    p.pass,
+                    expect_pass,
+                    "[{}=: workload verdict flipped at {t} threads",
+                    model.tag()
+                );
+                eprintln!(
+                    "  [{:>2}= {} threads={:<2} wall={:>9} µs  cex_len={:?}",
+                    model.tag(),
+                    if expect_pass { "pass" } else { "fail" },
+                    t,
+                    p.wall_us_min,
+                    p.cex_len
+                );
+                p
+            })
+            .collect()
+    };
     // Acceptance: every thread count reports the same verdict and the same
     // counterexample length as the serial engine.
-    let cex_lens: Vec<Option<usize>> = fail_points.iter().map(|p| p.cex_len).collect();
-    let cex_agree = cex_lens.windows(2).all(|w| w[0] == w[1]);
-    assert!(cex_agree, "counterexample lengths diverged: {cex_lens:?}");
+    let assert_cex_agree = |points: &[Point], tag: &str| -> bool {
+        let cex_lens: Vec<Option<usize>> = points.iter().map(|p| p.cex_len).collect();
+        let agree = cex_lens.windows(2).all(|w| w[0] == w[1]);
+        assert!(
+            agree,
+            "[{tag}=: counterexample lengths diverged: {cex_lens:?}"
+        );
+        agree
+    };
+
+    let passing = passing_workload(scale);
+    let failing = failing_workload(scale);
+    let chaos = chaos_workload(scale);
+
+    let pass_points = sweep(&passing, BenchModel::Traces, true);
+    let fail_points = sweep(&failing, BenchModel::Traces, false);
+    let pass_f_points = sweep(&chaos, BenchModel::Failures, true);
+    let fail_f_points = sweep(&failing, BenchModel::Failures, false);
+    let pass_fd_points = sweep(&chaos, BenchModel::FailuresDivergences, true);
+    let fail_fd_points = sweep(&failing, BenchModel::FailuresDivergences, false);
+
+    let cex_agree = assert_cex_agree(&fail_points, "T")
+        && assert_cex_agree(&fail_f_points, "F")
+        && assert_cex_agree(&fail_fd_points, "FD");
 
     let store = probe_store(&passing, threads.iter().copied().max().unwrap_or(1));
     eprintln!(
@@ -503,8 +647,18 @@ fn main() -> ExitCode {
 
     let disk = probe_disk(&passing, 1);
     eprintln!(
-        "  disk  cold compile={} µs ({} misses), warm compile={} µs ({} hits)",
-        disk.cold_compile_us, disk.cold_disk_misses, disk.warm_compile_us, disk.warm_disk_hits
+        "  disk  cold compile={} µs ({} misses), warm compile={} µs ({} hits, norm={} µs)",
+        disk.cold_compile_us,
+        disk.cold_disk_misses,
+        disk.warm_compile_us,
+        disk.warm_disk_hits,
+        disk.warm_normalise_us
+    );
+
+    let norm = probe_normalise(&chaos);
+    eprintln!(
+        "  norm  cold={} µs of {} µs compile, warm={} µs",
+        norm.cold_normalise_us, norm.cold_compile_us, norm.warm_normalise_us
     );
 
     let analysis = probe_analysis(&passing);
@@ -523,14 +677,22 @@ fn main() -> ExitCode {
         supervise.retries
     );
 
-    let base = pass_points.iter().find(|p| p.threads == 1);
-    let peak = pass_points.iter().max_by_key(|p| p.threads);
-    let ratio = match (base, peak) {
-        (Some(b), Some(p)) if b.wall_us_min > 0 && p.threads > 1 => {
-            Some(p.wall_us_min as f64 / b.wall_us_min as f64)
+    // `wall(max threads) / wall(1 thread)` per model, < 1.0 = speedup.
+    let scaling_ratio = |points: &[Point]| -> Option<(usize, f64)> {
+        let base = points.iter().find(|p| p.threads == 1);
+        let peak = points.iter().max_by_key(|p| p.threads);
+        match (base, peak) {
+            (Some(b), Some(p)) if b.wall_us_min > 0 && p.threads > 1 => {
+                Some((p.threads, p.wall_us_min as f64 / b.wall_us_min as f64))
+            }
+            _ => None,
         }
-        _ => None,
     };
+    let ratios: Vec<(&str, Option<(usize, f64)>)> = vec![
+        ("T", scaling_ratio(&pass_points)),
+        ("F", scaling_ratio(&pass_f_points)),
+        ("FD", scaling_ratio(&pass_fd_points)),
+    ];
 
     let mut json = String::new();
     let _ = write!(
@@ -539,9 +701,21 @@ fn main() -> ExitCode {
          \"pairs\":{},\"reps\":{reps},\"cex_agree\":{cex_agree}",
         5u64.pow(scale)
     );
-    if let Some(r) = ratio {
-        let _ = write!(json, ",\"peak_over_serial_ratio\":{r:.4}");
+    for (tag, ratio) in &ratios {
+        if let Some((_, r)) = ratio {
+            let key = match *tag {
+                "T" => "peak_over_serial_ratio".to_owned(),
+                t => format!("peak_over_serial_ratio_{}", t.to_lowercase()),
+            };
+            let _ = write!(json, ",\"{key}\":{r:.4}");
+        }
     }
+    let _ = write!(
+        json,
+        ",\"normalise\":{{\"cold_normalise_us\":{},\"warm_normalise_us\":{},\
+         \"cold_compile_us\":{}}}",
+        norm.cold_normalise_us, norm.warm_normalise_us, norm.cold_compile_us
+    );
     let _ = write!(
         json,
         ",\"store\":{{\"cold_compile_us\":{},\"warm_compile_us\":{},\
@@ -559,10 +733,13 @@ fn main() -> ExitCode {
     let _ = write!(
         json,
         ",\"disk\":{{\"cold_compile_us\":{},\"warm_compile_us\":{},\
+         \"cold_normalise_us\":{},\"warm_normalise_us\":{},\
          \"cold_disk_misses\":{},\"warm_disk_hits\":{},\"warm_disk_misses\":{},\
          \"verdicts_agree\":{}}}",
         disk.cold_compile_us,
         disk.warm_compile_us,
+        disk.cold_normalise_us,
+        disk.warm_normalise_us,
         disk.cold_disk_misses,
         disk.warm_disk_hits,
         disk.warm_disk_misses,
@@ -593,7 +770,14 @@ fn main() -> ExitCode {
         supervise.retries,
         supervise.verdicts_agree
     );
-    for (key, points) in [("pass", &pass_points), ("fail", &fail_points)] {
+    for (key, points) in [
+        ("pass", &pass_points),
+        ("fail", &fail_points),
+        ("pass_f", &pass_f_points),
+        ("fail_f", &fail_f_points),
+        ("pass_fd", &pass_fd_points),
+        ("fail_fd", &fail_fd_points),
+    ] {
         let _ = write!(json, ",\"{key}\":[");
         for (i, p) in points.iter().enumerate() {
             if i > 0 {
@@ -624,17 +808,23 @@ fn main() -> ExitCode {
         .ok()
         .and_then(|v| v.parse::<f64>().ok())
     {
-        match ratio {
-            Some(r) if r > max_ratio => {
-                eprintln!(
-                    "PERF GATE FAILED: {} threads ran {r:.2}x the 1-thread wall \
-                     (limit {max_ratio:.2}x)",
-                    peak.map_or(0, |p| p.threads)
-                );
-                return ExitCode::from(2);
+        for (tag, ratio) in &ratios {
+            match ratio {
+                Some((peak_threads, r)) if *r > max_ratio => {
+                    eprintln!(
+                        "PERF GATE FAILED: [{tag}= at {peak_threads} threads ran {r:.2}x \
+                         the 1-thread wall (limit {max_ratio:.2}x)"
+                    );
+                    return ExitCode::from(2);
+                }
+                Some((_, r)) => {
+                    eprintln!("perf gate ok: [{tag}= ratio {r:.2}x ≤ {max_ratio:.2}x");
+                }
+                None => eprintln!(
+                    "perf gate skipped for [{tag}=: need a 1-thread baseline and a \
+                     >1-thread point"
+                ),
             }
-            Some(r) => eprintln!("perf gate ok: ratio {r:.2}x ≤ {max_ratio:.2}x"),
-            None => eprintln!("perf gate skipped: need a 1-thread baseline and a >1-thread point"),
         }
     }
 

@@ -2,15 +2,80 @@
 //!
 //! A state of a finite LTS diverges iff it has an infinite τ-path, iff it
 //! can reach (by τ-steps alone) a τ-cycle — a nontrivial SCC of the
-//! τ-subgraph, or a τ-self-loop. [`GraphAnalysis`] finds those cycles with
-//! an iterative Tarjan pass over the [`CsrEdges`] snapshot and then marks
-//! everything that τ-reaches them, which is *definitionally* the same set
-//! the failures-divergences checker's peel computes — so a cached analysis
-//! can stand in for the divergence phase of `[FD=` verbatim.
+//! τ-subgraph, or a τ-self-loop. [`tau_divergence`] finds those cycles
+//! with an iterative Tarjan pass over any edge relation and then marks
+//! everything that τ-reaches them. It is the *one* divergence routine in
+//! the stack: [`GraphAnalysis`] (cached per compiled model), the
+//! specification normaliser's per-node divergence flags and the `[FD=`
+//! divergence phase all call it, so a cached analysis stands in for the
+//! divergence phase of `[FD=` verbatim by construction.
 
 use crate::alphabet::Label;
 use crate::lts::{CsrEdges, Lts, StateId};
 use crate::process::Process;
+
+/// The τ-cycle / divergence classification of one edge relation — the one
+/// shared divergence routine in the stack. [`GraphAnalysis::of_csr`], the
+/// specification normaliser's divergence flags and the `[FD=` divergence
+/// phase all call [`tau_divergence`], so the three can never drift apart.
+#[derive(Debug, Clone)]
+pub struct TauDivergence {
+    /// Per-state "lies on a τ-cycle" flags (nontrivial τ-SCC member or
+    /// τ-self-loop).
+    pub on_cycle: Vec<bool>,
+    /// Per-state divergence flags: the state τ-reaches a τ-cycle.
+    pub divergent: Vec<bool>,
+}
+
+/// Classify every state of an `n`-state edge relation: which lie on a
+/// τ-cycle, and which diverge (τ-reach a τ-cycle). `succ` must return the
+/// outgoing edges of a state; both [`Lts::edges`] and [`CsrEdges::edges`]
+/// fit directly.
+#[must_use]
+pub fn tau_divergence<'a>(
+    n: usize,
+    succ: impl Fn(StateId) -> &'a [(Label, StateId)] + Copy,
+) -> TauDivergence {
+    // τ-subgraph SCCs: a state lies on a τ-cycle iff its τ-component has
+    // ≥ 2 members or it carries a τ-self-loop.
+    let (tau_comp, tau_comp_count) = tarjan(n, succ, true);
+    let mut comp_size = vec![0_u32; tau_comp_count];
+    for &c in &tau_comp {
+        comp_size[c] += 1;
+    }
+    let mut on_cycle = vec![false; n];
+    for (s, flag) in on_cycle.iter_mut().enumerate() {
+        *flag = comp_size[tau_comp[s]] > 1
+            || succ(StateId::from_index(s))
+                .iter()
+                .any(|&(l, t)| l.is_tau() && t.index() == s);
+    }
+
+    // Divergent = τ-reaches a τ-cycle: backward BFS over τ-edges.
+    let mut rev_tau: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for s in 0..n {
+        for &(l, t) in succ(StateId::from_index(s)) {
+            if l.is_tau() {
+                rev_tau[t.index()].push(s as u32);
+            }
+        }
+    }
+    let mut divergent = on_cycle.clone();
+    let mut queue: Vec<u32> = (0..n as u32).filter(|&s| divergent[s as usize]).collect();
+    while let Some(s) = queue.pop() {
+        for &p in &rev_tau[s as usize] {
+            if !divergent[p as usize] {
+                divergent[p as usize] = true;
+                queue.push(p);
+            }
+        }
+    }
+
+    TauDivergence {
+        on_cycle,
+        divergent,
+    }
+}
 
 /// Everything the SCC pass learns about one compiled LTS.
 ///
@@ -57,42 +122,13 @@ impl GraphAnalysis {
         // Full-graph SCC count (structure metric for `analyze` output).
         let (_, scc_count) = tarjan(n, |s| csr.edges(s), false);
 
-        // τ-subgraph SCCs: a state lies on a τ-cycle iff its τ-component
-        // has ≥ 2 members or it carries a τ-self-loop.
-        let (tau_comp, tau_comp_count) = tarjan(n, |s| csr.edges(s), true);
-        let mut comp_size = vec![0_u32; tau_comp_count];
-        for &c in &tau_comp {
-            comp_size[c] += 1;
-        }
-        let mut on_cycle = vec![false; n];
-        for s in 0..n {
-            on_cycle[s] = comp_size[tau_comp[s]] > 1
-                || csr
-                    .edges(StateId::from_index(s))
-                    .iter()
-                    .any(|&(l, t)| l.is_tau() && t.index() == s);
-        }
+        // The shared τ-cycle/divergence classification (also used by the
+        // normaliser and the `[FD=` divergence phase).
+        let TauDivergence {
+            on_cycle,
+            divergent,
+        } = tau_divergence(n, |s| csr.edges(s));
         let tau_cycle_states = on_cycle.iter().filter(|&&b| b).count();
-
-        // Divergent = τ-reaches a τ-cycle: backward BFS over τ-edges.
-        let mut rev_tau: Vec<Vec<u32>> = vec![Vec::new(); n];
-        for s in 0..n {
-            for &(l, t) in csr.edges(StateId::from_index(s)) {
-                if l.is_tau() {
-                    rev_tau[t.index()].push(s as u32);
-                }
-            }
-        }
-        let mut divergent = on_cycle;
-        let mut queue: Vec<u32> = (0..n as u32).filter(|&s| divergent[s as usize]).collect();
-        while let Some(s) = queue.pop() {
-            for &p in &rev_tau[s as usize] {
-                if !divergent[p as usize] {
-                    divergent[p as usize] = true;
-                    queue.push(p);
-                }
-            }
-        }
         let divergent_count = divergent.iter().filter(|&&b| b).count();
 
         let deadlock: Vec<bool> = (0..n)

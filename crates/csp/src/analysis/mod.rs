@@ -32,4 +32,4 @@ mod graph;
 
 pub use alpha::{AlphaFinding, AlphabetInference, SyncSide};
 pub use estimate::{estimate, ComponentEstimate, StateEstimate};
-pub use graph::GraphAnalysis;
+pub use graph::{tau_divergence, GraphAnalysis, TauDivergence};

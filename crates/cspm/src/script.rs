@@ -151,8 +151,9 @@ pub struct AssertionResult {
 /// Options controlling how [`LoadedScript::check_with`] runs assertions.
 #[derive(Debug, Clone)]
 pub struct CheckOptions {
-    /// Worker threads for trace-refinement assertions. `1` (the default)
-    /// uses the serial engine; anything larger routes through
+    /// Worker threads for refinement assertions (`[T=`, `[F=` and `[FD=`
+    /// alike). `1` (the default) uses the serial engine; anything larger
+    /// routes the product walk through
     /// [`fdrlite::parallel`]. Verdicts and counterexamples are identical
     /// either way — the parallel engine's witness recovery is canonical —
     /// *except* when a budget below is exhausted mid-run (see
@@ -321,6 +322,7 @@ impl LoadedScript {
                             spec,
                             impl_,
                             &self.defs,
+                            options.threads,
                             &options.budget(),
                         )?,
                         RefModel::FailuresDivergences => store.failures_divergences_refinement(
@@ -328,6 +330,7 @@ impl LoadedScript {
                             spec,
                             impl_,
                             &self.defs,
+                            options.threads,
                             &options.budget(),
                         )?,
                     };

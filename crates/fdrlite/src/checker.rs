@@ -15,7 +15,7 @@ use csp::{Definitions, EventId, Label, Lts, Process, StateId, Trace, TraceEvent}
 
 use crate::counterexample::{BudgetReason, Counterexample, FailureKind, Inconclusive, Verdict};
 use crate::error::CheckError;
-use crate::normalise::{Acceptance, NormNodeId, NormalisedLts};
+use crate::normalise::{NormNodeId, NormalisedLts};
 use crate::persist::{CkptNode, SerialFrontier};
 use crate::stats::CheckStats;
 
@@ -439,12 +439,15 @@ impl Checker {
     ) -> Result<(Verdict, CheckStats), CheckError> {
         let compile_start = Instant::now();
         let spec_lts = self.compile(spec, defs)?;
+        let norm_start = Instant::now();
         let norm = self.normalise(&spec_lts)?;
+        let normalise_wall = norm_start.elapsed();
         let impl_lts = self.compile(impl_, defs)?;
         let compile_wall = compile_start.elapsed();
         let (verdict, mut stats) =
             self.refine_with_options(&norm, &impl_lts, RefinementModel::Traces, options)?;
         stats.compile_wall = compile_wall;
+        stats.normalise_wall = normalise_wall;
         Ok((verdict, stats))
     }
 
@@ -463,12 +466,15 @@ impl Checker {
     ) -> Result<(Verdict, CheckStats), CheckError> {
         let compile_start = Instant::now();
         let spec_lts = self.compile(spec, defs)?;
+        let norm_start = Instant::now();
         let norm = self.normalise(&spec_lts)?;
+        let normalise_wall = norm_start.elapsed();
         let impl_lts = self.compile(impl_, defs)?;
         let compile_wall = compile_start.elapsed();
         let (verdict, mut stats) =
             self.refine_with_options(&norm, &impl_lts, RefinementModel::Failures, options)?;
         stats.compile_wall = compile_wall;
+        stats.normalise_wall = normalise_wall;
         Ok((verdict, stats))
     }
 
@@ -551,10 +557,10 @@ impl Checker {
 
     /// [`Checker::divergence_free_compiled`] with the per-state divergence
     /// flags precomputed (e.g. by a cached
-    /// [`csp::analysis::GraphAnalysis`], whose divergent set is
-    /// definitionally the same one `divergent_states_of` peels out). The
-    /// witness search — and therefore the verdict and counterexample — is
-    /// identical.
+    /// [`csp::analysis::GraphAnalysis`], which computes its divergent set
+    /// with the *same* shared [`csp::analysis::tau_divergence`] routine).
+    /// The witness search — and therefore the verdict and counterexample —
+    /// is identical.
     pub fn divergence_free_with_flags(&self, lts: &Lts, divergent: &[bool]) -> Verdict {
         let reach = Reachability::explore(lts);
         for (idx, &s) in reach.order.iter().enumerate() {
@@ -603,10 +609,7 @@ impl Checker {
                 ));
             }
             for e in norm.enabled(node) {
-                let refusable = norm
-                    .acceptances(node)
-                    .iter()
-                    .any(|a: &Acceptance| !a.events.contains(e));
+                let refusable = norm.acceptances(node).any(|a| !a.contains(e));
                 if refusable {
                     return Verdict::Fail(Counterexample::new(
                         rebuild_norm_trace(&order, &parents, idx),
@@ -638,46 +641,72 @@ pub enum RefinementModel {
     Failures,
 }
 
-/// If impl state `s` is stable, check its acceptance against the spec node's
-/// minimal acceptances. Returns the violation, if any.
-fn failure_violation(
-    impl_lts: &Lts,
-    spec: &NormalisedLts,
-    s: StateId,
-    n: NormNodeId,
-) -> Option<FailureKind> {
-    // Terminated processes have no stable failures.
-    if matches!(impl_lts.state(s), Process::Omega) {
-        return None;
-    }
-    let mut stable = true;
-    let mut events: Vec<EventId> = Vec::new();
-    let mut tick = false;
-    for &(label, _) in impl_lts.edges(s) {
-        match label {
-            Label::Tau => stable = false,
-            Label::Tick => tick = true,
-            Label::Event(e) => events.push(e),
+/// The stable-failures violation test, shared verbatim by the serial and
+/// parallel engines: one reusable bitset scratch row at the spec's
+/// acceptance width, so each stable implementation state costs an edge scan
+/// plus word-level subset tests against the spec node's minimal
+/// acceptances — no per-state allocation.
+pub(crate) struct FailureProbe {
+    scratch: Vec<u64>,
+}
+
+impl FailureProbe {
+    pub(crate) fn new(spec: &NormalisedLts) -> FailureProbe {
+        FailureProbe {
+            scratch: vec![0u64; spec.acceptance_words()],
         }
     }
-    if !stable {
-        return None;
-    }
-    let impl_acc = Acceptance {
-        events: events.iter().copied().collect(),
-        tick,
-    };
-    let ok = spec
-        .acceptances(n)
-        .iter()
-        .any(|spec_acc| spec_acc.is_subset(&impl_acc));
-    if ok {
-        None
-    } else {
-        Some(FailureKind::RefusalViolation {
-            accepted: events,
-            accepts_tick: tick,
-        })
+
+    /// If an implementation state with outgoing `edges` (and Ω-ness
+    /// `omega`) is stable, check its acceptance against spec node `n`'s
+    /// minimal acceptances. Returns the violation, if any.
+    ///
+    /// Events past the spec's bitset width are dropped from the scratch
+    /// row: no spec acceptance can contain them, so they never decide a
+    /// subset test (extra offered events only ever help the
+    /// implementation). They still appear in the reported violation.
+    pub(crate) fn violation(
+        &mut self,
+        spec: &NormalisedLts,
+        n: NormNodeId,
+        edges: &[(Label, StateId)],
+        omega: bool,
+    ) -> Option<FailureKind> {
+        // Terminated processes have no stable failures.
+        if omega {
+            return None;
+        }
+        let mut stable = true;
+        let mut events: Vec<EventId> = Vec::new();
+        let mut tick = false;
+        self.scratch.fill(0);
+        for &(label, _) in edges {
+            match label {
+                Label::Tau => stable = false,
+                Label::Tick => tick = true,
+                Label::Event(e) => {
+                    events.push(e);
+                    let i = e.index();
+                    if i / 64 < self.scratch.len() {
+                        self.scratch[i / 64] |= 1 << (i % 64);
+                    }
+                }
+            }
+        }
+        if !stable {
+            return None;
+        }
+        let ok = spec
+            .acceptances(n)
+            .any(|spec_acc| spec_acc.is_subset_of_words(&self.scratch, tick));
+        if ok {
+            None
+        } else {
+            Some(FailureKind::RefusalViolation {
+                accepted: events,
+                accepts_tick: tick,
+            })
+        }
     }
 }
 
@@ -906,6 +935,7 @@ pub(crate) fn refine_zero_one_resumable(
             Explorer::new(root, max_product, bound)
         }
     };
+    let mut probe = FailureProbe::new(spec);
 
     loop {
         if ex.deque.is_empty() {
@@ -933,7 +963,8 @@ pub(crate) fn refine_zero_one_resumable(
         let (s, n) = pair;
 
         if model == RefinementModel::Failures {
-            if let Some(kind) = failure_violation(impl_lts, spec, s, n) {
+            let omega = matches!(impl_lts.state(s), Process::Omega);
+            if let Some(kind) = probe.violation(spec, n, impl_lts.edges(s), omega) {
                 return Ok((
                     Verdict::Fail(Counterexample::new(ex.trace_to(idx), kind)),
                     None,

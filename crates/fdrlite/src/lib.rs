@@ -67,7 +67,7 @@ pub use checker::{CheckOptions, Checker, CheckerBuilder, RefinementModel};
 pub use counterexample::{BudgetReason, Counterexample, FailureKind, Inconclusive, Verdict};
 pub use error::CheckError;
 pub use interrupt::{clear_interrupt, interrupt_requested, request_interrupt};
-pub use normalise::{Acceptance, NormNodeId, NormalisedLts};
+pub use normalise::{Acceptance, AcceptanceId, AcceptanceView, NormNodeId, NormalisedLts};
 pub use persist::{CheckId, PersistConfig, PersistentCache, ResumePolicy, StorageFaultHook};
 pub use stats::CheckStats;
 pub use store::{CompiledModel, ModelStore};

@@ -2,7 +2,13 @@
 //!
 //! The paper (§VII-A) points at FDR's grid/cloud support as the route to
 //! checking at automotive scale. This module is the single-machine
-//! analogue, built from three pieces:
+//! analogue. The engine is *model-parameterised*: one product walker
+//! serves `[T=` (trace), `[F=` (stable-failures) and — composed with the
+//! shared τ-divergence routine — `[FD=` checks. In failures mode each
+//! worker additionally runs the same word-level refusal test as the serial
+//! engine ([`FailureProbe`]) against the spec's bitset acceptance pool when
+//! it expands a stable implementation state. It is built from three
+//! pieces:
 //!
 //! * **Per-worker deques with stealing.** Every worker owns a LIFO deque
 //!   ([`crossbeam::deque::Worker`]); when it runs dry it steals batches
@@ -48,7 +54,9 @@ use crossbeam::deque::{Injector, Steal, Stealer, Worker};
 use crossbeam::utils::{Backoff, CachePadded};
 use csp::{CsrEdges, Definitions, EventId, Label, Lts, Process, StateId, Trace, TraceEvent};
 
-use crate::checker::{refine_zero_one, Budget, CheckOptions, Checker, RefinementModel};
+use crate::checker::{
+    refine_zero_one, Budget, CheckOptions, Checker, FailureProbe, RefinementModel,
+};
 use crate::counterexample::{BudgetReason, Inconclusive, Verdict};
 use crate::error::CheckError;
 use crate::normalise::{NormNodeId, NormalisedLts};
@@ -122,20 +130,145 @@ pub fn trace_refinement_with_options(
     threads: usize,
     options: &CheckOptions,
 ) -> Result<(Verdict, CheckStats), CheckError> {
+    refinement_with_options(
+        checker,
+        spec,
+        impl_,
+        defs,
+        RefinementModel::Traces,
+        threads,
+        options,
+    )
+}
+
+/// Check `spec ⊑F impl_` (stable-failures refinement) using `threads`
+/// worker threads. Semantically identical to
+/// [`Checker::failures_refinement`] at any thread count, on every run.
+///
+/// # Errors
+///
+/// As for [`trace_refinement`].
+pub fn failures_refinement(
+    checker: &Checker,
+    spec: &Process,
+    impl_: &Process,
+    defs: &Definitions,
+    threads: usize,
+) -> Result<Verdict, CheckError> {
+    failures_refinement_with_options(
+        checker,
+        spec,
+        impl_,
+        defs,
+        threads,
+        &CheckOptions::UNBOUNDED,
+    )
+    .map(|(v, _)| v)
+}
+
+/// Like [`failures_refinement`], under the resource budgets of `options`,
+/// also returning the exploration's [`CheckStats`].
+///
+/// # Errors
+///
+/// As for [`trace_refinement`].
+pub fn failures_refinement_with_options(
+    checker: &Checker,
+    spec: &Process,
+    impl_: &Process,
+    defs: &Definitions,
+    threads: usize,
+    options: &CheckOptions,
+) -> Result<(Verdict, CheckStats), CheckError> {
+    refinement_with_options(
+        checker,
+        spec,
+        impl_,
+        defs,
+        RefinementModel::Failures,
+        threads,
+        options,
+    )
+}
+
+/// Check `spec ⊑FD impl_` (failures-divergences refinement) using
+/// `threads` worker threads: divergence-freedom of the implementation
+/// (linear, via the shared τ-divergence routine) followed by a parallel
+/// stable-failures product walk. Semantically identical to
+/// [`Checker::failures_divergences_refinement`] at any thread count.
+///
+/// # Errors
+///
+/// As for [`trace_refinement`].
+pub fn failures_divergences_refinement(
+    checker: &Checker,
+    spec: &Process,
+    impl_: &Process,
+    defs: &Definitions,
+    threads: usize,
+) -> Result<Verdict, CheckError> {
+    failures_divergences_refinement_with_options(
+        checker,
+        spec,
+        impl_,
+        defs,
+        threads,
+        &CheckOptions::UNBOUNDED,
+    )
+    .map(|(v, _)| v)
+}
+
+/// Like [`failures_divergences_refinement`], under the resource budgets of
+/// `options` (the divergence phase runs unbudgeted, as in the serial
+/// checker), also returning the failures phase's [`CheckStats`].
+///
+/// # Errors
+///
+/// As for [`trace_refinement`].
+pub fn failures_divergences_refinement_with_options(
+    checker: &Checker,
+    spec: &Process,
+    impl_: &Process,
+    defs: &Definitions,
+    threads: usize,
+    options: &CheckOptions,
+) -> Result<(Verdict, CheckStats), CheckError> {
+    let divergence = checker.divergence_free(impl_, defs)?;
+    if !divergence.is_pass() {
+        return Ok((divergence, CheckStats::default()));
+    }
+    failures_refinement_with_options(checker, spec, impl_, defs, threads, options)
+}
+
+fn refinement_with_options(
+    checker: &Checker,
+    spec: &Process,
+    impl_: &Process,
+    defs: &Definitions,
+    model: RefinementModel,
+    threads: usize,
+    options: &CheckOptions,
+) -> Result<(Verdict, CheckStats), CheckError> {
     let compile_start = Instant::now();
     let spec_lts = checker.compile(spec, defs)?;
+    let norm_start = Instant::now();
     let norm = checker.normalise(&spec_lts)?;
+    let normalise_wall = norm_start.elapsed();
     let impl_lts = checker.compile(impl_, defs)?;
     let compile_wall = compile_start.elapsed();
     let (verdict, mut stats) =
-        refine_product_with_options(checker, &norm, &impl_lts, threads, options)?;
+        refine_product_with_options(checker, &norm, &impl_lts, model, threads, options)?;
     stats.compile_wall = compile_wall;
+    stats.normalise_wall = normalise_wall;
     Ok((verdict, stats))
 }
 
-/// Parallel trace refinement of a pre-compiled implementation against a
-/// pre-normalised specification — the engine core, exposed for callers
-/// (such as the benchmark harness) that amortise compilation across runs.
+/// Parallel refinement of a pre-compiled implementation against a
+/// pre-normalised specification in the given semantic `model` — the engine
+/// core, exposed for callers (such as the benchmark harness) that amortise
+/// compilation across runs. An `[FD=` check composes this
+/// (`RefinementModel::Failures`) with a divergence-freedom pre-phase, as
+/// [`failures_divergences_refinement`] does.
 ///
 /// # Errors
 ///
@@ -145,9 +278,17 @@ pub fn refine_product(
     checker: &Checker,
     norm: &NormalisedLts,
     impl_lts: &Lts,
+    model: RefinementModel,
     threads: usize,
 ) -> Result<(Verdict, CheckStats), CheckError> {
-    refine_product_with_options(checker, norm, impl_lts, threads, &CheckOptions::UNBOUNDED)
+    refine_product_with_options(
+        checker,
+        norm,
+        impl_lts,
+        model,
+        threads,
+        &CheckOptions::UNBOUNDED,
+    )
 }
 
 /// Like [`refine_product`], under the resource budgets of `options`.
@@ -173,11 +314,12 @@ pub fn refine_product_with_options(
     checker: &Checker,
     norm: &NormalisedLts,
     impl_lts: &Lts,
+    model: RefinementModel,
     threads: usize,
     options: &CheckOptions,
 ) -> Result<(Verdict, CheckStats), CheckError> {
     let csr = impl_lts.to_csr();
-    refine_csr_with_options(checker, norm, impl_lts, &csr, threads, options)
+    refine_csr_with_options(checker, norm, impl_lts, &csr, model, threads, options)
 }
 
 /// Like [`refine_product_with_options`], over a [`CompiledModel`] from a
@@ -190,11 +332,12 @@ pub fn refine_product_with_options(
 pub fn refine_compiled_with_options(
     checker: &Checker,
     norm: &NormalisedLts,
-    model: &CompiledModel,
+    compiled: &CompiledModel,
+    model: RefinementModel,
     threads: usize,
     options: &CheckOptions,
 ) -> Result<(Verdict, CheckStats), CheckError> {
-    refine_compiled_resumable(checker, norm, model, threads, options, None)
+    refine_compiled_resumable(checker, norm, compiled, model, threads, options, None)
         .map(|(verdict, _, stats)| (verdict, stats))
 }
 
@@ -209,10 +352,12 @@ pub fn refine_compiled_with_options(
 /// bounded serial re-walk, never by the racing pass itself. Callers must
 /// validate the frontier against these exact models first
 /// ([`ParallelFrontier::validate`]).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn refine_compiled_resumable(
     checker: &Checker,
     norm: &NormalisedLts,
-    model: &CompiledModel,
+    compiled: &CompiledModel,
+    model: RefinementModel,
     threads: usize,
     options: &CheckOptions,
     resume: Option<&ParallelFrontier>,
@@ -220,23 +365,26 @@ pub(crate) fn refine_compiled_resumable(
     refine_csr_resumable(
         checker,
         norm,
-        model.lts(),
-        model.csr(),
+        compiled.lts(),
+        compiled.csr(),
+        model,
         threads,
         options,
         resume,
     )
 }
 
+#[allow(clippy::too_many_arguments)]
 fn refine_csr_with_options(
     checker: &Checker,
     norm: &NormalisedLts,
     impl_lts: &Lts,
     csr: &CsrEdges,
+    model: RefinementModel,
     threads: usize,
     options: &CheckOptions,
 ) -> Result<(Verdict, CheckStats), CheckError> {
-    refine_csr_resumable(checker, norm, impl_lts, csr, threads, options, None)
+    refine_csr_resumable(checker, norm, impl_lts, csr, model, threads, options, None)
         .map(|(verdict, _, stats)| (verdict, stats))
 }
 
@@ -246,6 +394,7 @@ fn refine_csr_resumable(
     norm: &NormalisedLts,
     impl_lts: &Lts,
     csr: &CsrEdges,
+    model: RefinementModel,
     threads: usize,
     options: &CheckOptions,
     resume: Option<&ParallelFrontier>,
@@ -253,10 +402,21 @@ fn refine_csr_resumable(
     let start = Instant::now();
     let threads = threads.clamp(1, MAX_THREADS);
     let budget = Budget::start(options);
+    // Ω-ness is the one per-state fact the failures probe needs that the
+    // CSR snapshot does not carry; precompute it once so workers never
+    // touch the term arena.
+    let omega: Vec<bool> = match model {
+        RefinementModel::Traces => Vec::new(),
+        RefinementModel::Failures => (0..impl_lts.state_count())
+            .map(|i| matches!(impl_lts.state(StateId::from_index(i)), Process::Omega))
+            .collect(),
+    };
     let outcome = explore(
         norm,
         csr,
         impl_lts.initial(),
+        model,
+        &omega,
         threads,
         checker.max_product(),
         &budget,
@@ -292,7 +452,7 @@ fn refine_csr_resumable(
             let bounded = refine_zero_one(
                 norm,
                 impl_lts,
-                RefinementModel::Traces,
+                model,
                 checker.max_product(),
                 Some(witness.vlen),
                 &rewalk_budget,
@@ -450,11 +610,13 @@ impl Drop for PanicGuard<'_> {
 /// The parallel decision pass. Returns the recorded witness (from parent
 /// arenas) when a violation exists, `None` when the refinement holds, plus
 /// a continuation frontier whenever a budget cut the pass short.
-#[allow(clippy::type_complexity)]
+#[allow(clippy::type_complexity, clippy::too_many_arguments)]
 fn explore(
     norm: &NormalisedLts,
     csr: &CsrEdges,
     impl_initial: StateId,
+    model: RefinementModel,
+    omega: &[bool],
     threads: usize,
     max_product: usize,
     budget: &Budget,
@@ -574,6 +736,9 @@ fn explore(
                     shared,
                     norm,
                     csr,
+                    model,
+                    omega,
+                    probe: FailureProbe::new(norm),
                     stats: WorkerStats::default(),
                 };
                 ctx.run();
@@ -748,6 +913,11 @@ struct WorkerCtx<'a> {
     shared: &'a Shared,
     norm: &'a NormalisedLts,
     csr: &'a CsrEdges,
+    model: RefinementModel,
+    /// Ω-flags per implementation state (empty in trace mode).
+    omega: &'a [bool],
+    /// Per-worker scratch row for the word-level refusal test.
+    probe: FailureProbe,
     stats: WorkerStats,
 }
 
@@ -859,6 +1029,20 @@ impl WorkerCtx<'_> {
             }
         }
         self.stats.expansions += 1;
+        // Failures mode: the same stability/refusal test the serial engine
+        // runs when it dequeues a pair. A refusal violation's witness is
+        // the path *to* the pair, so its depth is exactly `task.vlen`.
+        if self.model == RefinementModel::Failures {
+            let omega = self.omega[task.s.index()];
+            if self
+                .probe
+                .violation(self.norm, task.n, self.csr.edges(task.s), omega)
+                .is_some()
+            {
+                self.record_violation(task.vlen, task.node);
+                return;
+            }
+        }
         for &(label, target) in self.csr.edges(task.s) {
             self.stats.transitions += 1;
             match label {
@@ -1050,6 +1234,8 @@ mod tests {
             &norm,
             &csr,
             impl_lts.initial(),
+            RefinementModel::Traces,
+            &[],
             4,
             1_000_000,
             &Budget::unbounded(),
@@ -1062,10 +1248,60 @@ mod tests {
         assert_eq!(witness.vlen, 2);
         assert_eq!(witness.trace.len(), 2);
 
-        let (verdict, stats) = refine_product(&c, &norm, &impl_lts, 4).unwrap();
+        let (verdict, stats) =
+            refine_product(&c, &norm, &impl_lts, RefinementModel::Traces, 4).unwrap();
         let cex = verdict.counterexample().expect("violation expected");
         assert_eq!(cex.trace().len(), 2);
         assert!(stats.rewalk_expansions > 0);
+    }
+
+    #[test]
+    fn parallel_failures_agrees_with_serial_on_refusal() {
+        // Internal choice refuses one branch in the implementation where
+        // the spec's external choice accepts both: a pure `[F=` violation
+        // that no trace check can see.
+        let defs = Definitions::new();
+        let spec = Process::external_choice(
+            Process::prefix(e(0), Process::Stop),
+            Process::prefix(e(1), Process::Stop),
+        );
+        let impl_ = Process::internal_choice(
+            Process::prefix(e(0), Process::Stop),
+            Process::prefix(e(1), Process::Stop),
+        );
+        let c = Checker::new();
+        assert!(trace_refinement(&c, &spec, &impl_, &defs, 4)
+            .unwrap()
+            .is_pass());
+        let serial = c.failures_refinement(&spec, &impl_, &defs).unwrap();
+        assert!(!serial.is_pass());
+        for threads in [1usize, 2, 4, 8] {
+            let par = failures_refinement(&c, &spec, &impl_, &defs, threads).unwrap();
+            assert_eq!(par, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_fd_reports_divergence_before_the_product() {
+        let mut defs = Definitions::new();
+        let universe = csp::EventSet::singleton(e(0));
+        let spec = crate::properties::run(&mut defs, "RUN", &universe);
+        // A hidden b-loop diverges immediately after `a`.
+        let cell = defs.declare("LOOP");
+        defs.define(cell, Process::prefix(e(1), Process::Var(cell)));
+        let impl_ = Process::hide(
+            Process::prefix(e(0), Process::Var(cell)),
+            csp::EventSet::singleton(e(1)),
+        );
+        let c = Checker::new();
+        let serial = c
+            .failures_divergences_refinement(&spec, &impl_, &defs)
+            .unwrap();
+        assert!(!serial.is_pass());
+        for threads in [1usize, 4] {
+            let par = failures_divergences_refinement(&c, &spec, &impl_, &defs, threads).unwrap();
+            assert_eq!(par, serial, "threads={threads}");
+        }
     }
 
     #[test]

@@ -50,7 +50,7 @@ use csp::{Definitions, EventId, Label, Lts, Process, StateId};
 use diag::{Code, Diagnostic, Span};
 
 use crate::checker::RefinementModel;
-use crate::normalise::{NormNode, NormNodeId, NormalisedLts};
+use crate::normalise::{AcceptanceId, NormNodeId, NormalisedLts};
 
 /// `STO401` — a cache entry failed its checksum or structural validation
 /// and was quarantined; the model was recompiled.
@@ -71,7 +71,7 @@ pub const BAD_CHECKPOINT: Code = Code("STO405");
 pub const STALE_LOCK: Code = Code("STO406");
 
 const MAGIC_MODEL: &[u8; 8] = b"FDRLMDL\x01";
-const MAGIC_NORM: &[u8; 8] = b"FDRLNRM\x01";
+const MAGIC_NORM: &[u8; 8] = b"FDRLNRM\x02";
 const MAGIC_CKPT: &[u8; 8] = b"FDRLCKP\x01";
 const FORMAT_VERSION: u32 = 1;
 
@@ -609,96 +609,123 @@ fn decode_lts(dec: &mut Dec<'_>) -> DecResult<Lts> {
     Ok(Lts::from_parts(states, transitions))
 }
 
+// Normal forms are stored in the flat CSR/bitset layout the checker runs
+// on (format `FDRLNRM\x02`): acceptance pool first (word width, then
+// deduplicated `tick + words` rows), then per node its sorted after-edges,
+// the tick/divergence flags and its `AcceptanceId` range. Entries written
+// by the pre-flattening codec carry the `\x01` magic and are rejected as
+// [`EntryError::Version`] — the stale-version quarantine path — never
+// decoded into a wrong artifact.
+
 fn encode_norm(enc: &mut Enc, norm: &NormalisedLts) {
-    let nodes = norm.raw_nodes();
-    enc.u32(nodes.len() as u32);
-    for node in nodes {
-        enc.u32(node.after.len() as u32);
-        for (&event, &target) in &node.after {
-            enc.u32(event.index() as u32);
-            enc.u32(target.index() as u32);
+    let n = norm.node_count();
+    enc.u32(n as u32);
+    enc.u32(norm.acc_wps);
+    enc.u32(norm.pool_ticks.len() as u32);
+    for (row, &tick) in norm.pool_ticks.iter().enumerate() {
+        enc.u8(u8::from(tick));
+        let wps = norm.acc_wps as usize;
+        for &word in &norm.pool_words[row * wps..(row + 1) * wps] {
+            enc.u64(word);
         }
-        enc.u8(u8::from(node.allows_tick));
-        enc.u8(u8::from(node.divergent));
-        enc.u32(node.acceptances.len() as u32);
-        for acc in &node.acceptances {
-            enc.u8(u8::from(acc.tick));
-            enc.u32(acc.events.len() as u32);
-            for e in acc.events.iter() {
-                enc.u32(e.index() as u32);
-            }
+    }
+    for node in 0..n {
+        let (lo, hi) = (
+            norm.after_off[node] as usize,
+            norm.after_off[node + 1] as usize,
+        );
+        enc.u32((hi - lo) as u32);
+        for i in lo..hi {
+            enc.u32(norm.after_ev[i].index() as u32);
+            enc.u32(norm.after_tgt[i].index() as u32);
+        }
+        enc.u8(u8::from(norm.tick_ok[node]));
+        enc.u8(u8::from(norm.div_flag[node]));
+        let (alo, ahi) = (norm.acc_off[node] as usize, norm.acc_off[node + 1] as usize);
+        enc.u32((ahi - alo) as u32);
+        for id in &norm.acc_ids[alo..ahi] {
+            enc.u32(id.index() as u32);
         }
     }
 }
 
 fn decode_norm(dec: &mut Dec<'_>) -> DecResult<NormalisedLts> {
-    use crate::normalise::Acceptance;
     let n = dec.len(1)?;
     if n == 0 {
         return corrupt("empty normal form");
     }
-    let mut nodes: Vec<NormNode> = Vec::with_capacity(n);
+    let acc_wps = dec.u32()?;
+    let pool_len = dec.len(1 + 8 * acc_wps as usize)?;
+    let mut pool_words: Vec<u64> = Vec::with_capacity(pool_len * acc_wps as usize);
+    let mut pool_ticks: Vec<bool> = Vec::with_capacity(pool_len);
+    for _ in 0..pool_len {
+        pool_ticks.push(match dec.u8()? {
+            0 => false,
+            1 => true,
+            _ => return corrupt("acceptance tick flag out of range"),
+        });
+        for _ in 0..acc_wps {
+            pool_words.push(dec.u64()?);
+        }
+    }
+    let mut after_off: Vec<u32> = Vec::with_capacity(n + 1);
+    let mut after_ev: Vec<EventId> = Vec::new();
+    let mut after_tgt: Vec<NormNodeId> = Vec::new();
+    let mut tick_ok: Vec<bool> = Vec::with_capacity(n);
+    let mut div_flag: Vec<bool> = Vec::with_capacity(n);
+    let mut acc_off: Vec<u32> = Vec::with_capacity(n + 1);
+    let mut acc_ids: Vec<AcceptanceId> = Vec::new();
+    after_off.push(0);
+    acc_off.push(0);
     for _ in 0..n {
         let after_len = dec.len(8)?;
-        let mut after = std::collections::BTreeMap::new();
         let mut prev: Option<u32> = None;
         for _ in 0..after_len {
             let event = dec.u32()?;
             if prev.is_some_and(|p| p >= event) {
-                return corrupt("after-map events not strictly sorted");
+                return corrupt("after-table events not strictly sorted");
             }
             prev = Some(event);
             let target = dec.u32()? as usize;
             if target >= n {
-                return corrupt("after-map target out of range");
+                return corrupt("after-table target out of range");
             }
-            after.insert(
-                EventId::from_index(event as usize),
-                NormNodeId::from_index(target),
-            );
+            after_ev.push(EventId::from_index(event as usize));
+            after_tgt.push(NormNodeId::from_index(target));
         }
-        let allows_tick = match dec.u8()? {
+        after_off.push(after_ev.len() as u32);
+        tick_ok.push(match dec.u8()? {
             0 => false,
             1 => true,
             _ => return corrupt("tick flag out of range"),
-        };
-        let divergent = match dec.u8()? {
+        });
+        div_flag.push(match dec.u8()? {
             0 => false,
             1 => true,
             _ => return corrupt("divergence flag out of range"),
-        };
-        let acc_len = dec.len(5)?;
-        let mut acceptances: Vec<Acceptance> = Vec::with_capacity(acc_len);
-        for _ in 0..acc_len {
-            let tick = match dec.u8()? {
-                0 => false,
-                1 => true,
-                _ => return corrupt("acceptance tick flag out of range"),
-            };
-            let ev_len = dec.len(4)?;
-            let mut events: Vec<EventId> = Vec::with_capacity(ev_len);
-            let mut prev: Option<u32> = None;
-            for _ in 0..ev_len {
-                let e = dec.u32()?;
-                if prev.is_some_and(|p| p >= e) {
-                    return corrupt("acceptance events not strictly sorted");
-                }
-                prev = Some(e);
-                events.push(EventId::from_index(e as usize));
-            }
-            acceptances.push(Acceptance {
-                events: events.into_iter().collect(),
-                tick,
-            });
-        }
-        nodes.push(NormNode {
-            after,
-            allows_tick,
-            acceptances,
-            divergent,
         });
+        let acc_len = dec.len(4)?;
+        for _ in 0..acc_len {
+            let id = dec.u32()? as usize;
+            if id >= pool_len {
+                return corrupt("acceptance id out of pool range");
+            }
+            acc_ids.push(AcceptanceId::from_index(id));
+        }
+        acc_off.push(acc_ids.len() as u32);
     }
-    Ok(NormalisedLts::from_raw_nodes(nodes))
+    Ok(NormalisedLts {
+        after_off,
+        after_ev,
+        after_tgt,
+        tick_ok,
+        div_flag,
+        acc_off,
+        acc_ids,
+        acc_wps,
+        pool_words,
+        pool_ticks,
+    })
 }
 
 // ---------------------------------------------------------------------------

@@ -26,7 +26,9 @@ use std::time::Duration;
 /// and every check routed through a [`crate::ModelStore`]) additionally
 /// split their wall time into `compile_wall` (explication + normalisation,
 /// near zero on a store hit) and `explore_wall` (the product walk,
-/// including witness recovery), and report how many compiled artifacts the
+/// including witness recovery); `normalise_wall` carves the subset
+/// construction's share out of `compile_wall` (`compile_wall` stays
+/// inclusive), and they report how many compiled artifacts the
 /// store served from cache (`store_hits`) versus built fresh
 /// (`store_misses`). Engine-level entry points that take pre-compiled
 /// artifacts leave `compile_wall` and the store counters at zero.
@@ -73,6 +75,10 @@ pub struct CheckStats {
     /// Wall-clock time spent compiling and normalising (zero when every
     /// artifact came pre-compiled or from a warm store).
     pub compile_wall: Duration,
+    /// Wall-clock time of the spec subset construction alone — a carve-out
+    /// of `compile_wall`, not an addition to it (zero when the normal form
+    /// came from a warm store).
+    pub normalise_wall: Duration,
     /// Wall-clock time of the product exploration alone (equals `wall` for
     /// engine-level runs).
     pub explore_wall: Duration,
@@ -110,8 +116,8 @@ impl CheckStats {
              \"transitions\":{},\"frontier_peak\":{},\"steals\":{},\"shard_peak\":{},\
              \"rewalk_expansions\":{},\"store_hits\":{},\"store_misses\":{},\
              \"analysis_hits\":{},\"analysis_misses\":{},\"predicted_pairs\":{},\"wall_us\":{},\
-             \"cpu_busy_us\":{},\"compile_us\":{},\"explore_us\":{},\"wall_overshoot_us\":{},\
-             \"states_per_sec\":{:.1}}}",
+             \"cpu_busy_us\":{},\"compile_us\":{},\"normalise_us\":{},\"explore_us\":{},\
+             \"wall_overshoot_us\":{},\"states_per_sec\":{:.1}}}",
             self.threads,
             self.shards,
             self.pairs_discovered,
@@ -129,6 +135,7 @@ impl CheckStats {
             self.wall.as_micros(),
             self.cpu_busy.as_micros(),
             self.compile_wall.as_micros(),
+            self.normalise_wall.as_micros(),
             self.explore_wall.as_micros(),
             self.wall_overshoot.as_micros(),
             self.states_per_sec(),
@@ -142,7 +149,7 @@ impl fmt::Display for CheckStats {
             f,
             "{} states ({:.0}/s), {} transitions, frontier peak {}, \
              {} steals, {} shards (peak {}), rewalk {}, \
-             wall {:.3} ms (compile {:.3} + explore {:.3}), cpu {:.3} ms, \
+             wall {:.3} ms (compile {:.3} [norm {:.3}] + explore {:.3}), cpu {:.3} ms, \
              store {}/{} hit, analysis {}/{} hit, predicted ≤ {} pairs, \
              {} thread(s)",
             self.expansions,
@@ -155,6 +162,7 @@ impl fmt::Display for CheckStats {
             self.rewalk_expansions,
             self.wall.as_secs_f64() * 1e3,
             self.compile_wall.as_secs_f64() * 1e3,
+            self.normalise_wall.as_secs_f64() * 1e3,
             self.explore_wall.as_secs_f64() * 1e3,
             self.cpu_busy.as_secs_f64() * 1e3,
             self.store_hits,
@@ -191,6 +199,7 @@ mod tests {
             wall: Duration::from_micros(2_500),
             cpu_busy: Duration::from_micros(9_000),
             compile_wall: Duration::from_micros(400),
+            normalise_wall: Duration::from_micros(150),
             explore_wall: Duration::from_micros(2_100),
             wall_overshoot: Duration::from_micros(12),
         };
@@ -213,6 +222,7 @@ mod tests {
             "\"wall_us\":2500",
             "\"cpu_busy_us\":9000",
             "\"compile_us\":400",
+            "\"normalise_us\":150",
             "\"explore_us\":2100",
             "\"wall_overshoot_us\":12",
         ] {

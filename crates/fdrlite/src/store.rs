@@ -199,7 +199,7 @@ impl StoreInner {
             max_norm_nodes: checker.max_norm_nodes() as u64,
             max_product: checker.max_product() as u64,
             compress: checker.compress(),
-            parallel: threads > 1 && model == RefinementModel::Traces,
+            parallel: threads > 1,
         }
         .id()
     }
@@ -249,13 +249,16 @@ impl StoreInner {
         Ok(model)
     }
 
+    /// The second component is the wall time spent *building* the normal
+    /// form — [`Duration::ZERO`] on any cache hit — so callers can report
+    /// the subset construction's share of their compile wall.
     fn normalised(
         &mut self,
         checker: &Checker,
         p: &Process,
         defs: &Definitions,
         disk: Option<&PersistentCache>,
-    ) -> Result<Arc<NormalisedLts>, CheckError> {
+    ) -> Result<(Arc<NormalisedLts>, Duration), CheckError> {
         let defs_id = self.defs_id(defs);
         let term = self.arenas[defs_id as usize].intern(p);
         let key = NormKey {
@@ -264,7 +267,7 @@ impl StoreInner {
         };
         if let Some(norm) = self.normalised.get(&key) {
             self.hits += 1;
-            return Ok(Arc::clone(norm));
+            return Ok((Arc::clone(norm), Duration::ZERO));
         }
         if let Some(cache) = disk {
             // A disk-cached normal form skips the spec compile entirely.
@@ -276,12 +279,14 @@ impl StoreInner {
                 self.hits += 1;
                 let norm = Arc::new(norm);
                 self.normalised.insert(key, Arc::clone(&norm));
-                return Ok(norm);
+                return Ok((norm, Duration::ZERO));
             }
         }
         let model = self.compile(checker, p, defs, disk)?;
         self.misses += 1;
+        let norm_start = Instant::now();
         let norm = Arc::new(NormalisedLts::build(model.lts(), checker.max_norm_nodes())?);
+        let norm_wall = norm_start.elapsed();
         if let Some(cache) = disk {
             let dkey = NormDiskKey {
                 model: self.disk_model_key(term, checker, p, defs),
@@ -290,7 +295,7 @@ impl StoreInner {
             cache.store_norm(&dkey, &norm);
         }
         self.normalised.insert(key, Arc::clone(&norm));
-        Ok(norm)
+        Ok((norm, norm_wall))
     }
 
     /// The SCC/divergence/deadlock classification of an already-compiled
@@ -457,7 +462,9 @@ impl ModelStore {
         defs: &Definitions,
     ) -> Result<Arc<NormalisedLts>, CheckError> {
         let disk = self.cache_handle();
-        self.lock().normalised(checker, p, defs, disk.as_deref())
+        self.lock()
+            .normalised(checker, p, defs, disk.as_deref())
+            .map(|(norm, _)| norm)
     }
 
     /// Check `spec ⊑T impl_` through the store. With `threads > 1` the
@@ -491,8 +498,10 @@ impl ModelStore {
         )
     }
 
-    /// Check `spec ⊑F impl_` through the store (serial engine; the
-    /// stable-failures walk is not parallelised).
+    /// Check `spec ⊑F impl_` through the store. With `threads > 1` the
+    /// stable-failures product walk runs on [`parallel`]'s work-stealing
+    /// engine (same bit-identical verdict/counterexample guarantee as
+    /// [`ModelStore::trace_refinement`]).
     ///
     /// # Errors
     ///
@@ -503,6 +512,7 @@ impl ModelStore {
         spec: &Process,
         impl_: &Process,
         defs: &Definitions,
+        threads: usize,
         options: &CheckOptions,
     ) -> Result<(Verdict, CheckStats), CheckError> {
         self.refinement(
@@ -510,15 +520,17 @@ impl ModelStore {
             spec,
             impl_,
             defs,
-            1,
+            threads,
             RefinementModel::Failures,
             options,
         )
     }
 
     /// Check `spec ⊑FD impl_` through the store: divergence-freedom of the
-    /// implementation first (over the cached compile), then stable-failures
-    /// refinement reusing that same compiled model.
+    /// implementation first (over the cached compile and its cached
+    /// [`GraphAnalysis`] divergence bits), then stable-failures refinement
+    /// reusing that same compiled model — on the work-stealing engine when
+    /// `threads > 1`.
     ///
     /// # Errors
     ///
@@ -529,6 +541,7 @@ impl ModelStore {
         spec: &Process,
         impl_: &Process,
         defs: &Definitions,
+        threads: usize,
         options: &CheckOptions,
     ) -> Result<(Verdict, CheckStats), CheckError> {
         let persist = self.persist_config();
@@ -554,20 +567,27 @@ impl ModelStore {
         // The divergence phase is linear and re-run fresh on resume; the
         // stable-failures walk is the part worth checkpointing, and it
         // shares its check identity with a plain ⊑F of the same models.
-        let (norm, id) = {
+        let (norm, norm_wall, id) = {
             let mut inner = self.lock();
-            let norm = inner.normalised(checker, spec, defs, disk.as_deref())?;
-            let id = persist
-                .as_ref()
-                .map(|_| inner.check_id(checker, spec, impl_, defs, RefinementModel::Failures, 1));
-            (norm, id)
+            let (norm, norm_wall) = inner.normalised(checker, spec, defs, disk.as_deref())?;
+            let id = persist.as_ref().map(|_| {
+                inner.check_id(
+                    checker,
+                    spec,
+                    impl_,
+                    defs,
+                    RefinementModel::Failures,
+                    threads,
+                )
+            });
+            (norm, norm_wall, id)
         };
         let compile_wall = compile_start.elapsed();
         let (verdict, mut stats) = self.engine_run(
             checker,
             &norm,
             &impl_m,
-            1,
+            threads,
             RefinementModel::Failures,
             options,
             persist
@@ -575,6 +595,7 @@ impl ModelStore {
                 .map(|cfg| (cfg, id.expect("id with persist"))),
         )?;
         stats.compile_wall = compile_wall;
+        stats.normalise_wall = norm_wall;
         stats.predicted_pairs =
             (norm.node_count() as u64).saturating_mul(impl_m.lts().state_count() as u64);
         let (hits1, misses1) = self.counters();
@@ -672,14 +693,14 @@ impl ModelStore {
         let disk = persist.as_ref().map(|cfg| Arc::clone(&cfg.cache));
         let (hits0, misses0) = self.counters();
         let compile_start = Instant::now();
-        let (norm, impl_m, id) = {
+        let (norm, norm_wall, impl_m, id) = {
             let mut inner = self.lock();
-            let norm = inner.normalised(checker, spec, defs, disk.as_deref())?;
+            let (norm, norm_wall) = inner.normalised(checker, spec, defs, disk.as_deref())?;
             let impl_m = inner.compile(checker, impl_, defs, disk.as_deref())?;
             let id = persist
                 .as_ref()
                 .map(|_| inner.check_id(checker, spec, impl_, defs, model, threads));
-            (norm, impl_m, id)
+            (norm, norm_wall, impl_m, id)
         };
         let compile_wall = compile_start.elapsed();
         let (verdict, mut stats) = self.engine_run(
@@ -694,6 +715,7 @@ impl ModelStore {
                 .map(|cfg| (cfg, id.expect("id with persist"))),
         )?;
         stats.compile_wall = compile_wall;
+        stats.normalise_wall = norm_wall;
         // Sound a-priori bound on the product walk: every explored pair is
         // (impl state, spec normal-form node).
         stats.predicted_pairs =
@@ -728,10 +750,12 @@ impl ModelStore {
         options: &CheckOptions,
         persist: Option<(&PersistConfig, CheckId)>,
     ) -> Result<(Verdict, CheckStats), CheckError> {
-        let parallel_engine = threads > 1 && model == RefinementModel::Traces;
+        let parallel_engine = threads > 1;
         let Some((cfg, id)) = persist else {
             return if parallel_engine {
-                parallel::refine_compiled_with_options(checker, norm, impl_m, threads, options)
+                parallel::refine_compiled_with_options(
+                    checker, norm, impl_m, model, threads, options,
+                )
             } else {
                 checker.refine_with_options(norm, impl_m.lts(), model, options)
             };
@@ -788,7 +812,7 @@ impl ModelStore {
                     _ => None,
                 };
                 let (v, f, s) = parallel::refine_compiled_resumable(
-                    checker, norm, impl_m, threads, &slice, resume,
+                    checker, norm, impl_m, model, threads, &slice, resume,
                 )?;
                 (v, f.map(EngineFrontier::Parallel), s)
             } else {
@@ -1003,7 +1027,7 @@ mod tests {
             .failures_divergences_refinement(&p, &p, &defs)
             .unwrap();
         let (via_store, stats) = store
-            .failures_divergences_refinement(&checker, &p, &p, &defs, &CheckOptions::UNBOUNDED)
+            .failures_divergences_refinement(&checker, &p, &p, &defs, 1, &CheckOptions::UNBOUNDED)
             .unwrap();
         assert_eq!(direct, via_store);
         // The impl compile is reused when the spec (equal term here) is
@@ -1027,6 +1051,7 @@ mod tests {
                 &Process::Stop,
                 &divergent,
                 &defs,
+                1,
                 &CheckOptions::UNBOUNDED,
             )
             .unwrap();

@@ -1,0 +1,232 @@
+//! Property-based equivalence of the serial and work-stealing engines on
+//! the failures-family models, mirroring `parallel_prop.rs` for `[T=`:
+//!
+//! 1. For random spec/impl pairs and every thread count from 1 to 8,
+//!    `parallel::failures_refinement` and
+//!    `parallel::failures_divergences_refinement` must return the
+//!    **identical** verdict — exact counterexample trace and failure kind,
+//!    not just pass/fail — as the serial checker, and on a pass the same
+//!    reachable product-pair count.
+//! 2. A cache entry written under the *previous* normal-form format
+//!    version (magic `FDRLNRM\x01`, valid checksum) must be quarantined as
+//!    stale and recompiled, never decoded — with the verdict unchanged.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use csp::{Definitions, EventId, EventSet, Process};
+use fdrlite::{
+    parallel, CheckOptions, Checker, ModelStore, PersistConfig, PersistentCache, ResumePolicy,
+};
+use proptest::prelude::*;
+
+fn e(n: usize) -> EventId {
+    EventId::from_index(n)
+}
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let n = DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("fdrlite-models-{tag}-{}-{n}", std::process::id()))
+}
+
+/// The same random-process strategy the engine-equivalence suite uses:
+/// prefixing, both choices, sequencing, interleaving, synchronised
+/// parallel and hiding over a 4-event alphabet. Internal choice and hiding
+/// matter most here — they create the unstable states and nontrivial
+/// acceptance sets that distinguish `[F=` from `[T=`.
+fn arb_process(depth: u32) -> BoxedStrategy<Process> {
+    let leaf = prop_oneof![
+        Just(Process::Stop),
+        Just(Process::Skip),
+        (0usize..4).prop_map(|i| Process::prefix(e(i), Process::Stop)),
+    ];
+    leaf.prop_recursive(depth, 24, 2, |inner| {
+        prop_oneof![
+            ((0usize..4), inner.clone()).prop_map(|(i, p)| Process::prefix(e(i), p)),
+            (inner.clone(), inner.clone()).prop_map(|(p, q)| Process::external_choice(p, q)),
+            (inner.clone(), inner.clone()).prop_map(|(p, q)| Process::internal_choice(p, q)),
+            (inner.clone(), inner.clone()).prop_map(|(p, q)| Process::seq(p, q)),
+            (inner.clone(), inner.clone()).prop_map(|(p, q)| Process::interleave(p, q)),
+            (
+                inner.clone(),
+                inner.clone(),
+                proptest::collection::vec(0usize..4, 0..3)
+            )
+                .prop_map(|(p, q, sync)| {
+                    let sync: EventSet = sync.into_iter().map(e).collect();
+                    Process::parallel(sync, p, q)
+                }),
+            (inner, proptest::collection::vec(0usize..4, 1..3)).prop_map(|(p, hide)| {
+                let hidden: EventSet = hide.into_iter().map(e).collect();
+                Process::hide(p, hidden)
+            }),
+        ]
+    })
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn parallel_failures_matches_serial_verbatim(
+        spec in arb_process(3),
+        impl_ in arb_process(4),
+    ) {
+        let defs = Definitions::new();
+        let checker = Checker::new();
+        let serial =
+            checker.failures_refinement_with_options(&spec, &impl_, &defs, &CheckOptions::UNBOUNDED);
+        for threads in 1..=8usize {
+            let par = parallel::failures_refinement_with_options(
+                &checker, &spec, &impl_, &defs, threads, &CheckOptions::UNBOUNDED,
+            );
+            match (&serial, &par) {
+                (Ok((s, ss)), Ok((p, ps))) => {
+                    prop_assert_eq!(s, p);
+                    if let (Some(sc), Some(pc)) = (s.counterexample(), p.counterexample()) {
+                        prop_assert_eq!(sc.trace(), pc.trace());
+                        prop_assert_eq!(sc.kind(), pc.kind());
+                    }
+                    if s.is_pass() {
+                        // A pass explores the full reachable product in both
+                        // engines; a fail races discovery order.
+                        prop_assert_eq!(ss.pairs_discovered, ps.pairs_discovered);
+                    }
+                }
+                (Err(se), Err(pe)) => prop_assert_eq!(se, pe),
+                (s, p) => prop_assert!(
+                    false,
+                    "⊑F engines disagree at {} threads: serial={:?} parallel={:?}",
+                    threads, s, p
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_fd_matches_serial_verbatim(
+        spec in arb_process(3),
+        impl_ in arb_process(4),
+    ) {
+        let defs = Definitions::new();
+        let checker = Checker::new();
+        let serial = checker.failures_divergences_refinement_with_options(
+            &spec, &impl_, &defs, &CheckOptions::UNBOUNDED,
+        );
+        for threads in 1..=8usize {
+            let par = parallel::failures_divergences_refinement_with_options(
+                &checker, &spec, &impl_, &defs, threads, &CheckOptions::UNBOUNDED,
+            );
+            match (&serial, &par) {
+                (Ok((s, ss)), Ok((p, ps))) => {
+                    prop_assert_eq!(s, p);
+                    if let (Some(sc), Some(pc)) = (s.counterexample(), p.counterexample()) {
+                        prop_assert_eq!(sc.trace(), pc.trace());
+                        prop_assert_eq!(sc.kind(), pc.kind());
+                    }
+                    if s.is_pass() {
+                        prop_assert_eq!(ss.pairs_discovered, ps.pairs_discovered);
+                    }
+                }
+                (Err(se), Err(pe)) => prop_assert_eq!(se, pe),
+                (s, p) => prop_assert!(
+                    false,
+                    "⊑FD engines disagree at {} threads: serial={:?} parallel={:?}",
+                    threads, s, p
+                ),
+            }
+        }
+    }
+}
+
+fn persisted_store(cache: &Arc<PersistentCache>, resume: ResumePolicy) -> ModelStore {
+    let store = ModelStore::new();
+    store.set_persist(PersistConfig {
+        cache: Arc::clone(cache),
+        checkpoint_every: None,
+        resume,
+    });
+    store
+}
+
+/// The cache codec's FNV-1a trailer, reproduced so the test can forge an
+/// *internally consistent* entry that differs only in its format version.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Rewrite a cache entry so it reads as a *valid* file written by the
+/// previous normal-form codec: old version byte in the magic, checksum
+/// recomputed. Without the checksum fix the store would report plain
+/// corruption (STO401) instead of the stale-version path (STO402).
+fn downgrade_entry_version(path: &std::path::Path) {
+    let mut bytes = std::fs::read(path).expect("entry readable");
+    assert!(
+        bytes.len() > 16,
+        "entry too small to carry magic + checksum"
+    );
+    assert_eq!(&bytes[..7], b"FDRLNRM", "expected a normal-form entry");
+    let body_len = bytes.len() - 8;
+    bytes[7] = 0x01;
+    let sum = fnv1a64(&bytes[..body_len]);
+    bytes[body_len..].copy_from_slice(&sum.to_le_bytes());
+    std::fs::write(path, &bytes).expect("entry writable");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn old_version_norm_entries_quarantine_and_recompile(
+        spec in arb_process(3),
+        impl_ in arb_process(4),
+    ) {
+        let defs = Definitions::new();
+        let checker = Checker::new();
+        let Ok((ref_verdict, _)) = ModelStore::new().failures_refinement(
+            &checker, &spec, &impl_, &defs, 1, &CheckOptions::UNBOUNDED,
+        ) else {
+            return Ok(());
+        };
+
+        // Warm the cache, then downgrade every normal-form entry to the
+        // previous format version (checksum kept valid).
+        let dir = fresh_dir("stale");
+        let cache = Arc::new(PersistentCache::open(&dir).expect("cache opens"));
+        persisted_store(&cache, ResumePolicy::Off)
+            .failures_refinement(&checker, &spec, &impl_, &defs, 1, &CheckOptions::UNBOUNDED)
+            .expect("cold run succeeds");
+        let mut downgraded = 0u64;
+        for entry in std::fs::read_dir(&dir).expect("cache dir listable") {
+            let path = entry.expect("dir entry").path();
+            let name = path.file_name().and_then(|x| x.to_str()).unwrap_or("");
+            if name.starts_with("n-") && name.ends_with(".bin") {
+                downgrade_entry_version(&path);
+                downgraded += 1;
+            }
+        }
+        prop_assert!(downgraded > 0, "the warm cache must contain a normal form");
+
+        // A fresh store over the stale cache must quarantine the entry and
+        // rebuild, reaching the reference verdict.
+        let cache2 = Arc::new(PersistentCache::open(&dir).expect("cache reopens"));
+        let (verdict, _) = persisted_store(&cache2, ResumePolicy::Off)
+            .failures_refinement(&checker, &spec, &impl_, &defs, 1, &CheckOptions::UNBOUNDED)
+            .expect("stale cache must not abort the check");
+        prop_assert_eq!(&verdict, &ref_verdict);
+        prop_assert!(
+            cache2.quarantined() >= downgraded,
+            "every old-version entry must take the quarantine path"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

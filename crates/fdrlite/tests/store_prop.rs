@@ -115,7 +115,7 @@ proptest! {
 
         let direct_f = checker.failures_refinement(&spec, &impl_, &defs);
         let store_f = store
-            .failures_refinement(&checker, &spec, &impl_, &defs, &CheckOptions::UNBOUNDED)
+            .failures_refinement(&checker, &spec, &impl_, &defs, 1, &CheckOptions::UNBOUNDED)
             .map(|(v, _)| v);
         match (&direct_f, &store_f) {
             (Ok(d), Ok(s)) => prop_assert_eq!(d, s),
@@ -126,7 +126,7 @@ proptest! {
         let direct_fd = checker.failures_divergences_refinement(&spec, &impl_, &defs);
         let store_fd = store
             .failures_divergences_refinement(
-                &checker, &spec, &impl_, &defs, &CheckOptions::UNBOUNDED)
+                &checker, &spec, &impl_, &defs, 1, &CheckOptions::UNBOUNDED)
             .map(|(v, _)| v);
         match (&direct_fd, &store_fd) {
             (Ok(d), Ok(s)) => prop_assert_eq!(d, s),

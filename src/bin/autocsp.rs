@@ -107,9 +107,10 @@ USAGE:
                 [--cache-dir <DIR>] [--no-cache] [--resume <TOKEN|auto>]
                 [--checkpoint-every <N>]
       Run every `assert` in a CSPm script through the refinement checker.
-      `--threads N` (alias `-j`) checks trace refinements with the
-      work-stealing parallel engine; verdicts and counterexamples are
-      identical to the serial engine for any N. `--max-states` / `--timeout-ms`
+      `--threads N` (alias `-j`) checks refinement assertions of every
+      model (`[T=`, `[F=`, `[FD=`) with the work-stealing parallel
+      engine; verdicts and counterexamples are identical to the serial
+      engine for any N. `--max-states` / `--timeout-ms`
       bound each refinement assertion; a budgeted-out assertion reports
       INCONCLUSIVE, and a run with inconclusive results (and no failures)
       exits with code 3. `--stats` prints per-assertion exploration
