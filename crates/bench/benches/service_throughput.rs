@@ -1,0 +1,327 @@
+//! Checking-service throughput and overhead — the probe behind the
+//! `BENCH_service.json` report.
+//!
+//! The workload drives an in-process worker farm (same orchestrator, HTTP
+//! front-end and wire protocol as `autocsp serve`, workers as threads
+//! instead of child processes) through three phases:
+//!
+//! 1. **latency** — single jobs submitted and long-polled one at a time;
+//!    reports submit→verdict p50/p95.
+//! 2. **throughput** — one manifest of many jobs fanned out across the
+//!    farm; reports jobs/sec.
+//! 3. **dedup** — the same manifest resubmitted verbatim; reports the
+//!    dedup hit rate and the (memory-served) re-poll wall.
+//!
+//! A direct [`service::exec::Executor`] baseline runs the same jobs with
+//! no service in between, so the report carries the orchestration
+//! overhead as a measured ratio, not a guess. Every service verdict is
+//! compared against the baseline's — a farm that is fast but wrong gates
+//! the build unconditionally.
+//!
+//! Knobs (environment variables):
+//!
+//! * `SERVICE_BENCH_QUICK=1` — shrink to a smoke-test size.
+//! * `SERVICE_BENCH_JOBS=n` — throughput-phase job count (default 48;
+//!   quick 12).
+//! * `SERVICE_BENCH_SAMPLES=n` — latency-phase sample count (default 16;
+//!   quick 6).
+//! * `SERVICE_BENCH_WORKERS=n` — farm size (default 4).
+//! * `SERVICE_BENCH_OUT=path` — where to write the JSON report (default
+//!   `BENCH_service.json` in the working directory).
+//! * `SERVICE_BENCH_MAX_OVERHEAD_US=n` — perf gate: fail (exit 2) if the
+//!   *per-job* orchestration overhead — `(service wall − direct wall) /
+//!   jobs` on the throughput phase — exceeds `n` microseconds. The jobs
+//!   here are deliberately tiny, so this number **is** the cost of the
+//!   queue, dispatch, HTTP polling and journal machinery (single-digit
+//!   milliseconds); a real regression (a sleeping dispatch loop, re-run
+//!   verdicts) lands at 10x that. Unset = no gate, the right default on
+//!   slow shared builders.
+//!
+//! Run directly: `cargo bench -p bench --bench service_throughput`.
+
+use std::env;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::time::Instant;
+
+use diag::json::{self, Value};
+use fdrlite::supervisor::RetryPolicy;
+use service::exec::{ExecConfig, Executor};
+use service::http::client_request;
+use service::server::{LauncherKind, Server, ServerConfig};
+use service::ResolvedJob;
+
+/// The paper's OTA spine with one honest and one rogue implementation:
+/// each job filters to one assertion, so the farm sees a mix of passing
+/// and refuted verdicts with nontrivial (but small) exploration work.
+const MODEL: &str = "
+datatype MsgT = reqSw | rptSw | reqApp | rptUpd
+channel rec, send : MsgT
+SP02 = rec.reqSw -> send.rptSw -> SP02 [] rec.reqApp -> send.rptUpd -> SP02
+ECU = rec.reqSw -> send.rptSw -> ECU [] rec.reqApp -> send.rptUpd -> ECU
+VMG = rec.reqSw -> send.rptSw -> rec.reqApp -> send.rptUpd -> VMG
+SYSTEM = VMG [| {| rec, send |} |] ECU
+ROGUE = rec.reqSw -> send.rptSw -> send.rptSw -> ROGUE
+assert SP02 [T= SYSTEM
+assert SP02 [T= ROGUE
+";
+
+/// The two assertion filters jobs alternate between.
+const FILTERS: [&str; 2] = ["SYSTEM", "ROGUE"];
+
+fn env_usize(name: &str, default: usize) -> usize {
+    env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn scratch() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "svc-bench-{}-{:x}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
+    ));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+fn server_config(dir: &Path, workers: usize, queue_cap: usize) -> ServerConfig {
+    ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers,
+        state_dir: dir.join("state"),
+        cache_dir: None,
+        scripts_root: dir.to_path_buf(),
+        queue_cap,
+        heartbeat_ms: 100,
+        checkpoint_every: None,
+        retry: RetryPolicy::default(),
+        default_threads: 1,
+        default_max_states: None,
+        default_timeout_ms: Some(60_000),
+        launcher: LauncherKind::InProcess {
+            die_after_states: None,
+        },
+    }
+}
+
+fn manifest_for(names_and_filters: &[(String, &str)]) -> String {
+    let mut out = String::new();
+    for (name, filter) in names_and_filters {
+        let _ = write!(
+            out,
+            "[[job]]\nname = \"{name}\"\nkind = \"check\"\nscript = \"m.csp\"\n\
+             assertion = \"{filter}\"\n\n"
+        );
+    }
+    out
+}
+
+/// Submit a manifest, returning the accepted job ids in manifest order.
+fn submit(addr: &str, manifest: &str) -> Vec<String> {
+    let (status, body) = client_request(addr, "POST", "/v1/jobs", manifest).expect("http");
+    assert_eq!(status, 202, "{body}");
+    json::parse(&body)
+        .expect("accepted json")
+        .get("jobs")
+        .and_then(Value::as_array)
+        .expect("jobs array")
+        .iter()
+        .map(|j| j.get("id").and_then(Value::as_str).unwrap().to_string())
+        .collect()
+}
+
+/// Long-poll one job to a terminal state and return its verdict lines.
+fn wait_done(addr: &str, id: &str) -> Vec<String> {
+    let (status, body) =
+        client_request(addr, "GET", &format!("/v1/jobs/{id}?wait=120"), "").expect("http");
+    assert_eq!(status, 200, "{body}");
+    let view = json::parse(&body).expect("job json");
+    assert_eq!(
+        view.get("state").and_then(Value::as_str),
+        Some("done"),
+        "{body}"
+    );
+    view.get("lines")
+        .and_then(Value::as_array)
+        .expect("lines")
+        .iter()
+        .map(|l| l.as_str().unwrap().to_string())
+        .collect()
+}
+
+fn counter(addr: &str, name: &str) -> u64 {
+    let (_, body) = client_request(addr, "GET", "/v1/health", "").expect("http");
+    json::parse(&body)
+        .expect("health json")
+        .get("counters")
+        .and_then(|c| c.get(name))
+        .and_then(Value::as_u64)
+        .expect("counter")
+}
+
+fn percentile(sorted_us: &[u128], p: f64) -> u128 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted_us.len() - 1) as f64 * p).round() as usize;
+    sorted_us[rank.min(sorted_us.len() - 1)]
+}
+
+#[allow(clippy::too_many_lines)]
+fn main() -> ExitCode {
+    // `cargo bench` passes harness flags such as `--bench`; this binary
+    // is configured entirely through the environment, so ignore argv.
+    let quick = env::var("SERVICE_BENCH_QUICK").is_ok_and(|v| v != "0");
+    let jobs = env_usize("SERVICE_BENCH_JOBS", if quick { 12 } else { 48 });
+    let samples = env_usize("SERVICE_BENCH_SAMPLES", if quick { 6 } else { 16 });
+    let workers = env_usize("SERVICE_BENCH_WORKERS", 4);
+    let out_path =
+        env::var("SERVICE_BENCH_OUT").unwrap_or_else(|_| "BENCH_service.json".to_owned());
+
+    let dir = scratch();
+    std::fs::write(dir.join("m.csp"), MODEL).expect("write model");
+    eprintln!(
+        "service_throughput: {jobs} job(s), {samples} latency sample(s), {workers} worker(s)"
+    );
+
+    // Direct-executor baseline: the same jobs with no service in between.
+    // One executor, warm after the first job — exactly what one farm
+    // worker sees — so the ratio isolates orchestration overhead.
+    let job_specs: Vec<(String, &str)> = (0..jobs)
+        .map(|i| (format!("tp-{i:03}"), FILTERS[i % FILTERS.len()]))
+        .collect();
+    let mut executor = Executor::new(&ExecConfig::default()).expect("executor");
+    let resolved = |name: &str, filter: &str| ResolvedJob {
+        name: name.to_string(),
+        kind: cspm::manifest::JobKind::Check,
+        script: dir.join("m.csp"),
+        spec: None,
+        corpus: None,
+        assertion: Some(filter.to_string()),
+        threads: 1,
+        max_states: None,
+        timeout_ms: Some(60_000),
+        chaos: None,
+    };
+    let start = Instant::now();
+    let mut baseline: Vec<Vec<String>> = Vec::with_capacity(jobs);
+    for (name, filter) in &job_specs {
+        let outcome = executor
+            .run(&resolved(name, filter), 1)
+            .expect("baseline job");
+        baseline.push(outcome.lines);
+    }
+    let direct_wall = start.elapsed();
+    eprintln!(
+        "  direct executor: wall={:>9} µs  ({:.0} jobs/s)",
+        direct_wall.as_micros(),
+        jobs as f64 / direct_wall.as_secs_f64().max(1e-9)
+    );
+
+    let server =
+        Server::start(server_config(&dir, workers, jobs * 2 + samples + 8)).expect("server starts");
+    let addr = server.http_addr().to_string();
+
+    // Phase 1: submit→verdict latency, one job at a time.
+    let mut latencies_us: Vec<u128> = Vec::with_capacity(samples);
+    for i in 0..samples {
+        let manifest = manifest_for(&[(format!("lat-{i:03}"), FILTERS[i % FILTERS.len()])]);
+        let start = Instant::now();
+        let ids = submit(&addr, &manifest);
+        wait_done(&addr, &ids[0]);
+        latencies_us.push(start.elapsed().as_micros());
+    }
+    latencies_us.sort_unstable();
+    let p50 = percentile(&latencies_us, 0.50);
+    let p95 = percentile(&latencies_us, 0.95);
+    eprintln!("  latency: p50={p50} µs  p95={p95} µs  ({samples} samples)");
+
+    // Phase 2: one manifest fanned out across the farm.
+    let manifest = manifest_for(&job_specs);
+    let start = Instant::now();
+    let ids = submit(&addr, &manifest);
+    let verdicts: Vec<Vec<String>> = ids.iter().map(|id| wait_done(&addr, id)).collect();
+    let service_wall = start.elapsed();
+    let jobs_per_sec = jobs as f64 / service_wall.as_secs_f64().max(1e-9);
+    let verdicts_agree = verdicts == baseline;
+    eprintln!(
+        "  farm ({workers} workers): wall={:>9} µs  ({jobs_per_sec:.0} jobs/s, verdicts_agree={verdicts_agree})",
+        service_wall.as_micros()
+    );
+
+    // Phase 3: verbatim resubmission — every job must dedup and be served
+    // from memory.
+    let dedup_before = counter(&addr, "dedup_hits");
+    let start = Instant::now();
+    let again = submit(&addr, &manifest);
+    for id in &again {
+        wait_done(&addr, id);
+    }
+    let dedup_wall = start.elapsed();
+    let dedup_hits = counter(&addr, "dedup_hits") - dedup_before;
+    let dedup_rate = dedup_hits as f64 / jobs as f64;
+    let ids_stable = again == ids;
+    eprintln!(
+        "  dedup: {dedup_hits}/{jobs} hit(s), re-poll wall={} µs, ids_stable={ids_stable}",
+        dedup_wall.as_micros()
+    );
+
+    let overhead_us_per_job = (service_wall
+        .as_micros()
+        .saturating_sub(direct_wall.as_micros())) as f64
+        / jobs as f64;
+    eprintln!("  overhead: {overhead_us_per_job:.0} µs/job over the direct executor");
+    server.shutdown();
+    fdrlite::clear_interrupt();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{{\"bench\":\"service_throughput\",\"quick\":{quick},\"jobs\":{jobs},\
+         \"workers\":{workers},\"latency\":{{\"samples\":{samples},\"p50_us\":{p50},\
+         \"p95_us\":{p95}}},\"throughput\":{{\"wall_us\":{},\"jobs_per_sec\":{jobs_per_sec:.1}}},\
+         \"direct\":{{\"wall_us\":{}}},\"overhead_us_per_job\":{overhead_us_per_job:.1},\
+         \"dedup\":{{\"hits\":{dedup_hits},\"rate\":{dedup_rate:.3},\"repoll_wall_us\":{}}},\
+         \"verdicts_agree\":{verdicts_agree},\"ids_stable\":{ids_stable}}}",
+        service_wall.as_micros(),
+        direct_wall.as_micros(),
+        dedup_wall.as_micros()
+    );
+    if let Err(e) = std::fs::write(&out_path, &out) {
+        eprintln!("cannot write `{out_path}`: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote {out_path}");
+
+    // Gates. Correctness is unconditional: a farm that is fast but wrong
+    // (or forgets that it already ran a job) fails regardless of knobs.
+    if !verdicts_agree {
+        eprintln!("GATE: farm verdicts diverged from the direct executor");
+        return ExitCode::from(2);
+    }
+    if !ids_stable || dedup_hits < jobs as u64 {
+        eprintln!("GATE: verbatim resubmission was not fully deduplicated");
+        return ExitCode::from(2);
+    }
+    if let Some(gate) = env::var("SERVICE_BENCH_MAX_OVERHEAD_US")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+    {
+        if overhead_us_per_job > gate {
+            eprintln!(
+                "GATE: {overhead_us_per_job:.0} µs/job overhead > \
+                 SERVICE_BENCH_MAX_OVERHEAD_US={gate}"
+            );
+            return ExitCode::from(2);
+        }
+        eprintln!("gate ok: {overhead_us_per_job:.0} µs/job overhead ≤ {gate}");
+    }
+    ExitCode::SUCCESS
+}

@@ -18,6 +18,7 @@
 //! | `STO4xx`  | on-disk model-cache integrity (`fdrlite::persist`) |
 //! | `ANA3xx`  | semantic model analysis (`autocsp analyze`, see [`ana`]) |
 //! | `SUP5xx`  | supervised job runtime (`fdrlite::supervisor`, `autocsp run`) |
+//! | `SRV6xx`  | checking service orchestration (`crates/service`, `autocsp serve`) |
 //!
 //! Rendering follows the familiar compiler shape:
 //!
@@ -31,6 +32,8 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod json;
 
 use std::fmt;
 

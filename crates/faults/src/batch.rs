@@ -33,6 +33,7 @@ use std::time::{Duration, Instant};
 
 use canoe_sim::TraceEntry;
 use cspm::LoadedScript;
+use diag::json;
 use diag::{Diagnostic, Span};
 use fdrlite::{hypertrace, Checker, ModelStore, NormalisedLts, Verdict};
 use std::sync::Arc;
@@ -335,7 +336,7 @@ pub struct CorpusLine {
 ///
 /// `(column, message)` of the first syntax or shape problem (1-based).
 pub fn parse_trace_line(line: &str) -> Result<CorpusLine, (u32, String)> {
-    let value = json::parse(line)?;
+    let value = json::parse(line).map_err(|e| (e.col, e.message))?;
     match value {
         json::Value::Array(items) => Ok(CorpusLine {
             id: None,
@@ -410,234 +411,6 @@ pub fn parse_corpus(source: &str) -> (Vec<(u32, CorpusLine)>, Vec<Diagnostic>) {
         }
     }
     (traces, diagnostics)
-}
-
-/// A hand-rolled JSON subset parser — the vendored `serde` is an API
-/// stand-in with no deserializer, and corpus lines only need values, not
-/// a data-model mapping. Full value grammar (null, bools, numbers,
-/// strings with escapes, arrays, objects), one value per line.
-mod json {
-    #[derive(Debug, Clone, PartialEq)]
-    pub(super) enum Value {
-        Null,
-        Bool(bool),
-        Number(f64),
-        String(String),
-        Array(Vec<Value>),
-        Object(Vec<(String, Value)>),
-    }
-
-    /// Parse exactly one JSON value (plus surrounding whitespace).
-    ///
-    /// # Errors
-    ///
-    /// `(column, message)` of the first syntax error (1-based column).
-    pub(super) fn parse(input: &str) -> Result<Value, (u32, String)> {
-        let mut p = Parser {
-            bytes: input.as_bytes(),
-            pos: 0,
-        };
-        p.skip_ws();
-        let value = p.value()?;
-        p.skip_ws();
-        if p.pos < p.bytes.len() {
-            return Err(p.error("trailing characters after the JSON value"));
-        }
-        Ok(value)
-    }
-
-    struct Parser<'a> {
-        bytes: &'a [u8],
-        pos: usize,
-    }
-
-    impl Parser<'_> {
-        fn error(&self, message: &str) -> (u32, String) {
-            ((self.pos + 1) as u32, message.to_string())
-        }
-
-        fn peek(&self) -> Option<u8> {
-            self.bytes.get(self.pos).copied()
-        }
-
-        fn skip_ws(&mut self) {
-            while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
-                self.pos += 1;
-            }
-        }
-
-        fn expect(&mut self, b: u8) -> Result<(), (u32, String)> {
-            if self.peek() == Some(b) {
-                self.pos += 1;
-                Ok(())
-            } else {
-                Err(self.error(&format!("expected `{}`", b as char)))
-            }
-        }
-
-        fn literal(&mut self, text: &str, value: Value) -> Result<Value, (u32, String)> {
-            if self.bytes[self.pos..].starts_with(text.as_bytes()) {
-                self.pos += text.len();
-                Ok(value)
-            } else {
-                Err(self.error(&format!("expected `{text}`")))
-            }
-        }
-
-        fn value(&mut self) -> Result<Value, (u32, String)> {
-            match self.peek() {
-                Some(b'n') => self.literal("null", Value::Null),
-                Some(b't') => self.literal("true", Value::Bool(true)),
-                Some(b'f') => self.literal("false", Value::Bool(false)),
-                Some(b'"') => Ok(Value::String(self.string()?)),
-                Some(b'[') => self.array(),
-                Some(b'{') => self.object(),
-                Some(b'-' | b'0'..=b'9') => self.number(),
-                _ => Err(self.error("expected a JSON value")),
-            }
-        }
-
-        fn array(&mut self) -> Result<Value, (u32, String)> {
-            self.expect(b'[')?;
-            let mut items = Vec::new();
-            self.skip_ws();
-            if self.peek() == Some(b']') {
-                self.pos += 1;
-                return Ok(Value::Array(items));
-            }
-            loop {
-                self.skip_ws();
-                items.push(self.value()?);
-                self.skip_ws();
-                match self.peek() {
-                    Some(b',') => self.pos += 1,
-                    Some(b']') => {
-                        self.pos += 1;
-                        return Ok(Value::Array(items));
-                    }
-                    _ => return Err(self.error("expected `,` or `]` in array")),
-                }
-            }
-        }
-
-        fn object(&mut self) -> Result<Value, (u32, String)> {
-            self.expect(b'{')?;
-            let mut fields = Vec::new();
-            self.skip_ws();
-            if self.peek() == Some(b'}') {
-                self.pos += 1;
-                return Ok(Value::Object(fields));
-            }
-            loop {
-                self.skip_ws();
-                let key = self.string()?;
-                self.skip_ws();
-                self.expect(b':')?;
-                self.skip_ws();
-                fields.push((key, self.value()?));
-                self.skip_ws();
-                match self.peek() {
-                    Some(b',') => self.pos += 1,
-                    Some(b'}') => {
-                        self.pos += 1;
-                        return Ok(Value::Object(fields));
-                    }
-                    _ => return Err(self.error("expected `,` or `}` in object")),
-                }
-            }
-        }
-
-        fn string(&mut self) -> Result<String, (u32, String)> {
-            self.expect(b'"')?;
-            let mut out = String::new();
-            loop {
-                match self.peek() {
-                    None => return Err(self.error("unterminated string")),
-                    Some(b'"') => {
-                        self.pos += 1;
-                        return Ok(out);
-                    }
-                    Some(b'\\') => {
-                        self.pos += 1;
-                        let escape = self.peek().ok_or_else(|| self.error("dangling escape"))?;
-                        self.pos += 1;
-                        match escape {
-                            b'"' => out.push('"'),
-                            b'\\' => out.push('\\'),
-                            b'/' => out.push('/'),
-                            b'b' => out.push('\u{0008}'),
-                            b'f' => out.push('\u{000C}'),
-                            b'n' => out.push('\n'),
-                            b'r' => out.push('\r'),
-                            b't' => out.push('\t'),
-                            b'u' => {
-                                let unit = self.hex4()?;
-                                let c = if (0xD800..0xDC00).contains(&unit) {
-                                    // High surrogate: require \uXXXX low half.
-                                    self.expect(b'\\')?;
-                                    self.expect(b'u')?;
-                                    let low = self.hex4()?;
-                                    if !(0xDC00..0xE000).contains(&low) {
-                                        return Err(self.error("invalid low surrogate"));
-                                    }
-                                    let cp = 0x10000 + ((unit - 0xD800) << 10) + (low - 0xDC00);
-                                    char::from_u32(cp)
-                                } else {
-                                    char::from_u32(unit)
-                                };
-                                out.push(c.ok_or_else(|| self.error("invalid unicode escape"))?);
-                            }
-                            _ => return Err(self.error("unknown escape")),
-                        }
-                    }
-                    Some(b) if b < 0x20 => {
-                        return Err(self.error("unescaped control character in string"));
-                    }
-                    Some(_) => {
-                        // Consume one UTF-8 scalar (the input is &str, so
-                        // boundaries are valid by construction).
-                        let rest = &self.bytes[self.pos..];
-                        let s = std::str::from_utf8(rest).expect("input was a str");
-                        let c = s.chars().next().expect("non-empty");
-                        out.push(c);
-                        self.pos += c.len_utf8();
-                    }
-                }
-            }
-        }
-
-        fn hex4(&mut self) -> Result<u32, (u32, String)> {
-            let mut unit = 0u32;
-            for _ in 0..4 {
-                let b = self
-                    .peek()
-                    .ok_or_else(|| self.error("truncated \\u escape"))?;
-                let digit = (b as char)
-                    .to_digit(16)
-                    .ok_or_else(|| self.error("invalid hex digit in \\u escape"))?;
-                unit = unit * 16 + digit;
-                self.pos += 1;
-            }
-            Ok(unit)
-        }
-
-        fn number(&mut self) -> Result<Value, (u32, String)> {
-            let start = self.pos;
-            if self.peek() == Some(b'-') {
-                self.pos += 1;
-            }
-            while matches!(
-                self.peek(),
-                Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
-            ) {
-                self.pos += 1;
-            }
-            let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
-            text.parse::<f64>()
-                .map(Value::Number)
-                .map_err(|_| ((start + 1) as u32, format!("invalid number `{text}`")))
-        }
-    }
 }
 
 #[cfg(test)]

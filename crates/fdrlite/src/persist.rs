@@ -87,7 +87,7 @@ const FNV_PRIME: u64 = 0x100_0000_01b3;
 const MIX: u64 = 0x9e37_79b9_7f4a_7c15;
 
 /// FNV-1a over a byte slice; the trailing checksum of every entry.
-pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
     let mut h = FNV_OFFSET;
     for &b in bytes {
         h = (h ^ u64::from(b)).wrapping_mul(FNV_PRIME);
@@ -322,52 +322,62 @@ fn subtree_hash(p: &Process, memo: &mut HashMap<usize, [u64; 2]>) -> [u64; 2] {
 
 /// Why an entry was rejected; the message is surfaced in the diagnostic.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) enum EntryError {
+pub enum EntryError {
     /// Checksum/bounds/structure failure: quarantine under [`CORRUPT_ENTRY`].
     Corrupt(&'static str),
     /// Unknown magic or format version: quarantine under [`STALE_VERSION`].
     Version,
 }
 
-pub(crate) type DecResult<T> = Result<T, EntryError>;
+/// Result alias used throughout the codec.
+pub type DecResult<T> = Result<T, EntryError>;
 
-pub(crate) fn corrupt<T>(why: &'static str) -> DecResult<T> {
+/// Shorthand for a [`EntryError::Corrupt`] rejection.
+pub fn corrupt<T>(why: &'static str) -> DecResult<T> {
     Err(EntryError::Corrupt(why))
 }
 
 /// Little-endian append-only encoder.
-pub(crate) struct Enc {
+///
+/// Public so that other crash-safe journals (the supervisor's and the
+/// checking service's) share one wire discipline: magic + format version
+/// header, little-endian fields, trailing FNV-1a checksum.
+pub struct Enc {
     buf: Vec<u8>,
 }
 
 impl Enc {
-    pub(crate) fn new(magic: &[u8; 8]) -> Enc {
+    /// Start an entry with the given 8-byte magic and the format version.
+    pub fn new(magic: &[u8; 8]) -> Enc {
         let mut buf = Vec::with_capacity(256);
         buf.extend_from_slice(magic);
         buf.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
         Enc { buf }
     }
 
-    pub(crate) fn u8(&mut self, v: u8) {
+    /// Append one byte.
+    pub fn u8(&mut self, v: u8) {
         self.buf.push(v);
     }
 
-    pub(crate) fn u32(&mut self, v: u32) {
+    /// Append a little-endian `u32`.
+    pub fn u32(&mut self, v: u32) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
-    pub(crate) fn u64(&mut self, v: u64) {
+    /// Append a little-endian `u64`.
+    pub fn u64(&mut self, v: u64) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
     /// A length-prefixed UTF-8 string.
-    pub(crate) fn text(&mut self, s: &str) {
+    pub fn text(&mut self, s: &str) {
         self.u32(u32::try_from(s.len()).unwrap_or(u32::MAX));
         self.buf.extend_from_slice(s.as_bytes());
     }
 
     /// Append the trailing checksum and return the finished entry.
-    pub(crate) fn finish(mut self) -> Vec<u8> {
+    pub fn finish(mut self) -> Vec<u8> {
         let sum = fnv1a64(&self.buf);
         self.buf.extend_from_slice(&sum.to_le_bytes());
         self.buf
@@ -375,7 +385,7 @@ impl Enc {
 }
 
 /// Bounds-checked little-endian decoder over a checksum-verified slice.
-pub(crate) struct Dec<'a> {
+pub struct Dec<'a> {
     buf: &'a [u8],
     pos: usize,
 }
@@ -383,7 +393,12 @@ pub(crate) struct Dec<'a> {
 impl<'a> Dec<'a> {
     /// Verify the trailing checksum and the magic/version header, then
     /// return a decoder positioned after the header.
-    pub(crate) fn open(bytes: &'a [u8], magic: &[u8; 8]) -> DecResult<Dec<'a>> {
+    ///
+    /// # Errors
+    ///
+    /// [`EntryError::Corrupt`] on checksum/bounds failures,
+    /// [`EntryError::Version`] on a magic or version mismatch.
+    pub fn open(bytes: &'a [u8], magic: &[u8; 8]) -> DecResult<Dec<'a>> {
         if bytes.len() < 8 + 4 + 8 {
             return corrupt("entry truncated below header size");
         }
@@ -402,7 +417,12 @@ impl<'a> Dec<'a> {
         Ok(Dec { buf: body, pos: 12 })
     }
 
-    pub(crate) fn u8(&mut self) -> DecResult<u8> {
+    /// Read one byte.
+    ///
+    /// # Errors
+    ///
+    /// [`EntryError::Corrupt`] at end of entry.
+    pub fn u8(&mut self) -> DecResult<u8> {
         let Some(&v) = self.buf.get(self.pos) else {
             return corrupt("unexpected end of entry");
         };
@@ -410,7 +430,12 @@ impl<'a> Dec<'a> {
         Ok(v)
     }
 
-    pub(crate) fn u32(&mut self) -> DecResult<u32> {
+    /// Read a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// [`EntryError::Corrupt`] at end of entry.
+    pub fn u32(&mut self) -> DecResult<u32> {
         let Some(raw) = self.buf.get(self.pos..self.pos + 4) else {
             return corrupt("unexpected end of entry");
         };
@@ -418,7 +443,12 @@ impl<'a> Dec<'a> {
         Ok(u32::from_le_bytes(raw.try_into().expect("4-byte slice")))
     }
 
-    pub(crate) fn u64(&mut self) -> DecResult<u64> {
+    /// Read a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// [`EntryError::Corrupt`] at end of entry.
+    pub fn u64(&mut self) -> DecResult<u64> {
         let Some(raw) = self.buf.get(self.pos..self.pos + 8) else {
             return corrupt("unexpected end of entry");
         };
@@ -427,7 +457,11 @@ impl<'a> Dec<'a> {
     }
 
     /// A length-prefixed UTF-8 string written by [`Enc::text`].
-    pub(crate) fn text(&mut self) -> DecResult<String> {
+    ///
+    /// # Errors
+    ///
+    /// [`EntryError::Corrupt`] on truncation or invalid UTF-8.
+    pub fn text(&mut self) -> DecResult<String> {
         let n = self.u32()? as usize;
         let Some(raw) = self.buf.get(self.pos..self.pos + n) else {
             return corrupt("unexpected end of entry");
@@ -441,7 +475,11 @@ impl<'a> Dec<'a> {
 
     /// A length prefix that must leave at least `min_per_item` bytes per
     /// item in the remaining input (rejects absurd lengths early).
-    pub(crate) fn len(&mut self, min_per_item: usize) -> DecResult<usize> {
+    ///
+    /// # Errors
+    ///
+    /// [`EntryError::Corrupt`] when the prefix exceeds the entry size.
+    pub fn len(&mut self, min_per_item: usize) -> DecResult<usize> {
         let n = self.u32()? as usize;
         if n.saturating_mul(min_per_item) > self.buf.len() - self.pos {
             return corrupt("length prefix exceeds entry size");
@@ -449,7 +487,12 @@ impl<'a> Dec<'a> {
         Ok(n)
     }
 
-    pub(crate) fn done(&self) -> DecResult<()> {
+    /// Assert the whole payload has been consumed.
+    ///
+    /// # Errors
+    ///
+    /// [`EntryError::Corrupt`] when trailing bytes remain.
+    pub fn done(&self) -> DecResult<()> {
         if self.pos == self.buf.len() {
             Ok(())
         } else {
@@ -1301,11 +1344,7 @@ impl PersistentCache {
                     return Some(LockGuard { path });
                 }
                 Err(e) if e.kind() == ErrorKind::AlreadyExists => {
-                    if lock_is_stale(&path) {
-                        // Steal: remove and retry immediately. A racing
-                        // stealer losing the remove is harmless — the
-                        // `create_new` above stays the only arbiter.
-                        let _ = fs::remove_file(&path);
+                    if lock_is_stale(&path) && self.steal_stale_lock(&path) {
                         self.locks_stolen.fetch_add(1, Ordering::Relaxed);
                         self.push_diag(
                             Diagnostic::warning(
@@ -1324,6 +1363,67 @@ impl PersistentCache {
             }
         }
         None
+    }
+
+    /// Remove a stale `store.lock` without racing other *live* stealers.
+    ///
+    /// A naive `remove_file` is unsafe with two live contenders: B can
+    /// classify the file as stale, lose the race to A (who removes it and
+    /// re-creates a fresh, live lock), and then B's delayed remove
+    /// destroys A's brand-new lock. The claim protocol closes that window:
+    ///
+    /// 1. Read the stale lock's bytes `C`, then `create_new` a claim file
+    ///    whose name encodes `fnv1a64(C)`. Among every contender that
+    ///    observed the same dead owner, exactly one wins the claim.
+    /// 2. The winner re-reads `store.lock` and removes it only if the
+    ///    bytes still equal `C` *and* it still classifies as stale. A
+    ///    lock re-created in the meantime carries a fresh stamp
+    ///    (different bytes, not stale), so it can never be removed here.
+    /// 3. The claim is deleted and everyone returns to the only arbiter
+    ///    of ownership: `create_new` on `store.lock` itself.
+    ///
+    /// The claim file is stamped `"<pid> <micros>"` exactly like a lock,
+    /// so a claim orphaned by a winner that died mid-steal ages into
+    /// staleness and is cleared by the next contender instead of wedging
+    /// the store forever. Returns whether the stale lock was removed.
+    fn steal_stale_lock(&self, path: &Path) -> bool {
+        let Ok(observed) = fs::read(path) else {
+            // Gone already — someone else finished the steal.
+            return false;
+        };
+        let claim = self
+            .root
+            .join(format!("store.lock.steal-{:016x}", fnv1a64(&observed)));
+        match fs::OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(&claim)
+        {
+            Ok(file) => {
+                use std::io::Write as _;
+                let mut file = file;
+                let _ = write!(file, "{} {}", std::process::id(), now_micros());
+                let unchanged = fs::read(path).is_ok_and(|now| now == observed);
+                let stole = unchanged && lock_is_stale(path);
+                if stole {
+                    let _ = fs::remove_file(path);
+                }
+                let _ = fs::remove_file(&claim);
+                stole
+            }
+            Err(e) if e.kind() == ErrorKind::AlreadyExists => {
+                // Another live contender holds the claim. If the claim is
+                // itself a leftover from a stealer that died mid-steal,
+                // clear it so progress resumes; the blast radius of this
+                // (naive) remove is one short-lived claim file, never the
+                // lock.
+                if lock_is_stale(&claim) {
+                    let _ = fs::remove_file(&claim);
+                }
+                false
+            }
+            Err(_) => false,
+        }
     }
 
     /// Stamp `name`'s LRU sidecar with the current wall-clock micros.
@@ -2191,5 +2291,113 @@ mod tests {
         // A live pid with a fresh stamp is not.
         fs::write(&path, format!("{} {}", std::process::id(), now_micros())).unwrap();
         assert!(!lock_is_stale(&path));
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn concurrent_stealers_of_one_dead_lock_yield_one_winner() {
+        let dir = tmpdir("steal-race");
+        let child = std::process::Command::new("true")
+            .spawn()
+            .expect("spawn child");
+        let dead_pid = child.id();
+        child.wait_with_output().expect("reap child");
+        fs::write(
+            dir.join("store.lock"),
+            format!("{dead_pid} {}", now_micros()),
+        )
+        .unwrap();
+
+        // Eight live contenders all observe the same dead owner and race
+        // the steal. The claim protocol must elect exactly one remover;
+        // everyone must still make progress (every write lands), and no
+        // contender may ever delete a *live* lock re-created by the
+        // winner — which would show up as a second steal.
+        let stolen: u64 = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let dir = &dir;
+                    scope.spawn(move || {
+                        let cache = PersistentCache::open(dir).unwrap();
+                        cache.store_model(&sample_key(), &sample_lts());
+                        cache.locks_stolen()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        assert_eq!(stolen, 1, "exactly one contender may steal a dead lock");
+
+        let cache = PersistentCache::open(&dir).unwrap();
+        assert!(cache.load_model(&sample_key()).is_some(), "writes landed");
+        assert!(
+            !dir.join("store.lock").exists(),
+            "every acquired lock was released cleanly"
+        );
+        assert_eq!(
+            fs::read_dir(&dir)
+                .unwrap()
+                .filter(|e| {
+                    e.as_ref()
+                        .unwrap()
+                        .file_name()
+                        .to_string_lossy()
+                        .starts_with("store.lock.steal-")
+                })
+                .count(),
+            0,
+            "no claim files left behind"
+        );
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn loser_with_stale_observation_leaves_fresh_lock_alone() {
+        let dir = tmpdir("steal-abort");
+        let path = dir.join("store.lock");
+        let child = std::process::Command::new("true")
+            .spawn()
+            .expect("spawn child");
+        let dead_pid = child.id();
+        child.wait_with_output().expect("reap child");
+        fs::write(&path, format!("{dead_pid} {}", now_micros())).unwrap();
+
+        let cache = PersistentCache::open(&dir).unwrap();
+        // Simulate "observed stale, then the winner stole it and a fresh
+        // live lock appeared" by swapping the content between this
+        // contender's staleness check and its steal attempt.
+        let fresh = format!("{} {}", std::process::id(), now_micros());
+        fs::write(&path, &fresh).unwrap();
+        assert!(
+            !cache.steal_stale_lock(&path),
+            "a steal against changed content must abort"
+        );
+        assert_eq!(
+            fs::read_to_string(&path).unwrap(),
+            fresh,
+            "the live lock is untouched"
+        );
+    }
+
+    #[test]
+    fn orphaned_steal_claim_is_cleared_not_wedging() {
+        let dir = tmpdir("steal-orphan");
+        let path = dir.join("store.lock");
+        // A dead-owner lock plus an *orphaned* claim for exactly that
+        // content (its winner died mid-steal, stamp long in the past).
+        fs::write(&path, "1 1").unwrap();
+        let claim = dir.join(format!(
+            "store.lock.steal-{:016x}",
+            fnv1a64("1 1".as_bytes())
+        ));
+        fs::write(&claim, "1 1").unwrap();
+
+        let cache = PersistentCache::open(&dir).unwrap();
+        // First attempt finds the claim held and clears the stale claim;
+        // a later attempt then wins it and completes the steal.
+        assert!(!cache.steal_stale_lock(&path));
+        assert!(!claim.exists(), "the dead stealer's claim was cleared");
+        assert!(cache.steal_stale_lock(&path), "progress resumes");
+        assert!(!path.exists());
     }
 }

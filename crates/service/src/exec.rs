@@ -1,0 +1,502 @@
+//! Worker-side job execution.
+//!
+//! One [`Executor`] lives inside each worker and runs [`ResolvedJob`]s to
+//! [`JobOutcome`]s. The execution semantics are deliberately identical to
+//! `autocsp run`'s supervised closures — same engines, same verdict
+//! lines, same status mapping — so a batch produces byte-identical
+//! stdout whether it runs under the local supervisor or the service.
+//!
+//! The executor's [`fdrlite::ModelStore`] is configured with
+//! [`fdrlite::ResumePolicy::Auto`] against the service's shared cache
+//! directory: a check job re-dispatched after a worker death picks up the
+//! dead worker's checkpoint frontier transparently and continues to the
+//! verdict the undisturbed run would have reached.
+
+use std::collections::HashMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::rc::Rc;
+use std::sync::Arc;
+
+use diag::Severity;
+use faults::conformance::ConformanceVerdict;
+use faults::storage::TransientJobFaults;
+use fdrlite::supervisor::{JobError, JobStatus};
+use fdrlite::Checker;
+
+use crate::{JobOutcome, ResolvedJob};
+
+/// A CSPm script loaded once and shared by every job that references it.
+struct Bundle {
+    script: cspm::Script,
+    loaded: cspm::LoadedScript,
+}
+
+fn load_bundle(path: &Path) -> Result<Rc<Bundle>, String> {
+    let display = path.display();
+    let source = fs::read_to_string(path).map_err(|e| format!("cannot read `{display}`: {e}"))?;
+    let script = cspm::Script::parse(&source).map_err(|e| format!("{display}: {e}"))?;
+    let loaded = script.load().map_err(|e| format!("{display}: {e}"))?;
+    Ok(Rc::new(Bundle { script, loaded }))
+}
+
+/// How an [`Executor`] attaches to persistent storage.
+#[derive(Debug, Clone, Default)]
+pub struct ExecConfig {
+    /// Shared on-disk cache directory (compiled models + checkpoints).
+    /// `None` runs fully in memory — no checkpoint handoff, only re-runs.
+    pub cache_dir: Option<PathBuf>,
+    /// Checkpoint the exploration frontier every N states, so a killed
+    /// worker loses at most N states of work.
+    pub checkpoint_every: Option<u64>,
+}
+
+/// Executes jobs inside a worker. Owns the worker's model store, checker
+/// and script cache; scripts referenced by several jobs load once.
+pub struct Executor {
+    store: fdrlite::ModelStore,
+    checker: Checker,
+    bundles: HashMap<PathBuf, Result<Rc<Bundle>, String>>,
+}
+
+impl Executor {
+    /// Build an executor, attaching the shared cache when configured.
+    ///
+    /// # Errors
+    ///
+    /// The cache directory could not be created or opened.
+    pub fn new(config: &ExecConfig) -> Result<Executor, String> {
+        let store = fdrlite::ModelStore::new();
+        if let Some(dir) = &config.cache_dir {
+            let cache =
+                Arc::new(fdrlite::PersistentCache::open(dir).map_err(|e| {
+                    format!("cannot open cache directory `{}`: {e}", dir.display())
+                })?);
+            store.set_persist(fdrlite::PersistConfig {
+                cache,
+                checkpoint_every: config.checkpoint_every,
+                resume: fdrlite::ResumePolicy::Auto,
+            });
+        }
+        Ok(Executor {
+            store,
+            checker: Checker::new(),
+            bundles: HashMap::new(),
+        })
+    }
+
+    fn bundle(&mut self, path: &Path) -> Result<Rc<Bundle>, String> {
+        self.bundles
+            .entry(path.to_path_buf())
+            .or_insert_with(|| load_bundle(path))
+            .clone()
+    }
+
+    /// Run one job attempt to a verdict.
+    ///
+    /// # Errors
+    ///
+    /// [`JobError::Transient`] for failures worth retrying (chaos-plan
+    /// injections), [`JobError::Permanent`] for failures inherent to the
+    /// job (unreadable script, no matching assertion).
+    pub fn run(&mut self, job: &ResolvedJob, attempt: u32) -> Result<JobOutcome, JobError> {
+        if let Some(c) = &job.chaos {
+            let plan = TransientJobFaults::new(c.seed, c.transient_attempts, c.every_nth);
+            if plan.should_fail(&job.name, attempt) {
+                return Err(JobError::Transient(
+                    "injected transient fault (chaos plan)".to_owned(),
+                ));
+            }
+        }
+        let bundle = self.bundle(&job.script).map_err(JobError::Permanent)?;
+        match job.kind {
+            cspm::manifest::JobKind::Check => self.run_check(job, &bundle),
+            cspm::manifest::JobKind::Conform => self.run_conform(job, &bundle),
+            cspm::manifest::JobKind::Analyze => Ok(self.run_analyze(job, &bundle)),
+        }
+    }
+
+    fn run_check(&self, job: &ResolvedJob, bundle: &Bundle) -> Result<JobOutcome, JobError> {
+        let options = cspm::CheckOptions {
+            threads: job.threads,
+            collect_stats: false,
+            max_states: job.max_states,
+            max_wall_ms: job.timeout_ms,
+        };
+        let results = bundle
+            .loaded
+            .check_with_store(&self.checker, &options, &self.store)
+            .map_err(|e| JobError::Permanent(e.to_string()))?;
+        let mut lines = Vec::new();
+        let mut refuted = 0_u32;
+        let mut inconclusive = 0_u32;
+        let mut matched = 0_u32;
+        let mut interrupted = false;
+        for r in &results {
+            if let Some(filter) = &job.assertion {
+                if !r.description.contains(filter.as_str()) {
+                    continue;
+                }
+            }
+            matched += 1;
+            if let Some(cex) = r.verdict.counterexample() {
+                refuted += 1;
+                lines.push(format!("assert {}  ...  FAIL", r.description));
+                lines.push(format!("  {}", cex.display(bundle.loaded.alphabet())));
+            } else if let Some(inc) = r.verdict.inconclusive() {
+                inconclusive += 1;
+                // No budget detail: verdict lines must be identical
+                // between disturbed and undisturbed runs.
+                lines.push(format!("assert {}  ...  INCONCLUSIVE", r.description));
+                if inc.reason == fdrlite::BudgetReason::Interrupted {
+                    interrupted = true;
+                }
+            } else {
+                lines.push(format!("assert {}  ...  PASS", r.description));
+            }
+        }
+        if matched == 0 {
+            return Err(JobError::Permanent(match &job.assertion {
+                Some(f) => format!("no assertion matches filter `{f}`"),
+                None => "script contains no `assert` declarations".to_owned(),
+            }));
+        }
+        let status = if refuted > 0 {
+            JobStatus::Refuted
+        } else if inconclusive > 0 {
+            JobStatus::Inconclusive
+        } else {
+            JobStatus::Passed
+        };
+        Ok(JobOutcome {
+            status,
+            lines,
+            interrupted,
+        })
+    }
+
+    fn run_conform(&self, job: &ResolvedJob, bundle: &Bundle) -> Result<JobOutcome, JobError> {
+        let spec_name = job
+            .spec
+            .as_deref()
+            .ok_or_else(|| JobError::Permanent("conform job needs `spec = \"NAME\"`".into()))?;
+        let dir = job
+            .corpus
+            .as_deref()
+            .ok_or_else(|| JobError::Permanent("conform job needs `corpus = \"DIR\"`".into()))?;
+        let corpus = read_corpus_dir(dir).map_err(JobError::Permanent)?;
+        let mut run =
+            faults::batch::BatchRun::new(&bundle.loaded, spec_name, &self.checker, &self.store)
+                .map_err(|e| JobError::Permanent(e.to_string()))?;
+        let mut labels = Vec::new();
+        for (file, text) in &corpus {
+            let (traces, _findings) = faults::batch::parse_corpus(text);
+            for (line, trace) in traces {
+                let label = trace.id.clone().unwrap_or_else(|| format!("{file}:{line}"));
+                run.push(&trace.events);
+                labels.push(label);
+            }
+        }
+        let report = run.finish(job.threads);
+        let mut lines = Vec::new();
+        let mut inconclusive = 0_u32;
+        let mut interrupted = false;
+        for (i, verdict) in report.verdicts.iter().enumerate() {
+            let label = &labels[i];
+            match verdict {
+                ConformanceVerdict::Conformant => {}
+                ConformanceVerdict::Refuted(cex) => {
+                    lines.push(format!("trace {label}  ...  FAIL"));
+                    lines.push(format!("  {}", cex.display(bundle.loaded.alphabet())));
+                }
+                ConformanceVerdict::UnknownEvent { event, index } => {
+                    lines.push(format!("trace {label}  ...  FAIL"));
+                    lines.push(format!(
+                        "  (event #{index} `{event}` is not in the model's alphabet)"
+                    ));
+                }
+                ConformanceVerdict::Inconclusive(inc) => {
+                    inconclusive += 1;
+                    lines.push(format!("trace {label}  ...  INCONCLUSIVE"));
+                    if inc.reason == fdrlite::BudgetReason::Interrupted {
+                        interrupted = true;
+                    }
+                }
+            }
+        }
+        let refuted = report.stats.refuted;
+        let unknown = report.stats.unknown_event;
+        let outcome = if refuted + unknown > 0 {
+            "FAIL"
+        } else {
+            "PASS"
+        };
+        lines.push(format!(
+            "conformance {} [T= corpus  ...  {outcome}: {} trace(s), \
+             {} conformant, {refuted} refuted, {unknown} unknown-event",
+            report.spec, report.stats.traces, report.stats.conformant
+        ));
+        let status = if refuted + unknown > 0 {
+            JobStatus::Refuted
+        } else if inconclusive > 0 {
+            JobStatus::Inconclusive
+        } else {
+            JobStatus::Passed
+        };
+        Ok(JobOutcome {
+            status,
+            lines,
+            interrupted,
+        })
+    }
+
+    fn run_analyze(&self, job: &ResolvedJob, bundle: &Bundle) -> JobOutcome {
+        let analysis = cspm::analyze::analyze_script(
+            bundle.script.module(),
+            &bundle.loaded,
+            &self.checker,
+            &self.store,
+            job.max_states,
+        );
+        let errors = analysis
+            .diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count();
+        let warnings = analysis
+            .diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Warning)
+            .count();
+        let script_label = job.script.display();
+        let lines = vec![format!(
+            "analyze {script_label}: {errors} error(s), {warnings} warning(s)"
+        )];
+        JobOutcome {
+            status: if errors > 0 {
+                JobStatus::Refuted
+            } else {
+                JobStatus::Passed
+            },
+            lines,
+            interrupted: false,
+        }
+    }
+}
+
+/// `*.jsonl` files under a corpus directory, sorted by name.
+///
+/// # Errors
+///
+/// The directory (or a file in it) is unreadable, or holds no corpora.
+pub fn read_corpus_dir(dir: &Path) -> Result<Vec<(String, String)>, String> {
+    let entries = fs::read_dir(dir)
+        .map_err(|e| format!("cannot read corpus directory `{}`: {e}", dir.display()))?;
+    let mut paths: Vec<PathBuf> = entries
+        .filter_map(Result::ok)
+        .map(|entry| entry.path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "jsonl"))
+        .collect();
+    paths.sort();
+    let mut out = Vec::new();
+    for p in paths {
+        let text =
+            fs::read_to_string(&p).map_err(|e| format!("cannot read `{}`: {e}", p.display()))?;
+        out.push((p.display().to_string(), text));
+    }
+    if out.is_empty() {
+        return Err(format!(
+            "corpus directory `{}` has no `.jsonl` files",
+            dir.display()
+        ));
+    }
+    Ok(out)
+}
+
+/// Fold everything that shapes a job's verdict into its stable content
+/// key: the job definition, the script's bytes, and (for conform jobs)
+/// every corpus file's name and bytes. Identical submissions — from the
+/// same client or different ones — collapse to the same key, which is the
+/// service-level half of deduplication (the engine-level half is
+/// `fdrlite`'s `CheckId` in the shared cache).
+pub fn job_content_key(job: &ResolvedJob) -> u64 {
+    let mut buf = Vec::new();
+    let mut fold = |tag: &str, value: &str| {
+        buf.extend_from_slice(tag.as_bytes());
+        buf.push(0x1f);
+        buf.extend_from_slice(value.as_bytes());
+        buf.push(0x1e);
+    };
+    fold("name", &job.name);
+    fold("kind", job.kind.label());
+    match fs::read_to_string(&job.script) {
+        Ok(source) => fold("script", &source),
+        Err(e) => fold("script-error", &e.to_string()),
+    }
+    fold("spec", job.spec.as_deref().unwrap_or(""));
+    fold("assertion", job.assertion.as_deref().unwrap_or(""));
+    if let Some(dir) = &job.corpus {
+        match read_corpus_dir(dir) {
+            Ok(corpus) => {
+                for (file, text) in &corpus {
+                    // Key by file *name*, not path, so relocated but
+                    // identical corpora still deduplicate.
+                    let name = Path::new(file)
+                        .file_name()
+                        .map_or_else(|| file.clone(), |n| n.to_string_lossy().into_owned());
+                    fold("corpus-file", &name);
+                    fold("corpus-text", text);
+                }
+            }
+            Err(e) => fold("corpus-error", &e),
+        }
+    }
+    fold("threads", &job.threads.to_string());
+    fold(
+        "max_states",
+        &job.max_states.map_or_else(String::new, |v| v.to_string()),
+    );
+    fold(
+        "timeout_ms",
+        &job.timeout_ms.map_or_else(String::new, |v| v.to_string()),
+    );
+    if let Some(c) = &job.chaos {
+        fold(
+            "chaos",
+            &format!("{} {} {}", c.seed, c.transient_attempts, c.every_nth),
+        );
+    }
+    fdrlite::persist::fnv1a64(&buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_script(dir: &Path, name: &str, text: &str) -> PathBuf {
+        let path = dir.join(name);
+        fs::write(&path, text).unwrap();
+        path
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "svc-exec-{tag}-{}-{:x}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    const SCRIPT: &str = "
+channel a, b
+SPEC = a -> SPEC
+IMPL = a -> IMPL
+BAD = a -> b -> BAD
+assert SPEC [T= IMPL
+assert SPEC [T= BAD
+";
+
+    #[test]
+    fn check_jobs_report_run_identical_lines() {
+        let dir = tmpdir("check");
+        let script = write_script(&dir, "m.csp", SCRIPT);
+        let mut exec = Executor::new(&ExecConfig::default()).unwrap();
+        let job = ResolvedJob {
+            name: "j".into(),
+            kind: cspm::manifest::JobKind::Check,
+            script,
+            spec: None,
+            corpus: None,
+            assertion: None,
+            threads: 1,
+            max_states: None,
+            timeout_ms: None,
+            chaos: None,
+        };
+        let out = exec.run(&job, 1).unwrap();
+        assert_eq!(out.status, JobStatus::Refuted);
+        assert!(out.lines[0].contains("PASS"));
+        assert!(out.lines[1].contains("FAIL"));
+        assert!(!out.interrupted);
+    }
+
+    #[test]
+    fn assertion_filter_and_missing_assertions_are_permanent() {
+        let dir = tmpdir("filter");
+        let script = write_script(&dir, "m.csp", SCRIPT);
+        let mut exec = Executor::new(&ExecConfig::default()).unwrap();
+        let mut job = ResolvedJob {
+            name: "j".into(),
+            kind: cspm::manifest::JobKind::Check,
+            script,
+            spec: None,
+            corpus: None,
+            assertion: Some("no-such-assert".into()),
+            threads: 1,
+            max_states: None,
+            timeout_ms: None,
+            chaos: None,
+        };
+        assert!(matches!(exec.run(&job, 1), Err(JobError::Permanent(_))));
+        job.assertion = Some("IMPL".into());
+        assert_eq!(exec.run(&job, 1).unwrap().status, JobStatus::Passed);
+    }
+
+    #[test]
+    fn chaos_plan_fails_leading_attempts_transiently() {
+        let dir = tmpdir("chaos");
+        let script = write_script(&dir, "m.csp", SCRIPT);
+        let mut exec = Executor::new(&ExecConfig::default()).unwrap();
+        let mut job = ResolvedJob {
+            name: "j".into(),
+            kind: cspm::manifest::JobKind::Check,
+            script,
+            spec: None,
+            corpus: None,
+            assertion: Some("IMPL".into()),
+            threads: 1,
+            max_states: None,
+            timeout_ms: None,
+            chaos: Some(crate::ChaosCfg {
+                seed: 0,
+                transient_attempts: 2,
+                every_nth: 1,
+            }),
+        };
+        assert!(matches!(exec.run(&job, 1), Err(JobError::Transient(_))));
+        assert!(matches!(exec.run(&job, 2), Err(JobError::Transient(_))));
+        assert_eq!(exec.run(&job, 3).unwrap().status, JobStatus::Passed);
+        job.chaos = None;
+        assert_eq!(exec.run(&job, 1).unwrap().status, JobStatus::Passed);
+    }
+
+    #[test]
+    fn content_keys_track_script_content_not_path() {
+        let dir = tmpdir("key");
+        let a = write_script(&dir, "a.csp", SCRIPT);
+        let b = write_script(&dir, "b.csp", SCRIPT);
+        let job = |script: &Path| ResolvedJob {
+            name: "j".into(),
+            kind: cspm::manifest::JobKind::Check,
+            script: script.to_path_buf(),
+            spec: None,
+            corpus: None,
+            assertion: None,
+            threads: 1,
+            max_states: None,
+            timeout_ms: None,
+            chaos: None,
+        };
+        assert_eq!(job_content_key(&job(&a)), job_content_key(&job(&b)));
+        fs::write(&b, format!("{SCRIPT}\n-- changed")).unwrap();
+        assert_ne!(job_content_key(&job(&a)), job_content_key(&job(&b)));
+        let mut other = job(&a);
+        other.max_states = Some(7);
+        assert_ne!(job_content_key(&job(&a)), job_content_key(&other));
+    }
+}

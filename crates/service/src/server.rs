@@ -1,0 +1,864 @@
+//! The service front-end: HTTP listener, worker listener, dispatcher
+//! and monitor threads around one [`Orchestrator`].
+//!
+//! ```text
+//!  client ──HTTP──▶ :http ┐                      ┌─▶ worker 0 (process)
+//!                         ├─ Orchestrator ──TCP──┤
+//!  autocsp serve ─────────┘   (state machine)    └─▶ worker 1 (process)
+//! ```
+//!
+//! Four long-lived threads, all stoppable:
+//!
+//! - **http-accept** — thread-per-connection request handling;
+//! - **worker-accept** — authenticates `hello` frames and pumps
+//!   result/error/heartbeat frames into the orchestrator;
+//! - **dispatcher** — pairs ready jobs with idle workers and writes
+//!   `job` frames (socket I/O outside the orchestrator lock);
+//! - **monitor** — ticks the orchestrator (heartbeat deadlines, retry
+//!   promotion), SIGKILLs wedged workers and respawns lost slots.
+//!
+//! The same [`Server`] embeds in-process for tests and the bench
+//! harness, where worker slots run as threads instead of child
+//! processes ([`LauncherKind::InProcess`]).
+
+use std::io::Write;
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use diag::json_string;
+use fdrlite::supervisor::RetryPolicy;
+
+use crate::exec::ExecConfig;
+use crate::http::{read_request, respond, Request};
+use crate::orchestrator::{
+    Accepted, Health, JobView, Orchestrator, OrchestratorConfig, SubmitError,
+};
+use crate::wire::{decode, encode, Frame};
+use crate::worker::{run_worker, WorkerConfig};
+
+/// Cap on `?wait=` long-polls (seconds).
+const MAX_WAIT_S: u64 = 300;
+
+/// How worker slots are realised.
+#[derive(Debug)]
+pub enum LauncherKind {
+    /// Spawn `exe worker …` child processes (production shape; the pids
+    /// in `/v1/health` are real SIGKILL targets).
+    Process {
+        /// The `autocsp` binary to spawn.
+        exe: PathBuf,
+    },
+    /// Run workers as threads in this process (tests and benches).
+    InProcess {
+        /// Hand the *first* spawned worker this sabotage budget: it
+        /// checkpoints at that many states and drops its connection
+        /// without reporting, simulating a SIGKILL mid-job.
+        die_after_states: Option<u64>,
+    },
+}
+
+/// Service configuration.
+#[derive(Debug)]
+pub struct ServerConfig {
+    /// HTTP bind address (`127.0.0.1:0` for an ephemeral port).
+    pub addr: String,
+    /// Worker slots to keep alive.
+    pub workers: usize,
+    /// State directory: journal, and the default cache location.
+    pub state_dir: PathBuf,
+    /// Shared persistent cache; defaults to `<state_dir>/cache`.
+    pub cache_dir: Option<PathBuf>,
+    /// Base directory for relative paths in submitted manifests.
+    pub scripts_root: PathBuf,
+    /// Admission cap on pending jobs.
+    pub queue_cap: usize,
+    /// Worker heartbeat interval (milliseconds).
+    pub heartbeat_ms: u64,
+    /// Engine checkpoint cadence (states between frontier snapshots).
+    pub checkpoint_every: Option<u64>,
+    /// Retry policy for transient failures and worker-loss reclaims.
+    pub retry: RetryPolicy,
+    /// Default worker threads per job.
+    pub default_threads: usize,
+    /// Default per-job state budget.
+    pub default_max_states: Option<u64>,
+    /// Default per-job wall budget (milliseconds).
+    pub default_timeout_ms: Option<u64>,
+    /// Worker realisation.
+    pub launcher: LauncherKind,
+}
+
+impl ServerConfig {
+    /// A config with production defaults around `state_dir`, spawning
+    /// workers from the current executable.
+    ///
+    /// # Errors
+    ///
+    /// When the current executable cannot be resolved.
+    pub fn with_defaults(state_dir: PathBuf) -> Result<ServerConfig, String> {
+        let exe = std::env::current_exe()
+            .map_err(|e| format!("cannot resolve current executable: {e}"))?;
+        Ok(ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            state_dir,
+            cache_dir: None,
+            scripts_root: PathBuf::from("."),
+            queue_cap: 64,
+            heartbeat_ms: 200,
+            checkpoint_every: None,
+            retry: RetryPolicy::default(),
+            default_threads: 1,
+            default_max_states: None,
+            default_timeout_ms: None,
+            launcher: LauncherKind::Process { exe },
+        })
+    }
+}
+
+enum WorkerHandle {
+    Process(Child),
+    /// In-process worker threads are detached: they end when their
+    /// sockets close, and the test process reaps them on exit.
+    Thread,
+}
+
+struct Slot {
+    token: String,
+    generation: u64,
+    handle: Option<WorkerHandle>,
+}
+
+/// A running service. Dropping does not stop it — call
+/// [`Server::shutdown`].
+pub struct Server {
+    orch: Arc<Orchestrator>,
+    http_addr: std::net::SocketAddr,
+    stop: Arc<AtomicBool>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+    slots: Arc<Mutex<Vec<Slot>>>,
+}
+
+fn send_shutdown(stream: &mut TcpStream) {
+    let _ = stream.write_all(encode(&Frame::Shutdown).as_bytes());
+    let _ = stream.flush();
+}
+
+impl Server {
+    /// Bind the listeners, replay the journal, start the threads and
+    /// begin spawning workers.
+    ///
+    /// # Errors
+    ///
+    /// Bind or state-directory failures, as a human-readable string.
+    pub fn start(config: ServerConfig) -> Result<Server, String> {
+        std::fs::create_dir_all(&config.state_dir)
+            .map_err(|e| format!("cannot create state dir: {e}"))?;
+        let cache_dir = config
+            .cache_dir
+            .clone()
+            .unwrap_or_else(|| config.state_dir.join("cache"));
+
+        let mut diags = Vec::new();
+        let journal = crate::journal::ServiceJournal::open(
+            config.state_dir.join("service.journal"),
+            &mut diags,
+        );
+        let orch = Arc::new(Orchestrator::new(
+            OrchestratorConfig {
+                queue_cap: config.queue_cap,
+                retry: config.retry,
+                heartbeat_ms: config.heartbeat_ms,
+                default_threads: config.default_threads,
+                default_max_states: config.default_max_states,
+                default_timeout_ms: config.default_timeout_ms,
+            },
+            journal,
+        ));
+        // Replay diagnostics surface through the normal channel.
+        if !diags.is_empty() {
+            orch.adopt_diagnostics(diags);
+        }
+
+        let http_listener = TcpListener::bind(&config.addr)
+            .map_err(|e| format!("cannot bind {}: {e}", config.addr))?;
+        let http_addr = http_listener
+            .local_addr()
+            .map_err(|e| format!("cannot read bound address: {e}"))?;
+        let worker_listener = TcpListener::bind("127.0.0.1:0")
+            .map_err(|e| format!("cannot bind worker port: {e}"))?;
+        let worker_addr = worker_listener
+            .local_addr()
+            .map_err(|e| format!("cannot read worker port: {e}"))?;
+        http_listener
+            .set_nonblocking(true)
+            .map_err(|e| format!("cannot configure listener: {e}"))?;
+        worker_listener
+            .set_nonblocking(true)
+            .map_err(|e| format!("cannot configure listener: {e}"))?;
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let slots = Arc::new(Mutex::new(Vec::<Slot>::new()));
+        let scripts_root = config
+            .scripts_root
+            .canonicalize()
+            .unwrap_or_else(|_| config.scripts_root.clone());
+        let sabotage = Arc::new(Mutex::new(match &config.launcher {
+            LauncherKind::InProcess { die_after_states } => *die_after_states,
+            LauncherKind::Process { .. } => None,
+        }));
+
+        let mut threads = Vec::new();
+        threads.push(spawn_named("svc-http", {
+            let orch = Arc::clone(&orch);
+            let stop = Arc::clone(&stop);
+            move || http_accept_loop(&http_listener, &orch, &stop, &scripts_root)
+        }));
+        threads.push(spawn_named("svc-workers", {
+            let orch = Arc::clone(&orch);
+            let stop = Arc::clone(&stop);
+            move || worker_accept_loop(&worker_listener, &orch, &stop)
+        }));
+        threads.push(spawn_named("svc-dispatch", {
+            let orch = Arc::clone(&orch);
+            let stop = Arc::clone(&stop);
+            move || {
+                while !stop.load(Ordering::Relaxed) {
+                    if let Some(mut dispatch) = orch.next_dispatch(Duration::from_millis(100)) {
+                        let sent = dispatch
+                            .stream
+                            .write_all(dispatch.line.as_bytes())
+                            .and_then(|()| dispatch.stream.flush());
+                        if sent.is_err() {
+                            orch.worker_gone(&dispatch.token);
+                        }
+                    }
+                }
+            }
+        }));
+        threads.push(spawn_named("svc-monitor", {
+            let orch = Arc::clone(&orch);
+            let stop = Arc::clone(&stop);
+            let slots = Arc::clone(&slots);
+            let workers = config.workers;
+            let launcher = config.launcher;
+            let heartbeat_ms = config.heartbeat_ms;
+            let exec = ExecConfig {
+                cache_dir: Some(cache_dir),
+                checkpoint_every: config.checkpoint_every,
+            };
+            let interval = Duration::from_millis(config.heartbeat_ms.clamp(10, 200) / 2 + 5);
+            move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let report = orch.tick();
+                    let mut slots = slots.lock().expect("slot lock poisoned");
+                    for (token, _pid) in &report.dead {
+                        if let Some(slot) = slots.iter_mut().find(|s| &s.token == token) {
+                            if let Some(WorkerHandle::Process(child)) = &mut slot.handle {
+                                let _ = child.kill();
+                                let _ = child.wait();
+                            }
+                        }
+                    }
+                    if !orch.draining() {
+                        maintain_slots(
+                            &mut slots,
+                            workers,
+                            &orch,
+                            &launcher,
+                            &worker_addr.to_string(),
+                            &exec,
+                            heartbeat_ms,
+                            &sabotage,
+                        );
+                    }
+                    // Reap exited children so kills do not leave zombies.
+                    for slot in slots.iter_mut() {
+                        if let Some(WorkerHandle::Process(child)) = &mut slot.handle {
+                            let _ = child.try_wait();
+                        }
+                    }
+                    drop(slots);
+                    std::thread::sleep(interval);
+                }
+            }
+        }));
+
+        Ok(Server {
+            orch,
+            http_addr,
+            stop,
+            threads,
+            slots,
+        })
+    }
+
+    /// The bound HTTP address.
+    pub fn http_addr(&self) -> std::net::SocketAddr {
+        self.http_addr
+    }
+
+    /// The shared orchestrator (embedded tests poke it directly).
+    pub fn orchestrator(&self) -> &Arc<Orchestrator> {
+        &self.orch
+    }
+
+    /// Drain: stop admissions, interrupt in-flight jobs to checkpoints,
+    /// wait (up to `timeout`) for workers to report, and return the
+    /// number of jobs still pending — the caller's exit-code signal.
+    pub fn drain(&self, timeout: Duration) -> usize {
+        for mut stream in self.orch.begin_drain() {
+            send_shutdown(&mut stream);
+        }
+        let deadline = Instant::now() + timeout;
+        while !self.orch.drain_complete() && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        self.orch.pending_count()
+    }
+
+    /// Stop every thread and kill remaining worker processes. In-process
+    /// worker threads end when their sockets close.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        for mut stream in self.orch.begin_drain() {
+            send_shutdown(&mut stream);
+        }
+        for thread in self.threads.drain(..) {
+            let _ = thread.join();
+        }
+        let mut slots = self.slots.lock().expect("slot lock poisoned");
+        for slot in slots.iter_mut() {
+            match slot.handle.take() {
+                Some(WorkerHandle::Process(mut child)) => {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                }
+                Some(WorkerHandle::Thread) | None => {}
+            }
+        }
+    }
+}
+
+fn spawn_named(name: &str, body: impl FnOnce() + Send + 'static) -> std::thread::JoinHandle<()> {
+    std::thread::Builder::new()
+        .name(name.to_string())
+        .spawn(body)
+        .expect("cannot spawn service thread")
+}
+
+#[allow(clippy::too_many_arguments)]
+fn maintain_slots(
+    slots: &mut Vec<Slot>,
+    want: usize,
+    orch: &Arc<Orchestrator>,
+    launcher: &LauncherKind,
+    worker_addr: &str,
+    exec: &ExecConfig,
+    heartbeat_ms: u64,
+    sabotage: &Arc<Mutex<Option<u64>>>,
+) {
+    while slots.len() < want {
+        let index = slots.len();
+        slots.push(Slot {
+            token: String::new(),
+            generation: 0,
+            handle: None,
+        });
+        let _ = index;
+    }
+    for (index, slot) in slots.iter_mut().enumerate() {
+        let alive = !slot.token.is_empty() && orch.knows_worker(&slot.token);
+        if alive {
+            continue;
+        }
+        if let Some(WorkerHandle::Process(child)) = &mut slot.handle {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+        slot.generation += 1;
+        slot.token = format!("w{index}-g{}-{}", slot.generation, std::process::id());
+        orch.expect_worker(&slot.token);
+        slot.handle = launch_worker(
+            launcher,
+            worker_addr,
+            &slot.token,
+            exec,
+            heartbeat_ms,
+            sabotage,
+        );
+        if slot.handle.is_none() {
+            // Spawn failure: forget the token so the grace timer does
+            // not wait on a worker that never existed.
+            slot.token.clear();
+        }
+    }
+}
+
+fn launch_worker(
+    launcher: &LauncherKind,
+    worker_addr: &str,
+    token: &str,
+    exec: &ExecConfig,
+    heartbeat_ms: u64,
+    sabotage: &Arc<Mutex<Option<u64>>>,
+) -> Option<WorkerHandle> {
+    match launcher {
+        LauncherKind::Process { exe } => {
+            let mut cmd = Command::new(exe);
+            cmd.arg("worker")
+                .arg("--connect")
+                .arg(worker_addr)
+                .arg("--token")
+                .arg(token)
+                .arg("--heartbeat-ms")
+                .arg(heartbeat_ms.to_string())
+                .stdin(Stdio::null())
+                .stdout(Stdio::null())
+                .stderr(Stdio::null());
+            if let Some(dir) = &exec.cache_dir {
+                cmd.arg("--cache-dir").arg(dir);
+            }
+            if let Some(every) = exec.checkpoint_every {
+                cmd.arg("--checkpoint-every").arg(every.to_string());
+            }
+            cmd.spawn().ok().map(WorkerHandle::Process)
+        }
+        LauncherKind::InProcess { .. } => {
+            let config = WorkerConfig {
+                connect: worker_addr.to_string(),
+                token: token.to_string(),
+                exec: exec.clone(),
+                heartbeat_ms,
+                die_after_states: sabotage.lock().expect("sabotage lock poisoned").take(),
+            };
+            std::thread::Builder::new()
+                .name(format!("svc-{token}"))
+                .spawn(move || {
+                    let _ = run_worker(&config);
+                })
+                .ok()
+                .map(|_| WorkerHandle::Thread)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Worker connections
+// ---------------------------------------------------------------------------
+
+fn worker_accept_loop(listener: &TcpListener, orch: &Arc<Orchestrator>, stop: &Arc<AtomicBool>) {
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = stream.set_nonblocking(false);
+                let orch = Arc::clone(orch);
+                let _ = std::thread::Builder::new()
+                    .name("svc-worker-conn".to_string())
+                    .spawn(move || worker_connection(stream, &orch));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(15));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(15)),
+        }
+    }
+}
+
+fn worker_connection(stream: TcpStream, orch: &Arc<Orchestrator>) {
+    use std::io::BufRead;
+    let Ok(writer) = stream.try_clone() else {
+        return;
+    };
+    let mut lines = std::io::BufReader::new(stream);
+    let mut line = String::new();
+    if lines.read_line(&mut line).unwrap_or(0) == 0 {
+        return;
+    }
+    let Ok(Frame::Hello { token, pid }) = decode(line.trim_end()) else {
+        return; // not a worker; drop silently
+    };
+    if !orch.register_worker(&token, pid, writer) {
+        return; // unknown token or draining: connection refused
+    }
+    loop {
+        line.clear();
+        if lines.read_line(&mut line).unwrap_or(0) == 0 {
+            break;
+        }
+        match decode(line.trim_end()) {
+            Ok(Frame::Heartbeat { busy }) => orch.heartbeat(&token, busy),
+            Ok(Frame::Result { id, outcome }) => orch.worker_result(&token, id, outcome),
+            Ok(Frame::Error {
+                id,
+                transient,
+                message,
+            }) => orch.worker_error(&token, id, transient, &message),
+            Ok(_) | Err(_) => {} // tolerated; SRV607 is for the HTTP edge
+        }
+    }
+    orch.worker_gone(&token);
+}
+
+// ---------------------------------------------------------------------------
+// HTTP surface
+// ---------------------------------------------------------------------------
+
+fn http_accept_loop(
+    listener: &TcpListener,
+    orch: &Arc<Orchestrator>,
+    stop: &Arc<AtomicBool>,
+    scripts_root: &std::path::Path,
+) {
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = stream.set_nonblocking(false);
+                let orch = Arc::clone(orch);
+                let scripts_root = scripts_root.to_path_buf();
+                let _ = std::thread::Builder::new()
+                    .name("svc-http-conn".to_string())
+                    .spawn(move || {
+                        let mut stream = stream;
+                        if let Ok(Some(request)) = read_request(&mut stream) {
+                            handle_request(&mut stream, &request, &orch, &scripts_root);
+                        }
+                    });
+            }
+            // A short accept poll keeps the stop flag responsive without
+            // adding double-digit milliseconds to every fresh connection
+            // (submit→verdict latency is dominated by this on small jobs).
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+        }
+    }
+}
+
+fn handle_request(
+    stream: &mut TcpStream,
+    request: &Request,
+    orch: &Arc<Orchestrator>,
+    scripts_root: &std::path::Path,
+) {
+    let outcome = match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/v1/jobs") => {
+            let Ok(body) = std::str::from_utf8(&request.body) else {
+                return error_response(stream, 400, "Bad Request", "body is not UTF-8");
+            };
+            match orch.submit(body, scripts_root) {
+                Ok(accepted) => respond(
+                    stream,
+                    202,
+                    "Accepted",
+                    &[],
+                    "application/json",
+                    &render_accepted(&accepted),
+                ),
+                Err(SubmitError::Parse(message)) => {
+                    return error_response(stream, 400, "Bad Request", &message)
+                }
+                Err(SubmitError::QueueFull { retry_after_s }) => respond(
+                    stream,
+                    429,
+                    "Too Many Requests",
+                    &[("Retry-After", retry_after_s.to_string())],
+                    "application/json",
+                    &format!(
+                        "{{\"error\":\"queue full\",\"code\":\"{}\",\"retry_after_s\":{retry_after_s}}}",
+                        crate::codes::QUEUE_FULL.0
+                    ),
+                ),
+                Err(SubmitError::Draining) => {
+                    return error_response(stream, 503, "Service Unavailable", "service is draining")
+                }
+            }
+        }
+        ("GET", "/v1/jobs") => {
+            let views = orch.job_views();
+            let body = format!(
+                "{{\"jobs\":[{}]}}",
+                views.iter().map(render_job).collect::<Vec<_>>().join(",")
+            );
+            respond(stream, 200, "OK", &[], "application/json", &body)
+        }
+        ("GET", path) if path.starts_with("/v1/jobs/") => {
+            let token = &path["/v1/jobs/".len()..];
+            let Some(id) = crate::parse_job_id(token) else {
+                return error_response(stream, 400, "Bad Request", "malformed job id");
+            };
+            let wait_s = request
+                .query_param("wait")
+                .and_then(|v| v.parse::<u64>().ok())
+                .map(|s| s.min(MAX_WAIT_S));
+            let view = match wait_s {
+                Some(s) => orch.wait_terminal(id, Duration::from_secs(s)),
+                None => orch.job_view(id),
+            };
+            match view {
+                Some(view) => respond(
+                    stream,
+                    200,
+                    "OK",
+                    &[],
+                    "application/json",
+                    &render_job(&view),
+                ),
+                None => return error_response(stream, 404, "Not Found", "unknown job id"),
+            }
+        }
+        ("GET", "/v1/health") => {
+            let health = orch.health();
+            respond(
+                stream,
+                200,
+                "OK",
+                &[],
+                "application/json",
+                &render_health(&health),
+            )
+        }
+        _ => return error_response(stream, 404, "Not Found", "no such endpoint"),
+    };
+    let _ = outcome;
+}
+
+fn error_response(stream: &mut TcpStream, status: u16, reason: &str, message: &str) {
+    let body = format!("{{\"error\":{}}}", json_string(message));
+    let _ = respond(stream, status, reason, &[], "application/json", &body);
+}
+
+fn render_accepted(accepted: &[Accepted]) -> String {
+    let jobs: Vec<String> = accepted
+        .iter()
+        .map(|a| {
+            format!(
+                "{{\"name\":{},\"id\":{},\"state\":{},\"dedup\":{}}}",
+                json_string(&a.name),
+                json_string(&crate::format_job_id(a.id)),
+                json_string(a.state),
+                a.dedup
+            )
+        })
+        .collect();
+    format!("{{\"jobs\":[{}]}}", jobs.join(","))
+}
+
+fn render_job(view: &JobView) -> String {
+    let mut out = format!(
+        "{{\"id\":{},\"name\":{},\"kind\":{},\"state\":{},\"attempts\":{}",
+        json_string(&crate::format_job_id(view.id)),
+        json_string(&view.name),
+        json_string(view.kind),
+        json_string(view.state),
+        view.attempts
+    );
+    if let Some(outcome) = &view.outcome {
+        out.push_str(&format!(
+            ",\"status\":{},\"interrupted\":{},\"lines\":[{}]",
+            json_string(crate::status_label(outcome.status)),
+            outcome.interrupted,
+            outcome
+                .lines
+                .iter()
+                .map(|l| json_string(l))
+                .collect::<Vec<_>>()
+                .join(",")
+        ));
+    }
+    if let Some(failure) = &view.failure {
+        out.push_str(&format!(",\"failure\":{}", json_string(failure)));
+    }
+    out.push('}');
+    out
+}
+
+fn render_health(health: &Health) -> String {
+    let workers: Vec<String> = health
+        .workers
+        .iter()
+        .map(|w| {
+            let busy = w.busy.map_or_else(
+                || "null".to_string(),
+                |id| json_string(&crate::format_job_id(id)),
+            );
+            format!(
+                "{{\"token\":{},\"pid\":{},\"busy\":{busy}}}",
+                json_string(&w.token),
+                w.pid
+            )
+        })
+        .collect();
+    let c = &health.counters;
+    format!(
+        "{{\"draining\":{},\"queue_cap\":{},\"queued\":{},\"delayed\":{},\"running\":{},\
+         \"deferred\":{},\"done\":{},\"failed\":{},\"workers\":[{}],\
+         \"counters\":{{\"submitted\":{},\"dedup_hits\":{},\"completed\":{},\"failed\":{},\
+         \"retried\":{},\"workers_lost\":{},\"rejected\":{},\"deferred\":{}}}}}",
+        health.draining,
+        health.queue_cap,
+        health.queued,
+        health.delayed,
+        health.running,
+        health.deferred,
+        health.done,
+        health.failed,
+        workers.join(","),
+        c.submitted,
+        c.dedup_hits,
+        c.completed,
+        c.failed,
+        c.retried,
+        c.workers_lost,
+        c.rejected,
+        c.deferred
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::client_request;
+    use std::fs;
+    use std::path::{Path, PathBuf};
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "svc-server-{tag}-{}-{:x}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    const SCRIPT: &str = "channel a, b\n\
+                          SPEC = a -> SPEC\n\
+                          IMPL = a -> IMPL\n\
+                          BAD = a -> b -> BAD\n\
+                          assert SPEC [T= IMPL\n\
+                          assert SPEC [T= BAD\n";
+
+    fn test_config(dir: &Path, workers: usize) -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers,
+            state_dir: dir.join("state"),
+            cache_dir: None,
+            scripts_root: dir.to_path_buf(),
+            queue_cap: 16,
+            heartbeat_ms: 50,
+            checkpoint_every: Some(64),
+            retry: RetryPolicy {
+                max_attempts: 3,
+                base_delay_ms: 1,
+                max_delay_ms: 5,
+                seed: 11,
+            },
+            default_threads: 1,
+            default_max_states: None,
+            default_timeout_ms: Some(30_000),
+            launcher: LauncherKind::InProcess {
+                die_after_states: None,
+            },
+        }
+    }
+
+    fn submit_and_wait(addr: &str, manifest: &str) -> Vec<(String, diag::json::Value)> {
+        let (status, body) = client_request(addr, "POST", "/v1/jobs", manifest).unwrap();
+        assert_eq!(status, 202, "{body}");
+        let parsed = diag::json::parse(&body).unwrap();
+        let jobs = parsed.get("jobs").unwrap().as_array().unwrap();
+        let mut results = Vec::new();
+        for job in jobs {
+            let id = job.get("id").unwrap().as_str().unwrap().to_string();
+            let (status, body) =
+                client_request(addr, "GET", &format!("/v1/jobs/{id}?wait=30"), "").unwrap();
+            assert_eq!(status, 200, "{body}");
+            results.push((id, diag::json::parse(&body).unwrap()));
+        }
+        results
+    }
+
+    #[test]
+    fn end_to_end_submit_poll_verdict() {
+        let dir = tmpdir("e2e");
+        fs::write(dir.join("m.csp"), SCRIPT).unwrap();
+        let server = Server::start(test_config(&dir, 2)).unwrap();
+        let addr = server.http_addr().to_string();
+
+        let manifest = "[[job]]\nname = \"all\"\nkind = \"check\"\nscript = \"m.csp\"\n";
+        let results = submit_and_wait(&addr, manifest);
+        assert_eq!(results.len(), 1);
+        let view = &results[0].1;
+        assert_eq!(view.get("state").unwrap().as_str(), Some("done"));
+        assert_eq!(view.get("status").unwrap().as_str(), Some("refuted"));
+        let lines = view.get("lines").unwrap().as_array().unwrap();
+        assert!(
+            lines
+                .iter()
+                .any(|l| l.as_str().unwrap().contains("SPEC [T= IMPL  ...  PASS")),
+            "{lines:?}"
+        );
+        assert!(lines
+            .iter()
+            .any(|l| l.as_str().unwrap().contains("SPEC [T= BAD  ...  FAIL")));
+
+        // Identical resubmission is a dedup hit served from memory.
+        let again = submit_and_wait(&addr, manifest);
+        assert_eq!(again[0].0, results[0].0);
+        let (_, health) = client_request(&addr, "GET", "/v1/health", "").unwrap();
+        let health = diag::json::parse(&health).unwrap();
+        let counters = health.get("counters").unwrap();
+        assert_eq!(counters.get("dedup_hits").unwrap().as_u64(), Some(1));
+        assert_eq!(counters.get("completed").unwrap().as_u64(), Some(1));
+
+        server.shutdown();
+        fdrlite::clear_interrupt();
+    }
+
+    #[test]
+    fn malformed_submissions_are_rejected() {
+        let dir = tmpdir("reject");
+        let server = Server::start(test_config(&dir, 1)).unwrap();
+        let addr = server.http_addr().to_string();
+
+        let (status, _) = client_request(&addr, "POST", "/v1/jobs", "not toml [[").unwrap();
+        assert_eq!(status, 400);
+        let (status, _) = client_request(&addr, "GET", "/v1/jobs/zznotanid", "").unwrap();
+        assert_eq!(status, 400);
+        let (status, _) = client_request(&addr, "GET", "/v1/jobs/00000000000000ff", "").unwrap();
+        assert_eq!(status, 404);
+        let (status, _) = client_request(&addr, "GET", "/v1/nope", "").unwrap();
+        assert_eq!(status, 404);
+
+        server.shutdown();
+        fdrlite::clear_interrupt();
+    }
+
+    #[test]
+    fn queue_overflow_is_fail_closed_429_with_retry_after() {
+        let dir = tmpdir("overflow");
+        fs::write(dir.join("m.csp"), SCRIPT).unwrap();
+        let mut config = test_config(&dir, 1);
+        config.queue_cap = 0; // everything overflows
+        let server = Server::start(config).unwrap();
+        let addr = server.http_addr().to_string();
+
+        let manifest = "[[job]]\nname = \"all\"\nkind = \"check\"\nscript = \"m.csp\"\n";
+        let (status, body) = client_request(&addr, "POST", "/v1/jobs", manifest).unwrap();
+        assert_eq!(status, 429, "{body}");
+        assert!(body.contains("SRV602"), "{body}");
+
+        server.shutdown();
+        fdrlite::clear_interrupt();
+    }
+}

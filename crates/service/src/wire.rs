@@ -1,0 +1,375 @@
+//! The orchestrator ↔ worker control protocol.
+//!
+//! One JSON object per line over a loopback TCP connection. The worker
+//! connects, authenticates with its launch token, and then the
+//! orchestrator drives it job by job:
+//!
+//! ```text
+//! worker → orchestrator   {"type":"hello","token":"…","pid":1234}
+//! orchestrator → worker   {"type":"job","id":"…","attempt":1,…}
+//! worker → orchestrator   {"type":"heartbeat","busy":true}
+//! worker → orchestrator   {"type":"result","id":"…","status":"passed",…}
+//! worker → orchestrator   {"type":"error","id":"…","transient":true,…}
+//! orchestrator → worker   {"type":"shutdown"}
+//! ```
+//!
+//! Frames are deliberately flat and self-describing; unknown fields are
+//! ignored so the two ends can evolve independently within a release.
+
+use diag::{json, json_string};
+
+use crate::{ChaosCfg, JobOutcome, ResolvedJob};
+
+/// One protocol frame, either direction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Worker greeting: launch token + worker pid.
+    Hello {
+        /// The token the worker was launched with; identifies its slot.
+        token: String,
+        /// The worker's OS process id (SIGKILL target for dead workers).
+        pid: u32,
+    },
+    /// Dispatch one job to the worker.
+    Job {
+        /// The job's content key.
+        id: u64,
+        /// 1-based dispatch attempt (grows across retries and handoffs).
+        attempt: u32,
+        /// The fully resolved job.
+        job: ResolvedJob,
+    },
+    /// Periodic liveness beat from the worker.
+    Heartbeat {
+        /// Whether a job is currently executing.
+        busy: bool,
+    },
+    /// Terminal verdict for a dispatched job.
+    Result {
+        /// The job's content key.
+        id: u64,
+        /// The verdict.
+        outcome: JobOutcome,
+    },
+    /// The job could not produce a verdict this attempt.
+    Error {
+        /// The job's content key.
+        id: u64,
+        /// Whether the failure is worth retrying.
+        transient: bool,
+        /// What went wrong.
+        message: String,
+    },
+    /// Orchestrator request: finish (or checkpoint) the current job and
+    /// exit.
+    Shutdown,
+}
+
+fn push_field(out: &mut String, key: &str, value: &str) {
+    out.push(',');
+    out.push_str(&json_string(key));
+    out.push(':');
+    out.push_str(value);
+}
+
+fn push_opt_str(out: &mut String, key: &str, value: Option<&str>) {
+    if let Some(v) = value {
+        push_field(out, key, &json_string(v));
+    }
+}
+
+fn push_opt_u64(out: &mut String, key: &str, value: Option<u64>) {
+    if let Some(v) = value {
+        push_field(out, key, &v.to_string());
+    }
+}
+
+/// Encode a frame as one newline-terminated JSON line.
+pub fn encode(frame: &Frame) -> String {
+    let mut out = String::from("{");
+    match frame {
+        Frame::Hello { token, pid } => {
+            out.push_str("\"type\":\"hello\"");
+            push_field(&mut out, "token", &json_string(token));
+            push_field(&mut out, "pid", &pid.to_string());
+        }
+        Frame::Job { id, attempt, job } => {
+            out.push_str("\"type\":\"job\"");
+            push_field(&mut out, "id", &json_string(&crate::format_job_id(*id)));
+            push_field(&mut out, "attempt", &attempt.to_string());
+            push_field(&mut out, "name", &json_string(&job.name));
+            push_field(&mut out, "kind", &json_string(job.kind.label()));
+            push_field(
+                &mut out,
+                "script",
+                &json_string(&job.script.display().to_string()),
+            );
+            push_opt_str(&mut out, "spec", job.spec.as_deref());
+            push_opt_str(
+                &mut out,
+                "corpus",
+                job.corpus
+                    .as_ref()
+                    .map(|p| p.display().to_string())
+                    .as_deref(),
+            );
+            push_opt_str(&mut out, "assertion", job.assertion.as_deref());
+            push_field(&mut out, "threads", &job.threads.to_string());
+            push_opt_u64(&mut out, "max_states", job.max_states);
+            push_opt_u64(&mut out, "timeout_ms", job.timeout_ms);
+            if let Some(c) = &job.chaos {
+                push_field(
+                    &mut out,
+                    "chaos",
+                    &format!(
+                        "{{\"seed\":{},\"transient_attempts\":{},\"every_nth\":{}}}",
+                        c.seed, c.transient_attempts, c.every_nth
+                    ),
+                );
+            }
+        }
+        Frame::Heartbeat { busy } => {
+            out.push_str("\"type\":\"heartbeat\"");
+            push_field(&mut out, "busy", if *busy { "true" } else { "false" });
+        }
+        Frame::Result { id, outcome } => {
+            out.push_str("\"type\":\"result\"");
+            push_field(&mut out, "id", &json_string(&crate::format_job_id(*id)));
+            push_field(
+                &mut out,
+                "status",
+                &json_string(crate::status_label(outcome.status)),
+            );
+            let lines: Vec<String> = outcome.lines.iter().map(|l| json_string(l)).collect();
+            push_field(&mut out, "lines", &format!("[{}]", lines.join(",")));
+            push_field(
+                &mut out,
+                "interrupted",
+                if outcome.interrupted { "true" } else { "false" },
+            );
+        }
+        Frame::Error {
+            id,
+            transient,
+            message,
+        } => {
+            out.push_str("\"type\":\"error\"");
+            push_field(&mut out, "id", &json_string(&crate::format_job_id(*id)));
+            push_field(
+                &mut out,
+                "transient",
+                if *transient { "true" } else { "false" },
+            );
+            push_field(&mut out, "message", &json_string(message));
+        }
+        Frame::Shutdown => out.push_str("\"type\":\"shutdown\""),
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn need_str(v: &json::Value, key: &str) -> Result<String, String> {
+    v.get(key)
+        .and_then(json::Value::as_str)
+        .map(str::to_owned)
+        .ok_or_else(|| format!("frame is missing string field `{key}`"))
+}
+
+fn need_u64(v: &json::Value, key: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(json::Value::as_u64)
+        .ok_or_else(|| format!("frame is missing numeric field `{key}`"))
+}
+
+fn opt_str(v: &json::Value, key: &str) -> Option<String> {
+    v.get(key).and_then(json::Value::as_str).map(str::to_owned)
+}
+
+fn need_job_id(v: &json::Value) -> Result<u64, String> {
+    let token = need_str(v, "id")?;
+    crate::parse_job_id(&token).ok_or_else(|| format!("malformed job id `{token}`"))
+}
+
+/// Decode one frame line.
+///
+/// # Errors
+///
+/// A human-readable description of the malformation (surfaced under
+/// [`crate::codes::PROTOCOL_ERROR`]).
+pub fn decode(line: &str) -> Result<Frame, String> {
+    let value = json::parse(line).map_err(|e| e.to_string())?;
+    let kind = need_str(&value, "type")?;
+    match kind.as_str() {
+        "hello" => Ok(Frame::Hello {
+            token: need_str(&value, "token")?,
+            pid: u32::try_from(need_u64(&value, "pid")?)
+                .map_err(|_| "pid out of range".to_string())?,
+        }),
+        "job" => {
+            let kind_label = need_str(&value, "kind")?;
+            let kind = match kind_label.as_str() {
+                "check" => cspm::manifest::JobKind::Check,
+                "conform" => cspm::manifest::JobKind::Conform,
+                "analyze" => cspm::manifest::JobKind::Analyze,
+                other => return Err(format!("unknown job kind `{other}`")),
+            };
+            let chaos = match value.get("chaos") {
+                Some(c) => Some(ChaosCfg {
+                    seed: need_u64(c, "seed")?,
+                    transient_attempts: u32::try_from(need_u64(c, "transient_attempts")?)
+                        .map_err(|_| "transient_attempts out of range".to_string())?,
+                    every_nth: need_u64(c, "every_nth")?,
+                }),
+                None => None,
+            };
+            Ok(Frame::Job {
+                id: need_job_id(&value)?,
+                attempt: u32::try_from(need_u64(&value, "attempt")?)
+                    .map_err(|_| "attempt out of range".to_string())?,
+                job: ResolvedJob {
+                    name: need_str(&value, "name")?,
+                    kind,
+                    script: need_str(&value, "script")?.into(),
+                    spec: opt_str(&value, "spec"),
+                    corpus: opt_str(&value, "corpus").map(Into::into),
+                    assertion: opt_str(&value, "assertion"),
+                    threads: usize::try_from(need_u64(&value, "threads")?)
+                        .map_err(|_| "threads out of range".to_string())?,
+                    max_states: value.get("max_states").and_then(json::Value::as_u64),
+                    timeout_ms: value.get("timeout_ms").and_then(json::Value::as_u64),
+                    chaos,
+                },
+            })
+        }
+        "heartbeat" => Ok(Frame::Heartbeat {
+            busy: value
+                .get("busy")
+                .and_then(json::Value::as_bool)
+                .ok_or("heartbeat is missing `busy`")?,
+        }),
+        "result" => {
+            let status_label = need_str(&value, "status")?;
+            let status = crate::status_from_label(&status_label)
+                .ok_or_else(|| format!("unknown status `{status_label}`"))?;
+            let lines = value
+                .get("lines")
+                .and_then(json::Value::as_array)
+                .ok_or("result is missing `lines`")?
+                .iter()
+                .map(|l| {
+                    l.as_str()
+                        .map(str::to_owned)
+                        .ok_or_else(|| "non-string verdict line".to_string())
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(Frame::Result {
+                id: need_job_id(&value)?,
+                outcome: JobOutcome {
+                    status,
+                    lines,
+                    interrupted: value
+                        .get("interrupted")
+                        .and_then(json::Value::as_bool)
+                        .unwrap_or(false),
+                },
+            })
+        }
+        "error" => Ok(Frame::Error {
+            id: need_job_id(&value)?,
+            transient: value
+                .get("transient")
+                .and_then(json::Value::as_bool)
+                .unwrap_or(false),
+            message: need_str(&value, "message")?,
+        }),
+        "shutdown" => Ok(Frame::Shutdown),
+        other => Err(format!("unknown frame type `{other}`")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdrlite::supervisor::JobStatus;
+
+    fn sample_job() -> ResolvedJob {
+        ResolvedJob {
+            name: "ota-sp02".into(),
+            kind: cspm::manifest::JobKind::Check,
+            script: "examples/ota_x1373.csp".into(),
+            spec: None,
+            corpus: None,
+            assertion: Some("SP02".into()),
+            threads: 2,
+            max_states: Some(10_000),
+            timeout_ms: None,
+            chaos: Some(ChaosCfg {
+                seed: 99,
+                transient_attempts: 2,
+                every_nth: 3,
+            }),
+        }
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        let frames = [
+            Frame::Hello {
+                token: "w-0-1".into(),
+                pid: 4321,
+            },
+            Frame::Job {
+                id: 0xfeed_beef,
+                attempt: 3,
+                job: sample_job(),
+            },
+            Frame::Heartbeat { busy: true },
+            Frame::Result {
+                id: 7,
+                outcome: JobOutcome {
+                    status: JobStatus::Refuted,
+                    lines: vec!["assert X  ...  FAIL".into(), "  <tr>".into()],
+                    interrupted: false,
+                },
+            },
+            Frame::Error {
+                id: 7,
+                transient: true,
+                message: "storage fault \"injected\"".into(),
+            },
+            Frame::Shutdown,
+        ];
+        for frame in frames {
+            let line = encode(&frame);
+            assert!(line.ends_with('\n'));
+            assert_eq!(decode(line.trim_end()).unwrap(), frame, "line: {line}");
+        }
+    }
+
+    #[test]
+    fn conform_job_round_trips_paths() {
+        let mut job = sample_job();
+        job.kind = cspm::manifest::JobKind::Conform;
+        job.spec = Some("SYSTEM".into());
+        job.corpus = Some("examples/faults/traces".into());
+        job.chaos = None;
+        let frame = Frame::Job {
+            id: 1,
+            attempt: 1,
+            job,
+        };
+        assert_eq!(decode(encode(&frame).trim_end()).unwrap(), frame);
+    }
+
+    #[test]
+    fn malformed_frames_are_rejected() {
+        assert!(decode("not json").is_err());
+        assert!(decode("{}").is_err());
+        assert!(decode("{\"type\":\"warp\"}").is_err());
+        assert!(decode("{\"type\":\"job\",\"id\":\"zz\"}").is_err());
+        assert!(decode(
+            "{\"type\":\"result\",\"id\":\"0000000000000007\",\"status\":\"maybe\",\"lines\":[]}"
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,43 @@
+//! Keeps the `SRV6xx` table in `docs/LINTS.md` in sync with the published
+//! code catalogue, mirroring `crates/lint/tests/catalogue_docs.rs`.
+
+const LINTS_MD: &str = include_str!(concat!(env!("CARGO_MANIFEST_DIR"), "/../../docs/LINTS.md"));
+const SERVICE_MD: &str = include_str!(concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../docs/SERVICE.md"
+));
+
+#[test]
+fn every_published_code_is_documented() {
+    let missing: Vec<&str> = service::codes::CATALOGUE
+        .iter()
+        .map(|(code, _)| code.0)
+        .filter(|code| !LINTS_MD.contains(code))
+        .collect();
+    assert!(
+        missing.is_empty(),
+        "codes missing from docs/LINTS.md: {missing:?}"
+    );
+}
+
+#[test]
+fn documentation_mentions_no_unpublished_codes() {
+    // Any SRV-prefixed number in either doc must be in the catalogue.
+    let published: Vec<&str> = service::codes::CATALOGUE.iter().map(|(c, _)| c.0).collect();
+    let mut stale = Vec::new();
+    for doc in [LINTS_MD, SERVICE_MD] {
+        let mut rest = doc;
+        while let Some(at) = rest.find("SRV") {
+            let tail = &rest[at + 3..];
+            let num: String = tail.chars().take_while(char::is_ascii_digit).collect();
+            if num.len() == 3 {
+                let code = format!("SRV{num}");
+                if !published.contains(&code.as_str()) && !stale.contains(&code) {
+                    stale.push(code);
+                }
+            }
+            rest = &rest[at + 3..];
+        }
+    }
+    assert!(stale.is_empty(), "undocumented codes referenced: {stale:?}");
+}

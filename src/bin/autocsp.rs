@@ -16,6 +16,11 @@
 //!                 [--stats-json out.json] [--format text|json] [--deny-warnings]
 //! autocsp run <jobs.toml> [--cache-dir DIR] [--resume] [--threads N] [--stats]
 //!             [--storage-faults SEED[:EVERY]] [--force-panic JOB]
+//! autocsp serve [--addr HOST:PORT] [--workers N] [--state-dir DIR] [--cache-dir DIR]
+//!               [--scripts-root DIR] [--queue-cap N] [--heartbeat-ms N]
+//!               [--checkpoint-every N] [--retries N]
+//! autocsp worker --connect HOST:PORT --token TOKEN [--cache-dir DIR]
+//!                [--heartbeat-ms N] [--checkpoint-every N]
 //! autocsp replay <cex.json> <node.can>... [--dbc net.dbc] [--node NAME]
 //! ```
 
@@ -52,6 +57,8 @@ fn main() -> ExitCode {
         Some("simulate") => simulate(&args[1..]),
         Some("conform") => conform(&args[1..]),
         Some("run") => run_cmd(&args[1..]),
+        Some("serve") => serve_cmd(&args[1..]),
+        Some("worker") => worker_cmd(&args[1..]),
         Some("replay") => replay_cmd(&args[1..]),
         Some("--version" | "-V" | "version") => {
             println!("autocsp {}", env!("CARGO_PKG_VERSION"));
@@ -102,7 +109,7 @@ USAGE:
       `--deny-warnings`).
 
   autocsp check <model.csp> [--deny-warnings] [--threads <N>] [--stats]
-                [--max-states <N>] [--timeout-ms <N>]
+                [--max-states <N>] [--timeout-ms <N>] [--format <text|json>]
                 [--stats-json <out.json>] [--cex-json <out.json>]
                 [--cache-dir <DIR>] [--no-cache] [--resume <TOKEN|auto>]
                 [--checkpoint-every <N>]
@@ -126,7 +133,8 @@ USAGE:
       to an uninterrupted run. `--checkpoint-every N` additionally
       checkpoints every N explored states, so an interrupted (even
       SIGKILLed) run loses at most N states of work. `--no-cache` ignores
-      `--cache-dir`.
+      `--cache-dir`. `--format json` prints exactly one JSON object
+      (per-assertion verdicts) to stdout; diagnostics stay on stderr.
 
   autocsp compose <gateway.can> <ecu.can> [--dbc <net.dbc>] [--buffered <N>] [-o <out.csp>]
       Translate both nodes and compose SYSTEM = GATEWAY ∥ ECU.
@@ -159,7 +167,7 @@ USAGE:
 
   autocsp run <jobs.toml> [--threads <N>] [--max-states <N>] [--timeout-ms <N>]
               [--cache-dir <DIR>] [--no-cache] [--resume] [--checkpoint-every <N>]
-              [--spec <NAME>] [--seed <N>] [--stats]
+              [--spec <NAME>] [--seed <N>] [--stats] [--format <text|json>]
               [--storage-faults <SEED[:EVERY]>] [--force-panic <JOB>]
       Run a TOML manifest of check/conform/analyze jobs under the
       supervised job runtime: each job is panic-isolated (a panicking job
@@ -174,9 +182,36 @@ USAGE:
       (threads/budgets/retries), `[chaos]` injects deterministic transient
       faults for testing; `--storage-faults` seeds disk-cache fault
       injection and `--force-panic JOB` panics a named job (both for
-      chaos drills). Exits 4 when any job failed (infrastructure), else 1
+      chaos drills). `--format json` prints exactly one JSON object
+      (per-job status + verdict lines) to stdout, diagnostics to stderr.
+      Exits 4 when any job failed (infrastructure), else 1
       when any was refuted, else 3 when any is inconclusive or deferred,
       else 0. See docs/SUPERVISION.md.
+
+  autocsp serve [--addr <HOST:PORT>] [--workers <N>] [--state-dir <DIR>]
+                [--cache-dir <DIR>] [--scripts-root <DIR>] [--queue-cap <N>]
+                [--heartbeat-ms <N>] [--checkpoint-every <N>] [--retries <N>]
+                [--threads <N>] [--max-states <N>] [--timeout-ms <N>] [--seed <N>]
+      Run the fault-tolerant checking service: accept `jobs.toml`
+      manifests over HTTP (POST /v1/jobs → job ids; GET /v1/jobs/<id>
+      [?wait=s] → verdict; GET /v1/health) and dispatch them to a farm
+      of `autocsp worker` processes sharing one persistent cache.
+      Identical submissions dedup to one job id; a crashed or SIGKILLed
+      worker's job is reclaimed and resumed from its last checkpoint to
+      a byte-identical verdict; transient failures retry on the seeded
+      supervisor backoff; admissions beyond `--queue-cap` fail closed
+      with HTTP 429 + Retry-After. SIGTERM drains: in-flight jobs
+      checkpoint, pending jobs journal, and a restarted serve (same
+      `--state-dir`) completes them byte-identically. Service events use
+      the SRV6xx codes (see docs/LINTS.md). Exits 3 when jobs were
+      deferred past the drain, 0 on a clean drain, 4 on infrastructure
+      failure. See docs/SERVICE.md.
+
+  autocsp worker --connect <HOST:PORT> --token <TOKEN> [--cache-dir <DIR>]
+                 [--heartbeat-ms <N>] [--checkpoint-every <N>]
+      One farm worker (spawned by `autocsp serve`; not for direct use).
+      Connects to the orchestrator's loopback worker port, heartbeats,
+      and executes dispatched jobs one at a time.
 
   autocsp replay <cex.json> <node.can>... [--dbc <net.dbc>] [--node <NAME>]
                  [--stimulus <chan>] [--expect <chan>] [--gap-us <N>]
@@ -222,6 +257,16 @@ struct Flags {
     gap_us: u64,
     storage_faults: Option<String>,
     force_panic: Option<String>,
+    addr: Option<String>,
+    workers: Option<usize>,
+    state_dir: Option<String>,
+    scripts_root: Option<String>,
+    queue_cap: Option<usize>,
+    heartbeat_ms: Option<u64>,
+    retries: Option<u32>,
+    connect: Option<String>,
+    token: Option<String>,
+    die_after_states: Option<u64>,
 }
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -262,6 +307,16 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         gap_us: 10_000,
         storage_faults: None,
         force_panic: None,
+        addr: None,
+        workers: None,
+        state_dir: None,
+        scripts_root: None,
+        queue_cap: None,
+        heartbeat_ms: None,
+        retries: None,
+        connect: None,
+        token: None,
+        die_after_states: None,
     };
     let mut i = 0;
     let value = |args: &[String], i: &mut usize, flag: &str| -> Result<String, String> {
@@ -368,6 +423,54 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                 flags.storage_faults = Some(value(args, &mut i, "--storage-faults")?);
             }
             "--force-panic" => flags.force_panic = Some(value(args, &mut i, "--force-panic")?),
+            "--addr" => flags.addr = Some(value(args, &mut i, "--addr")?),
+            "--workers" => {
+                flags.workers = Some(
+                    value(args, &mut i, "--workers")?
+                        .parse()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .ok_or_else(|| "`--workers` needs a number ≥ 1".to_owned())?,
+                );
+            }
+            "--state-dir" => flags.state_dir = Some(value(args, &mut i, "--state-dir")?),
+            "--scripts-root" => flags.scripts_root = Some(value(args, &mut i, "--scripts-root")?),
+            "--queue-cap" => {
+                flags.queue_cap = Some(
+                    value(args, &mut i, "--queue-cap")?
+                        .parse()
+                        .map_err(|_| "`--queue-cap` needs a number".to_owned())?,
+                );
+            }
+            "--heartbeat-ms" => {
+                flags.heartbeat_ms = Some(
+                    value(args, &mut i, "--heartbeat-ms")?
+                        .parse()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .ok_or_else(|| "`--heartbeat-ms` needs a number ≥ 1".to_owned())?,
+                );
+            }
+            "--retries" => {
+                flags.retries = Some(
+                    value(args, &mut i, "--retries")?
+                        .parse()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .ok_or_else(|| "`--retries` needs a number ≥ 1".to_owned())?,
+                );
+            }
+            "--connect" => flags.connect = Some(value(args, &mut i, "--connect")?),
+            "--token" => flags.token = Some(value(args, &mut i, "--token")?),
+            "--die-after-states" => {
+                // Undocumented chaos hook for the CI kill drills: the
+                // worker checkpoints at this budget, then drops dead.
+                flags.die_after_states = Some(
+                    value(args, &mut i, "--die-after-states")?
+                        .parse()
+                        .map_err(|_| "`--die-after-states` needs a number".to_owned())?,
+                );
+            }
             other if other.starts_with('-') => return Err(format!("unknown flag `{other}`")),
             other => flags.positional.push(other.to_owned()),
         }
@@ -913,14 +1016,26 @@ fn check(args: &[String]) -> Result<ExitCode, String> {
     let results = loaded
         .check_with_store(&checker, &options, &store)
         .map_err(|e| e.to_string())?;
+    let json_mode = flags.format == OutputFormat::Json;
     let mut failures = 0;
     let mut inconclusive = 0;
     let mut cex_written = false;
+    // JSON mode: stdout carries exactly one JSON object (assertion
+    // verdicts in script order); diagnostics and stats stay on stderr.
+    let mut assertion_json: Vec<String> = Vec::new();
     for r in &results {
         if let Some(cex) = r.verdict.counterexample() {
             failures += 1;
-            println!("assert {}  ...  FAIL", r.description);
-            println!("  {}", cex.display(loaded.alphabet()));
+            if json_mode {
+                assertion_json.push(format!(
+                    "{{\"assertion\":{},\"verdict\":\"fail\",\"counterexample\":{}}}",
+                    diag::json_string(&r.description),
+                    diag::json_string(&cex.display(loaded.alphabet()).to_string())
+                ));
+            } else {
+                println!("assert {}  ...  FAIL", r.description);
+                println!("  {}", cex.display(loaded.alphabet()));
+            }
             if let Some(path) = &flags.cex_json {
                 if !cex_written {
                     let json = faults::replay::counterexample_to_json(
@@ -935,10 +1050,27 @@ fn check(args: &[String]) -> Result<ExitCode, String> {
             }
         } else if let Some(inc) = r.verdict.inconclusive() {
             inconclusive += 1;
-            println!("assert {}  ...  INCONCLUSIVE ({inc})", r.description);
-            if let Some(token) = &inc.resume {
-                println!("  checkpoint saved; continue with `--resume {token}`");
+            if json_mode {
+                let resume = inc.resume.as_ref().map_or_else(
+                    || "null".to_owned(),
+                    |token| diag::json_string(&token.to_string()),
+                );
+                assertion_json.push(format!(
+                    "{{\"assertion\":{},\"verdict\":\"inconclusive\",\"reason\":{},\"resume\":{resume}}}",
+                    diag::json_string(&r.description),
+                    diag::json_string(&inc.to_string())
+                ));
+            } else {
+                println!("assert {}  ...  INCONCLUSIVE ({inc})", r.description);
+                if let Some(token) = &inc.resume {
+                    println!("  checkpoint saved; continue with `--resume {token}`");
+                }
             }
+        } else if json_mode {
+            assertion_json.push(format!(
+                "{{\"assertion\":{},\"verdict\":\"pass\"}}",
+                diag::json_string(&r.description)
+            ));
         } else {
             println!("assert {}  ...  PASS", r.description);
         }
@@ -947,6 +1079,13 @@ fn check(args: &[String]) -> Result<ExitCode, String> {
                 eprintln!("  stats: {stats}");
             }
         }
+    }
+    if json_mode {
+        println!(
+            "{{\"script\":{},\"assertions\":[{}],\"failures\":{failures},\"inconclusive\":{inconclusive}}}",
+            diag::json_string(script_path),
+            assertion_json.join(",")
+        );
     }
     if let Some(cache) = &cache {
         let root = cache.root().display().to_string();
@@ -1000,6 +1139,110 @@ fn check(args: &[String]) -> Result<ExitCode, String> {
         Ok(ExitCode::from(EXIT_INCONCLUSIVE))
     } else {
         Ok(ExitCode::SUCCESS)
+    }
+}
+
+/// `autocsp serve`: the fault-tolerant checking service (front-end +
+/// worker farm). Blocks until SIGTERM, then drains and exits 0 (clean)
+/// or 3 (jobs deferred to the next start).
+fn serve_cmd(args: &[String]) -> Result<ExitCode, String> {
+    let flags = parse_flags(args)?;
+    if !flags.positional.is_empty() {
+        return Err(format!(
+            "`serve` takes no positional arguments (got `{}`)",
+            flags.positional[0]
+        ));
+    }
+    let state_dir = PathBuf::from(
+        flags
+            .state_dir
+            .unwrap_or_else(|| ".autocsp-service".to_owned()),
+    );
+    let mut config = service::server::ServerConfig::with_defaults(state_dir)?;
+    if let Some(addr) = flags.addr {
+        config.addr = addr;
+    }
+    if let Some(workers) = flags.workers {
+        config.workers = workers;
+    }
+    if let Some(dir) = flags.cache_dir {
+        config.cache_dir = Some(PathBuf::from(dir));
+    }
+    if let Some(root) = flags.scripts_root {
+        config.scripts_root = PathBuf::from(root);
+    }
+    if let Some(cap) = flags.queue_cap {
+        config.queue_cap = cap;
+    }
+    if let Some(hb) = flags.heartbeat_ms {
+        config.heartbeat_ms = hb;
+    }
+    if let Some(every) = flags.checkpoint_every {
+        config.checkpoint_every = Some(every);
+    }
+    if let Some(retries) = flags.retries {
+        config.retry.max_attempts = retries;
+    }
+    if let Some(seed) = flags.seed {
+        config.retry.seed = seed;
+    }
+    config.default_threads = flags.threads;
+    config.default_max_states = flags.max_states;
+    config.default_timeout_ms = flags.timeout_ms;
+
+    let server = service::server::Server::start(config)?;
+    // The address line is the machine-readable hand-off to scripts and
+    // tests (the port is usually ephemeral).
+    println!("autocsp serve listening on http://{}", server.http_addr());
+    let _ = std::io::Write::flush(&mut std::io::stdout());
+
+    install_sigterm_handler();
+    while !fdrlite::interrupt_requested() {
+        for d in server.orchestrator().take_diagnostics() {
+            eprint!("{}", d.render("service", ""));
+        }
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+    eprintln!("autocsp serve: draining (in-flight jobs checkpoint, pending jobs journal)");
+    let pending = server.drain(std::time::Duration::from_secs(60));
+    for d in server.orchestrator().take_diagnostics() {
+        eprint!("{}", d.render("service", ""));
+    }
+    server.shutdown();
+    if pending > 0 {
+        eprintln!(
+            "autocsp serve: {pending} job(s) deferred; restart with the same --state-dir to finish them"
+        );
+        Ok(ExitCode::from(EXIT_INCONCLUSIVE))
+    } else {
+        Ok(ExitCode::SUCCESS)
+    }
+}
+
+/// `autocsp worker`: one farm worker, spawned by `serve`.
+fn worker_cmd(args: &[String]) -> Result<ExitCode, String> {
+    let flags = parse_flags(args)?;
+    let connect = flags.connect.ok_or("`worker` needs `--connect`")?;
+    let token = flags.token.ok_or("`worker` needs `--token`")?;
+    // SIGTERM checkpoints the in-flight exploration; the verdict reports
+    // interrupted and the orchestrator re-dispatches from the checkpoint.
+    install_sigterm_handler();
+    let config = service::worker::WorkerConfig {
+        connect,
+        token,
+        exec: service::exec::ExecConfig {
+            cache_dir: flags.cache_dir.map(PathBuf::from),
+            checkpoint_every: flags.checkpoint_every,
+        },
+        heartbeat_ms: flags.heartbeat_ms.unwrap_or(200),
+        die_after_states: flags.die_after_states,
+    };
+    match service::worker::run_worker(&config) {
+        Ok(()) => Ok(ExitCode::SUCCESS),
+        Err(message) => {
+            eprintln!("error: {message}");
+            Ok(ExitCode::from(EXIT_INFRA))
+        }
     }
 }
 
@@ -1507,15 +1750,18 @@ fn run_cmd(args: &[String]) -> Result<ExitCode, String> {
         );
     }
 
+    let json_mode = flags.format == OutputFormat::Json;
     let mut passed = 0_u32;
     let mut refuted = 0_u32;
     let mut inconclusive = 0_u32;
     let mut failed = 0_u32;
     for job in &outcome.jobs {
-        for line in &job.lines {
-            println!("{line}");
+        if !json_mode {
+            for line in &job.lines {
+                println!("{line}");
+            }
+            println!("job {}  ...  {}", job.name, job.status);
         }
-        println!("job {}  ...  {}", job.name, job.status);
         match job.status {
             sup::JobStatus::Passed => passed += 1,
             sup::JobStatus::Refuted => refuted += 1,
@@ -1523,11 +1769,43 @@ fn run_cmd(args: &[String]) -> Result<ExitCode, String> {
             sup::JobStatus::Failed => failed += 1,
         }
     }
-    println!(
-        "run: {} job(s): {passed} passed, {refuted} refuted, {inconclusive} inconclusive, \
-         {failed} failed",
-        outcome.jobs.len()
-    );
+    if json_mode {
+        // One JSON object on stdout; everything else is on stderr. The
+        // object is deterministic for a given manifest outcome, so
+        // disturbed and resumed runs still diff byte-identical.
+        let jobs_json: Vec<String> = outcome
+            .jobs
+            .iter()
+            .map(|job| {
+                let lines: Vec<String> = job.lines.iter().map(|l| diag::json_string(l)).collect();
+                format!(
+                    "{{\"name\":{},\"status\":{},\"replayed\":{},\"lines\":[{}]}}",
+                    diag::json_string(&job.name),
+                    diag::json_string(&job.status.to_string()),
+                    job.replayed,
+                    lines.join(",")
+                )
+            })
+            .collect();
+        let deferred: Vec<String> = outcome
+            .deferred
+            .iter()
+            .map(|name| diag::json_string(name))
+            .collect();
+        println!(
+            "{{\"manifest\":{},\"jobs\":[{}],\"passed\":{passed},\"refuted\":{refuted},\
+             \"inconclusive\":{inconclusive},\"failed\":{failed},\"deferred\":[{}]}}",
+            diag::json_string(manifest_path),
+            jobs_json.join(","),
+            deferred.join(",")
+        );
+    } else {
+        println!(
+            "run: {} job(s): {passed} passed, {refuted} refuted, {inconclusive} inconclusive, \
+             {failed} failed",
+            outcome.jobs.len()
+        );
+    }
     if outcome.deferred.is_empty() {
         journal.remove();
     } else {

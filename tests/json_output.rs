@@ -1,0 +1,235 @@
+//! Machine-readability contract for `--format json`: every subcommand that
+//! supports it (`check`, `conform`, `analyze`, `run`) writes **exactly one
+//! JSON object** to stdout — parseable by the repo's own `diag::json`
+//! parser — while diagnostics, stats and progress notes stay on stderr.
+//! Scripting against the CLI must never have to strip human chatter out of
+//! stdout.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+use diag::json::{self, Value};
+
+fn autocsp() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_autocsp"))
+}
+
+fn example(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("examples")
+        .join(name)
+}
+
+fn run(args: &[&str]) -> Output {
+    autocsp().args(args).output().expect("autocsp runs")
+}
+
+/// A scratch directory unique to this test binary invocation.
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("autocsp-json-{}-{name}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+fn model() -> String {
+    example("faults/ota_model.csp").to_str().unwrap().to_owned()
+}
+
+/// Parse stdout as a single JSON object, failing loudly with the raw bytes
+/// when it is not valid JSON (e.g. a stray human-readable line leaked in).
+fn parse_stdout(out: &Output) -> Value {
+    let text = String::from_utf8(out.stdout.clone()).expect("stdout is UTF-8");
+    let trimmed = text.trim_end();
+    assert!(
+        !trimmed.contains('\n'),
+        "expected exactly one JSON line on stdout, got:\n{text}"
+    );
+    json::parse(trimmed).unwrap_or_else(|e| panic!("stdout is not valid JSON ({e:?}):\n{text}"))
+}
+
+// ---------------------------------------------------------------------------
+// check
+// ---------------------------------------------------------------------------
+
+#[test]
+fn check_json_verdicts_parse_and_count() {
+    let out = run(&["check", &model(), "--format", "json"]);
+    assert_eq!(out.status.code(), Some(1), "ATTACKED is refuted");
+    let doc = parse_stdout(&out);
+    assert!(doc.get("script").and_then(Value::as_str).is_some());
+    let assertions = doc
+        .get("assertions")
+        .and_then(Value::as_array)
+        .expect("assertions array");
+    assert_eq!(assertions.len(), 2);
+    let mut failures = 0;
+    for a in assertions {
+        let verdict = a.get("verdict").and_then(Value::as_str).expect("verdict");
+        match verdict {
+            "pass" => assert!(a.get("counterexample").is_none()),
+            "fail" => {
+                failures += 1;
+                let cex = a
+                    .get("counterexample")
+                    .and_then(Value::as_str)
+                    .expect("failed assertion carries its counterexample");
+                assert!(cex.contains("forbids"), "unexpected counterexample: {cex}");
+            }
+            other => panic!("unexpected verdict {other}"),
+        }
+    }
+    assert_eq!(doc.get("failures").and_then(Value::as_u64), Some(failures));
+    assert_eq!(doc.get("inconclusive").and_then(Value::as_u64), Some(0));
+}
+
+#[test]
+fn check_json_inconclusive_carries_reason_and_resume_token() {
+    let dir = scratch("check-inconclusive");
+    let out = run(&[
+        "check",
+        &model(),
+        "--format",
+        "json",
+        "--max-states",
+        "1",
+        "--cache-dir",
+        dir.to_str().unwrap(),
+    ]);
+    let doc = parse_stdout(&out);
+    let assertions = doc
+        .get("assertions")
+        .and_then(Value::as_array)
+        .expect("assertions array");
+    assert!(!assertions.is_empty());
+    for a in assertions {
+        assert_eq!(
+            a.get("verdict").and_then(Value::as_str),
+            Some("inconclusive")
+        );
+        let reason = a.get("reason").and_then(Value::as_str).expect("reason");
+        assert!(reason.contains("budget"), "unexpected reason: {reason}");
+        let resume = a
+            .get("resume")
+            .and_then(Value::as_str)
+            .expect("resume token");
+        assert!(
+            resume.len() == 32 && resume.chars().all(|c| c.is_ascii_hexdigit()),
+            "resume token should be a 32-hex checkpoint id, got {resume}"
+        );
+    }
+    // The ANA307 state-space predictions and the budget note are stderr-only.
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("inconclusive"),
+        "summary note expected on stderr"
+    );
+}
+
+#[test]
+fn check_json_keeps_diagnostics_and_stats_on_stderr() {
+    let out = run(&["check", &model(), "--format", "json", "--stats"]);
+    parse_stdout(&out); // would panic if stats lines leaked into stdout
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("stats:"), "--stats output belongs on stderr");
+}
+
+// ---------------------------------------------------------------------------
+// conform / analyze (pre-existing JSON modes, same purity contract)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn conform_json_is_pure_and_consistent() {
+    let traces = example("faults/traces/ota_sessions.jsonl");
+    let out = run(&[
+        "conform",
+        &model(),
+        traces.to_str().unwrap(),
+        "--spec",
+        "HONEST",
+        "--format",
+        "json",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let doc = parse_stdout(&out);
+    let traces = doc.get("traces").and_then(Value::as_u64).expect("traces");
+    let verdicts = doc
+        .get("verdicts")
+        .and_then(Value::as_array)
+        .expect("verdicts array");
+    assert_eq!(verdicts.len() as u64, traces);
+    assert_eq!(doc.get("conformant").and_then(Value::as_u64), Some(traces));
+}
+
+#[test]
+fn analyze_json_is_pure_and_names_definitions() {
+    let out = run(&["analyze", &model(), "--format", "json"]);
+    let doc = parse_stdout(&out);
+    let defs = doc
+        .get("definitions")
+        .and_then(Value::as_array)
+        .expect("definitions array");
+    assert!(
+        defs.iter()
+            .any(|d| d.get("name").and_then(Value::as_str) == Some("HONEST")),
+        "HONEST should appear among analyzed definitions"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// run
+// ---------------------------------------------------------------------------
+
+#[test]
+fn run_json_reports_every_job_with_status_and_lines() {
+    let dir = scratch("run-json");
+    let manifest = dir.join("jobs.toml");
+    fs::write(
+        &manifest,
+        format!(
+            "[[job]]\nname = \"honest\"\nkind = \"check\"\nscript = \"{model}\"\nassertion = \"HONEST\"\n\n\
+             [[job]]\nname = \"attacked\"\nkind = \"check\"\nscript = \"{model}\"\nassertion = \"ATTACKED\"\n",
+            model = model()
+        ),
+    )
+    .expect("write manifest");
+    let out = run(&[
+        "run",
+        manifest.to_str().unwrap(),
+        "--format",
+        "json",
+        "--no-cache",
+    ]);
+    assert_eq!(out.status.code(), Some(1), "one refuted job");
+    let doc = parse_stdout(&out);
+    let jobs = doc
+        .get("jobs")
+        .and_then(Value::as_array)
+        .expect("jobs array");
+    assert_eq!(jobs.len(), 2);
+    for job in jobs {
+        let name = job.get("name").and_then(Value::as_str).expect("name");
+        let status = job.get("status").and_then(Value::as_str).expect("status");
+        let lines = job.get("lines").and_then(Value::as_array).expect("lines");
+        assert!(!lines.is_empty(), "job {name} should carry verdict lines");
+        match name {
+            "honest" => assert_eq!(status, "passed"),
+            "attacked" => assert_eq!(status, "refuted"),
+            other => panic!("unexpected job {other}"),
+        }
+    }
+    assert_eq!(doc.get("passed").and_then(Value::as_u64), Some(1));
+    assert_eq!(doc.get("refuted").and_then(Value::as_u64), Some(1));
+    assert_eq!(doc.get("failed").and_then(Value::as_u64), Some(0));
+    assert_eq!(
+        doc.get("deferred")
+            .and_then(Value::as_array)
+            .map(<[Value]>::len),
+        Some(0)
+    );
+}

@@ -1,0 +1,262 @@
+//! End-to-end acceptance of `autocsp serve`: the checking service survives a
+//! SIGKILLed worker and a SIGTERMed service process with verdicts
+//! byte-identical to a serial `autocsp run` over the same manifest. This is
+//! the repo's headline robustness guarantee lifted to the deployment shape:
+//! infrastructure loss costs time, never a verdict.
+#![cfg(unix)]
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+use diag::json::{self, Value};
+use service::http::client_request;
+
+fn autocsp() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_autocsp"))
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("autocsp-serve-{}-{name}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+/// An interleaving of eight 4-event cycles: 65 536 reachable states, a few
+/// seconds of serial exploration in a debug build — long enough that a
+/// signal aimed at a busy worker reliably lands mid-exploration.
+fn model_source() -> String {
+    let procs = 8;
+    let events: Vec<String> = (0..procs)
+        .flat_map(|p| (0..4).map(move |i| format!("e{p}_{i}")))
+        .collect();
+    let mut out = format!("channel {}\n", events.join(", "));
+    for p in 0..procs {
+        let chain: Vec<String> = (0..4).map(|i| format!("e{p}_{i}")).collect();
+        let _ = writeln!(out, "P{p} = {} -> P{p}", chain.join(" -> "));
+    }
+    let sys: Vec<String> = (0..procs).map(|p| format!("P{p}")).collect();
+    let _ = writeln!(out, "SYS = {}", sys.join(" ||| "));
+    let runall: Vec<String> = events.iter().map(|e| format!("{e} -> RUNALL")).collect();
+    let _ = writeln!(out, "RUNALL = {}", runall.join(" [] "));
+    out.push_str("assert RUNALL [T= SYS\n");
+    out
+}
+
+const MANIFEST: &str = "[run]\nthreads = 1\n\n\
+                        [[job]]\nname = \"big\"\nkind = \"check\"\nscript = \"big.csp\"\n";
+
+fn write_inputs(dir: &Path) {
+    fs::write(dir.join("big.csp"), model_source()).expect("write model");
+    fs::write(dir.join("jobs.toml"), MANIFEST).expect("write manifest");
+}
+
+/// The serial `autocsp run` verdict lines for the manifest's one job —
+/// the reference every service run must reproduce byte for byte.
+fn reference_lines() -> &'static Vec<String> {
+    static REF: OnceLock<Vec<String>> = OnceLock::new();
+    REF.get_or_init(|| {
+        let dir = scratch("reference");
+        write_inputs(&dir);
+        let out = autocsp()
+            .args([
+                "run",
+                dir.join("jobs.toml").to_str().unwrap(),
+                "--format",
+                "json",
+                "--no-cache",
+            ])
+            .output()
+            .expect("autocsp runs");
+        assert_eq!(
+            out.status.code(),
+            Some(0),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let doc = json::parse(String::from_utf8_lossy(&out.stdout).trim()).expect("run json");
+        let job = &doc.get("jobs").unwrap().as_array().unwrap()[0];
+        assert_eq!(job.get("status").and_then(Value::as_str), Some("passed"));
+        job.get("lines")
+            .and_then(Value::as_array)
+            .unwrap()
+            .iter()
+            .map(|l| l.as_str().unwrap().to_string())
+            .collect()
+    })
+}
+
+/// Spawn `autocsp serve` and read the bound address off its first stdout
+/// line (the machine-readable handoff).
+fn spawn_serve(dir: &Path, state: &Path) -> (Child, String) {
+    let mut child = autocsp()
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "2",
+            "--state-dir",
+            state.to_str().unwrap(),
+            "--scripts-root",
+            dir.to_str().unwrap(),
+            "--heartbeat-ms",
+            "50",
+            "--checkpoint-every",
+            "2000",
+            "--threads",
+            "1",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn serve");
+    let mut line = String::new();
+    BufReader::new(child.stdout.take().expect("stdout piped"))
+        .read_line(&mut line)
+        .expect("read handoff line");
+    let addr = line
+        .trim()
+        .strip_prefix("autocsp serve listening on http://")
+        .unwrap_or_else(|| panic!("unexpected handoff line: {line:?}"))
+        .to_string();
+    (child, addr)
+}
+
+fn signal(pid: u32, sig: &str) {
+    let status = Command::new("kill")
+        .args([sig, &pid.to_string()])
+        .status()
+        .expect("kill runs");
+    assert!(status.success(), "kill {sig} {pid}");
+}
+
+fn submit(addr: &str) -> String {
+    let (status, body) = client_request(addr, "POST", "/v1/jobs", MANIFEST).unwrap();
+    assert_eq!(status, 202, "{body}");
+    json::parse(&body)
+        .unwrap()
+        .get("jobs")
+        .unwrap()
+        .as_array()
+        .unwrap()[0]
+        .get("id")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .to_string()
+}
+
+fn health(addr: &str) -> Value {
+    let (status, body) = client_request(addr, "GET", "/v1/health", "").unwrap();
+    assert_eq!(status, 200, "{body}");
+    json::parse(&body).unwrap()
+}
+
+/// Poll `/v1/health` until some worker reports itself busy, returning its
+/// pid. The 65k-state job keeps a worker busy for seconds, so this never
+/// races the verdict.
+fn wait_for_busy_worker(addr: &str) -> u32 {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let doc = health(addr);
+        let workers = doc.get("workers").unwrap().as_array().unwrap();
+        if let Some(w) = workers
+            .iter()
+            .find(|w| w.get("busy").unwrap().as_str().is_some())
+        {
+            return u32::try_from(w.get("pid").unwrap().as_u64().unwrap()).unwrap();
+        }
+        assert!(Instant::now() < deadline, "no worker ever went busy");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+fn wait_done_lines(addr: &str, id: &str) -> Vec<String> {
+    let (status, body) =
+        client_request(addr, "GET", &format!("/v1/jobs/{id}?wait=120"), "").unwrap();
+    assert_eq!(status, 200, "{body}");
+    let view = json::parse(&body).unwrap();
+    assert_eq!(
+        view.get("state").and_then(Value::as_str),
+        Some("done"),
+        "{body}"
+    );
+    assert_eq!(
+        view.get("status").and_then(Value::as_str),
+        Some("passed"),
+        "{body}"
+    );
+    view.get("lines")
+        .and_then(Value::as_array)
+        .unwrap()
+        .iter()
+        .map(|l| l.as_str().unwrap().to_string())
+        .collect()
+}
+
+#[test]
+fn sigkilled_worker_hands_off_to_reference_verdicts() {
+    let dir = scratch("kill");
+    write_inputs(&dir);
+    let state = dir.join("state");
+    let (mut serve, addr) = spawn_serve(&dir, &state);
+
+    let id = submit(&addr);
+    let victim = wait_for_busy_worker(&addr);
+    assert_ne!(
+        victim,
+        serve.id(),
+        "victim must be a worker, not the service"
+    );
+    signal(victim, "-9");
+
+    let lines = wait_done_lines(&addr, &id);
+    assert_eq!(&lines, reference_lines(), "handed-off verdict diverged");
+    let doc = health(&addr);
+    let lost = doc
+        .get("counters")
+        .and_then(|c| c.get("workers_lost"))
+        .and_then(Value::as_u64)
+        .unwrap();
+    assert!(lost >= 1, "the SIGKILL was never noticed");
+
+    // Nothing pending: SIGTERM is a clean exit 0.
+    signal(serve.id(), "-TERM");
+    let status = serve.wait().expect("serve exits");
+    assert_eq!(status.code(), Some(0));
+}
+
+#[test]
+fn sigterm_drains_and_restart_resumes_to_reference_verdicts() {
+    let dir = scratch("drain");
+    write_inputs(&dir);
+    let state = dir.join("state");
+    let (mut serve, addr) = spawn_serve(&dir, &state);
+
+    let id = submit(&addr);
+    wait_for_busy_worker(&addr);
+    signal(serve.id(), "-TERM");
+    let status = serve.wait().expect("serve exits");
+    // Mid-exploration SIGTERM drains the job to its checkpoint and defers
+    // it (exit 3). If the verdict won an unlikely race, the exit is 0 and
+    // the restart below simply replays it from the journal.
+    assert!(
+        matches!(status.code(), Some(0 | 3)),
+        "unexpected serve exit {:?}",
+        status.code()
+    );
+
+    let (mut serve, addr) = spawn_serve(&dir, &state);
+    let lines = wait_done_lines(&addr, &id);
+    assert_eq!(&lines, reference_lines(), "resumed verdict diverged");
+
+    signal(serve.id(), "-TERM");
+    let status = serve.wait().expect("serve exits");
+    assert_eq!(status.code(), Some(0));
+}
